@@ -1,0 +1,100 @@
+// Ablation study (ours; motivated by the design choices in DESIGN.md):
+//  (a) what the LE pointer classes buy ViewJoin — entries skipped via
+//      following-pointer jumps and via child-pointer extension, per scheme;
+//  (b) the λ knob of the view-selection cost model — how the selected view
+//      set and its evaluation cost move as λ sweeps from 0 (pure size) to 1
+//      (pure join cost, the paper's setting).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/workloads.h"
+#include "util/check.h"
+#include "util/table_printer.h"
+#include "view/selection.h"
+
+namespace viewjoin::bench {
+namespace {
+
+void PointerAblation(BenchContext* context) {
+  std::printf("-- (a) pointer-skipping ablation: VJ across schemes --\n");
+  util::TablePrinter table({"query", "scheme", "ms", "entries scanned",
+                            "entries skipped", "pointer jumps", "skip %"});
+  std::vector<QuerySpec> queries = NasaQueries();
+  for (const QuerySpec& spec : queries) {
+    tpq::TreePattern query = ParseQuery(spec.xpath);
+    std::vector<tpq::TreePattern> split = SplitViews(query, 2);
+    for (storage::Scheme scheme :
+         {storage::Scheme::kElement, storage::Scheme::kLinkedElement,
+          storage::Scheme::kLinkedElementPartial}) {
+      Combo combo{core::Algorithm::kViewJoin, scheme};
+      core::RunResult r =
+          context->Run(query, context->Views(split, scheme), combo);
+      double denom = static_cast<double>(r.stats.entries_scanned +
+                                         r.stats.entries_skipped);
+      table.AddRow({spec.name, storage::SchemeName(scheme),
+                    util::FormatDouble(r.total_ms, 2),
+                    std::to_string(r.stats.entries_scanned),
+                    std::to_string(r.stats.entries_skipped),
+                    std::to_string(r.stats.pointer_jumps),
+                    util::FormatDouble(
+                        denom > 0 ? 100.0 * r.stats.entries_skipped / denom
+                                  : 0.0,
+                        1)});
+    }
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void LambdaSweep(BenchContext* context) {
+  std::printf("-- (b) λ sweep of the selection cost model --\n");
+  tpq::TreePattern query = ParseQuery(Table2Query());
+  std::vector<tpq::TreePattern> candidates;
+  for (const std::string& path : Table2CandidateViews()) {
+    candidates.push_back(ParseQuery(path));
+  }
+  util::TablePrinter table({"lambda", "selected set", "VJ+LE_p ms"});
+  Combo combo{core::Algorithm::kViewJoin,
+              storage::Scheme::kLinkedElementPartial};
+  for (double lambda : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    view::SelectionOptions options;
+    options.lambda = lambda;
+    view::SelectionResult selection =
+        view::SelectViews(context->doc(), query, candidates, options);
+    VJ_CHECK(selection.covers);
+    std::string set;
+    std::vector<tpq::TreePattern> picked;
+    for (size_t i : selection.selected) {
+      if (!set.empty()) set += ",";
+      set += "v" + std::to_string(i + 1);
+      picked.push_back(candidates[i]);
+    }
+    core::RunResult r =
+        context->Run(query, context->Views(picked, combo.scheme), combo);
+    table.AddRow({util::FormatDouble(lambda, 2), set,
+                  util::FormatDouble(r.total_ms, 2)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main() {
+  int64_t nasa_datasets =
+      static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  auto context = BenchContext::Nasa(nasa_datasets);
+  std::printf("Ablation benches (design-choice studies from DESIGN.md)\n\n");
+  PrintBanner("NASA ablations", *context);
+  PointerAblation(context.get());
+  LambdaSweep(context.get());
+}
+
+}  // namespace
+}  // namespace viewjoin::bench
+
+int main() {
+  viewjoin::bench::Main();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Reproduces Fig. 6(a)/(b) + Table III: the impact of interleaving conditions
+// (the number of inter-view edges between the query and its covering view
+// set) on each technique. The same query is evaluated with four different
+// view sets of decreasing interleaving (PV1-PV4 for the path query Np, and
+// TV1-TV4 for the twig query Nt). Expectation from the paper: TS is flat
+// (it ignores precomputed joins); IJ and VJ+LE/VJ+LE_p speed up as the
+// number of inter-view edges drops.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/workloads.h"
+#include "core/segmented_query.h"
+#include "algo/query_binding.h"
+#include "util/check.h"
+#include "util/table_printer.h"
+
+namespace viewjoin::bench {
+namespace {
+
+int CountInterViewEdges(BenchContext* context, const tpq::TreePattern& query,
+                        const std::vector<std::string>& views) {
+  std::string error;
+  auto binding = algo::QueryBinding::Bind(
+      context->doc(), query,
+      context->Views(views, storage::Scheme::kLinkedElement), &error);
+  VJ_CHECK(binding.has_value()) << error;
+  return core::BuildSegmentedQuery(*binding).inter_view_edges;
+}
+
+void RunSeries(const std::string& title, BenchContext* context,
+               const std::vector<InterleavingWorkload>& workloads,
+               bool include_interjoin) {
+  std::printf("-- %s --\n", title.c_str());
+  std::vector<Combo> combos;
+  if (include_interjoin) {
+    combos.push_back({core::Algorithm::kInterJoin, storage::Scheme::kTuple});
+  }
+  combos.push_back({core::Algorithm::kTwigStack, storage::Scheme::kElement});
+  combos.push_back({core::Algorithm::kViewJoin, storage::Scheme::kElement});
+  combos.push_back({core::Algorithm::kViewJoin,
+                    storage::Scheme::kLinkedElement});
+  combos.push_back({core::Algorithm::kViewJoin,
+                    storage::Scheme::kLinkedElementPartial});
+
+  std::vector<std::string> header = {"view set", "#Cond"};
+  for (const Combo& c : combos) header.push_back(c.Label() + " (ms)");
+  util::TablePrinter table(header);
+
+  for (const InterleavingWorkload& w : workloads) {
+    tpq::TreePattern query = ParseQuery(w.query);
+    int conds = CountInterViewEdges(context, query, w.views);
+    VJ_CHECK_EQ(conds, w.expected_conditions)
+        << w.name << ": inter-view edge count mismatch vs Table III";
+    std::vector<std::string> row = {w.name, std::to_string(conds)};
+    uint64_t count = 0;
+    bool first = true;
+    for (const Combo& combo : combos) {
+      core::RunResult result = context->Run(
+          query, context->Views(w.views, combo.scheme), combo);
+      if (first) {
+        count = result.match_count;
+        first = false;
+      } else {
+        VJ_CHECK_EQ(result.match_count, count) << w.name << combo.Label();
+      }
+      row.push_back(util::FormatDouble(result.total_ms, 2));
+    }
+    table.AddRow(row);
+    std::printf("   %s: %llu matches\n", w.name.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main() {
+  int64_t nasa_datasets =
+      static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  auto context = BenchContext::Nasa(nasa_datasets);
+  std::printf("Fig. 6 / Table III reproduction: interleaving conditions\n\n");
+  PrintBanner("NASA interleaving study", *context);
+  std::printf("Np = %s\nNt = %s\n\n",
+              PathInterleavingWorkloads()[0].query.c_str(),
+              TwigInterleavingWorkloads()[0].query.c_str());
+  RunSeries("Fig. 6(a): path query Np with PV1-PV4", context.get(),
+            PathInterleavingWorkloads(), /*include_interjoin=*/true);
+  RunSeries("Fig. 6(b): twig query Nt with TV1-TV4", context.get(),
+            TwigInterleavingWorkloads(), /*include_interjoin=*/false);
+}
+
+}  // namespace
+}  // namespace viewjoin::bench
+
+int main() {
+  viewjoin::bench::Main();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Reproduces Fig. 7: scalability of ViewJoin (VJ+LE) on XMark documents of
+// increasing size — seven scale steps standing in for the paper's 100-700 MB
+// documents. Reports, per scale: document size, total processing time, I/O
+// time (paper: <15% of total), and the memory working set of the join
+// (paper: linear trend, <20 MB at 700 MB).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/workloads.h"
+#include "util/table_printer.h"
+#include "xml/writer.h"
+
+namespace viewjoin::bench {
+namespace {
+
+void Main() {
+  double base = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0) *
+                EnvScale("VIEWJOIN_FIG7_BASE", 0.5);
+  int steps = static_cast<int>(EnvScale("VIEWJOIN_FIG7_STEPS", 7));
+  std::printf("Fig. 7 reproduction: VJ+LE scalability on XMark\n");
+  std::printf("(scale steps 1..%d stand in for the paper's 100-700 MB)\n\n",
+              steps);
+
+  const std::vector<QuerySpec> queries = {
+      {"Q11", "//open_auctions//open_auction[//bidder//increase]//initial",
+       false},
+      {"Q19", "//regions//item[//location]//mailbox//mail", false},
+  };
+  Combo combo{core::Algorithm::kViewJoin, storage::Scheme::kLinkedElement};
+
+  for (const QuerySpec& spec : queries) {
+    std::printf("-- query %s = %s --\n", spec.name.c_str(),
+                spec.xpath.c_str());
+    util::TablePrinter table({"scale", "elements", "doc (MB)", "matches",
+                              "total (ms)", "I/O (ms)", "I/O share",
+                              "join memory (KB)"});
+    for (int step = 1; step <= steps; ++step) {
+      auto context = BenchContext::Xmark(base * step);
+      tpq::TreePattern query = ParseQuery(spec.xpath);
+      std::vector<tpq::TreePattern> split = SplitViews(query, 2);
+      core::RunResult result =
+          context->Run(query, context->Views(split, combo.scheme), combo);
+      double doc_mb = static_cast<double>(xml::SerializedSize(
+                          context->doc(), {.synthetic_text = true})) /
+                      (1024.0 * 1024.0);
+      // Working set: buffered F entries (16 B each: label + entry index)
+      // plus one stack label per open level and the cursor state.
+      double mem_kb =
+          static_cast<double>(result.stats.peak_buffered * 16 +
+                              query.size() * 64) /
+          1024.0;
+      table.AddRow({std::to_string(step),
+                    std::to_string(context->doc().NodeCount()),
+                    util::FormatDouble(doc_mb, 1),
+                    std::to_string(result.match_count),
+                    util::FormatDouble(result.total_ms, 2),
+                    util::FormatDouble(result.io_ms, 2),
+                    util::FormatDouble(
+                        result.total_ms > 0
+                            ? 100.0 * result.io_ms / result.total_ms
+                            : 0.0,
+                        1) + "%",
+                    util::FormatDouble(mem_kb, 1)});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace viewjoin::bench
+
+int main() {
+  viewjoin::bench::Main();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Microbenchmarks (google-benchmark) for the substrate primitives: XPath
+// parsing, label predicates, structural joins, buffer-pool access, stored
+// list scans/seeks, view materialization and candidate enumeration.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/candidate_enumerator.h"
+#include "algo/structural_join.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "storage/materialized_view.h"
+#include "tpq/evaluator.h"
+#include "tpq/pattern.h"
+#include "util/rng.h"
+#include "xml/document.h"
+
+namespace viewjoin {
+namespace {
+
+const xml::Document& XmarkDoc() {
+  static const xml::Document* doc =
+      new xml::Document(data::GenerateXmark({.scale = 0.5, .seed = 42}));
+  return *doc;
+}
+
+void BM_ParsePattern(benchmark::State& state) {
+  const std::string xpath =
+      "//dataset//tableHead[//tableLink//title]//field//definition//para";
+  for (auto _ : state) {
+    auto pattern = tpq::TreePattern::Parse(xpath);
+    benchmark::DoNotOptimize(pattern);
+  }
+}
+BENCHMARK(BM_ParsePattern);
+
+void BM_LabelAncestorCheck(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  size_t n = doc.NodeCount();
+  uint64_t i = 0;
+  uint64_t acc = 0;
+  for (auto _ : state) {
+    const xml::Label& a = doc.NodeLabel(static_cast<xml::NodeId>(i % n));
+    const xml::Label& b =
+        doc.NodeLabel(static_cast<xml::NodeId>((i * 7 + 13) % n));
+    acc += xml::IsAncestor(a, b);
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_LabelAncestorCheck);
+
+void BM_StructuralJoin(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  xml::TagId item = doc.FindTag("item");
+  xml::TagId keyword = doc.FindTag("keyword");
+  std::vector<xml::Label> anc, desc;
+  for (xml::NodeId n : doc.NodesOfTag(item)) anc.push_back(doc.NodeLabel(n));
+  for (xml::NodeId n : doc.NodesOfTag(keyword)) {
+    desc.push_back(doc.NodeLabel(n));
+  }
+  for (auto _ : state) {
+    uint64_t pairs = 0;
+    algo::StackTreeDesc(anc, desc, tpq::Axis::kDescendant,
+                        [&](size_t, size_t) { ++pairs; });
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(anc.size() + desc.size()));
+}
+BENCHMARK(BM_StructuralJoin);
+
+void BM_NaiveEvaluatorSolutionNodes(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  tpq::TreePattern pattern = *tpq::TreePattern::Parse("//item//text//keyword");
+  for (auto _ : state) {
+    tpq::NaiveEvaluator eval(doc, pattern);
+    auto lists = eval.SolutionNodes();
+    benchmark::DoNotOptimize(lists);
+  }
+}
+BENCHMARK(BM_NaiveEvaluatorSolutionNodes);
+
+void BM_MaterializeView(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  tpq::TreePattern pattern = *tpq::TreePattern::Parse("//item//text//keyword");
+  storage::Scheme scheme = static_cast<storage::Scheme>(state.range(0));
+  for (auto _ : state) {
+    storage::ViewCatalog catalog("/tmp/viewjoin_micro.db", 1024);
+    const auto* view = catalog.Materialize(doc, pattern, scheme);
+    benchmark::DoNotOptimize(view->SizeBytes());
+  }
+}
+BENCHMARK(BM_MaterializeView)
+    ->Arg(static_cast<int>(storage::Scheme::kElement))
+    ->Arg(static_cast<int>(storage::Scheme::kTuple))
+    ->Arg(static_cast<int>(storage::Scheme::kLinkedElement))
+    ->Arg(static_cast<int>(storage::Scheme::kLinkedElementPartial));
+
+void BM_ListCursorScan(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  tpq::TreePattern pattern = *tpq::TreePattern::Parse("//item//text//keyword");
+  storage::ViewCatalog catalog("/tmp/viewjoin_micro_scan.db", 1024);
+  const auto* view =
+      catalog.Materialize(doc, pattern, storage::Scheme::kLinkedElement);
+  for (auto _ : state) {
+    storage::ListCursor cursor(&view->list(2), catalog.pool());
+    uint64_t sum = 0;
+    for (cursor.Reset(); !cursor.AtEnd(); cursor.Next()) {
+      sum += cursor.LabelAt().start;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * view->ListLength(2));
+}
+BENCHMARK(BM_ListCursorScan);
+
+void BM_ListCursorPointerChase(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  tpq::TreePattern pattern = *tpq::TreePattern::Parse("//item//text//keyword");
+  storage::ViewCatalog catalog("/tmp/viewjoin_micro_chase.db", 1024);
+  const auto* view =
+      catalog.Materialize(doc, pattern, storage::Scheme::kLinkedElement);
+  for (auto _ : state) {
+    storage::ListCursor cursor(&view->list(0), catalog.pool());
+    uint64_t hops = 0;
+    cursor.Reset();
+    while (!cursor.AtEnd()) {
+      storage::EntryIndex next = cursor.Following();
+      if (next == storage::kNullEntry) break;
+      cursor.Seek(next);
+      ++hops;
+    }
+    benchmark::DoNotOptimize(hops);
+  }
+}
+BENCHMARK(BM_ListCursorPointerChase);
+
+void BM_CandidateEnumerator(benchmark::State& state) {
+  const xml::Document& doc = XmarkDoc();
+  tpq::TreePattern pattern = *tpq::TreePattern::Parse("//item//text//keyword");
+  tpq::NaiveEvaluator eval(doc, pattern);
+  std::vector<std::vector<xml::NodeId>> lists = eval.SolutionNodes();
+  algo::CandidateEnumerator enumerator(doc, pattern);
+  for (auto _ : state) {
+    tpq::CountingSink sink;
+    enumerator.Enumerate(lists, &sink);
+    benchmark::DoNotOptimize(sink.count());
+  }
+}
+BENCHMARK(BM_CandidateEnumerator);
+
+void BM_GenerateXmark(benchmark::State& state) {
+  for (auto _ : state) {
+    xml::Document doc = data::GenerateXmark({.scale = 0.1, .seed = 1});
+    benchmark::DoNotOptimize(doc.NodeCount());
+  }
+}
+BENCHMARK(BM_GenerateXmark);
+
+void BM_GenerateNasa(benchmark::State& state) {
+  for (auto _ : state) {
+    xml::Document doc = data::GenerateNasa({.datasets = 100, .seed = 1});
+    benchmark::DoNotOptimize(doc.NodeCount());
+  }
+}
+BENCHMARK(BM_GenerateNasa);
+
+}  // namespace
+}  // namespace viewjoin
+
+BENCHMARK_MAIN();

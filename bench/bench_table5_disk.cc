@@ -1,0 +1,77 @@
+// Reproduces Table V: memory-based vs disk-based output for TS+E and VJ+LE
+// on the twig queries (XMark Q4-Q19 and NASA N5-N8). Cells are
+// "total ms (io ms)", matching the paper's format. Expectations: the disk
+// variants pay extra I/O (spilling + re-reading intermediate solutions) and
+// VJ-D still beats TS-D.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/workloads.h"
+#include "util/check.h"
+#include "util/table_printer.h"
+
+namespace viewjoin::bench {
+namespace {
+
+std::string Cell(const core::RunResult& result) {
+  return util::FormatDouble(result.total_ms, 2) + " (" +
+         util::FormatDouble(result.io_ms, 2) + ")";
+}
+
+void RunDataset(const std::string& title, BenchContext* context,
+                const std::vector<QuerySpec>& queries) {
+  PrintBanner(title, *context);
+  Combo ts{core::Algorithm::kTwigStack, storage::Scheme::kElement};
+  Combo vj{core::Algorithm::kViewJoin, storage::Scheme::kLinkedElement};
+  util::TablePrinter table({"query", "matches", "TS-M", "TS-D", "VJ-M",
+                            "VJ-D", "VJ-D spill pages"});
+  for (const QuerySpec& spec : queries) {
+    tpq::TreePattern query = ParseQuery(spec.xpath);
+    std::vector<tpq::TreePattern> split = PairViews(query);
+    auto ts_views = context->Views(split, ts.scheme);
+    auto vj_views = context->Views(split, vj.scheme);
+    core::RunResult ts_m =
+        context->Run(query, ts_views, ts, algo::OutputMode::kMemory);
+    core::RunResult ts_d =
+        context->Run(query, ts_views, ts, algo::OutputMode::kDisk);
+    core::RunResult vj_m =
+        context->Run(query, vj_views, vj, algo::OutputMode::kMemory);
+    core::RunResult vj_d =
+        context->Run(query, vj_views, vj, algo::OutputMode::kDisk);
+    VJ_CHECK_EQ(ts_m.result_hash, ts_d.result_hash);
+    VJ_CHECK_EQ(ts_m.result_hash, vj_m.result_hash);
+    VJ_CHECK_EQ(ts_m.result_hash, vj_d.result_hash);
+    table.AddRow({spec.name, std::to_string(ts_m.match_count), Cell(ts_m),
+                  Cell(ts_d), Cell(vj_m), Cell(vj_d),
+                  std::to_string(vj_d.stats.spill_pages_written) + "w/" +
+                      std::to_string(vj_d.stats.spill_pages_read) + "r"});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
+void Main() {
+  std::printf(
+      "Table V reproduction: memory- vs disk-based output "
+      "(cells: total ms (I/O ms))\n\n");
+  double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0);
+  int64_t nasa_datasets =
+      static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+
+  auto xmark = BenchContext::Xmark(xmark_scale);
+  RunDataset("XMark twig queries", xmark.get(), XmarkTwigQueries());
+
+  auto nasa = BenchContext::Nasa(nasa_datasets);
+  RunDataset("NASA twig queries", nasa.get(), NasaTwigQueries());
+}
+
+}  // namespace
+}  // namespace viewjoin::bench
+
+int main() {
+  viewjoin::bench::Main();
+  return 0;
+}

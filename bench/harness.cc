@@ -1,0 +1,158 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "xml/statistics.h"
+#include "xml/writer.h"
+
+namespace viewjoin::bench {
+
+using core::Algorithm;
+using core::RunOptions;
+using core::RunResult;
+using storage::MaterializedView;
+using storage::Scheme;
+using tpq::TreePattern;
+
+std::string Combo::Label() const {
+  return std::string(core::AlgorithmName(algorithm)) + "+" +
+         storage::SchemeName(scheme);
+}
+
+std::vector<Combo> AllCombos() {
+  std::vector<Combo> combos = {{Algorithm::kInterJoin, Scheme::kTuple}};
+  for (const Combo& c : ListCombos()) combos.push_back(c);
+  return combos;
+}
+
+std::vector<Combo> ListCombos() {
+  return {
+      {Algorithm::kTwigStack, Scheme::kElement},
+      {Algorithm::kTwigStack, Scheme::kLinkedElement},
+      {Algorithm::kTwigStack, Scheme::kLinkedElementPartial},
+      {Algorithm::kViewJoin, Scheme::kElement},
+      {Algorithm::kViewJoin, Scheme::kLinkedElement},
+      {Algorithm::kViewJoin, Scheme::kLinkedElementPartial},
+  };
+}
+
+namespace {
+
+std::string UniqueStoragePath() {
+  static int counter = 0;
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "/tmp/viewjoin_bench_%d_%d.db", getpid(),
+                counter++);
+  return buf;
+}
+
+}  // namespace
+
+BenchContext::BenchContext(xml::Document doc)
+    : doc_(std::move(doc)), storage_path_(UniqueStoragePath()) {
+  core::EngineOptions options;
+  options.pool_pages = 4096;
+  engine_ = std::make_unique<core::Engine>(&doc_, storage_path_, options);
+}
+
+std::unique_ptr<BenchContext> BenchContext::Xmark(double scale, uint64_t seed) {
+  data::XmarkOptions options;
+  options.scale = scale;
+  options.seed = seed;
+  return std::unique_ptr<BenchContext>(
+      new BenchContext(data::GenerateXmark(options)));
+}
+
+std::unique_ptr<BenchContext> BenchContext::Nasa(int64_t datasets,
+                                                 uint64_t seed) {
+  data::NasaOptions options;
+  options.datasets = datasets;
+  options.seed = seed;
+  return std::unique_ptr<BenchContext>(
+      new BenchContext(data::GenerateNasa(options)));
+}
+
+const MaterializedView* BenchContext::View(const std::string& xpath,
+                                           Scheme scheme) {
+  auto key = std::make_pair(xpath, static_cast<int>(scheme));
+  auto it = view_cache_.find(key);
+  if (it != view_cache_.end()) return it->second;
+  const MaterializedView* view = engine_->AddView(xpath, scheme);
+  view_cache_[key] = view;
+  return view;
+}
+
+const MaterializedView* BenchContext::View(const TreePattern& pattern,
+                                           Scheme scheme) {
+  return View(pattern.ToString(), scheme);
+}
+
+std::vector<const MaterializedView*> BenchContext::Views(
+    const std::vector<std::string>& xpaths, Scheme scheme) {
+  std::vector<const MaterializedView*> views;
+  views.reserve(xpaths.size());
+  for (const std::string& xpath : xpaths) views.push_back(View(xpath, scheme));
+  return views;
+}
+
+std::vector<const MaterializedView*> BenchContext::Views(
+    const std::vector<TreePattern>& patterns, Scheme scheme) {
+  std::vector<const MaterializedView*> views;
+  views.reserve(patterns.size());
+  for (const TreePattern& p : patterns) views.push_back(View(p, scheme));
+  return views;
+}
+
+RunResult BenchContext::Run(
+    const TreePattern& query,
+    const std::vector<const MaterializedView*>& views, const Combo& combo,
+    algo::OutputMode mode, int repeats) {
+  RunOptions run;
+  run.algorithm = combo.algorithm;
+  run.output_mode = mode;
+  run.cold_cache = true;
+  RunResult last;
+  double total = 0;
+  double io = 0;
+  for (int r = 0; r < repeats; ++r) {
+    last = engine_->Execute(query, views, run);
+    VJ_CHECK(last.ok) << combo.Label() << ": " << last.error;
+    total += last.total_ms;
+    io += last.io_ms;
+  }
+  last.total_ms = total / repeats;
+  last.io_ms = io / repeats;
+  return last;
+}
+
+RunResult BenchContext::RunSplit(const std::string& xpath, const Combo& combo,
+                                 int pieces, algo::OutputMode mode) {
+  TreePattern query = ParseQuery(xpath);
+  std::vector<TreePattern> split = SplitViews(query, pieces);
+  return Run(query, Views(split, combo.scheme), combo, mode);
+}
+
+TreePattern ParseQuery(const std::string& xpath) {
+  std::string error;
+  std::optional<TreePattern> pattern = TreePattern::Parse(xpath, &error);
+  VJ_CHECK(pattern.has_value()) << xpath << ": " << error;
+  return *pattern;
+}
+
+void PrintBanner(const std::string& title, const BenchContext& context) {
+  std::printf("== %s ==\n", title.c_str());
+  xml::DocumentStatistics stats =
+      xml::DocumentStatistics::Collect(context.doc());
+  std::printf(
+      "document: %zu elements (~%.1f MB serialized with text), %zu tags, "
+      "max depth %u, avg depth %.1f\n",
+      context.doc().NodeCount(),
+      static_cast<double>(xml::SerializedSize(
+          context.doc(), {.synthetic_text = true, .indent = 0})) /
+          (1024.0 * 1024.0),
+      context.doc().TagCount(), stats.max_depth(), stats.average_depth());
+}
+
+}  // namespace viewjoin::bench

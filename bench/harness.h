@@ -1,0 +1,89 @@
+#ifndef VIEWJOIN_BENCH_HARNESS_H_
+#define VIEWJOIN_BENCH_HARNESS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/workloads.h"
+#include "core/engine.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "storage/materialized_view.h"
+#include "tpq/pattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::bench {
+
+/// One algorithm × storage-scheme combination (a column of Fig. 5).
+struct Combo {
+  core::Algorithm algorithm;
+  storage::Scheme scheme;
+  std::string Label() const;
+};
+
+/// The paper's seven combinations (Table I): IJ+T, TS+E, TS+LE, TS+LE_p,
+/// VJ+E, VJ+LE, VJ+LE_p.
+std::vector<Combo> AllCombos();
+/// The six list-scheme combinations (no IJ+T) used for twig queries.
+std::vector<Combo> ListCombos();
+
+/// Shared benchmark fixture: a generated document, an engine over it, and a
+/// cache of materialized views keyed by (pattern, scheme).
+class BenchContext {
+ public:
+  /// Builds an XMark document at the given scale.
+  static std::unique_ptr<BenchContext> Xmark(double scale, uint64_t seed = 42);
+  /// Builds a NASA-like document.
+  static std::unique_ptr<BenchContext> Nasa(int64_t datasets,
+                                            uint64_t seed = 7);
+
+  const xml::Document& doc() const { return doc_; }
+  core::Engine& engine() { return *engine_; }
+
+  /// Materializes (with caching) one view.
+  const storage::MaterializedView* View(const std::string& xpath,
+                                        storage::Scheme scheme);
+  const storage::MaterializedView* View(const tpq::TreePattern& pattern,
+                                        storage::Scheme scheme);
+
+  /// Materializes a whole covering set.
+  std::vector<const storage::MaterializedView*> Views(
+      const std::vector<std::string>& xpaths, storage::Scheme scheme);
+  std::vector<const storage::MaterializedView*> Views(
+      const std::vector<tpq::TreePattern>& patterns, storage::Scheme scheme);
+
+  /// Runs query × combo over `views`, repeating `repeats` times (cold cache
+  /// each run, as the paper measures) and averaging. Returns the averaged
+  /// result of the last run with total_ms/io_ms averaged.
+  core::RunResult Run(const tpq::TreePattern& query,
+                      const std::vector<const storage::MaterializedView*>& views,
+                      const Combo& combo,
+                      algo::OutputMode mode = algo::OutputMode::kMemory,
+                      int repeats = 3);
+
+  /// Convenience: split the query with SplitViews, materialize, run.
+  core::RunResult RunSplit(const std::string& xpath, const Combo& combo,
+                           int pieces = 2,
+                           algo::OutputMode mode = algo::OutputMode::kMemory);
+
+ private:
+  explicit BenchContext(xml::Document doc);
+
+  xml::Document doc_;
+  std::string storage_path_;
+  std::unique_ptr<core::Engine> engine_;
+  std::map<std::pair<std::string, int>, const storage::MaterializedView*>
+      view_cache_;
+};
+
+/// Parses an XPath, dying on failure.
+tpq::TreePattern ParseQuery(const std::string& xpath);
+
+/// Prints the standard bench banner (doc stats, knobs).
+void PrintBanner(const std::string& title, const BenchContext& context);
+
+}  // namespace viewjoin::bench
+
+#endif  // VIEWJOIN_BENCH_HARNESS_H_

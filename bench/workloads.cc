@@ -1,0 +1,193 @@
+#include "bench/workloads.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace viewjoin::bench {
+
+using tpq::Axis;
+using tpq::TreePattern;
+
+std::vector<QuerySpec> XmarkQueries() {
+  return {
+      // -- path queries ------------------------------------------------
+      {"Q1", "//people//person//name", true},
+      {"Q2", "//open_auctions//open_auction//bidder//increase", true},
+      {"Q5", "//closed_auctions//closed_auction//price", true},
+      {"Q6", "//site//regions//item", true},
+      {"Q18", "//open_auctions//open_auction//annotation//author", true},
+      {"Q20", "//people//person//profile//interest", true},
+      // -- twig queries ------------------------------------------------
+      {"Q4", "//open_auctions//open_auction[//bidder//personref]//initial",
+       false},
+      {"Q8", "//people//person[//profile//interest]//name", false},
+      {"Q9", "//person[//watches//watch]//emailaddress", false},
+      {"Q10", "//people//person[//profile[//education]//age]//gender", false},
+      {"Q11", "//open_auctions//open_auction[//bidder//increase]//initial",
+       false},
+      {"Q13", "//regions//item[//incategory]//description//parlist//listitem",
+       false},
+      {"Q14", "//item[//mailbox//mail]//description//text//keyword", false},
+      {"Q19", "//regions//item[//location]//mailbox//mail", false},
+  };
+}
+
+namespace {
+
+std::vector<QuerySpec> Filter(std::vector<QuerySpec> all, bool want_path) {
+  std::vector<QuerySpec> out;
+  for (QuerySpec& q : all) {
+    if (q.is_path == want_path) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<QuerySpec> XmarkPathQueries() {
+  return Filter(XmarkQueries(), true);
+}
+
+std::vector<QuerySpec> XmarkTwigQueries() {
+  return Filter(XmarkQueries(), false);
+}
+
+std::vector<QuerySpec> NasaQueries() {
+  return {
+      {"N1", "//field//footnote//para", true},
+      {"N2", "//dataset//definition//footnote", true},
+      {"N3", "//revision/creator/lastname", true},
+      {"N4", "//reference//journal//date//year", true},
+      {"N5", "//dataset[//definition/footnote]//history//revision//para",
+       false},
+      {"N6", "//journal[//suffix][title]/date/year", false},
+      {"N7", "//dataset[//field//footnote]//journal[//bibcode]//lastname",
+       false},
+      {"N8", "//descriptions[//observatory]/description//para", false},
+  };
+}
+
+std::vector<QuerySpec> NasaPathQueries() {
+  return Filter(NasaQueries(), true);
+}
+
+std::vector<QuerySpec> NasaTwigQueries() {
+  return Filter(NasaQueries(), false);
+}
+
+std::vector<InterleavingWorkload> PathInterleavingWorkloads() {
+  const std::string np =
+      "//dataset//tableHead//field//definition//footnote//para";
+  return {
+      {"PV1", np,
+       {"//dataset//field//footnote", "//tableHead//definition//para"}, 5},
+      {"PV2", np,
+       {"//dataset//field//footnote//para", "//tableHead//definition"}, 4},
+      {"PV3", np,
+       {"//dataset//field", "//tableHead//definition//footnote//para"}, 3},
+      {"PV4", np,
+       {"//tableHead", "//dataset//field//definition//footnote//para"}, 2},
+  };
+}
+
+std::vector<InterleavingWorkload> TwigInterleavingWorkloads() {
+  const std::string nt =
+      "//dataset//tableHead[//tableLink//title]//field//definition//para";
+  return {
+      {"TV1", nt,
+       {"//dataset[//tableLink]//definition", "//tableHead//title",
+        "//field//para"},
+       6},
+      {"TV2", nt,
+       {"//dataset//tableHead", "//field//para", "//tableLink//title",
+        "//definition"},
+       4},
+      {"TV3", nt,
+       {"//dataset//definition//para", "//tableHead//field",
+        "//tableLink//title"},
+       3},
+      {"TV4", nt,
+       {"//field//definition//para", "//dataset//tableHead",
+        "//tableLink//title"},
+       2},
+  };
+}
+
+std::vector<std::string> Table2CandidateViews() {
+  return {
+      "//dataset//definition",      // v1
+      "//dataset//tableHead",       // v2
+      "//field//para",              // v3
+      "//definition",               // v4
+      "//tableLink//title",         // v5
+      "//field//definition//para",  // v6
+  };
+}
+
+std::string Table2Query() {
+  return "//dataset//tableHead[//tableLink//title]//field//definition//para";
+}
+
+std::vector<TreePattern> SplitViews(const TreePattern& query, int pieces) {
+  VJ_CHECK_GT(pieces, 0);
+  size_t nq = query.size();
+  // Depth of each query node.
+  std::vector<int> depth(nq, 0);
+  int max_depth = 0;
+  for (size_t q = 1; q < nq; ++q) {
+    depth[q] = depth[static_cast<size_t>(query.node(static_cast<int>(q)).parent)] + 1;
+    if (depth[q] > max_depth) max_depth = depth[q];
+  }
+  // Band assignment by depth.
+  auto band_of = [&](size_t q) {
+    return static_cast<int>(static_cast<long>(depth[q]) * pieces /
+                            (max_depth + 1));
+  };
+  // Build induced views per band; extra views for bands with several roots.
+  std::vector<TreePattern> views;
+  std::vector<int> view_index(nq, -1);
+  std::vector<int> view_node(nq, -1);
+  std::vector<int> node_band(nq);
+  for (size_t q = 0; q < nq; ++q) node_band[q] = band_of(q);
+  for (size_t q = 0; q < nq; ++q) {
+    int band = node_band[q];
+    int anc = query.node(static_cast<int>(q)).parent;
+    while (anc >= 0 && node_band[static_cast<size_t>(anc)] != band) {
+      anc = query.node(anc).parent;
+    }
+    if (anc < 0) {
+      // Band root: open a fresh view for every connected band component.
+      views.emplace_back();
+      int vi = static_cast<int>(views.size()) - 1;
+      view_index[q] = vi;
+      view_node[q] = views[static_cast<size_t>(vi)].AddNode(
+          query.node(static_cast<int>(q)).tag, -1, Axis::kDescendant);
+      continue;
+    }
+    bool direct = query.node(static_cast<int>(q)).parent == anc;
+    Axis axis =
+        direct ? query.node(static_cast<int>(q)).incoming : Axis::kDescendant;
+    int vi = view_index[static_cast<size_t>(anc)];
+    view_index[q] = vi;
+    view_node[q] = views[static_cast<size_t>(vi)].AddNode(
+        query.node(static_cast<int>(q)).tag,
+        view_node[static_cast<size_t>(anc)], axis);
+  }
+  return views;
+}
+
+std::vector<TreePattern> PairViews(const TreePattern& query) {
+  return SplitViews(query, (static_cast<int>(query.size()) + 1) / 2);
+}
+
+double EnvScale(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value || parsed <= 0) return fallback;
+  return parsed;
+}
+
+}  // namespace viewjoin::bench

@@ -1,0 +1,65 @@
+// Bounded-memory evaluation: the disk-based output variant (paper Section
+// VI-E) spills intermediate solutions to a spool file and re-reads them at
+// group boundaries, trading I/O for a bounded resident footprint — the mode
+// to use when a query's full answer does not fit in memory.
+//
+//   $ ./build/examples/spill_pipeline [xmark-scale]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/engine.h"
+#include "data/xmark_generator.h"
+#include "tpq/pattern.h"
+#include "util/table_printer.h"
+
+using viewjoin::algo::OutputMode;
+using viewjoin::core::Algorithm;
+using viewjoin::core::Engine;
+using viewjoin::core::RunOptions;
+using viewjoin::core::RunResult;
+using viewjoin::storage::Scheme;
+using viewjoin::tpq::TreePattern;
+
+int main(int argc, char** argv) {
+  double scale = argc > 1 ? std::atof(argv[1]) : 2.0;
+  viewjoin::xml::Document doc =
+      viewjoin::data::GenerateXmark({.scale = scale, .seed = 42});
+  std::printf("XMark document: %zu elements\n\n", doc.NodeCount());
+  Engine engine(&doc, "/tmp/viewjoin_spill.db");
+
+  auto query = TreePattern::Parse(
+      "//open_auctions//open_auction[//bidder//increase]//initial");
+  std::vector<const viewjoin::storage::MaterializedView*> views = {
+      engine.AddView("//open_auctions//open_auction", Scheme::kLinkedElement),
+      engine.AddView("//bidder//increase", Scheme::kLinkedElement),
+      engine.AddView("//initial", Scheme::kLinkedElement),
+  };
+
+  viewjoin::util::TablePrinter table(
+      {"mode", "matches", "time (ms)", "I/O (ms)", "peak buffered entries",
+       "spill pages (w/r)"});
+  for (OutputMode mode : {OutputMode::kMemory, OutputMode::kDisk}) {
+    RunOptions run;
+    run.algorithm = Algorithm::kViewJoin;
+    run.output_mode = mode;
+    RunResult r = engine.Execute(*query, views, run);
+    if (!r.ok) {
+      std::fprintf(stderr, "error: %s\n", r.error.c_str());
+      return 1;
+    }
+    table.AddRow({mode == OutputMode::kMemory ? "memory (VJ-M)" : "disk (VJ-D)",
+                  std::to_string(r.match_count),
+                  viewjoin::util::FormatDouble(r.total_ms, 2),
+                  viewjoin::util::FormatDouble(r.io_ms, 2),
+                  std::to_string(r.stats.peak_buffered),
+                  std::to_string(r.stats.spill_pages_written) + "/" +
+                      std::to_string(r.stats.spill_pages_read)});
+  }
+  table.Print();
+  std::printf(
+      "\nThe disk mode keeps only extension anchors resident; everything\n"
+      "else streams through the spill file in 4 KiB pages.\n");
+  return 0;
+}

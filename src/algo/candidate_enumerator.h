@@ -1,0 +1,42 @@
+#ifndef VIEWJOIN_ALGO_CANDIDATE_ENUMERATOR_H_
+#define VIEWJOIN_ALGO_CANDIDATE_ENUMERATOR_H_
+
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::algo {
+
+/// Shared "merge" phase of the holistic algorithms: given per-query-node
+/// candidate solution nodes (document order), enumerates every embedding of
+/// `pattern` whose nodes all come from the candidate lists, and streams the
+/// matches to a sink.
+///
+/// This plays the role of TwigStack's path-solution merge and of ViewJoin's
+/// output pass over the DAG F: candidates may over-approximate the true
+/// solution nodes (TwigStack with pc-edges pushes non-solutions; ViewJoin
+/// defers pc-level checks to output time, paper Section IV-B), so the
+/// enumerator first semi-join-filters the candidates bottom-up and top-down
+/// (restricted to the candidate sets) and then enumerates output-sensitively.
+///
+/// Candidates must be sorted in document order; every emitted match is
+/// correct and complete *relative to the candidate lists*.
+class CandidateEnumerator {
+ public:
+  CandidateEnumerator(const xml::Document& doc,
+                      const tpq::TreePattern& pattern);
+
+  /// Enumerates all matches embedded in `candidates` (indexed by pattern
+  /// node). Thread-compatible; reusable across calls.
+  void Enumerate(const std::vector<std::vector<xml::NodeId>>& candidates,
+                 tpq::MatchSink* sink) const;
+
+ private:
+  const xml::Document& doc_;
+  tpq::TreePattern pattern_;  // owned copy: callers may pass temporaries
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_CANDIDATE_ENUMERATOR_H_

@@ -1,0 +1,75 @@
+#ifndef VIEWJOIN_ALGO_INTER_JOIN_H_
+#define VIEWJOIN_ALGO_INTER_JOIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/holistic_stats.h"
+#include "storage/buffer_pool.h"
+#include "storage/materialized_view.h"
+#include "tpq/pattern.h"
+#include "tpq/subpattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::algo {
+
+/// InterJoin (Phillips, Zhang, Ilyas & Özsu, SSDBM'06) as characterized and
+/// evaluated by the ViewJoin paper: evaluation of a *path* query over
+/// interleaving *path* views stored in the tuple scheme, executed as a
+/// sequence of stack-based binary structural joins over sorted tuple lists,
+/// with each combined tuple verified against the remaining interleaved
+/// constraints (paper Sections I and VII).
+///
+/// Example (paper): Q = //a//b//c over views //a//c and //b — scan the
+/// (a,c)-tuple list and the b-list, join a with b structurally, then verify
+/// that b is an ancestor of c in each combined (a,b,c) tuple.
+///
+/// Limitations faithful to the original: only path queries, only path views,
+/// and binary (non-holistic) join composition, which can generate large
+/// useless intermediate results — the behaviour ViewJoin improves upon.
+class InterJoin {
+ public:
+  /// Binds a path query to covering tuple-scheme path views. Returns
+  /// std::nullopt and sets *error when the query/views fall outside
+  /// InterJoin's class (non-path query, non-path or non-tuple view, no
+  /// covering, overlapping view types).
+  static std::optional<InterJoin> Bind(
+      const xml::Document& doc, const tpq::TreePattern& query,
+      std::vector<const storage::MaterializedView*> views,
+      storage::BufferPool* pool, std::string* error = nullptr);
+
+  /// Runs the join sequence, streaming verified matches to `sink`.
+  void Evaluate(tpq::MatchSink* sink);
+
+  const HolisticStats& stats() const { return stats_; }
+
+ private:
+  InterJoin() = default;
+
+  /// Tuples of one relation: flattened labels, `arity` labels per tuple.
+  struct Relation {
+    std::vector<int> positions;  // covered query node indices, ascending
+    std::vector<xml::Label> labels;  // tuple-major, positions-minor
+    size_t arity() const { return positions.size(); }
+    size_t size() const {
+      return positions.empty() ? 0 : labels.size() / positions.size();
+    }
+  };
+
+  Relation LoadView(size_t view_index);
+  static Relation Join(const Relation& left, const Relation& right,
+                       const tpq::TreePattern& query, HolisticStats* stats);
+
+  const xml::Document* doc_ = nullptr;
+  const tpq::TreePattern* query_ = nullptr;
+  std::vector<const storage::MaterializedView*> views_;
+  std::vector<tpq::PatternMapping> mappings_;  // view node -> query node
+  std::vector<xml::TagId> tags_;               // per query node
+  storage::BufferPool* pool_ = nullptr;
+  HolisticStats stats_;
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_INTER_JOIN_H_

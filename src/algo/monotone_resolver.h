@@ -1,0 +1,41 @@
+#ifndef VIEWJOIN_ALGO_MONOTONE_RESOLVER_H_
+#define VIEWJOIN_ALGO_MONOTONE_RESOLVER_H_
+
+#include <vector>
+
+#include "util/check.h"
+#include "xml/document.h"
+
+namespace viewjoin::algo {
+
+/// Resolves stored labels back to document nodes in amortized O(1): each
+/// per-query-node stream of labels arrives in ascending start order (list
+/// pushes, drain and extension are all monotone), so one forward pointer per
+/// query node walks the document's tag list exactly once per evaluation.
+class MonotoneResolver {
+ public:
+  MonotoneResolver(const xml::Document* doc, std::vector<xml::TagId> tags)
+      : doc_(doc), tags_(std::move(tags)), pos_(tags_.size(), 0) {}
+
+  /// Resolves the node of query node `q` whose label starts at `start`.
+  /// `start` must be non-decreasing across calls with the same `q`.
+  xml::NodeId Resolve(int q, uint32_t start) {
+    const std::vector<xml::NodeId>& list =
+        doc_->NodesOfTag(tags_[static_cast<size_t>(q)]);
+    size_t& p = pos_[static_cast<size_t>(q)];
+    while (p < list.size() && doc_->NodeLabel(list[p]).start < start) ++p;
+    if (p < list.size() && doc_->NodeLabel(list[p]).start == start) {
+      return list[p];
+    }
+    return xml::kInvalidNode;
+  }
+
+ private:
+  const xml::Document* doc_;
+  std::vector<xml::TagId> tags_;
+  std::vector<size_t> pos_;
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_MONOTONE_RESOLVER_H_

@@ -1,0 +1,25 @@
+#ifndef VIEWJOIN_ALGO_PATH_STACK_H_
+#define VIEWJOIN_ALGO_PATH_STACK_H_
+
+#include "algo/twig_stack.h"
+#include "util/check.h"
+
+namespace viewjoin::algo {
+
+/// PathStack (Bruno et al., SIGMOD'02) — the chained-stack join for path
+/// queries. On a branching-free query, TwigStack's getNext/stack machinery
+/// *is* PathStack (paper Section VI-A: "TS for path queries is equivalent to
+/// the PathStack algorithm"), so this type simply asserts the query shape
+/// and delegates.
+class PathStack : public TwigStack {
+ public:
+  PathStack(const QueryBinding* binding, storage::BufferPool* pool)
+      : TwigStack(binding, pool) {
+    VJ_CHECK(binding->query().IsPath())
+        << "PathStack handles path queries only; use TwigStack";
+  }
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_PATH_STACK_H_

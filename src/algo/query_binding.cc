@@ -1,0 +1,92 @@
+#include "algo/query_binding.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace viewjoin::algo {
+
+using storage::MaterializedView;
+using storage::Scheme;
+using tpq::TreePattern;
+
+std::optional<QueryBinding> QueryBinding::Bind(
+    const xml::Document& doc, const TreePattern& query,
+    std::vector<const MaterializedView*> views, std::string* error) {
+  auto fail = [error](const std::string& message) -> std::optional<QueryBinding> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  if (!query.HasUniqueTags()) {
+    return fail("query has duplicate element types: " + query.ToString());
+  }
+  std::vector<TreePattern> patterns;
+  patterns.reserve(views.size());
+  for (const MaterializedView* v : views) {
+    if (v->scheme() == Scheme::kTuple) {
+      return fail("tuple-scheme views bind only through InterJoin");
+    }
+    patterns.push_back(v->pattern());
+  }
+  tpq::CoveringInfo covering = tpq::AnalyzeCovering(query, patterns);
+  if (covering.overlapping) {
+    return fail("views overlap in element types (violates the paper's view "
+                "model)");
+  }
+  if (!covering.covers) {
+    return fail("views do not cover the query " + query.ToString());
+  }
+
+  QueryBinding binding;
+  binding.doc_ = &doc;
+  binding.query_ = &query;
+  binding.views_ = std::move(views);
+  binding.bindings_.resize(query.size());
+  binding.intra_view_edge_.assign(query.size(), 0);
+  binding.view_to_query_.resize(binding.views_.size());
+
+  for (size_t vi = 0; vi < binding.views_.size(); ++vi) {
+    const tpq::PatternMapping& mapping = *covering.mappings[vi];
+    binding.view_to_query_[vi] = mapping;
+    for (size_t vnode = 0; vnode < mapping.size(); ++vnode) {
+      int qnode = mapping[vnode];
+      NodeBinding& nb = binding.bindings_[static_cast<size_t>(qnode)];
+      nb.view = static_cast<int>(vi);
+      nb.view_node = static_cast<int>(vnode);
+      nb.list = &binding.views_[vi]->list(static_cast<int>(vnode));
+      nb.tag = doc.FindTag(query.node(qnode).tag);
+    }
+  }
+
+  for (size_t q = 1; q < query.size(); ++q) {
+    int parent = query.node(static_cast<int>(q)).parent;
+    binding.intra_view_edge_[q] =
+        binding.bindings_[q].view ==
+        binding.bindings_[static_cast<size_t>(parent)].view;
+  }
+  return binding;
+}
+
+int QueryBinding::InterViewEdgeCount(int qnode) const {
+  int count = 0;
+  const tpq::PatternNode& qn = query_->node(qnode);
+  if (qn.parent >= 0 && !IsIntraViewEdge(qnode)) ++count;
+  for (int c : qn.children) {
+    if (!IsIntraViewEdge(c)) ++count;
+  }
+  return count;
+}
+
+int QueryBinding::ChildSlot(int qnode, int child_qnode) const {
+  const NodeBinding& nb = bindings_[static_cast<size_t>(qnode)];
+  const NodeBinding& cb = bindings_[static_cast<size_t>(child_qnode)];
+  if (nb.view != cb.view || nb.view < 0) return -1;
+  const TreePattern& vp = views_[static_cast<size_t>(nb.view)]->pattern();
+  const tpq::PatternNode& vn = vp.node(nb.view_node);
+  for (size_t k = 0; k < vn.children.size(); ++k) {
+    if (vn.children[k] == cb.view_node) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+}  // namespace viewjoin::algo

@@ -1,0 +1,92 @@
+#ifndef VIEWJOIN_ALGO_QUERY_BINDING_H_
+#define VIEWJOIN_ALGO_QUERY_BINDING_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/materialized_view.h"
+#include "tpq/pattern.h"
+#include "tpq/subpattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::algo {
+
+/// How one query node is served by the covering view set.
+struct NodeBinding {
+  /// Index of the covering view in the bound view vector.
+  int view = -1;
+  /// Pattern node index within that view whose list L_q serves this node.
+  int view_node = -1;
+  /// The stored list (element or linked-element layout).
+  const storage::StoredList* list = nullptr;
+  /// Resolved document tag (may be kInvalidTag when the tag is absent from
+  /// the document; the list is then empty as well).
+  xml::TagId tag = xml::kInvalidTag;
+};
+
+/// Binds a query to a covering set of materialized views: per query node the
+/// serving list, plus the inter/intra-view structure every view-aware
+/// algorithm needs.
+///
+/// Requirements checked at bind time (the paper's standing assumptions):
+/// query and views have unique element types, the views are subpatterns of
+/// the query, cover every query node, and do not overlap in element types.
+class QueryBinding {
+ public:
+  /// Returns std::nullopt and fills *error when the views do not legally
+  /// cover the query. All views must share one storage scheme family
+  /// (element-list based: E/LE/LE_p — the tuple scheme binds in InterJoin
+  /// only).
+  static std::optional<QueryBinding> Bind(
+      const xml::Document& doc, const tpq::TreePattern& query,
+      std::vector<const storage::MaterializedView*> views,
+      std::string* error = nullptr);
+
+  const xml::Document& doc() const { return *doc_; }
+  const tpq::TreePattern& query() const { return *query_; }
+  const std::vector<const storage::MaterializedView*>& views() const {
+    return views_;
+  }
+
+  const NodeBinding& binding(int qnode) const {
+    return bindings_[static_cast<size_t>(qnode)];
+  }
+
+  /// True iff the Q-edge into `qnode` (from its query parent) is intra-view:
+  /// both endpoints covered by the same view. False for the query root.
+  bool IsIntraViewEdge(int qnode) const {
+    return intra_view_edge_[static_cast<size_t>(qnode)];
+  }
+
+  /// Number of inter-view edges incident to `qnode` (e_q in the paper's
+  /// cost model and complexity bounds).
+  int InterViewEdgeCount(int qnode) const;
+
+  /// Child-pointer slot within the LE record of `qnode`'s list that points
+  /// to the list of `child_qnode`, or -1 when (qnode, child_qnode) is not a
+  /// view edge. Both nodes must be covered by the same view and be in a
+  /// parent-child relation *within the view pattern*.
+  int ChildSlot(int qnode, int child_qnode) const;
+
+  /// Resolves a stored label back to the document node (for match output).
+  xml::NodeId Resolve(int qnode, const xml::Label& label) const {
+    return doc_->FindByStart(bindings_[static_cast<size_t>(qnode)].tag,
+                             label.start);
+  }
+
+ private:
+  QueryBinding() = default;
+
+  const xml::Document* doc_ = nullptr;
+  const tpq::TreePattern* query_ = nullptr;
+  std::vector<const storage::MaterializedView*> views_;
+  std::vector<NodeBinding> bindings_;
+  std::vector<uint8_t> intra_view_edge_;
+  /// query node index of each view node: per view, mapping[viewnode]=qnode.
+  std::vector<tpq::PatternMapping> view_to_query_;
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_QUERY_BINDING_H_

@@ -1,0 +1,76 @@
+#include "algo/spill_buffer.h"
+
+#include <cstring>
+
+#include "util/check.h"
+
+namespace viewjoin::algo {
+
+using storage::Pager;
+using storage::PageId;
+using xml::Label;
+
+SpillBuffer::SpillBuffer(Pager* pager, size_t streams) : pager_(pager) {
+  streams_.resize(streams);
+}
+
+PageId SpillBuffer::TakePage() {
+  if (!free_pages_.empty()) {
+    PageId id = free_pages_.back();
+    free_pages_.pop_back();
+    return id;
+  }
+  return pager_->AllocatePage();
+}
+
+void SpillBuffer::Append(size_t stream, const Label& label) {
+  Stream& s = streams_[stream];
+  uint8_t rec[kLabelSize];
+  std::memcpy(rec, &label.start, 4);
+  std::memcpy(rec + 4, &label.end, 4);
+  std::memcpy(rec + 8, &label.level, 4);
+  s.buffer.insert(s.buffer.end(), rec, rec + kLabelSize);
+  ++s.count;
+  if (s.buffer.size() + kLabelSize > Pager::kPageSize) {
+    s.buffer.resize(Pager::kPageSize, 0);
+    PageId id = TakePage();
+    pager_->WritePage(id, s.buffer.data());
+    ++pages_written_;
+    s.pages.push_back(id);
+    s.buffer.clear();
+  }
+}
+
+std::vector<Label> SpillBuffer::Drain(size_t stream) {
+  Stream& s = streams_[stream];
+  std::vector<Label> labels;
+  labels.reserve(s.count);
+  std::vector<uint8_t> page(Pager::kPageSize);
+  uint64_t remaining = s.count;
+  auto decode = [&](const uint8_t* data, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      Label label;
+      std::memcpy(&label.start, data + i * kLabelSize, 4);
+      std::memcpy(&label.end, data + i * kLabelSize + 4, 4);
+      std::memcpy(&label.level, data + i * kLabelSize + 8, 4);
+      labels.push_back(label);
+    }
+  };
+  for (PageId id : s.pages) {
+    size_t n = static_cast<size_t>(
+        remaining < kLabelsPerPage ? remaining : kLabelsPerPage);
+    pager_->ReadPage(id, page.data());
+    ++pages_read_;
+    decode(page.data(), n);
+    remaining -= n;
+    free_pages_.push_back(id);
+  }
+  decode(s.buffer.data(), s.buffer.size() / kLabelSize);
+  s.pages.clear();
+  s.buffer.clear();
+  s.count = 0;
+  VJ_CHECK_EQ(labels.size(), labels.capacity());
+  return labels;
+}
+
+}  // namespace viewjoin::algo

@@ -1,0 +1,62 @@
+#ifndef VIEWJOIN_ALGO_SPILL_BUFFER_H_
+#define VIEWJOIN_ALGO_SPILL_BUFFER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/pager.h"
+#include "xml/label.h"
+
+namespace viewjoin::algo {
+
+/// Disk spool for intermediate solutions (the disk-based output variant of
+/// TwigStack and ViewJoin, paper Section VI-E): labels are appended per
+/// stream into pager-backed pages and read back at flush time, so only one
+/// partially-filled page per stream stays in memory between flushes.
+///
+/// Freed pages are recycled, bounding the spill file to the largest flush.
+class SpillBuffer {
+ public:
+  /// `streams` is the number of independent append streams (one per query
+  /// node).
+  SpillBuffer(storage::Pager* pager, size_t streams);
+
+  SpillBuffer(const SpillBuffer&) = delete;
+  SpillBuffer& operator=(const SpillBuffer&) = delete;
+
+  /// Appends one label to `stream`.
+  void Append(size_t stream, const xml::Label& label);
+
+  /// Number of labels currently spooled in `stream`.
+  uint64_t Count(size_t stream) const { return streams_[stream].count; }
+
+  /// Reads back all labels of `stream` in append order (page reads are
+  /// counted by the pager) and resets the stream.
+  std::vector<xml::Label> Drain(size_t stream);
+
+  uint64_t pages_written() const { return pages_written_; }
+  uint64_t pages_read() const { return pages_read_; }
+
+ private:
+  static constexpr size_t kLabelSize = 12;
+  static constexpr size_t kLabelsPerPage =
+      storage::Pager::kPageSize / kLabelSize;
+
+  struct Stream {
+    std::vector<storage::PageId> pages;  // full pages already written
+    std::vector<uint8_t> buffer;         // current partial page
+    uint64_t count = 0;
+  };
+
+  storage::PageId TakePage();
+
+  storage::Pager* pager_;
+  std::vector<Stream> streams_;
+  std::vector<storage::PageId> free_pages_;
+  uint64_t pages_written_ = 0;
+  uint64_t pages_read_ = 0;
+};
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_SPILL_BUFFER_H_

@@ -1,0 +1,37 @@
+#include "algo/structural_join.h"
+
+namespace viewjoin::algo {
+
+using tpq::Axis;
+using xml::Label;
+
+void StackTreeDesc(const std::vector<Label>& ancestors,
+                   const std::vector<Label>& descendants, Axis axis,
+                   const std::function<void(size_t, size_t)>& emit) {
+  std::vector<size_t> stack;
+  size_t i = 0;
+  for (size_t j = 0; j < descendants.size(); ++j) {
+    const Label& d = descendants[j];
+    // Push every ancestor candidate that starts before d.
+    while (i < ancestors.size() && ancestors[i].start < d.start) {
+      while (!stack.empty() && ancestors[stack.back()].end < ancestors[i].start) {
+        stack.pop_back();
+      }
+      stack.push_back(i);
+      ++i;
+    }
+    // Drop stacked candidates that ended before d.
+    while (!stack.empty() && ancestors[stack.back()].end < d.start) {
+      stack.pop_back();
+    }
+    // Every remaining stacked candidate contains d (stack is a nesting chain).
+    for (size_t k = 0; k < stack.size(); ++k) {
+      const Label& a = ancestors[stack[k]];
+      if (d.end > a.end) continue;  // partial overlap impossible in trees
+      if (axis == Axis::kChild && a.level + 1 != d.level) continue;
+      emit(stack[k], j);
+    }
+  }
+}
+
+}  // namespace viewjoin::algo

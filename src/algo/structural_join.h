@@ -1,0 +1,29 @@
+#ifndef VIEWJOIN_ALGO_STRUCTURAL_JOIN_H_
+#define VIEWJOIN_ALGO_STRUCTURAL_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/label.h"
+
+namespace viewjoin::algo {
+
+/// Stack-based binary structural join (Al-Khalifa et al., ICDE'02) — the
+/// primitive underlying both PathStack's ancestry checks and our InterJoin
+/// implementation, exposed as a substrate API of its own.
+///
+/// `ancestors` and `descendants` must be sorted by start label. Invokes
+/// `emit(i, j)` for every pair where ancestors[i] contains descendants[j]
+/// (axis kChild additionally requires the parent level relation). Pairs are
+/// emitted in descendant-major order (sorted by descendants[j].start).
+///
+/// Runs in O(|ancestors| + |descendants| + #output).
+void StackTreeDesc(const std::vector<xml::Label>& ancestors,
+                   const std::vector<xml::Label>& descendants, tpq::Axis axis,
+                   const std::function<void(size_t, size_t)>& emit);
+
+}  // namespace viewjoin::algo
+
+#endif  // VIEWJOIN_ALGO_STRUCTURAL_JOIN_H_

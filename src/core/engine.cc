@@ -1,0 +1,197 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "algo/inter_join.h"
+#include "algo/query_binding.h"
+#include "algo/twig_stack.h"
+#include "core/segmented_query.h"
+#include "core/view_join.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace viewjoin::core {
+
+using storage::MaterializedView;
+using storage::Scheme;
+using tpq::TreePattern;
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTwigStack:
+      return "TS";
+    case Algorithm::kViewJoin:
+      return "VJ";
+    case Algorithm::kInterJoin:
+      return "IJ";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Forwards matches while fingerprinting them, optionally teeing to a user
+/// sink.
+class TeeSink : public tpq::MatchSink {
+ public:
+  explicit TeeSink(tpq::MatchSink* user) : user_(user) {}
+
+  void OnMatch(const tpq::Match& match) override {
+    hasher_.OnMatch(match);
+    if (user_ != nullptr) user_->OnMatch(match);
+  }
+
+  uint64_t count() const { return hasher_.count(); }
+  uint64_t hash() const { return hasher_.hash(); }
+
+ private:
+  tpq::HashingSink hasher_;
+  tpq::MatchSink* user_;
+};
+
+}  // namespace
+
+Engine::Engine(const xml::Document* doc, const std::string& storage_path,
+               const EngineOptions& options)
+    : doc_(doc),
+      catalog_(std::make_unique<storage::ViewCatalog>(storage_path,
+                                                      options.pool_pages)),
+      spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {}
+
+Engine::~Engine() = default;
+
+const MaterializedView* Engine::AddView(const std::string& xpath,
+                                        Scheme scheme) {
+  std::string error;
+  std::optional<TreePattern> pattern = TreePattern::Parse(xpath, &error);
+  VJ_CHECK(pattern.has_value()) << "bad view pattern '" << xpath << "': "
+                                << error;
+  return AddView(*pattern, scheme);
+}
+
+const MaterializedView* Engine::AddView(const TreePattern& pattern,
+                                        Scheme scheme) {
+  return catalog_->Materialize(*doc_, pattern, scheme);
+}
+
+RunResult Engine::Execute(
+    const TreePattern& query,
+    const std::vector<const MaterializedView*>& views, const RunOptions& run,
+    tpq::MatchSink* sink) {
+  RunResult result;
+  TeeSink tee(sink);
+
+  if (run.cold_cache) {
+    catalog_->DropCaches();
+    catalog_->ResetStats();
+    spill_->ResetStats();
+  }
+  storage::IoStats before = catalog_->Stats();
+  storage::IoStats spill_before = spill_->stats();
+
+  util::Timer timer;
+  switch (run.algorithm) {
+    case Algorithm::kInterJoin: {
+      std::optional<algo::InterJoin> join = algo::InterJoin::Bind(
+          *doc_, query, views, catalog_->pool(), &result.error);
+      if (!join.has_value()) return result;
+      join->Evaluate(&tee);
+      result.stats = join->stats();
+      break;
+    }
+    case Algorithm::kTwigStack: {
+      std::optional<algo::QueryBinding> binding =
+          algo::QueryBinding::Bind(*doc_, query, views, &result.error);
+      if (!binding.has_value()) return result;
+      algo::TwigStack twig(&*binding, catalog_->pool());
+      twig.Evaluate(&tee, run.output_mode, spill_.get());
+      result.stats = twig.stats();
+      break;
+    }
+    case Algorithm::kViewJoin: {
+      std::optional<algo::QueryBinding> binding =
+          algo::QueryBinding::Bind(*doc_, query, views, &result.error);
+      if (!binding.has_value()) return result;
+      SegmentedQuery segmented = BuildSegmentedQuery(*binding);
+      ViewJoin join(&*binding, &segmented, catalog_->pool());
+      join.Evaluate(&tee, run.output_mode, spill_.get());
+      result.stats = join.stats();
+      break;
+    }
+  }
+  result.total_ms = timer.ElapsedMillis();
+
+  result.io = catalog_->Stats().Delta(before);
+  storage::IoStats spill_io = spill_->stats().Delta(spill_before);
+  result.io.pages_read += spill_io.pages_read;
+  result.io.pages_written += spill_io.pages_written;
+  result.io.read_micros += spill_io.read_micros;
+  result.io.write_micros += spill_io.write_micros;
+  result.io_ms = result.io.TotalIoMillis();
+
+  result.ok = true;
+  result.match_count = tee.count();
+  result.result_hash = tee.hash();
+  return result;
+}
+
+namespace {
+
+/// Accumulates the distinct solution nodes per query node.
+class SolutionListSink : public tpq::MatchSink {
+ public:
+  explicit SolutionListSink(size_t nq) : lists_(nq) {}
+
+  void OnMatch(const tpq::Match& match) override {
+    for (size_t q = 0; q < match.size(); ++q) lists_[q].push_back(match[q]);
+  }
+
+  std::vector<std::vector<xml::NodeId>> TakeSorted() {
+    for (auto& list : lists_) {
+      std::sort(list.begin(), list.end());
+      list.erase(std::unique(list.begin(), list.end()), list.end());
+    }
+    return std::move(lists_);
+  }
+
+ private:
+  std::vector<std::vector<xml::NodeId>> lists_;
+};
+
+}  // namespace
+
+RunResult Engine::ExecuteToView(
+    const TreePattern& query,
+    const std::vector<const MaterializedView*>& views, Scheme result_scheme,
+    const MaterializedView** result_view, const RunOptions& run) {
+  VJ_CHECK(result_view != nullptr);
+  SolutionListSink sink(query.size());
+  RunResult result = Execute(query, views, run, &sink);
+  if (!result.ok) return result;
+  *result_view =
+      catalog_->MaterializeFromLists(*doc_, query, sink.TakeSorted(),
+                                     result_scheme);
+  return result;
+}
+
+RunResult Engine::SelectAndExecute(
+    const TreePattern& query, const std::vector<TreePattern>& candidates,
+    Scheme scheme, const RunOptions& run, view::SelectionResult* selection) {
+  view::SelectionOptions options;
+  view::SelectionResult picked = view::SelectViews(*doc_, query, candidates,
+                                                   options);
+  if (selection != nullptr) *selection = picked;
+  RunResult result;
+  if (!picked.covers) {
+    result.error = "candidate views cannot cover the query";
+    return result;
+  }
+  std::vector<const MaterializedView*> views;
+  views.reserve(picked.selected.size());
+  for (size_t index : picked.selected) {
+    views.push_back(AddView(candidates[index], scheme));
+  }
+  return Execute(query, views, run);
+}
+
+}  // namespace viewjoin::core

@@ -1,0 +1,117 @@
+#ifndef VIEWJOIN_CORE_ENGINE_H_
+#define VIEWJOIN_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/holistic_stats.h"
+#include "storage/materialized_view.h"
+#include "tpq/pattern.h"
+#include "view/selection.h"
+#include "xml/document.h"
+
+namespace viewjoin::core {
+
+/// Evaluation algorithm (paper Table I's columns).
+enum class Algorithm {
+  kTwigStack,  // TS — also PathStack on path queries
+  kViewJoin,   // VJ — this paper
+  kInterJoin,  // IJ — tuple-scheme path views only
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+/// The public facade: owns a document's materialized-view store and runs
+/// queries against covering view sets with any algorithm × scheme combo.
+///
+///   Engine engine(&doc, "/tmp/views.db");
+///   auto* v1 = engine.AddView("//item//text//keyword", Scheme::kLinkedElement);
+///   auto* v2 = engine.AddView("//bold", Scheme::kLinkedElement);
+///   RunResult r = engine.Execute(*query, {v1, v2},
+///                                     {.algorithm = Algorithm::kViewJoin});
+struct EngineOptions {
+  /// Buffer-pool capacity in 4 KiB pages.
+  size_t pool_pages = 1024;
+};
+
+struct RunOptions {
+  Algorithm algorithm = Algorithm::kViewJoin;
+  algo::OutputMode output_mode = algo::OutputMode::kMemory;
+  /// Drop cached pages and reset I/O counters before running, so the
+  /// reported I/O reflects a cold start (as the paper measures).
+  bool cold_cache = true;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string error;
+  uint64_t match_count = 0;
+  /// Order-independent fingerprint of the match set (for differential
+  /// testing across algorithms).
+  uint64_t result_hash = 0;
+  /// Total processing time (paper's "I/O time + CPU time").
+  double total_ms = 0;
+  /// Wall time spent inside page reads/writes (view store + spill).
+  double io_ms = 0;
+  storage::IoStats io;
+  algo::HolisticStats stats;
+};
+
+class Engine {
+ public:
+  /// `storage_path` is the backing file for materialized views; a sibling
+  /// file with suffix ".spill" backs disk-mode intermediate solutions.
+  Engine(const xml::Document* doc, const std::string& storage_path,
+         const EngineOptions& options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  const xml::Document& doc() const { return *doc_; }
+
+  /// Parses and materializes a view. Dies on a malformed pattern (views are
+  /// programmer-supplied); returns the materialized view.
+  const storage::MaterializedView* AddView(const std::string& xpath,
+                                           storage::Scheme scheme);
+  const storage::MaterializedView* AddView(const tpq::TreePattern& pattern,
+                                           storage::Scheme scheme);
+
+  /// Runs `query` over the covering `views`, streaming matches into an
+  /// internal hashing sink (see Result) — or into `sink` when provided.
+  RunResult Execute(const tpq::TreePattern& query,
+                 const std::vector<const storage::MaterializedView*>& views,
+                 const RunOptions& run = {}, tpq::MatchSink* sink = nullptr);
+
+  /// Runs the query and stores its answer back as a new materialized view:
+  /// the distinct solution nodes per query node become the view's lists
+  /// (with pointers under LE/LE_p). This is the paper's "result as a
+  /// materialized view" capability (Section IV-B, feature 2); the stored
+  /// view can immediately serve later queries through this same engine.
+  /// `*result_view` receives the stored view (left untouched on error).
+  RunResult ExecuteToView(
+      const tpq::TreePattern& query,
+      const std::vector<const storage::MaterializedView*>& views,
+      storage::Scheme result_scheme,
+      const storage::MaterializedView** result_view, const RunOptions& run = {});
+
+  /// Convenience: greedy view selection (paper Section V) over candidate
+  /// patterns, materialization in `scheme`, then Execute. The selection
+  /// details are returned through *selection when non-null.
+  RunResult SelectAndExecute(const tpq::TreePattern& query,
+                          const std::vector<tpq::TreePattern>& candidates,
+                          storage::Scheme scheme, const RunOptions& run = {},
+                          view::SelectionResult* selection = nullptr);
+
+  storage::ViewCatalog* catalog() { return catalog_.get(); }
+
+ private:
+  const xml::Document* doc_;
+  std::unique_ptr<storage::ViewCatalog> catalog_;
+  std::unique_ptr<storage::Pager> spill_;
+};
+
+}  // namespace viewjoin::core
+
+#endif  // VIEWJOIN_CORE_ENGINE_H_

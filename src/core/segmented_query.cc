@@ -1,0 +1,117 @@
+#include "core/segmented_query.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace viewjoin::core {
+
+using algo::QueryBinding;
+using tpq::TreePattern;
+
+SegmentedQuery BuildSegmentedQuery(const QueryBinding& binding) {
+  const TreePattern& query = binding.query();
+  size_t nq = query.size();
+  SegmentedQuery sq;
+  sq.kept.assign(nq, 0);
+  sq.parent.assign(nq, -1);
+  sq.children.resize(nq);
+  sq.segment_of.assign(nq, -1);
+
+  // Inter-view incidence per node; count inter-view edges (#Cond).
+  std::vector<uint8_t> has_inter(nq, 0);
+  for (size_t q = 1; q < nq; ++q) {
+    if (!binding.IsIntraViewEdge(static_cast<int>(q))) {
+      ++sq.inter_view_edges;
+      has_inter[q] = 1;
+      has_inter[static_cast<size_t>(query.node(static_cast<int>(q)).parent)] = 1;
+    }
+  }
+
+  // Step 1: keep the root and every node incident to an inter-view edge.
+  for (size_t q = 0; q < nq; ++q) {
+    sq.kept[q] = (q == 0) || has_inter[q];
+  }
+
+  // Q' structure: parent = nearest kept ancestor (removed nodes on the way
+  // collapse into an ad-edge, which stays intra-view because a removed node
+  // shares its view with all its neighbours).
+  for (size_t q = 1; q < nq; ++q) {
+    if (!sq.kept[q]) continue;
+    int p = query.node(static_cast<int>(q)).parent;
+    while (p >= 0 && !sq.kept[static_cast<size_t>(p)]) {
+      p = query.node(p).parent;
+    }
+    VJ_CHECK(p >= 0);
+    sq.parent[q] = p;
+    sq.children[static_cast<size_t>(p)].push_back(static_cast<int>(q));
+  }
+
+  // Step 2: group kept nodes connected by intra-view Q'-edges into segments.
+  // Preorder guarantees parents are assigned before children.
+  for (size_t q = 0; q < nq; ++q) {
+    if (!sq.kept[q]) continue;
+    int p = sq.parent[q];
+    bool intra = p >= 0 && binding.binding(static_cast<int>(q)).view ==
+                               binding.binding(p).view;
+    if (intra) {
+      int seg = sq.segment_of[static_cast<size_t>(p)];
+      sq.segment_of[q] = seg;
+      sq.segments[static_cast<size_t>(seg)].nodes.push_back(
+          static_cast<int>(q));
+    } else {
+      SegmentedQuery::Segment segment;
+      segment.root = static_cast<int>(q);
+      segment.nodes.push_back(static_cast<int>(q));
+      segment.view = binding.binding(static_cast<int>(q)).view;
+      sq.segment_of[q] = static_cast<int>(sq.segments.size());
+      sq.segments.push_back(std::move(segment));
+    }
+  }
+  for (size_t q = 0; q < nq; ++q) {
+    if (!sq.kept[q]) continue;
+    int p = sq.parent[q];
+    if (p < 0) continue;
+    int seg = sq.segment_of[q];
+    int pseg = sq.segment_of[static_cast<size_t>(p)];
+    if (seg != pseg) {
+      sq.segments[static_cast<size_t>(seg)].parent_segment = pseg;
+      sq.segments[static_cast<size_t>(pseg)].child_segments.push_back(seg);
+    }
+  }
+  sq.root_segment = sq.segment_of[0];
+
+  // Removed nodes in query preorder; anchor = parent within the view (a
+  // proper query ancestor, so preorder visits anchors first).
+  for (size_t q = 1; q < nq; ++q) {
+    if (sq.kept[q]) continue;
+    const algo::NodeBinding& nb = binding.binding(static_cast<int>(q));
+    const TreePattern& vp = binding.views()[static_cast<size_t>(nb.view)]
+                                ->pattern();
+    int view_parent = vp.node(nb.view_node).parent;
+    VJ_CHECK(view_parent >= 0)
+        << "a removed node cannot be a view root (view roots carry the "
+           "view's covering evidence)";
+    int anchor = query.FindByTag(vp.node(view_parent).tag);
+    VJ_CHECK(anchor >= 0);
+    sq.removed.push_back(static_cast<int>(q));
+    sq.removed_anchor.push_back(anchor);
+  }
+  return sq;
+}
+
+std::string SegmentedQuery::ToString(const TreePattern& query) const {
+  std::ostringstream out;
+  for (size_t s = 0; s < segments.size(); ++s) {
+    if (s > 0) out << ' ';
+    out << '{';
+    for (size_t i = 0; i < segments[s].nodes.size(); ++i) {
+      if (i > 0) out << ' ';
+      out << query.node(segments[s].nodes[i]).tag;
+    }
+    out << '}';
+  }
+  return out.str();
+}
+
+}  // namespace viewjoin::core

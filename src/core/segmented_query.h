@@ -1,0 +1,63 @@
+#ifndef VIEWJOIN_CORE_SEGMENTED_QUERY_H_
+#define VIEWJOIN_CORE_SEGMENTED_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/query_binding.h"
+
+namespace viewjoin::core {
+
+/// The view-segmented query Q' (paper Section IV-A).
+///
+/// Built from a query Q and a covering view assignment: Q-edges whose
+/// endpoints live in different views are *inter-view* edges; non-root nodes
+/// with no incident inter-view edge are removed from Q' (their matches are
+/// recovered at output time through materialized pointers); the remaining
+/// nodes are grouped into *segments* — maximal sets connected by intra-view
+/// edges. Each segment is a connected subpattern of one view, so its joins
+/// are precomputed in that view.
+struct SegmentedQuery {
+  struct Segment {
+    /// Root query node of the segment (shallowest member).
+    int root = -1;
+    /// Member query nodes in top-down (query preorder) order.
+    std::vector<int> nodes;
+    /// Covering view index (all members share it).
+    int view = -1;
+    int parent_segment = -1;
+    std::vector<int> child_segments;
+  };
+
+  /// kept[q]: q survives into Q'.
+  std::vector<uint8_t> kept;
+  /// Parent of q in Q' = nearest kept proper ancestor (-1 for the Q'-root or
+  /// for removed nodes).
+  std::vector<int> parent;
+  /// Kept children of q in Q' (q's attachment points for child segments and
+  /// intra-view Q' edges).
+  std::vector<std::vector<int>> children;
+  /// segment_of[q]: segment id, or -1 for removed nodes.
+  std::vector<int> segment_of;
+  std::vector<Segment> segments;
+  /// Always segment of query node 0.
+  int root_segment = 0;
+  /// Removed query nodes in *view preorder* (each node's view-parent comes
+  /// earlier or is kept) — the order the output extension walks them.
+  std::vector<int> removed;
+  /// For each removed node: the query node of its parent *within its view*
+  /// (the anchor whose child pointers reach its entries).
+  std::vector<int> removed_anchor;
+  /// Number of inter-view edges of Q w.r.t. the views (#Cond, Table III).
+  int inter_view_edges = 0;
+
+  /// Q' rendered as "{a} {b//d} {f} {e}" for logs and tests.
+  std::string ToString(const tpq::TreePattern& query) const;
+};
+
+/// Computes the view-segmented query for a bound query (linear in |Q|).
+SegmentedQuery BuildSegmentedQuery(const algo::QueryBinding& binding);
+
+}  // namespace viewjoin::core
+
+#endif  // VIEWJOIN_CORE_SEGMENTED_QUERY_H_

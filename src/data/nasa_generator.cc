@@ -1,0 +1,205 @@
+#include "data/nasa_generator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace viewjoin::data {
+namespace {
+
+using xml::Document;
+
+class NasaBuilder {
+ public:
+  NasaBuilder(const NasaOptions& options, Document* doc)
+      : rng_(options.seed), doc_(doc), options_(options) {}
+
+  void Build() {
+    Open("datasets");
+    for (int64_t i = 0; i < options_.datasets; ++i) {
+      // Zipf rank decides how big this dataset is: rank 0 entries are an
+      // order of magnitude larger than the tail — the skew that makes
+      // pointer-based skipping pay off on NASA (paper Section VI-A).
+      uint64_t rank = rng_.Zipf(8, options_.skew);
+      Dataset(/*weight=*/static_cast<int64_t>(8 - rank));
+    }
+    Close();
+    VJ_CHECK(doc_->IsComplete());
+  }
+
+ private:
+  void Open(const char* tag) { doc_->StartElement(tag); }
+  void Close() { doc_->EndElement(); }
+  void Leaf(const char* tag) {
+    doc_->StartElement(tag);
+    doc_->SkipTextPositions(1);
+    doc_->EndElement();
+  }
+  int64_t Rand(int64_t lo, int64_t hi) { return rng_.UniformRange(lo, hi); }
+  bool Chance(double p) { return rng_.Bernoulli(p); }
+
+  void Dataset(int64_t weight) {
+    Open("dataset");
+    if (Chance(0.4)) Leaf("altname");
+    Leaf("title");
+    int64_t references = Rand(0, weight);
+    for (int64_t i = 0; i < references; ++i) Reference();
+    if (Chance(0.5)) Keywords();
+    if (Chance(0.6)) Descriptions(weight);
+    Leaf("identifier");
+    if (Chance(0.7)) History(weight);
+    int64_t table_heads = Rand(weight >= 6 ? 1 : 0, std::max<int64_t>(1, weight / 2));
+    for (int64_t i = 0; i < table_heads; ++i) TableHead(weight);
+    Close();
+  }
+
+  void Reference() {
+    Open("reference");
+    Open("source");
+    if (Chance(0.7)) {
+      Journal();
+    } else {
+      Other();
+    }
+    Close();
+    Close();
+  }
+
+  void Journal() {
+    Open("journal");
+    Leaf("title");
+    int64_t authors = Rand(1, 3);
+    for (int64_t i = 0; i < authors; ++i) Author();
+    Date();
+    if (Chance(0.35)) Leaf("suffix");
+    if (Chance(0.5)) Leaf("bibcode");
+    Close();
+  }
+
+  void Other() {
+    Open("other");
+    Leaf("name");
+    Author();
+    Leaf("publisher");
+    Leaf("city");
+    Date();
+    Close();
+  }
+
+  void Author() {
+    Open("author");
+    if (Chance(0.8)) Leaf("initial");
+    Leaf("lastname");
+    Close();
+  }
+
+  void Date() {
+    Open("date");
+    Leaf("year");
+    Close();
+  }
+
+  void Keywords() {
+    Open("keywords");
+    int64_t keywords = Rand(1, 6);
+    for (int64_t i = 0; i < keywords; ++i) Leaf("keyword");
+    Close();
+  }
+
+  void Descriptions(int64_t weight) {
+    Open("descriptions");
+    if (Chance(0.3)) Leaf("observatory");
+    int64_t descriptions = Rand(1, std::max<int64_t>(1, weight / 2));
+    for (int64_t i = 0; i < descriptions; ++i) {
+      Open("description");
+      int64_t paras = Rand(1, 2 + weight);
+      for (int64_t p = 0; p < paras; ++p) Leaf("para");
+      Close();
+    }
+    if (Chance(0.4)) Leaf("details");
+    Close();
+  }
+
+  void History(int64_t weight) {
+    Open("history");
+    Open("creation");
+    Date();
+    Close();
+    int64_t revisions = Rand(0, weight);
+    for (int64_t i = 0; i < revisions; ++i) Revision();
+    Close();
+  }
+
+  void Revision() {
+    Open("revision");
+    Date();
+    Open("creator");
+    if (Chance(0.7)) Leaf("initial");
+    Leaf("lastname");
+    Close();
+    int64_t paras = Rand(0, 3);
+    for (int64_t i = 0; i < paras; ++i) Leaf("para");
+    Close();
+  }
+
+  void TableHead(int64_t weight) {
+    Open("tableHead");
+    Open("tableLinks");
+    int64_t links = Rand(1, std::max<int64_t>(1, weight));
+    for (int64_t i = 0; i < links; ++i) {
+      Open("tableLink");
+      Leaf("title");
+      Close();
+    }
+    Close();
+    Open("fields");
+    int64_t fields = Rand(1, std::max<int64_t>(2, 2 * weight));
+    for (int64_t i = 0; i < fields; ++i) Field(weight);
+    Close();
+    Close();
+  }
+
+  void Field(int64_t weight) {
+    Open("field");
+    Leaf("name");
+    if (Chance(0.85)) Definition(weight, /*depth=*/0);
+    Close();
+  }
+
+  /// Recursive definitions: a `para` deep inside nested definitions occurs in
+  /// one (field, definition, para) tuple per enclosing definition — the
+  /// redundancy that makes the tuple scheme blow up on N1/Np-style views.
+  void Definition(int64_t weight, int depth) {
+    Open("definition");
+    int64_t paras = Rand(1, 1 + weight / 2);
+    for (int64_t i = 0; i < paras; ++i) Leaf("para");
+    int64_t footnotes = Rand(0, depth == 0 ? 2 : 1);
+    for (int64_t i = 0; i < footnotes; ++i) {
+      Open("footnote");
+      int64_t fparas = Rand(1, 2);
+      for (int64_t p = 0; p < fparas; ++p) Leaf("para");
+      Close();
+    }
+    if (depth < 3 && Chance(0.35 + 0.05 * static_cast<double>(weight))) {
+      Definition(weight, depth + 1);
+    }
+    Close();
+  }
+
+  util::Rng rng_;
+  Document* doc_;
+  NasaOptions options_;
+};
+
+}  // namespace
+
+Document GenerateNasa(const NasaOptions& options) {
+  Document doc;
+  NasaBuilder builder(options, &doc);
+  builder.Build();
+  return doc;
+}
+
+}  // namespace viewjoin::data

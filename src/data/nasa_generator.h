@@ -1,0 +1,39 @@
+#ifndef VIEWJOIN_DATA_NASA_GENERATOR_H_
+#define VIEWJOIN_DATA_NASA_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace viewjoin::data {
+
+/// Options for the NASA-like synthetic generator.
+///
+/// The paper's real dataset is the 23 MB NASA astronomy dump from the UW XML
+/// repository, characterized by a highly skewed element distribution. This
+/// generator reproduces the structural features the paper's NASA experiments
+/// depend on, over the same element vocabulary used by queries N1–N8 and the
+/// view workloads of Tables II/III:
+///  * `dataset` entries with Zipf-skewed sizes (a few huge, many tiny);
+///  * recursive `definition` nesting under `field` (so one node occurs in
+///    many view matches — the tuple-scheme redundancy driver);
+///  * deep `tableHead/tableLinks/tableLink/title` and
+///    `fields/field/definition/footnote/para` chains;
+///  * `history/revision/creator/lastname` with parent-child steps (N3);
+///  * `reference/source/journal` with `title/author/date/year/suffix/bibcode`
+///    children (N4, N6, N7);
+///  * `descriptions/description/para` with optional `observatory` (N8).
+struct NasaOptions {
+  /// Number of top-level dataset entries; 400 yields ~150k elements.
+  int64_t datasets = 400;
+  /// Zipf skew of per-dataset size (0 = uniform; the real dump is ~1.2).
+  double skew = 1.2;
+  uint64_t seed = 7;
+};
+
+/// Generates a NASA-like document.
+xml::Document GenerateNasa(const NasaOptions& options);
+
+}  // namespace viewjoin::data
+
+#endif  // VIEWJOIN_DATA_NASA_GENERATOR_H_

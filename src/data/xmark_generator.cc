@@ -1,0 +1,299 @@
+#include "data/xmark_generator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace viewjoin::data {
+namespace {
+
+using xml::Document;
+
+/// Stateful builder walking the XMark DTD. Each method emits one entity in
+/// document order; fan-outs are randomized around the DTD's distributions.
+class XmarkBuilder {
+ public:
+  XmarkBuilder(const XmarkOptions& options, Document* doc)
+      : rng_(options.seed), doc_(doc) {
+    double s = std::max(options.scale, 0.01);
+    items_per_region_ = std::max<int64_t>(1, static_cast<int64_t>(120 * s));
+    categories_ = std::max<int64_t>(1, static_cast<int64_t>(60 * s));
+    persons_ = std::max<int64_t>(1, static_cast<int64_t>(500 * s));
+    open_auctions_ = std::max<int64_t>(1, static_cast<int64_t>(240 * s));
+    closed_auctions_ = std::max<int64_t>(1, static_cast<int64_t>(120 * s));
+  }
+
+  void Build() {
+    Open("site");
+    Regions();
+    Categories();
+    Catgraph();
+    People();
+    OpenAuctions();
+    ClosedAuctions();
+    Close();
+    VJ_CHECK(doc_->IsComplete());
+  }
+
+ private:
+  void Open(const char* tag) { doc_->StartElement(tag); }
+  void Close() { doc_->EndElement(); }
+  void Leaf(const char* tag) {
+    doc_->StartElement(tag);
+    doc_->SkipTextPositions(1);
+    doc_->EndElement();
+  }
+  int64_t Rand(int64_t lo, int64_t hi) { return rng_.UniformRange(lo, hi); }
+  bool Chance(double p) { return rng_.Bernoulli(p); }
+
+  void Regions() {
+    static constexpr const char* kRegions[] = {"africa",   "asia",  "australia",
+                                               "europe",   "namerica",
+                                               "samerica"};
+    Open("regions");
+    for (const char* region : kRegions) {
+      Open(region);
+      // Mirror xmlgen: region sizes differ by constant factors.
+      int64_t count = items_per_region_;
+      if (region[0] == 'a' && region[1] == 'f') count = items_per_region_ / 4;
+      if (region[0] == 'a' && region[1] == 'u') count = items_per_region_ / 2;
+      for (int64_t i = 0; i < std::max<int64_t>(1, count); ++i) Item();
+      Close();
+    }
+    Close();
+  }
+
+  void Item() {
+    Open("item");
+    Leaf("location");
+    Leaf("quantity");
+    Leaf("name");
+    Payment();
+    Description();
+    Leaf("shipping");
+    int64_t cats = Rand(1, 3);
+    for (int64_t i = 0; i < cats; ++i) Leaf("incategory");
+    if (Chance(0.8)) Mailbox();
+    Close();
+  }
+
+  void Payment() {
+    Open("payment");
+    doc_->SkipTextPositions(1);
+    Close();
+  }
+
+  void Description() {
+    Open("description");
+    if (Chance(0.3)) {
+      Parlist(/*depth=*/0);
+    } else {
+      Text(/*depth=*/0);
+    }
+    Close();
+  }
+
+  /// Recursive parlist/listitem structure — the source of nested `text`
+  /// ancestors that makes `//item//text//keyword` a recurring-node view.
+  void Parlist(int depth) {
+    Open("parlist");
+    int64_t items = Rand(1, depth == 0 ? 4 : 2);
+    for (int64_t i = 0; i < items; ++i) {
+      Open("listitem");
+      if (depth < 2 && Chance(0.25)) {
+        Parlist(depth + 1);
+      } else {
+        Text(0);
+      }
+      Close();
+    }
+    Close();
+  }
+
+  /// text := (#PCDATA | bold | keyword | emph)*, where bold/keyword/emph
+  /// nest among themselves.
+  void Text(int depth) {
+    Open("text");
+    doc_->SkipTextPositions(1);
+    Markup(depth);
+    Close();
+  }
+
+  void Markup(int depth) {
+    int64_t inlines = Rand(0, 3);
+    for (int64_t i = 0; i < inlines; ++i) {
+      int64_t pick = Rand(0, 2);
+      const char* tag = pick == 0 ? "bold" : pick == 1 ? "keyword" : "emph";
+      Open(tag);
+      doc_->SkipTextPositions(1);
+      if (depth < 2 && Chance(0.3)) Markup(depth + 1);
+      Close();
+    }
+  }
+
+  void Mailbox() {
+    Open("mailbox");
+    int64_t mails = Rand(0, 3);
+    for (int64_t i = 0; i < mails; ++i) {
+      Open("mail");
+      Leaf("from");
+      Leaf("to");
+      Leaf("date");
+      Text(0);
+      Close();
+    }
+    Close();
+  }
+
+  void Categories() {
+    Open("categories");
+    for (int64_t i = 0; i < categories_; ++i) {
+      Open("category");
+      Leaf("name");
+      Description();
+      Close();
+    }
+    Close();
+  }
+
+  void Catgraph() {
+    Open("catgraph");
+    for (int64_t i = 0; i < categories_; ++i) {
+      Open("edge");
+      doc_->SkipTextPositions(1);
+      Close();
+    }
+    Close();
+  }
+
+  void People() {
+    Open("people");
+    for (int64_t i = 0; i < persons_; ++i) Person();
+    Close();
+  }
+
+  void Person() {
+    Open("person");
+    Leaf("name");
+    Leaf("emailaddress");
+    if (Chance(0.5)) Leaf("phone");
+    if (Chance(0.6)) Address();
+    if (Chance(0.3)) Leaf("homepage");
+    if (Chance(0.4)) Leaf("creditcard");
+    if (Chance(0.7)) Profile();
+    if (Chance(0.5)) Watches();
+    Close();
+  }
+
+  void Address() {
+    Open("address");
+    Leaf("street");
+    Leaf("city");
+    Leaf("country");
+    if (Chance(0.2)) Leaf("province");
+    Leaf("zipcode");
+    Close();
+  }
+
+  void Profile() {
+    Open("profile");
+    int64_t interests = Rand(0, 4);
+    for (int64_t i = 0; i < interests; ++i) Leaf("interest");
+    if (Chance(0.6)) Leaf("education");
+    if (Chance(0.8)) Leaf("gender");
+    Leaf("business");
+    if (Chance(0.7)) Leaf("age");
+    Close();
+  }
+
+  void Watches() {
+    Open("watches");
+    int64_t watches = Rand(0, 4);
+    for (int64_t i = 0; i < watches; ++i) Leaf("watch");
+    Close();
+  }
+
+  void OpenAuctions() {
+    Open("open_auctions");
+    for (int64_t i = 0; i < open_auctions_; ++i) OpenAuction();
+    Close();
+  }
+
+  void OpenAuction() {
+    Open("open_auction");
+    Leaf("initial");
+    int64_t bidders = Rand(0, 5);
+    for (int64_t i = 0; i < bidders; ++i) Bidder();
+    Leaf("current");
+    if (Chance(0.4)) Leaf("privacy");
+    Leaf("itemref");
+    Leaf("seller");
+    Annotation();
+    Leaf("quantity");
+    Leaf("type");
+    Interval();
+    Close();
+  }
+
+  void Bidder() {
+    Open("bidder");
+    Leaf("date");
+    Leaf("time");
+    Leaf("personref");
+    Leaf("increase");
+    Close();
+  }
+
+  void Annotation() {
+    Open("annotation");
+    Leaf("author");
+    Description();
+    Leaf("happiness");
+    Close();
+  }
+
+  void Interval() {
+    Open("interval");
+    Leaf("start");
+    Leaf("end");
+    Close();
+  }
+
+  void ClosedAuctions() {
+    Open("closed_auctions");
+    for (int64_t i = 0; i < closed_auctions_; ++i) {
+      Open("closed_auction");
+      Leaf("seller");
+      Leaf("buyer");
+      Leaf("itemref");
+      Leaf("price");
+      Leaf("date");
+      Leaf("quantity");
+      Leaf("type");
+      Annotation();
+      Close();
+    }
+    Close();
+  }
+
+  util::Rng rng_;
+  Document* doc_;
+  int64_t items_per_region_;
+  int64_t categories_;
+  int64_t persons_;
+  int64_t open_auctions_;
+  int64_t closed_auctions_;
+};
+
+}  // namespace
+
+Document GenerateXmark(const XmarkOptions& options) {
+  Document doc;
+  XmarkBuilder builder(options, &doc);
+  builder.Build();
+  return doc;
+}
+
+}  // namespace viewjoin::data

@@ -1,0 +1,30 @@
+#ifndef VIEWJOIN_DATA_XMARK_GENERATOR_H_
+#define VIEWJOIN_DATA_XMARK_GENERATOR_H_
+
+#include <cstdint>
+
+#include "xml/document.h"
+
+namespace viewjoin::data {
+
+/// Options for the XMark-shaped synthetic generator.
+///
+/// This generator reproduces the element vocabulary and nesting structure of
+/// the XMark auction benchmark (Schmidt et al., CWI tech report INS-R0103) —
+/// regions/items with recursive parlist/listitem descriptions and nested
+/// bold/keyword/emph markup, people/profiles, open and closed auctions — so
+/// the 14 benchmark-derived TPQs exercise the same structural shapes as on
+/// the original `xmlgen` output. `scale = 1.0` yields roughly 135k elements
+/// (~2.5 MB serialized with text payload); element counts grow linearly in
+/// `scale`, mirroring xmlgen's scaling behaviour.
+struct XmarkOptions {
+  double scale = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Generates an XMark-shaped document.
+xml::Document GenerateXmark(const XmarkOptions& options);
+
+}  // namespace viewjoin::data
+
+#endif  // VIEWJOIN_DATA_XMARK_GENERATOR_H_

@@ -1,0 +1,38 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+
+namespace viewjoin::storage {
+
+BufferPool::BufferPool(Pager* pager, size_t capacity)
+    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+
+const uint8_t* BufferPool::GetPage(PageId page) {
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().data.data();
+  }
+  ++misses_;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().page);
+    lru_.pop_back();
+    ++eviction_version_;
+  }
+  Frame frame;
+  frame.page = page;
+  frame.data.resize(Pager::kPageSize);
+  pager_->ReadPage(page, frame.data.data());
+  lru_.push_front(std::move(frame));
+  index_[page] = lru_.begin();
+  return lru_.front().data.data();
+}
+
+void BufferPool::Clear() {
+  lru_.clear();
+  index_.clear();
+  ++eviction_version_;
+}
+
+}  // namespace viewjoin::storage

@@ -1,0 +1,59 @@
+#ifndef VIEWJOIN_STORAGE_BUFFER_POOL_H_
+#define VIEWJOIN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/pager.h"
+
+namespace viewjoin::storage {
+
+/// LRU page cache in front of a Pager. All list cursors read through a pool;
+/// hit/miss counters let benches report logical vs. physical page accesses.
+///
+/// Pages are immutable once written (views are write-once, read-many), so the
+/// pool never writes back. Returned pointers stay valid until the page is
+/// evicted; cursors therefore re-fetch on every page crossing and never hold
+/// a page across other pool calls.
+class BufferPool {
+ public:
+  /// `capacity` is the number of cached frames (>= 1).
+  BufferPool(Pager* pager, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a pointer to the kPageSize-byte content of `page`.
+  const uint8_t* GetPage(PageId page);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+  /// Bumped whenever a frame is evicted; cursors cache page pointers and
+  /// revalidate against this so cached pointers never dangle.
+  uint64_t eviction_version() const { return eviction_version_; }
+
+  /// Drops every cached frame (cold-cache experiments).
+  void Clear();
+
+ private:
+  struct Frame {
+    PageId page;
+    std::vector<uint8_t> data;
+  };
+
+  Pager* pager_;
+  size_t capacity_;
+  std::list<Frame> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t eviction_version_ = 0;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,77 @@
+#include "storage/dag_walker.h"
+
+#include "tpq/pattern.h"
+#include "util/check.h"
+
+namespace viewjoin::storage {
+
+using tpq::Axis;
+using xml::Label;
+
+DagWalker::DagWalker(const MaterializedView* view, BufferPool* pool)
+    : view_(view), pool_(pool) {
+  VJ_CHECK(view->scheme() == Scheme::kLinkedElement ||
+           view->scheme() == Scheme::kLinkedElementPartial)
+      << "DagWalker requires a linked-element view";
+  size_t nq = view->pattern().size();
+  cursors_.reserve(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    cursors_.emplace_back(&view->list(static_cast<int>(q)), pool);
+  }
+  match_.resize(nq);
+  entries_.resize(nq);
+}
+
+void DagWalker::Walk(const MatchCallback& callback) {
+  ListCursor& root = cursors_[0];
+  for (root.Reset(); !root.AtEnd(); root.Next()) {
+    match_[0] = root.LabelAt();
+    entries_[0] = root.index();
+    Assign(1, callback);
+  }
+}
+
+uint64_t DagWalker::CountMatches() {
+  uint64_t count = 0;
+  Walk([&count](const std::vector<Label>&) { ++count; });
+  return count;
+}
+
+void DagWalker::Assign(size_t vnode, const MatchCallback& callback) {
+  const tpq::TreePattern& pattern = view_->pattern();
+  if (vnode == pattern.size()) {
+    callback(match_);
+    return;
+  }
+  // View patterns are stored in preorder, so the parent is assigned.
+  const tpq::PatternNode& pn = pattern.node(static_cast<int>(vnode));
+  int parent = pn.parent;
+  VJ_DCHECK(parent >= 0);
+  const Label& parent_label = match_[static_cast<size_t>(parent)];
+  // The parent entry's child pointer for this slot opens the region.
+  int slot = -1;
+  const std::vector<int>& siblings = pattern.node(parent).children;
+  for (size_t k = 0; k < siblings.size(); ++k) {
+    if (siblings[k] == static_cast<int>(vnode)) slot = static_cast<int>(k);
+  }
+  VJ_DCHECK(slot >= 0);
+  ListCursor anchor(&view_->list(parent), pool_);
+  anchor.Seek(entries_[static_cast<size_t>(parent)]);
+  EntryIndex first = anchor.Child(static_cast<uint32_t>(slot));
+  VJ_DCHECK(first != kNullEntry);
+  ListCursor& cursor = cursors_[vnode];
+  // The region's entries are contiguous in list order from the pointer
+  // target until the first entry starting past the parent's end.
+  for (cursor.Seek(first); !cursor.AtEnd(); cursor.Next()) {
+    Label label = cursor.LabelAt();
+    if (label.start > parent_label.end) break;
+    if (pn.incoming == Axis::kChild && label.level != parent_label.level + 1) {
+      continue;
+    }
+    match_[vnode] = label;
+    entries_[vnode] = cursor.index();
+    Assign(vnode + 1, callback);
+  }
+}
+
+}  // namespace viewjoin::storage

@@ -1,0 +1,54 @@
+#ifndef VIEWJOIN_STORAGE_DAG_WALKER_H_
+#define VIEWJOIN_STORAGE_DAG_WALKER_H_
+
+#include <functional>
+#include <vector>
+
+#include "storage/materialized_view.h"
+#include "storage/stored_list.h"
+#include "xml/label.h"
+
+namespace viewjoin::storage {
+
+/// Traverses the conceptual DAG structure of a linked-element view (paper
+/// Section III-A): starting from each root-list entry, child pointers locate
+/// the first matching child/descendant and the list order covers the rest of
+/// the region, reconstructing every view match without touching the base
+/// document. This is the sense in which the LE scheme preserves the tuple
+/// scheme's precomputed joins while storing each node once — the walker
+/// regenerates exactly the tuple-scheme content of the view.
+///
+/// Works on LE and LE_p views (LE_p's dropped pointers are never needed:
+/// child pointers are always materialized, and region ends come from the
+/// entry labels).
+class DagWalker {
+ public:
+  /// One view match as the labels of its nodes, indexed by view node.
+  using MatchCallback =
+      std::function<void(const std::vector<xml::Label>& match)>;
+
+  /// `view` must be in an LE scheme; reads go through `pool`.
+  DagWalker(const MaterializedView* view, BufferPool* pool);
+
+  /// Enumerates every match of the view pattern in document order of the
+  /// root (then recursively of each child), invoking `callback` per match.
+  void Walk(const MatchCallback& callback);
+
+  /// Convenience: counts matches (must equal the tuple scheme's MatchCount).
+  uint64_t CountMatches();
+
+ private:
+  /// Assigns view nodes in pattern preorder: each node iterates its entries
+  /// within the assigned parent's region (child pointer → list order).
+  void Assign(size_t vnode, const MatchCallback& callback);
+
+  const MaterializedView* view_;
+  BufferPool* pool_;
+  std::vector<ListCursor> cursors_;
+  std::vector<xml::Label> match_;
+  std::vector<EntryIndex> entries_;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_DAG_WALKER_H_

@@ -1,0 +1,48 @@
+#ifndef VIEWJOIN_STORAGE_IO_STATS_H_
+#define VIEWJOIN_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace viewjoin::storage {
+
+/// I/O counters maintained by the pager and buffer pool. The paper reports
+/// "I/O time" as a share of total processing time and argues about page
+/// accesses saved by schemes/algorithms; these counters expose both the page
+/// counts and the wall time spent inside page reads/writes.
+struct IoStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+  int64_t read_micros = 0;
+  int64_t write_micros = 0;
+  uint64_t pool_hits = 0;
+  uint64_t pool_misses = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    read_micros += other.read_micros;
+    write_micros += other.write_micros;
+    pool_hits += other.pool_hits;
+    pool_misses += other.pool_misses;
+    return *this;
+  }
+
+  IoStats Delta(const IoStats& since) const {
+    IoStats d;
+    d.pages_read = pages_read - since.pages_read;
+    d.pages_written = pages_written - since.pages_written;
+    d.read_micros = read_micros - since.read_micros;
+    d.write_micros = write_micros - since.write_micros;
+    d.pool_hits = pool_hits - since.pool_hits;
+    d.pool_misses = pool_misses - since.pool_misses;
+    return d;
+  }
+
+  double TotalIoMillis() const {
+    return static_cast<double>(read_micros + write_micros) / 1000.0;
+  }
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_IO_STATS_H_

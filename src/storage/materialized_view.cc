@@ -1,0 +1,347 @@
+#include "storage/materialized_view.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "tpq/evaluator.h"
+#include "util/check.h"
+
+namespace viewjoin::storage {
+
+using tpq::TreePattern;
+using xml::Document;
+using xml::Label;
+using xml::NodeId;
+
+const char* SchemeName(Scheme scheme) {
+  switch (scheme) {
+    case Scheme::kElement:
+      return "E";
+    case Scheme::kTuple:
+      return "T";
+    case Scheme::kLinkedElement:
+      return "LE";
+    case Scheme::kLinkedElementPartial:
+      return "LE_p";
+  }
+  return "?";
+}
+
+ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
+                         bool persistent)
+    : pager_(std::make_unique<Pager>(path, persistent
+                                               ? Pager::Mode::kPersist
+                                               : Pager::Mode::kTruncate)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
+      persistent_(persistent) {}
+
+ViewCatalog::~ViewCatalog() = default;
+
+void ViewCatalog::SaveManifest() const {
+  VJ_CHECK(persistent_) << "SaveManifest requires a persistent catalog";
+  std::FILE* out = std::fopen((pager_->path() + ".manifest").c_str(), "w");
+  VJ_CHECK(out != nullptr);
+  std::fprintf(out, "VIEWJOINCAT 1\n%zu\n", views_.size());
+  for (const auto& view : views_) {
+    std::fprintf(out, "V %d %s\n", static_cast<int>(view->scheme_),
+                 view->pattern_.ToString().c_str());
+    std::fprintf(out, "M %llu %llu %llu\n",
+                 static_cast<unsigned long long>(view->match_count_),
+                 static_cast<unsigned long long>(view->size_bytes_),
+                 static_cast<unsigned long long>(view->pointer_count_));
+    std::fprintf(out, "G");
+    for (uint32_t len : view->list_lengths_) std::fprintf(out, " %u", len);
+    std::fprintf(out, "\n");
+    std::fprintf(out, "L %zu\n", view->lists_.size());
+    auto dump = [&](const StoredList& list) {
+      std::fprintf(out, "%u %u %u %u %u\n", list.first_page, list.count,
+                   list.layout.label_count,
+                   list.layout.has_pointers ? 1 : 0, list.layout.child_count);
+    };
+    for (const StoredList& list : view->lists_) dump(list);
+    dump(view->tuple_list_);
+  }
+  std::fclose(out);
+}
+
+std::unique_ptr<ViewCatalog> ViewCatalog::Open(const std::string& path,
+                                               size_t pool_pages,
+                                               std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return nullptr;
+  };
+  std::FILE* in = std::fopen((path + ".manifest").c_str(), "r");
+  if (in == nullptr) return fail("missing manifest for " + path);
+  auto catalog = std::unique_ptr<ViewCatalog>(new ViewCatalog(
+      path, pool_pages, /*persistent=*/true, Pager::Mode::kReopen));
+  char magic[16];
+  int version = 0;
+  size_t num_views = 0;
+  bool ok = std::fscanf(in, "%15s %d %zu", magic, &version, &num_views) == 3 &&
+            std::string(magic) == "VIEWJOINCAT" && version == 1;
+  for (size_t v = 0; ok && v < num_views; ++v) {
+    auto view = std::make_unique<MaterializedView>();
+    int scheme = 0;
+    char pattern_buf[512];
+    ok = std::fscanf(in, " V %d %511s", &scheme, pattern_buf) == 2;
+    if (!ok) break;
+    std::optional<tpq::TreePattern> pattern =
+        tpq::TreePattern::Parse(pattern_buf);
+    if (!pattern.has_value()) {
+      ok = false;
+      break;
+    }
+    view->pattern_ = *pattern;
+    view->scheme_ = static_cast<Scheme>(scheme);
+    unsigned long long mc = 0, sb = 0, pc = 0;
+    ok = std::fscanf(in, " M %llu %llu %llu", &mc, &sb, &pc) == 3;
+    if (!ok) break;
+    view->match_count_ = mc;
+    view->size_bytes_ = sb;
+    view->pointer_count_ = pc;
+    ok = std::fscanf(in, " G") == 0;
+    for (size_t q = 0; ok && q < view->pattern_.size(); ++q) {
+      uint32_t len = 0;
+      ok = std::fscanf(in, "%u", &len) == 1;
+      view->list_lengths_.push_back(len);
+    }
+    size_t num_lists = 0;
+    ok = ok && std::fscanf(in, " L %zu", &num_lists) == 1;
+    auto load = [&](StoredList* list) {
+      uint32_t hp = 0;
+      return std::fscanf(in, "%u %u %u %u %u", &list->first_page,
+                         &list->count, &list->layout.label_count, &hp,
+                         &list->layout.child_count) == 5 &&
+             ((list->layout.has_pointers = hp != 0), true);
+    };
+    for (size_t i = 0; ok && i < num_lists; ++i) {
+      StoredList list;
+      ok = load(&list);
+      view->lists_.push_back(list);
+    }
+    ok = ok && load(&view->tuple_list_);
+    if (ok) catalog->views_.push_back(std::move(view));
+  }
+  std::fclose(in);
+  if (!ok) return fail("malformed manifest for " + path);
+  return catalog;
+}
+
+IoStats ViewCatalog::Stats() const {
+  IoStats stats = pager_->stats();
+  stats.pool_hits = pool_->hits();
+  stats.pool_misses = pool_->misses();
+  return stats;
+}
+
+ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
+                         bool persistent, Pager::Mode mode)
+    : pager_(std::make_unique<Pager>(path, mode)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
+      persistent_(persistent) {}
+
+void ViewCatalog::ResetStats() {
+  pager_->ResetStats();
+  pool_->ResetStats();
+}
+
+StoredList ViewCatalog::WriteList(const std::vector<uint8_t>& bytes,
+                                  RecordLayout layout, uint32_t count) {
+  StoredList list;
+  list.layout = layout;
+  list.count = count;
+  if (count == 0) {
+    list.first_page = kInvalidPage;
+    return list;
+  }
+  uint32_t record_size = layout.RecordSize();
+  uint32_t per_page = static_cast<uint32_t>(Pager::kPageSize) / record_size;
+  uint32_t pages = (count + per_page - 1) / per_page;
+  list.first_page = pager_->page_count();
+  std::vector<uint8_t> page(Pager::kPageSize, 0);
+  for (uint32_t p = 0; p < pages; ++p) {
+    std::fill(page.begin(), page.end(), 0);
+    uint32_t first_record = p * per_page;
+    uint32_t n_records = std::min(per_page, count - first_record);
+    std::memcpy(page.data(), bytes.data() + size_t(first_record) * record_size,
+                size_t(n_records) * record_size);
+    PageId id = pager_->page_count();
+    // Allocate-and-write in one step: extend the file with this page.
+    pager_->AllocatePage();
+    pager_->WritePage(id, page.data());
+  }
+  return list;
+}
+
+namespace {
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t value) {
+  uint8_t buf[4];
+  std::memcpy(buf, &value, 4);
+  out->insert(out->end(), buf, buf + 4);
+}
+
+void AppendLabel(std::vector<uint8_t>* out, const Label& label) {
+  AppendU32(out, label.start);
+  AppendU32(out, label.end);
+  AppendU32(out, label.level);
+}
+
+/// Streams tuple-scheme matches straight into the record byte buffer.
+class TupleWriterSink : public tpq::MatchSink {
+ public:
+  TupleWriterSink(const Document& doc, std::vector<uint8_t>* out)
+      : doc_(doc), out_(out) {}
+
+  void OnMatch(const tpq::Match& match) override {
+    for (NodeId n : match) AppendLabel(out_, doc_.NodeLabel(n));
+    ++count_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  const Document& doc_;
+  std::vector<uint8_t>* out_;
+  uint64_t count_ = 0;
+};
+
+/// First index j in `labels` with labels[j].start > bound, starting the
+/// binary search at `from`.
+size_t FirstStartAfter(const std::vector<Label>& labels, size_t from,
+                       uint32_t bound) {
+  return static_cast<size_t>(
+      std::lower_bound(labels.begin() + static_cast<ptrdiff_t>(from),
+                       labels.end(), bound,
+                       [](const Label& l, uint32_t b) { return l.start <= b; }) -
+      labels.begin());
+}
+
+}  // namespace
+
+const MaterializedView* ViewCatalog::Materialize(const Document& doc,
+                                                 const TreePattern& pattern,
+                                                 Scheme scheme) {
+  VJ_CHECK(pattern.HasUniqueTags())
+      << "view patterns must have unique element types: " << pattern.ToString();
+  tpq::NaiveEvaluator evaluator(doc, pattern);
+
+  if (scheme == Scheme::kTuple) {
+    auto view = std::make_unique<MaterializedView>();
+    view->pattern_ = pattern;
+    view->scheme_ = scheme;
+    std::vector<uint8_t> bytes;
+    TupleWriterSink sink(doc, &bytes);
+    evaluator.Evaluate(&sink);
+    RecordLayout layout;
+    layout.label_count = static_cast<uint32_t>(pattern.size());
+    view->tuple_list_ =
+        WriteList(bytes, layout, static_cast<uint32_t>(sink.count()));
+    view->match_count_ = sink.count();
+    view->size_bytes_ = sink.count() * 12ull * pattern.size();
+    // The per-node solution list lengths still drive the cost model.
+    std::vector<std::vector<NodeId>> solutions = evaluator.SolutionNodes();
+    for (const auto& list : solutions) {
+      view->list_lengths_.push_back(static_cast<uint32_t>(list.size()));
+    }
+    const MaterializedView* result = view.get();
+    views_.push_back(std::move(view));
+    return result;
+  }
+
+  // Element-list based schemes. Gather solution node lists and their labels.
+  std::vector<std::vector<NodeId>> solutions = evaluator.SolutionNodes();
+  return MaterializeFromLists(doc, pattern, solutions, scheme);
+}
+
+const MaterializedView* ViewCatalog::MaterializeFromLists(
+    const Document& doc, const TreePattern& pattern,
+    const std::vector<std::vector<NodeId>>& solutions, Scheme scheme) {
+  VJ_CHECK(scheme != Scheme::kTuple)
+      << "MaterializeFromLists supports the list schemes only";
+  VJ_CHECK_EQ(solutions.size(), pattern.size());
+  auto view = std::make_unique<MaterializedView>();
+  view->pattern_ = pattern;
+  view->scheme_ = scheme;
+  size_t nq = pattern.size();
+  std::vector<std::vector<Label>> labels(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    labels[q].reserve(solutions[q].size());
+    for (NodeId n : solutions[q]) labels[q].push_back(doc.NodeLabel(n));
+    view->list_lengths_.push_back(static_cast<uint32_t>(solutions[q].size()));
+    view->size_bytes_ += 12ull * solutions[q].size();
+  }
+  view->match_count_ = 0;  // not tracked for list schemes (cheap to recount)
+
+  bool with_pointers = scheme != Scheme::kElement;
+  bool partial = scheme == Scheme::kLinkedElementPartial;
+
+  view->lists_.resize(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    const std::vector<Label>& lq = labels[q];
+    const tpq::PatternNode& pn = pattern.node(static_cast<int>(q));
+    RecordLayout layout;
+    layout.label_count = 1;
+    layout.has_pointers = with_pointers;
+    layout.child_count =
+        with_pointers ? static_cast<uint32_t>(pn.children.size()) : 0;
+    std::vector<uint8_t> bytes;
+    bytes.reserve(lq.size() * layout.RecordSize());
+    for (size_t i = 0; i < lq.size(); ++i) {
+      AppendLabel(&bytes, lq[i]);
+      if (!with_pointers) continue;
+      // Following pointer: first entry starting after this node ends.
+      EntryIndex follow = kNullEntry;
+      size_t j = FirstStartAfter(lq, i + 1, lq[i].end);
+      if (j < lq.size()) follow = static_cast<EntryIndex>(j);
+      if (partial && follow != kNullEntry && follow <= i + 1) {
+        follow = kNullEntry;  // adjacent targets are not materialized in LE_p
+      }
+      if (follow != kNullEntry) ++view->pointer_count_;
+      AppendU32(&bytes, follow);
+      // Descendant pointer: the next entry iff it is nested in this one.
+      EntryIndex desc = kNullEntry;
+      if (i + 1 < lq.size() && lq[i + 1].start < lq[i].end) {
+        desc = static_cast<EntryIndex>(i + 1);
+      }
+      if (partial) desc = kNullEntry;  // always one entry away
+      if (desc != kNullEntry) ++view->pointer_count_;
+      AppendU32(&bytes, desc);
+      // Child pointers: first matching child/descendant entry per pc/ad
+      // child of q in the view. Never null for a materialized view (every
+      // stored node participates in at least one view match).
+      for (int c : pn.children) {
+        const std::vector<Label>& lc = labels[static_cast<size_t>(c)];
+        size_t k = FirstStartAfter(lc, 0, lq[i].start);
+        EntryIndex child = kNullEntry;
+        if (pattern.node(c).incoming == tpq::Axis::kDescendant) {
+          if (k < lc.size() && lc[k].start < lq[i].end) {
+            child = static_cast<EntryIndex>(k);
+          }
+        } else {
+          while (k < lc.size() && lc[k].start < lq[i].end) {
+            if (lc[k].level == lq[i].level + 1) {
+              child = static_cast<EntryIndex>(k);
+              break;
+            }
+            ++k;
+          }
+        }
+        VJ_CHECK(child != kNullEntry)
+            << "missing child pointer target in view " << pattern.ToString();
+        ++view->pointer_count_;
+        AppendU32(&bytes, child);
+      }
+    }
+    view->lists_[q] =
+        WriteList(bytes, layout, static_cast<uint32_t>(lq.size()));
+  }
+  view->size_bytes_ += 4ull * view->pointer_count_;
+
+  const MaterializedView* result = view.get();
+  views_.push_back(std::move(view));
+  return result;
+}
+
+}  // namespace viewjoin::storage

@@ -1,0 +1,154 @@
+#ifndef VIEWJOIN_STORAGE_MATERIALIZED_VIEW_H_
+#define VIEWJOIN_STORAGE_MATERIALIZED_VIEW_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/stored_list.h"
+#include "tpq/pattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::storage {
+
+/// Physical storage scheme of a materialized view (paper Sections I & III).
+enum class Scheme {
+  kElement,               // E : one plain label list per view node
+  kTuple,                 // T : sorted n-tuples of labels (InterJoin's input)
+  kLinkedElement,         // LE : label lists + all pointers
+  kLinkedElementPartial,  // LE_p : child pointers + "far" follow/desc pointers
+};
+
+/// Human-readable scheme name ("E", "T", "LE", "LE_p").
+const char* SchemeName(Scheme scheme);
+
+/// One materialized TPQ view in one storage scheme, resident in a pager file.
+///
+/// For E/LE/LE_p schemes, `lists()[i]` is L_q for view pattern node i — the
+/// document-ordered solution nodes of that node, as 12-byte labels (E) or
+/// labels + pointers (LE/LE_p). For the T scheme, `tuple_list()` holds all
+/// view matches as n-tuples of labels sorted by composite start key.
+///
+/// Pointer deviation from the paper (see DESIGN.md): the stored *following*
+/// pointer targets the first following same-type node in the list with no
+/// "same lowest parent-type ancestor" side condition. The unconstrained
+/// pointer makes every pointer jump provably safe (it skips exactly the
+/// failed node's same-type descendants); the constrained variant can jump
+/// over live nodes when view types nest recursively.
+class MaterializedView {
+ public:
+  const tpq::TreePattern& pattern() const { return pattern_; }
+  Scheme scheme() const { return scheme_; }
+
+  /// Per-view-node stored lists (E/LE/LE_p). Index = pattern node index.
+  const std::vector<StoredList>& lists() const { return lists_; }
+  const StoredList& list(int vnode) const {
+    return lists_[static_cast<size_t>(vnode)];
+  }
+
+  /// The tuple list (T scheme only).
+  const StoredList& tuple_list() const { return tuple_list_; }
+
+  /// |L_q| for view node q (solution-node count; same for all schemes).
+  uint32_t ListLength(int vnode) const {
+    return list_lengths_[static_cast<size_t>(vnode)];
+  }
+
+  /// Number of matches of the view pattern (= tuple count in the T scheme).
+  uint64_t MatchCount() const { return match_count_; }
+
+  /// Logical size in bytes: labels (12 B each) for every scheme, plus 4 B
+  /// per materialized (non-null, non-dropped) pointer for LE/LE_p.
+  uint64_t SizeBytes() const { return size_bytes_; }
+
+  /// Number of materialized pointers (LE/LE_p; 0 for E/T). Paper Table IV.
+  uint64_t PointerCount() const { return pointer_count_; }
+
+ private:
+  friend class ViewCatalog;
+
+  tpq::TreePattern pattern_;
+  Scheme scheme_ = Scheme::kElement;
+  std::vector<StoredList> lists_;
+  StoredList tuple_list_;
+  std::vector<uint32_t> list_lengths_;
+  uint64_t match_count_ = 0;
+  uint64_t size_bytes_ = 0;
+  uint64_t pointer_count_ = 0;
+};
+
+/// Owns the pager + buffer pool and materializes views into them.
+///
+/// Usage:
+///   ViewCatalog catalog("/tmp/views.db", /*pool_pages=*/256);
+///   const MaterializedView* v = catalog.Materialize(doc, pattern, scheme);
+///   ListCursor cursor(&v->list(0), catalog.pool());
+class ViewCatalog {
+ public:
+  /// `path` is the backing pager file; `pool_pages` the buffer pool capacity.
+  /// With `persistent` the pager file survives the catalog (pair with
+  /// SaveManifest/Open to reuse materialized views across processes).
+  ViewCatalog(const std::string& path, size_t pool_pages,
+              bool persistent = false);
+  ~ViewCatalog();
+
+  /// Writes the catalog manifest (view patterns, schemes, list locations)
+  /// next to the pager file ("<path>.manifest"). Requires `persistent`.
+  void SaveManifest() const;
+
+  /// Reopens a persisted catalog: the pager file plus its manifest. Returns
+  /// nullptr (with *error set) when either is missing or malformed.
+  static std::unique_ptr<ViewCatalog> Open(const std::string& path,
+                                           size_t pool_pages,
+                                           std::string* error = nullptr);
+
+  ViewCatalog(const ViewCatalog&) = delete;
+  ViewCatalog& operator=(const ViewCatalog&) = delete;
+
+  /// Materializes `pattern` over `doc` in `scheme`. The returned view lives
+  /// as long as the catalog. The view pattern must have unique element types.
+  const MaterializedView* Materialize(const xml::Document& doc,
+                                      const tpq::TreePattern& pattern,
+                                      Scheme scheme);
+
+  /// Materializes a view from precomputed solution-node lists (one
+  /// document-ordered list per pattern node) instead of evaluating the
+  /// pattern — how a query's answer is stored back as a view (ViewJoin
+  /// keeps its intermediate solutions in the view DAG structure precisely to
+  /// enable this, paper Section IV-B feature 2). List schemes only.
+  const MaterializedView* MaterializeFromLists(
+      const xml::Document& doc, const tpq::TreePattern& pattern,
+      const std::vector<std::vector<xml::NodeId>>& solutions, Scheme scheme);
+
+  BufferPool* pool() { return pool_.get(); }
+  Pager* pager() { return pager_.get(); }
+
+  /// Cumulative I/O statistics (pager counters + pool hit/miss).
+  IoStats Stats() const;
+  void ResetStats();
+
+  /// Drops cached pages so a subsequent query run starts cold.
+  void DropCaches() { pool_->Clear(); }
+
+  /// Views held by the catalog, in materialization (or manifest) order.
+  const std::vector<std::unique_ptr<MaterializedView>>& views() const {
+    return views_;
+  }
+
+ private:
+  ViewCatalog(const std::string& path, size_t pool_pages, bool persistent,
+              Pager::Mode mode);
+
+  StoredList WriteList(const std::vector<uint8_t>& bytes, RecordLayout layout,
+                       uint32_t count);
+
+  std::unique_ptr<Pager> pager_;
+  std::unique_ptr<BufferPool> pool_;
+  std::vector<std::unique_ptr<MaterializedView>> views_;
+  bool persistent_ = false;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_MATERIALIZED_VIEW_H_

@@ -1,0 +1,66 @@
+#ifndef VIEWJOIN_STORAGE_PAGER_H_
+#define VIEWJOIN_STORAGE_PAGER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "storage/io_stats.h"
+
+namespace viewjoin::storage {
+
+/// Page id within a pager file.
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
+
+/// Fixed-size-page file manager. Materialized views are serialized into a
+/// pager file and read back page-at-a-time through the BufferPool, so that
+/// every algorithm's list accesses are attributable to page I/O — the cost
+/// the LE pointer scheme is designed to reduce.
+///
+/// Single-threaded by design (as is the whole evaluation pipeline).
+class Pager {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  /// How the backing file is opened and closed.
+  enum class Mode {
+    kTruncate,  // create/truncate; file removed on close (scratch store)
+    kPersist,   // create/truncate; file kept on close
+    kReopen,    // open an existing file read/write; kept on close
+  };
+
+  /// Opens the backing file according to `mode`.
+  explicit Pager(const std::string& path, Mode mode = Mode::kTruncate);
+  ~Pager();
+
+  Pager(const Pager&) = delete;
+  Pager& operator=(const Pager&) = delete;
+
+  /// Reserves a new page id at the end of the file. The page must be written
+  /// before it is first read.
+  PageId AllocatePage();
+
+  /// Writes a full page. `data` must be kPageSize bytes.
+  void WritePage(PageId id, const void* data);
+
+  /// Reads a full page into `out` (kPageSize bytes).
+  void ReadPage(PageId id, void* out);
+
+  uint32_t page_count() const { return page_count_; }
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats(); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  Mode mode_ = Mode::kTruncate;
+  std::FILE* file_ = nullptr;
+  uint32_t page_count_ = 0;
+  IoStats stats_;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_PAGER_H_

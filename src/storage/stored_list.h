@@ -1,0 +1,132 @@
+#ifndef VIEWJOIN_STORAGE_STORED_LIST_H_
+#define VIEWJOIN_STORAGE_STORED_LIST_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
+#include "util/check.h"
+#include "xml/label.h"
+
+namespace viewjoin::storage {
+
+/// Index of an entry within a stored list; the on-disk encoding of the LE
+/// scheme's child/descendant/following pointers. Entry indexes convert
+/// to/from the paper's (page number, byte offset) pairs arithmetically since
+/// records are fixed-size and never span pages.
+using EntryIndex = uint32_t;
+
+inline constexpr EntryIndex kNullEntry = 0xFFFFFFFFu;
+
+/// On-disk record layouts (all little-endian uint32 fields):
+///
+///  element record  : start, end, level                          (12 bytes)
+///  LE record       : start, end, level, following, descendant,
+///                    child[0..m)                                (20 + 4m)
+///  tuple record    : n consecutive element records              (12n)
+///
+/// `following`/`descendant`/`child[k]` hold an EntryIndex into the pointed
+/// list or kNullEntry.
+struct RecordLayout {
+  uint32_t label_count = 1;   // 1 for element/LE lists, n for tuple lists
+  bool has_pointers = false;  // true for LE / LE_p lists
+  uint32_t child_count = 0;   // number of child pointers (LE only)
+
+  uint32_t RecordSize() const {
+    return 12 * label_count + (has_pointers ? 8 + 4 * child_count : 0);
+  }
+};
+
+/// Metadata of one immutable list of fixed-size records stored in a pager
+/// file. Created by the materializer; read through ListCursor.
+struct StoredList {
+  PageId first_page = kInvalidPage;
+  uint32_t count = 0;
+  RecordLayout layout;
+
+  uint32_t RecordsPerPage() const {
+    return static_cast<uint32_t>(Pager::kPageSize) / layout.RecordSize();
+  }
+  /// Page/offset of an entry — the paper's pointer representation.
+  PageId PageOf(EntryIndex i) const { return first_page + i / RecordsPerPage(); }
+  uint32_t OffsetOf(EntryIndex i) const {
+    return (i % RecordsPerPage()) * layout.RecordSize();
+  }
+  uint32_t PageSpan() const {
+    if (count == 0) return 0;
+    return (count + RecordsPerPage() - 1) / RecordsPerPage();
+  }
+};
+
+/// Cursor over a StoredList. Provides sequential Next() and random Seek()
+/// (how pointer jumps land). Field decoders read the current record through
+/// the buffer pool; the page pointer is cached so consecutive reads within a
+/// page cost one pool lookup.
+class ListCursor {
+ public:
+  ListCursor() = default;
+  ListCursor(const StoredList* list, BufferPool* pool)
+      : list_(list), pool_(pool) {}
+
+  bool valid() const { return list_ != nullptr; }
+  bool AtEnd() const { return index_ >= list_->count; }
+  EntryIndex index() const { return index_; }
+  uint32_t size() const { return list_->count; }
+  const StoredList& list() const { return *list_; }
+
+  void Reset() {
+    index_ = 0;
+    cached_page_ = kInvalidPage;
+  }
+
+  void Next() { ++index_; }
+
+  /// Random access (pointer dereference target).
+  void Seek(EntryIndex i) { index_ = i; }
+
+  /// Label of the current record's `k`-th label (k = 0 for element/LE lists).
+  xml::Label LabelAt(uint32_t k = 0) const {
+    const uint8_t* rec = Record();
+    xml::Label label;
+    std::memcpy(&label.start, rec + 12 * k, 4);
+    std::memcpy(&label.end, rec + 12 * k + 4, 4);
+    std::memcpy(&label.level, rec + 12 * k + 8, 4);
+    return label;
+  }
+
+  EntryIndex Following() const { return PointerAt(0); }
+  EntryIndex Descendant() const { return PointerAt(1); }
+  EntryIndex Child(uint32_t k) const { return PointerAt(2 + k); }
+
+ private:
+  EntryIndex PointerAt(uint32_t slot) const {
+    VJ_DCHECK(list_->layout.has_pointers);
+    const uint8_t* rec = Record();
+    EntryIndex value;
+    std::memcpy(&value, rec + 12 * list_->layout.label_count + 4 * slot, 4);
+    return value;
+  }
+
+  const uint8_t* Record() const {
+    VJ_DCHECK(!AtEnd());
+    PageId page = list_->PageOf(index_);
+    if (page != cached_page_ || cached_version_ != pool_->eviction_version()) {
+      cached_data_ = pool_->GetPage(page);
+      cached_page_ = page;
+      cached_version_ = pool_->eviction_version();
+    }
+    return cached_data_ + list_->OffsetOf(index_);
+  }
+
+  const StoredList* list_ = nullptr;
+  BufferPool* pool_ = nullptr;
+  EntryIndex index_ = 0;
+  mutable PageId cached_page_ = kInvalidPage;
+  mutable const uint8_t* cached_data_ = nullptr;
+  mutable uint64_t cached_version_ = 0;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_STORED_LIST_H_

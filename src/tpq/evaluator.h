@@ -1,0 +1,54 @@
+#ifndef VIEWJOIN_TPQ_EVALUATOR_H_
+#define VIEWJOIN_TPQ_EVALUATOR_H_
+
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::tpq {
+
+/// Exhaustive TPQ evaluator used as the correctness oracle for every join
+/// algorithm in this repository, and as the view materializer's embedding
+/// enumerator.
+///
+/// It enumerates all embeddings of `pattern` into `doc` by recursive
+/// backtracking over the per-tag node lists, restricting each candidate list
+/// to the (start, end) range of the assigned parent via binary search. It is
+/// output-sensitive enough for test- and view-materialization-sized inputs
+/// but performs no skipping and keeps no stacks — by design it shares no code
+/// with the algorithms under test.
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const xml::Document& doc, const TreePattern& pattern);
+
+  /// Streams every match into `sink`, in document order of the root match
+  /// (and recursively of each child match).
+  void Evaluate(MatchSink* sink) const;
+
+  /// Convenience: collects all matches.
+  std::vector<Match> Collect() const;
+
+  /// Convenience: counts matches.
+  uint64_t Count() const;
+
+  /// The distinct solution nodes per pattern node (document order): node n is
+  /// a solution node of pattern node q iff it occurs in some match at q.
+  /// This is exactly the content of the element/linked-element lists L_q.
+  std::vector<std::vector<xml::NodeId>> SolutionNodes() const;
+
+ private:
+  bool EvaluateNode(int q, xml::NodeId assigned, Match* match,
+                    MatchSink* sink) const;
+
+  const xml::Document& doc_;
+  TreePattern pattern_;  // owned copy: callers may pass temporaries
+  std::vector<xml::TagId> tags_;  // resolved per pattern node; may be invalid
+};
+
+/// Sorts matches lexicographically (canonical order for test comparison).
+void SortMatches(std::vector<Match>* matches);
+
+}  // namespace viewjoin::tpq
+
+#endif  // VIEWJOIN_TPQ_EVALUATOR_H_

@@ -1,0 +1,201 @@
+#include "tpq/pattern.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace viewjoin::tpq {
+namespace {
+
+/// Recursive-descent parser for the {/, //, []} XPath fragment.
+///
+/// Grammar:
+///   pattern    := step+
+///   step       := axis name predicate*
+///   axis       := '//' | '/' | (empty, inside predicates: child)
+///   predicate  := '[' pattern ']'
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<TreePattern> Run() {
+    TreePattern pattern;
+    if (!ParseSteps(&pattern, /*parent=*/-1, /*allow_bare_first=*/false)) {
+      return std::nullopt;
+    }
+    if (pos_ != text_.size()) {
+      Fail("trailing characters");
+      return std::nullopt;
+    }
+    if (pattern.empty()) {
+      Fail("empty pattern");
+      return std::nullopt;
+    }
+    return pattern;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      std::ostringstream out;
+      out << message << " at offset " << pos_;
+      *error_ = out.str();
+    }
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '-' || c == ':' || c == '.' || c == '*';
+  }
+
+  /// Parses a chain of steps under `parent`; each step becomes the parent of
+  /// the next. `allow_bare_first` permits the leading axis to be omitted
+  /// (child axis), which XPath allows inside predicates, e.g. `[title]`.
+  bool ParseSteps(TreePattern* pattern, int parent, bool allow_bare_first) {
+    bool first = true;
+    int current = parent;
+    while (!AtEnd() && Peek() != ']') {
+      Axis axis;
+      if (Peek() == '/') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '/') {
+          ++pos_;
+          axis = Axis::kDescendant;
+        } else {
+          axis = Axis::kChild;
+        }
+      } else if (first && allow_bare_first) {
+        axis = Axis::kChild;
+      } else if (first) {
+        Fail("pattern must start with '/' or '//'");
+        return false;
+      } else {
+        Fail("expected '/' or '//' or '['");
+        return false;
+      }
+      first = false;
+      size_t name_begin = pos_;
+      while (!AtEnd() && IsNameChar(Peek())) ++pos_;
+      if (pos_ == name_begin) {
+        Fail("expected element name");
+        return false;
+      }
+      std::string_view name = text_.substr(name_begin, pos_ - name_begin);
+      current = pattern->AddNode(name, current, axis);
+      // Predicates attach additional children to `current`.
+      while (!AtEnd() && Peek() == '[') {
+        ++pos_;
+        if (!ParseSteps(pattern, current, /*allow_bare_first=*/true)) {
+          return false;
+        }
+        if (AtEnd() || Peek() != ']') {
+          Fail("expected ']'");
+          return false;
+        }
+        ++pos_;
+      }
+    }
+    if (current == parent) {
+      Fail("empty step list");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+void AppendNode(const TreePattern& pattern, int node, std::ostringstream* out) {
+  const PatternNode& n = pattern.node(node);
+  *out << (n.incoming == Axis::kDescendant ? "//" : "/") << n.tag;
+  if (n.children.empty()) return;
+  // All children but the last render as predicates; the last continues the
+  // main path (canonical form).
+  for (size_t i = 0; i + 1 < n.children.size(); ++i) {
+    *out << '[';
+    AppendNode(pattern, n.children[i], out);
+    *out << ']';
+  }
+  AppendNode(pattern, n.children.back(), out);
+}
+
+}  // namespace
+
+std::optional<TreePattern> TreePattern::Parse(std::string_view xpath,
+                                              std::string* error) {
+  Parser parser(xpath, error);
+  return parser.Run();
+}
+
+int TreePattern::FindByTag(std::string_view tag) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].tag == tag) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool TreePattern::HasUniqueTags() const {
+  std::unordered_set<std::string> seen;
+  for (const PatternNode& n : nodes_) {
+    if (!seen.insert(n.tag).second) return false;
+  }
+  return true;
+}
+
+bool TreePattern::IsPath() const {
+  for (const PatternNode& n : nodes_) {
+    if (n.children.size() > 1) return false;
+  }
+  return true;
+}
+
+std::vector<int> TreePattern::PreorderNodes() const {
+  std::vector<int> order(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) order[i] = static_cast<int>(i);
+  return order;
+}
+
+std::string TreePattern::ToString() const {
+  if (nodes_.empty()) return "";
+  std::ostringstream out;
+  AppendNode(*this, root(), &out);
+  return out.str();
+}
+
+int TreePattern::AddNode(std::string_view tag, int parent, Axis axis) {
+  VJ_CHECK(parent >= -1 && parent < static_cast<int>(nodes_.size()));
+  VJ_CHECK(parent >= 0 || nodes_.empty()) << "pattern already has a root";
+  int index = static_cast<int>(nodes_.size());
+  PatternNode node;
+  node.tag = std::string(tag);
+  node.incoming = axis;
+  node.parent = parent;
+  nodes_.push_back(std::move(node));
+  if (parent >= 0) nodes_[static_cast<size_t>(parent)].children.push_back(index);
+  return index;
+}
+
+void HashingSink::OnMatch(const Match& match) {
+  // Order-independent combine: sum of per-match hashes. Each match hash is a
+  // polynomial of its node ids mixed through splitmix-style finalization.
+  uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (xml::NodeId id : match) {
+    h = h * 0x100000001B3ULL + id + 1;
+    h ^= h >> 29;
+  }
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 32;
+  hash_ += h;
+  ++count_;
+}
+
+}  // namespace viewjoin::tpq

@@ -1,0 +1,131 @@
+#ifndef VIEWJOIN_TPQ_PATTERN_H_
+#define VIEWJOIN_TPQ_PATTERN_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "xml/label.h"
+
+namespace viewjoin::tpq {
+
+/// Edge axis between a pattern node and its parent.
+enum class Axis {
+  kChild,       // pc-edge: '/'
+  kDescendant,  // ad-edge: '//'
+};
+
+/// One node of a tree pattern. Nodes are stored in preorder; node 0 is the
+/// pattern root.
+struct PatternNode {
+  /// Element type name (patterns carry names; algorithms resolve them to a
+  /// document's interned TagId at evaluation time).
+  std::string tag;
+  /// Axis of the incoming edge from `parent` (for the root: the axis binding
+  /// the root to the document — '//' matches anywhere, '/' only the document
+  /// root element).
+  Axis incoming = Axis::kDescendant;
+  /// Parent node index; -1 for the root.
+  int parent = -1;
+  /// Child node indices in syntax order.
+  std::vector<int> children;
+};
+
+/// A tree pattern query / view pattern over the XPath fragment {/, //, []}.
+///
+/// Following the paper (Section II): every node is an output node, and a
+/// well-formed pattern for this system has no duplicate element types.
+class TreePattern {
+ public:
+  TreePattern() = default;
+
+  /// Parses an XPath expression of the {/, //, []} fragment, e.g.
+  /// `//a//b[//c/d]//e` or `//journal[//suffix][title]/date/year`.
+  /// Returns std::nullopt and sets *error on malformed input.
+  static std::optional<TreePattern> Parse(std::string_view xpath,
+                                          std::string* error = nullptr);
+
+  /// Number of pattern nodes (|Q| in the paper).
+  size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+
+  const PatternNode& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  int root() const { return 0; }
+
+  /// Index of the node with element type `tag`, or -1. Patterns in this
+  /// system have unique element types, so the answer is unambiguous.
+  int FindByTag(std::string_view tag) const;
+
+  /// True iff no element type occurs twice (the paper's standing assumption).
+  bool HasUniqueTags() const;
+
+  /// True iff the pattern is a path (no branching).
+  bool IsPath() const;
+
+  /// Nodes in a fixed top-down (preorder) order; equals 0..size-1 since nodes
+  /// are stored in preorder, but exposed for readability at call sites.
+  std::vector<int> PreorderNodes() const;
+
+  /// Serializes back to XPath syntax (canonical: predicates for all but the
+  /// last child).
+  std::string ToString() const;
+
+  /// Builder API for programmatic construction (used by tests/generators).
+  /// Adds a node under `parent` (-1 creates the root) and returns its index.
+  int AddNode(std::string_view tag, int parent, Axis axis);
+
+ private:
+  std::vector<PatternNode> nodes_;
+};
+
+/// A query match: match[i] is the document node embedding pattern node i.
+using Match = std::vector<xml::NodeId>;
+
+/// Consumer of query matches. Algorithms stream matches into a sink so that
+/// benches can count without materializing and tests can collect.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+  /// Called once per tree-pattern instance; `match` is indexed by pattern
+  /// node and valid only for the duration of the call.
+  virtual void OnMatch(const Match& match) = 0;
+};
+
+/// Counts matches.
+class CountingSink : public MatchSink {
+ public:
+  void OnMatch(const Match&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+/// Collects matches (tests / small results only).
+class CollectingSink : public MatchSink {
+ public:
+  void OnMatch(const Match& match) override { matches_.push_back(match); }
+  const std::vector<Match>& matches() const { return matches_; }
+  std::vector<Match>& mutable_matches() { return matches_; }
+
+ private:
+  std::vector<Match> matches_;
+};
+
+/// Order-independent fingerprint of a match set; used by differential tests
+/// to compare algorithms without sorting huge result sets.
+class HashingSink : public MatchSink {
+ public:
+  void OnMatch(const Match& match) override;
+  uint64_t hash() const { return hash_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t hash_ = 0;
+  uint64_t count_ = 0;
+};
+
+}  // namespace viewjoin::tpq
+
+#endif  // VIEWJOIN_TPQ_PATTERN_H_

@@ -1,0 +1,105 @@
+#include "tpq/subpattern.h"
+
+#include "util/check.h"
+
+namespace viewjoin::tpq {
+namespace {
+
+/// True iff q-node `anc` is a proper ancestor of q-node `desc` in `q`.
+bool IsPatternAncestor(const TreePattern& q, int anc, int desc) {
+  for (int p = q.node(desc).parent; p >= 0; p = q.node(p).parent) {
+    if (p == anc) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<PatternMapping> SubpatternMapping(const TreePattern& v,
+                                                const TreePattern& q) {
+  VJ_DCHECK(v.HasUniqueTags() && q.HasUniqueTags());
+  PatternMapping mapping(v.size(), -1);
+  for (size_t i = 0; i < v.size(); ++i) {
+    int target = q.FindByTag(v.node(static_cast<int>(i)).tag);
+    if (target < 0) return std::nullopt;  // type missing from q
+    mapping[i] = target;
+  }
+  for (size_t i = 0; i < v.size(); ++i) {
+    const PatternNode& vn = v.node(static_cast<int>(i));
+    if (vn.parent < 0) continue;
+    int mapped = mapping[i];
+    int mapped_parent = mapping[static_cast<size_t>(vn.parent)];
+    if (vn.incoming == Axis::kChild) {
+      // pc-edge must map to a pc-edge.
+      const PatternNode& qn = q.node(mapped);
+      if (qn.parent != mapped_parent || qn.incoming != Axis::kChild) {
+        return std::nullopt;
+      }
+    } else {
+      // ad-edge must map to a proper ancestor-descendant pair.
+      if (!IsPatternAncestor(q, mapped_parent, mapped)) return std::nullopt;
+    }
+  }
+  return mapping;
+}
+
+bool IsSubpattern(const TreePattern& v, const TreePattern& q) {
+  return SubpatternMapping(v, q).has_value();
+}
+
+bool IsConnectedSubpattern(const TreePattern& v, const TreePattern& q) {
+  std::optional<PatternMapping> mapping = SubpatternMapping(v, q);
+  if (!mapping.has_value()) return false;
+  for (size_t i = 0; i < v.size(); ++i) {
+    const PatternNode& vn = v.node(static_cast<int>(i));
+    if (vn.parent < 0) continue;
+    // Every v-edge must map to a direct q-edge.
+    int mapped = (*mapping)[i];
+    int mapped_parent = (*mapping)[static_cast<size_t>(vn.parent)];
+    if (q.node(mapped).parent != mapped_parent) return false;
+  }
+  return true;
+}
+
+CoveringInfo AnalyzeCovering(const TreePattern& query,
+                             const std::vector<TreePattern>& views) {
+  CoveringInfo info;
+  info.view_of.assign(query.size(), -1);
+  info.mappings.resize(views.size());
+  for (size_t vi = 0; vi < views.size(); ++vi) {
+    info.mappings[vi] = SubpatternMapping(views[vi], query);
+    if (!info.mappings[vi].has_value()) continue;
+    for (int qnode : *info.mappings[vi]) {
+      if (info.view_of[static_cast<size_t>(qnode)] >= 0) {
+        info.overlapping = true;
+      } else {
+        info.view_of[static_cast<size_t>(qnode)] = static_cast<int>(vi);
+      }
+    }
+  }
+  info.covers = true;
+  for (int owner : info.view_of) {
+    if (owner < 0) info.covers = false;
+  }
+  return info;
+}
+
+bool IsCoveringSet(const TreePattern& query,
+                   const std::vector<TreePattern>& views) {
+  return AnalyzeCovering(query, views).covers;
+}
+
+bool IsMinimalCoveringSet(const TreePattern& query,
+                          const std::vector<TreePattern>& views) {
+  if (!IsCoveringSet(query, views)) return false;
+  for (size_t skip = 0; skip < views.size(); ++skip) {
+    std::vector<TreePattern> subset;
+    for (size_t i = 0; i < views.size(); ++i) {
+      if (i != skip) subset.push_back(views[i]);
+    }
+    if (IsCoveringSet(query, subset)) return false;
+  }
+  return true;
+}
+
+}  // namespace viewjoin::tpq

@@ -1,0 +1,63 @@
+#ifndef VIEWJOIN_TPQ_SUBPATTERN_H_
+#define VIEWJOIN_TPQ_SUBPATTERN_H_
+
+#include <optional>
+#include <vector>
+
+#include "tpq/pattern.h"
+
+namespace viewjoin::tpq {
+
+/// Mapping from the nodes of a (sub)pattern `v` to nodes of a pattern `Q`:
+/// entry i is the Q-node index that v-node i maps to. Because patterns have
+/// unique element types, the mapping is unique when it exists.
+using PatternMapping = std::vector<int>;
+
+/// Computes the subpattern embedding of `v` into `q` (paper Section II):
+///  * type preservation: each v-node maps to the q-node of the same tag;
+///  * pc-edges of v map to pc-edges of q;
+///  * ad-edges of v map to proper ancestor-descendant pairs in q.
+/// Returns std::nullopt if `v` is not a subpattern of `q`.
+std::optional<PatternMapping> SubpatternMapping(const TreePattern& v,
+                                                const TreePattern& q);
+
+/// True iff `v` is a subpattern of `q`.
+bool IsSubpattern(const TreePattern& v, const TreePattern& q);
+
+/// True iff `v` is a *connected* subpattern of `q`: a subpattern whose every
+/// edge maps to an actual edge of `q` (ad-edges of `v` may map to either pc-
+/// or ad-edges; pc-edges must map to pc-edges).
+bool IsConnectedSubpattern(const TreePattern& v, const TreePattern& q);
+
+/// Covering analysis of a query by a set of candidate views.
+struct CoveringInfo {
+  /// view_of[qnode] = index into `views` of the view covering that query
+  /// node, or -1 if uncovered. With the paper's assumption that used views
+  /// share no element types, the assignment is unique.
+  std::vector<int> view_of;
+  /// Per view: the subpattern mapping into the query (empty if the view is
+  /// not a subpattern and hence unusable).
+  std::vector<std::optional<PatternMapping>> mappings;
+  /// True iff every query node is covered by some usable view.
+  bool covers = false;
+  /// True iff two usable views share an element type occurring in the query.
+  bool overlapping = false;
+};
+
+/// Analyzes how `views` cover `query`. A view covers the query nodes its
+/// tags map onto, provided it is a subpattern of the query.
+CoveringInfo AnalyzeCovering(const TreePattern& query,
+                             const std::vector<TreePattern>& views);
+
+/// True iff `views` is a covering view set of `query` (every query node
+/// covered by a view that is a subpattern of the query).
+bool IsCoveringSet(const TreePattern& query,
+                   const std::vector<TreePattern>& views);
+
+/// True iff `views` covers `query` and no proper subset does.
+bool IsMinimalCoveringSet(const TreePattern& query,
+                          const std::vector<TreePattern>& views);
+
+}  // namespace viewjoin::tpq
+
+#endif  // VIEWJOIN_TPQ_SUBPATTERN_H_

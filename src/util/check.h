@@ -1,0 +1,85 @@
+#ifndef VIEWJOIN_UTIL_CHECK_H_
+#define VIEWJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace viewjoin::util {
+
+/// Terminates the process with a message. Used by the CHECK macros; call
+/// directly only for unrecoverable invariant violations.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+/// Stream-collecting helper so `VJ_CHECK(x) << "context"` works. Constructed
+/// only on failure; aborts in the destructor after the message is complete.
+class CheckMessageSink {
+ public:
+  CheckMessageSink(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageSink(const CheckMessageSink&) = delete;
+  CheckMessageSink& operator=(const CheckMessageSink&) = delete;
+
+  template <typename T>
+  CheckMessageSink& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  ~CheckMessageSink() { CheckFail(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< consumer making the macro's both branches void.
+struct Voidify {
+  void operator&(const CheckMessageSink&) const {}
+};
+
+/// No-op sink selected when DCHECKs are compiled out.
+struct NullSink {
+  template <typename T>
+  const NullSink& operator<<(const T&) const {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace viewjoin::util
+
+/// Always-on invariant check. Evaluates `cond` exactly once. Additional
+/// context may be streamed: VJ_CHECK(n > 0) << "n=" << n;
+#define VJ_CHECK(cond)                                  \
+  (cond) ? (void)0                                      \
+         : ::viewjoin::util::internal::Voidify() &      \
+               ::viewjoin::util::internal::CheckMessageSink(__FILE__, \
+                                                            __LINE__, #cond)
+
+#define VJ_CHECK_EQ(a, b) VJ_CHECK((a) == (b))
+#define VJ_CHECK_NE(a, b) VJ_CHECK((a) != (b))
+#define VJ_CHECK_LT(a, b) VJ_CHECK((a) < (b))
+#define VJ_CHECK_LE(a, b) VJ_CHECK((a) <= (b))
+#define VJ_CHECK_GT(a, b) VJ_CHECK((a) > (b))
+#define VJ_CHECK_GE(a, b) VJ_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define VJ_DCHECK(cond) VJ_CHECK(cond)
+#else
+#define VJ_DCHECK(cond) \
+  ::viewjoin::util::internal::NullSink() << !!(cond)
+#endif
+
+#endif  // VIEWJOIN_UTIL_CHECK_H_

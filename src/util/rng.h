@@ -1,0 +1,71 @@
+#ifndef VIEWJOIN_UTIL_RNG_H_
+#define VIEWJOIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace viewjoin::util {
+
+/// Deterministic 64-bit PRNG (splitmix64). All data generators and property
+/// tests seed from this so runs are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    VJ_DCHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    VJ_DCHECK(lo <= hi);
+    return lo +
+           static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Zipf-like skewed choice over [0, n): rank r is picked with weight
+  /// 1/(r+1)^theta. Used by the NASA-like generator to produce the skewed
+  /// element distribution the paper relies on. `n` is small in our usage so
+  /// a linear inverse-CDF walk is fine.
+  uint64_t Zipf(uint64_t n, double theta) {
+    VJ_DCHECK(n > 0);
+    double total = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      total += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    }
+    double target = NextDouble() * total;
+    double acc = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      if (target < acc) return i;
+    }
+    return n - 1;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_RNG_H_

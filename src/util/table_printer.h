@@ -1,0 +1,38 @@
+#ifndef VIEWJOIN_UTIL_TABLE_PRINTER_H_
+#define VIEWJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace viewjoin::util {
+
+/// Fixed-width ASCII table writer used by the benchmark binaries to print
+/// paper-style tables (Table II, IV, V and the figure data series).
+class TablePrinter {
+ public:
+  /// `columns` are the header labels; widths adapt to content.
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  /// Appends one row; must have exactly as many cells as columns.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the full table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Convenience: renders and writes to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a byte count as a human-readable "x.xx MB" string.
+std::string FormatMegabytes(uint64_t bytes);
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_TABLE_PRINTER_H_

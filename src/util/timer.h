@@ -1,0 +1,61 @@
+#ifndef VIEWJOIN_UTIL_TIMER_H_
+#define VIEWJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace viewjoin::util {
+
+/// Monotonic wall-clock stopwatch with microsecond resolution.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Resets the stopwatch to now.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in microseconds since construction / last Reset().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in milliseconds (floating point, for reporting).
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time across many scoped intervals; used by the pager to
+/// attribute the I/O share of total processing time, as the paper reports.
+class AccumulatingTimer {
+ public:
+  /// RAII guard adding the interval it was alive for to the accumulator.
+  class Scope {
+   public:
+    explicit Scope(AccumulatingTimer* owner) : owner_(owner) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { owner_->micros_ += timer_.ElapsedMicros(); }
+
+   private:
+    AccumulatingTimer* owner_;
+    Timer timer_;
+  };
+
+  int64_t TotalMicros() const { return micros_; }
+  double TotalMillis() const { return static_cast<double>(micros_) / 1000.0; }
+  void Reset() { micros_ = 0; }
+
+ private:
+  int64_t micros_ = 0;
+};
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_TIMER_H_

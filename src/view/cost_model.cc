@@ -1,0 +1,66 @@
+#include "view/cost_model.h"
+
+#include "tpq/evaluator.h"
+#include "tpq/subpattern.h"
+#include "util/check.h"
+
+namespace viewjoin::view {
+
+using tpq::TreePattern;
+
+std::vector<uint32_t> ViewListLengths(const xml::Document& doc,
+                                      const TreePattern& pattern) {
+  tpq::NaiveEvaluator evaluator(doc, pattern);
+  std::vector<std::vector<xml::NodeId>> solutions = evaluator.SolutionNodes();
+  std::vector<uint32_t> lengths;
+  lengths.reserve(solutions.size());
+  for (const auto& list : solutions) {
+    lengths.push_back(static_cast<uint32_t>(list.size()));
+  }
+  return lengths;
+}
+
+std::vector<int> MissingEdgeCounts(const TreePattern& query,
+                                   const TreePattern& view) {
+  std::optional<tpq::PatternMapping> mapping =
+      tpq::SubpatternMapping(view, query);
+  VJ_CHECK(mapping.has_value()) << "view is not a subpattern of the query";
+  // Invert: query node -> view node (-1 when uncovered by this view).
+  std::vector<int> inverse(query.size(), -1);
+  for (size_t vn = 0; vn < mapping->size(); ++vn) {
+    inverse[static_cast<size_t>((*mapping)[vn])] = static_cast<int>(vn);
+  }
+  // A Q-edge (p, q) is "present in v" iff both endpoints are covered and
+  // their view nodes are adjacent in the view.
+  auto present = [&](int qp, int qq) {
+    int vp = inverse[static_cast<size_t>(qp)];
+    int vq = inverse[static_cast<size_t>(qq)];
+    if (vp < 0 || vq < 0) return false;
+    return view.node(vq).parent == vp || view.node(vp).parent == vq;
+  };
+  std::vector<int> counts(view.size(), 0);
+  for (size_t vn = 0; vn < view.size(); ++vn) {
+    int q = (*mapping)[vn];
+    const tpq::PatternNode& qn = query.node(q);
+    if (qn.parent >= 0 && !present(qn.parent, q)) ++counts[vn];
+    for (int c : qn.children) {
+      if (!present(q, c)) ++counts[vn];
+    }
+  }
+  return counts;
+}
+
+double ViewCost(const TreePattern& query, const TreePattern& view,
+                const std::vector<uint32_t>& list_lengths, double lambda) {
+  VJ_CHECK_EQ(list_lengths.size(), view.size());
+  std::vector<int> missing = MissingEdgeCounts(query, view);
+  double io = 0;
+  double join = 0;
+  for (size_t vn = 0; vn < view.size(); ++vn) {
+    io += list_lengths[vn];
+    join += static_cast<double>(list_lengths[vn]) * missing[vn];
+  }
+  return (1.0 - lambda) * io + lambda * join;
+}
+
+}  // namespace viewjoin::view

@@ -1,0 +1,39 @@
+#ifndef VIEWJOIN_VIEW_COST_MODEL_H_
+#define VIEWJOIN_VIEW_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/document.h"
+
+namespace viewjoin::view {
+
+/// |L_q| for every node of `pattern` materialized over `doc` — the sizes the
+/// cost model consumes. (Identical to the list lengths a materialized view
+/// would have; computable without materializing.)
+std::vector<uint32_t> ViewListLengths(const xml::Document& doc,
+                                      const tpq::TreePattern& pattern);
+
+/// The paper's evaluation cost model (Section V):
+///
+///   c(v, Q) = (1-λ) · Σ_q |L_q|  +  λ · Σ_q |L_q| · e_q
+///
+/// summed over the nodes q of `view`, where e_q is the number of edges of q
+/// in Q that are not present in v (the interleaving conditions q will pay
+/// structural comparisons for). λ = 1 approximates the observed CPU-bound
+/// behaviour; λ = 0 degenerates to the pure I/O (view size) heuristic that
+/// Example 5.1 shows picking worse view sets.
+///
+/// `view` must be a subpattern of `query`; `list_lengths` are the |L_q| of
+/// the view's nodes (in view node order).
+double ViewCost(const tpq::TreePattern& query, const tpq::TreePattern& view,
+                const std::vector<uint32_t>& list_lengths, double lambda);
+
+/// e_q values per view node (exposed for tests and the benches' tables).
+std::vector<int> MissingEdgeCounts(const tpq::TreePattern& query,
+                                   const tpq::TreePattern& view);
+
+}  // namespace viewjoin::view
+
+#endif  // VIEWJOIN_VIEW_COST_MODEL_H_

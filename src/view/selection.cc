@@ -1,0 +1,192 @@
+#include "view/selection.h"
+
+#include <cmath>
+#include <limits>
+
+#include "tpq/subpattern.h"
+#include "view/cardinality.h"
+#include "view/cost_model.h"
+
+namespace viewjoin::view {
+
+using tpq::TreePattern;
+
+SelectionResult SelectViews(const xml::Document& doc, const TreePattern& query,
+                            const std::vector<TreePattern>& candidates,
+                            const SelectionOptions& options) {
+  SelectionResult result;
+  size_t n = candidates.size();
+  result.costs.assign(n, std::numeric_limits<double>::quiet_NaN());
+  result.sizes.assign(n, 0);
+
+  std::vector<std::optional<tpq::PatternMapping>> mappings(n);
+  for (size_t i = 0; i < n; ++i) {
+    mappings[i] = tpq::SubpatternMapping(candidates[i], query);
+    if (!mappings[i].has_value()) continue;  // unusable: not a subpattern
+    std::vector<uint32_t> lengths;
+    if (options.statistics != nullptr) {
+      for (double est : EstimateListLengths(*options.statistics, doc,
+                                            candidates[i])) {
+        lengths.push_back(static_cast<uint32_t>(est + 0.5));
+      }
+    } else {
+      lengths = ViewListLengths(doc, candidates[i]);
+    }
+    for (uint32_t len : lengths) result.sizes[i] += len;
+    result.costs[i] =
+        ViewCost(query, candidates[i], lengths, options.lambda);
+  }
+
+  std::vector<uint8_t> covered(query.size(), 0);
+  std::vector<uint8_t> used(n, 0);
+  size_t covered_count = 0;
+  while (covered_count < query.size()) {
+    double best_benefit = -1;
+    int best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i] || !mappings[i].has_value()) continue;
+      // Disjointness: a candidate whose types overlap an already covered
+      // query node is skipped (the evaluation algorithms require views with
+      // pairwise-distinct element types).
+      size_t fresh = 0;
+      bool overlap = false;
+      for (int qnode : *mappings[i]) {
+        if (covered[static_cast<size_t>(qnode)]) {
+          overlap = true;
+          break;
+        }
+        ++fresh;
+      }
+      if (overlap || fresh == 0) continue;
+      double denom = options.heuristic == SelectionHeuristic::kSizeOnly
+                         ? static_cast<double>(result.sizes[i])
+                         : result.costs[i];
+      if (denom <= 0) denom = 1e-9;  // free views are infinitely beneficial
+      double benefit = static_cast<double>(fresh) / denom;
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // nothing usable remains
+    used[static_cast<size_t>(best)] = 1;
+    result.selected.push_back(static_cast<size_t>(best));
+    for (int qnode : *mappings[static_cast<size_t>(best)]) {
+      covered[static_cast<size_t>(qnode)] = 1;
+      ++covered_count;
+    }
+  }
+  result.covers = covered_count == query.size();
+  return result;
+}
+
+WorkloadSelectionResult SelectViewsForWorkload(
+    const xml::Document& doc, const std::vector<TreePattern>& workload,
+    const std::vector<TreePattern>& candidates,
+    const SelectionOptions& options) {
+  size_t nq = workload.size();
+  size_t nc = candidates.size();
+  WorkloadSelectionResult result;
+  result.per_query_views.resize(nq);
+  result.covered.assign(nq, 0);
+
+  // Per (query, candidate): the subpattern mapping, when usable.
+  std::vector<std::vector<std::optional<tpq::PatternMapping>>> mappings(nq);
+  // Per (query, candidate): cost c(v, Q_i).
+  std::vector<std::vector<double>> costs(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    mappings[q].resize(nc);
+    costs[q].assign(nc, 0);
+    for (size_t c = 0; c < nc; ++c) {
+      mappings[q][c] = tpq::SubpatternMapping(candidates[c], workload[q]);
+      if (!mappings[q][c].has_value()) continue;
+      std::vector<uint32_t> lengths;
+      if (options.statistics != nullptr) {
+        for (double est :
+             EstimateListLengths(*options.statistics, doc, candidates[c])) {
+          lengths.push_back(static_cast<uint32_t>(est + 0.5));
+        }
+      } else {
+        lengths = ViewListLengths(doc, candidates[c]);
+      }
+      if (options.heuristic == SelectionHeuristic::kSizeOnly) {
+        double size = 0;
+        for (uint32_t len : lengths) size += len;
+        costs[q][c] = size;
+      } else {
+        costs[q][c] = ViewCost(workload[q], candidates[c], lengths,
+                               options.lambda);
+      }
+    }
+  }
+
+  // Greedy: per query, track covered nodes; a candidate's marginal benefit
+  // sums over queries where it is usable and type-disjoint from that
+  // query's already-assigned views.
+  std::vector<std::vector<uint8_t>> covered_nodes(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    covered_nodes[q].assign(workload[q].size(), 0);
+  }
+  std::vector<uint8_t> used(nc, 0);
+  while (true) {
+    double best_benefit = 0;
+    int best = -1;
+    for (size_t c = 0; c < nc; ++c) {
+      if (used[c]) continue;
+      double gain = 0;
+      double cost = 0;
+      for (size_t q = 0; q < nq; ++q) {
+        if (result.covered[q] || !mappings[q][c].has_value()) continue;
+        size_t fresh = 0;
+        bool overlap = false;
+        for (int qnode : *mappings[q][c]) {
+          if (covered_nodes[q][static_cast<size_t>(qnode)]) {
+            overlap = true;
+            break;
+          }
+          ++fresh;
+        }
+        if (overlap || fresh == 0) continue;
+        gain += static_cast<double>(fresh);
+        cost += costs[q][c];
+      }
+      if (gain == 0) continue;
+      if (cost <= 0) cost = 1e-9;
+      double benefit = gain / cost;
+      if (benefit > best_benefit) {
+        best_benefit = benefit;
+        best = static_cast<int>(c);
+      }
+    }
+    if (best < 0) break;
+    size_t c = static_cast<size_t>(best);
+    used[c] = 1;
+    size_t selected_index = result.selected.size();
+    result.selected.push_back(c);
+    for (size_t q = 0; q < nq; ++q) {
+      if (result.covered[q] || !mappings[q][c].has_value()) continue;
+      bool overlap = false;
+      for (int qnode : *mappings[q][c]) {
+        overlap |= covered_nodes[q][static_cast<size_t>(qnode)] != 0;
+      }
+      if (overlap) continue;
+      result.per_query_views[q].push_back(selected_index);
+      size_t total = 0;
+      for (int qnode : *mappings[q][c]) {
+        covered_nodes[q][static_cast<size_t>(qnode)] = 1;
+      }
+      for (uint8_t f : covered_nodes[q]) total += f;
+      if (total == workload[q].size()) result.covered[q] = 1;
+    }
+    bool all = true;
+    for (uint8_t f : result.covered) all &= (f != 0);
+    if (all) break;
+  }
+  result.all_covered = true;
+  for (uint8_t f : result.covered) {
+    if (f == 0) result.all_covered = false;
+  }
+  return result;
+}
+
+}  // namespace viewjoin::view

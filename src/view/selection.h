@@ -1,0 +1,82 @@
+#ifndef VIEWJOIN_VIEW_SELECTION_H_
+#define VIEWJOIN_VIEW_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/document.h"
+#include "xml/statistics.h"
+
+namespace viewjoin::view {
+
+/// Heuristic family for picking a covering view set (paper Section V).
+enum class SelectionHeuristic {
+  /// The paper's cost-based benefit |new nodes| / c(v,Q) with λ given below.
+  kCostBased,
+  /// The size-only baseline of Example 5.1: benefit |new nodes| / Σ|L_q|.
+  kSizeOnly,
+};
+
+struct SelectionOptions {
+  SelectionHeuristic heuristic = SelectionHeuristic::kCostBased;
+  /// Weight between I/O and join cost; the paper uses λ = 1 (CPU-bound).
+  double lambda = 1.0;
+  /// When set, |L_q| values come from the independence estimator over these
+  /// single-pass statistics instead of exact evaluation — how a production
+  /// optimizer would run the paper's heuristic without touching the views.
+  const xml::DocumentStatistics* statistics = nullptr;
+};
+
+struct SelectionResult {
+  /// Indices into the candidate vector, in selection order.
+  std::vector<size_t> selected;
+  /// True iff the selected set covers every query node.
+  bool covers = false;
+  /// Per candidate: c(v,Q) under the options' λ (NaN for non-subpatterns).
+  std::vector<double> costs;
+  /// Per candidate: Σ|L_q| (the size metric, paper Table II's "Size").
+  std::vector<uint64_t> sizes;
+};
+
+/// Greedy view selection (paper Section V, after Harinarayan et al.):
+/// iteratively picks the unselected candidate with the highest benefit
+/// (newly covered query nodes per unit cost) until the query is covered or
+/// no candidate helps. Candidates that are not subpatterns of the query are
+/// unusable; candidates sharing an element type with an already selected
+/// view are skipped, keeping the chosen set disjoint as the evaluation
+/// algorithms require.
+///
+/// If the heuristic terminates with full coverage the result is a minimal
+/// covering view set.
+SelectionResult SelectViews(const xml::Document& doc,
+                            const tpq::TreePattern& query,
+                            const std::vector<tpq::TreePattern>& candidates,
+                            const SelectionOptions& options = {});
+
+/// Workload-level selection: one materialized-view set serving a whole
+/// workload of queries — the setting the paper's greedy ancestor
+/// (Harinarayan et al.) was designed for. A candidate's benefit is the sum,
+/// over the workload queries it can serve (subpattern + type-disjoint from
+/// the views already chosen for that query), of newly covered query nodes,
+/// divided by the view's cost aggregated over those queries.
+struct WorkloadSelectionResult {
+  /// Indices of chosen candidates, in selection order.
+  std::vector<size_t> selected;
+  /// Per query: the indices (into `selected`'s candidates) forming its
+  /// covering set, in usage order.
+  std::vector<std::vector<size_t>> per_query_views;
+  /// Per query: whether its covering completed.
+  std::vector<uint8_t> covered;
+  /// True iff every workload query is covered.
+  bool all_covered = false;
+};
+
+WorkloadSelectionResult SelectViewsForWorkload(
+    const xml::Document& doc, const std::vector<tpq::TreePattern>& workload,
+    const std::vector<tpq::TreePattern>& candidates,
+    const SelectionOptions& options = {});
+
+}  // namespace viewjoin::view
+
+#endif  // VIEWJOIN_VIEW_SELECTION_H_

@@ -1,0 +1,88 @@
+#include "xml/document.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace viewjoin::xml {
+
+TagId Document::InternTag(std::string_view name) {
+  auto it = tag_ids_.find(std::string(name));
+  if (it != tag_ids_.end()) return it->second;
+  TagId id = static_cast<TagId>(tag_names_.size());
+  tag_names_.emplace_back(name);
+  tag_ids_.emplace(std::string(name), id);
+  nodes_by_tag_.emplace_back();
+  return id;
+}
+
+TagId Document::FindTag(std::string_view name) const {
+  auto it = tag_ids_.find(std::string(name));
+  return it == tag_ids_.end() ? kInvalidTag : it->second;
+}
+
+const std::string& Document::TagName(TagId tag) const {
+  VJ_DCHECK(tag < tag_names_.size());
+  return tag_names_[tag];
+}
+
+NodeId Document::StartElement(TagId tag) {
+  VJ_CHECK(tag < tag_names_.size()) << "unknown tag id";
+  VJ_CHECK(open_stack_.size() > 0 || labels_.empty())
+      << "document already has a root";
+  NodeId id = static_cast<NodeId>(labels_.size());
+  Label label;
+  label.start = next_pos_++;
+  label.end = 0;  // patched in EndElement
+  label.level = static_cast<uint32_t>(open_stack_.size() + 1);
+  labels_.push_back(label);
+  tags_.push_back(tag);
+  first_child_.push_back(kInvalidNode);
+  last_child_.push_back(kInvalidNode);
+  next_sibling_.push_back(kInvalidNode);
+
+  NodeId parent = open_stack_.empty() ? kInvalidNode : open_stack_.back();
+  parents_.push_back(parent);
+  if (parent != kInvalidNode) {
+    if (first_child_[parent] == kInvalidNode) {
+      first_child_[parent] = id;
+    } else {
+      next_sibling_[last_child_[parent]] = id;
+    }
+    last_child_[parent] = id;
+  }
+  nodes_by_tag_[tag].push_back(id);
+  open_stack_.push_back(id);
+  return id;
+}
+
+void Document::EndElement() {
+  VJ_CHECK(!open_stack_.empty()) << "EndElement without matching StartElement";
+  NodeId id = open_stack_.back();
+  open_stack_.pop_back();
+  labels_[id].end = next_pos_++;
+}
+
+const std::vector<NodeId>& Document::NodesOfTag(TagId tag) const {
+  if (tag >= nodes_by_tag_.size()) return empty_list_;
+  return nodes_by_tag_[tag];
+}
+
+NodeId Document::FindByStart(TagId tag, uint32_t start) const {
+  const std::vector<NodeId>& list = NodesOfTag(tag);
+  auto it = std::lower_bound(list.begin(), list.end(), start,
+                             [this](NodeId n, uint32_t s) {
+                               return labels_[n].start < s;
+                             });
+  if (it == list.end() || labels_[*it].start != start) return kInvalidNode;
+  return *it;
+}
+
+size_t Document::MemoryBytes() const {
+  size_t bytes = labels_.size() * (sizeof(Label) + sizeof(TagId) +
+                                   3 * sizeof(NodeId) + sizeof(NodeId));
+  for (const auto& name : tag_names_) bytes += name.size() + sizeof(TagId);
+  return bytes;
+}
+
+}  // namespace viewjoin::xml

@@ -1,0 +1,120 @@
+#ifndef VIEWJOIN_XML_DOCUMENT_H_
+#define VIEWJOIN_XML_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/label.h"
+
+namespace viewjoin::xml {
+
+/// Region-labelled XML element tree stored in struct-of-arrays form.
+///
+/// Nodes are identified by `NodeId`, which is also the document-order rank:
+/// node ids increase strictly with `start` labels. The document owns a tag
+/// table interning element-type names to dense `TagId`s, and an inverted
+/// index from TagId to the document-ordered list of nodes of that type (the
+/// "element streams" all join algorithms consume).
+class Document {
+ public:
+  Document() = default;
+
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+  Document(Document&&) = default;
+  Document& operator=(Document&&) = default;
+
+  // ---- Tag table -----------------------------------------------------------
+
+  /// Interns `name`, returning its dense id (existing id if already known).
+  TagId InternTag(std::string_view name);
+
+  /// Returns the id of `name`, or kInvalidTag if never interned.
+  TagId FindTag(std::string_view name) const;
+
+  /// Returns the name of an interned tag id.
+  const std::string& TagName(TagId tag) const;
+
+  /// Number of distinct tags.
+  size_t TagCount() const { return tag_names_.size(); }
+
+  // ---- Tree construction (document order) ----------------------------------
+
+  /// Opens an element as a child of the element most recently opened and not
+  /// yet closed (or as the root). Returns the new node's id.
+  NodeId StartElement(TagId tag);
+  NodeId StartElement(std::string_view name) {
+    return StartElement(InternTag(name));
+  }
+
+  /// Closes the most recently opened element.
+  void EndElement();
+
+  /// Accounts `n` extra label positions for text content between tags so
+  /// that serialized/real documents with text round-trip to the same labels.
+  void SkipTextPositions(uint32_t n) { next_pos_ += n; }
+
+  /// True once every opened element is closed and there is a root.
+  bool IsComplete() const { return open_stack_.empty() && !labels_.empty(); }
+
+  /// True while at least one element is open during construction.
+  bool HasOpenElement() const { return !open_stack_.empty(); }
+
+  /// Tag of the innermost open element; invalid when none is open.
+  TagId OpenElementTag() const {
+    return open_stack_.empty() ? kInvalidTag : tags_[open_stack_.back()];
+  }
+
+  // ---- Node accessors -------------------------------------------------------
+
+  size_t NodeCount() const { return labels_.size(); }
+  const Label& NodeLabel(NodeId n) const { return labels_[n]; }
+  TagId NodeTag(NodeId n) const { return tags_[n]; }
+  NodeId Parent(NodeId n) const { return parents_[n]; }
+  NodeId FirstChild(NodeId n) const { return first_child_[n]; }
+  NodeId NextSibling(NodeId n) const { return next_sibling_[n]; }
+  NodeId Root() const { return labels_.empty() ? kInvalidNode : 0; }
+
+  /// Document-ordered node ids of all elements of type `tag` (empty list for
+  /// unknown tags).
+  const std::vector<NodeId>& NodesOfTag(TagId tag) const;
+
+  /// Node of type `tag` whose label has the given `start`, or kInvalidNode.
+  /// Start labels are unique, so this resolves stored labels back to nodes.
+  NodeId FindByStart(TagId tag, uint32_t start) const;
+
+  // ---- Structural predicates on node ids ------------------------------------
+
+  bool IsAncestor(NodeId a, NodeId b) const {
+    return xml::IsAncestor(labels_[a], labels_[b]);
+  }
+  bool IsParent(NodeId a, NodeId b) const {
+    return xml::IsParent(labels_[a], labels_[b]);
+  }
+
+  /// Approximate in-memory footprint in bytes (used for space reporting).
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<TagId> tags_;
+  std::vector<NodeId> parents_;
+  std::vector<NodeId> first_child_;
+  std::vector<NodeId> last_child_;  // build-time helper for sibling links
+  std::vector<NodeId> next_sibling_;
+
+  std::vector<std::string> tag_names_;
+  std::unordered_map<std::string, TagId> tag_ids_;
+  std::vector<std::vector<NodeId>> nodes_by_tag_;
+  std::vector<NodeId> empty_list_;
+
+  std::vector<NodeId> open_stack_;
+  uint32_t next_pos_ = 1;
+};
+
+}  // namespace viewjoin::xml
+
+#endif  // VIEWJOIN_XML_DOCUMENT_H_

@@ -1,0 +1,52 @@
+#ifndef VIEWJOIN_XML_LABEL_H_
+#define VIEWJOIN_XML_LABEL_H_
+
+#include <cstdint>
+
+namespace viewjoin::xml {
+
+/// Region label of one XML element under the <start, end, level> scheme of
+/// Li & Moon (paper Section II): `start`/`end` are the word positions of the
+/// element's start and end tags in document order, `level` is the depth of
+/// the element (root = 1).
+///
+/// For two nodes a, b in the same document:
+///  * a is an ancestor of b  iff a.start < b.start && b.end < a.end
+///  * a is the parent of b   iff ancestor && a.level == b.level - 1
+///  * b follows a            iff b.start > a.end
+struct Label {
+  uint32_t start = 0;
+  uint32_t end = 0;
+  uint32_t level = 0;
+
+  friend bool operator==(const Label&, const Label&) = default;
+};
+
+/// True iff `a` is a proper ancestor of `b`.
+inline bool IsAncestor(const Label& a, const Label& b) {
+  return a.start < b.start && b.end < a.end;
+}
+
+/// True iff `a` is the parent of `b`.
+inline bool IsParent(const Label& a, const Label& b) {
+  return IsAncestor(a, b) && a.level + 1 == b.level;
+}
+
+/// True iff `b` is a following node of `a` (starts after `a` ends).
+inline bool IsFollowing(const Label& a, const Label& b) {
+  return b.start > a.end;
+}
+
+/// Interned element-type id. Tag names are interned per document (or per
+/// TagTable shared between a document and the queries over it).
+using TagId = uint32_t;
+
+/// Node handle: index into the owning document's arrays.
+using NodeId = uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFFu;
+inline constexpr TagId kInvalidTag = 0xFFFFFFFFu;
+
+}  // namespace viewjoin::xml
+
+#endif  // VIEWJOIN_XML_LABEL_H_

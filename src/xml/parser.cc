@@ -1,0 +1,167 @@
+#include "xml/parser.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace viewjoin::xml {
+namespace {
+
+/// Cursor over the raw XML text with single-token lookahead helpers.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  size_t pos() const { return pos_; }
+  char Peek() const { return text_[pos_]; }
+  char PeekAt(size_t delta) const {
+    return pos_ + delta < text_.size() ? text_[pos_ + delta] : '\0';
+  }
+  void Advance(size_t n = 1) { pos_ += n; }
+
+  bool StartsWith(std::string_view prefix) const {
+    return text_.compare(pos_, prefix.size(), prefix) == 0;
+  }
+
+  /// Advances past the first occurrence of `needle`; false if absent.
+  bool SkipPast(std::string_view needle) {
+    size_t found = text_.find(needle, pos_);
+    if (found == std::string_view::npos) return false;
+    pos_ = found + needle.size();
+    return true;
+  }
+
+  /// Reads an XML name (letters, digits, '_', '-', ':', '.').
+  std::string_view ReadName() {
+    size_t begin = pos_;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == ':' || c == '.') {
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return text_.substr(begin, pos_ - begin);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+ParseResult Fail(std::string message, size_t offset) {
+  ParseResult result;
+  result.error = std::move(message);
+  result.error_offset = offset;
+  return result;
+}
+
+}  // namespace
+
+ParseResult ParseDocument(std::string_view xml) {
+  Scanner scan(xml);
+  Document doc;
+  bool saw_root = false;
+  bool pending_text = false;
+
+  while (!scan.AtEnd()) {
+    char c = scan.Peek();
+    if (c != '<') {
+      if (!std::isspace(static_cast<unsigned char>(c))) pending_text = true;
+      scan.Advance();
+      continue;
+    }
+    if (pending_text) {
+      doc.SkipTextPositions(1);
+      pending_text = false;
+    }
+    if (scan.StartsWith("<!--")) {
+      if (!scan.SkipPast("-->")) return Fail("unterminated comment", scan.pos());
+      continue;
+    }
+    if (scan.StartsWith("<![CDATA[")) {
+      if (!scan.SkipPast("]]>")) return Fail("unterminated CDATA", scan.pos());
+      doc.SkipTextPositions(1);
+      continue;
+    }
+    if (scan.StartsWith("<?")) {
+      if (!scan.SkipPast("?>")) return Fail("unterminated PI", scan.pos());
+      continue;
+    }
+    if (scan.StartsWith("<!")) {  // DOCTYPE etc.
+      if (!scan.SkipPast(">")) return Fail("unterminated declaration", scan.pos());
+      continue;
+    }
+    if (scan.PeekAt(1) == '/') {
+      // Closing tag.
+      scan.Advance(2);
+      std::string_view name = scan.ReadName();
+      if (name.empty()) return Fail("empty closing tag name", scan.pos());
+      if (!doc.HasOpenElement()) {
+        return Fail("closing tag with no open element", scan.pos());
+      }
+      if (doc.TagName(doc.OpenElementTag()) != name) {
+        return Fail("mismatched closing tag </" + std::string(name) + ">",
+                    scan.pos());
+      }
+      doc.EndElement();
+      if (!scan.SkipPast(">")) return Fail("unterminated closing tag", scan.pos());
+      continue;
+    }
+    // Opening or empty tag.
+    scan.Advance(1);
+    std::string_view name = scan.ReadName();
+    if (name.empty()) return Fail("empty tag name", scan.pos());
+    if (saw_root && doc.IsComplete()) {
+      return Fail("multiple root elements", scan.pos());
+    }
+    doc.StartElement(name);
+    saw_root = true;
+    // Scan attributes until '>' or '/>', respecting quoted values.
+    bool closed = false;
+    bool self_closing = false;
+    while (!scan.AtEnd()) {
+      char a = scan.Peek();
+      if (a == '"' || a == '\'') {
+        scan.Advance();
+        while (!scan.AtEnd() && scan.Peek() != a) scan.Advance();
+        if (scan.AtEnd()) return Fail("unterminated attribute value", scan.pos());
+        scan.Advance();
+      } else if (a == '/' && scan.PeekAt(1) == '>') {
+        scan.Advance(2);
+        closed = true;
+        self_closing = true;
+        break;
+      } else if (a == '>') {
+        scan.Advance();
+        closed = true;
+        break;
+      } else {
+        scan.Advance();
+      }
+    }
+    if (!closed) return Fail("unterminated opening tag", scan.pos());
+    if (self_closing) doc.EndElement();
+  }
+
+  if (!saw_root) return Fail("no root element", 0);
+  if (!doc.IsComplete()) return Fail("unclosed elements at end of input", scan.pos());
+
+  ParseResult result;
+  result.document = std::move(doc);
+  return result;
+}
+
+ParseResult ParseDocumentFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail("cannot open file: " + path, 0);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  return ParseDocument(text);
+}
+
+}  // namespace viewjoin::xml

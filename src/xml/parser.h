@@ -1,0 +1,38 @@
+#ifndef VIEWJOIN_XML_PARSER_H_
+#define VIEWJOIN_XML_PARSER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "xml/document.h"
+
+namespace viewjoin::xml {
+
+/// Result of a parse attempt: either a complete document or an error message
+/// with the byte offset where parsing failed.
+struct ParseResult {
+  std::optional<Document> document;
+  std::string error;
+  size_t error_offset = 0;
+
+  bool ok() const { return document.has_value(); }
+};
+
+/// Parses the element structure of an XML string into a region-labelled
+/// Document.
+///
+/// This is the subset needed for TPQ processing (the paper's data model is
+/// element-only): start/end/empty tags and nesting are parsed; attributes are
+/// scanned past; text content, comments (`<!-- -->`), CDATA sections,
+/// processing instructions and the XML declaration are skipped. Each
+/// non-whitespace text run advances the label position counter by one so that
+/// labels match the common word-position numbering of real datasets.
+ParseResult ParseDocument(std::string_view xml);
+
+/// Parses a file from disk. Returns an error result if the file is missing.
+ParseResult ParseDocumentFile(const std::string& path);
+
+}  // namespace viewjoin::xml
+
+#endif  // VIEWJOIN_XML_PARSER_H_

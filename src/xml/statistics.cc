@@ -1,0 +1,99 @@
+#include "xml/statistics.h"
+
+#include "util/check.h"
+
+namespace viewjoin::xml {
+
+DocumentStatistics DocumentStatistics::Collect(const Document& doc) {
+  DocumentStatistics stats;
+  stats.node_count_ = doc.NodeCount();
+  stats.tag_counts_.assign(doc.TagCount(), 0);
+  if (doc.Root() == kInvalidNode) return stats;
+
+  // Single DFS carrying, per tag, the number of currently open ancestors.
+  // For node n with tag t at depth d:
+  //   * tag count and depth stats update directly;
+  //   * pc pair (tag(parent), t) increments by 1;
+  //   * ad pair (a, t) increments by open[a] for every open ancestor tag a;
+  //   * distinct counters increment by 1 the first time a qualifying
+  //     parent/ancestor exists.
+  std::vector<uint64_t> open(doc.TagCount(), 0);
+  struct Frame {
+    NodeId node;
+    NodeId next_child;
+  };
+  std::vector<Frame> stack;
+
+  auto enter = [&](NodeId n) {
+    TagId t = doc.NodeTag(n);
+    ++stats.tag_counts_[t];
+    uint32_t depth = doc.NodeLabel(n).level;
+    stats.depth_sum_ += depth;
+    if (depth > stats.max_depth_) stats.max_depth_ = depth;
+    NodeId parent = doc.Parent(n);
+    if (parent != kInvalidNode) {
+      TagId pt = doc.NodeTag(parent);
+      ++stats.pc_pairs_[Key(pt, t)];
+      ++stats.pc_distinct_[Key(pt, t)];
+    }
+    for (TagId a = 0; a < open.size(); ++a) {
+      if (open[a] == 0) continue;
+      stats.ad_pairs_[Key(a, t)] += open[a];
+      ++stats.ad_distinct_[Key(a, t)];
+    }
+    ++open[t];
+  };
+  auto leave = [&](NodeId n) { --open[doc.NodeTag(n)]; };
+
+  stack.push_back({doc.Root(), doc.FirstChild(doc.Root())});
+  enter(doc.Root());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_child == kInvalidNode) {
+      leave(top.node);
+      NodeId finished = top.node;
+      stack.pop_back();
+      if (!stack.empty()) {
+        stack.back().next_child = doc.NextSibling(finished);
+      }
+      continue;
+    }
+    NodeId child = top.next_child;
+    enter(child);
+    stack.push_back({child, doc.FirstChild(child)});
+  }
+  return stats;
+}
+
+uint64_t DocumentStatistics::TagCount(TagId tag) const {
+  if (tag == kInvalidTag || tag >= tag_counts_.size()) return 0;
+  return tag_counts_[tag];
+}
+
+uint64_t DocumentStatistics::Lookup(
+    const std::unordered_map<PairKey, uint64_t>& map, TagId a, TagId b) {
+  if (a == kInvalidTag || b == kInvalidTag) return 0;
+  auto it = map.find(Key(a, b));
+  return it == map.end() ? 0 : it->second;
+}
+
+uint64_t DocumentStatistics::PcPairCount(TagId parent, TagId child) const {
+  return Lookup(pc_pairs_, parent, child);
+}
+
+uint64_t DocumentStatistics::AdPairCount(TagId ancestor,
+                                         TagId descendant) const {
+  return Lookup(ad_pairs_, ancestor, descendant);
+}
+
+uint64_t DocumentStatistics::DistinctPcChildren(TagId parent,
+                                                TagId child) const {
+  return Lookup(pc_distinct_, parent, child);
+}
+
+uint64_t DocumentStatistics::DistinctAdDescendants(TagId ancestor,
+                                                   TagId descendant) const {
+  return Lookup(ad_distinct_, ancestor, descendant);
+}
+
+}  // namespace viewjoin::xml

@@ -1,0 +1,71 @@
+#ifndef VIEWJOIN_XML_STATISTICS_H_
+#define VIEWJOIN_XML_STATISTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/document.h"
+
+namespace viewjoin::xml {
+
+/// Summary statistics of a document, collected in one pass: per-tag counts,
+/// depth profile, and the tag-pair structure counts that drive cardinality
+/// estimation for tree patterns (parent-child and ancestor-descendant pair
+/// counts per tag pair).
+///
+/// The ancestor-descendant count `ad(a, b)` is the number of (ancestor,
+/// descendant) node pairs with those tags — exactly |matches of //a//b| —
+/// computed by a single DFS carrying the count of open ancestors per tag.
+class DocumentStatistics {
+ public:
+  /// Collects statistics for `doc` (O(nodes × depth) time, one DFS).
+  static DocumentStatistics Collect(const Document& doc);
+
+  uint64_t node_count() const { return node_count_; }
+  uint32_t max_depth() const { return max_depth_; }
+  double average_depth() const {
+    return node_count_ == 0
+               ? 0
+               : static_cast<double>(depth_sum_) /
+                     static_cast<double>(node_count_);
+  }
+
+  /// Number of elements with this tag (0 for unknown tags).
+  uint64_t TagCount(TagId tag) const;
+
+  /// Number of (parent, child) element pairs with the given tags.
+  uint64_t PcPairCount(TagId parent, TagId child) const;
+
+  /// Number of (ancestor, descendant) element pairs with the given tags
+  /// (= the exact match count of //parent//child).
+  uint64_t AdPairCount(TagId ancestor, TagId descendant) const;
+
+  /// Distinct elements of tag `child` having at least one `parent`-tagged
+  /// parent (pc) / ancestor (ad) — the building block of list-length
+  /// estimation.
+  uint64_t DistinctPcChildren(TagId parent, TagId child) const;
+  uint64_t DistinctAdDescendants(TagId ancestor, TagId descendant) const;
+
+ private:
+  using PairKey = uint64_t;
+  static PairKey Key(TagId a, TagId b) {
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  static uint64_t Lookup(const std::unordered_map<PairKey, uint64_t>& map,
+                         TagId a, TagId b);
+
+  uint64_t node_count_ = 0;
+  uint64_t depth_sum_ = 0;
+  uint32_t max_depth_ = 0;
+  std::vector<uint64_t> tag_counts_;
+  std::unordered_map<PairKey, uint64_t> pc_pairs_;
+  std::unordered_map<PairKey, uint64_t> ad_pairs_;
+  std::unordered_map<PairKey, uint64_t> pc_distinct_;
+  std::unordered_map<PairKey, uint64_t> ad_distinct_;
+};
+
+}  // namespace viewjoin::xml
+
+#endif  // VIEWJOIN_XML_STATISTICS_H_

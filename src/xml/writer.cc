@@ -1,0 +1,85 @@
+#include "xml/writer.h"
+
+#include <sstream>
+#include <vector>
+
+namespace viewjoin::xml {
+namespace {
+
+constexpr const char* kPayload = "lorem";
+
+/// Walks the tree in document order, invoking open/close callbacks.
+template <typename Open, typename Close>
+void Walk(const Document& doc, Open open, Close close) {
+  if (doc.Root() == kInvalidNode) return;
+  // Iterative DFS using explicit stack of (node, child-cursor).
+  std::vector<NodeId> stack;
+  stack.push_back(doc.Root());
+  open(doc.Root());
+  std::vector<NodeId> cursor;
+  cursor.push_back(doc.FirstChild(doc.Root()));
+  while (!stack.empty()) {
+    NodeId child = cursor.back();
+    if (child == kInvalidNode) {
+      close(stack.back());
+      stack.pop_back();
+      cursor.pop_back();
+      if (!stack.empty()) {
+        cursor.back() = doc.NextSibling(cursor.back());
+      }
+      continue;
+    }
+    open(child);
+    stack.push_back(child);
+    cursor.push_back(doc.FirstChild(child));
+  }
+}
+
+}  // namespace
+
+std::string WriteDocument(const Document& doc, const WriterOptions& options) {
+  std::ostringstream out;
+  auto emit_indent = [&](uint32_t level) {
+    if (options.indent > 0) {
+      out << '\n';
+      for (uint32_t i = 1; i < level; ++i) {
+        for (int s = 0; s < options.indent; ++s) out << ' ';
+      }
+    }
+  };
+  Walk(
+      doc,
+      [&](NodeId n) {
+        emit_indent(doc.NodeLabel(n).level);
+        out << '<' << doc.TagName(doc.NodeTag(n)) << '>';
+        if (options.synthetic_text && doc.FirstChild(n) == kInvalidNode) {
+          out << kPayload;
+        }
+      },
+      [&](NodeId n) {
+        if (doc.FirstChild(n) != kInvalidNode) {
+          emit_indent(doc.NodeLabel(n).level);
+        }
+        out << "</" << doc.TagName(doc.NodeTag(n)) << '>';
+      });
+  if (options.indent > 0) out << '\n';
+  return out.str();
+}
+
+size_t SerializedSize(const Document& doc, const WriterOptions& options) {
+  size_t bytes = 0;
+  Walk(
+      doc,
+      [&](NodeId n) {
+        bytes += doc.TagName(doc.NodeTag(n)).size() + 2;  // <name>
+        if (options.synthetic_text && doc.FirstChild(n) == kInvalidNode) {
+          bytes += 5;
+        }
+      },
+      [&](NodeId n) {
+        bytes += doc.TagName(doc.NodeTag(n)).size() + 3;  // </name>
+      });
+  return bytes;
+}
+
+}  // namespace viewjoin::xml

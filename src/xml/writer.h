@@ -1,0 +1,29 @@
+#ifndef VIEWJOIN_XML_WRITER_H_
+#define VIEWJOIN_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/document.h"
+
+namespace viewjoin::xml {
+
+/// Options controlling serialization.
+struct WriterOptions {
+  /// When true, each element gets a one-word synthetic text payload so the
+  /// serialized size approximates a real dataset of the same element count
+  /// (used when reporting document sizes in MB, paper Section VI-D).
+  bool synthetic_text = false;
+
+  /// Indentation per level; 0 writes a compact single line.
+  int indent = 0;
+};
+
+/// Serializes the element tree back to XML text.
+std::string WriteDocument(const Document& doc, const WriterOptions& options = {});
+
+/// Serialized size in bytes without building the string.
+size_t SerializedSize(const Document& doc, const WriterOptions& options = {});
+
+}  // namespace viewjoin::xml
+
+#endif  // VIEWJOIN_XML_WRITER_H_

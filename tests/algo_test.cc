@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "algo/candidate_enumerator.h"
+#include "algo/inter_join.h"
+#include "algo/path_stack.h"
+#include "algo/query_binding.h"
+#include "algo/spill_buffer.h"
+#include "algo/structural_join.h"
+#include "algo/twig_stack.h"
+#include "storage/materialized_view.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+
+namespace viewjoin {
+namespace {
+
+using algo::OutputMode;
+using algo::QueryBinding;
+using storage::MaterializedView;
+using storage::Scheme;
+using storage::ViewCatalog;
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::Axis;
+using tpq::Match;
+using tpq::TreePattern;
+using xml::Label;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<Match> SortedOracle(const xml::Document& doc,
+                                const TreePattern& query) {
+  std::vector<Match> matches = tpq::NaiveEvaluator(doc, query).Collect();
+  tpq::SortMatches(&matches);
+  return matches;
+}
+
+TEST(StructuralJoinTest, AncestorDescendantPairs) {
+  std::vector<Label> anc = {{1, 20, 1}, {2, 9, 2}, {3, 4, 3}, {21, 30, 1}};
+  std::vector<Label> desc = {{5, 6, 3}, {10, 11, 2}, {22, 23, 2}, {40, 41, 1}};
+  std::vector<std::pair<size_t, size_t>> pairs;
+  algo::StackTreeDesc(anc, desc, Axis::kDescendant,
+                      [&](size_t i, size_t j) { pairs.emplace_back(i, j); });
+  // (1,20)⊃(5,6),(10,11); (2,9)⊃(5,6); (21,30)⊃(22,23).
+  std::vector<std::pair<size_t, size_t>> expected = {
+      {0, 0}, {1, 0}, {0, 1}, {3, 2}};
+  EXPECT_EQ(pairs, expected);
+}
+
+TEST(StructuralJoinTest, ParentAxisFiltersLevels) {
+  std::vector<Label> anc = {{1, 10, 1}};
+  std::vector<Label> desc = {{2, 3, 2}, {4, 5, 3}};
+  std::vector<std::pair<size_t, size_t>> pairs;
+  algo::StackTreeDesc(anc, desc, Axis::kChild,
+                      [&](size_t i, size_t j) { pairs.emplace_back(i, j); });
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], (std::pair<size_t, size_t>{0, 0}));
+}
+
+TEST(SpillBufferTest, RoundTripsManyLabels) {
+  storage::Pager pager(TempPath("spill_rt.db"));
+  algo::SpillBuffer spill(&pager, 2);
+  std::vector<Label> expected;
+  for (uint32_t i = 0; i < 1000; ++i) {
+    Label label{i * 2 + 1, i * 2 + 2, i % 7};
+    spill.Append(0, label);
+    expected.push_back(label);
+  }
+  spill.Append(1, Label{99, 100, 1});
+  EXPECT_EQ(spill.Count(0), 1000u);
+  std::vector<Label> got = spill.Drain(0);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(spill.Count(0), 0u);
+  // Stream 1 unaffected; pages are recycled across drains.
+  EXPECT_EQ(spill.Drain(1).size(), 1u);
+  uint64_t pages_before = pager.page_count();
+  for (uint32_t i = 0; i < 1000; ++i) spill.Append(0, Label{i, i + 1, 0});
+  spill.Drain(0);
+  EXPECT_EQ(pager.page_count(), pages_before);  // recycled, no growth
+}
+
+class BoundAlgosTest : public ::testing::Test {
+ protected:
+  BoundAlgosTest() : catalog_(TempPath("algos.db"), 64) {}
+
+  /// Materializes views and runs an algorithm, returning sorted matches.
+  std::vector<Match> RunTwigStack(const xml::Document& doc,
+                                  const TreePattern& query,
+                                  const std::vector<std::string>& view_paths,
+                                  Scheme scheme,
+                                  OutputMode mode = OutputMode::kMemory) {
+    std::vector<const MaterializedView*> views;
+    for (const std::string& path : view_paths) {
+      views.push_back(catalog_.Materialize(doc, MustParse(path), scheme));
+    }
+    std::string error;
+    std::optional<QueryBinding> binding =
+        QueryBinding::Bind(doc, query, views, &error);
+    VJ_CHECK(binding.has_value()) << error;
+    algo::TwigStack ts(&*binding, catalog_.pool());
+    tpq::CollectingSink sink;
+    storage::Pager spill(TempPath("algos_spill.db"));
+    ts.Evaluate(&sink, mode, &spill);
+    std::vector<Match> matches = sink.matches();
+    tpq::SortMatches(&matches);
+    return matches;
+  }
+
+  std::vector<Match> RunInterJoin(const xml::Document& doc,
+                                  const TreePattern& query,
+                                  const std::vector<std::string>& view_paths) {
+    std::vector<const MaterializedView*> views;
+    for (const std::string& path : view_paths) {
+      views.push_back(catalog_.Materialize(doc, MustParse(path), Scheme::kTuple));
+    }
+    std::string error;
+    std::optional<algo::InterJoin> join =
+        algo::InterJoin::Bind(doc, query, views, catalog_.pool(), &error);
+    VJ_CHECK(join.has_value()) << error;
+    tpq::CollectingSink sink;
+    join->Evaluate(&sink);
+    std::vector<Match> matches = sink.matches();
+    tpq::SortMatches(&matches);
+    return matches;
+  }
+
+  ViewCatalog catalog_;
+};
+
+TEST_F(BoundAlgosTest, TwigStackAdPathAllSchemes) {
+  xml::Document doc = MakeDoc("r(a(b(c) a(b(c c)) b) a(x(b(c))) b(c))");
+  TreePattern query = MustParse("//a//b//c");
+  std::vector<Match> expected = SortedOracle(doc, query);
+  ASSERT_FALSE(expected.empty());
+  for (Scheme scheme : {Scheme::kElement, Scheme::kLinkedElement,
+                        Scheme::kLinkedElementPartial}) {
+    EXPECT_EQ(RunTwigStack(doc, query, {"//a", "//b", "//c"}, scheme),
+              expected);
+    EXPECT_EQ(RunTwigStack(doc, query, {"//a//b", "//c"}, scheme), expected);
+    EXPECT_EQ(RunTwigStack(doc, query, {"//a//b//c"}, scheme), expected);
+  }
+}
+
+TEST_F(BoundAlgosTest, TwigStackTwigWithPcEdges) {
+  xml::Document doc =
+      MakeDoc("r(a(b(c d(e)) b(d) f) a(f(b(c)) b(d(e)) ) a(b(c)))");
+  TreePattern query = MustParse("//a[//b/c]//d");
+  std::vector<Match> expected = SortedOracle(doc, query);
+  for (Scheme scheme : {Scheme::kElement, Scheme::kLinkedElement}) {
+    EXPECT_EQ(RunTwigStack(doc, query, {"//a", "//b/c", "//d"}, scheme),
+              expected);
+  }
+}
+
+TEST_F(BoundAlgosTest, TwigStackDiskModeMatchesMemoryMode) {
+  xml::Document doc = MakeDoc("r(a(b(c) a(b(c c)) b) a(x(b(c))) b(c))");
+  TreePattern query = MustParse("//a//b//c");
+  std::vector<Match> expected = SortedOracle(doc, query);
+  EXPECT_EQ(RunTwigStack(doc, query, {"//a//b", "//c"}, Scheme::kElement,
+                         OutputMode::kDisk),
+            expected);
+}
+
+TEST_F(BoundAlgosTest, TwigStackEmptyResult) {
+  xml::Document doc = MakeDoc("r(a(b) b(a))");
+  TreePattern query = MustParse("//a//b//c");
+  EXPECT_TRUE(
+      RunTwigStack(doc, query, {"//a", "//b", "//c"}, Scheme::kElement)
+          .empty());
+}
+
+TEST_F(BoundAlgosTest, PathStackRejectsTwigs) {
+  xml::Document doc = MakeDoc("a(b c)");
+  TreePattern twig = MustParse("//a[//b]//c");
+  auto* v1 = catalog_.Materialize(doc, MustParse("//a"), Scheme::kElement);
+  auto* v2 = catalog_.Materialize(doc, MustParse("//b"), Scheme::kElement);
+  auto* v3 = catalog_.Materialize(doc, MustParse("//c"), Scheme::kElement);
+  std::optional<QueryBinding> binding =
+      QueryBinding::Bind(doc, twig, {v1, v2, v3});
+  ASSERT_TRUE(binding.has_value());
+  EXPECT_DEATH(algo::PathStack(&*binding, catalog_.pool()), "path queries");
+}
+
+TEST_F(BoundAlgosTest, BindingRejectsBadViewSets) {
+  xml::Document doc = MakeDoc("a(b(c))");
+  TreePattern query = MustParse("//a//b");
+  auto* va = catalog_.Materialize(doc, MustParse("//a"), Scheme::kElement);
+  auto* vc = catalog_.Materialize(doc, MustParse("//c"), Scheme::kElement);
+  auto* vab = catalog_.Materialize(doc, MustParse("//a//b"), Scheme::kElement);
+  std::string error;
+  // Not covering.
+  EXPECT_FALSE(QueryBinding::Bind(doc, query, {va, vc}, &error).has_value());
+  // Overlapping element types.
+  EXPECT_FALSE(QueryBinding::Bind(doc, query, {va, vab}, &error).has_value());
+  EXPECT_NE(error.find("overlap"), std::string::npos);
+  // Tuple views bind only via InterJoin.
+  auto* tup = catalog_.Materialize(doc, MustParse("//b"), Scheme::kTuple);
+  EXPECT_FALSE(QueryBinding::Bind(doc, query, {va, tup}, &error).has_value());
+}
+
+TEST_F(BoundAlgosTest, InterJoinPaperExample) {
+  // Paper Section VII: Q = //a//b//c over views //a//c and //b.
+  xml::Document doc = MakeDoc("r(a(b(c) c) a(c(b)) b(a(b(c))))");
+  TreePattern query = MustParse("//a//b//c");
+  std::vector<Match> expected = SortedOracle(doc, query);
+  ASSERT_FALSE(expected.empty());
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a//c", "//b"}), expected);
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a", "//b", "//c"}), expected);
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a//b", "//c"}), expected);
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a//b//c"}), expected);
+}
+
+TEST_F(BoundAlgosTest, InterJoinPcEdges) {
+  xml::Document doc = MakeDoc("r(a(b(c) x(b(c))) a(b(x(c))))");
+  TreePattern query = MustParse("//a//b/c");
+  std::vector<Match> expected = SortedOracle(doc, query);
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a//c", "//b"}), expected);
+  // A single covering view stored with the weaker ad-edge must still verify
+  // the query's pc-edge at emission.
+  EXPECT_EQ(RunInterJoin(doc, query, {"//a//b//c"}), expected);
+}
+
+TEST_F(BoundAlgosTest, InterJoinRejectsNonPathInputs) {
+  xml::Document doc = MakeDoc("a(b c)");
+  auto* tup = catalog_.Materialize(doc, MustParse("//a"), Scheme::kTuple);
+  auto* etup = catalog_.Materialize(doc, MustParse("//b"), Scheme::kElement);
+  std::string error;
+  EXPECT_FALSE(algo::InterJoin::Bind(doc, MustParse("//a[//b]//c"), {tup},
+                                     catalog_.pool(), &error)
+                   .has_value());
+  EXPECT_FALSE(algo::InterJoin::Bind(doc, MustParse("//a//b"), {tup, etup},
+                                     catalog_.pool(), &error)
+                   .has_value());
+  EXPECT_NE(error.find("tuple"), std::string::npos);
+}
+
+TEST(CandidateEnumeratorTest, FiltersNonJoiningCandidates) {
+  xml::Document doc = MakeDoc("r(a(b) a b)");
+  TreePattern query = MustParse("//a//b");
+  algo::CandidateEnumerator enumerator(doc, query);
+  // Overapproximated candidates: all a's and all b's.
+  xml::TagId a = doc.FindTag("a");
+  xml::TagId b = doc.FindTag("b");
+  std::vector<std::vector<xml::NodeId>> candidates = {doc.NodesOfTag(a),
+                                                      doc.NodesOfTag(b)};
+  tpq::CollectingSink sink;
+  enumerator.Enumerate(candidates, &sink);
+  std::vector<Match> matches = sink.matches();
+  tpq::SortMatches(&matches);
+  EXPECT_EQ(matches, SortedOracle(doc, query));
+}
+
+TEST(CandidateEnumeratorTest, EmptyCandidateListShortCircuits) {
+  xml::Document doc = MakeDoc("r(a(b))");
+  TreePattern query = MustParse("//a//b");
+  algo::CandidateEnumerator enumerator(doc, query);
+  tpq::CollectingSink sink;
+  enumerator.Enumerate({{0}, {}}, &sink);
+  EXPECT_TRUE(sink.matches().empty());
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,129 @@
+// DagWalker tests: the linked-element DAG must regenerate exactly the view's
+// match set (= the tuple scheme's content = the oracle's embeddings), on
+// crafted shapes and randomized documents/patterns.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "storage/dag_walker.h"
+#include "storage/materialized_view.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "util/rng.h"
+
+namespace viewjoin {
+namespace {
+
+using storage::DagWalker;
+using storage::MaterializedView;
+using storage::Scheme;
+using storage::ViewCatalog;
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::Match;
+using tpq::TreePattern;
+using xml::Label;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// Collects walker matches as start-label tuples for comparison.
+std::vector<std::vector<uint32_t>> WalkStarts(const MaterializedView* view,
+                                              storage::BufferPool* pool) {
+  std::vector<std::vector<uint32_t>> out;
+  DagWalker walker(view, pool);
+  walker.Walk([&](const std::vector<Label>& match) {
+    std::vector<uint32_t> starts;
+    starts.reserve(match.size());
+    for (const Label& l : match) starts.push_back(l.start);
+    out.push_back(std::move(starts));
+  });
+  return out;
+}
+
+std::vector<std::vector<uint32_t>> OracleStarts(const xml::Document& doc,
+                                                const TreePattern& pattern) {
+  std::vector<Match> matches = tpq::NaiveEvaluator(doc, pattern).Collect();
+  tpq::SortMatches(&matches);
+  std::vector<std::vector<uint32_t>> out;
+  for (const Match& m : matches) {
+    std::vector<uint32_t> starts;
+    for (xml::NodeId n : m) starts.push_back(doc.NodeLabel(n).start);
+    out.push_back(std::move(starts));
+  }
+  return out;
+}
+
+TEST(DagWalkerTest, ReconstructsTupleContentOnNestedDoc) {
+  xml::Document doc = MakeDoc("r(a(b(c) a(b(c c)) b) a(x(b(c))) b(c))");
+  ViewCatalog catalog(TempPath("dag1.db"), 64);
+  for (const char* pattern : {"//a//b", "//a//b//c", "//a[//b]//c", "//b/c"}) {
+    TreePattern p = MustParse(pattern);
+    const MaterializedView* le =
+        catalog.Materialize(doc, p, Scheme::kLinkedElement);
+    const MaterializedView* tuple = catalog.Materialize(doc, p, Scheme::kTuple);
+    std::vector<std::vector<uint32_t>> walked =
+        WalkStarts(le, catalog.pool());
+    EXPECT_EQ(walked.size(), tuple->MatchCount()) << pattern;
+    std::sort(walked.begin(), walked.end());
+    EXPECT_EQ(walked, OracleStarts(doc, p)) << pattern;
+  }
+}
+
+TEST(DagWalkerTest, EmitsInDocumentOrderOfTheRoot) {
+  xml::Document doc = MakeDoc("r(a(b b) a(b))");
+  ViewCatalog catalog(TempPath("dag2.db"), 64);
+  const MaterializedView* view =
+      catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+  std::vector<std::vector<uint32_t>> walked = WalkStarts(view, catalog.pool());
+  // Sorted by (root start, child start) — the tuple scheme's composite key.
+  EXPECT_TRUE(std::is_sorted(walked.begin(), walked.end()));
+}
+
+TEST(DagWalkerTest, PartialSchemeWalksIdentically) {
+  xml::Document doc = MakeDoc("r(a(b(c) a(b(c))) b)");
+  ViewCatalog catalog(TempPath("dag3.db"), 64);
+  TreePattern p = MustParse("//a//b//c");
+  const MaterializedView* le =
+      catalog.Materialize(doc, p, Scheme::kLinkedElement);
+  const MaterializedView* lep =
+      catalog.Materialize(doc, p, Scheme::kLinkedElementPartial);
+  std::vector<std::vector<uint32_t>> a = WalkStarts(le, catalog.pool());
+  std::vector<std::vector<uint32_t>> b = WalkStarts(lep, catalog.pool());
+  EXPECT_EQ(a, b);
+}
+
+TEST(DagWalkerTest, EmptyViewWalksToNothing) {
+  xml::Document doc = MakeDoc("a(b)");
+  ViewCatalog catalog(TempPath("dag4.db"), 16);
+  const MaterializedView* view =
+      catalog.Materialize(doc, MustParse("//a//zzz"), Scheme::kLinkedElement);
+  DagWalker walker(view, catalog.pool());
+  EXPECT_EQ(walker.CountMatches(), 0u);
+}
+
+class DagWalkerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagWalkerPropertyTest, MatchesOracleOnRandomInputs) {
+  uint64_t seed = 7000 + static_cast<uint64_t>(GetParam());
+  util::Rng rng(seed);
+  std::vector<std::string> tags = {"a", "b", "c", "d", "e"};
+  xml::Document doc = testing::RandomDoc(&rng, 120, tags);
+  TreePattern pattern = testing::RandomQuery(
+      &rng, 1 + static_cast<int>(rng.Uniform(4)), tags);
+  ViewCatalog catalog(TempPath("dagp_" + std::to_string(seed) + ".db"), 8);
+  const MaterializedView* view =
+      catalog.Materialize(doc, pattern, Scheme::kLinkedElement);
+  std::vector<std::vector<uint32_t>> walked = WalkStarts(view, catalog.pool());
+  std::sort(walked.begin(), walked.end());
+  EXPECT_EQ(walked, OracleStarts(doc, pattern)) << pattern.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagWalkerPropertyTest, ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace viewjoin

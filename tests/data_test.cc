@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "tpq/evaluator.h"
+#include "tests/test_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace viewjoin {
+namespace {
+
+using data::GenerateNasa;
+using data::GenerateXmark;
+using data::NasaOptions;
+using data::XmarkOptions;
+using testing::MustParse;
+using xml::Document;
+
+TEST(XmarkGeneratorTest, ProducesCompleteDocument) {
+  Document doc = GenerateXmark({.scale = 0.1, .seed = 1});
+  EXPECT_TRUE(doc.IsComplete());
+  EXPECT_GT(doc.NodeCount(), 1000u);
+  EXPECT_EQ(doc.TagName(doc.NodeTag(doc.Root())), "site");
+}
+
+TEST(XmarkGeneratorTest, HasBenchmarkVocabulary) {
+  Document doc = GenerateXmark({.scale = 0.1, .seed = 1});
+  for (const char* tag :
+       {"site", "regions", "item", "description", "text", "keyword", "bold",
+        "emph", "parlist", "listitem", "people", "person", "profile",
+        "education", "open_auction", "bidder", "closed_auction", "annotation",
+        "mailbox", "mail", "category", "incategory", "itemref", "personref"}) {
+    EXPECT_NE(doc.FindTag(tag), xml::kInvalidTag) << tag;
+    EXPECT_FALSE(doc.NodesOfTag(doc.FindTag(tag)).empty()) << tag;
+  }
+}
+
+TEST(XmarkGeneratorTest, ScalesLinearlyAndDeterministically) {
+  Document small = GenerateXmark({.scale = 0.1, .seed = 9});
+  Document again = GenerateXmark({.scale = 0.1, .seed = 9});
+  Document large = GenerateXmark({.scale = 0.4, .seed = 9});
+  EXPECT_EQ(small.NodeCount(), again.NodeCount());
+  double ratio = static_cast<double>(large.NodeCount()) /
+                 static_cast<double>(small.NodeCount());
+  EXPECT_GT(ratio, 2.5);
+  EXPECT_LT(ratio, 6.0);
+}
+
+TEST(XmarkGeneratorTest, RecurringViewNodesExist) {
+  // //item//text//keyword must have keywords with nested text ancestry
+  // possibilities, i.e. more (item,text,keyword) matches than keywords in
+  // some documents — the paper's v1 redundancy. At minimum, matches exist.
+  Document doc = GenerateXmark({.scale = 0.2, .seed = 3});
+  tpq::NaiveEvaluator eval(doc, MustParse("//item//text//keyword"));
+  EXPECT_GT(eval.Count(), 0u);
+  tpq::NaiveEvaluator eval2(doc, MustParse("//person//education"));
+  EXPECT_GT(eval2.Count(), 0u);
+}
+
+TEST(NasaGeneratorTest, ProducesCompleteDocument) {
+  Document doc = GenerateNasa({.datasets = 50, .skew = 1.2, .seed = 2});
+  EXPECT_TRUE(doc.IsComplete());
+  EXPECT_EQ(doc.TagName(doc.NodeTag(doc.Root())), "datasets");
+  EXPECT_GT(doc.NodeCount(), 500u);
+}
+
+TEST(NasaGeneratorTest, SupportsAllPaperQueries) {
+  Document doc = GenerateNasa({.datasets = 150, .skew = 1.2, .seed = 2});
+  const char* queries[] = {
+      // N1-N8 from the paper (Section VI).
+      "//field//footnote//para",
+      "//dataset//definition//footnote",
+      "//revision/creator/lastname",
+      "//reference//journal//date//year",
+      "//dataset[//definition/footnote]//history//revision//para",
+      "//journal[//suffix][title]/date/year",
+      "//dataset[//field//footnote]//journal[//bibcode]//lastname",
+      "//descriptions[//observatory]/description//para",
+      // Np and Nt from Section VI-B.
+      "//dataset//tableHead//field//definition//footnote//para",
+      "//dataset//tableHead[//tableLink//title]//field//definition//para",
+  };
+  for (const char* q : queries) {
+    tpq::NaiveEvaluator eval(doc, MustParse(q));
+    EXPECT_GT(eval.Count(), 0u) << q;
+  }
+}
+
+TEST(NasaGeneratorTest, SkewProducesRecurringDefinitions) {
+  // Nested definitions make //dataset//definition tuples redundant: some
+  // definition node must occur in more than one (dataset,definition) match
+  // or some para in multiple (definition,para) matches.
+  Document doc = GenerateNasa({.datasets = 150, .skew = 1.2, .seed = 2});
+  tpq::TreePattern v = MustParse("//field//definition//para");
+  tpq::NaiveEvaluator eval(doc, v);
+  uint64_t matches = eval.Count();
+  std::vector<std::vector<xml::NodeId>> lists = eval.SolutionNodes();
+  EXPECT_GT(matches, static_cast<uint64_t>(lists[2].size()))
+      << "paras should occur in multiple matches under nested definitions";
+}
+
+TEST(NasaGeneratorTest, Deterministic) {
+  Document a = GenerateNasa({.datasets = 30, .skew = 1.0, .seed = 5});
+  Document b = GenerateNasa({.datasets = 30, .skew = 1.0, .seed = 5});
+  ASSERT_EQ(a.NodeCount(), b.NodeCount());
+  for (xml::NodeId n = 0; n < a.NodeCount(); ++n) {
+    EXPECT_EQ(a.NodeLabel(n), b.NodeLabel(n));
+  }
+}
+
+TEST(GeneratorTest, SerializesToParsableXml) {
+  Document doc = GenerateNasa({.datasets = 10, .skew = 1.0, .seed = 4});
+  xml::WriterOptions options;
+  options.synthetic_text = true;
+  auto reparsed = xml::ParseDocument(xml::WriteDocument(doc, options));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(reparsed.document->NodeCount(), doc.NodeCount());
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "tpq/subpattern.h"
+#include "util/rng.h"
+
+namespace viewjoin {
+namespace {
+
+using algo::OutputMode;
+using core::Algorithm;
+using core::Engine;
+using core::RunOptions;
+using core::RunResult;
+using storage::MaterializedView;
+using storage::Scheme;
+using testing::RandomDoc;
+using testing::RandomQuery;
+using testing::RandomViewPartition;
+using tpq::TreePattern;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+struct Expected {
+  uint64_t count;
+  uint64_t hash;
+};
+
+Expected OracleFingerprint(const xml::Document& doc, const TreePattern& query) {
+  tpq::HashingSink sink;
+  tpq::NaiveEvaluator(doc, query).Evaluate(&sink);
+  return {sink.count(), sink.hash()};
+}
+
+/// One randomized scenario: a recursive document, a random query, a random
+/// covering view partition — every algorithm × scheme × output mode must
+/// produce the oracle's exact match set.
+class DifferentialCase {
+ public:
+  DifferentialCase(uint64_t seed, int doc_nodes, int query_nodes)
+      : rng_(seed),
+        tags_({"a", "b", "c", "d", "e", "f", "g"}),
+        doc_(RandomDoc(&rng_, doc_nodes, tags_)),
+        query_(RandomQuery(&rng_, query_nodes, tags_)),
+        views_(RandomViewPartition(&rng_, query_, 3)),
+        engine_(&doc_, TempPath("prop_" + std::to_string(seed) + ".db")) {
+    expected_ = OracleFingerprint(doc_, query_);
+  }
+
+  std::string Describe() const {
+    std::string views = "";
+    for (const TreePattern& v : views_) views += " " + v.ToString();
+    return "query=" + query_.ToString() + " views=[" + views + " ] expected=" +
+           std::to_string(expected_.count);
+  }
+
+  void CheckListSchemes() {
+    for (Scheme scheme : {Scheme::kElement, Scheme::kLinkedElement,
+                          Scheme::kLinkedElementPartial}) {
+      std::vector<const MaterializedView*> views;
+      for (const TreePattern& v : views_) {
+        views.push_back(engine_.AddView(v, scheme));
+      }
+      for (Algorithm algorithm : {Algorithm::kTwigStack, Algorithm::kViewJoin}) {
+        for (OutputMode mode : {OutputMode::kMemory, OutputMode::kDisk}) {
+          RunOptions run;
+          run.algorithm = algorithm;
+          run.output_mode = mode;
+          RunResult result = engine_.Execute(query_, views, run);
+          ASSERT_TRUE(result.ok) << result.error << " " << Describe();
+          EXPECT_EQ(result.match_count, expected_.count)
+              << core::AlgorithmName(algorithm) << "+"
+              << storage::SchemeName(scheme)
+              << (mode == OutputMode::kDisk ? " (disk) " : " (mem) ")
+              << Describe();
+          EXPECT_EQ(result.result_hash, expected_.hash)
+              << core::AlgorithmName(algorithm) << "+"
+              << storage::SchemeName(scheme) << " " << Describe();
+        }
+      }
+    }
+  }
+
+  void CheckInterJoinIfApplicable() {
+    if (!query_.IsPath()) return;
+    for (const TreePattern& v : views_) {
+      if (!v.IsPath()) return;
+    }
+    std::vector<const MaterializedView*> views;
+    for (const TreePattern& v : views_) {
+      views.push_back(engine_.AddView(v, Scheme::kTuple));
+    }
+    RunOptions run;
+    run.algorithm = Algorithm::kInterJoin;
+    RunResult result = engine_.Execute(query_, views, run);
+    ASSERT_TRUE(result.ok) << result.error << " " << Describe();
+    EXPECT_EQ(result.match_count, expected_.count) << "IJ+T " << Describe();
+    EXPECT_EQ(result.result_hash, expected_.hash) << "IJ+T " << Describe();
+  }
+
+ private:
+  util::Rng rng_;
+  std::vector<std::string> tags_;
+  xml::Document doc_;
+  TreePattern query_;
+  std::vector<TreePattern> views_;
+  Engine engine_;
+  Expected expected_;
+};
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, AllCombosMatchOracle) {
+  uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  util::Rng shape_rng(seed * 77);
+  int doc_nodes = 30 + static_cast<int>(shape_rng.Uniform(270));
+  int query_nodes = 1 + static_cast<int>(shape_rng.Uniform(6));
+  DifferentialCase scenario(seed, doc_nodes, query_nodes);
+  scenario.CheckListSchemes();
+  scenario.CheckInterJoinIfApplicable();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomScenarios, DifferentialTest,
+                         ::testing::Range(0, 150));
+
+/// Path-only scenarios so InterJoin participates frequently.
+class PathDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathDifferentialTest, PathCombosMatchOracle) {
+  uint64_t seed = 9000 + static_cast<uint64_t>(GetParam());
+  util::Rng rng(seed);
+  std::vector<std::string> tags = {"a", "b", "c", "d", "e"};
+  xml::Document doc = RandomDoc(&rng, 150, tags);
+  // Build a random path query.
+  int len = 2 + static_cast<int>(rng.Uniform(3));
+  TreePattern query;
+  std::vector<std::string> pool = tags;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    std::swap(pool[i], pool[i + rng.Uniform(pool.size() - i)]);
+  }
+  int prev = query.AddNode(pool[0], -1, tpq::Axis::kDescendant);
+  for (int i = 1; i < len; ++i) {
+    tpq::Axis axis = rng.Bernoulli(0.3) ? tpq::Axis::kChild
+                                        : tpq::Axis::kDescendant;
+    prev = query.AddNode(pool[static_cast<size_t>(i)], prev, axis);
+  }
+  // Random path-view partition: contiguous or interleaved groups.
+  std::vector<TreePattern> views = RandomViewPartition(&rng, query, 3);
+  for (const TreePattern& v : views) {
+    ASSERT_TRUE(v.IsPath());  // partitions of a path are paths
+  }
+  Expected expected = OracleFingerprint(doc, query);
+  Engine engine(&doc, TempPath("pathprop_" + std::to_string(seed) + ".db"));
+  std::vector<const MaterializedView*> tuple_views;
+  for (const TreePattern& v : views) {
+    tuple_views.push_back(engine.AddView(v, Scheme::kTuple));
+  }
+  RunOptions run;
+  run.algorithm = Algorithm::kInterJoin;
+  RunResult result = engine.Execute(query, tuple_views, run);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.match_count, expected.count) << query.ToString();
+  EXPECT_EQ(result.result_hash, expected.hash) << query.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPathScenarios, PathDifferentialTest,
+                         ::testing::Range(0, 80));
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,241 @@
+// Robustness and failure-injection tests: parser fuzzing, pathological pool
+// sizes, empty/missing inputs, cache behaviour, and resolver monotonicity.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/monotone_resolver.h"
+#include "core/engine.h"
+#include "storage/materialized_view.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "util/rng.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace viewjoin {
+namespace {
+
+using core::Algorithm;
+using core::Engine;
+using core::EngineOptions;
+using core::RunOptions;
+using core::RunResult;
+using storage::MaterializedView;
+using storage::Scheme;
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::TreePattern;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(MonotoneResolverTest, ResolvesAscendingStreams) {
+  xml::Document doc = MakeDoc("a(b(c) b(c c) b)");
+  xml::TagId b = doc.FindTag("b");
+  xml::TagId c = doc.FindTag("c");
+  algo::MonotoneResolver resolver(&doc, {b, c});
+  for (xml::NodeId n : doc.NodesOfTag(b)) {
+    EXPECT_EQ(resolver.Resolve(0, doc.NodeLabel(n).start), n);
+  }
+  for (xml::NodeId n : doc.NodesOfTag(c)) {
+    EXPECT_EQ(resolver.Resolve(1, doc.NodeLabel(n).start), n);
+  }
+  // Unknown start past the end resolves to invalid.
+  EXPECT_EQ(resolver.Resolve(0, 100000u), xml::kInvalidNode);
+}
+
+TEST(MonotoneResolverTest, RepeatedStartsAreStable) {
+  xml::Document doc = MakeDoc("a(b b)");
+  xml::TagId b = doc.FindTag("b");
+  algo::MonotoneResolver resolver(&doc, {b});
+  xml::NodeId first = doc.NodesOfTag(b)[0];
+  uint32_t start = doc.NodeLabel(first).start;
+  EXPECT_EQ(resolver.Resolve(0, start), first);
+  EXPECT_EQ(resolver.Resolve(0, start), first);  // same start: no advance
+}
+
+TEST(ParserFuzzTest, MutatedDocumentsNeverCrash) {
+  util::Rng rng(77);
+  xml::Document doc = testing::RandomDoc(&rng, 60, {"a", "bb", "c"});
+  std::string base = xml::WriteDocument(doc);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string mutated = base;
+    int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>(rng.Uniform(128));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.Uniform(3));
+          break;
+        default:
+          mutated.insert(pos, 1, "<>/ab\""[rng.Uniform(6)]);
+          break;
+      }
+      if (mutated.empty()) mutated = "<a/>";
+    }
+    // Must either parse to a complete document or fail cleanly.
+    xml::ParseResult result = xml::ParseDocument(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(result.document->IsComplete());
+    } else {
+      EXPECT_FALSE(result.error.empty());
+    }
+  }
+}
+
+TEST(ParserFuzzTest, RandomGarbageNeverCrashes) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string garbage;
+    size_t len = rng.Uniform(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back("<>/= \"'abc![]-?x"[rng.Uniform(16)]);
+    }
+    xml::ParseResult result = xml::ParseDocument(garbage);
+    if (result.ok()) {
+      EXPECT_TRUE(result.document->IsComplete());
+    }
+  }
+}
+
+TEST(PoolPressureTest, CapacityOneStillAnswersCorrectly) {
+  util::Rng rng(5);
+  xml::Document doc = testing::RandomDoc(&rng, 400, {"a", "b", "c", "d"});
+  TreePattern query = MustParse("//a//b[//c]//d");
+  uint64_t expected = tpq::NaiveEvaluator(doc, query).Count();
+  EngineOptions options;
+  options.pool_pages = 1;  // every page access is a miss after the first
+  Engine engine(&doc, TempPath("pool1.db"), options);
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+      engine.AddView("//d", Scheme::kLinkedElement),
+  };
+  RunResult r = engine.Execute(query, views);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_count, expected);
+  EXPECT_GT(r.io.pool_misses, 0u);
+}
+
+TEST(CacheBehaviourTest, WarmRunsReadFewerPages) {
+  xml::Document doc = MakeDoc("r(a(b(c) b) a(b(c c)))");
+  Engine engine(&doc, TempPath("warm.db"));
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+  };
+  TreePattern query = MustParse("//a//b//c");
+  RunOptions cold;
+  cold.cold_cache = true;
+  RunResult first = engine.Execute(query, views, cold);
+  ASSERT_TRUE(first.ok);
+  RunOptions warm;
+  warm.cold_cache = false;
+  RunResult second = engine.Execute(query, views, warm);
+  ASSERT_TRUE(second.ok);
+  EXPECT_EQ(first.match_count, second.match_count);
+  EXPECT_LT(second.io.pages_read, first.io.pages_read + 1);
+}
+
+TEST(MissingTagTest, AllAlgorithmsReturnEmpty) {
+  xml::Document doc = MakeDoc("r(a(b))");
+  Engine engine(&doc, TempPath("missing.db"));
+  TreePattern query = MustParse("//a//zzz");
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a", Scheme::kLinkedElement),
+      engine.AddView("//zzz", Scheme::kLinkedElement),
+  };
+  for (Algorithm algorithm : {Algorithm::kTwigStack, Algorithm::kViewJoin}) {
+    RunOptions run;
+    run.algorithm = algorithm;
+    RunResult r = engine.Execute(query, views, run);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.match_count, 0u);
+  }
+  std::vector<const MaterializedView*> tuples = {
+      engine.AddView("//a", Scheme::kTuple),
+      engine.AddView("//zzz", Scheme::kTuple),
+  };
+  RunOptions ij;
+  ij.algorithm = Algorithm::kInterJoin;
+  RunResult r = engine.Execute(query, tuples, ij);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_count, 0u);
+}
+
+TEST(EmptyResultViewTest, StoringAnEmptyAnswerWorks) {
+  xml::Document doc = MakeDoc("r(a(b) c)");
+  Engine engine(&doc, TempPath("emptyview.db"));
+  TreePattern query = MustParse("//c//a");  // a never under c
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//c", Scheme::kLinkedElement),
+      engine.AddView("//a", Scheme::kLinkedElement),
+  };
+  const MaterializedView* stored = nullptr;
+  RunResult r =
+      engine.ExecuteToView(query, views, Scheme::kLinkedElement, &stored);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_count, 0u);
+  ASSERT_NE(stored, nullptr);
+  EXPECT_EQ(stored->ListLength(0), 0u);
+  EXPECT_EQ(stored->ListLength(1), 0u);
+}
+
+TEST(DiskModeTest, SmallFlushesAgreeWithMemoryOnManyGroups) {
+  // Many independent root groups: disk mode flushes repeatedly once the
+  // spill threshold is crossed; the final answers must agree regardless.
+  xml::Document doc;
+  doc.StartElement("r");
+  for (int i = 0; i < 5000; ++i) {
+    doc.StartElement("a");
+    doc.StartElement("b");
+    doc.StartElement("c");
+    doc.EndElement();
+    doc.EndElement();
+    doc.EndElement();
+  }
+  doc.EndElement();
+  Engine engine(&doc, TempPath("diskgroups.db"));
+  TreePattern query = MustParse("//a//b//c");
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+  };
+  RunOptions mem;
+  mem.output_mode = algo::OutputMode::kMemory;
+  RunOptions disk;
+  disk.output_mode = algo::OutputMode::kDisk;
+  RunResult m = engine.Execute(query, views, mem);
+  RunResult d = engine.Execute(query, views, disk);
+  ASSERT_TRUE(m.ok && d.ok);
+  EXPECT_EQ(m.match_count, 5000u);
+  EXPECT_EQ(m.result_hash, d.result_hash);
+  EXPECT_GT(d.stats.flushes, 1u);          // threshold-triggered group flushes
+  EXPECT_GT(d.stats.spill_pages_written, 0u);
+  EXPECT_LT(d.stats.peak_buffered, m.stats.peak_buffered);
+}
+
+TEST(SingleNodeQueryTest, DegenerateQueriesWork) {
+  xml::Document doc = MakeDoc("a(b b(b))");
+  Engine engine(&doc, TempPath("single.db"));
+  TreePattern query = MustParse("//b");
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//b", Scheme::kLinkedElement)};
+  for (Algorithm algorithm : {Algorithm::kTwigStack, Algorithm::kViewJoin}) {
+    RunOptions run;
+    run.algorithm = algorithm;
+    RunResult r = engine.Execute(query, views, run);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.match_count, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace viewjoin

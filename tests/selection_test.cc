@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "tests/test_util.h"
+#include "view/cost_model.h"
+#include "view/selection.h"
+
+namespace viewjoin {
+namespace {
+
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::TreePattern;
+using view::MissingEdgeCounts;
+using view::SelectionHeuristic;
+using view::SelectionOptions;
+using view::SelectionResult;
+using view::SelectViews;
+using view::ViewCost;
+using view::ViewListLengths;
+
+TEST(CostModelTest, MissingEdgeCounts) {
+  TreePattern q = MustParse("//a//b//c");
+  // View //a//b: a has 1 edge in Q (to b), present; b has edges to a
+  // (present) and to c (missing) → e = {0, 1}.
+  EXPECT_EQ(MissingEdgeCounts(q, MustParse("//a//b")), (std::vector<int>{0, 1}));
+  // Single-node //b: both incident edges missing.
+  EXPECT_EQ(MissingEdgeCounts(q, MustParse("//b")), (std::vector<int>{2}));
+  // Interleaved //a//c: the a-c view edge is not a Q edge, so every Q edge
+  // incident to a or c is missing: a has (a,b) → 1; c has (b,c) → 1.
+  EXPECT_EQ(MissingEdgeCounts(q, MustParse("//a//c")), (std::vector<int>{1, 1}));
+  // Full view: nothing missing.
+  EXPECT_EQ(MissingEdgeCounts(q, MustParse("//a//b//c")),
+            (std::vector<int>{0, 0, 0}));
+}
+
+TEST(CostModelTest, LambdaBlendsIoAndJoinCosts) {
+  xml::Document doc = MakeDoc("r(a(b(c)) a(b(c)) b)");
+  TreePattern q = MustParse("//a//b//c");
+  TreePattern v = MustParse("//a//b");
+  std::vector<uint32_t> lengths = ViewListLengths(doc, v);
+  ASSERT_EQ(lengths.size(), 2u);
+  double io_only = ViewCost(q, v, lengths, 0.0);
+  double join_only = ViewCost(q, v, lengths, 1.0);
+  EXPECT_DOUBLE_EQ(io_only, lengths[0] + lengths[1]);
+  EXPECT_DOUBLE_EQ(join_only, static_cast<double>(lengths[1]));  // e_b = 1
+  EXPECT_DOUBLE_EQ(ViewCost(q, v, lengths, 0.5),
+                   0.5 * io_only + 0.5 * join_only);
+}
+
+TEST(CostModelTest, ListLengthsAreSolutionCounts) {
+  xml::Document doc = MakeDoc("r(a(b) a b)");
+  std::vector<uint32_t> lengths = ViewListLengths(doc, MustParse("//a//b"));
+  EXPECT_EQ(lengths, (std::vector<uint32_t>{1, 1}));
+}
+
+TEST(SelectionTest, PrefersPrecomputedJoinsUnderCostModel) {
+  // Mirrors Example 5.1's structure: a long chain query; candidates include
+  // a fully-precomputed suffix view (cheap under λ=1 because its edges are
+  // in the view) vs. fragmented small views.
+  xml::Document doc = MakeDoc(
+      "r(a(b(c(d)) b(c(d) c(d))) a(b(c(d))) a(b) c(d))");
+  TreePattern q = MustParse("//a//b//c//d");
+  std::vector<TreePattern> candidates = {
+      MustParse("//a"),        // 0
+      MustParse("//b//c//d"),  // 1: precomputed suffix — no missing edges
+                               // except b's edge to a
+      MustParse("//b"),        // 2
+      MustParse("//c//d"),     // 3
+      MustParse("//c"),        // 4
+      MustParse("//d"),        // 5
+  };
+  SelectionOptions cost_based;
+  SelectionResult result = SelectViews(doc, q, candidates, cost_based);
+  ASSERT_TRUE(result.covers);
+  // Must include the big suffix view (its join cost beats the fragments).
+  bool has_suffix = false;
+  for (size_t i : result.selected) has_suffix |= (i == 1);
+  EXPECT_TRUE(has_suffix);
+  EXPECT_EQ(result.selected.size(), 2u);  // {//a, //b//c//d}
+}
+
+TEST(SelectionTest, SizeOnlyHeuristicCanPickFragments) {
+  xml::Document doc = MakeDoc(
+      "r(a(b(c(d)) b(c(d) c(d))) a(b(c(d))) a(b) c(d))");
+  TreePattern q = MustParse("//a//b//c//d");
+  std::vector<TreePattern> candidates = {
+      MustParse("//a"), MustParse("//b//c//d"), MustParse("//b"),
+      MustParse("//c//d"), MustParse("//c"), MustParse("//d")};
+  SelectionOptions size_only;
+  size_only.heuristic = SelectionHeuristic::kSizeOnly;
+  SelectionResult result = SelectViews(doc, q, candidates, size_only);
+  ASSERT_TRUE(result.covers);
+  // Both heuristics report per-candidate costs and sizes for Table II.
+  EXPECT_FALSE(std::isnan(result.costs[1]));
+  EXPECT_GT(result.sizes[1], 0u);
+}
+
+TEST(SelectionTest, SkipsNonSubpatterns) {
+  xml::Document doc = MakeDoc("r(a(b))");
+  TreePattern q = MustParse("//a//b");
+  std::vector<TreePattern> candidates = {MustParse("//b//a"),  // wrong direction
+                                         MustParse("//a"), MustParse("//b")};
+  SelectionResult result = SelectViews(doc, q, candidates);
+  ASSERT_TRUE(result.covers);
+  EXPECT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(std::isnan(result.costs[0]));
+  for (size_t i : result.selected) EXPECT_NE(i, 0u);
+}
+
+TEST(SelectionTest, ReportsFailureWhenUncoverable) {
+  xml::Document doc = MakeDoc("r(a(b))");
+  TreePattern q = MustParse("//a//b//c");
+  std::vector<TreePattern> candidates = {MustParse("//a"), MustParse("//b")};
+  SelectionResult result = SelectViews(doc, q, candidates);
+  EXPECT_FALSE(result.covers);
+}
+
+TEST(SelectionTest, DisjointnessIsRespected) {
+  xml::Document doc = MakeDoc("r(a(b(c)))");
+  TreePattern q = MustParse("//a//b//c");
+  std::vector<TreePattern> candidates = {
+      MustParse("//a//b"), MustParse("//b//c"),  // overlap on b
+      MustParse("//c"), MustParse("//a")};
+  SelectionResult result = SelectViews(doc, q, candidates);
+  ASSERT_TRUE(result.covers);
+  // Whatever got picked, the selected views share no element types.
+  std::set<std::string> seen;
+  for (size_t i : result.selected) {
+    for (size_t n = 0; n < candidates[i].size(); ++n) {
+      EXPECT_TRUE(seen.insert(candidates[i].node(static_cast<int>(n)).tag)
+                      .second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace viewjoin

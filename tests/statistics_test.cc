@@ -1,0 +1,157 @@
+// Document statistics and cardinality estimation tests: exactness where the
+// estimator is exact, calibration bounds elsewhere, and the
+// estimate-driven view selection path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/nasa_generator.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "util/rng.h"
+#include "view/cardinality.h"
+#include "view/selection.h"
+#include "xml/statistics.h"
+
+namespace viewjoin {
+namespace {
+
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::TreePattern;
+using view::EstimateListLengths;
+using view::EstimateMatchCount;
+using xml::DocumentStatistics;
+
+TEST(StatisticsTest, CountsAndDepths) {
+  xml::Document doc = MakeDoc("a(b(c) b d(b(c)))");
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  EXPECT_EQ(stats.node_count(), 7u);
+  EXPECT_EQ(stats.TagCount(doc.FindTag("a")), 1u);
+  EXPECT_EQ(stats.TagCount(doc.FindTag("b")), 3u);
+  EXPECT_EQ(stats.TagCount(doc.FindTag("c")), 2u);
+  EXPECT_EQ(stats.max_depth(), 4u);  // a=1, d=2, b=3, c=4
+  EXPECT_EQ(stats.TagCount(xml::kInvalidTag), 0u);
+}
+
+TEST(StatisticsTest, PairCountsMatchOracle) {
+  xml::Document doc = MakeDoc("a(b(c b(c)) b a(b))");
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  xml::TagId a = doc.FindTag("a");
+  xml::TagId b = doc.FindTag("b");
+  xml::TagId c = doc.FindTag("c");
+  // ad pair count == matches of //x//y.
+  EXPECT_EQ(stats.AdPairCount(a, b),
+            tpq::NaiveEvaluator(doc, MustParse("//a//b")).Count());
+  EXPECT_EQ(stats.AdPairCount(b, c),
+            tpq::NaiveEvaluator(doc, MustParse("//b//c")).Count());
+  EXPECT_EQ(stats.AdPairCount(b, b),
+            tpq::NaiveEvaluator(doc, MustParse("//b//b")).Count());
+  // pc pair count == matches of //x/y.
+  EXPECT_EQ(stats.PcPairCount(a, b),
+            tpq::NaiveEvaluator(doc, MustParse("//a/b")).Count());
+  EXPECT_EQ(stats.PcPairCount(b, c),
+            tpq::NaiveEvaluator(doc, MustParse("//b/c")).Count());
+  EXPECT_EQ(stats.PcPairCount(c, a), 0u);
+}
+
+TEST(StatisticsTest, PairCountsMatchOracleOnRandomDocs) {
+  util::Rng rng(321);
+  std::vector<std::string> tags = {"a", "b", "c"};
+  for (int trial = 0; trial < 20; ++trial) {
+    xml::Document doc = testing::RandomDoc(&rng, 80, tags);
+    DocumentStatistics stats = DocumentStatistics::Collect(doc);
+    for (const std::string& s : tags) {
+      for (const std::string& t : tags) {
+        if (s == t) continue;  // queries need distinct tags
+        TreePattern ad = MustParse("//" + s + "//" + t);
+        TreePattern pc = MustParse("//" + s + "/" + t);
+        EXPECT_EQ(stats.AdPairCount(doc.FindTag(s), doc.FindTag(t)),
+                  tpq::NaiveEvaluator(doc, ad).Count())
+            << ad.ToString();
+        EXPECT_EQ(stats.PcPairCount(doc.FindTag(s), doc.FindTag(t)),
+                  tpq::NaiveEvaluator(doc, pc).Count())
+            << pc.ToString();
+      }
+    }
+  }
+}
+
+TEST(CardinalityTest, ExactForSingleNodePatterns) {
+  xml::Document doc = MakeDoc("a(b(c) b d(b))");
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  std::vector<double> est =
+      EstimateListLengths(stats, doc, MustParse("//b"));
+  ASSERT_EQ(est.size(), 1u);
+  EXPECT_DOUBLE_EQ(est[0], 3.0);
+}
+
+TEST(CardinalityTest, ExactDescendantSideOfTwoNodePatterns) {
+  xml::Document doc = MakeDoc("r(a(b(c) b a(b(c))) c)");
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  TreePattern q = MustParse("//b//c");
+  std::vector<double> est = EstimateListLengths(stats, doc, q);
+  // The descendant node's estimate uses the exact distinct-pair count.
+  tpq::NaiveEvaluator oracle(doc, q);
+  std::vector<std::vector<xml::NodeId>> lists = oracle.SolutionNodes();
+  EXPECT_DOUBLE_EQ(est[1], static_cast<double>(lists[1].size()));
+}
+
+TEST(CardinalityTest, EstimatesWithinFactorOnGenerators) {
+  xml::Document doc = data::GenerateNasa({.datasets = 60, .seed = 9});
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  // Path patterns on the generator: estimates should land within ~4x of the
+  // truth (independence assumption; generator correlations are mild).
+  for (const char* xpath :
+       {"//dataset//definition", "//field//para", "//tableLink//title",
+        "//reference//journal//date"}) {
+    TreePattern q = MustParse(xpath);
+    std::vector<double> est = EstimateListLengths(stats, doc, q);
+    tpq::NaiveEvaluator oracle(doc, q);
+    std::vector<std::vector<xml::NodeId>> lists = oracle.SolutionNodes();
+    for (size_t i = 0; i < q.size(); ++i) {
+      double truth = static_cast<double>(lists[i].size());
+      if (truth < 8) continue;  // tiny lists: absolute error dominates
+      EXPECT_GT(est[i], truth / 4.0) << xpath << " node " << i;
+      EXPECT_LT(est[i], truth * 4.0) << xpath << " node " << i;
+    }
+  }
+}
+
+TEST(CardinalityTest, MatchCountExactForAdPairs) {
+  xml::Document doc = MakeDoc("a(b b(b) c(b))");
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  TreePattern q = MustParse("//a//b");
+  EXPECT_DOUBLE_EQ(EstimateMatchCount(stats, doc, q),
+                   static_cast<double>(tpq::NaiveEvaluator(doc, q).Count()));
+}
+
+TEST(SelectionWithEstimatesTest, PicksTheSameSetOnTable2Workload) {
+  xml::Document doc = data::GenerateNasa({.datasets = 200, .seed = 7});
+  DocumentStatistics stats = DocumentStatistics::Collect(doc);
+  TreePattern query = MustParse(
+      "//dataset//tableHead[//tableLink//title]//field//definition//para");
+  std::vector<TreePattern> candidates;
+  for (const char* v :
+       {"//dataset//definition", "//dataset//tableHead", "//field//para",
+        "//definition", "//tableLink//title", "//field//definition//para"}) {
+    candidates.push_back(MustParse(v));
+  }
+  view::SelectionOptions exact;
+  view::SelectionResult exact_pick =
+      view::SelectViews(doc, query, candidates, exact);
+  view::SelectionOptions estimated;
+  estimated.statistics = &stats;
+  view::SelectionResult est_pick =
+      view::SelectViews(doc, query, candidates, estimated);
+  ASSERT_TRUE(exact_pick.covers);
+  ASSERT_TRUE(est_pick.covers);
+  // The estimator must preserve the decision, not the exact numbers.
+  EXPECT_EQ(est_pick.selected, exact_pick.selected);
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "tpq/pattern.h"
+#include "tpq/subpattern.h"
+#include "util/rng.h"
+
+namespace viewjoin {
+namespace {
+
+using testing::BruteForceMatches;
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::Axis;
+using tpq::Match;
+using tpq::TreePattern;
+
+TEST(PatternParseTest, SimplePath) {
+  TreePattern q = MustParse("//a//b/c");
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.node(0).tag, "a");
+  EXPECT_EQ(q.node(0).incoming, Axis::kDescendant);
+  EXPECT_EQ(q.node(1).parent, 0);
+  EXPECT_EQ(q.node(1).incoming, Axis::kDescendant);
+  EXPECT_EQ(q.node(2).parent, 1);
+  EXPECT_EQ(q.node(2).incoming, Axis::kChild);
+  EXPECT_TRUE(q.IsPath());
+}
+
+TEST(PatternParseTest, PredicatesAndBareChildSteps) {
+  // N6 from the paper.
+  TreePattern q = MustParse("//journal[//suffix][title]/date/year");
+  ASSERT_EQ(q.size(), 5u);
+  EXPECT_EQ(q.node(0).tag, "journal");
+  int suffix = q.FindByTag("suffix");
+  int title = q.FindByTag("title");
+  int date = q.FindByTag("date");
+  int year = q.FindByTag("year");
+  EXPECT_EQ(q.node(suffix).parent, 0);
+  EXPECT_EQ(q.node(suffix).incoming, Axis::kDescendant);
+  EXPECT_EQ(q.node(title).parent, 0);
+  EXPECT_EQ(q.node(title).incoming, Axis::kChild);
+  EXPECT_EQ(q.node(date).parent, 0);
+  EXPECT_EQ(q.node(date).incoming, Axis::kChild);
+  EXPECT_EQ(q.node(year).parent, date);
+  EXPECT_FALSE(q.IsPath());
+}
+
+TEST(PatternParseTest, NestedPredicates) {
+  TreePattern q = MustParse("//a[//b[//c]/d]//e");
+  ASSERT_EQ(q.size(), 5u);
+  int b = q.FindByTag("b");
+  int c = q.FindByTag("c");
+  int d = q.FindByTag("d");
+  int e = q.FindByTag("e");
+  EXPECT_EQ(q.node(b).parent, 0);
+  EXPECT_EQ(q.node(c).parent, b);
+  EXPECT_EQ(q.node(d).parent, b);
+  EXPECT_EQ(q.node(d).incoming, Axis::kChild);
+  EXPECT_EQ(q.node(e).parent, 0);
+}
+
+TEST(PatternParseTest, RejectsMalformed) {
+  std::string error;
+  EXPECT_FALSE(TreePattern::Parse("", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("a//b", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("//a[", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("//a[]", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("//a]b", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("///a", &error).has_value());
+  EXPECT_FALSE(TreePattern::Parse("//a[//b]extra", &error).has_value());
+}
+
+TEST(PatternParseTest, ToStringRoundTrips) {
+  for (const char* xpath :
+       {"//a", "//a//b/c", "//a[//b/d]//e", "//journal[//suffix][/title]/date",
+        "//dataset//tableHead[//tableLink//title]//field//definition//para"}) {
+    TreePattern q = MustParse(xpath);
+    TreePattern q2 = MustParse(q.ToString());
+    EXPECT_EQ(q.ToString(), q2.ToString()) << xpath;
+    EXPECT_EQ(q.size(), q2.size());
+  }
+}
+
+TEST(PatternTest, UniqueTags) {
+  EXPECT_TRUE(MustParse("//a//b[//c]").HasUniqueTags());
+  EXPECT_FALSE(MustParse("//a//b//a").HasUniqueTags());
+}
+
+TEST(EvaluatorTest, SingleNode) {
+  xml::Document doc = MakeDoc("a(b b(b))");
+  tpq::NaiveEvaluator eval(doc, MustParse("//b"));
+  EXPECT_EQ(eval.Count(), 3u);
+}
+
+TEST(EvaluatorTest, AdPath) {
+  // a(b(c) b) — //a//b//c has exactly one match.
+  xml::Document doc = MakeDoc("a(b(c) b)");
+  tpq::NaiveEvaluator eval(doc, MustParse("//a//b//c"));
+  std::vector<Match> matches = eval.Collect();
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], (Match{0, 1, 2}));
+}
+
+TEST(EvaluatorTest, PcVersusAd) {
+  // c is a grandchild of a via x.
+  xml::Document doc = MakeDoc("a(x(c))");
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("//a//c")).Count(), 1u);
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("//a/c")).Count(), 0u);
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("//a/x/c")).Count(), 1u);
+}
+
+TEST(EvaluatorTest, RecursiveNestingMultiplicity) {
+  // a(a(b)) — //a//b matches twice (both a's).
+  xml::Document doc = MakeDoc("a(a(b))");
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("//a//b")).Count(), 2u);
+}
+
+TEST(EvaluatorTest, AbsoluteRootStep) {
+  xml::Document doc = MakeDoc("a(a(b))");
+  // '/a//b' anchors at the document root: only the outer a qualifies.
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("/a//b")).Count(), 1u);
+}
+
+TEST(EvaluatorTest, MissingTagYieldsEmpty) {
+  xml::Document doc = MakeDoc("a(b)");
+  EXPECT_EQ(tpq::NaiveEvaluator(doc, MustParse("//a//zzz")).Count(), 0u);
+  EXPECT_TRUE(tpq::NaiveEvaluator(doc, MustParse("//zzz")).Collect().empty());
+}
+
+TEST(EvaluatorTest, TwigSemantics) {
+  xml::Document doc = MakeDoc("a(b(c d) b(c) e)");
+  // //a[//b//c]... every (a,b,c,e) embedding.
+  tpq::NaiveEvaluator eval(doc, MustParse("//a[//b//c]//e"));
+  EXPECT_EQ(eval.Count(), 2u);  // two b's with c, one e
+}
+
+TEST(EvaluatorTest, SolutionNodesAreExactlyMatchParticipants) {
+  xml::Document doc = MakeDoc("a(b(c) b d(b(c)))");
+  TreePattern q = MustParse("//a//b//c");
+  tpq::NaiveEvaluator eval(doc, q);
+  std::vector<std::vector<xml::NodeId>> lists = eval.SolutionNodes();
+  std::vector<Match> matches = eval.Collect();
+  for (size_t qn = 0; qn < q.size(); ++qn) {
+    std::set<xml::NodeId> from_matches;
+    for (const Match& m : matches) from_matches.insert(m[qn]);
+    std::set<xml::NodeId> from_lists(lists[qn].begin(), lists[qn].end());
+    EXPECT_EQ(from_matches, from_lists) << "node " << qn;
+  }
+}
+
+TEST(EvaluatorTest, AgreesWithBruteForceOnRandomInputs) {
+  std::vector<std::string> tags = {"a", "b", "c", "d", "e"};
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 60; ++trial) {
+    xml::Document doc = testing::RandomDoc(&rng, 40, tags);
+    TreePattern query = testing::RandomQuery(
+        &rng, 1 + static_cast<int>(rng.Uniform(4)), tags);
+    std::vector<Match> expected = BruteForceMatches(doc, query);
+    std::vector<Match> actual = tpq::NaiveEvaluator(doc, query).Collect();
+    tpq::SortMatches(&actual);
+    EXPECT_EQ(expected, actual) << "trial " << trial << " query "
+                                << query.ToString();
+  }
+}
+
+TEST(SubpatternTest, TypeAndEdgePreservation) {
+  TreePattern q = MustParse("//a//b[/c]//d");
+  EXPECT_TRUE(IsSubpattern(MustParse("//a//b"), q));
+  EXPECT_TRUE(IsSubpattern(MustParse("//a//d"), q));   // via path a-b-d
+  EXPECT_TRUE(IsSubpattern(MustParse("//b/c"), q));    // pc preserved
+  EXPECT_TRUE(IsSubpattern(MustParse("//b//c"), q));   // ad weaker than pc? no:
+  // ad-edge maps to ancestor-descendant, and b is c's ancestor — allowed.
+  EXPECT_FALSE(IsSubpattern(MustParse("//a/b"), q));   // pc does not hold in q
+  EXPECT_FALSE(IsSubpattern(MustParse("//d//a"), q));  // wrong direction
+  EXPECT_FALSE(IsSubpattern(MustParse("//a//x"), q));  // missing type
+}
+
+TEST(SubpatternTest, ConnectedSubpattern) {
+  TreePattern q = MustParse("//a//b[/c]//d");
+  EXPECT_TRUE(IsConnectedSubpattern(MustParse("//a//b"), q));
+  EXPECT_TRUE(IsConnectedSubpattern(MustParse("//b/c"), q));
+  EXPECT_TRUE(IsConnectedSubpattern(MustParse("//b//c"), q));
+  // a-d is not a direct edge of q.
+  EXPECT_FALSE(IsConnectedSubpattern(MustParse("//a//d"), q));
+  EXPECT_TRUE(IsSubpattern(MustParse("//a//d"), q));
+}
+
+TEST(CoveringTest, CoveringAndMinimality) {
+  TreePattern q = MustParse("//a//b[//c/d]//e");
+  std::vector<TreePattern> covering = {MustParse("//a"),
+                                       MustParse("//b[//c/d]"),
+                                       MustParse("//e")};
+  EXPECT_TRUE(IsCoveringSet(q, covering));
+  EXPECT_TRUE(IsMinimalCoveringSet(q, covering));
+
+  std::vector<TreePattern> redundant = covering;
+  redundant.push_back(MustParse("//c/d"));
+  EXPECT_TRUE(IsCoveringSet(q, redundant));
+  // {//a, //b[//c/d], //e} still covers without //c/d → not minimal...
+  // and also //c/d overlaps; AnalyzeCovering reports the overlap.
+  EXPECT_FALSE(IsMinimalCoveringSet(q, redundant));
+  EXPECT_TRUE(tpq::AnalyzeCovering(q, redundant).overlapping);
+
+  std::vector<TreePattern> incomplete = {MustParse("//a"), MustParse("//e")};
+  EXPECT_FALSE(IsCoveringSet(q, incomplete));
+}
+
+TEST(CoveringTest, NonSubpatternViewIsUnusable) {
+  TreePattern q = MustParse("//a//b");
+  // //b//a is not a subpattern (wrong direction): cannot cover anything.
+  std::vector<TreePattern> views = {MustParse("//b//a")};
+  tpq::CoveringInfo info = tpq::AnalyzeCovering(q, views);
+  EXPECT_FALSE(info.covers);
+  EXPECT_FALSE(info.mappings[0].has_value());
+}
+
+TEST(MatchSinkTest, HashingSinkIsOrderIndependent) {
+  tpq::HashingSink h1, h2;
+  Match a{1, 2, 3};
+  Match b{4, 5, 6};
+  h1.OnMatch(a);
+  h1.OnMatch(b);
+  h2.OnMatch(b);
+  h2.OnMatch(a);
+  EXPECT_EQ(h1.hash(), h2.hash());
+  EXPECT_EQ(h1.count(), 2u);
+  tpq::HashingSink h3;
+  h3.OnMatch(a);
+  EXPECT_NE(h1.hash(), h3.hash());
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,128 @@
+// Unit tests for the util layer: table printer, deterministic RNG, timers,
+// and the CHECK macros' failure behaviour.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace viewjoin {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumnsToWidestCell) {
+  util::TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "223344"});
+  std::string out = table.ToString();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("| name        | value  |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 223344 |"), std::string::npos);
+  EXPECT_NE(out.find("|-------------|--------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, RejectsRaggedRows) {
+  util::TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "CHECK failed");
+}
+
+TEST(FormatTest, DoublesAndMegabytes) {
+  EXPECT_EQ(util::FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(util::FormatDouble(1.5, 0), "2");
+  EXPECT_EQ(util::FormatMegabytes(3 * 1024 * 1024), "3.00 MB");
+  EXPECT_EQ(util::FormatMegabytes(512 * 1024), "0.50 MB");
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  util::Rng a(42);
+  util::Rng b(42);
+  util::Rng c(43);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    if (va != c.Next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RngTest, UniformRangeIsInclusive) {
+  util::Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  util::Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 2500);
+  EXPECT_LT(hits, 3500);
+}
+
+TEST(RngTest, ZipfSkewsTowardLowRanks) {
+  util::Rng rng(13);
+  int low = 0;
+  int high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t r = rng.Zipf(8, 1.2);
+    EXPECT_LT(r, 8u);
+    if (r == 0) ++low;
+    if (r == 7) ++high;
+  }
+  EXPECT_GT(low, high * 2);
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  util::Timer timer;
+  volatile uint64_t sink = 0;
+  while (timer.ElapsedMicros() < 1000) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<uint64_t>(i);
+  }
+  EXPECT_GE(timer.ElapsedMicros(), 1000);
+  EXPECT_GT(timer.ElapsedMillis(), 0.9);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedMicros(), 1000);
+}
+
+TEST(AccumulatingTimerTest, SumsScopes) {
+  util::AccumulatingTimer acc;
+  for (int i = 0; i < 3; ++i) {
+    util::AccumulatingTimer::Scope scope(&acc);
+    util::Timer spin;
+    while (spin.ElapsedMicros() < 200) {
+    }
+  }
+  EXPECT_GE(acc.TotalMicros(), 600);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalMicros(), 0);
+}
+
+TEST(CheckTest, PassingConditionIsSilent) {
+  VJ_CHECK(1 + 1 == 2) << "never evaluated";
+  VJ_CHECK_EQ(3, 3);
+  VJ_CHECK_LT(1, 2);
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingConditionAbortsWithMessage) {
+  EXPECT_DEATH(VJ_CHECK(false) << "context " << 42, "context 42");
+  EXPECT_DEATH(VJ_CHECK_EQ(1, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,139 @@
+// Workload-level view selection tests: one view set serving several queries,
+// with per-query disjointness and coverage, and sharing across queries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "tpq/subpattern.h"
+#include "view/selection.h"
+
+namespace viewjoin {
+namespace {
+
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::TreePattern;
+using view::SelectionOptions;
+using view::SelectViewsForWorkload;
+using view::WorkloadSelectionResult;
+
+TEST(WorkloadSelectionTest, SharedViewServesSeveralQueries) {
+  xml::Document doc = MakeDoc(
+      "r(a(b(c(d)) e(f)) a(b(c(d)) e(f)) a(e(f) b(c)))");
+  std::vector<TreePattern> workload = {
+      MustParse("//a//b//c"),
+      MustParse("//a//e//f"),
+      MustParse("//a//b//c//d"),
+  };
+  std::vector<TreePattern> candidates = {
+      MustParse("//a"),        // 0: usable by all three queries
+      MustParse("//b//c"),     // 1: queries 0 and 2
+      MustParse("//e//f"),     // 2: query 1
+      MustParse("//d"),        // 3: query 2
+      MustParse("//b"),        // 4
+      MustParse("//c"),        // 5
+      MustParse("//f"),        // 6
+      MustParse("//e"),        // 7
+  };
+  WorkloadSelectionResult result =
+      SelectViewsForWorkload(doc, workload, candidates);
+  ASSERT_TRUE(result.all_covered);
+  // //a must be picked once and serve every query.
+  std::set<size_t> chosen(result.selected.begin(), result.selected.end());
+  EXPECT_TRUE(chosen.count(0) > 0);
+  for (size_t q = 0; q < workload.size(); ++q) {
+    EXPECT_TRUE(result.covered[q]) << q;
+    // The per-query views cover the query and are type-disjoint.
+    std::vector<TreePattern> views;
+    for (size_t idx : result.per_query_views[q]) {
+      views.push_back(candidates[result.selected[idx]]);
+    }
+    tpq::CoveringInfo info = tpq::AnalyzeCovering(workload[q], views);
+    EXPECT_TRUE(info.covers) << q;
+    EXPECT_FALSE(info.overlapping) << q;
+  }
+}
+
+TEST(WorkloadSelectionTest, SelectedSetsActuallyAnswerTheWorkload) {
+  xml::Document doc = MakeDoc(
+      "r(a(b(c(d)) e(f)) a(b(c(d) c) e(f)) a(e(f) b(c)))");
+  std::vector<TreePattern> workload = {
+      MustParse("//a//b//c"),
+      MustParse("//a//e//f"),
+      MustParse("//a[//e]//b"),
+  };
+  std::vector<TreePattern> candidates = {
+      MustParse("//a"),    MustParse("//b//c"), MustParse("//e//f"),
+      MustParse("//b"),    MustParse("//c"),    MustParse("//e"),
+      MustParse("//f"),
+  };
+  WorkloadSelectionResult selection =
+      SelectViewsForWorkload(doc, workload, candidates);
+  ASSERT_TRUE(selection.all_covered);
+  core::Engine engine(
+      &doc, std::string(::testing::TempDir()) + "workload_sel.db");
+  for (size_t q = 0; q < workload.size(); ++q) {
+    std::vector<const storage::MaterializedView*> views;
+    for (size_t idx : selection.per_query_views[q]) {
+      views.push_back(engine.AddView(candidates[selection.selected[idx]],
+                                     storage::Scheme::kLinkedElement));
+    }
+    core::RunResult r = engine.Execute(workload[q], views);
+    ASSERT_TRUE(r.ok) << workload[q].ToString() << ": " << r.error;
+    EXPECT_EQ(r.match_count,
+              tpq::NaiveEvaluator(doc, workload[q]).Count())
+        << workload[q].ToString();
+  }
+}
+
+TEST(WorkloadSelectionTest, ReportsPartialCoverage) {
+  xml::Document doc = MakeDoc("r(a(b))");
+  std::vector<TreePattern> workload = {MustParse("//a//b"),
+                                       MustParse("//a//zzz//b")};
+  std::vector<TreePattern> candidates = {MustParse("//a"), MustParse("//b")};
+  WorkloadSelectionResult result =
+      SelectViewsForWorkload(doc, workload, candidates);
+  EXPECT_FALSE(result.all_covered);
+  EXPECT_TRUE(result.covered[0]);
+  EXPECT_FALSE(result.covered[1]);  // zzz has no candidate
+}
+
+TEST(WorkloadSelectionTest, EmptyWorkloadIsTriviallyCovered) {
+  xml::Document doc = MakeDoc("a(b)");
+  WorkloadSelectionResult result =
+      SelectViewsForWorkload(doc, {}, {MustParse("//a")});
+  EXPECT_TRUE(result.all_covered);
+  EXPECT_TRUE(result.selected.empty());
+}
+
+TEST(WorkloadSelectionTest, SharingBeatsPerQuerySelectionOnViewCount) {
+  // Three queries over overlapping schema regions: workload selection should
+  // not need more views than the union of per-query selections.
+  xml::Document doc = MakeDoc(
+      "r(a(b(c(d)) e(f)) a(b(c(d)) e(f g)) a(e(f) b(c(d))))");
+  std::vector<TreePattern> workload = {
+      MustParse("//a//b//c"), MustParse("//a//e"), MustParse("//b//c//d")};
+  std::vector<TreePattern> candidates = {
+      MustParse("//a"), MustParse("//b//c"), MustParse("//e"),
+      MustParse("//d"), MustParse("//b"),    MustParse("//c")};
+  WorkloadSelectionResult shared =
+      SelectViewsForWorkload(doc, workload, candidates);
+  ASSERT_TRUE(shared.all_covered);
+  std::set<size_t> union_of_separate;
+  for (const TreePattern& q : workload) {
+    view::SelectionResult single =
+        view::SelectViews(doc, q, candidates, SelectionOptions());
+    ASSERT_TRUE(single.covers);
+    union_of_separate.insert(single.selected.begin(), single.selected.end());
+  }
+  EXPECT_LE(shared.selected.size(), union_of_separate.size());
+}
+
+}  // namespace
+}  // namespace viewjoin

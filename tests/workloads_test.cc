@@ -1,0 +1,143 @@
+// Validates the benchmark workload definitions against the paper's
+// specifications: query shapes, the Table III interleaving counts, view-set
+// well-formedness (covering, disjoint, subpatterns), and non-empty results
+// on the shipped generators.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "algo/query_binding.h"
+#include "bench/workloads.h"
+#include "core/segmented_query.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "storage/materialized_view.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "tpq/subpattern.h"
+
+namespace viewjoin {
+namespace {
+
+using bench::InterleavingWorkload;
+using bench::PairViews;
+using bench::QuerySpec;
+using bench::SplitViews;
+using testing::MustParse;
+using tpq::TreePattern;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+TEST(WorkloadsTest, FourteenXmarkQueriesWithPaperSplit) {
+  std::vector<QuerySpec> all = bench::XmarkQueries();
+  EXPECT_EQ(all.size(), 14u);
+  EXPECT_EQ(bench::XmarkPathQueries().size(), 6u);  // paper: 6 path queries
+  EXPECT_EQ(bench::XmarkTwigQueries().size(), 8u);  // paper: 8 twig queries
+  for (const QuerySpec& spec : all) {
+    TreePattern q = MustParse(spec.xpath);
+    EXPECT_EQ(q.IsPath(), spec.is_path) << spec.name;
+    EXPECT_TRUE(q.HasUniqueTags()) << spec.name;
+    EXPECT_GE(q.size(), 3u) << spec.name;
+  }
+}
+
+TEST(WorkloadsTest, NasaQueriesAreThePapersN1toN8) {
+  std::vector<QuerySpec> all = bench::NasaQueries();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].xpath, "//field//footnote//para");
+  EXPECT_EQ(all[2].xpath, "//revision/creator/lastname");
+  EXPECT_EQ(bench::NasaPathQueries().size(), 4u);
+  EXPECT_EQ(bench::NasaTwigQueries().size(), 4u);
+}
+
+TEST(WorkloadsTest, QueriesHaveMatchesOnGenerators) {
+  xml::Document xmark = data::GenerateXmark({.scale = 0.3, .seed = 42});
+  for (const QuerySpec& spec : bench::XmarkQueries()) {
+    TreePattern q = MustParse(spec.xpath);
+    EXPECT_GT(tpq::NaiveEvaluator(xmark, q).Count(), 0u) << spec.name;
+  }
+  xml::Document nasa = data::GenerateNasa({.datasets = 120, .seed = 7});
+  for (const QuerySpec& spec : bench::NasaQueries()) {
+    TreePattern q = MustParse(spec.xpath);
+    EXPECT_GT(tpq::NaiveEvaluator(nasa, q).Count(), 0u) << spec.name;
+  }
+}
+
+TEST(WorkloadsTest, SplitViewsAreLegalCoveringSets) {
+  for (const QuerySpec& spec : bench::XmarkQueries()) {
+    TreePattern q = MustParse(spec.xpath);
+    for (int pieces : {1, 2, 3}) {
+      std::vector<TreePattern> views = SplitViews(q, pieces);
+      tpq::CoveringInfo info = tpq::AnalyzeCovering(q, views);
+      EXPECT_TRUE(info.covers) << spec.name << " pieces=" << pieces;
+      EXPECT_FALSE(info.overlapping) << spec.name << " pieces=" << pieces;
+      for (const TreePattern& v : views) {
+        EXPECT_TRUE(IsSubpattern(v, q)) << spec.name << " " << v.ToString();
+      }
+    }
+  }
+}
+
+TEST(WorkloadsTest, PairViewsOfPathQueriesArePathViews) {
+  for (const QuerySpec& spec : bench::XmarkPathQueries()) {
+    TreePattern q = MustParse(spec.xpath);
+    for (const TreePattern& v : PairViews(q)) {
+      EXPECT_TRUE(v.IsPath()) << spec.name << " " << v.ToString();
+    }
+  }
+}
+
+TEST(WorkloadsTest, SplitIntoOnePieceIsTheQueryItself) {
+  TreePattern q = MustParse("//a//b[//c]//d");
+  std::vector<TreePattern> views = SplitViews(q, 1);
+  ASSERT_EQ(views.size(), 1u);
+  EXPECT_EQ(views[0].ToString(), q.ToString());
+}
+
+TEST(WorkloadsTest, TableIIIInterleavingCountsHold) {
+  xml::Document nasa = data::GenerateNasa({.datasets = 60, .seed = 7});
+  storage::ViewCatalog catalog(TempPath("workloads_t3.db"), 64);
+  auto verify = [&](const InterleavingWorkload& w) {
+    TreePattern q = MustParse(w.query);
+    std::vector<const storage::MaterializedView*> views;
+    for (const std::string& v : w.views) {
+      views.push_back(
+          catalog.Materialize(nasa, MustParse(v), storage::Scheme::kElement));
+    }
+    auto binding = algo::QueryBinding::Bind(nasa, q, views);
+    ASSERT_TRUE(binding.has_value()) << w.name;
+    core::SegmentedQuery sq = core::BuildSegmentedQuery(*binding);
+    EXPECT_EQ(sq.inter_view_edges, w.expected_conditions) << w.name;
+  };
+  for (const InterleavingWorkload& w : bench::PathInterleavingWorkloads()) {
+    verify(w);
+  }
+  for (const InterleavingWorkload& w : bench::TwigInterleavingWorkloads()) {
+    verify(w);
+  }
+}
+
+TEST(WorkloadsTest, Table2CandidatesAreSubpatternsOfTheTable2Query) {
+  TreePattern q = MustParse(bench::Table2Query());
+  for (const std::string& v : bench::Table2CandidateViews()) {
+    EXPECT_TRUE(IsSubpattern(MustParse(v), q)) << v;
+  }
+}
+
+TEST(WorkloadsTest, EnvScaleParsesAndFallsBack) {
+  ::setenv("VIEWJOIN_TEST_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(bench::EnvScale("VIEWJOIN_TEST_SCALE", 1.0), 2.5);
+  ::setenv("VIEWJOIN_TEST_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(bench::EnvScale("VIEWJOIN_TEST_SCALE", 1.0), 1.0);
+  ::setenv("VIEWJOIN_TEST_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(bench::EnvScale("VIEWJOIN_TEST_SCALE", 1.0), 1.0);
+  ::unsetenv("VIEWJOIN_TEST_SCALE");
+  EXPECT_DOUBLE_EQ(bench::EnvScale("VIEWJOIN_TEST_SCALE", 1.0), 1.0);
+}
+
+}  // namespace
+}  // namespace viewjoin

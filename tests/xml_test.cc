@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "xml/document.h"
+#include "xml/label.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace viewjoin {
+namespace {
+
+using testing::MakeDoc;
+using xml::Document;
+using xml::Label;
+using xml::NodeId;
+
+TEST(LabelTest, StructuralPredicates) {
+  Label a{1, 10, 1};
+  Label b{2, 5, 2};
+  Label c{3, 4, 3};
+  Label d{6, 7, 2};
+  EXPECT_TRUE(IsAncestor(a, b));
+  EXPECT_TRUE(IsAncestor(a, c));
+  EXPECT_TRUE(IsAncestor(b, c));
+  EXPECT_FALSE(IsAncestor(b, d));
+  EXPECT_TRUE(IsParent(a, b));
+  EXPECT_FALSE(IsParent(a, c));
+  EXPECT_TRUE(IsParent(b, c));
+  EXPECT_TRUE(IsFollowing(b, d));
+  EXPECT_FALSE(IsFollowing(a, d));
+}
+
+TEST(DocumentTest, BuildAssignsRegionLabels) {
+  Document doc = MakeDoc("a(b(c) d)");
+  ASSERT_EQ(doc.NodeCount(), 4u);
+  // Node ids are document order; labels nest properly.
+  const Label& a = doc.NodeLabel(0);
+  const Label& b = doc.NodeLabel(1);
+  const Label& c = doc.NodeLabel(2);
+  const Label& d = doc.NodeLabel(3);
+  EXPECT_EQ(a.level, 1u);
+  EXPECT_EQ(b.level, 2u);
+  EXPECT_EQ(c.level, 3u);
+  EXPECT_EQ(d.level, 2u);
+  EXPECT_TRUE(IsAncestor(a, b));
+  EXPECT_TRUE(IsAncestor(a, d));
+  EXPECT_TRUE(IsParent(b, c));
+  EXPECT_TRUE(IsFollowing(c, d));
+  EXPECT_LT(b.end, d.start);
+}
+
+TEST(DocumentTest, ParentChildSiblingLinks) {
+  Document doc = MakeDoc("a(b(c) d)");
+  EXPECT_EQ(doc.Root(), 0u);
+  EXPECT_EQ(doc.Parent(0), xml::kInvalidNode);
+  EXPECT_EQ(doc.Parent(1), 0u);
+  EXPECT_EQ(doc.Parent(2), 1u);
+  EXPECT_EQ(doc.Parent(3), 0u);
+  EXPECT_EQ(doc.FirstChild(0), 1u);
+  EXPECT_EQ(doc.NextSibling(1), 3u);
+  EXPECT_EQ(doc.NextSibling(3), xml::kInvalidNode);
+  EXPECT_EQ(doc.FirstChild(2), xml::kInvalidNode);
+}
+
+TEST(DocumentTest, TagInterningAndLists) {
+  Document doc = MakeDoc("a(b b(b) c)");
+  xml::TagId b = doc.FindTag("b");
+  ASSERT_NE(b, xml::kInvalidTag);
+  const std::vector<NodeId>& list = doc.NodesOfTag(b);
+  ASSERT_EQ(list.size(), 3u);
+  // Document order = ascending start labels.
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_LT(doc.NodeLabel(list[i - 1]).start, doc.NodeLabel(list[i]).start);
+  }
+  EXPECT_EQ(doc.FindTag("zzz"), xml::kInvalidTag);
+  EXPECT_TRUE(doc.NodesOfTag(xml::kInvalidTag).empty());
+}
+
+TEST(DocumentTest, FindByStart) {
+  Document doc = MakeDoc("a(b(c) b)");
+  xml::TagId b = doc.FindTag("b");
+  for (NodeId n : doc.NodesOfTag(b)) {
+    EXPECT_EQ(doc.FindByStart(b, doc.NodeLabel(n).start), n);
+  }
+  EXPECT_EQ(doc.FindByStart(b, 9999), xml::kInvalidNode);
+}
+
+TEST(ParserTest, ParsesNestedElements) {
+  auto result = xml::ParseDocument("<a><b><c/></b><d>text</d></a>");
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Document& doc = *result.document;
+  ASSERT_EQ(doc.NodeCount(), 4u);
+  EXPECT_EQ(doc.TagName(doc.NodeTag(0)), "a");
+  EXPECT_EQ(doc.TagName(doc.NodeTag(2)), "c");
+  EXPECT_TRUE(doc.IsAncestor(0, 3));
+  EXPECT_FALSE(doc.IsAncestor(1, 3));
+}
+
+TEST(ParserTest, SkipsPrologCommentsAndAttributes) {
+  auto result = xml::ParseDocument(
+      "<?xml version=\"1.0\"?><!-- comment --><a id=\"1\" x='<b>'>"
+      "<![CDATA[<fake>]]><b/></a>");
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(result.document->NodeCount(), 2u);
+}
+
+TEST(ParserTest, TextAdvancesLabelPositions) {
+  auto with_text = xml::ParseDocument("<a>hello<b/>world</a>");
+  auto without = xml::ParseDocument("<a><b/></a>");
+  ASSERT_TRUE(with_text.ok());
+  ASSERT_TRUE(without.ok());
+  // Text between tags consumes label positions, so the 'a' region widens.
+  EXPECT_GT(with_text.document->NodeLabel(0).end,
+            without.document->NodeLabel(0).end);
+}
+
+TEST(ParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(xml::ParseDocument("").ok());
+  EXPECT_FALSE(xml::ParseDocument("<a><b></a></b>").ok());
+  EXPECT_FALSE(xml::ParseDocument("<a>").ok());
+  EXPECT_FALSE(xml::ParseDocument("</a>").ok());
+  EXPECT_FALSE(xml::ParseDocument("<a/><b/>").ok());
+  EXPECT_FALSE(xml::ParseDocument("<a><!-- unterminated</a>").ok());
+  EXPECT_FALSE(xml::ParseDocument("<a attr=\"unterminated></a>").ok());
+}
+
+TEST(WriterTest, RoundTripsThroughParser) {
+  Document doc = MakeDoc("site(regions(item(name) item) people(person(name)))");
+  std::string xml_text = xml::WriteDocument(doc);
+  auto reparsed = xml::ParseDocument(xml_text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  ASSERT_EQ(reparsed.document->NodeCount(), doc.NodeCount());
+  for (NodeId n = 0; n < doc.NodeCount(); ++n) {
+    EXPECT_EQ(doc.TagName(doc.NodeTag(n)),
+              reparsed.document->TagName(reparsed.document->NodeTag(n)));
+    EXPECT_EQ(doc.NodeLabel(n).level, reparsed.document->NodeLabel(n).level);
+  }
+}
+
+TEST(WriterTest, SerializedSizeMatchesString) {
+  Document doc = MakeDoc("a(b(c) d)");
+  EXPECT_EQ(xml::SerializedSize(doc), xml::WriteDocument(doc).size());
+  xml::WriterOptions options;
+  options.synthetic_text = true;
+  EXPECT_EQ(xml::SerializedSize(doc, options),
+            xml::WriteDocument(doc, options).size());
+}
+
+TEST(WriterTest, IndentedOutputStaysWellFormed) {
+  Document doc = MakeDoc("a(b(c) d)");
+  xml::WriterOptions options;
+  options.indent = 2;
+  auto reparsed = xml::ParseDocument(xml::WriteDocument(doc, options));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error;
+  EXPECT_EQ(reparsed.document->NodeCount(), doc.NodeCount());
+}
+
+}  // namespace
+}  // namespace viewjoin

@@ -1,0 +1,360 @@
+// viewjoin_cli — command-line front end for the ViewJoin engine.
+//
+// Evaluate a tree pattern query over an XML document (from a file or a
+// built-in generator) using materialized views, with any algorithm ×
+// storage-scheme combination, and inspect the plan and runtime counters.
+//
+// Examples:
+//   viewjoin_cli --xmark 1.0 --query '//people//person//name'
+//                --views '//people//person;//name'
+//   viewjoin_cli --xml data.xml --query '//a//b[//c]//d'
+//                --candidates '//a//b;//c;//d;//b//c' --algo VJ --scheme LE_p
+//   viewjoin_cli --nasa 400 --query '//field//footnote//para'
+//                --views '//field//footnote;//para' --explain --limit 5
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algo/query_binding.h"
+#include "core/engine.h"
+#include "core/segmented_query.h"
+#include "data/nasa_generator.h"
+#include "data/xmark_generator.h"
+#include "tpq/pattern.h"
+#include "util/table_printer.h"
+#include "view/selection.h"
+#include "xml/parser.h"
+#include "xml/statistics.h"
+
+namespace {
+
+using viewjoin::core::Algorithm;
+using viewjoin::core::Engine;
+using viewjoin::core::RunOptions;
+using viewjoin::core::RunResult;
+using viewjoin::storage::MaterializedView;
+using viewjoin::storage::Scheme;
+using viewjoin::tpq::TreePattern;
+
+struct Options {
+  std::string xml_path;
+  double xmark_scale = 0;
+  int64_t nasa_datasets = 0;
+  std::string query;
+  std::vector<std::string> views;
+  std::vector<std::string> candidates;
+  Algorithm algorithm = Algorithm::kViewJoin;
+  Scheme scheme = Scheme::kLinkedElement;
+  bool disk_mode = false;
+  bool explain = false;
+  bool estimate = false;
+  bool count_only = false;
+  bool store_result = false;
+  int64_t limit = 20;
+};
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--xml FILE | --xmark SCALE | --nasa DATASETS)\n"
+      "          --query XPATH (--views 'V1;V2;..' | --candidates 'V1;..')\n"
+      "          [--algo TS|VJ|IJ] [--scheme E|T|LE|LE_p] [--disk]\n"
+      "          [--explain] [--count-only] [--store-result] [--limit N]\n"
+      "\n"
+      "  --views       covering view set, materialized as given\n"
+      "  --candidates  candidate pool; the cost-based greedy heuristic\n"
+      "                (paper Section V) picks the covering subset\n"
+      "  --explain     print the view-segmented query and per-list sizes\n"
+      "  --estimate    drive view selection from single-pass statistics\n"
+      "                instead of exact list lengths\n"
+      "  --store-result  store the answer back as a materialized view\n",
+      prog);
+}
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--xml") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->xml_path = v;
+    } else if (arg == "--xmark") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->xmark_scale = std::atof(v);
+    } else if (arg == "--nasa") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->nasa_datasets = std::atol(v);
+    } else if (arg == "--query") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->query = v;
+    } else if (arg == "--views") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->views = SplitList(v);
+    } else if (arg == "--candidates") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->candidates = SplitList(v);
+    } else if (arg == "--algo") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "TS") == 0) {
+        options->algorithm = Algorithm::kTwigStack;
+      } else if (std::strcmp(v, "VJ") == 0) {
+        options->algorithm = Algorithm::kViewJoin;
+      } else if (std::strcmp(v, "IJ") == 0) {
+        options->algorithm = Algorithm::kInterJoin;
+        options->scheme = Scheme::kTuple;
+      } else {
+        std::fprintf(stderr, "unknown algorithm %s\n", v);
+        return false;
+      }
+    } else if (arg == "--scheme") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "E") == 0) {
+        options->scheme = Scheme::kElement;
+      } else if (std::strcmp(v, "T") == 0) {
+        options->scheme = Scheme::kTuple;
+      } else if (std::strcmp(v, "LE") == 0) {
+        options->scheme = Scheme::kLinkedElement;
+      } else if (std::strcmp(v, "LE_p") == 0) {
+        options->scheme = Scheme::kLinkedElementPartial;
+      } else {
+        std::fprintf(stderr, "unknown scheme %s\n", v);
+        return false;
+      }
+    } else if (arg == "--disk") {
+      options->disk_mode = true;
+    } else if (arg == "--estimate") {
+      options->estimate = true;
+    } else if (arg == "--explain") {
+      options->explain = true;
+    } else if (arg == "--count-only") {
+      options->count_only = true;
+    } else if (arg == "--store-result") {
+      options->store_result = true;
+    } else if (arg == "--limit") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->limit = std::atol(v);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->query.empty()) {
+    std::fprintf(stderr, "--query is required\n");
+    return false;
+  }
+  bool has_source = !options->xml_path.empty() || options->xmark_scale > 0 ||
+                    options->nasa_datasets > 0;
+  if (!has_source) {
+    std::fprintf(stderr, "one of --xml / --xmark / --nasa is required\n");
+    return false;
+  }
+  if (options->views.empty() && options->candidates.empty()) {
+    std::fprintf(stderr, "--views or --candidates is required\n");
+    return false;
+  }
+  return true;
+}
+
+/// Prints the first `limit` matches, one per line.
+class PrintingSink : public viewjoin::tpq::MatchSink {
+ public:
+  PrintingSink(const viewjoin::xml::Document& doc, const TreePattern& query,
+               int64_t limit)
+      : doc_(doc), query_(query), limit_(limit) {}
+
+  void OnMatch(const viewjoin::tpq::Match& match) override {
+    if (printed_ >= limit_) return;
+    ++printed_;
+    std::printf("match %lld:", static_cast<long long>(printed_));
+    for (size_t q = 0; q < match.size(); ++q) {
+      const auto& label = doc_.NodeLabel(match[q]);
+      std::printf(" %s[%u..%u]", query_.node(static_cast<int>(q)).tag.c_str(),
+                  label.start, label.end);
+    }
+    std::printf("\n");
+  }
+
+ private:
+  const viewjoin::xml::Document& doc_;
+  const TreePattern& query_;
+  int64_t limit_;
+  int64_t printed_ = 0;
+};
+
+void Explain(const viewjoin::xml::Document& doc, const TreePattern& query,
+             const std::vector<const MaterializedView*>& views) {
+  std::string error;
+  auto binding =
+      viewjoin::algo::QueryBinding::Bind(doc, query, views, &error);
+  if (!binding.has_value()) {
+    std::printf("explain unavailable: %s\n", error.c_str());
+    return;
+  }
+  viewjoin::core::SegmentedQuery sq =
+      viewjoin::core::BuildSegmentedQuery(*binding);
+  std::printf("view-segmented query Q': %s\n", sq.ToString(query).c_str());
+  std::printf("inter-view edges (#Cond): %d\n", sq.inter_view_edges);
+  std::printf("query nodes dropped from Q' (pointer extension): %zu\n",
+              sq.removed.size());
+  viewjoin::util::TablePrinter table(
+      {"query node", "view", "scheme", "|L_q|", "e_q"});
+  for (size_t q = 0; q < query.size(); ++q) {
+    const auto& nb = binding->binding(static_cast<int>(q));
+    const MaterializedView* view = views[static_cast<size_t>(nb.view)];
+    table.AddRow({query.node(static_cast<int>(q)).tag,
+                  view->pattern().ToString(), SchemeName(view->scheme()),
+                  std::to_string(view->ListLength(nb.view_node)),
+                  std::to_string(binding->InterViewEdgeCount(
+                      static_cast<int>(q)))});
+  }
+  table.Print();
+}
+
+int Run(const Options& options) {
+  // Load or generate the document.
+  viewjoin::xml::Document doc;
+  if (!options.xml_path.empty()) {
+    viewjoin::xml::ParseResult parsed =
+        viewjoin::xml::ParseDocumentFile(options.xml_path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "cannot parse %s: %s (offset %zu)\n",
+                   options.xml_path.c_str(), parsed.error.c_str(),
+                   parsed.error_offset);
+      return 1;
+    }
+    doc = std::move(*parsed.document);
+  } else if (options.xmark_scale > 0) {
+    doc = viewjoin::data::GenerateXmark({.scale = options.xmark_scale});
+  } else {
+    doc = viewjoin::data::GenerateNasa({.datasets = options.nasa_datasets});
+  }
+  std::printf("document: %zu elements\n", doc.NodeCount());
+
+  std::optional<TreePattern> query;
+  {
+    std::string error;
+    query = TreePattern::Parse(options.query, &error);
+    if (!query.has_value()) {
+      std::fprintf(stderr, "bad query: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  Engine engine(&doc, "/tmp/viewjoin_cli.db");
+
+  // Resolve the view set: explicit or via cost-based selection.
+  std::vector<const MaterializedView*> views;
+  if (!options.views.empty()) {
+    for (const std::string& v : options.views) {
+      views.push_back(engine.AddView(v, options.scheme));
+    }
+  } else {
+    std::vector<TreePattern> candidates;
+    for (const std::string& c : options.candidates) {
+      std::string error;
+      auto pattern = TreePattern::Parse(c, &error);
+      if (!pattern.has_value()) {
+        std::fprintf(stderr, "bad candidate view '%s': %s\n", c.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      candidates.push_back(*pattern);
+    }
+    viewjoin::view::SelectionOptions sel_options;
+    viewjoin::xml::DocumentStatistics stats;
+    if (options.estimate) {
+      stats = viewjoin::xml::DocumentStatistics::Collect(doc);
+      sel_options.statistics = &stats;
+    }
+    viewjoin::view::SelectionResult selection = viewjoin::view::SelectViews(
+        doc, *query, candidates, sel_options);
+    if (!selection.covers) {
+      std::fprintf(stderr, "candidates cannot cover the query\n");
+      return 1;
+    }
+    std::printf("selected views:");
+    for (size_t index : selection.selected) {
+      std::printf(" %s", candidates[index].ToString().c_str());
+      views.push_back(engine.AddView(candidates[index], options.scheme));
+    }
+    std::printf("\n");
+  }
+
+  if (options.explain && options.scheme != Scheme::kTuple) {
+    Explain(doc, *query, views);
+  }
+
+  RunOptions run;
+  run.algorithm = options.algorithm;
+  run.output_mode = options.disk_mode ? viewjoin::algo::OutputMode::kDisk
+                                      : viewjoin::algo::OutputMode::kMemory;
+  PrintingSink printer(doc, *query, options.count_only ? 0 : options.limit);
+  RunResult result;
+  if (options.store_result) {
+    const MaterializedView* stored = nullptr;
+    result = engine.ExecuteToView(*query, views, Scheme::kLinkedElement,
+                                  &stored, run);
+    if (result.ok) {
+      std::printf("stored result view: %s (%llu bytes, %llu pointers)\n",
+                  stored->pattern().ToString().c_str(),
+                  static_cast<unsigned long long>(stored->SizeBytes()),
+                  static_cast<unsigned long long>(stored->PointerCount()));
+    }
+  } else {
+    result = engine.Execute(*query, views, run, &printer);
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "execution failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "%llu matches in %.3f ms (I/O %.3f ms, %llu pages read, "
+      "%llu entries scanned, %llu skipped)\n",
+      static_cast<unsigned long long>(result.match_count), result.total_ms,
+      result.io_ms, static_cast<unsigned long long>(result.io.pages_read),
+      static_cast<unsigned long long>(result.stats.entries_scanned),
+      static_cast<unsigned long long>(result.stats.entries_skipped));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    Usage(argv[0]);
+    return 2;
+  }
+  return Run(options);
+}
