@@ -45,12 +45,13 @@ int main(int argc, char** argv) {
   }
 
   // Phase 2: reopen and query — no re-materialization.
-  std::string error;
-  std::unique_ptr<ViewCatalog> catalog = ViewCatalog::Open(path, 256, &error);
-  if (catalog == nullptr) {
-    std::fprintf(stderr, "reopen failed: %s\n", error.c_str());
+  auto opened = ViewCatalog::Open(path, 256);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "reopen failed: %s\n",
+                 opened.status().ToString().c_str());
     return 1;
   }
+  std::unique_ptr<ViewCatalog> catalog = std::move(*opened);
   std::printf("reopened catalog with %zu views\n", catalog->views().size());
 
   auto query = viewjoin::tpq::TreePattern::Parse(

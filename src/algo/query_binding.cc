@@ -67,6 +67,36 @@ std::optional<QueryBinding> QueryBinding::Bind(
   return binding;
 }
 
+std::optional<QueryBinding> QueryBinding::BindBase(const xml::Document& doc,
+                                                   const TreePattern& query,
+                                                   std::string* error) {
+  if (!query.HasUniqueTags()) {
+    if (error != nullptr) {
+      *error = "query has duplicate element types: " + query.ToString();
+    }
+    return std::nullopt;
+  }
+  QueryBinding binding;
+  binding.doc_ = &doc;
+  binding.query_ = &query;
+  binding.bindings_.resize(query.size());
+  binding.intra_view_edge_.assign(query.size(), 0);
+  binding.base_labels_ =
+      std::make_shared<std::vector<std::vector<xml::Label>>>(query.size());
+  for (size_t q = 0; q < query.size(); ++q) {
+    NodeBinding& nb = binding.bindings_[q];
+    nb.tag = doc.FindTag(query.node(static_cast<int>(q)).tag);
+    std::vector<xml::Label>& labels = (*binding.base_labels_)[q];
+    if (nb.tag != xml::kInvalidTag) {
+      const std::vector<xml::NodeId>& nodes = doc.NodesOfTag(nb.tag);
+      labels.reserve(nodes.size());
+      for (xml::NodeId n : nodes) labels.push_back(doc.NodeLabel(n));
+    }
+    nb.labels = &labels;
+  }
+  return binding;
+}
+
 int QueryBinding::InterViewEdgeCount(int qnode) const {
   int count = 0;
   const tpq::PatternNode& qn = query_->node(qnode);

@@ -1,6 +1,7 @@
 #ifndef VIEWJOIN_ALGO_QUERY_BINDING_H_
 #define VIEWJOIN_ALGO_QUERY_BINDING_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -14,12 +15,16 @@ namespace viewjoin::algo {
 
 /// How one query node is served by the covering view set.
 struct NodeBinding {
-  /// Index of the covering view in the bound view vector.
+  /// Index of the covering view in the bound view vector (-1 in a base
+  /// binding).
   int view = -1;
   /// Pattern node index within that view whose list L_q serves this node.
   int view_node = -1;
-  /// The stored list (element or linked-element layout).
+  /// The stored list (element or linked-element layout); null in a base
+  /// binding, where `labels` serves the stream instead.
   const storage::StoredList* list = nullptr;
+  /// In-memory label stream for base bindings (the document's own tag list).
+  const std::vector<xml::Label>* labels = nullptr;
   /// Resolved document tag (may be kInvalidTag when the tag is absent from
   /// the document; the list is then empty as well).
   xml::TagId tag = xml::kInvalidTag;
@@ -42,6 +47,16 @@ class QueryBinding {
       const xml::Document& doc, const tpq::TreePattern& query,
       std::vector<const storage::MaterializedView*> views,
       std::string* error = nullptr);
+
+  /// Binds the query directly to the base document: every node's stream is
+  /// the document's own tag list, with no view store behind it. This is the
+  /// graceful-degradation path — TwigStack over a base binding answers the
+  /// query without touching a single stored page. Only the sequential-scan
+  /// algorithms (TwigStack) accept base bindings; pointer-based ones need
+  /// stored lists.
+  static std::optional<QueryBinding> BindBase(const xml::Document& doc,
+                                              const tpq::TreePattern& query,
+                                              std::string* error = nullptr);
 
   const xml::Document& doc() const { return *doc_; }
   const tpq::TreePattern& query() const { return *query_; }
@@ -85,6 +100,9 @@ class QueryBinding {
   std::vector<uint8_t> intra_view_edge_;
   /// query node index of each view node: per view, mapping[viewnode]=qnode.
   std::vector<tpq::PatternMapping> view_to_query_;
+  /// Base-binding label streams (shared so copies of the binding keep the
+  /// NodeBinding::labels pointers valid).
+  std::shared_ptr<std::vector<std::vector<xml::Label>>> base_labels_;
 };
 
 }  // namespace viewjoin::algo

@@ -20,7 +20,9 @@ PageId SpillBuffer::TakePage() {
     free_pages_.pop_back();
     return id;
   }
-  return pager_->AllocatePage();
+  util::StatusOr<PageId> id = pager_->AllocatePage();
+  if (!id.ok()) return storage::kInvalidPage;
+  return *id;
 }
 
 void SpillBuffer::Append(size_t stream, const Label& label) {
@@ -34,9 +36,17 @@ void SpillBuffer::Append(size_t stream, const Label& label) {
   if (s.buffer.size() + kLabelSize > Pager::kPageSize) {
     s.buffer.resize(Pager::kPageSize, 0);
     PageId id = TakePage();
-    pager_->WritePage(id, s.buffer.data());
-    ++pages_written_;
-    s.pages.push_back(id);
+    // A failed spill write poisons the spool: labels are lost, so the run's
+    // output can no longer be trusted. The pager latches the error; the
+    // engine reads it back after the run and discards the result.
+    if (id == storage::kInvalidPage ||
+        !pager_->WritePage(id, s.buffer.data()).ok()) {
+      failed_ = true;
+      if (id != storage::kInvalidPage) free_pages_.push_back(id);
+    } else {
+      ++pages_written_;
+      s.pages.push_back(id);
+    }
     s.buffer.clear();
   }
 }
@@ -59,9 +69,12 @@ std::vector<Label> SpillBuffer::Drain(size_t stream) {
   for (PageId id : s.pages) {
     size_t n = static_cast<size_t>(
         remaining < kLabelsPerPage ? remaining : kLabelsPerPage);
-    pager_->ReadPage(id, page.data());
+    if (pager_->ReadPage(id, page.data()).ok()) {
+      decode(page.data(), n);
+    } else {
+      failed_ = true;  // labels lost; the engine discards the run
+    }
     ++pages_read_;
-    decode(page.data(), n);
     remaining -= n;
     free_pages_.push_back(id);
   }
@@ -69,7 +82,7 @@ std::vector<Label> SpillBuffer::Drain(size_t stream) {
   s.pages.clear();
   s.buffer.clear();
   s.count = 0;
-  VJ_CHECK_EQ(labels.size(), labels.capacity());
+  VJ_CHECK(failed_ || labels.size() == labels.capacity());
   return labels;
 }
 

@@ -37,6 +37,11 @@ class SpillBuffer {
   uint64_t pages_written() const { return pages_written_; }
   uint64_t pages_read() const { return pages_read_; }
 
+  /// True once any spill write or read-back failed; the spooled labels are
+  /// then incomplete and the run's output must be discarded (the pager's
+  /// last_error() carries the underlying Status).
+  bool failed() const { return failed_; }
+
  private:
   static constexpr size_t kLabelSize = 12;
   static constexpr size_t kLabelsPerPage =
@@ -55,6 +60,7 @@ class SpillBuffer {
   std::vector<storage::PageId> free_pages_;
   uint64_t pages_written_ = 0;
   uint64_t pages_read_ = 0;
+  bool failed_ = false;
 };
 
 }  // namespace viewjoin::algo

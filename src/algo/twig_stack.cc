@@ -47,7 +47,12 @@ class TwigStack::Impl {
     max_buffered_end_.assign(nq, 0);
     heads_.resize(nq);
     for (size_t q = 0; q < nq; ++q) {
-      cursors_[q] = ListCursor(binding.binding(static_cast<int>(q)).list, pool);
+      const NodeBinding& nb = binding.binding(static_cast<int>(q));
+      // Base bindings stream the document's own tag lists from memory.
+      cursors_[q] = nb.list != nullptr
+                        ? ListCursor(nb.list, pool)
+                        : ListCursor(nb.labels->data(),
+                                     static_cast<uint32_t>(nb.labels->size()));
       RefreshHead(static_cast<int>(q));
     }
     if (mode_ == OutputMode::kDisk) {
@@ -197,6 +202,10 @@ class TwigStack::Impl {
       for (const Label& label : labels) {
         NodeId n = resolver_.Resolve(static_cast<int>(q), label.start);
         VJ_DCHECK(n != xml::kInvalidNode);
+        // A label that resolves to no document node can only come from a
+        // corrupt or poisoned page; the engine will see the latched storage
+        // error and discard this run — never emit the phantom node.
+        if (n == xml::kInvalidNode) continue;
         resolved[q].push_back(n);
       }
       if (!resolved[q].empty()) any = true;

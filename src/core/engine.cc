@@ -49,6 +49,23 @@ class TeeSink : public tpq::MatchSink {
   tpq::MatchSink* user_;
 };
 
+/// Buffers matches so a user-supplied sink only ever sees the matches of a
+/// run that finished without a storage fault. A faulted attempt's matches
+/// (possibly truncated by a poison page) are dropped with Reset().
+class ReplaySink : public tpq::MatchSink {
+ public:
+  void OnMatch(const tpq::Match& match) override { matches_.push_back(match); }
+
+  void Reset() { matches_.clear(); }
+
+  void ReplayInto(tpq::MatchSink* sink) {
+    for (const tpq::Match& match : matches_) sink->OnMatch(match);
+  }
+
+ private:
+  std::vector<tpq::Match> matches_;
+};
+
 }  // namespace
 
 Engine::Engine(const xml::Document* doc, const std::string& storage_path,
@@ -79,7 +96,9 @@ RunResult Engine::Execute(
     const std::vector<const MaterializedView*>& views, const RunOptions& run,
     tpq::MatchSink* sink) {
   RunResult result;
-  TeeSink tee(sink);
+  // When a user sink is supplied, attempts stream into a replay buffer so
+  // the user only ever observes the matches of a fault-free run.
+  ReplaySink replay;
 
   if (run.cold_cache) {
     catalog_->DropCaches();
@@ -89,50 +108,140 @@ RunResult Engine::Execute(
   storage::IoStats before = catalog_->Stats();
   storage::IoStats spill_before = spill_->stats();
 
+  // Redirect views that were quarantined and replaced in an earlier call, so
+  // stale caller pointers keep working.
+  std::vector<const MaterializedView*> active = views;
+  for (const MaterializedView*& v : active) {
+    if (const MaterializedView* r = catalog_->ReplacementFor(v)) v = r;
+  }
+
   util::Timer timer;
-  switch (run.algorithm) {
-    case Algorithm::kInterJoin: {
-      std::optional<algo::InterJoin> join = algo::InterJoin::Bind(
-          *doc_, query, views, catalog_->pool(), &result.error);
-      if (!join.has_value()) return result;
-      join->Evaluate(&tee);
-      result.stats = join->stats();
-      break;
+
+  // Runs one attempt; returns false on a bind/argument error (recorded in
+  // result.error) — those are caller mistakes, not storage faults, and are
+  // never retried.
+  auto run_once = [&](const std::vector<const MaterializedView*>& vs,
+                      algo::OutputMode mode, tpq::MatchSink* out) -> bool {
+    switch (run.algorithm) {
+      case Algorithm::kInterJoin: {
+        std::optional<algo::InterJoin> join = algo::InterJoin::Bind(
+            *doc_, query, vs, catalog_->pool(), &result.error);
+        if (!join.has_value()) return false;
+        join->Evaluate(out);
+        result.stats = join->stats();
+        break;
+      }
+      case Algorithm::kTwigStack: {
+        std::optional<algo::QueryBinding> binding =
+            algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
+        if (!binding.has_value()) return false;
+        algo::TwigStack twig(&*binding, catalog_->pool());
+        twig.Evaluate(out, mode, spill_.get());
+        result.stats = twig.stats();
+        break;
+      }
+      case Algorithm::kViewJoin: {
+        std::optional<algo::QueryBinding> binding =
+            algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
+        if (!binding.has_value()) return false;
+        SegmentedQuery segmented = BuildSegmentedQuery(*binding);
+        ViewJoin join(&*binding, &segmented, catalog_->pool());
+        join.Evaluate(out, mode, spill_.get());
+        result.stats = join.stats();
+        break;
+      }
     }
-    case Algorithm::kTwigStack: {
-      std::optional<algo::QueryBinding> binding =
-          algo::QueryBinding::Bind(*doc_, query, views, &result.error);
-      if (!binding.has_value()) return result;
-      algo::TwigStack twig(&*binding, catalog_->pool());
-      twig.Evaluate(&tee, run.output_mode, spill_.get());
-      result.stats = twig.stats();
-      break;
-    }
-    case Algorithm::kViewJoin: {
-      std::optional<algo::QueryBinding> binding =
-          algo::QueryBinding::Bind(*doc_, query, views, &result.error);
-      if (!binding.has_value()) return result;
-      SegmentedQuery segmented = BuildSegmentedQuery(*binding);
-      ViewJoin join(&*binding, &segmented, catalog_->pool());
-      join.Evaluate(&tee, run.output_mode, spill_.get());
-      result.stats = join.stats();
-      break;
+    return true;
+  };
+
+  auto finish = [&](const TeeSink& tee) -> RunResult& {
+    result.total_ms = timer.ElapsedMillis();
+    result.io = catalog_->Stats().Delta(before);
+    storage::IoStats spill_io = spill_->stats().Delta(spill_before);
+    result.io.pages_read += spill_io.pages_read;
+    result.io.pages_written += spill_io.pages_written;
+    result.io.read_micros += spill_io.read_micros;
+    result.io.write_micros += spill_io.write_micros;
+    result.io.read_retries += spill_io.read_retries;
+    result.io_ms = result.io.TotalIoMillis();
+    result.retries = result.io.read_retries;
+    result.ok = true;
+    result.match_count = tee.count();
+    result.result_hash = tee.hash();
+    if (sink != nullptr) replay.ReplayInto(sink);
+    return result;
+  };
+
+  // Attempt loop: a clean run returns directly; a storage fault quarantines
+  // the corrupt view, re-materializes it from the in-memory document, and
+  // retries. Bounded so a persistently failing medium cannot loop forever.
+  constexpr int kMaxViewAttempts = 3;
+  algo::OutputMode mode = run.output_mode;
+  for (int attempt = 0; attempt < kMaxViewAttempts; ++attempt) {
+    catalog_->pool()->ClearError();
+    catalog_->pager()->ClearError();
+    spill_->ClearError();
+    replay.Reset();
+    TeeSink tee(sink != nullptr ? static_cast<tpq::MatchSink*>(&replay)
+                                : nullptr);
+    if (!run_once(active, mode, &tee)) return result;
+
+    util::Status view_err = catalog_->pool()->error();
+    const util::Status& spill_err = spill_->last_error();
+    if (view_err.ok() && spill_err.ok()) return finish(tee);
+
+    // The spill spool is scratch space: nothing to re-materialize. Fall back
+    // to in-memory intermediate buffering and keep going.
+    if (!spill_err.ok()) mode = algo::OutputMode::kMemory;
+    result.degraded = true;
+
+    if (!view_err.ok()) {
+      // Quarantine the view owning the failed page — or, if the page cannot
+      // be attributed, every active view — and rebuild from the document.
+      std::vector<const MaterializedView*> suspects;
+      const MaterializedView* culprit =
+          catalog_->ViewOfPage(catalog_->pool()->error_page());
+      if (culprit != nullptr) {
+        suspects.push_back(culprit);
+      } else {
+        suspects = active;
+      }
+      bool rebuilt = true;
+      for (const MaterializedView* v : suspects) {
+        if (!catalog_->IsQuarantined(v)) {
+          catalog_->Quarantine(v);
+          result.quarantined_views.push_back(v->pattern().ToString());
+        }
+        util::StatusOr<const MaterializedView*> repl =
+            catalog_->TryMaterialize(*doc_, v->pattern(), v->scheme());
+        if (!repl.ok()) {
+          rebuilt = false;
+          break;
+        }
+        catalog_->SetReplacement(v, *repl);
+        std::replace(active.begin(), active.end(), v, *repl);
+      }
+      if (!rebuilt) break;  // medium too sick to rebuild on — fall back
     }
   }
-  result.total_ms = timer.ElapsedMillis();
 
-  result.io = catalog_->Stats().Delta(before);
-  storage::IoStats spill_io = spill_->stats().Delta(spill_before);
-  result.io.pages_read += spill_io.pages_read;
-  result.io.pages_written += spill_io.pages_written;
-  result.io.read_micros += spill_io.read_micros;
-  result.io.write_micros += spill_io.write_micros;
-  result.io_ms = result.io.TotalIoMillis();
-
-  result.ok = true;
-  result.match_count = tee.count();
-  result.result_hash = tee.hash();
-  return result;
+  // Last resort: answer from the base document alone. TwigStack over the
+  // document's own tag lists touches no stored page, so it cannot be harmed
+  // by view-store or spill faults; the match set is identical by definition.
+  catalog_->pool()->ClearError();
+  spill_->ClearError();
+  replay.Reset();
+  result.error.clear();
+  std::optional<algo::QueryBinding> base =
+      algo::QueryBinding::BindBase(*doc_, query, &result.error);
+  if (!base.has_value()) return result;
+  TeeSink tee(sink != nullptr ? static_cast<tpq::MatchSink*>(&replay)
+                              : nullptr);
+  algo::TwigStack twig(&*base, catalog_->pool());
+  twig.Evaluate(&tee, algo::OutputMode::kMemory, nullptr);
+  result.stats = twig.stats();
+  result.degraded = true;
+  return finish(tee);
 }
 
 namespace {

@@ -46,6 +46,15 @@ struct RunOptions {
 struct RunResult {
   bool ok = false;
   std::string error;
+  /// True when the answer was produced only after recovering from a storage
+  /// fault: a corrupt view was quarantined and re-materialized, the spill
+  /// spool was abandoned for in-memory buffering, or evaluation fell back to
+  /// TwigStack over the base document. The match set is still exact.
+  bool degraded = false;
+  /// Patterns of the views quarantined during this call (empty when clean).
+  std::vector<std::string> quarantined_views;
+  /// Physical read retries absorbed by the pagers during this call.
+  uint64_t retries = 0;
   uint64_t match_count = 0;
   /// Order-independent fingerprint of the match set (for differential
   /// testing across algorithms).

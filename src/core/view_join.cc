@@ -413,6 +413,10 @@ class ViewJoin::Impl {
       for (const Label& label : labels) {
         NodeId n = resolver_.Resolve(static_cast<int>(q), label.start);
         VJ_DCHECK(n != xml::kInvalidNode);
+        // Corrupt/poisoned pages can surface labels that resolve to no
+        // document node; skip them — the engine discards the run via the
+        // latched storage error.
+        if (n == xml::kInvalidNode) continue;
         resolved[q].push_back(n);
       }
       if (!resolved[q].empty()) any = true;

@@ -7,26 +7,43 @@ namespace viewjoin::storage {
 BufferPool::BufferPool(Pager* pager, size_t capacity)
     : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
 
-const uint8_t* BufferPool::GetPage(PageId page) {
+util::Status BufferPool::Fetch(PageId page, const uint8_t** out) {
   auto it = index_.find(page);
   if (it != index_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);
-    return lru_.front().data.data();
+    *out = lru_.front().data.data();
+    return util::Status::Ok();
   }
   ++misses_;
+  Frame frame;
+  frame.page = page;
+  frame.data.resize(Pager::kPageSize);
+  util::Status status = pager_->ReadPage(page, frame.data.data());
+  if (!status.ok()) return status;
   if (lru_.size() >= capacity_) {
     index_.erase(lru_.back().page);
     lru_.pop_back();
     ++eviction_version_;
   }
-  Frame frame;
-  frame.page = page;
-  frame.data.resize(Pager::kPageSize);
-  pager_->ReadPage(page, frame.data.data());
   lru_.push_front(std::move(frame));
   index_[page] = lru_.begin();
-  return lru_.front().data.data();
+  *out = lru_.front().data.data();
+  return util::Status::Ok();
+}
+
+const uint8_t* BufferPool::GetPage(PageId page) {
+  const uint8_t* data = nullptr;
+  util::Status status = Fetch(page, &data);
+  if (status.ok()) return data;
+  if (error_.ok()) {
+    error_ = status;
+    error_page_ = page;
+  }
+  // 0xFF poison: labels read as the exhausted-stream sentinel and pointers as
+  // kNullEntry, so cursors terminate instead of chasing garbage.
+  if (poison_.empty()) poison_.assign(Pager::kPageSize, 0xFF);
+  return poison_.data();
 }
 
 void BufferPool::Clear() {

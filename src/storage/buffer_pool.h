@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "storage/pager.h"
+#include "util/status.h"
 
 namespace viewjoin::storage {
 
@@ -17,6 +18,14 @@ namespace viewjoin::storage {
 /// pool never writes back. Returned pointers stay valid until the page is
 /// evicted; cursors therefore re-fetch on every page crossing and never hold
 /// a page across other pool calls.
+///
+/// Failure model: Fetch is the Status-returning primitive. GetPage keeps the
+/// infallible pointer signature the join inner loops rely on — on a failed
+/// fetch it latches the error (error()/error_page()) and hands back a poison
+/// page of 0xFF bytes, which every algorithm reads as an exhausted stream
+/// with null pointers. The engine checks error() after a run and discards the
+/// result, so a corrupt page can stop a run early but never fabricate a
+/// match.
 class BufferPool {
  public:
   /// `capacity` is the number of cached frames (>= 1).
@@ -25,8 +34,22 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Returns a pointer to the kPageSize-byte content of `page`.
+  /// Fetches `page` through the cache; on success `*out` points at its
+  /// kPageSize-byte content. Failed reads are not cached.
+  util::Status Fetch(PageId page, const uint8_t** out);
+
+  /// Returns a pointer to the kPageSize-byte content of `page`, or the
+  /// poison page (all 0xFF) after latching the error when the read fails.
   const uint8_t* GetPage(PageId page);
+
+  /// First fetch failure since the last ClearError() (OK when none).
+  const util::Status& error() const { return error_; }
+  /// Page id of that first failure (kInvalidPage when none).
+  PageId error_page() const { return error_page_; }
+  void ClearError() {
+    error_ = util::Status::Ok();
+    error_page_ = kInvalidPage;
+  }
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -52,6 +75,9 @@ class BufferPool {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t eviction_version_ = 0;
+  util::Status error_;
+  PageId error_page_ = kInvalidPage;
+  std::vector<uint8_t> poison_;
 };
 
 }  // namespace viewjoin::storage

@@ -1,0 +1,21 @@
+#include "storage/fsck.h"
+
+#include <vector>
+
+namespace viewjoin::storage {
+
+FsckReport FsckPagerFile(const std::string& path) {
+  FsckReport report;
+  Pager pager(path, Pager::Mode::kReadOnly);
+  report.file_status = pager.init_status();
+  if (!report.file_status.ok()) return report;
+  report.page_count = pager.page_count();
+  std::vector<uint8_t> page(Pager::kPageSize);
+  for (PageId id = 0; id < report.page_count; ++id) {
+    util::Status status = pager.VerifyPage(id, page.data());
+    if (!status.ok()) report.bad_pages.emplace_back(id, status);
+  }
+  return report;
+}
+
+}  // namespace viewjoin::storage

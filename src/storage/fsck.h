@@ -1,0 +1,33 @@
+#ifndef VIEWJOIN_STORAGE_FSCK_H_
+#define VIEWJOIN_STORAGE_FSCK_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/pager.h"
+#include "util/status.h"
+
+namespace viewjoin::storage {
+
+/// Result of scanning one pager file page by page.
+struct FsckReport {
+  /// Header/size validation of the file itself; pages are only scanned when
+  /// this is OK.
+  util::Status file_status;
+  uint32_t page_count = 0;
+  /// Per-page verification failures (checksum, footer, short read), in page
+  /// order.
+  std::vector<std::pair<PageId, util::Status>> bad_pages;
+
+  bool ok() const { return file_status.ok() && bad_pages.empty(); }
+};
+
+/// Opens `path` read-only and verifies every page's footer and checksum with
+/// single-attempt reads (no retry masking). The scan itself never aborts;
+/// unreadable files are reported through file_status.
+FsckReport FsckPagerFile(const std::string& path);
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_FSCK_H_

@@ -16,6 +16,8 @@ struct IoStats {
   int64_t write_micros = 0;
   uint64_t pool_hits = 0;
   uint64_t pool_misses = 0;
+  /// Extra physical read attempts spent recovering transient read failures.
+  uint64_t read_retries = 0;
 
   IoStats& operator+=(const IoStats& other) {
     pages_read += other.pages_read;
@@ -24,6 +26,7 @@ struct IoStats {
     write_micros += other.write_micros;
     pool_hits += other.pool_hits;
     pool_misses += other.pool_misses;
+    read_retries += other.read_retries;
     return *this;
   }
 
@@ -35,6 +38,7 @@ struct IoStats {
     d.write_micros = write_micros - since.write_micros;
     d.pool_hits = pool_hits - since.pool_hits;
     d.pool_misses = pool_misses - since.pool_misses;
+    d.read_retries = read_retries - since.read_retries;
     return d;
   }
 

@@ -33,7 +33,11 @@ ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
                                                ? Pager::Mode::kPersist
                                                : Pager::Mode::kTruncate)),
       pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
-      persistent_(persistent) {}
+      persistent_(persistent) {
+  // A fresh catalog that cannot create its backing file is a configuration
+  // error, not a media fault (Open() is the recoverable reopen path).
+  VJ_CHECK(pager_->init_status().ok()) << pager_->init_status().ToString();
+}
 
 ViewCatalog::~ViewCatalog() = default;
 
@@ -64,17 +68,22 @@ void ViewCatalog::SaveManifest() const {
   std::fclose(out);
 }
 
-std::unique_ptr<ViewCatalog> ViewCatalog::Open(const std::string& path,
-                                               size_t pool_pages,
-                                               std::string* error) {
-  auto fail = [error](const std::string& message) {
-    if (error != nullptr) *error = message;
-    return nullptr;
+util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
+    const std::string& path, size_t pool_pages) {
+  auto fail = [&path](const std::string& message) {
+    return util::Status::Corruption("malformed manifest for " + path + ": " +
+                                    message);
   };
   std::FILE* in = std::fopen((path + ".manifest").c_str(), "r");
-  if (in == nullptr) return fail("missing manifest for " + path);
+  if (in == nullptr) {
+    return util::Status::NotFound("missing manifest for " + path);
+  }
   auto catalog = std::unique_ptr<ViewCatalog>(new ViewCatalog(
       path, pool_pages, /*persistent=*/true, Pager::Mode::kReopen));
+  if (!catalog->pager_->init_status().ok()) {
+    std::fclose(in);
+    return catalog->pager_->init_status();
+  }
   char magic[16];
   int version = 0;
   size_t num_views = 0;
@@ -124,7 +133,29 @@ std::unique_ptr<ViewCatalog> ViewCatalog::Open(const std::string& path,
     if (ok) catalog->views_.push_back(std::move(view));
   }
   std::fclose(in);
-  if (!ok) return fail("malformed manifest for " + path);
+  if (!ok) return fail("truncated or unparsable view records");
+  // Every stored list must lie inside the (checksummed) pager file; a
+  // manifest pointing past the end means one of the two files is stale.
+  uint32_t pages = catalog->pager_->page_count();
+  for (const auto& view : catalog->views_) {
+    auto in_range = [pages](const StoredList& list) {
+      if (list.count == 0) return true;
+      uint32_t record = list.layout.RecordSize();
+      if (record == 0 || record > Pager::kPageSize) return false;
+      return list.first_page != kInvalidPage && list.first_page < pages &&
+             list.PageSpan() <= pages - list.first_page;
+    };
+    for (const StoredList& list : view->lists_) {
+      if (!in_range(list)) {
+        return fail("view " + view->pattern_.ToString() +
+                    " references pages beyond the pager file");
+      }
+    }
+    if (!in_range(view->tuple_list_)) {
+      return fail("view " + view->pattern_.ToString() +
+                  " references pages beyond the pager file");
+    }
+  }
   return catalog;
 }
 
@@ -146,8 +177,8 @@ void ViewCatalog::ResetStats() {
   pool_->ResetStats();
 }
 
-StoredList ViewCatalog::WriteList(const std::vector<uint8_t>& bytes,
-                                  RecordLayout layout, uint32_t count) {
+util::StatusOr<StoredList> ViewCatalog::WriteList(
+    const std::vector<uint8_t>& bytes, RecordLayout layout, uint32_t count) {
   StoredList list;
   list.layout = layout;
   list.count = count;
@@ -166,10 +197,11 @@ StoredList ViewCatalog::WriteList(const std::vector<uint8_t>& bytes,
     uint32_t n_records = std::min(per_page, count - first_record);
     std::memcpy(page.data(), bytes.data() + size_t(first_record) * record_size,
                 size_t(n_records) * record_size);
-    PageId id = pager_->page_count();
     // Allocate-and-write in one step: extend the file with this page.
-    pager_->AllocatePage();
-    pager_->WritePage(id, page.data());
+    util::StatusOr<PageId> id = pager_->AllocatePage();
+    if (!id.ok()) return id.status();
+    util::Status written = pager_->WritePage(*id, page.data());
+    if (!written.ok()) return written;
   }
   return list;
 }
@@ -223,6 +255,15 @@ size_t FirstStartAfter(const std::vector<Label>& labels, size_t from,
 const MaterializedView* ViewCatalog::Materialize(const Document& doc,
                                                  const TreePattern& pattern,
                                                  Scheme scheme) {
+  util::StatusOr<const MaterializedView*> result =
+      TryMaterialize(doc, pattern, scheme);
+  VJ_CHECK(result.ok()) << "materialization of " << pattern.ToString()
+                        << " failed: " << result.status().ToString();
+  return *result;
+}
+
+util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
+    const Document& doc, const TreePattern& pattern, Scheme scheme) {
   VJ_CHECK(pattern.HasUniqueTags())
       << "view patterns must have unique element types: " << pattern.ToString();
   tpq::NaiveEvaluator evaluator(doc, pattern);
@@ -236,8 +277,10 @@ const MaterializedView* ViewCatalog::Materialize(const Document& doc,
     evaluator.Evaluate(&sink);
     RecordLayout layout;
     layout.label_count = static_cast<uint32_t>(pattern.size());
-    view->tuple_list_ =
+    util::StatusOr<StoredList> tuples =
         WriteList(bytes, layout, static_cast<uint32_t>(sink.count()));
+    if (!tuples.ok()) return tuples.status();
+    view->tuple_list_ = *tuples;
     view->match_count_ = sink.count();
     view->size_bytes_ = sink.count() * 12ull * pattern.size();
     // The per-node solution list lengths still drive the cost model.
@@ -252,10 +295,20 @@ const MaterializedView* ViewCatalog::Materialize(const Document& doc,
 
   // Element-list based schemes. Gather solution node lists and their labels.
   std::vector<std::vector<NodeId>> solutions = evaluator.SolutionNodes();
-  return MaterializeFromLists(doc, pattern, solutions, scheme);
+  return TryMaterializeFromLists(doc, pattern, solutions, scheme);
 }
 
 const MaterializedView* ViewCatalog::MaterializeFromLists(
+    const Document& doc, const TreePattern& pattern,
+    const std::vector<std::vector<NodeId>>& solutions, Scheme scheme) {
+  util::StatusOr<const MaterializedView*> result =
+      TryMaterializeFromLists(doc, pattern, solutions, scheme);
+  VJ_CHECK(result.ok()) << "materialization of " << pattern.ToString()
+                        << " failed: " << result.status().ToString();
+  return *result;
+}
+
+util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
     const Document& doc, const TreePattern& pattern,
     const std::vector<std::vector<NodeId>>& solutions, Scheme scheme) {
   VJ_CHECK(scheme != Scheme::kTuple)
@@ -334,14 +387,75 @@ const MaterializedView* ViewCatalog::MaterializeFromLists(
         AppendU32(&bytes, child);
       }
     }
-    view->lists_[q] =
+    util::StatusOr<StoredList> written =
         WriteList(bytes, layout, static_cast<uint32_t>(lq.size()));
+    if (!written.ok()) return written.status();
+    view->lists_[q] = *written;
   }
   view->size_bytes_ += 4ull * view->pointer_count_;
 
   const MaterializedView* result = view.get();
   views_.push_back(std::move(view));
   return result;
+}
+
+void ViewCatalog::Quarantine(const MaterializedView* view) {
+  quarantined_.insert(view);
+}
+
+bool ViewCatalog::IsQuarantined(const MaterializedView* view) const {
+  return quarantined_.count(view) != 0;
+}
+
+const MaterializedView* ViewCatalog::ReplacementFor(
+    const MaterializedView* view) const {
+  const MaterializedView* current = nullptr;
+  auto it = replacement_.find(view);
+  // Follow the chain: a replacement may itself have been quarantined and
+  // replaced again.
+  while (it != replacement_.end()) {
+    current = it->second;
+    it = replacement_.find(current);
+  }
+  return current;
+}
+
+void ViewCatalog::SetReplacement(const MaterializedView* from,
+                                 const MaterializedView* to) {
+  VJ_CHECK(from != to);
+  replacement_[from] = to;
+}
+
+const MaterializedView* ViewCatalog::ViewOfPage(PageId page) const {
+  auto contains = [page](const StoredList& list) {
+    return list.count != 0 && list.first_page != kInvalidPage &&
+           page >= list.first_page && page - list.first_page < list.PageSpan();
+  };
+  for (const auto& view : views_) {
+    for (const StoredList& list : view->lists_) {
+      if (contains(list)) return view.get();
+    }
+    if (contains(view->tuple_list_)) return view.get();
+  }
+  return nullptr;
+}
+
+util::Status ViewCatalog::VerifyView(const MaterializedView* view) {
+  std::vector<uint8_t> page(Pager::kPageSize);
+  auto verify_list = [&](const StoredList& list) {
+    if (list.count == 0) return util::Status::Ok();
+    for (uint32_t p = 0; p < list.PageSpan(); ++p) {
+      util::Status status = pager_->VerifyPage(list.first_page + p,
+                                               page.data());
+      if (!status.ok()) return status;
+    }
+    return util::Status::Ok();
+  };
+  for (const StoredList& list : view->lists_) {
+    util::Status status = verify_list(list);
+    if (!status.ok()) return status;
+  }
+  return verify_list(view->tuple_list_);
 }
 
 }  // namespace viewjoin::storage

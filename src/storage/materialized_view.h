@@ -4,10 +4,13 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/stored_list.h"
 #include "tpq/pattern.h"
+#include "util/status.h"
 #include "xml/document.h"
 
 namespace viewjoin::storage {
@@ -98,19 +101,28 @@ class ViewCatalog {
   void SaveManifest() const;
 
   /// Reopens a persisted catalog: the pager file plus its manifest. Returns
-  /// nullptr (with *error set) when either is missing or malformed.
-  static std::unique_ptr<ViewCatalog> Open(const std::string& path,
-                                           size_t pool_pages,
-                                           std::string* error = nullptr);
+  /// kNotFound when either file is missing, kCorruption when the pager header
+  /// is invalid (pre-checksum or truncated file), the manifest is malformed,
+  /// or a manifest list points outside the pager file.
+  static util::StatusOr<std::unique_ptr<ViewCatalog>> Open(
+      const std::string& path, size_t pool_pages);
 
   ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
 
   /// Materializes `pattern` over `doc` in `scheme`. The returned view lives
   /// as long as the catalog. The view pattern must have unique element types.
+  /// Dies on storage failure (setup-time convenience); TryMaterialize is the
+  /// recoverable variant.
   const MaterializedView* Materialize(const xml::Document& doc,
                                       const tpq::TreePattern& pattern,
                                       Scheme scheme);
+
+  /// Recoverable materialization: surfaces page-write failures as a Status
+  /// and leaves the catalog's view list untouched on failure (already-written
+  /// pages become dead space in the pager file).
+  util::StatusOr<const MaterializedView*> TryMaterialize(
+      const xml::Document& doc, const tpq::TreePattern& pattern, Scheme scheme);
 
   /// Materializes a view from precomputed solution-node lists (one
   /// document-ordered list per pattern node) instead of evaluating the
@@ -120,6 +132,35 @@ class ViewCatalog {
   const MaterializedView* MaterializeFromLists(
       const xml::Document& doc, const tpq::TreePattern& pattern,
       const std::vector<std::vector<xml::NodeId>>& solutions, Scheme scheme);
+
+  /// Recoverable variant of MaterializeFromLists.
+  util::StatusOr<const MaterializedView*> TryMaterializeFromLists(
+      const xml::Document& doc, const tpq::TreePattern& pattern,
+      const std::vector<std::vector<xml::NodeId>>& solutions, Scheme scheme);
+
+  // ---- Quarantine (fault-tolerant degradation) -----------------------------
+  //
+  // A view whose pages fail checksum or read verification is quarantined:
+  // it stays owned by the catalog (callers may hold pointers) but is marked
+  // unusable. The engine re-materializes a replacement when the source
+  // document is at hand and records the mapping here, so later Execute calls
+  // holding the stale pointer are transparently redirected.
+
+  void Quarantine(const MaterializedView* view);
+  bool IsQuarantined(const MaterializedView* view) const;
+  size_t quarantined_count() const { return quarantined_.size(); }
+
+  /// Latest healthy replacement for `view` (follows replacement chains), or
+  /// nullptr when none has been materialized yet.
+  const MaterializedView* ReplacementFor(const MaterializedView* view) const;
+  void SetReplacement(const MaterializedView* from, const MaterializedView* to);
+
+  /// The view whose stored lists contain `page`, or nullptr (spill pages and
+  /// dead space belong to no view).
+  const MaterializedView* ViewOfPage(PageId page) const;
+
+  /// Scans every page of `view`'s lists through checksum verification.
+  util::Status VerifyView(const MaterializedView* view);
 
   BufferPool* pool() { return pool_.get(); }
   Pager* pager() { return pager_.get(); }
@@ -140,12 +181,15 @@ class ViewCatalog {
   ViewCatalog(const std::string& path, size_t pool_pages, bool persistent,
               Pager::Mode mode);
 
-  StoredList WriteList(const std::vector<uint8_t>& bytes, RecordLayout layout,
-                       uint32_t count);
+  util::StatusOr<StoredList> WriteList(const std::vector<uint8_t>& bytes,
+                                       RecordLayout layout, uint32_t count);
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
   std::vector<std::unique_ptr<MaterializedView>> views_;
+  std::unordered_set<const MaterializedView*> quarantined_;
+  std::unordered_map<const MaterializedView*, const MaterializedView*>
+      replacement_;
   bool persistent_ = false;
 };
 

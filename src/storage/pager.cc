@@ -1,10 +1,13 @@
 #include "storage/pager.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace viewjoin::storage {
@@ -19,52 +22,281 @@ namespace {
 int64_t SimulatedReadMicros() {
   static const int64_t value = [] {
     const char* env = std::getenv("VIEWJOIN_PAGE_READ_MICROS");
-    if (env == nullptr || *env == '\0') return static_cast<long>(0);
-    return std::strtol(env, nullptr, 10);
+    if (env == nullptr || *env == '\0') return static_cast<int64_t>(0);
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(env, &end, 10);
+    // Reject trailing garbage and out-of-range values; clamp negatives to 0
+    // (a negative latency is meaningless).
+    if (errno == ERANGE || end == env || *end != '\0' || parsed < 0) {
+      return static_cast<int64_t>(0);
+    }
+    return static_cast<int64_t>(parsed);
   }();
   return value;
 }
 
+constexpr char kFileMagic[8] = {'V', 'J', 'P', 'A', 'G', 'E', 'R', 'F'};
+constexpr uint32_t kPageMagic = 0x47504A56u;  // "VJPG" little-endian
+
+// Header field offsets (all little-endian u32 unless noted).
+constexpr size_t kHdrMagicOff = 0;    // 8 bytes
+constexpr size_t kHdrVersionOff = 8;
+constexpr size_t kHdrPageSizeOff = 12;
+constexpr size_t kHdrFooterSizeOff = 16;
+constexpr size_t kHdrHeaderSizeOff = 20;
+constexpr size_t kHdrCrcOff = Pager::kHeaderSize - 4;
+
+// Footer field offsets within the physical page.
+constexpr size_t kFtrMagicOff = Pager::kPageSize;
+constexpr size_t kFtrPageIdOff = Pager::kPageSize + 4;
+constexpr size_t kFtrCrcOff = Pager::kPageSize + 8;
+
+// Deterministic payload position the bit-flip fault perturbs.
+constexpr size_t kBitFlipByte = 64;
+constexpr uint8_t kBitFlipMask = 0x08;
+
+void PutU32(uint8_t* base, size_t off, uint32_t value) {
+  std::memcpy(base + off, &value, 4);
+}
+
+uint32_t GetU32(const uint8_t* base, size_t off) {
+  uint32_t value;
+  std::memcpy(&value, base + off, 4);
+  return value;
+}
+
+std::function<void(int)>& BackoffHook() {
+  static std::function<void(int)> hook;
+  return hook;
+}
+
+long PageOffset(PageId id) {
+  return static_cast<long>(Pager::kHeaderSize) +
+         static_cast<long>(id) * static_cast<long>(Pager::kPhysicalPageSize);
+}
+
 }  // namespace
 
+void Pager::SetRetryBackoffHook(std::function<void(int)> hook) {
+  BackoffHook() = std::move(hook);
+}
+
 Pager::Pager(const std::string& path, Mode mode) : path_(path), mode_(mode) {
-  file_ = std::fopen(path.c_str(), mode == Mode::kReopen ? "r+b" : "w+b");
-  VJ_CHECK(file_ != nullptr) << "cannot open pager file " << path;
-  if (mode == Mode::kReopen) {
-    VJ_CHECK_EQ(std::fseek(file_, 0, SEEK_END), 0);
-    long size = std::ftell(file_);
-    VJ_CHECK_GE(size, 0);
-    VJ_CHECK_EQ(static_cast<size_t>(size) % kPageSize, 0u);
-    page_count_ = static_cast<uint32_t>(static_cast<size_t>(size) / kPageSize);
+  const char* fmode = "w+b";
+  if (mode == Mode::kReopen) fmode = "r+b";
+  if (mode == Mode::kReadOnly) fmode = "rb";
+  file_ = std::fopen(path.c_str(), fmode);
+  if (file_ == nullptr) {
+    init_status_ = (mode == Mode::kReopen || mode == Mode::kReadOnly)
+                       ? util::Status::NotFound("cannot open pager file " +
+                                                path + ": " +
+                                                std::strerror(errno))
+                       : util::Status::IoError("cannot create pager file " +
+                                               path + ": " +
+                                               std::strerror(errno));
+    return;
+  }
+  init_status_ = (mode == Mode::kReopen || mode == Mode::kReadOnly)
+                     ? ValidateExistingFile()
+                     : WriteHeader();
+  if (!init_status_.ok()) {
+    std::fclose(file_);
+    file_ = nullptr;
   }
 }
 
 Pager::~Pager() {
   if (file_ != nullptr) {
-    std::fclose(file_);
+    // Persistent stores must reach the OS before close; a swallowed flush
+    // error here would silently hand the next Reopen a truncated file.
+    if (mode_ == Mode::kPersist || mode_ == Mode::kReopen) {
+      if (std::fflush(file_) != 0) {
+        std::fprintf(stderr, "viewjoin: pager flush failed for %s: %s\n",
+                     path_.c_str(), std::strerror(errno));
+      }
+    }
+    if (std::fclose(file_) != 0 && mode_ != Mode::kTruncate) {
+      std::fprintf(stderr, "viewjoin: pager close failed for %s: %s\n",
+                   path_.c_str(), std::strerror(errno));
+    }
     if (mode_ == Mode::kTruncate) std::remove(path_.c_str());
   }
 }
 
-PageId Pager::AllocatePage() {
+util::Status Pager::WriteHeader() {
+  uint8_t header[kHeaderSize] = {0};
+  std::memcpy(header + kHdrMagicOff, kFileMagic, sizeof(kFileMagic));
+  PutU32(header, kHdrVersionOff, kFormatVersion);
+  PutU32(header, kHdrPageSizeOff, static_cast<uint32_t>(kPageSize));
+  PutU32(header, kHdrFooterSizeOff, static_cast<uint32_t>(kFooterSize));
+  PutU32(header, kHdrHeaderSizeOff, static_cast<uint32_t>(kHeaderSize));
+  PutU32(header, kHdrCrcOff, util::Crc32(header, kHdrCrcOff));
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, kHeaderSize, 1, file_) != 1) {
+    return util::Status::IoError("cannot write pager header to " + path_);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Pager::ValidateExistingFile() {
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return util::Status::IoError("cannot seek in pager file " + path_);
+  }
+  long size = std::ftell(file_);
+  if (size < 0) {
+    return util::Status::IoError("cannot size pager file " + path_);
+  }
+  if (static_cast<size_t>(size) < kHeaderSize) {
+    return util::Status::Corruption("pager file " + path_ +
+                                    " is truncated (no file header)");
+  }
+  uint8_t header[kHeaderSize];
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fread(header, kHeaderSize, 1, file_) != 1) {
+    return util::Status::IoError("cannot read pager header of " + path_);
+  }
+  if (std::memcmp(header + kHdrMagicOff, kFileMagic, sizeof(kFileMagic)) != 0) {
+    return util::Status::Corruption(
+        "pager file " + path_ +
+        " has no valid header magic (pre-checksum format or foreign file)");
+  }
+  if (GetU32(header, kHdrCrcOff) != util::Crc32(header, kHdrCrcOff)) {
+    return util::Status::Corruption("pager header checksum mismatch in " +
+                                    path_);
+  }
+  if (GetU32(header, kHdrVersionOff) != kFormatVersion) {
+    return util::Status::Corruption(
+        "unsupported pager format version " +
+        std::to_string(GetU32(header, kHdrVersionOff)) + " in " + path_);
+  }
+  if (GetU32(header, kHdrPageSizeOff) != kPageSize ||
+      GetU32(header, kHdrFooterSizeOff) != kFooterSize ||
+      GetU32(header, kHdrHeaderSizeOff) != kHeaderSize) {
+    return util::Status::Corruption("pager page geometry mismatch in " + path_);
+  }
+  size_t body = static_cast<size_t>(size) - kHeaderSize;
+  if (body % kPhysicalPageSize != 0) {
+    return util::Status::Corruption(
+        "pager file " + path_ + " is truncated: " + std::to_string(size) +
+        " bytes is not a whole number of pages");
+  }
+  page_count_ = static_cast<uint32_t>(body / kPhysicalPageSize);
+  return util::Status::Ok();
+}
+
+util::Status Pager::Latch(util::Status status) {
+  if (!status.ok() && last_error_.ok()) last_error_ = status;
+  return status;
+}
+
+util::StatusOr<PageId> Pager::AllocatePage() {
+  if (!init_status_.ok()) return init_status_;
+  if (mode_ == Mode::kReadOnly) {
+    return Latch(util::Status::InvalidArgument(
+        "cannot allocate pages in read-only pager " + path_));
+  }
   // The file grows lazily: a page becomes readable once first written.
   return page_count_++;
 }
 
-void Pager::WritePage(PageId id, const void* data) {
-  VJ_CHECK(id < page_count_ || id == page_count_);
+util::Status Pager::WritePage(PageId id, const void* data) {
+  if (!init_status_.ok()) return init_status_;
+  if (mode_ == Mode::kReadOnly) {
+    return Latch(util::Status::InvalidArgument(
+        "cannot write pages in read-only pager " + path_));
+  }
+  if (id >= page_count_) {
+    return Latch(util::Status::InvalidArgument(
+        "write of unallocated page " + std::to_string(id) + " in " + path_));
+  }
   util::Timer timer;
-  VJ_CHECK_EQ(std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET), 0);
-  VJ_CHECK_EQ(std::fwrite(data, kPageSize, 1, file_), 1u);
+  uint8_t phys[kPhysicalPageSize];
+  std::memcpy(phys, data, kPageSize);
+  PutU32(phys, kFtrMagicOff, kPageMagic);
+  PutU32(phys, kFtrPageIdOff, id);
+  PutU32(phys, kFtrCrcOff, util::Crc32(phys, kPageSize));
+  PutU32(phys, kFtrCrcOff + 4, 0);
+
+  size_t write_bytes = kPhysicalPageSize;
+  bool report_failure = false;
+  switch (util::FaultInjector::Global().OnWriteAttempt()) {
+    case util::WriteFault::kNone:
+      break;
+    case util::WriteFault::kShortWrite:
+      write_bytes = kPhysicalPageSize / 2;
+      report_failure = true;
+      break;
+    case util::WriteFault::kTornPage:
+      // Simulates power loss mid-write: the tail (footer included) never
+      // makes it, but the caller is told the write succeeded.
+      std::memset(phys + kPhysicalPageSize / 2, 0xAA, kPhysicalPageSize / 2);
+      break;
+    case util::WriteFault::kBitFlip:
+      phys[kBitFlipByte] ^= kBitFlipMask;
+      break;
+  }
+
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
+      std::fwrite(phys, write_bytes, 1, file_) != 1) {
+    report_failure = true;
+  }
   stats_.write_micros += timer.ElapsedMicros();
   ++stats_.pages_written;
+  if (report_failure) {
+    return Latch(util::Status::IoError("page write failed for page " +
+                                       std::to_string(id) + " in " + path_));
+  }
+  return util::Status::Ok();
 }
 
-void Pager::ReadPage(PageId id, void* out) {
-  VJ_CHECK(id < page_count_) << "read of unallocated page";
+util::Status Pager::ReadPhysicalOnce(PageId id, uint8_t* phys) {
+  if (util::FaultInjector::Global().OnReadAttempt()) {
+    return util::Status::IoError("injected read fault on page " +
+                                 std::to_string(id) + " in " + path_);
+  }
+  if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0) {
+    return util::Status::IoError("seek failed for page " + std::to_string(id) +
+                                 " in " + path_);
+  }
+  if (std::fread(phys, kPhysicalPageSize, 1, file_) != 1) {
+    return util::Status::IoError("short read of page " + std::to_string(id) +
+                                 " in " + path_);
+  }
+  if (GetU32(phys, kFtrMagicOff) != kPageMagic) {
+    return util::Status::Corruption("page " + std::to_string(id) + " in " +
+                                    path_ + " has a torn or foreign footer");
+  }
+  if (GetU32(phys, kFtrPageIdOff) != id) {
+    return util::Status::Corruption(
+        "page " + std::to_string(id) + " in " + path_ +
+        " carries footer id " + std::to_string(GetU32(phys, kFtrPageIdOff)) +
+        " (misdirected write)");
+  }
+  if (GetU32(phys, kFtrCrcOff) != util::Crc32(phys, kPageSize)) {
+    return util::Status::Corruption("payload checksum mismatch on page " +
+                                    std::to_string(id) + " in " + path_);
+  }
+  return util::Status::Ok();
+}
+
+util::Status Pager::ReadPage(PageId id, void* out) {
+  if (!init_status_.ok()) return init_status_;
+  if (id >= page_count_) {
+    return Latch(util::Status::InvalidArgument(
+        "read of unallocated page " + std::to_string(id) + " in " + path_));
+  }
   util::Timer timer;
-  VJ_CHECK_EQ(std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET), 0);
-  VJ_CHECK_EQ(std::fread(out, kPageSize, 1, file_), 1u);
+  uint8_t phys[kPhysicalPageSize];
+  util::Status status;
+  for (int attempt = 1; attempt <= kReadAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.read_retries;
+      if (BackoffHook()) BackoffHook()(attempt);
+    }
+    status = ReadPhysicalOnce(id, phys);
+    if (status.ok()) break;
+  }
   int64_t simulated = SimulatedReadMicros();
   if (simulated > 0) {
     while (timer.ElapsedMicros() < simulated) {
@@ -73,6 +305,30 @@ void Pager::ReadPage(PageId id, void* out) {
   }
   stats_.read_micros += timer.ElapsedMicros();
   ++stats_.pages_read;
+  if (!status.ok()) return Latch(status);
+  std::memcpy(out, phys, kPageSize);
+  return util::Status::Ok();
+}
+
+util::Status Pager::VerifyPage(PageId id, void* out) {
+  if (!init_status_.ok()) return init_status_;
+  if (id >= page_count_) {
+    return util::Status::InvalidArgument("page " + std::to_string(id) +
+                                         " is beyond the end of " + path_);
+  }
+  uint8_t phys[kPhysicalPageSize];
+  util::Status status = ReadPhysicalOnce(id, phys);
+  if (status.ok() && out != nullptr) std::memcpy(out, phys, kPageSize);
+  return status;
+}
+
+util::Status Pager::Flush() {
+  if (!init_status_.ok()) return init_status_;
+  if (std::fflush(file_) != 0) {
+    return Latch(util::Status::IoError("flush failed for " + path_ + ": " +
+                                       std::strerror(errno)));
+  }
+  return util::Status::Ok();
 }
 
 }  // namespace viewjoin::storage

@@ -3,9 +3,11 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <string>
 
 #include "storage/io_stats.h"
+#include "util/status.h"
 
 namespace viewjoin::storage {
 
@@ -19,34 +21,90 @@ inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
 /// every algorithm's list accesses are attributable to page I/O — the cost
 /// the LE pointer scheme is designed to reduce.
 ///
+/// On-disk layout (format version 2):
+///
+///   [ file header, kHeaderSize bytes ]
+///   [ page 0: kPageSize payload + kFooterSize footer ]
+///   [ page 1: ... ]
+///
+/// The header records magic/version/page geometry plus its own CRC so Reopen
+/// rejects pre-checksum, foreign, or truncated files with a typed error. Each
+/// page footer holds a magic word, the page's own id, and a CRC32 of the
+/// payload; WritePage stamps it and ReadPage verifies it, so torn pages and
+/// bit flips surface as StatusCode::kCorruption instead of silent wrong
+/// matches. Transient read failures are retried kReadAttempts times (with a
+/// deterministic backoff hook between attempts) before kIoError is returned.
+///
+/// Media faults are recoverable events, not invariant violations: every
+/// fallible entry point returns util::Status, and the first failure is also
+/// latched in last_error() so layers that cannot thread a Status through
+/// (e.g. the spill spool inside a join) can still detect it afterwards.
+///
 /// Single-threaded by design (as is the whole evaluation pipeline).
 class Pager {
  public:
+  /// Payload bytes per page — the unit every list layout computes with.
   static constexpr size_t kPageSize = 4096;
+  /// Per-page footer: magic, page id, payload CRC32, reserved.
+  static constexpr size_t kFooterSize = 16;
+  /// Bytes one page occupies in the file.
+  static constexpr size_t kPhysicalPageSize = kPageSize + kFooterSize;
+  /// Bytes of the file header preceding page 0.
+  static constexpr size_t kHeaderSize = 64;
+  /// Current file format version (1 was the unchecksummed raw-page format).
+  static constexpr uint32_t kFormatVersion = 2;
+  /// Physical read attempts per page before kIoError is surfaced.
+  static constexpr int kReadAttempts = 3;
 
   /// How the backing file is opened and closed.
   enum class Mode {
     kTruncate,  // create/truncate; file removed on close (scratch store)
     kPersist,   // create/truncate; file kept on close
     kReopen,    // open an existing file read/write; kept on close
+    kReadOnly,  // open an existing file read-only (fsck, inspection)
   };
 
-  /// Opens the backing file according to `mode`.
+  /// Opens the backing file according to `mode`. Open/validation failures do
+  /// not abort: they are recorded in init_status() and every subsequent page
+  /// operation returns that status.
   explicit Pager(const std::string& path, Mode mode = Mode::kTruncate);
   ~Pager();
 
   Pager(const Pager&) = delete;
   Pager& operator=(const Pager&) = delete;
 
+  /// Result of opening and validating the backing file (kNotFound/kIoError
+  /// when it cannot be opened, kCorruption when the header or size is bad).
+  const util::Status& init_status() const { return init_status_; }
+
   /// Reserves a new page id at the end of the file. The page must be written
   /// before it is first read.
-  PageId AllocatePage();
+  util::StatusOr<PageId> AllocatePage();
 
-  /// Writes a full page. `data` must be kPageSize bytes.
-  void WritePage(PageId id, const void* data);
+  /// Writes a full page (`data` must be kPageSize payload bytes) together
+  /// with its checksum footer.
+  util::Status WritePage(PageId id, const void* data);
 
-  /// Reads a full page into `out` (kPageSize bytes).
-  void ReadPage(PageId id, void* out);
+  /// Reads a full page into `out` (kPageSize bytes), verifying the footer.
+  /// Retries transient failures before returning kIoError; checksum/magic
+  /// mismatches return kCorruption.
+  util::Status ReadPage(PageId id, void* out);
+
+  /// Single-attempt read + verification of one page (no retries, no stats
+  /// side effects on last_error) — the fsck primitive.
+  util::Status VerifyPage(PageId id, void* out);
+
+  /// Flushes buffered writes to the OS.
+  util::Status Flush();
+
+  /// First non-OK status any operation produced since the last ClearError().
+  const util::Status& last_error() const { return last_error_; }
+  void ClearError() { last_error_ = util::Status::Ok(); }
+
+  /// Hook invoked between read retry attempts (attempt number, 2-based).
+  /// Deterministic by default (no-op); tests install counters, deployments
+  /// can install real backoff.
+  static void SetRetryBackoffHook(std::function<void(int)> hook);
 
   uint32_t page_count() const { return page_count_; }
   const IoStats& stats() const { return stats_; }
@@ -54,10 +112,17 @@ class Pager {
   const std::string& path() const { return path_; }
 
  private:
+  util::Status WriteHeader();
+  util::Status ValidateExistingFile();
+  util::Status ReadPhysicalOnce(PageId id, uint8_t* phys);
+  util::Status Latch(util::Status status);  // records first error, passes through
+
   std::string path_;
   Mode mode_ = Mode::kTruncate;
   std::FILE* file_ = nullptr;
   uint32_t page_count_ = 0;
+  util::Status init_status_;
+  util::Status last_error_;
   IoStats stats_;
 };
 

@@ -63,16 +63,26 @@ struct StoredList {
 /// (how pointer jumps land). Field decoders read the current record through
 /// the buffer pool; the page pointer is cached so consecutive reads within a
 /// page cost one pool lookup.
+///
+/// A second, memory-backed mode wraps a plain label array instead of a pager
+/// list: the base-document fallback streams the document's own tag lists
+/// through the same cursor interface, so TwigStack runs unchanged when the
+/// view store is unavailable. Memory mode carries no pointers.
 class ListCursor {
  public:
   ListCursor() = default;
   ListCursor(const StoredList* list, BufferPool* pool)
       : list_(list), pool_(pool) {}
+  /// Memory-backed cursor over `count` labels (no storage behind it).
+  ListCursor(const xml::Label* labels, uint32_t count)
+      : mem_labels_(labels), mem_count_(count) {}
 
-  bool valid() const { return list_ != nullptr; }
-  bool AtEnd() const { return index_ >= list_->count; }
+  bool valid() const { return list_ != nullptr || mem_labels_ != nullptr; }
+  bool AtEnd() const { return index_ >= size(); }
   EntryIndex index() const { return index_; }
-  uint32_t size() const { return list_->count; }
+  uint32_t size() const {
+    return list_ != nullptr ? list_->count : mem_count_;
+  }
   const StoredList& list() const { return *list_; }
 
   void Reset() {
@@ -87,6 +97,10 @@ class ListCursor {
 
   /// Label of the current record's `k`-th label (k = 0 for element/LE lists).
   xml::Label LabelAt(uint32_t k = 0) const {
+    if (mem_labels_ != nullptr) {
+      VJ_DCHECK(!AtEnd());
+      return mem_labels_[index_];
+    }
     const uint8_t* rec = Record();
     xml::Label label;
     std::memcpy(&label.start, rec + 12 * k, 4);
@@ -101,7 +115,7 @@ class ListCursor {
 
  private:
   EntryIndex PointerAt(uint32_t slot) const {
-    VJ_DCHECK(list_->layout.has_pointers);
+    VJ_DCHECK(list_ != nullptr && list_->layout.has_pointers);
     const uint8_t* rec = Record();
     EntryIndex value;
     std::memcpy(&value, rec + 12 * list_->layout.label_count + 4 * slot, 4);
@@ -121,6 +135,8 @@ class ListCursor {
 
   const StoredList* list_ = nullptr;
   BufferPool* pool_ = nullptr;
+  const xml::Label* mem_labels_ = nullptr;
+  uint32_t mem_count_ = 0;
   EntryIndex index_ = 0;
   mutable PageId cached_page_ = kInvalidPage;
   mutable const uint8_t* cached_data_ = nullptr;

@@ -1,0 +1,35 @@
+#ifndef VIEWJOIN_UTIL_CRC32_H_
+#define VIEWJOIN_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace viewjoin::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected form 0xEDB88320) over a byte
+/// range. Used by the pager to checksum page payloads and its file header;
+/// table built once on first use.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_CRC32_H_

@@ -1,0 +1,51 @@
+#include "util/fault_injection.h"
+
+namespace viewjoin::util {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Reset() {
+  reads_seen_ = 0;
+  writes_seen_ = 0;
+  injected_read_faults_ = 0;
+  injected_write_faults_ = 0;
+  read_trigger_ = 0;
+  read_remaining_ = 0;
+  write_trigger_ = 0;
+  write_remaining_ = 0;
+  write_kind_ = WriteFault::kNone;
+}
+
+void FaultInjector::ArmReadFault(uint64_t nth, int count) {
+  read_trigger_ = reads_seen_ + (nth == 0 ? 1 : nth);
+  read_remaining_ = count;
+}
+
+void FaultInjector::ArmWriteFault(WriteFault kind, uint64_t nth, int count) {
+  write_trigger_ = writes_seen_ + (nth == 0 ? 1 : nth);
+  write_remaining_ = kind == WriteFault::kNone ? 0 : count;
+  write_kind_ = kind;
+}
+
+bool FaultInjector::OnReadAttempt() {
+  ++reads_seen_;
+  if (read_remaining_ == 0 || reads_seen_ < read_trigger_) return false;
+  if (read_remaining_ > 0) --read_remaining_;
+  ++injected_read_faults_;
+  return true;
+}
+
+WriteFault FaultInjector::OnWriteAttempt() {
+  ++writes_seen_;
+  if (write_remaining_ == 0 || writes_seen_ < write_trigger_) {
+    return WriteFault::kNone;
+  }
+  if (write_remaining_ > 0) --write_remaining_;
+  ++injected_write_faults_;
+  return write_kind_;
+}
+
+}  // namespace viewjoin::util

@@ -1,0 +1,90 @@
+#ifndef VIEWJOIN_UTIL_FAULT_INJECTION_H_
+#define VIEWJOIN_UTIL_FAULT_INJECTION_H_
+
+#include <cstdint>
+
+namespace viewjoin::util {
+
+/// Fault applied to a physical page write.
+enum class WriteFault {
+  kNone = 0,
+  kShortWrite,  // only a prefix of the page reaches the file; the write fails
+  kTornPage,    // the tail of the page is garbage, but the write "succeeds"
+  kBitFlip,     // one payload bit flips after the checksum was computed
+};
+
+/// Deterministic, programmatically-armed fault injector consulted by the
+/// pager on every physical read attempt and page write. Tests arm a fault
+/// relative to the current operation count ("fail the 2nd read from now"),
+/// run the scenario, and assert on the surfaced Status — no real disk faults
+/// or flaky timing involved.
+///
+/// Single-threaded like the rest of the pipeline. All state lives in the
+/// process-wide instance returned by Global(); prefer ScopedFaultInjection in
+/// tests so a failing test cannot leak armed faults into the next one.
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Disarms everything and clears the counters.
+  void Reset();
+
+  /// Arms `count` consecutive failing read attempts starting at the `nth`
+  /// upcoming physical read (1-based; nth=1 fails the very next read).
+  /// count < 0 means every read from that point on fails.
+  void ArmReadFault(uint64_t nth, int count = 1);
+
+  /// Arms `kind` on `count` consecutive writes starting at the `nth` upcoming
+  /// page write (1-based). count < 0 applies it to every write from there on.
+  void ArmWriteFault(WriteFault kind, uint64_t nth, int count = 1);
+
+  bool armed() const { return read_remaining_ != 0 || write_remaining_ != 0; }
+
+  // ---- Pager hooks ---------------------------------------------------------
+
+  /// Consumes one read-attempt slot; true → the pager must fail this attempt
+  /// as a short read.
+  bool OnReadAttempt();
+
+  /// Consumes one write slot and returns the fault to apply (kNone usually).
+  WriteFault OnWriteAttempt();
+
+  // ---- Observability -------------------------------------------------------
+
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+  uint64_t injected_read_faults() const { return injected_read_faults_; }
+  uint64_t injected_write_faults() const { return injected_write_faults_; }
+
+ private:
+  FaultInjector() = default;
+
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t injected_read_faults_ = 0;
+  uint64_t injected_write_faults_ = 0;
+
+  uint64_t read_trigger_ = 0;   // absolute read index at which faults start
+  int64_t read_remaining_ = 0;  // faults left to fire; -1 = unbounded
+
+  uint64_t write_trigger_ = 0;
+  int64_t write_remaining_ = 0;
+  WriteFault write_kind_ = WriteFault::kNone;
+};
+
+/// RAII guard for tests: resets the global injector on entry and exit.
+class ScopedFaultInjection {
+ public:
+  ScopedFaultInjection() { FaultInjector::Global().Reset(); }
+  ~ScopedFaultInjection() { FaultInjector::Global().Reset(); }
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+  FaultInjector& operator*() { return FaultInjector::Global(); }
+  FaultInjector* operator->() { return &FaultInjector::Global(); }
+};
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_FAULT_INJECTION_H_

@@ -1,0 +1,110 @@
+#ifndef VIEWJOIN_UTIL_STATUS_H_
+#define VIEWJOIN_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace viewjoin::util {
+
+/// Outcome category of a fallible operation. The storage layer returns these
+/// instead of aborting, so media faults (short reads, torn pages, bit flips)
+/// become recoverable events the engine can degrade around — VJ_CHECK remains
+/// reserved for true programmer invariants.
+enum class StatusCode {
+  kOk = 0,
+  kIoError,          // the device failed the operation (possibly transient)
+  kCorruption,       // bytes came back but fail validation (checksum, magic)
+  kNotFound,         // a required file/object does not exist
+  kInvalidArgument,  // caller asked for something structurally impossible
+};
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+  }
+  return "UNKNOWN";
+}
+
+/// Lightweight status value: a code plus a human-readable message. The
+/// default-constructed Status is OK and carries no allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status Corruption(std::string m) {
+    return Status(StatusCode::kCorruption, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Either a value or a non-OK Status. Construction from a value yields ok();
+/// construction from a Status must carry a non-OK code.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    VJ_CHECK(!status_.ok()) << "StatusOr constructed from an OK status";
+  }
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    VJ_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  const T& value() const {
+    VJ_CHECK(ok()) << "value() on failed StatusOr: " << status_.ToString();
+    return *value_;
+  }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_STATUS_H_

@@ -1,17 +1,27 @@
 // Robustness and failure-injection tests: parser fuzzing, pathological pool
-// sizes, empty/missing inputs, cache behaviour, and resolver monotonicity.
+// sizes, empty/missing inputs, cache behaviour, resolver monotonicity, and
+// the storage fault matrix (transient read faults, torn pages, bit flips,
+// persistent media failure) — under every injected fault Execute must either
+// succeed with the exact clean answer (possibly degraded) or return a typed
+// error; it must never abort or fabricate matches.
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "algo/monotone_resolver.h"
 #include "core/engine.h"
+#include "storage/fsck.h"
 #include "storage/materialized_view.h"
+#include "storage/pager.h"
 #include "tests/test_util.h"
 #include "tpq/evaluator.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "xml/parser.h"
 #include "xml/writer.h"
 
@@ -220,6 +230,207 @@ TEST(DiskModeTest, SmallFlushesAgreeWithMemoryOnManyGroups) {
   EXPECT_GT(d.stats.flushes, 1u);          // threshold-triggered group flushes
   EXPECT_GT(d.stats.spill_pages_written, 0u);
   EXPECT_LT(d.stats.peak_buffered, m.stats.peak_buffered);
+}
+
+// ---- Storage fault matrix ------------------------------------------------
+//
+// Every scenario compares the faulted run's result_hash against a clean
+// TwigStack run over an untouched store: recovery must reproduce the exact
+// match set, not an approximation.
+
+class FaultMatrixTest : public ::testing::Test {
+ protected:
+  FaultMatrixTest() {
+    util::Rng rng(11);
+    doc_ = testing::RandomDoc(&rng, 600, {"a", "b", "c", "d"});
+    query_ = MustParse("//a//b//c");
+  }
+
+  /// Clean reference hash from a fresh, fault-free engine.
+  RunResult CleanBaseline() {
+    util::ScopedFaultInjection off;  // ensure nothing is armed
+    Engine engine(&doc_, TempPath("fault_clean.db"));
+    std::vector<const MaterializedView*> views = {
+        engine.AddView("//a//b", Scheme::kLinkedElement),
+        engine.AddView("//c", Scheme::kLinkedElement),
+    };
+    RunOptions ts;
+    ts.algorithm = Algorithm::kTwigStack;
+    RunResult r = engine.Execute(query_, views, ts);
+    EXPECT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.degraded);
+    return r;
+  }
+
+  xml::Document doc_;
+  TreePattern query_;
+};
+
+TEST_F(FaultMatrixTest, TransientReadFaultIsAbsorbedByRetry) {
+  RunResult clean = CleanBaseline();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc_, TempPath("fault_transient.db"));
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+  };
+  fi->ArmReadFault(/*nth=*/1, /*count=*/1);
+  RunResult r = engine.Execute(query_, views);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.degraded);  // the retry hid the fault entirely
+  EXPECT_GT(r.retries, 0u);
+  EXPECT_TRUE(r.quarantined_views.empty());
+  EXPECT_EQ(r.result_hash, clean.result_hash);
+  EXPECT_EQ(r.match_count, clean.match_count);
+}
+
+TEST_F(FaultMatrixTest, BitFlippedViewIsQuarantinedAndRematerialized) {
+  RunResult clean = CleanBaseline();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc_, TempPath("fault_bitflip.db"));
+  const MaterializedView* ab = engine.AddView("//a//b",
+                                              Scheme::kLinkedElement);
+  // Corrupt the first page written for //c: the checksum is computed before
+  // the flip, so the page reads back as kCorruption.
+  fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/1);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  RunResult r = engine.Execute(query_, {ab, c});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.degraded);
+  ASSERT_FALSE(r.quarantined_views.empty());
+  EXPECT_EQ(r.quarantined_views[0], "//c");
+  EXPECT_EQ(r.result_hash, clean.result_hash);
+  EXPECT_EQ(r.match_count, clean.match_count);
+  // The catalog remembers the quarantine and the healthy replacement, so the
+  // next run with the stale pointer is clean again.
+  EXPECT_GE(engine.catalog()->quarantined_count(), 1u);
+  RunResult again = engine.Execute(query_, {ab, c});
+  ASSERT_TRUE(again.ok) << again.error;
+  EXPECT_FALSE(again.degraded);
+  EXPECT_EQ(again.result_hash, clean.result_hash);
+}
+
+TEST_F(FaultMatrixTest, TornPageIsDetectedAndRecovered) {
+  RunResult clean = CleanBaseline();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc_, TempPath("fault_torn.db"));
+  const MaterializedView* ab = engine.AddView("//a//b",
+                                              Scheme::kLinkedElement);
+  fi->ArmWriteFault(util::WriteFault::kTornPage, /*nth=*/1, /*count=*/1);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  RunResult r = engine.Execute(query_, {ab, c});
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_FALSE(r.quarantined_views.empty());
+  EXPECT_EQ(r.result_hash, clean.result_hash);
+}
+
+TEST_F(FaultMatrixTest, PersistentReadFaultFallsBackToBaseDocument) {
+  RunResult clean = CleanBaseline();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc_, TempPath("fault_dead_disk.db"));
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+  };
+  // Every physical read fails from here on: retry cannot hide it and
+  // re-materialized replacements are just as unreadable, so the engine must
+  // end up answering from the in-memory document alone.
+  fi->ArmReadFault(/*nth=*/1, /*count=*/-1);
+  for (Algorithm algorithm : {Algorithm::kTwigStack, Algorithm::kViewJoin}) {
+    RunOptions run;
+    run.algorithm = algorithm;
+    RunResult r = engine.Execute(query_, views, run);
+    ASSERT_TRUE(r.ok) << AlgorithmName(algorithm) << ": " << r.error;
+    EXPECT_TRUE(r.degraded);
+    EXPECT_FALSE(r.quarantined_views.empty());
+    EXPECT_EQ(r.result_hash, clean.result_hash) << AlgorithmName(algorithm);
+    EXPECT_EQ(r.match_count, clean.match_count);
+  }
+}
+
+TEST_F(FaultMatrixTest, SpillWriteFaultDegradesToMemoryBuffering) {
+  // Many independent groups so disk mode actually spills (cf. DiskModeTest).
+  xml::Document doc;
+  doc.StartElement("r");
+  for (int i = 0; i < 5000; ++i) {
+    doc.StartElement("a");
+    doc.StartElement("b");
+    doc.StartElement("c");
+    doc.EndElement();
+    doc.EndElement();
+    doc.EndElement();
+  }
+  doc.EndElement();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc, TempPath("fault_spill.db"));
+  TreePattern query = MustParse("//a//b//c");
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//c", Scheme::kLinkedElement),
+  };
+  RunOptions mem;
+  mem.output_mode = algo::OutputMode::kMemory;
+  RunResult clean = engine.Execute(query, views, mem);
+  ASSERT_TRUE(clean.ok);
+  // All further writes fail short: only the spill spool writes from here on.
+  fi->ArmWriteFault(util::WriteFault::kShortWrite, /*nth=*/1, /*count=*/-1);
+  RunOptions disk;
+  disk.output_mode = algo::OutputMode::kDisk;
+  RunResult r = engine.Execute(query, views, disk);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.quarantined_views.empty());  // the views were never at fault
+  EXPECT_EQ(r.match_count, 5000u);
+  EXPECT_EQ(r.result_hash, clean.result_hash);
+}
+
+TEST(FsckTest, DetectsExactlyTheCorruptedPages) {
+  util::ScopedFaultInjection fi;
+  std::string path = TempPath("fsck_matrix.db");
+  {
+    storage::Pager pager(path, storage::Pager::Mode::kPersist);
+    ASSERT_TRUE(pager.init_status().ok());
+    std::vector<uint8_t> page(storage::Pager::kPageSize);
+    // Bit-flip write #4 (page 3), tear writes #7 and #8 (pages 6 and 7).
+    fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/4, /*count=*/1);
+    for (uint32_t i = 0; i < 10; ++i) {
+      if (i == 6) {
+        fi->ArmWriteFault(util::WriteFault::kTornPage, /*nth=*/1, /*count=*/2);
+      }
+      for (size_t b = 0; b < page.size(); ++b) {
+        page[b] = static_cast<uint8_t>(i + b);
+      }
+      storage::PageId id = *pager.AllocatePage();
+      pager.WritePage(id, page.data());  // torn writes still report success
+    }
+  }
+  storage::FsckReport report = storage::FsckPagerFile(path);
+  ASSERT_TRUE(report.file_status.ok()) << report.file_status.ToString();
+  EXPECT_EQ(report.page_count, 10u);
+  EXPECT_FALSE(report.ok());
+  std::set<storage::PageId> bad;
+  for (const auto& [id, status] : report.bad_pages) {
+    EXPECT_EQ(status.code(), util::StatusCode::kCorruption)
+        << status.ToString();
+    bad.insert(id);
+  }
+  EXPECT_EQ(bad, (std::set<storage::PageId>{3, 6, 7}));
+  std::remove(path.c_str());
+}
+
+TEST(FsckTest, RejectsGarbageFileViaHeader) {
+  std::string path = TempPath("fsck_garbage.db");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 9000; ++i) std::fputc(0x42, f);
+    std::fclose(f);
+  }
+  storage::FsckReport report = storage::FsckPagerFile(path);
+  EXPECT_EQ(report.file_status.code(), util::StatusCode::kCorruption);
+  EXPECT_FALSE(report.ok());
+  std::remove(path.c_str());
 }
 
 TEST(SingleNodeQueryTest, DegenerateQueriesWork) {

@@ -34,8 +34,8 @@ std::string TempPath(const char* name) {
 TEST(PagerTest, WriteReadRoundTrip) {
   Pager pager(TempPath("pager_rt.db"));
   std::vector<uint8_t> page(Pager::kPageSize);
-  storage::PageId a = pager.AllocatePage();
-  storage::PageId b = pager.AllocatePage();
+  storage::PageId a = *pager.AllocatePage();
+  storage::PageId b = *pager.AllocatePage();
   EXPECT_EQ(a, 0u);
   EXPECT_EQ(b, 1u);
   for (size_t i = 0; i < page.size(); ++i) page[i] = static_cast<uint8_t>(i);
@@ -53,7 +53,7 @@ TEST(BufferPoolTest, CachesAndEvictsLru) {
   Pager pager(TempPath("pool_lru.db"));
   std::vector<uint8_t> page(Pager::kPageSize, 0);
   for (int i = 0; i < 4; ++i) {
-    storage::PageId id = pager.AllocatePage();
+    storage::PageId id = *pager.AllocatePage();
     page[0] = static_cast<uint8_t>(i);
     pager.WritePage(id, page.data());
   }

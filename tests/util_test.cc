@@ -7,7 +7,10 @@
 #include <string>
 
 #include "util/check.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -122,6 +125,64 @@ TEST(CheckTest, PassingConditionIsSilent) {
 TEST(CheckTest, FailingConditionAbortsWithMessage) {
   EXPECT_DEATH(VJ_CHECK(false) << "context " << 42, "context 42");
   EXPECT_DEATH(VJ_CHECK_EQ(1, 2), "CHECK failed");
+}
+
+TEST(StatusTest, OkAndErrorStates) {
+  util::Status ok = util::Status::Ok();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.code(), util::StatusCode::kOk);
+  util::Status err = util::Status::Corruption("bad page");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), util::StatusCode::kCorruption);
+  EXPECT_EQ(err.message(), "bad page");
+  EXPECT_NE(err.ToString().find("CORRUPTION"), std::string::npos);
+  EXPECT_NE(err.ToString().find("bad page"), std::string::npos);
+  EXPECT_EQ(util::Status::IoError("x").code(), util::StatusCode::kIoError);
+  EXPECT_EQ(util::Status::NotFound("x").code(), util::StatusCode::kNotFound);
+  EXPECT_EQ(util::Status::InvalidArgument("x").code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrStatus) {
+  util::StatusOr<int> value = 42;
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 42);
+  util::StatusOr<int> err = util::Status::IoError("disk gone");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), util::StatusCode::kIoError);
+  EXPECT_DEATH({ int v = *err; (void)v; }, "");
+}
+
+TEST(Crc32Test, KnownVectorsAndSensitivity) {
+  // The standard CRC-32 ("check" value of the catalogue entry).
+  EXPECT_EQ(util::Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::Crc32("", 0), 0x00000000u);
+  uint8_t buf[64] = {};
+  uint32_t clean = util::Crc32(buf, sizeof buf);
+  buf[13] ^= 0x01;  // single bit flip must change the checksum
+  EXPECT_NE(util::Crc32(buf, sizeof buf), clean);
+}
+
+TEST(FaultInjectorTest, FailsExactlyTheArmedReads) {
+  util::ScopedFaultInjection fi;
+  fi->ArmReadFault(/*nth=*/2, /*count=*/2);
+  EXPECT_FALSE(fi->OnReadAttempt());  // 1st
+  EXPECT_TRUE(fi->OnReadAttempt());   // 2nd: fault
+  EXPECT_TRUE(fi->OnReadAttempt());   // 3rd: fault
+  EXPECT_FALSE(fi->OnReadAttempt());  // 4th: disarmed again
+  EXPECT_EQ(fi->injected_read_faults(), 2u);
+  EXPECT_EQ(fi->reads_seen(), 4u);
+}
+
+TEST(FaultInjectorTest, UnboundedWriteFaultPersists) {
+  util::ScopedFaultInjection fi;
+  fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/-1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(fi->OnWriteAttempt(), util::WriteFault::kBitFlip);
+  }
+  fi->Reset();
+  EXPECT_EQ(fi->OnWriteAttempt(), util::WriteFault::kNone);
+  EXPECT_FALSE(fi->armed());
 }
 
 }  // namespace
