@@ -18,7 +18,7 @@
 namespace viewjoin::bench {
 namespace {
 
-void PointerAblation(BenchContext* context) {
+void PointerAblation(BenchContext* context, JsonReport* report) {
   std::printf("-- (a) pointer-skipping ablation: VJ across schemes --\n");
   util::TablePrinter table({"query", "scheme", "ms", "entries scanned",
                             "entries skipped", "pointer jumps", "skip %"});
@@ -43,13 +43,21 @@ void PointerAblation(BenchContext* context) {
                         denom > 0 ? 100.0 * r.stats.entries_skipped / denom
                                   : 0.0,
                         1)});
+      report->AddRow()
+          .Set("study", "pointer_skipping")
+          .Set("query", spec.name)
+          .Set("scheme", storage::SchemeName(scheme))
+          .Set("entries_scanned", r.stats.entries_scanned)
+          .Set("entries_skipped", r.stats.entries_skipped)
+          .Set("pointer_jumps", r.stats.pointer_jumps)
+          .Metrics(r);
     }
   }
   table.Print();
   std::printf("\n");
 }
 
-void LambdaSweep(BenchContext* context) {
+void LambdaSweep(BenchContext* context, JsonReport* report) {
   std::printf("-- (b) λ sweep of the selection cost model --\n");
   tpq::TreePattern query = ParseQuery(Table2Query());
   std::vector<tpq::TreePattern> candidates;
@@ -76,25 +84,34 @@ void LambdaSweep(BenchContext* context) {
         context->Run(query, context->Views(picked, combo.scheme), combo);
     table.AddRow({util::FormatDouble(lambda, 2), set,
                   util::FormatDouble(r.total_ms, 2)});
+    report->AddRow()
+        .Set("study", "lambda_sweep")
+        .Set("lambda", lambda)
+        .Set("selected", set)
+        .Metrics(r);
   }
   table.Print();
   std::printf("\n");
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("ablation_pointers");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
   auto context = BenchContext::Nasa(nasa_datasets);
   std::printf("Ablation benches (design-choice studies from DESIGN.md)\n\n");
   PrintBanner("NASA ablations", *context);
-  PointerAblation(context.get());
-  LambdaSweep(context.get());
+  PointerAblation(context.get(), &report);
+  LambdaSweep(context.get(), &report);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -16,8 +16,9 @@
 namespace viewjoin::bench {
 namespace {
 
-void RunDataset(const std::string& title, BenchContext* context,
-                const std::vector<QuerySpec>& queries) {
+void RunDataset(const std::string& title, const std::string& dataset,
+                BenchContext* context, const std::vector<QuerySpec>& queries,
+                JsonReport* report) {
   PrintBanner(title, *context);
   std::vector<Combo> combos = AllCombos();
   std::vector<std::string> header = {"query", "matches"};
@@ -48,6 +49,11 @@ void RunDataset(const std::string& title, BenchContext* context,
       }
       row.push_back(util::FormatDouble(result.total_ms, 2));
       prow.push_back(std::to_string(result.io.pages_read));
+      report->AddRow()
+          .Set("dataset", dataset)
+          .Set("query", spec.name)
+          .Set("combo", combo.Label())
+          .Metrics(result);
     }
     row[1] = std::to_string(count);
     table.AddRow(row);
@@ -59,25 +65,32 @@ void RunDataset(const std::string& title, BenchContext* context,
   std::printf("\n");
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0);
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("fig5_paths");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("xmark_scale", xmark_scale);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
 
   std::printf("Fig. 5(a)/(b) reproduction: path queries with path views\n");
   std::printf("(views per query: covering set of ~2-node subpattern views)\n\n");
 
   auto xmark = BenchContext::Xmark(xmark_scale);
-  RunDataset("XMark path queries (Fig. 5a)", xmark.get(), XmarkPathQueries());
+  RunDataset("XMark path queries (Fig. 5a)", "xmark", xmark.get(),
+             XmarkPathQueries(), &report);
 
   auto nasa = BenchContext::Nasa(nasa_datasets);
-  RunDataset("NASA path queries (Fig. 5b)", nasa.get(), NasaPathQueries());
+  RunDataset("NASA path queries (Fig. 5b)", "nasa", nasa.get(),
+             NasaPathQueries(), &report);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

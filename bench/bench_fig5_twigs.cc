@@ -14,8 +14,9 @@
 namespace viewjoin::bench {
 namespace {
 
-void RunDataset(const std::string& title, BenchContext* context,
-                const std::vector<QuerySpec>& queries) {
+void RunDataset(const std::string& title, const std::string& dataset,
+                BenchContext* context, const std::vector<QuerySpec>& queries,
+                JsonReport* report) {
   PrintBanner(title, *context);
   std::vector<Combo> combos = ListCombos();
   std::vector<std::string> header = {"query", "matches"};
@@ -45,6 +46,11 @@ void RunDataset(const std::string& title, BenchContext* context,
       }
       row.push_back(util::FormatDouble(result.total_ms, 2));
       prow.push_back(std::to_string(result.io.pages_read));
+      report->AddRow()
+          .Set("dataset", dataset)
+          .Set("query", spec.name)
+          .Set("combo", combo.Label())
+          .Metrics(result);
     }
     row[1] = std::to_string(count);
     table.AddRow(row);
@@ -56,24 +62,31 @@ void RunDataset(const std::string& title, BenchContext* context,
   std::printf("\n");
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0);
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("fig5_twigs");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("xmark_scale", xmark_scale);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
 
   std::printf("Fig. 5(c)/(d) reproduction: twig queries with twig views\n\n");
 
   auto xmark = BenchContext::Xmark(xmark_scale);
-  RunDataset("XMark twig queries (Fig. 5c)", xmark.get(), XmarkTwigQueries());
+  RunDataset("XMark twig queries (Fig. 5c)", "xmark", xmark.get(),
+             XmarkTwigQueries(), &report);
 
   auto nasa = BenchContext::Nasa(nasa_datasets);
-  RunDataset("NASA twig queries (Fig. 5d)", nasa.get(), NasaTwigQueries());
+  RunDataset("NASA twig queries (Fig. 5d)", "nasa", nasa.get(),
+             NasaTwigQueries(), &report);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -30,9 +30,10 @@ int CountInterViewEdges(BenchContext* context, const tpq::TreePattern& query,
   return core::BuildSegmentedQuery(*binding).inter_view_edges;
 }
 
-void RunSeries(const std::string& title, BenchContext* context,
+void RunSeries(const std::string& title, const std::string& series,
+               BenchContext* context,
                const std::vector<InterleavingWorkload>& workloads,
-               bool include_interjoin) {
+               bool include_interjoin, JsonReport* report) {
   std::printf("-- %s --\n", title.c_str());
   std::vector<Combo> combos;
   if (include_interjoin) {
@@ -67,6 +68,12 @@ void RunSeries(const std::string& title, BenchContext* context,
         VJ_CHECK_EQ(result.match_count, count) << w.name << combo.Label();
       }
       row.push_back(util::FormatDouble(result.total_ms, 2));
+      report->AddRow()
+          .Set("series", series)
+          .Set("view_set", w.name)
+          .Set("inter_view_edges", conds)
+          .Set("combo", combo.Label())
+          .Metrics(result);
     }
     table.AddRow(row);
     std::printf("   %s: %llu matches\n", w.name.c_str(),
@@ -76,25 +83,29 @@ void RunSeries(const std::string& title, BenchContext* context,
   std::printf("\n");
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("fig6_interleaving");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
   auto context = BenchContext::Nasa(nasa_datasets);
   std::printf("Fig. 6 / Table III reproduction: interleaving conditions\n\n");
   PrintBanner("NASA interleaving study", *context);
   std::printf("Np = %s\nNt = %s\n\n",
               PathInterleavingWorkloads()[0].query.c_str(),
               TwigInterleavingWorkloads()[0].query.c_str());
-  RunSeries("Fig. 6(a): path query Np with PV1-PV4", context.get(),
-            PathInterleavingWorkloads(), /*include_interjoin=*/true);
-  RunSeries("Fig. 6(b): twig query Nt with TV1-TV4", context.get(),
-            TwigInterleavingWorkloads(), /*include_interjoin=*/false);
+  RunSeries("Fig. 6(a): path query Np with PV1-PV4", "path", context.get(),
+            PathInterleavingWorkloads(), /*include_interjoin=*/true, &report);
+  RunSeries("Fig. 6(b): twig query Nt with TV1-TV4", "twig", context.get(),
+            TwigInterleavingWorkloads(), /*include_interjoin=*/false, &report);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -16,10 +16,14 @@
 namespace viewjoin::bench {
 namespace {
 
-void Main() {
+void Main(int argc, char** argv) {
   double base = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0) *
                 EnvScale("VIEWJOIN_FIG7_BASE", 0.5);
   int steps = static_cast<int>(EnvScale("VIEWJOIN_FIG7_STEPS", 7));
+  JsonReport report("fig7_scalability");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("base_scale", base);
+  report.SetMeta("steps", steps);
   std::printf("Fig. 7 reproduction: VJ+LE scalability on XMark\n");
   std::printf("(scale steps 1..%d stand in for the paper's 100-700 MB)\n\n",
               steps);
@@ -64,16 +68,24 @@ void Main() {
                             : 0.0,
                         1) + "%",
                     util::FormatDouble(mem_kb, 1)});
+      report.AddRow()
+          .Set("query", spec.name)
+          .Set("scale_step", step)
+          .Set("elements", static_cast<uint64_t>(context->doc().NodeCount()))
+          .Set("doc_mb", doc_mb)
+          .Set("join_memory_kb", mem_kb)
+          .Metrics(result);
     }
     table.Print();
     std::printf("\n");
   }
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -27,9 +27,12 @@ std::string SetToString(const std::vector<size_t>& selected) {
   return out + "}";
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("table2_view_selection");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
   auto context = BenchContext::Nasa(nasa_datasets);
   std::printf("Table II / Example 5.1 reproduction: view selection for\n");
   std::printf("Q = %s\n\n", Table2Query().c_str());
@@ -86,12 +89,21 @@ void Main() {
   std::printf("VJ+LE_p with size-only set  : %8.2f ms\n", size_run.total_ms);
   std::printf("speedup of cost-based set   : %.2fx  (paper: 1.93x)\n",
               size_run.total_ms / cost_run.total_ms);
+  report.AddRow()
+      .Set("selection", "cost_based")
+      .Set("views", SetToString(cost_based.selected))
+      .Metrics(cost_run);
+  report.AddRow()
+      .Set("selection", "size_only")
+      .Set("views", SetToString(size_only.selected))
+      .Metrics(size_run);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -17,9 +17,12 @@
 namespace viewjoin::bench {
 namespace {
 
-void Main() {
+void Main(int argc, char** argv) {
   double scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0) *
                  EnvScale("VIEWJOIN_TABLE4_FACTOR", 4.0);
+  JsonReport report("table4_space");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("xmark_scale", scale);
   auto context = BenchContext::Xmark(scale);
   std::printf("Table IV reproduction: view sizes and pointer counts\n\n");
   PrintBanner("XMark space study", *context);
@@ -55,18 +58,30 @@ void Main() {
     VJ_CHECK_LT(e->SizeBytes(), le->SizeBytes());
     VJ_CHECK_LE(lep->SizeBytes(), le->SizeBytes());
     VJ_CHECK_LT(lep->PointerCount(), le->PointerCount());
+    report.AddRow()
+        .Set("view", name)
+        .Set("pattern", xpath)
+        .Set("e_bytes", e->SizeBytes())
+        .Set("t_bytes", t->SizeBytes())
+        .Set("le_bytes", le->SizeBytes())
+        .Set("lep_bytes", lep->SizeBytes())
+        .Set("le_pointers", le->PointerCount())
+        .Set("lep_pointers", lep->PointerCount())
+        .Set("tuples", t->MatchCount())
+        .Set("distinct_nodes", distinct);
   }
   table.Print();
   std::printf(
       "\nnote: sizes are logical (12 B per label + 4 B per materialized "
       "pointer);\nthe tuple scheme duplicates a node once per match it "
       "occurs in.\n");
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

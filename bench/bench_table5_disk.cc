@@ -21,8 +21,9 @@ std::string Cell(const core::RunResult& result) {
          util::FormatDouble(result.io_ms, 2) + ")";
 }
 
-void RunDataset(const std::string& title, BenchContext* context,
-                const std::vector<QuerySpec>& queries) {
+void RunDataset(const std::string& title, const std::string& dataset,
+                BenchContext* context, const std::vector<QuerySpec>& queries,
+                JsonReport* report) {
   PrintBanner(title, *context);
   Combo ts{core::Algorithm::kTwigStack, storage::Scheme::kElement};
   Combo vj{core::Algorithm::kViewJoin, storage::Scheme::kLinkedElement};
@@ -48,30 +49,50 @@ void RunDataset(const std::string& title, BenchContext* context,
                   Cell(ts_d), Cell(vj_m), Cell(vj_d),
                   std::to_string(vj_d.stats.spill_pages_written) + "w/" +
                       std::to_string(vj_d.stats.spill_pages_read) + "r"});
+    auto add = [&](const char* variant, const core::RunResult& result) {
+      report->AddRow()
+          .Set("dataset", dataset)
+          .Set("query", spec.name)
+          .Set("variant", variant)
+          .Set("spill_pages_written", result.stats.spill_pages_written)
+          .Set("spill_pages_read", result.stats.spill_pages_read)
+          .Metrics(result);
+    };
+    add("TS-M", ts_m);
+    add("TS-D", ts_d);
+    add("VJ-M", vj_m);
+    add("VJ-D", vj_d);
   }
   table.Print();
   std::printf("\n");
 }
 
-void Main() {
+void Main(int argc, char** argv) {
   std::printf(
       "Table V reproduction: memory- vs disk-based output "
       "(cells: total ms (I/O ms))\n\n");
   double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0);
   int64_t nasa_datasets =
       static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
+  JsonReport report("table5_disk");
+  report.ParseArgs(argc, argv);
+  report.SetMeta("xmark_scale", xmark_scale);
+  report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
 
   auto xmark = BenchContext::Xmark(xmark_scale);
-  RunDataset("XMark twig queries", xmark.get(), XmarkTwigQueries());
+  RunDataset("XMark twig queries", "xmark", xmark.get(), XmarkTwigQueries(),
+             &report);
 
   auto nasa = BenchContext::Nasa(nasa_datasets);
-  RunDataset("NASA twig queries", nasa.get(), NasaTwigQueries());
+  RunDataset("NASA twig queries", "nasa", nasa.get(), NasaTwigQueries(),
+             &report);
+  report.Write();
 }
 
 }  // namespace
 }  // namespace viewjoin::bench
 
-int main() {
-  viewjoin::bench::Main();
+int main(int argc, char** argv) {
+  viewjoin::bench::Main(argc, argv);
   return 0;
 }

@@ -1,7 +1,11 @@
 #include "bench/harness.h"
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include "util/check.h"
 #include "xml/statistics.h"
@@ -109,22 +113,62 @@ RunResult BenchContext::Run(
     const TreePattern& query,
     const std::vector<const MaterializedView*>& views, const Combo& combo,
     algo::OutputMode mode, int repeats) {
+  VJ_CHECK(repeats > 0);
   RunOptions run;
   run.algorithm = combo.algorithm;
   run.output_mode = mode;
   run.cold_cache = true;
-  RunResult last;
+  RunResult average;
   double total = 0;
   double io = 0;
+  storage::IoStats io_sum;
+  uint64_t retries = 0;
   for (int r = 0; r < repeats; ++r) {
-    last = engine_->Execute(query, views, run);
-    VJ_CHECK(last.ok) << combo.Label() << ": " << last.error;
-    total += last.total_ms;
-    io += last.io_ms;
+    // Start each repeat from scratch: drop cached pages AND reset the pool's
+    // poison latch, so a fault in repeat r cannot taint repeat r+1. (Clear()
+    // resets the latch; cold_cache then re-clears stats inside Execute.)
+    engine_->catalog()->DropCaches();
+    RunResult result = engine_->Execute(query, views, run);
+    VJ_CHECK(result.ok) << combo.Label() << ": " << result.error;
+    if (r == 0) {
+      average = result;
+    } else {
+      // A repeat is a re-measurement, not a new query: the answer must not
+      // drift between repeats.
+      VJ_CHECK(result.match_count == average.match_count &&
+               result.result_hash == average.result_hash)
+          << combo.Label() << ": match set drifted across repeats ("
+          << result.match_count << " vs " << average.match_count << ")";
+      average.degraded |= result.degraded;
+      for (const std::string& v : result.quarantined_views) {
+        if (std::find(average.quarantined_views.begin(),
+                      average.quarantined_views.end(),
+                      v) == average.quarantined_views.end()) {
+          average.quarantined_views.push_back(v);
+        }
+      }
+      average.stats = result.stats;  // identical across repeats (pure CPU)
+    }
+    total += result.total_ms;
+    io += result.io_ms;
+    io_sum += result.io;
+    retries += result.retries;
   }
-  last.total_ms = total / repeats;
-  last.io_ms = io / repeats;
-  return last;
+  // Average every reported counter over the repeats, not just the times —
+  // a result whose io_ms is a mean but whose pages_read is the last run's
+  // sample reads as self-contradictory in reports.
+  uint64_t n = static_cast<uint64_t>(repeats);
+  average.total_ms = total / repeats;
+  average.io_ms = io / repeats;
+  average.retries = retries / n;
+  average.io.pages_read = io_sum.pages_read / n;
+  average.io.pages_written = io_sum.pages_written / n;
+  average.io.read_micros = io_sum.read_micros / repeats;
+  average.io.write_micros = io_sum.write_micros / repeats;
+  average.io.pool_hits = io_sum.pool_hits / n;
+  average.io.pool_misses = io_sum.pool_misses / n;
+  average.io.read_retries = io_sum.read_retries / n;
+  return average;
 }
 
 RunResult BenchContext::RunSplit(const std::string& xpath, const Combo& combo,
@@ -139,6 +183,148 @@ TreePattern ParseQuery(const std::string& xpath) {
   std::optional<TreePattern> pattern = TreePattern::Parse(xpath, &error);
   VJ_CHECK(pattern.has_value()) << xpath << ": " << error;
   return *pattern;
+}
+
+namespace {
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void WriteFields(
+    std::FILE* out,
+    const std::vector<std::pair<std::string, std::string>>& fields,
+    const char* indent) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(out, "%s%s: %s%s\n", indent, JsonQuote(fields[i].first).c_str(),
+                 fields[i].second.c_str(), i + 1 < fields.size() ? "," : "");
+  }
+}
+
+}  // namespace
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, JsonQuote(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key,
+                                      const char* value) {
+  return Set(key, std::string(value));
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, double value) {
+  char buf[64];
+  if (!std::isfinite(value)) {
+    std::snprintf(buf, sizeof(buf), "null");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+  }
+  fields_.emplace_back(key, buf);
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, uint64_t value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, int value) {
+  fields_.emplace_back(key, std::to_string(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Set(const std::string& key, bool value) {
+  fields_.emplace_back(key, value ? "true" : "false");
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Metrics(const core::RunResult& result) {
+  Set("matches", result.match_count);
+  // The 64-bit fingerprint exceeds JSON's exact double range; a hex string
+  // round-trips losslessly everywhere.
+  char hash[32];
+  std::snprintf(hash, sizeof(hash), "0x%016llx",
+                static_cast<unsigned long long>(result.result_hash));
+  Set("result_hash", hash);
+  Set("total_ms", result.total_ms);
+  Set("io_ms", result.io_ms);
+  Set("pages_read", result.io.pages_read);
+  Set("pages_written", result.io.pages_written);
+  Set("pool_hits", result.io.pool_hits);
+  Set("pool_misses", result.io.pool_misses);
+  Set("read_retries", result.io.read_retries);
+  Set("degraded", result.degraded);
+  return *this;
+}
+
+void JsonReport::ParseArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0) {
+      VJ_CHECK(i + 1 < argc) << "--json requires a path";
+      set_path(argv[++i]);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      set_path(arg + 7);
+    } else {
+      VJ_CHECK(false) << "unknown argument '" << arg
+                      << "' (benches take --json <path> only)";
+    }
+  }
+}
+
+JsonReport::Row& JsonReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void JsonReport::Write() const {
+  if (!enabled()) return;
+  std::FILE* out = std::fopen(path_.c_str(), "w");
+  VJ_CHECK(out != nullptr) << "cannot write " << path_;
+  std::fprintf(out, "{\n  \"bench\": %s,\n  \"meta\": {\n",
+               JsonQuote(bench_name_).c_str());
+  WriteFields(out, meta_.fields_, "    ");
+  std::fprintf(out, "  },\n  \"rows\": [\n");
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::fprintf(out, "    {\n");
+    WriteFields(out, rows_[r].fields_, "      ");
+    std::fprintf(out, "    }%s\n", r + 1 < rows_.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("json report written to %s\n", path_.c_str());
 }
 
 void PrintBanner(const std::string& title, const BenchContext& context) {

@@ -1,9 +1,12 @@
 #ifndef VIEWJOIN_BENCH_HARNESS_H_
 #define VIEWJOIN_BENCH_HARNESS_H_
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/workloads.h"
@@ -54,9 +57,13 @@ class BenchContext {
   std::vector<const storage::MaterializedView*> Views(
       const std::vector<tpq::TreePattern>& patterns, storage::Scheme scheme);
 
-  /// Runs query × combo over `views`, repeating `repeats` times (cold cache
-  /// each run, as the paper measures) and averaging. Returns the averaged
-  /// result of the last run with total_ms/io_ms averaged.
+  /// Runs query × combo over `views`, repeating `repeats` times and
+  /// averaging. Every repeat starts from a cleared pool (cold cache + reset
+  /// error latch, as the paper measures), and ALL reported stats — times,
+  /// page/pool counters, retries — are averaged consistently over the
+  /// repeats, not taken from the last run only. Match count/hash must be
+  /// identical across repeats (checked); degraded/quarantine info is the
+  /// union over repeats.
   core::RunResult Run(const tpq::TreePattern& query,
                       const std::vector<const storage::MaterializedView*>& views,
                       const Combo& combo,
@@ -83,6 +90,70 @@ tpq::TreePattern ParseQuery(const std::string& xpath);
 
 /// Prints the standard bench banner (doc stats, knobs).
 void PrintBanner(const std::string& title, const BenchContext& context);
+
+/// Machine-readable result emitter shared by every bench binary. Each bench
+/// passes its argv through ParseArgs; when the user supplied `--json out.json`
+/// (or `--json=out.json`), Write() serializes the report there as
+///
+///   {
+///     "bench": "<name>",
+///     "meta":  { "<key>": <value>, ... },           // dataset knobs etc.
+///     "rows":  [ { "<key>": <value>, ... }, ... ]   // one object per result
+///   }
+///
+/// Values are JSON numbers, strings or booleans. Row::Metrics() adds the
+/// standard per-run fields (see bench/README.md for the full schema). Without
+/// --json the report is disabled and Write() is a no-op, so benches call it
+/// unconditionally.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& Set(const std::string& key, const std::string& value);
+    Row& Set(const std::string& key, const char* value);
+    Row& Set(const std::string& key, double value);
+    Row& Set(const std::string& key, uint64_t value);
+    Row& Set(const std::string& key, int value);
+    Row& Set(const std::string& key, bool value);
+    /// Standard result fields: matches, result_hash (hex string), total_ms,
+    /// io_ms, pages_read, pages_written, pool_hits, pool_misses,
+    /// read_retries, degraded.
+    Row& Metrics(const core::RunResult& result);
+
+   private:
+    friend class JsonReport;
+    /// key -> already-JSON-encoded value, in insertion order.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  /// Consumes `--json PATH` / `--json=PATH` from the command line (the only
+  /// flag benches take). Dies on an unknown argument so typos surface.
+  void ParseArgs(int argc, char** argv);
+
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  template <typename T>
+  void SetMeta(const std::string& key, T value) {
+    meta_.Set(key, value);
+  }
+
+  /// Appends a row and returns it for chaining; the reference stays valid
+  /// for the report's lifetime.
+  Row& AddRow();
+
+  /// Writes the report to the --json path (no-op when disabled).
+  void Write() const;
+
+ private:
+  std::string bench_name_;
+  std::string path_;
+  Row meta_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace viewjoin::bench
 

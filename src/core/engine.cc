@@ -1,6 +1,9 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <atomic>
+#include <optional>
+#include <thread>
 
 #include "algo/inter_join.h"
 #include "algo/query_binding.h"
@@ -71,6 +74,7 @@ class ReplaySink : public tpq::MatchSink {
 Engine::Engine(const xml::Document* doc, const std::string& storage_path,
                const EngineOptions& options)
     : doc_(doc),
+      storage_path_(storage_path),
       catalog_(std::make_unique<storage::ViewCatalog>(storage_path,
                                                       options.pool_pages)),
       spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {}
@@ -95,18 +99,31 @@ RunResult Engine::Execute(
     const TreePattern& query,
     const std::vector<const MaterializedView*>& views, const RunOptions& run,
     tpq::MatchSink* sink) {
+  return ExecuteInternal(query, views, run, sink,
+                         ExecContext{spill_.get(), /*exclusive=*/true});
+}
+
+RunResult Engine::ExecuteInternal(
+    const TreePattern& query,
+    const std::vector<const MaterializedView*>& views, const RunOptions& run,
+    tpq::MatchSink* sink, const ExecContext& ctx) {
   RunResult result;
   // When a user sink is supplied, attempts stream into a replay buffer so
   // the user only ever observes the matches of a fault-free run.
   ReplaySink replay;
 
-  if (run.cold_cache) {
+  // Batch workers capture this query's page faults in a thread-local scope so
+  // a sibling's poison latch cannot leak into this result (and vice versa).
+  std::optional<storage::BufferPool::ErrorScope> scope;
+  if (!ctx.exclusive) scope.emplace(catalog_->pool());
+
+  if (run.cold_cache && ctx.exclusive) {
     catalog_->DropCaches();
     catalog_->ResetStats();
-    spill_->ResetStats();
+    ctx.spill->ResetStats();
   }
   storage::IoStats before = catalog_->Stats();
-  storage::IoStats spill_before = spill_->stats();
+  storage::IoStats spill_before = ctx.spill->stats();
 
   // Redirect views that were quarantined and replaced in an earlier call, so
   // stale caller pointers keep working.
@@ -136,7 +153,7 @@ RunResult Engine::Execute(
             algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
         if (!binding.has_value()) return false;
         algo::TwigStack twig(&*binding, catalog_->pool());
-        twig.Evaluate(out, mode, spill_.get());
+        twig.Evaluate(out, mode, ctx.spill);
         result.stats = twig.stats();
         break;
       }
@@ -146,7 +163,7 @@ RunResult Engine::Execute(
         if (!binding.has_value()) return false;
         SegmentedQuery segmented = BuildSegmentedQuery(*binding);
         ViewJoin join(&*binding, &segmented, catalog_->pool());
-        join.Evaluate(out, mode, spill_.get());
+        join.Evaluate(out, mode, ctx.spill);
         result.stats = join.stats();
         break;
       }
@@ -157,7 +174,7 @@ RunResult Engine::Execute(
   auto finish = [&](const TeeSink& tee) -> RunResult& {
     result.total_ms = timer.ElapsedMillis();
     result.io = catalog_->Stats().Delta(before);
-    storage::IoStats spill_io = spill_->stats().Delta(spill_before);
+    storage::IoStats spill_io = ctx.spill->stats().Delta(spill_before);
     result.io.pages_read += spill_io.pages_read;
     result.io.pages_written += spill_io.pages_written;
     result.io.read_micros += spill_io.read_micros;
@@ -172,22 +189,39 @@ RunResult Engine::Execute(
     return result;
   };
 
+  // This query's view-store fault latch: the thread-local scope in batch
+  // mode, the pool-global latch when running exclusively.
+  auto view_error = [&]() -> util::Status {
+    return scope.has_value() ? scope->error() : catalog_->pool()->error();
+  };
+  auto view_error_page = [&]() -> storage::PageId {
+    return scope.has_value() ? scope->error_page()
+                             : catalog_->pool()->error_page();
+  };
+  auto clear_view_error = [&]() {
+    if (scope.has_value()) {
+      scope->Clear();
+    } else {
+      catalog_->pool()->ResetError();
+      catalog_->pager()->ClearError();
+    }
+  };
+
   // Attempt loop: a clean run returns directly; a storage fault quarantines
   // the corrupt view, re-materializes it from the in-memory document, and
   // retries. Bounded so a persistently failing medium cannot loop forever.
   constexpr int kMaxViewAttempts = 3;
   algo::OutputMode mode = run.output_mode;
   for (int attempt = 0; attempt < kMaxViewAttempts; ++attempt) {
-    catalog_->pool()->ClearError();
-    catalog_->pager()->ClearError();
-    spill_->ClearError();
+    clear_view_error();
+    ctx.spill->ClearError();
     replay.Reset();
     TeeSink tee(sink != nullptr ? static_cast<tpq::MatchSink*>(&replay)
                                 : nullptr);
     if (!run_once(active, mode, &tee)) return result;
 
-    util::Status view_err = catalog_->pool()->error();
-    const util::Status& spill_err = spill_->last_error();
+    util::Status view_err = view_error();
+    util::Status spill_err = ctx.spill->last_error();
     if (view_err.ok() && spill_err.ok()) return finish(tee);
 
     // The spill spool is scratch space: nothing to re-materialize. Fall back
@@ -198,9 +232,12 @@ RunResult Engine::Execute(
     if (!view_err.ok()) {
       // Quarantine the view owning the failed page — or, if the page cannot
       // be attributed, every active view — and rebuild from the document.
+      // Serialized engine-wide so concurrent batch workers tripping over the
+      // same corrupt view rebuild it once and share the replacement.
+      std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
       std::vector<const MaterializedView*> suspects;
       const MaterializedView* culprit =
-          catalog_->ViewOfPage(catalog_->pool()->error_page());
+          catalog_->ViewOfPage(view_error_page());
       if (culprit != nullptr) {
         suspects.push_back(culprit);
       } else {
@@ -208,6 +245,12 @@ RunResult Engine::Execute(
       }
       bool rebuilt = true;
       for (const MaterializedView* v : suspects) {
+        // A sibling may have quarantined and replaced this view while we were
+        // waiting on the lock — reuse its replacement instead of rebuilding.
+        if (const MaterializedView* existing = catalog_->ReplacementFor(v)) {
+          std::replace(active.begin(), active.end(), v, existing);
+          continue;
+        }
         if (!catalog_->IsQuarantined(v)) {
           catalog_->Quarantine(v);
           result.quarantined_views.push_back(v->pattern().ToString());
@@ -221,6 +264,9 @@ RunResult Engine::Execute(
         catalog_->SetReplacement(v, *repl);
         std::replace(active.begin(), active.end(), v, *repl);
       }
+      // The fault is handled (or about to be escalated): drop the latch so a
+      // stale poison record cannot outlive the view it referred to.
+      clear_view_error();
       if (!rebuilt) break;  // medium too sick to rebuild on — fall back
     }
   }
@@ -228,8 +274,8 @@ RunResult Engine::Execute(
   // Last resort: answer from the base document alone. TwigStack over the
   // document's own tag lists touches no stored page, so it cannot be harmed
   // by view-store or spill faults; the match set is identical by definition.
-  catalog_->pool()->ClearError();
-  spill_->ClearError();
+  clear_view_error();
+  ctx.spill->ClearError();
   replay.Reset();
   result.error.clear();
   std::optional<algo::QueryBinding> base =
@@ -242,6 +288,50 @@ RunResult Engine::Execute(
   result.stats = twig.stats();
   result.degraded = true;
   return finish(tee);
+}
+
+std::vector<RunResult> Engine::ExecuteBatch(
+    const std::vector<BatchQuery>& queries, const BatchOptions& options) {
+  std::vector<RunResult> results(queries.size());
+  if (queries.empty()) return results;
+
+  // Cold cache applies to the batch as a whole: the pool is shared, so a
+  // per-query drop would evict pages siblings are still cursoring over.
+  if (options.run.cold_cache) {
+    catalog_->DropCaches();
+    catalog_->ResetStats();
+  }
+  RunOptions per_query = options.run;
+  per_query.cold_cache = false;
+
+  size_t workers = std::min(std::max<size_t>(options.threads, 1),
+                            queries.size());
+  std::atomic<size_t> next{0};
+
+  auto serve = [&](size_t worker_id) {
+    // Each worker spools disk-mode intermediates into a private scratch file;
+    // kTruncate removes it on close.
+    storage::Pager spill(storage_path_ + ".spill." + std::to_string(worker_id),
+                         storage::Pager::Mode::kTruncate);
+    ExecContext ctx{&spill, /*exclusive=*/false};
+    for (size_t i = next.fetch_add(1); i < queries.size();
+         i = next.fetch_add(1)) {
+      const BatchQuery& q = queries[i];
+      VJ_CHECK(q.query != nullptr) << "batch query " << i << " has no pattern";
+      results[i] = ExecuteInternal(*q.query, q.views, per_query,
+                                   /*sink=*/nullptr, ctx);
+    }
+  };
+
+  if (workers == 1) {
+    serve(0);
+    return results;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) pool.emplace_back(serve, w);
+  for (std::thread& t : pool) t.join();
+  return results;
 }
 
 namespace {

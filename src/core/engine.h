@@ -2,6 +2,7 @@
 #define VIEWJOIN_CORE_ENGINE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,21 @@ struct RunOptions {
   /// Drop cached pages and reset I/O counters before running, so the
   /// reported I/O reflects a cold start (as the paper measures).
   bool cold_cache = true;
+};
+
+/// One query of an ExecuteBatch call: the pattern plus its covering views.
+/// The pointed-to pattern must outlive the batch call.
+struct BatchQuery {
+  const tpq::TreePattern* query = nullptr;
+  std::vector<const storage::MaterializedView*> views;
+};
+
+struct BatchOptions {
+  /// Worker threads serving the batch (clamped to [1, queries.size()]).
+  size_t threads = 4;
+  /// Per-query options. `cold_cache` applies once to the whole batch (the
+  /// pool is shared; dropping it per query would evict siblings' pages).
+  RunOptions run;
 };
 
 struct RunResult {
@@ -93,6 +109,23 @@ class Engine {
                  const std::vector<const storage::MaterializedView*>& views,
                  const RunOptions& run = {}, tpq::MatchSink* sink = nullptr);
 
+  /// Serves `queries` concurrently on a fixed pool of `options.threads`
+  /// workers sharing this engine's view store and buffer pool. Results are
+  /// positional: results[i] answers queries[i], with the same fault-recovery
+  /// ladder as Execute. Per-query isolation guarantees:
+  ///   - a storage fault in one query degrades *that* RunResult only (error
+  ///     latching is per-query via BufferPool::ErrorScope);
+  ///   - quarantine + re-materialization is serialized engine-wide, and a
+  ///     worker reuses a replacement a sibling already rebuilt;
+  ///   - each worker spools disk-mode intermediates into its own spill file
+  ///     ("<storage_path>.spill.<worker>").
+  /// io counters in batch results come from the shared pool/pager and so
+  /// attribute sibling I/O to whichever query observed it; use the aggregate
+  /// across the batch, not per-query splits. Not reentrant: one batch (or
+  /// Execute) at a time per engine.
+  std::vector<RunResult> ExecuteBatch(const std::vector<BatchQuery>& queries,
+                                      const BatchOptions& options = {});
+
   /// Runs the query and stores its answer back as a new materialized view:
   /// the distinct solution nodes per query node become the view's lists
   /// (with pointers under LE/LE_p). This is the paper's "result as a
@@ -116,9 +149,27 @@ class Engine {
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
  private:
+  /// Per-call execution environment: which spill pager to spool into and
+  /// whether this call owns the engine exclusively. Exclusive calls (plain
+  /// Execute) may drop caches and use the pool-global error latch; batch
+  /// workers run non-exclusive with a thread-local ErrorScope instead.
+  struct ExecContext {
+    storage::Pager* spill = nullptr;
+    bool exclusive = true;
+  };
+
+  RunResult ExecuteInternal(
+      const tpq::TreePattern& query,
+      const std::vector<const storage::MaterializedView*>& views,
+      const RunOptions& run, tpq::MatchSink* sink, const ExecContext& ctx);
+
   const xml::Document* doc_;
+  std::string storage_path_;
   std::unique_ptr<storage::ViewCatalog> catalog_;
   std::unique_ptr<storage::Pager> spill_;
+  /// Serializes quarantine + re-materialization across batch workers so two
+  /// workers hitting the same corrupt view rebuild it once.
+  std::mutex recovery_mu_;
 };
 
 }  // namespace viewjoin::core

@@ -4,52 +4,253 @@
 
 namespace viewjoin::storage {
 
-BufferPool::BufferPool(Pager* pager, size_t capacity)
-    : pager_(pager), capacity_(capacity == 0 ? 1 : capacity) {}
+namespace {
 
-util::Status BufferPool::Fetch(PageId page, const uint8_t** out) {
-  auto it = index_.find(page);
-  if (it != index_.end()) {
-    ++hits_;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    *out = lru_.front().data.data();
-    return util::Status::Ok();
+/// Innermost ErrorScope installed on this thread (scopes form a per-thread
+/// chain through prev_; LatchError walks it looking for a matching pool).
+thread_local BufferPool::ErrorScope* g_error_scope = nullptr;
+
+size_t FloorPow2(size_t n) {
+  size_t p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+// ---- PinnedPage ------------------------------------------------------------
+
+BufferPool::PinnedPage::PinnedPage(BufferPool* pool, Shard* shard, Frame* frame)
+    : pool_(pool),
+      shard_(shard),
+      frame_(frame),
+      page_(frame->page),
+      data_(frame->data.data()) {}
+
+BufferPool::PinnedPage::PinnedPage(PageId page, const uint8_t* poison)
+    : page_(page), data_(poison) {}
+
+BufferPool::PinnedPage::PinnedPage(const PinnedPage& other)
+    : pool_(other.pool_),
+      shard_(other.shard_),
+      frame_(other.frame_),
+      page_(other.page_),
+      data_(other.data_) {
+  if (frame_ != nullptr) {
+    std::lock_guard<std::mutex> lock(shard_->mu);
+    ++frame_->pins;
   }
-  ++misses_;
-  Frame frame;
-  frame.page = page;
-  frame.data.resize(Pager::kPageSize);
-  util::Status status = pager_->ReadPage(page, frame.data.data());
+}
+
+BufferPool::PinnedPage& BufferPool::PinnedPage::operator=(
+    const PinnedPage& other) {
+  if (this == &other) return *this;
+  PinnedPage copy(other);  // pin first so self-interference is impossible
+  *this = std::move(copy);
+  return *this;
+}
+
+BufferPool::PinnedPage::PinnedPage(PinnedPage&& other) noexcept
+    : pool_(other.pool_),
+      shard_(other.shard_),
+      frame_(other.frame_),
+      page_(other.page_),
+      data_(other.data_) {
+  other.pool_ = nullptr;
+  other.shard_ = nullptr;
+  other.frame_ = nullptr;
+  other.page_ = kInvalidPage;
+  other.data_ = nullptr;
+}
+
+BufferPool::PinnedPage& BufferPool::PinnedPage::operator=(
+    PinnedPage&& other) noexcept {
+  if (this == &other) return *this;
+  Release();
+  pool_ = other.pool_;
+  shard_ = other.shard_;
+  frame_ = other.frame_;
+  page_ = other.page_;
+  data_ = other.data_;
+  other.pool_ = nullptr;
+  other.shard_ = nullptr;
+  other.frame_ = nullptr;
+  other.page_ = kInvalidPage;
+  other.data_ = nullptr;
+  return *this;
+}
+
+void BufferPool::PinnedPage::Release() {
+  if (frame_ != nullptr) pool_->Unpin(shard_, frame_);
+  pool_ = nullptr;
+  shard_ = nullptr;
+  frame_ = nullptr;
+  page_ = kInvalidPage;
+  data_ = nullptr;
+}
+
+// ---- ErrorScope ------------------------------------------------------------
+
+BufferPool::ErrorScope::ErrorScope(BufferPool* pool)
+    : pool_(pool), prev_(g_error_scope) {
+  g_error_scope = this;
+}
+
+BufferPool::ErrorScope::~ErrorScope() {
+  VJ_DCHECK(g_error_scope == this) << "ErrorScopes must unwind in LIFO order";
+  g_error_scope = prev_;
+}
+
+// ---- BufferPool ------------------------------------------------------------
+
+BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
+    : pager_(pager), capacity_(capacity) {
+  size_t want = shards == 0 ? 1 : shards;
+  if (capacity_ > 0 && want > capacity_) want = capacity_;
+  size_t count = FloorPow2(want);
+  shard_mask_ = static_cast<uint32_t>(count - 1);
+  per_shard_capacity_ = capacity_ == 0 ? 1 : (capacity_ + count - 1) / count;
+  shards_ = std::vector<Shard>(count);
+  poison_.assign(Pager::kPageSize, 0xFF);
+}
+
+BufferPool::~BufferPool() {
+  // Every cursor must have released its pins before the pool dies.
+  for (Shard& shard : shards_) {
+    for (const Frame& frame : shard.lru) {
+      VJ_DCHECK(frame.pins == 0) << "page " << frame.page
+                                 << " still pinned at pool destruction";
+    }
+  }
+}
+
+BufferPool::Shard& BufferPool::ShardFor(PageId page) {
+  // Multiplicative hash so consecutive pages (one list) spread over shards.
+  uint32_t h = page * 2654435761u;
+  return shards_[(h >> 16) & shard_mask_];
+}
+
+void BufferPool::EvictForSpace(Shard* shard) {
+  while (shard->lru.size() >= per_shard_capacity_) {
+    // Take the least-recently-used unpinned frame; a fully pinned shard
+    // overflows rather than invalidating a page someone still holds.
+    auto victim = shard->lru.end();
+    for (auto it = std::prev(shard->lru.end());; --it) {
+      if (it->pins == 0) {
+        victim = it;
+        break;
+      }
+      if (it == shard->lru.begin()) break;
+    }
+    if (victim == shard->lru.end()) break;
+    shard->index.erase(victim->page);
+    shard->lru.erase(victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void BufferPool::Unpin(Shard* shard, Frame* frame) {
+  std::lock_guard<std::mutex> lock(shard->mu);
+  VJ_DCHECK(frame->pins > 0);
+  --frame->pins;
+}
+
+util::Status BufferPool::Fetch(PageId page, PinnedPage* out) {
+  if (capacity_ == 0) {
+    return util::Status::InvalidArgument(
+        "buffer pool has capacity 0; a pool needs at least one frame");
+  }
+  Shard& shard = ShardFor(page);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(page);
+    if (it != shard.index.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      Frame& frame = *it->second;
+      ++frame.pins;
+      *out = PinnedPage(this, &shard, &frame);
+      return util::Status::Ok();
+    }
+  }
+  // Miss: read outside the shard lock so hits on other pages of this shard
+  // are not blocked behind the physical read.
+  std::vector<uint8_t> data(Pager::kPageSize);
+  util::Status status = pager_->ReadPage(page, data.data());
+  misses_.fetch_add(1, std::memory_order_relaxed);
   if (!status.ok()) return status;
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().page);
-    lru_.pop_back();
-    ++eviction_version_;
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(page);
+  if (it == shard.index.end()) {
+    EvictForSpace(&shard);
+    shard.lru.push_front(Frame{page, 0, std::move(data)});
+    it = shard.index.emplace(page, shard.lru.begin()).first;
   }
-  lru_.push_front(std::move(frame));
-  index_[page] = lru_.begin();
-  *out = lru_.front().data.data();
+  // (If another thread cached the page while we read, ours is dropped and
+  // the already-cached copy is pinned — pages are immutable, both are equal.)
+  Frame& frame = *it->second;
+  ++frame.pins;
+  *out = PinnedPage(this, &shard, &frame);
   return util::Status::Ok();
 }
 
-const uint8_t* BufferPool::GetPage(PageId page) {
-  const uint8_t* data = nullptr;
-  util::Status status = Fetch(page, &data);
-  if (status.ok()) return data;
+BufferPool::PinnedPage BufferPool::GetPage(PageId page) {
+  PinnedPage pin;
+  util::Status status = Fetch(page, &pin);
+  if (status.ok()) return pin;
+  LatchError(status, page);
+  // 0xFF poison: labels read as the exhausted-stream sentinel and pointers as
+  // kNullEntry, so cursors terminate instead of chasing garbage.
+  return PinnedPage(page, poison_.data());
+}
+
+void BufferPool::LatchError(const util::Status& status, PageId page) {
+  for (ErrorScope* scope = g_error_scope; scope != nullptr;
+       scope = scope->prev_) {
+    if (scope->pool_ != this) continue;
+    if (scope->error_.ok()) {
+      scope->error_ = status;
+      scope->error_page_ = page;
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> lock(error_mu_);
   if (error_.ok()) {
     error_ = status;
     error_page_ = page;
   }
-  // 0xFF poison: labels read as the exhausted-stream sentinel and pointers as
-  // kNullEntry, so cursors terminate instead of chasing garbage.
-  if (poison_.empty()) poison_.assign(Pager::kPageSize, 0xFF);
-  return poison_.data();
+}
+
+util::Status BufferPool::error() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_;
+}
+
+PageId BufferPool::error_page() const {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  return error_page_;
+}
+
+void BufferPool::ResetError() {
+  std::lock_guard<std::mutex> lock(error_mu_);
+  error_ = util::Status::Ok();
+  error_page_ = kInvalidPage;
 }
 
 void BufferPool::Clear() {
-  lru_.clear();
-  index_.clear();
-  ++eviction_version_;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->pins == 0) {
+        shard.index.erase(it->page);
+        it = shard.lru.erase(it);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        ++it;
+      }
+    }
+  }
+  ResetError();
 }
 
 }  // namespace viewjoin::storage

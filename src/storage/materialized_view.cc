@@ -34,8 +34,10 @@ ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
                                                : Pager::Mode::kTruncate)),
       pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
       persistent_(persistent) {
-  // A fresh catalog that cannot create its backing file is a configuration
-  // error, not a media fault (Open() is the recoverable reopen path).
+  // A zero-frame pool would make every Fetch fail with InvalidArgument; a
+  // fresh catalog asking for one is a configuration error, like a catalog
+  // that cannot create its backing file (Open() is the recoverable path).
+  VJ_CHECK(pool_pages > 0) << "view catalog needs a pool of >= 1 page";
   VJ_CHECK(pager_->init_status().ok()) << pager_->init_status().ToString();
 }
 
@@ -74,6 +76,10 @@ util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
     return util::Status::Corruption("malformed manifest for " + path + ": " +
                                     message);
   };
+  if (pool_pages == 0) {
+    return util::Status::InvalidArgument(
+        "cannot open catalog " + path + " with a zero-page buffer pool");
+  }
   std::FILE* in = std::fopen((path + ".manifest").c_str(), "r");
   if (in == nullptr) {
     return util::Status::NotFound("missing manifest for " + path);
@@ -289,7 +295,10 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
       view->list_lengths_.push_back(static_cast<uint32_t>(list.size()));
     }
     const MaterializedView* result = view.get();
-    views_.push_back(std::move(view));
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      views_.push_back(std::move(view));
+    }
     return result;
   }
 
@@ -395,20 +404,31 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
   view->size_bytes_ += 4ull * view->pointer_count_;
 
   const MaterializedView* result = view.get();
-  views_.push_back(std::move(view));
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    views_.push_back(std::move(view));
+  }
   return result;
 }
 
 void ViewCatalog::Quarantine(const MaterializedView* view) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   quarantined_.insert(view);
 }
 
 bool ViewCatalog::IsQuarantined(const MaterializedView* view) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   return quarantined_.count(view) != 0;
+}
+
+size_t ViewCatalog::quarantined_count() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return quarantined_.size();
 }
 
 const MaterializedView* ViewCatalog::ReplacementFor(
     const MaterializedView* view) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   const MaterializedView* current = nullptr;
   auto it = replacement_.find(view);
   // Follow the chain: a replacement may itself have been quarantined and
@@ -423,10 +443,12 @@ const MaterializedView* ViewCatalog::ReplacementFor(
 void ViewCatalog::SetReplacement(const MaterializedView* from,
                                  const MaterializedView* to) {
   VJ_CHECK(from != to);
+  std::lock_guard<std::mutex> lock(registry_mu_);
   replacement_[from] = to;
 }
 
 const MaterializedView* ViewCatalog::ViewOfPage(PageId page) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
   auto contains = [page](const StoredList& list) {
     return list.count != 0 && list.first_page != kInvalidPage &&
            page >= list.first_page && page - list.first_page < list.PageSpan();

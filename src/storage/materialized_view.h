@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -87,11 +88,18 @@ class MaterializedView {
 ///   ViewCatalog catalog("/tmp/views.db", /*pool_pages=*/256);
 ///   const MaterializedView* v = catalog.Materialize(doc, pattern, scheme);
 ///   ListCursor cursor(&v->list(0), catalog.pool());
+///
+/// Thread-safety: the view registry (views/quarantine/replacement maps) is
+/// mutex-guarded and the pager/pool are internally synchronized, so batch
+/// workers can read views, look up replacements and even quarantine +
+/// re-materialize concurrently. views() returns the registry by reference
+/// and is for single-threaded setup/inspection only.
 class ViewCatalog {
  public:
-  /// `path` is the backing pager file; `pool_pages` the buffer pool capacity.
-  /// With `persistent` the pager file survives the catalog (pair with
-  /// SaveManifest/Open to reuse materialized views across processes).
+  /// `path` is the backing pager file; `pool_pages` the buffer pool capacity
+  /// (must be >= 1 — the pool rejects capacity 0). With `persistent` the
+  /// pager file survives the catalog (pair with SaveManifest/Open to reuse
+  /// materialized views across processes).
   ViewCatalog(const std::string& path, size_t pool_pages,
               bool persistent = false);
   ~ViewCatalog();
@@ -148,7 +156,7 @@ class ViewCatalog {
 
   void Quarantine(const MaterializedView* view);
   bool IsQuarantined(const MaterializedView* view) const;
-  size_t quarantined_count() const { return quarantined_.size(); }
+  size_t quarantined_count() const;
 
   /// Latest healthy replacement for `view` (follows replacement chains), or
   /// nullptr when none has been materialized yet.
@@ -186,6 +194,9 @@ class ViewCatalog {
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  /// Guards views_, quarantined_ and replacement_. MaterializedView objects
+  /// themselves are immutable once registered and may be read lock-free.
+  mutable std::mutex registry_mu_;
   std::vector<std::unique_ptr<MaterializedView>> views_;
   std::unordered_set<const MaterializedView*> quarantined_;
   std::unordered_map<const MaterializedView*, const MaterializedView*>

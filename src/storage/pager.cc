@@ -1,8 +1,10 @@
 #include "storage/pager.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "util/check.h"
@@ -34,6 +36,37 @@ int64_t SimulatedReadMicros() {
     return static_cast<int64_t>(parsed);
   }();
   return value;
+}
+
+/// With VIEWJOIN_PAGE_READ_SLEEP set (non-empty, not "0"), the simulated
+/// latency sleeps instead of spinning. A sleeping reader releases the CPU,
+/// so concurrent queries overlap their simulated I/O exactly as parallel
+/// requests overlap on a real disk — the mode bench_concurrency uses. The
+/// default spin keeps single-threaded timings deterministic on loaded hosts.
+bool SimulatedReadSleeps() {
+  static const bool value = [] {
+    const char* env = std::getenv("VIEWJOIN_PAGE_READ_SLEEP");
+    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+  }();
+  return value;
+}
+
+/// Burns or sleeps whatever remains of the configured per-page latency,
+/// given a timer started when the read began. Called WITHOUT the pager
+/// mutex held, so concurrent readers pay the latency in parallel.
+void ApplySimulatedReadLatency(const util::Timer& timer) {
+  int64_t simulated = SimulatedReadMicros();
+  if (simulated <= 0) return;
+  if (SimulatedReadSleeps()) {
+    int64_t remaining = simulated - timer.ElapsedMicros();
+    if (remaining > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(remaining));
+    }
+    return;
+  }
+  while (timer.ElapsedMicros() < simulated) {
+    // Busy-wait: simulated seek+transfer time for one page.
+  }
 }
 
 constexpr char kFileMagic[8] = {'V', 'J', 'P', 'A', 'G', 'E', 'R', 'F'};
@@ -192,6 +225,7 @@ util::Status Pager::Latch(util::Status status) {
 
 util::StatusOr<PageId> Pager::AllocatePage() {
   if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
   if (mode_ == Mode::kReadOnly) {
     return Latch(util::Status::InvalidArgument(
         "cannot allocate pages in read-only pager " + path_));
@@ -202,6 +236,7 @@ util::StatusOr<PageId> Pager::AllocatePage() {
 
 util::Status Pager::WritePage(PageId id, const void* data) {
   if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
   if (mode_ == Mode::kReadOnly) {
     return Latch(util::Status::InvalidArgument(
         "cannot write pages in read-only pager " + path_));
@@ -282,36 +317,37 @@ util::Status Pager::ReadPhysicalOnce(PageId id, uint8_t* phys) {
 
 util::Status Pager::ReadPage(PageId id, void* out) {
   if (!init_status_.ok()) return init_status_;
-  if (id >= page_count_) {
-    return Latch(util::Status::InvalidArgument(
-        "read of unallocated page " + std::to_string(id) + " in " + path_));
-  }
   util::Timer timer;
-  uint8_t phys[kPhysicalPageSize];
   util::Status status;
-  for (int attempt = 1; attempt <= kReadAttempts; ++attempt) {
-    if (attempt > 1) {
-      ++stats_.read_retries;
-      if (BackoffHook()) BackoffHook()(attempt);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= page_count_) {
+      return Latch(util::Status::InvalidArgument(
+          "read of unallocated page " + std::to_string(id) + " in " + path_));
     }
-    status = ReadPhysicalOnce(id, phys);
-    if (status.ok()) break;
-  }
-  int64_t simulated = SimulatedReadMicros();
-  if (simulated > 0) {
-    while (timer.ElapsedMicros() < simulated) {
-      // Busy-wait: simulated seek+transfer time for one page.
+    uint8_t phys[kPhysicalPageSize];
+    for (int attempt = 1; attempt <= kReadAttempts; ++attempt) {
+      if (attempt > 1) {
+        ++stats_.read_retries;
+        if (BackoffHook()) BackoffHook()(attempt);
+      }
+      status = ReadPhysicalOnce(id, phys);
+      if (status.ok()) break;
     }
+    if (status.ok()) std::memcpy(out, phys, kPageSize);
   }
+  // Simulated latency runs unlocked so concurrent readers overlap it.
+  ApplySimulatedReadLatency(timer);
+  std::lock_guard<std::mutex> lock(mu_);
   stats_.read_micros += timer.ElapsedMicros();
   ++stats_.pages_read;
   if (!status.ok()) return Latch(status);
-  std::memcpy(out, phys, kPageSize);
   return util::Status::Ok();
 }
 
 util::Status Pager::VerifyPage(PageId id, void* out) {
   if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
   if (id >= page_count_) {
     return util::Status::InvalidArgument("page " + std::to_string(id) +
                                          " is beyond the end of " + path_);
@@ -324,6 +360,7 @@ util::Status Pager::VerifyPage(PageId id, void* out) {
 
 util::Status Pager::Flush() {
   if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) {
     return Latch(util::Status::IoError("flush failed for " + path_ + ": " +
                                        std::strerror(errno)));

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <mutex>
 #include <string>
 
 #include "storage/io_stats.h"
@@ -40,7 +41,12 @@ inline constexpr PageId kInvalidPage = 0xFFFFFFFFu;
 /// latched in last_error() so layers that cannot thread a Status through
 /// (e.g. the spill spool inside a join) can still detect it afterwards.
 ///
-/// Single-threaded by design (as is the whole evaluation pipeline).
+/// Thread-safe: one internal mutex serializes file access, counters and the
+/// error latch, so concurrent queries (buffer-pool misses from several
+/// ExecuteBatch workers) can read through one pager. Simulated read latency
+/// (VIEWJOIN_PAGE_READ_MICROS) is applied *outside* that mutex, so with
+/// VIEWJOIN_PAGE_READ_SLEEP=1 concurrent reads overlap their simulated I/O
+/// the way parallel requests overlap on real storage.
 class Pager {
  public:
   /// Payload bytes per page — the unit every list layout computes with.
@@ -98,24 +104,39 @@ class Pager {
   util::Status Flush();
 
   /// First non-OK status any operation produced since the last ClearError().
-  const util::Status& last_error() const { return last_error_; }
-  void ClearError() { last_error_ = util::Status::Ok(); }
+  util::Status last_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_error_;
+  }
+  void ClearError() {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_error_ = util::Status::Ok();
+  }
 
   /// Hook invoked between read retry attempts (attempt number, 2-based).
   /// Deterministic by default (no-op); tests install counters, deployments
   /// can install real backoff.
   static void SetRetryBackoffHook(std::function<void(int)> hook);
 
-  uint32_t page_count() const { return page_count_; }
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats(); }
+  uint32_t page_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return page_count_;
+  }
+  IoStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = IoStats();
+  }
   const std::string& path() const { return path_; }
 
  private:
   util::Status WriteHeader();
   util::Status ValidateExistingFile();
   util::Status ReadPhysicalOnce(PageId id, uint8_t* phys);
-  util::Status Latch(util::Status status);  // records first error, passes through
+  util::Status Latch(util::Status status);  // first error; caller holds mu_
 
   std::string path_;
   Mode mode_ = Mode::kTruncate;
@@ -124,6 +145,9 @@ class Pager {
   util::Status init_status_;
   util::Status last_error_;
   IoStats stats_;
+  /// Serializes file access, counters and the error latch. init_status_,
+  /// path_ and mode_ are immutable after construction and need no lock.
+  mutable std::mutex mu_;
 };
 
 }  // namespace viewjoin::storage

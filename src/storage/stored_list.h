@@ -61,8 +61,11 @@ struct StoredList {
 
 /// Cursor over a StoredList. Provides sequential Next() and random Seek()
 /// (how pointer jumps land). Field decoders read the current record through
-/// the buffer pool; the page pointer is cached so consecutive reads within a
-/// page cost one pool lookup.
+/// the buffer pool; the cursor holds a *pin* on its current page, so
+/// consecutive reads within a page cost one pool lookup and the page cannot
+/// be evicted (and its pointer never dangles) while the cursor sits on it —
+/// even when other queries thrash the shared pool concurrently. The pin
+/// moves on page crossings and is dropped on Reset()/destruction.
 ///
 /// A second, memory-backed mode wraps a plain label array instead of a pager
 /// list: the base-document fallback streams the document's own tag lists
@@ -87,7 +90,7 @@ class ListCursor {
 
   void Reset() {
     index_ = 0;
-    cached_page_ = kInvalidPage;
+    pin_.Release();
   }
 
   void Next() { ++index_; }
@@ -125,12 +128,12 @@ class ListCursor {
   const uint8_t* Record() const {
     VJ_DCHECK(!AtEnd());
     PageId page = list_->PageOf(index_);
-    if (page != cached_page_ || cached_version_ != pool_->eviction_version()) {
-      cached_data_ = pool_->GetPage(page);
-      cached_page_ = page;
-      cached_version_ = pool_->eviction_version();
+    if (!pin_.valid() || pin_.page() != page) {
+      // Acquire the new page before dropping the old pin (GetPage replaces
+      // pin_ wholesale); a failed fetch pins the pool's poison page instead.
+      pin_ = pool_->GetPage(page);
     }
-    return cached_data_ + list_->OffsetOf(index_);
+    return pin_.data() + list_->OffsetOf(index_);
   }
 
   const StoredList* list_ = nullptr;
@@ -138,9 +141,7 @@ class ListCursor {
   const xml::Label* mem_labels_ = nullptr;
   uint32_t mem_count_ = 0;
   EntryIndex index_ = 0;
-  mutable PageId cached_page_ = kInvalidPage;
-  mutable const uint8_t* cached_data_ = nullptr;
-  mutable uint64_t cached_version_ = 0;
+  mutable BufferPool::PinnedPage pin_;
 };
 
 }  // namespace viewjoin::storage

@@ -8,6 +8,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
   reads_seen_ = 0;
   writes_seen_ = 0;
   injected_read_faults_ = 0;
@@ -20,17 +21,20 @@ void FaultInjector::Reset() {
 }
 
 void FaultInjector::ArmReadFault(uint64_t nth, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
   read_trigger_ = reads_seen_ + (nth == 0 ? 1 : nth);
   read_remaining_ = count;
 }
 
 void FaultInjector::ArmWriteFault(WriteFault kind, uint64_t nth, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
   write_trigger_ = writes_seen_ + (nth == 0 ? 1 : nth);
   write_remaining_ = kind == WriteFault::kNone ? 0 : count;
   write_kind_ = kind;
 }
 
 bool FaultInjector::OnReadAttempt() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++reads_seen_;
   if (read_remaining_ == 0 || reads_seen_ < read_trigger_) return false;
   if (read_remaining_ > 0) --read_remaining_;
@@ -39,6 +43,7 @@ bool FaultInjector::OnReadAttempt() {
 }
 
 WriteFault FaultInjector::OnWriteAttempt() {
+  std::lock_guard<std::mutex> lock(mu_);
   ++writes_seen_;
   if (write_remaining_ == 0 || writes_seen_ < write_trigger_) {
     return WriteFault::kNone;

@@ -2,6 +2,7 @@
 #define VIEWJOIN_UTIL_FAULT_INJECTION_H_
 
 #include <cstdint>
+#include <mutex>
 
 namespace viewjoin::util {
 
@@ -19,9 +20,11 @@ enum class WriteFault {
 /// run the scenario, and assert on the surfaced Status — no real disk faults
 /// or flaky timing involved.
 ///
-/// Single-threaded like the rest of the pipeline. All state lives in the
-/// process-wide instance returned by Global(); prefer ScopedFaultInjection in
-/// tests so a failing test cannot leak armed faults into the next one.
+/// Thread-safe: the pager hooks and arming calls are mutex-guarded, so fault
+/// tests can run against concurrent ExecuteBatch workers ("fail the next N
+/// reads, whichever thread issues them"). All state lives in the process-wide
+/// instance returned by Global(); prefer ScopedFaultInjection in tests so a
+/// failing test cannot leak armed faults into the next one.
 class FaultInjector {
  public:
   static FaultInjector& Global();
@@ -38,7 +41,10 @@ class FaultInjector {
   /// page write (1-based). count < 0 applies it to every write from there on.
   void ArmWriteFault(WriteFault kind, uint64_t nth, int count = 1);
 
-  bool armed() const { return read_remaining_ != 0 || write_remaining_ != 0; }
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return read_remaining_ != 0 || write_remaining_ != 0;
+  }
 
   // ---- Pager hooks ---------------------------------------------------------
 
@@ -51,14 +57,27 @@ class FaultInjector {
 
   // ---- Observability -------------------------------------------------------
 
-  uint64_t reads_seen() const { return reads_seen_; }
-  uint64_t writes_seen() const { return writes_seen_; }
-  uint64_t injected_read_faults() const { return injected_read_faults_; }
-  uint64_t injected_write_faults() const { return injected_write_faults_; }
+  uint64_t reads_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reads_seen_;
+  }
+  uint64_t writes_seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writes_seen_;
+  }
+  uint64_t injected_read_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_read_faults_;
+  }
+  uint64_t injected_write_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_write_faults_;
+  }
 
  private:
   FaultInjector() = default;
 
+  mutable std::mutex mu_;
   uint64_t reads_seen_ = 0;
   uint64_t writes_seen_ = 0;
   uint64_t injected_read_faults_ = 0;

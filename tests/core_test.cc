@@ -268,6 +268,84 @@ TEST_F(EngineTest, ExecuteReportsBindErrors) {
   EXPECT_FALSE(r.error.empty());
 }
 
+TEST_F(EngineTest, ExecuteBatchMatchesSequentialExecute) {
+  TreePattern q1 = MustParse("//a//b//c");
+  TreePattern q2 = MustParse("//a//b");
+  TreePattern q3 = MustParse("//b//c");
+  auto* ab = engine_.AddView("//a//b", Scheme::kLinkedElement);
+  auto* b = engine_.AddView("//b", Scheme::kLinkedElement);
+  auto* c = engine_.AddView("//c", Scheme::kLinkedElement);
+  std::vector<const TreePattern*> queries = {&q1, &q2, &q3};
+  std::vector<std::vector<const MaterializedView*>> views = {
+      {ab, c}, {ab}, {b, c}};
+
+  std::vector<core::RunResult> sequential;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    sequential.push_back(engine_.Execute(*queries[i], views[i]));
+    ASSERT_TRUE(sequential.back().ok) << sequential.back().error;
+  }
+
+  std::vector<core::BatchQuery> batch;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (size_t i = 0; i < queries.size(); ++i) {
+      batch.push_back({queries[i], views[i]});
+    }
+  }
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    core::BatchOptions options;
+    options.threads = threads;
+    std::vector<core::RunResult> results = engine_.ExecuteBatch(batch, options);
+    ASSERT_EQ(results.size(), batch.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      const core::RunResult& ref = sequential[i % queries.size()];
+      ASSERT_TRUE(results[i].ok) << results[i].error;
+      EXPECT_EQ(results[i].match_count, ref.match_count)
+          << threads << " threads, query " << i;
+      EXPECT_EQ(results[i].result_hash, ref.result_hash)
+          << threads << " threads, query " << i;
+      EXPECT_FALSE(results[i].degraded);
+    }
+  }
+}
+
+TEST_F(EngineTest, ExecuteBatchIsolatesBindErrors) {
+  TreePattern query = MustParse("//a//b//c");
+  auto* ab = engine_.AddView("//a//b", Scheme::kLinkedElement);
+  auto* c = engine_.AddView("//c", Scheme::kLinkedElement);
+  core::RunResult ref = engine_.Execute(query, {ab, c});
+  ASSERT_TRUE(ref.ok) << ref.error;
+  std::vector<core::BatchQuery> batch = {
+      {&query, {ab, c}},
+      {&query, {ab}},  // uncovered query node: bind error
+      {&query, {ab, c}},
+  };
+  core::BatchOptions options;
+  options.threads = 3;
+  std::vector<core::RunResult> results = engine_.ExecuteBatch(batch, options);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_FALSE(results[1].error.empty());
+  EXPECT_TRUE(results[2].ok) << results[2].error;
+  EXPECT_EQ(results[0].result_hash, ref.result_hash);
+  EXPECT_EQ(results[2].result_hash, ref.result_hash);
+}
+
+TEST_F(EngineTest, ExecuteBatchHandlesEmptyAndOversubscribedBatches) {
+  EXPECT_TRUE(engine_.ExecuteBatch({}).empty());
+  TreePattern query = MustParse("//a//b");
+  auto* ab = engine_.AddView("//a//b", Scheme::kLinkedElement);
+  core::RunResult ref = engine_.Execute(query, {ab});
+  ASSERT_TRUE(ref.ok) << ref.error;
+  core::BatchOptions options;
+  options.threads = 8;  // clamped to the batch size
+  std::vector<core::RunResult> results =
+      engine_.ExecuteBatch({{&query, {ab}}}, options);
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok) << results[0].error;
+  EXPECT_EQ(results[0].result_hash, ref.result_hash);
+}
+
 TEST_F(EngineTest, SelectAndExecuteCoversQuery) {
   TreePattern query = MustParse("//a//b//c");
   std::vector<TreePattern> candidates = {

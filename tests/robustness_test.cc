@@ -14,6 +14,7 @@
 
 #include "algo/monotone_resolver.h"
 #include "core/engine.h"
+#include "storage/buffer_pool.h"
 #include "storage/fsck.h"
 #include "storage/materialized_view.h"
 #include "storage/pager.h"
@@ -431,6 +432,110 @@ TEST(FsckTest, RejectsGarbageFileViaHeader) {
   EXPECT_EQ(report.file_status.code(), util::StatusCode::kCorruption);
   EXPECT_FALSE(report.ok());
   std::remove(path.c_str());
+}
+
+// ---- Error-latch lifecycle ----------------------------------------------
+
+TEST(PoolLatchTest, ClearResetsThePoisonLatch) {
+  std::string path = TempPath("latch_clear.db");
+  storage::Pager pager(path, storage::Pager::Mode::kTruncate);
+  ASSERT_TRUE(pager.init_status().ok());
+  std::vector<uint8_t> page(storage::Pager::kPageSize, 1);
+  storage::PageId id = *pager.AllocatePage();
+  ASSERT_TRUE(pager.WritePage(id, page.data()).ok());
+  storage::BufferPool pool(&pager, 4);
+  // Out-of-range read: GetPage hands back poison and latches the error.
+  storage::BufferPool::PinnedPage poison = pool.GetPage(999);
+  ASSERT_TRUE(poison.valid());
+  EXPECT_EQ(poison.data()[0], 0xFF);
+  EXPECT_FALSE(pool.error().ok());
+  EXPECT_EQ(pool.error_page(), 999u);
+  // Regression: Clear() (the cold-cache path) must reset the latch along
+  // with the frames; it used to drop only the frames, so a later run saw a
+  // stale fault it never experienced.
+  pool.Clear();
+  EXPECT_TRUE(pool.error().ok());
+  EXPECT_EQ(pool.error_page(), storage::kInvalidPage);
+  // ResetError() — the quarantine path's explicit reset — works on its own.
+  pool.GetPage(999);
+  EXPECT_FALSE(pool.error().ok());
+  pool.ResetError();
+  EXPECT_TRUE(pool.error().ok());
+  EXPECT_EQ(pool.error_page(), storage::kInvalidPage);
+  // A valid page still reads correctly after both resets.
+  storage::BufferPool::PinnedPage pin = pool.GetPage(id);
+  EXPECT_EQ(pin.data()[0], 1);
+  EXPECT_TRUE(pool.error().ok());
+  std::remove(path.c_str());
+}
+
+TEST(PoolLatchTest, RecoveredEngineStaysCleanOnColdRuns) {
+  util::Rng rng(13);
+  xml::Document doc = testing::RandomDoc(&rng, 400, {"a", "b", "c"});
+  TreePattern query = MustParse("//a//b//c");
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc, TempPath("latch_engine.db"));
+  const MaterializedView* ab = engine.AddView("//a//b",
+                                              Scheme::kLinkedElement);
+  fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/1);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  RunResult faulted = engine.Execute(query, {ab, c});
+  ASSERT_TRUE(faulted.ok) << faulted.error;
+  EXPECT_TRUE(faulted.degraded);
+  // Every later cold-cache run (DropCaches → BufferPool::Clear) must start
+  // from a clean latch: same answer, no phantom degradation.
+  for (int i = 0; i < 3; ++i) {
+    RunResult r = engine.Execute(query, {ab, c});
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.degraded);
+    EXPECT_TRUE(r.quarantined_views.empty());
+    EXPECT_EQ(r.result_hash, faulted.result_hash);
+  }
+}
+
+// ---- Batch fault isolation ----------------------------------------------
+
+TEST(BatchFaultIsolationTest, CorruptViewDegradesOnlyItsOwnQuery) {
+  util::Rng rng(21);
+  xml::Document doc = testing::RandomDoc(&rng, 600, {"a", "b", "c", "d"});
+  TreePattern q_bad = MustParse("//a//b");
+  TreePattern q_good = MustParse("//c//d");
+  uint64_t bad_expected = tpq::NaiveEvaluator(doc, q_bad).Count();
+  uint64_t good_expected = tpq::NaiveEvaluator(doc, q_good).Count();
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc, TempPath("batch_fault.db"));
+  const MaterializedView* a = engine.AddView("//a", Scheme::kLinkedElement);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  const MaterializedView* d = engine.AddView("//d", Scheme::kLinkedElement);
+  fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/1);
+  const MaterializedView* b = engine.AddView("//b", Scheme::kLinkedElement);
+  std::vector<core::BatchQuery> batch;
+  for (int rep = 0; rep < 4; ++rep) {
+    batch.push_back({&q_bad, {a, b}});    // touches the corrupt view
+    batch.push_back({&q_good, {c, d}});   // never touches it
+  }
+  core::BatchOptions options;
+  options.threads = 4;
+  std::vector<RunResult> results = engine.ExecuteBatch(batch, options);
+  ASSERT_EQ(results.size(), batch.size());
+  bool any_bad_degraded = false;
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << "query " << i << ": " << results[i].error;
+    if (i % 2 == 0) {
+      EXPECT_EQ(results[i].match_count, bad_expected);
+      any_bad_degraded |= results[i].degraded;
+    } else {
+      // Sibling queries must not be contaminated by the corrupt view's
+      // poison latch or quarantine (per-query ErrorScope isolation).
+      EXPECT_FALSE(results[i].degraded) << "sibling " << i << " contaminated";
+      EXPECT_TRUE(results[i].quarantined_views.empty());
+      EXPECT_EQ(results[i].match_count, good_expected);
+    }
+  }
+  // At least the first query to touch the corrupt view saw the fault (later
+  // replicas may already be served by the rebuilt replacement).
+  EXPECT_TRUE(any_bad_degraded);
+  EXPECT_GE(engine.catalog()->quarantined_count(), 1u);
 }
 
 TEST(SingleNodeQueryTest, DegenerateQueriesWork) {

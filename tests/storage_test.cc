@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstring>
 #include <set>
+#include <thread>
 
 #include "storage/buffer_pool.h"
 #include "storage/materialized_view.h"
@@ -49,18 +51,25 @@ TEST(PagerTest, WriteReadRoundTrip) {
   EXPECT_EQ(pager.stats().pages_written, 2u);
 }
 
+/// Writes `pages` pages whose first byte is the page id (mod 256).
+void FillPages(Pager* pager, int pages) {
+  std::vector<uint8_t> page(Pager::kPageSize, 0);
+  for (int i = 0; i < pages; ++i) {
+    storage::PageId id = *pager->AllocatePage();
+    page[0] = static_cast<uint8_t>(i);
+    pager->WritePage(id, page.data());
+  }
+}
+
 TEST(BufferPoolTest, CachesAndEvictsLru) {
   Pager pager(TempPath("pool_lru.db"));
-  std::vector<uint8_t> page(Pager::kPageSize, 0);
-  for (int i = 0; i < 4; ++i) {
-    storage::PageId id = *pager.AllocatePage();
-    page[0] = static_cast<uint8_t>(i);
-    pager.WritePage(id, page.data());
-  }
-  BufferPool pool(&pager, 2);
-  EXPECT_EQ(pool.GetPage(0)[0], 0);
-  EXPECT_EQ(pool.GetPage(1)[0], 1);
-  EXPECT_EQ(pool.GetPage(0)[0], 0);  // hit
+  FillPages(&pager, 4);
+  // One shard so the pool behaves as one exact global LRU.
+  BufferPool pool(&pager, 2, /*shards=*/1);
+  ASSERT_EQ(pool.shard_count(), 1u);
+  EXPECT_EQ(pool.GetPage(0).data()[0], 0);
+  EXPECT_EQ(pool.GetPage(1).data()[0], 1);
+  EXPECT_EQ(pool.GetPage(0).data()[0], 0);  // hit
   EXPECT_EQ(pool.hits(), 1u);
   EXPECT_EQ(pool.misses(), 2u);
   pool.GetPage(2);  // evicts page 1 (LRU)
@@ -70,6 +79,118 @@ TEST(BufferPoolTest, CachesAndEvictsLru) {
   EXPECT_EQ(pool.hits(), 2u);
   pool.GetPage(1);  // miss again
   EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST(BufferPoolTest, ShardCountRoundsToPowerOfTwoWithinCapacity) {
+  Pager pager(TempPath("pool_shards.db"));
+  FillPages(&pager, 1);
+  BufferPool six(&pager, 64, /*shards=*/6);
+  EXPECT_EQ(six.shard_count(), 4u);  // floor to a power of two
+  BufferPool tiny(&pager, 3);        // default 8 shards, capped by capacity
+  EXPECT_EQ(tiny.shard_count(), 2u);
+  BufferPool one(&pager, 1);
+  EXPECT_EQ(one.shard_count(), 1u);
+}
+
+TEST(BufferPoolTest, CapacityZeroIsRejected) {
+  Pager pager(TempPath("pool_zero.db"));
+  FillPages(&pager, 1);
+  BufferPool pool(&pager, 0);
+  BufferPool::PinnedPage pin;
+  util::Status status = pool.Fetch(0, &pin);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(pin.valid());
+  // The infallible spelling latches the error and hands back poison.
+  BufferPool::PinnedPage poison = pool.GetPage(0);
+  ASSERT_TRUE(poison.valid());
+  EXPECT_EQ(poison.data()[0], 0xFF);
+  EXPECT_EQ(pool.error().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(BufferPoolTest, PinHeldPageSurvivesEvictionPressure) {
+  Pager pager(TempPath("pool_pin.db"));
+  FillPages(&pager, 16);
+  BufferPool pool(&pager, 2, /*shards=*/1);
+  BufferPool::PinnedPage held = pool.GetPage(3);
+  ASSERT_TRUE(held.valid());
+  const uint8_t* data = held.data();
+  // Thrash far past capacity; the pinned frame must neither move nor vanish.
+  for (int round = 0; round < 3; ++round) {
+    for (storage::PageId p = 0; p < 16; ++p) {
+      if (p != 3) EXPECT_EQ(pool.GetPage(p).data()[0], p);
+    }
+  }
+  EXPECT_GT(pool.eviction_version(), 0u);
+  EXPECT_EQ(held.data(), data);
+  EXPECT_EQ(held.data()[0], 3);
+  // Copying re-pins: the copy keeps the frame alive after the original dies.
+  BufferPool::PinnedPage copy = held;
+  held.Release();
+  for (storage::PageId p = 0; p < 16; ++p) pool.GetPage(p);
+  EXPECT_EQ(copy.data()[0], 3);
+}
+
+TEST(BufferPoolTest, ConcurrentOverlappingFetches) {
+  Pager pager(TempPath("pool_conc.db"));
+  constexpr int kPages = 32;
+  FillPages(&pager, kPages);
+  // Tiny per-shard capacity so threads race on eviction constantly.
+  BufferPool pool(&pager, 4, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        storage::PageId page =
+            static_cast<storage::PageId>((i * 7 + t * 13) % kPages);
+        BufferPool::PinnedPage pin = pool.GetPage(page);
+        if (!pin.valid() || pin.data()[0] != static_cast<uint8_t>(page)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(pool.error().ok());
+  EXPECT_EQ(pool.hits() + pool.misses(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(BufferPoolTest, ErrorScopeIsolatesLatchesPerThread) {
+  Pager pager(TempPath("pool_scope.db"));
+  FillPages(&pager, 4);
+  BufferPool pool(&pager, 4);
+  constexpr storage::PageId kBadPage = 999;  // beyond the file
+  std::atomic<bool> faulting_saw_error{false};
+  std::atomic<bool> clean_saw_error{false};
+  std::thread faulting([&] {
+    BufferPool::ErrorScope scope(&pool);
+    for (int i = 0; i < 100; ++i) pool.GetPage(i % 4);
+    pool.GetPage(kBadPage);
+    faulting_saw_error =
+        !scope.error().ok() && scope.error_page() == kBadPage;
+  });
+  std::thread clean([&] {
+    BufferPool::ErrorScope scope(&pool);
+    for (int i = 0; i < 100; ++i) pool.GetPage(i % 4);
+    clean_saw_error = !scope.error().ok();
+  });
+  faulting.join();
+  clean.join();
+  EXPECT_TRUE(faulting_saw_error.load());
+  EXPECT_FALSE(clean_saw_error.load());
+  // Scoped faults never leak into the pool-global latch.
+  EXPECT_TRUE(pool.error().ok());
+  // Without a scope the same fault latches globally; Clear() resets it.
+  pool.GetPage(kBadPage);
+  EXPECT_FALSE(pool.error().ok());
+  EXPECT_EQ(pool.error_page(), kBadPage);
+  pool.Clear();
+  EXPECT_TRUE(pool.error().ok());
+  EXPECT_EQ(pool.error_page(), storage::kInvalidPage);
 }
 
 TEST(StoredListTest, PageOffsetArithmetic) {
