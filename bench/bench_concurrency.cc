@@ -13,10 +13,14 @@
 // disk — which is what makes batch throughput scale even on a single core.
 //
 // `--json BENCH_concurrency.json` emits machine-readable rows (see
-// bench/README.md for the schema).
+// bench/README.md for the schema). `--smoke` shrinks the datasets, replica
+// count and thread sweep to a seconds-long run for CI: it validates the
+// batch path end to end (results are still hash-checked) without producing
+// publishable numbers.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 #include <vector>
@@ -33,6 +37,7 @@ namespace viewjoin::bench {
 namespace {
 
 constexpr int kThreadSweep[] = {1, 2, 4, 8};
+constexpr int kSmokeThreadSweep[] = {1, 2};
 
 struct PreparedQuery {
   std::string name;
@@ -74,7 +79,8 @@ std::vector<PreparedQuery> Prepare(core::Engine* engine,
 
 void RunDataset(const std::string& dataset, const xml::Document& doc,
                 const std::vector<QuerySpec>& specs, const Combo& combo,
-                int replicas, JsonReport* report) {
+                int replicas, const std::vector<int>& thread_sweep,
+                JsonReport* report) {
   // A small pool keeps replicated queries from serving each other entirely
   // out of cache: eviction pressure forces real (simulated) I/O per query,
   // which is the workload a concurrent server actually faces.
@@ -97,7 +103,7 @@ void RunDataset(const std::string& dataset, const xml::Document& doc,
   util::TablePrinter table({"threads", "wall (ms)", "throughput (q/s)",
                             "speedup", "pages read", "degraded"});
   double single_thread_ms = 0;
-  for (int threads : kThreadSweep) {
+  for (int threads : thread_sweep) {
     core::BatchOptions batch_options;
     batch_options.threads = static_cast<size_t>(threads);
     batch_options.run.algorithm = combo.algorithm;
@@ -148,13 +154,33 @@ void Main(int argc, char** argv) {
   setenv("VIEWJOIN_PAGE_READ_MICROS", "150", 0);
   setenv("VIEWJOIN_PAGE_READ_SLEEP", "1", 0);
 
-  double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", 2.0);
-  int64_t nasa_datasets =
-      static_cast<int64_t>(EnvScale("VIEWJOIN_NASA_DATASETS", 800));
-  int replicas = static_cast<int>(EnvScale("VIEWJOIN_CONC_REPLICAS", 3));
+  // Strip --smoke before the report parser sees argv (it rejects flags it
+  // does not know).
+  bool smoke = false;
+  std::vector<char*> args = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+
+  double xmark_scale = EnvScale("VIEWJOIN_XMARK_SCALE", smoke ? 0.1 : 2.0);
+  int64_t nasa_datasets = static_cast<int64_t>(
+      EnvScale("VIEWJOIN_NASA_DATASETS", smoke ? 60 : 800));
+  int replicas =
+      static_cast<int>(EnvScale("VIEWJOIN_CONC_REPLICAS", smoke ? 2 : 3));
+  std::vector<int> thread_sweep(std::begin(kThreadSweep),
+                                std::end(kThreadSweep));
+  if (smoke) {
+    thread_sweep.assign(std::begin(kSmokeThreadSweep),
+                        std::end(kSmokeThreadSweep));
+  }
 
   JsonReport report("concurrency");
-  report.ParseArgs(argc, argv);
+  report.ParseArgs(static_cast<int>(args.size()), args.data());
+  report.SetMeta("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
   report.SetMeta("xmark_scale", xmark_scale);
   report.SetMeta("nasa_datasets", static_cast<uint64_t>(nasa_datasets));
   report.SetMeta("replicas", replicas);
@@ -178,10 +204,14 @@ void Main(int argc, char** argv) {
 
   Combo vj{core::Algorithm::kViewJoin, storage::Scheme::kLinkedElement};
   Combo ts{core::Algorithm::kTwigStack, storage::Scheme::kLinkedElement};
-  RunDataset("xmark", xmark, XmarkPathQueries(), vj, replicas, &report);
-  RunDataset("xmark", xmark, XmarkPathQueries(), ts, replicas, &report);
-  RunDataset("nasa", nasa, NasaPathQueries(), vj, replicas, &report);
-  RunDataset("nasa", nasa, NasaPathQueries(), ts, replicas, &report);
+  RunDataset("xmark", xmark, XmarkPathQueries(), vj, replicas, thread_sweep,
+             &report);
+  RunDataset("xmark", xmark, XmarkPathQueries(), ts, replicas, thread_sweep,
+             &report);
+  RunDataset("nasa", nasa, NasaPathQueries(), vj, replicas, thread_sweep,
+             &report);
+  RunDataset("nasa", nasa, NasaPathQueries(), ts, replicas, thread_sweep,
+             &report);
   report.Write();
 }
 

@@ -163,8 +163,8 @@ CandidateEnumerator::CandidateEnumerator(const xml::Document& doc,
     : doc_(doc), pattern_(pattern) {}
 
 void CandidateEnumerator::Enumerate(
-    const std::vector<std::vector<NodeId>>& candidates,
-    tpq::MatchSink* sink) const {
+    const std::vector<std::vector<NodeId>>& candidates, tpq::MatchSink* sink,
+    QueryContext* ctx) const {
   size_t nq = pattern_.size();
   VJ_CHECK_EQ(candidates.size(), nq);
   for (const auto& list : candidates) {
@@ -195,6 +195,7 @@ void CandidateEnumerator::Enumerate(
   std::vector<Label> match_labels(nq);
   auto recurse = [&](auto&& self, size_t q) -> void {
     if (q == nq) {
+      if (ctx != nullptr && ctx->Checkpoint()) return;
       sink->OnMatch(match);
       return;
     }
@@ -208,6 +209,7 @@ void CandidateEnumerator::Enumerate(
                          }) -
         ll.begin());
     for (size_t i = begin; i < ll.size(); ++i) {
+      if (ctx != nullptr && ctx->aborted()) return;
       if (ll[i].start > pl.end) break;
       if (pn.incoming == Axis::kChild && ll[i].level != pl.level + 1) continue;
       match[q] = lists[q][i];
@@ -216,6 +218,7 @@ void CandidateEnumerator::Enumerate(
     }
   };
   for (size_t i = 0; i < lists[0].size(); ++i) {
+    if (ctx != nullptr && ctx->aborted()) return;
     match[0] = lists[0][i];
     match_labels[0] = labels[0][i];
     recurse(recurse, 1);

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "algo/query_context.h"
 #include "tpq/pattern.h"
 #include "xml/document.h"
 
@@ -28,9 +29,12 @@ class CandidateEnumerator {
                       const tpq::TreePattern& pattern);
 
   /// Enumerates all matches embedded in `candidates` (indexed by pattern
-  /// node). Thread-compatible; reusable across calls.
+  /// node). Thread-compatible; reusable across calls. A non-null `ctx` is
+  /// checkpointed inside the enumeration recursion so an output explosion
+  /// cannot overshoot a deadline or cancellation by one giant call; an
+  /// aborted enumeration stops mid-stream (the engine discards the run).
   void Enumerate(const std::vector<std::vector<xml::NodeId>>& candidates,
-                 tpq::MatchSink* sink) const;
+                 tpq::MatchSink* sink, QueryContext* ctx = nullptr) const;
 
  private:
   const xml::Document& doc_;

@@ -73,7 +73,7 @@ std::optional<InterJoin> InterJoin::Bind(
   return join;
 }
 
-InterJoin::Relation InterJoin::LoadView(size_t view_index) {
+InterJoin::Relation InterJoin::LoadView(size_t view_index, QueryContext* ctx) {
   const MaterializedView* view = views_[view_index];
   const tpq::PatternMapping& mapping = mappings_[view_index];
   Relation rel;
@@ -85,9 +85,11 @@ InterJoin::Relation InterJoin::LoadView(size_t view_index) {
   size_t arity = rel.arity();
   rel.labels.reserve(static_cast<size_t>(view->tuple_list().count) * arity);
   for (cursor.Reset(); !cursor.AtEnd(); cursor.Next()) {
+    if (ctx->Checkpoint()) break;
     for (size_t k = 0; k < arity; ++k) {
       rel.labels.push_back(cursor.LabelAt(static_cast<uint32_t>(k)));
     }
+    ctx->ChargeMemory(arity * sizeof(Label));
     ++stats_.entries_scanned;
   }
   return rel;
@@ -95,7 +97,7 @@ InterJoin::Relation InterJoin::LoadView(size_t view_index) {
 
 InterJoin::Relation InterJoin::Join(const Relation& left, const Relation& right,
                                     const TreePattern& query,
-                                    HolisticStats* stats) {
+                                    HolisticStats* stats, QueryContext* ctx) {
   // Anchor pair: deepest left position above the right relation's top
   // position; the query path makes it an ancestor in every final match.
   int rtop = right.positions.front();
@@ -160,14 +162,17 @@ InterJoin::Relation InterJoin::Join(const Relation& left, const Relation& right,
       }
     }
     out.labels.insert(out.labels.end(), combined.begin(), combined.end());
+    ctx->ChargeMemory(combined.size() * sizeof(Label));
     ++stats->candidates;
-  });
+  }, ctx);
   out.positions = sorted_positions;
   return out;
 }
 
-void InterJoin::Evaluate(tpq::MatchSink* sink) {
+void InterJoin::Evaluate(tpq::MatchSink* sink, QueryContext* ctx) {
   stats_ = HolisticStats();
+  QueryContext ungoverned;
+  if (ctx == nullptr) ctx = &ungoverned;
   // Left-deep join order by top covered position: start from the view
   // covering the query root.
   std::vector<size_t> order(views_.size());
@@ -177,12 +182,19 @@ void InterJoin::Evaluate(tpq::MatchSink* sink) {
   });
   VJ_CHECK(!order.empty());
 
-  Relation acc = LoadView(order[0]);
+  Relation acc = LoadView(order[0], ctx);
   VJ_CHECK_EQ(acc.positions.front(), 0);
-  for (size_t step = 1; step < order.size() && !acc.labels.empty(); ++step) {
-    Relation next = LoadView(order[step]);
-    acc = Join(acc, next, *query_, &stats_);
+  for (size_t step = 1;
+       step < order.size() && !acc.labels.empty() && !ctx->aborted(); ++step) {
+    Relation next = LoadView(order[step], ctx);
+    if (ctx->aborted()) break;
+    uint64_t input_bytes =
+        (acc.labels.size() + next.labels.size()) * sizeof(Label);
+    acc = Join(acc, next, *query_, &stats_, ctx);
+    // The join inputs are freed here; only the output stays charged.
+    ctx->ReleaseMemory(input_bytes);
   }
+  if (ctx->aborted()) return;
   if (views_.size() == 1) {
     // Single covering view: tuples may still violate pc-edges that the view
     // stored as ad-edges; verify before emitting.
@@ -190,6 +202,7 @@ void InterJoin::Evaluate(tpq::MatchSink* sink) {
     verified.positions = acc.positions;
     size_t arity = acc.arity();
     for (size_t t = 0; t < acc.size(); ++t) {
+      if (ctx->Checkpoint()) return;
       bool ok = true;
       for (size_t k = 0; k + 1 < arity && ok; ++k) {
         ok = PositionsSatisfied(*query_, acc.positions[k], acc.positions[k + 1],
@@ -221,6 +234,7 @@ void InterJoin::Evaluate(tpq::MatchSink* sink) {
   });
   tpq::Match match(arity, xml::kInvalidNode);
   for (size_t t : emit_order) {
+    if (ctx->Checkpoint()) return;
     for (size_t k = 0; k < arity; ++k) {
       match[k] = doc_->FindByStart(tags_[k], acc.labels[t * arity + k].start);
       VJ_DCHECK(match[k] != xml::kInvalidNode);

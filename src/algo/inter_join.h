@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algo/holistic_stats.h"
+#include "algo/query_context.h"
 #include "storage/buffer_pool.h"
 #include "storage/materialized_view.h"
 #include "tpq/pattern.h"
@@ -39,8 +40,12 @@ class InterJoin {
       std::vector<const storage::MaterializedView*> views,
       storage::BufferPool* pool, std::string* error = nullptr);
 
-  /// Runs the join sequence, streaming verified matches to `sink`.
-  void Evaluate(tpq::MatchSink* sink);
+  /// Runs the join sequence, streaming verified matches to `sink`. A
+  /// non-null `ctx` governs the run (checkpointed per loaded tuple, per
+  /// joined pair and per emitted match; relation loads and join outputs are
+  /// charged against its memory budget) — once it aborts, evaluation stops
+  /// early and the partial output must be discarded by the caller.
+  void Evaluate(tpq::MatchSink* sink, QueryContext* ctx = nullptr);
 
   const HolisticStats& stats() const { return stats_; }
 
@@ -57,9 +62,10 @@ class InterJoin {
     }
   };
 
-  Relation LoadView(size_t view_index);
+  Relation LoadView(size_t view_index, QueryContext* ctx);
   static Relation Join(const Relation& left, const Relation& right,
-                       const tpq::TreePattern& query, HolisticStats* stats);
+                       const tpq::TreePattern& query, HolisticStats* stats,
+                       QueryContext* ctx);
 
   const xml::Document* doc_ = nullptr;
   const tpq::TreePattern* query_ = nullptr;

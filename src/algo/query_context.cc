@@ -1,0 +1,35 @@
+#include "algo/query_context.h"
+
+namespace viewjoin::algo {
+
+const char* AbortReasonName(AbortReason reason) {
+  switch (reason) {
+    case AbortReason::kNone:
+      return "none";
+    case AbortReason::kDeadline:
+      return "deadline";
+    case AbortReason::kCancelled:
+      return "cancelled";
+    case AbortReason::kMemoryBudget:
+      return "memory-budget";
+    case AbortReason::kDiskBudget:
+      return "disk-budget";
+  }
+  return "?";
+}
+
+bool QueryContext::SlowCheckpoint() {
+  until_check_ = kCheckInterval;
+  ++checkpoints_;
+  if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) {
+    RequestAbort(AbortReason::kCancelled);
+    return true;
+  }
+  if (DeadlineExpired()) {
+    RequestAbort(AbortReason::kDeadline);
+    return true;
+  }
+  return aborted();
+}
+
+}  // namespace viewjoin::algo

@@ -10,7 +10,8 @@ using storage::Pager;
 using storage::PageId;
 using xml::Label;
 
-SpillBuffer::SpillBuffer(Pager* pager, size_t streams) : pager_(pager) {
+SpillBuffer::SpillBuffer(Pager* pager, size_t streams, QueryContext* ctx)
+    : pager_(pager), ctx_(ctx) {
   streams_.resize(streams);
 }
 
@@ -22,6 +23,7 @@ PageId SpillBuffer::TakePage() {
   }
   util::StatusOr<PageId> id = pager_->AllocatePage();
   if (!id.ok()) return storage::kInvalidPage;
+  if (ctx_ != nullptr) ctx_->ChargeDisk(Pager::kPageSize);
   return *id;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "algo/query_context.h"
 #include "storage/pager.h"
 #include "xml/label.h"
 
@@ -18,8 +19,11 @@ namespace viewjoin::algo {
 class SpillBuffer {
  public:
   /// `streams` is the number of independent append streams (one per query
-  /// node).
-  SpillBuffer(storage::Pager* pager, size_t streams);
+  /// node). A non-null `ctx` is charged one page of disk budget per page the
+  /// spill file grows by (recycled pages are free — the budget tracks file
+  /// size, not write volume).
+  SpillBuffer(storage::Pager* pager, size_t streams,
+              QueryContext* ctx = nullptr);
 
   SpillBuffer(const SpillBuffer&) = delete;
   SpillBuffer& operator=(const SpillBuffer&) = delete;
@@ -56,6 +60,7 @@ class SpillBuffer {
   storage::PageId TakePage();
 
   storage::Pager* pager_;
+  QueryContext* ctx_;
   std::vector<Stream> streams_;
   std::vector<storage::PageId> free_pages_;
   uint64_t pages_written_ = 0;

@@ -7,10 +7,12 @@ using xml::Label;
 
 void StackTreeDesc(const std::vector<Label>& ancestors,
                    const std::vector<Label>& descendants, Axis axis,
-                   const std::function<void(size_t, size_t)>& emit) {
+                   const std::function<void(size_t, size_t)>& emit,
+                   QueryContext* ctx) {
   std::vector<size_t> stack;
   size_t i = 0;
   for (size_t j = 0; j < descendants.size(); ++j) {
+    if (ctx != nullptr && ctx->Checkpoint()) return;
     const Label& d = descendants[j];
     // Push every ancestor candidate that starts before d.
     while (i < ancestors.size() && ancestors[i].start < d.start) {
@@ -26,6 +28,7 @@ void StackTreeDesc(const std::vector<Label>& ancestors,
     }
     // Every remaining stacked candidate contains d (stack is a nesting chain).
     for (size_t k = 0; k < stack.size(); ++k) {
+      if (ctx != nullptr && ctx->aborted()) return;
       const Label& a = ancestors[stack[k]];
       if (d.end > a.end) continue;  // partial overlap impossible in trees
       if (axis == Axis::kChild && a.level + 1 != d.level) continue;

@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "algo/query_context.h"
 #include "tpq/pattern.h"
 #include "xml/label.h"
 
@@ -19,10 +20,13 @@ namespace viewjoin::algo {
 /// (axis kChild additionally requires the parent level relation). Pairs are
 /// emitted in descendant-major order (sorted by descendants[j].start).
 ///
-/// Runs in O(|ancestors| + |descendants| + #output).
+/// Runs in O(|ancestors| + |descendants| + #output). A non-null `ctx` is
+/// checkpointed per descendant and per emitted pair; once it aborts, the
+/// join stops early (its partial output must then be discarded).
 void StackTreeDesc(const std::vector<xml::Label>& ancestors,
                    const std::vector<xml::Label>& descendants, tpq::Axis axis,
-                   const std::function<void(size_t, size_t)>& emit);
+                   const std::function<void(size_t, size_t)>& emit,
+                   QueryContext* ctx = nullptr);
 
 }  // namespace viewjoin::algo
 

@@ -26,12 +26,13 @@ class TwigStack::Impl {
  public:
   Impl(const QueryBinding& binding, storage::BufferPool* pool,
        tpq::MatchSink* sink, OutputMode mode, storage::Pager* spill,
-       HolisticStats* stats)
+       HolisticStats* stats, QueryContext* ctx)
       : binding_(binding),
         query_(binding.query()),
         sink_(sink),
         mode_(mode),
         stats_(stats),
+        ctx_(ctx != nullptr ? ctx : &default_ctx_),
         enumerator_(binding.doc(), binding.query()),
         resolver_(&binding.doc(), [&binding] {
           std::vector<xml::TagId> tags;
@@ -57,13 +58,14 @@ class TwigStack::Impl {
     }
     if (mode_ == OutputMode::kDisk) {
       VJ_CHECK(spill != nullptr) << "disk output mode requires a spill pager";
-      spill_ = std::make_unique<SpillBuffer>(spill, nq);
+      spill_ = std::make_unique<SpillBuffer>(spill, nq, ctx_);
     }
   }
 
   void Run() {
-    while (true) {
+    while (!ctx_->aborted()) {
       int q = GetNext(0);
+      if (ctx_->aborted()) break;
       Label nq = Head(q);
       if (nq.start == kEndLabel.start) break;
       int parent = query_.node(q).parent;
@@ -96,6 +98,7 @@ class TwigStack::Impl {
 
   void Advance(int q) {
     ++stats_->entries_scanned;
+    ctx_->Checkpoint();
     cursors_[static_cast<size_t>(q)].Next();
     RefreshHead(q);
   }
@@ -115,7 +118,7 @@ class TwigStack::Impl {
       if (qmax < 0 || head.start > Head(qmax).start) qmax = c;
     }
     uint32_t max_start = Head(qmax).start;
-    while (Head(q).end < max_start) Advance(q);
+    while (!ctx_->aborted() && Head(q).end < max_start) Advance(q);
     if (Head(q).start < Head(qmin).start) return q;
     return qmin;
   }
@@ -141,6 +144,8 @@ class TwigStack::Impl {
       spill_->Append(static_cast<size_t>(q), label);
     } else {
       candidates_[static_cast<size_t>(q)].push_back(label);
+      charged_memory_ += sizeof(Label);
+      ctx_->ChargeMemory(sizeof(Label));
     }
   }
 
@@ -179,6 +184,7 @@ class TwigStack::Impl {
       }
       ListCursor& cursor = cursors_[q];
       while (!cursor.AtEnd() && cursor.LabelAt().start < bound) {
+        if (ctx_->Checkpoint()) return;
         ++stats_->entries_scanned;
         Buffer(static_cast<int>(q), cursor.LabelAt());
         cursor.Next();
@@ -190,6 +196,9 @@ class TwigStack::Impl {
   /// root stack is empty: every buffered candidate then lies under a closed
   /// root and can join only with other buffered candidates.
   void Flush() {
+    // An aborted run's candidates are never resolved or enumerated (their
+    // partial output would be discarded anyway); the buffers die with Impl.
+    if (ctx_->aborted()) return;
     bool any = false;
     size_t nq = query_.size();
     std::vector<std::vector<NodeId>> resolved(nq);
@@ -200,6 +209,7 @@ class TwigStack::Impl {
       candidates_[q].clear();
       resolved[q].reserve(labels.size());
       for (const Label& label : labels) {
+        if (ctx_->Checkpoint()) return;
         NodeId n = resolver_.Resolve(static_cast<int>(q), label.start);
         VJ_DCHECK(n != xml::kInvalidNode);
         // A label that resolves to no document node can only come from a
@@ -216,9 +226,12 @@ class TwigStack::Impl {
     }
     buffered_ = 0;
     std::fill(max_buffered_end_.begin(), max_buffered_end_.end(), 0);
+    // The flushed candidates are freed; return their budget charge.
+    ctx_->ReleaseMemory(charged_memory_);
+    charged_memory_ = 0;
     if (!any) return;
     ++stats_->flushes;
-    enumerator_.Enumerate(resolved, sink_);
+    enumerator_.Enumerate(resolved, sink_, ctx_);
   }
 
   static constexpr uint64_t kFlushThreshold = 8192;
@@ -228,6 +241,8 @@ class TwigStack::Impl {
   tpq::MatchSink* sink_;
   OutputMode mode_;
   HolisticStats* stats_;
+  QueryContext default_ctx_;  // ungoverned stand-in when the caller passes none
+  QueryContext* ctx_;
   CandidateEnumerator enumerator_;
   MonotoneResolver resolver_;
   std::vector<ListCursor> cursors_;
@@ -237,15 +252,16 @@ class TwigStack::Impl {
   std::vector<uint32_t> max_buffered_end_;
   std::unique_ptr<SpillBuffer> spill_;
   uint64_t buffered_ = 0;
+  uint64_t charged_memory_ = 0;
 };
 
 TwigStack::TwigStack(const QueryBinding* binding, storage::BufferPool* pool)
     : binding_(binding), pool_(pool) {}
 
 void TwigStack::Evaluate(tpq::MatchSink* sink, OutputMode mode,
-                         storage::Pager* spill) {
+                         storage::Pager* spill, QueryContext* ctx) {
   stats_ = HolisticStats();
-  Impl impl(*binding_, pool_, sink, mode, spill, &stats_);
+  Impl impl(*binding_, pool_, sink, mode, spill, &stats_, ctx);
   impl.Run();
 }
 

@@ -5,6 +5,7 @@
 
 #include "algo/holistic_stats.h"
 #include "algo/query_binding.h"
+#include "algo/query_context.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
 #include "tpq/pattern.h"
@@ -34,9 +35,12 @@ class TwigStack {
   /// and receives intermediate solutions.
   TwigStack(const QueryBinding* binding, storage::BufferPool* pool);
 
-  /// Runs the join, streaming every match to `sink`.
+  /// Runs the join, streaming every match to `sink`. A non-null `ctx`
+  /// governs the run: evaluation loops checkpoint it (deadline, cancel,
+  /// budgets) and stop early once it aborts — a stopped run's partial
+  /// matches must be discarded by the caller.
   void Evaluate(tpq::MatchSink* sink, OutputMode mode = OutputMode::kMemory,
-                storage::Pager* spill = nullptr);
+                storage::Pager* spill = nullptr, QueryContext* ctx = nullptr);
 
   const HolisticStats& stats() const { return stats_; }
 

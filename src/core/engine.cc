@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
 #include <optional>
 #include <thread>
 
@@ -69,6 +72,14 @@ class ReplaySink : public tpq::MatchSink {
   std::vector<tpq::Match> matches_;
 };
 
+/// Arms a query's governance context from its run options.
+void ConfigureGovernance(algo::QueryContext* gov, const RunOptions& run) {
+  if (run.deadline_ms > 0) gov->set_deadline_after_ms(run.deadline_ms);
+  gov->set_cancel_token(run.cancel);
+  gov->set_memory_budget(run.memory_budget_bytes);
+  gov->set_disk_budget(run.disk_budget_bytes);
+}
+
 }  // namespace
 
 Engine::Engine(const xml::Document* doc, const std::string& storage_path,
@@ -95,12 +106,25 @@ const MaterializedView* Engine::AddView(const TreePattern& pattern,
   return catalog_->Materialize(*doc_, pattern, scheme);
 }
 
+util::StatusOr<const MaterializedView*> Engine::TryAddView(
+    const std::string& xpath, Scheme scheme) {
+  std::string error;
+  std::optional<TreePattern> pattern = TreePattern::Parse(xpath, &error);
+  if (!pattern.has_value()) {
+    return util::Status::InvalidArgument("bad view pattern '" + xpath +
+                                         "': " + error);
+  }
+  return catalog_->TryMaterialize(*doc_, *pattern, scheme);
+}
+
 RunResult Engine::Execute(
     const TreePattern& query,
     const std::vector<const MaterializedView*>& views, const RunOptions& run,
     tpq::MatchSink* sink) {
+  algo::QueryContext gov;
+  ConfigureGovernance(&gov, run);
   return ExecuteInternal(query, views, run, sink,
-                         ExecContext{spill_.get(), /*exclusive=*/true});
+                         ExecContext{spill_.get(), /*exclusive=*/true, &gov});
 }
 
 RunResult Engine::ExecuteInternal(
@@ -108,6 +132,9 @@ RunResult Engine::ExecuteInternal(
     const std::vector<const MaterializedView*>& views, const RunOptions& run,
     tpq::MatchSink* sink, const ExecContext& ctx) {
   RunResult result;
+  algo::QueryContext ungoverned;
+  algo::QueryContext* gov =
+      ctx.governance != nullptr ? ctx.governance : &ungoverned;
   // When a user sink is supplied, attempts stream into a replay buffer so
   // the user only ever observes the matches of a fault-free run.
   ReplaySink replay;
@@ -144,7 +171,7 @@ RunResult Engine::ExecuteInternal(
         std::optional<algo::InterJoin> join = algo::InterJoin::Bind(
             *doc_, query, vs, catalog_->pool(), &result.error);
         if (!join.has_value()) return false;
-        join->Evaluate(out);
+        join->Evaluate(out, gov);
         result.stats = join->stats();
         break;
       }
@@ -153,7 +180,7 @@ RunResult Engine::ExecuteInternal(
             algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
         if (!binding.has_value()) return false;
         algo::TwigStack twig(&*binding, catalog_->pool());
-        twig.Evaluate(out, mode, ctx.spill);
+        twig.Evaluate(out, mode, ctx.spill, gov);
         result.stats = twig.stats();
         break;
       }
@@ -163,7 +190,7 @@ RunResult Engine::ExecuteInternal(
         if (!binding.has_value()) return false;
         SegmentedQuery segmented = BuildSegmentedQuery(*binding);
         ViewJoin join(&*binding, &segmented, catalog_->pool());
-        join.Evaluate(out, mode, ctx.spill);
+        join.Evaluate(out, mode, ctx.spill, gov);
         result.stats = join.stats();
         break;
       }
@@ -171,7 +198,8 @@ RunResult Engine::ExecuteInternal(
     return true;
   };
 
-  auto finish = [&](const TeeSink& tee) -> RunResult& {
+  // Shared tail of every exit path: timing, I/O deltas, governance counters.
+  auto fill_common = [&]() {
     result.total_ms = timer.ElapsedMillis();
     result.io = catalog_->Stats().Delta(before);
     storage::IoStats spill_io = ctx.spill->stats().Delta(spill_before);
@@ -182,10 +210,49 @@ RunResult Engine::ExecuteInternal(
     result.io.read_retries += spill_io.read_retries;
     result.io_ms = result.io.TotalIoMillis();
     result.retries = result.io.read_retries;
+    result.peak_memory_bytes = gov->peak_memory_bytes();
+    result.checkpoints = gov->checkpoints();
+  };
+
+  auto finish = [&](const TeeSink& tee) -> RunResult& {
+    fill_common();
     result.ok = true;
     result.match_count = tee.count();
     result.result_hash = tee.hash();
     if (sink != nullptr) replay.ReplayInto(sink);
+    return result;
+  };
+
+  // Terminal abort: the query stopped on a governance verdict. Partial
+  // matches are never replayed to the user sink.
+  auto finish_aborted = [&]() -> RunResult& {
+    fill_common();
+    result.ok = false;
+    switch (gov->reason()) {
+      case algo::AbortReason::kDeadline:
+        result.timed_out = true;
+        result.error = "deadline exceeded";
+        break;
+      case algo::AbortReason::kCancelled:
+        result.cancelled = true;
+        result.error = "cancelled";
+        break;
+      case algo::AbortReason::kMemoryBudget:
+        result.error = util::Status::ResourceExhausted(
+                           "intermediate solutions exceed the memory budget "
+                           "(and disk-mode degradation is unavailable)")
+                           .ToString();
+        break;
+      case algo::AbortReason::kDiskBudget:
+        result.error = util::Status::ResourceExhausted(
+                           "spilled intermediate solutions exceed the disk "
+                           "budget")
+                           .ToString();
+        break;
+      case algo::AbortReason::kNone:
+        result.error = "aborted";
+        break;
+    }
     return result;
   };
 
@@ -212,6 +279,8 @@ RunResult Engine::ExecuteInternal(
   // retries. Bounded so a persistently failing medium cannot loop forever.
   constexpr int kMaxViewAttempts = 3;
   algo::OutputMode mode = run.output_mode;
+  bool memory_downgraded = false;
+  util::Status last_storage_error;
   for (int attempt = 0; attempt < kMaxViewAttempts; ++attempt) {
     clear_view_error();
     ctx.spill->ClearError();
@@ -220,9 +289,29 @@ RunResult Engine::ExecuteInternal(
                                 : nullptr);
     if (!run_once(active, mode, &tee)) return result;
 
+    if (gov->aborted()) {
+      // Degradation ladder, rung 1: a memory-budget overrun in memory output
+      // mode reruns the query with disk-mode spilling — intermediates go to
+      // the spill spool and only anchors stay resident. Only when disk
+      // spilling is unavailable or also over budget does the abort become
+      // terminal (RESOURCE_EXHAUSTED, the ladder's last rung).
+      if (gov->reason() == algo::AbortReason::kMemoryBudget &&
+          mode == algo::OutputMode::kMemory && !memory_downgraded &&
+          ctx.spill != nullptr) {
+        memory_downgraded = true;
+        mode = algo::OutputMode::kDisk;
+        result.degraded = true;
+        gov->ResetForRetry();
+        --attempt;  // a budget downgrade does not consume a fault attempt
+        continue;
+      }
+      return finish_aborted();
+    }
+
     util::Status view_err = view_error();
     util::Status spill_err = ctx.spill->last_error();
     if (view_err.ok() && spill_err.ok()) return finish(tee);
+    last_storage_error = view_err.ok() ? spill_err : view_err;
 
     // The spill spool is scratch space: nothing to re-materialize. Fall back
     // to in-memory intermediate buffering and keep going.
@@ -271,6 +360,21 @@ RunResult Engine::ExecuteInternal(
     }
   }
 
+  // The view store is persistently failing. Callers that disabled the
+  // base-document fallback get a typed, retryable error instead — the batch
+  // retry ladder (bounded, with backoff) is their recovery path.
+  if (!run.allow_base_fallback) {
+    clear_view_error();
+    ctx.spill->ClearError();
+    fill_common();
+    result.ok = false;
+    result.retryable = true;
+    result.error = last_storage_error.ok()
+                       ? "view store unavailable"
+                       : last_storage_error.ToString();
+    return result;
+  }
+
   // Last resort: answer from the base document alone. TwigStack over the
   // document's own tag lists touches no stored page, so it cannot be harmed
   // by view-store or spill faults; the match set is identical by definition.
@@ -284,9 +388,10 @@ RunResult Engine::ExecuteInternal(
   TeeSink tee(sink != nullptr ? static_cast<tpq::MatchSink*>(&replay)
                               : nullptr);
   algo::TwigStack twig(&*base, catalog_->pool());
-  twig.Evaluate(&tee, algo::OutputMode::kMemory, nullptr);
+  twig.Evaluate(&tee, algo::OutputMode::kMemory, nullptr, gov);
   result.stats = twig.stats();
   result.degraded = true;
+  if (gov->aborted()) return finish_aborted();
   return finish(tee);
 }
 
@@ -303,9 +408,36 @@ std::vector<RunResult> Engine::ExecuteBatch(
   }
   RunOptions per_query = options.run;
   per_query.cold_cache = false;
+  if (options.deadline_ms > 0) per_query.deadline_ms = options.deadline_ms;
+  if (options.per_query_memory_budget > 0) {
+    per_query.memory_budget_bytes = options.per_query_memory_budget;
+  }
+  if (options.per_query_disk_budget > 0) {
+    per_query.disk_budget_bytes = options.per_query_disk_budget;
+  }
 
   size_t workers = std::min(std::max<size_t>(options.threads, 1),
                             queries.size());
+
+  // Admission control: workers serve at most `threads + max_queued` queries;
+  // the positional overflow is bounced immediately with kRejected and never
+  // executed, so an oversized batch cannot queue unboundedly behind slow
+  // siblings. Rejection happens before execution starts and cannot perturb
+  // admitted queries' results.
+  size_t admitted = queries.size();
+  if (options.max_queued < queries.size()) {
+    admitted = std::min(queries.size(), workers + options.max_queued);
+  }
+  for (size_t i = admitted; i < queries.size(); ++i) {
+    results[i].admission = BatchAdmission::kRejected;
+    results[i].error = "rejected: admission queue full";
+  }
+  if (admitted == 0) return results;
+
+  // One governance context per admitted query. They live in a deque that
+  // outlives both workers and watchdog, so the watchdog can never touch a
+  // freed context; finished queries just keep an expired (ignored) deadline.
+  std::deque<algo::QueryContext> govs(admitted);
   std::atomic<size_t> next{0};
 
   auto serve = [&](size_t worker_id) {
@@ -313,24 +445,76 @@ std::vector<RunResult> Engine::ExecuteBatch(
     // kTruncate removes it on close.
     storage::Pager spill(storage_path_ + ".spill." + std::to_string(worker_id),
                          storage::Pager::Mode::kTruncate);
-    ExecContext ctx{&spill, /*exclusive=*/false};
-    for (size_t i = next.fetch_add(1); i < queries.size();
-         i = next.fetch_add(1)) {
+    for (size_t i = next.fetch_add(1); i < admitted; i = next.fetch_add(1)) {
       const BatchQuery& q = queries[i];
       VJ_CHECK(q.query != nullptr) << "batch query " << i << " has no pattern";
-      results[i] = ExecuteInternal(*q.query, q.views, per_query,
-                                   /*sink=*/nullptr, ctx);
+      RunOptions mine = per_query;
+      if (q.deadline_ms >= 0) mine.deadline_ms = q.deadline_ms;
+      if (q.cancel != nullptr) mine.cancel = q.cancel;
+      algo::QueryContext& gov = govs[i];
+      ExecContext ctx{&spill, /*exclusive=*/false, &gov};
+      double backoff_ms = options.retry_backoff_ms;
+      int attempt = 0;
+      while (true) {
+        ++attempt;
+        gov.ResetForRetry();
+        // Re-arms the deadline: each service attempt gets the full budget.
+        ConfigureGovernance(&gov, mine);
+        results[i] = ExecuteInternal(*q.query, q.views, mine,
+                                     /*sink=*/nullptr, ctx);
+        results[i].attempts = attempt;
+        if (results[i].ok || !results[i].retryable ||
+            attempt > options.max_retries) {
+          break;
+        }
+        // Transient storage fault: back off exponentially, then retry.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(backoff_ms));
+        backoff_ms *= 2;
+      }
     }
   };
 
+  // Watchdog: cooperative checkpoints cannot run while a worker sits inside
+  // a long page read, so deadlines are also fired from outside. The worker
+  // observes the abort flag at its next loop iteration.
+  bool need_watchdog = per_query.deadline_ms > 0;
+  for (const BatchQuery& q : queries) need_watchdog |= q.deadline_ms > 0;
+  std::mutex wd_mu;
+  std::condition_variable wd_cv;
+  bool wd_stop = false;
+  std::thread watchdog;
+  if (need_watchdog) {
+    watchdog = std::thread([&] {
+      std::unique_lock<std::mutex> lock(wd_mu);
+      while (!wd_stop) {
+        wd_cv.wait_for(lock, std::chrono::milliseconds(5));
+        for (algo::QueryContext& gov : govs) {
+          if (gov.DeadlineExpired()) {
+            gov.RequestAbort(algo::AbortReason::kDeadline);
+          }
+        }
+      }
+    });
+  }
+
   if (workers == 1) {
     serve(0);
-    return results;
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) pool.emplace_back(serve, w);
+    for (std::thread& t : pool) t.join();
   }
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) pool.emplace_back(serve, w);
-  for (std::thread& t : pool) t.join();
+
+  if (watchdog.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(wd_mu);
+      wd_stop = true;
+    }
+    wd_cv.notify_all();
+    watchdog.join();
+  }
   return results;
 }
 

@@ -1,14 +1,18 @@
 #ifndef VIEWJOIN_CORE_ENGINE_H_
 #define VIEWJOIN_CORE_ENGINE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
 #include "algo/holistic_stats.h"
+#include "algo/query_context.h"
 #include "storage/materialized_view.h"
 #include "tpq/pattern.h"
+#include "util/status.h"
 #include "view/selection.h"
 #include "xml/document.h"
 
@@ -42,6 +46,25 @@ struct RunOptions {
   /// Drop cached pages and reset I/O counters before running, so the
   /// reported I/O reflects a cold start (as the paper measures).
   bool cold_cache = true;
+  /// Wall-clock deadline in milliseconds (0 = none). Enforced cooperatively
+  /// at amortized checkpoints; an expired query stops within one checkpoint
+  /// interval and returns RunResult::timed_out.
+  double deadline_ms = 0;
+  /// Cooperative cancellation token (may be flipped from any thread; nullptr
+  /// = not cancellable). A cancelled query returns RunResult::cancelled.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Budget for buffered intermediate solutions, in bytes (0 = unlimited).
+  /// Exceeding it in memory output mode degrades the query to disk-mode
+  /// spilling; exceeding it again aborts with RESOURCE_EXHAUSTED.
+  uint64_t memory_budget_bytes = 0;
+  /// Budget for spilled intermediate solutions, in bytes of live spill file
+  /// (0 = unlimited). Exceeding it aborts with RESOURCE_EXHAUSTED.
+  uint64_t disk_budget_bytes = 0;
+  /// When false, a view-store fault that outlasts quarantine + rebuild fails
+  /// the query with a retryable error instead of silently answering from the
+  /// base document — batch serving prefers bounded retry over the fallback's
+  /// unbounded full-document scan.
+  bool allow_base_fallback = true;
 };
 
 /// One query of an ExecuteBatch call: the pattern plus its covering views.
@@ -49,19 +72,73 @@ struct RunOptions {
 struct BatchQuery {
   const tpq::TreePattern* query = nullptr;
   std::vector<const storage::MaterializedView*> views;
+  /// Per-query deadline override in ms; < 0 inherits BatchOptions::deadline_ms.
+  double deadline_ms = -1;
+  /// Per-query cancellation token; overrides BatchOptions::run.cancel.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct BatchOptions {
   /// Worker threads serving the batch (clamped to [1, queries.size()]).
   size_t threads = 4;
+  /// Admission control: at most `threads + max_queued` queries are admitted;
+  /// the overflow is returned immediately with BatchAdmission::kRejected and
+  /// never executed (backpressure instead of unbounded queueing). The
+  /// default admits everything.
+  size_t max_queued = SIZE_MAX;
+  /// Per-query deadline in ms applied to every admitted query (0 = none).
+  /// The clock starts when a worker picks the query up; enforced both
+  /// cooperatively and by a watchdog thread that fires deadlines on workers
+  /// stuck inside long page reads.
+  double deadline_ms = 0;
+  /// Per-query memory/disk budgets in bytes (0 = unlimited); same
+  /// degradation ladder as RunOptions::memory_budget_bytes.
+  uint64_t per_query_memory_budget = 0;
+  uint64_t per_query_disk_budget = 0;
+  /// Bounded retry for queries that failed on a transient storage fault
+  /// (RunResult::retryable): up to `max_retries` re-executions, sleeping
+  /// `retry_backoff_ms` before the first retry and doubling it each further
+  /// retry. Deterministic failures (bad bindings, budget exhaustion,
+  /// deadline, cancel) are never retried.
+  int max_retries = 0;
+  double retry_backoff_ms = 1.0;
   /// Per-query options. `cold_cache` applies once to the whole batch (the
   /// pool is shared; dropping it per query would evict siblings' pages).
+  /// deadline_ms / budget fields here act as defaults; the dedicated batch
+  /// fields above override them when non-zero.
   RunOptions run;
+};
+
+/// Admission verdict of a batch query (see BatchOptions::max_queued).
+enum class BatchAdmission {
+  kAdmitted,
+  kRejected,  // bounced by admission control; never executed
 };
 
 struct RunResult {
   bool ok = false;
   std::string error;
+  /// Governance verdicts — they distinguish "stopped" from "failed": the
+  /// query was healthy but ran into its deadline / cancellation token.
+  /// Both imply ok == false with no matches reported.
+  bool timed_out = false;
+  bool cancelled = false;
+  /// False for deterministic failures; true when the failure was a storage
+  /// fault that a retry might not hit (the batch retry ladder keys on this).
+  bool retryable = false;
+  /// Admission verdict (always kAdmitted outside ExecuteBatch). Rejected
+  /// queries carry no other information: they were never executed.
+  BatchAdmission admission = BatchAdmission::kAdmitted;
+  /// Execution attempts the batch retry ladder spent (1 = no retry).
+  int attempts = 1;
+  /// Peak bytes of buffered intermediate solutions charged against the
+  /// memory budget (0 when the run was ungoverned and unbudgeted — the
+  /// counter itself is always maintained, so this is also populated for
+  /// deadline-only runs).
+  uint64_t peak_memory_bytes = 0;
+  /// Slow governance checkpoints performed (clock + token inspections; one
+  /// per kCheckInterval advances).
+  uint64_t checkpoints = 0;
   /// True when the answer was produced only after recovering from a storage
   /// fault: a corrupt view was quarantined and re-materialized, the spill
   /// spool was abandoned for in-memory buffering, or evaluation fell back to
@@ -103,6 +180,12 @@ class Engine {
   const storage::MaterializedView* AddView(const tpq::TreePattern& pattern,
                                            storage::Scheme scheme);
 
+  /// Non-dying variant for user-supplied patterns (the CLI's --views):
+  /// returns InvalidArgument on a malformed pattern and forwards
+  /// materialization failures instead of aborting the process.
+  util::StatusOr<const storage::MaterializedView*> TryAddView(
+      const std::string& xpath, storage::Scheme scheme);
+
   /// Runs `query` over the covering `views`, streaming matches into an
   /// internal hashing sink (see Result) — or into `sink` when provided.
   RunResult Execute(const tpq::TreePattern& query,
@@ -119,6 +202,11 @@ class Engine {
   ///     worker reuses a replacement a sibling already rebuilt;
   ///   - each worker spools disk-mode intermediates into its own spill file
   ///     ("<storage_path>.spill.<worker>").
+  /// Governance (see BatchOptions): queries beyond threads + max_queued are
+  /// rejected up front (kRejected) without perturbing admitted queries; a
+  /// watchdog thread fires per-query deadlines on stuck workers; queries
+  /// failing on transient storage faults are retried with exponential
+  /// backoff up to max_retries times.
   /// io counters in batch results come from the shared pool/pager and so
   /// attribute sibling I/O to whichever query observed it; use the aggregate
   /// across the batch, not per-query splits. Not reentrant: one batch (or
@@ -149,13 +237,15 @@ class Engine {
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
  private:
-  /// Per-call execution environment: which spill pager to spool into and
-  /// whether this call owns the engine exclusively. Exclusive calls (plain
-  /// Execute) may drop caches and use the pool-global error latch; batch
-  /// workers run non-exclusive with a thread-local ErrorScope instead.
+  /// Per-call execution environment: which spill pager to spool into,
+  /// whether this call owns the engine exclusively, and the query's
+  /// governance context. Exclusive calls (plain Execute) may drop caches and
+  /// use the pool-global error latch; batch workers run non-exclusive with a
+  /// thread-local ErrorScope instead.
   struct ExecContext {
     storage::Pager* spill = nullptr;
     bool exclusive = true;
+    algo::QueryContext* governance = nullptr;
   };
 
   RunResult ExecuteInternal(

@@ -43,7 +43,7 @@ class ViewJoin::Impl {
  public:
   Impl(const QueryBinding& binding, const SegmentedQuery& sq,
        storage::BufferPool* pool, tpq::MatchSink* sink, OutputMode mode,
-       storage::Pager* spill, HolisticStats* stats)
+       storage::Pager* spill, HolisticStats* stats, algo::QueryContext* ctx)
       : binding_(binding),
         sq_(sq),
         query_(binding.query()),
@@ -51,6 +51,7 @@ class ViewJoin::Impl {
         sink_(sink),
         mode_(mode),
         stats_(stats),
+        ctx_(ctx != nullptr ? ctx : &default_ctx_),
         enumerator_(binding.doc(), binding.query()),
         resolver_(&binding.doc(), [&binding] {
           std::vector<xml::TagId> tags;
@@ -102,13 +103,14 @@ class ViewJoin::Impl {
     }
     if (mode_ == OutputMode::kDisk) {
       VJ_CHECK(spill != nullptr) << "disk output mode requires a spill pager";
-      spill_ = std::make_unique<SpillBuffer>(spill, nq);
+      spill_ = std::make_unique<SpillBuffer>(spill, nq, ctx_);
     }
   }
 
   void Run() {
-    while (true) {
+    while (!ctx_->aborted()) {
       int q = GetNext(0);
+      if (ctx_->aborted()) break;
       Label nq = Head(q);
       if (nq.start == kEndLabel.start) break;
       int parent = sq_.parent[static_cast<size_t>(q)];
@@ -164,6 +166,7 @@ class ViewJoin::Impl {
       }
       ListCursor& cursor = cursors_[q];
       while (!cursor.AtEnd() && cursor.LabelAt().start < bound) {
+        if (ctx_->Checkpoint()) return;
         ++stats_->entries_scanned;
         Buffer(static_cast<int>(q), cursor.LabelAt(), cursor.index());
         cursor.Next();
@@ -182,6 +185,7 @@ class ViewJoin::Impl {
 
   void Advance(int q) {
     ++stats_->entries_scanned;
+    ctx_->Checkpoint();
     cursors_[static_cast<size_t>(q)].Next();
     RefreshHead(q);
   }
@@ -195,6 +199,7 @@ class ViewJoin::Impl {
   void AdvancePast(int q, uint32_t bound) {
     ListCursor& cursor = cursors_[static_cast<size_t>(q)];
     while (!cursor.AtEnd() && cursor.LabelAt().end < bound) {
+      if (ctx_->Checkpoint()) break;
       if (has_pointers_[static_cast<size_t>(q)]) {
         EntryIndex follow = cursor.Following();
         if (follow != kNullEntry) {
@@ -280,6 +285,7 @@ class ViewJoin::Impl {
       RefreshHead(c);
     } else {
       while (!cursor.AtEnd() && cursor.LabelAt().start < skip_to) {
+        if (ctx_->Checkpoint()) break;
         ++stats_->entries_scanned;
         cursor.Next();
       }
@@ -385,16 +391,22 @@ class ViewJoin::Impl {
     buffer_[static_cast<size_t>(q)].push_back(FEntry{label, index});
     ++buffered_;
     if (buffered_ > stats_->peak_buffered) stats_->peak_buffered = buffered_;
+    charged_memory_ += sizeof(FEntry);
+    ctx_->ChargeMemory(sizeof(FEntry));
   }
 
   /// Output pass for the closed root group: extend F to the removed query
   /// nodes, then enumerate all matches embedded in the buffered candidates.
   void Flush() {
+    // An aborted run's candidates are never extended or enumerated (their
+    // partial output would be discarded anyway); the buffers die with Impl.
+    if (ctx_->aborted()) return;
     // Step 1: extension. Removed nodes are visited anchors-first.
     for (size_t i = 0; i < sq_.removed.size(); ++i) {
       int r = sq_.removed[i];
       int anchor = sq_.removed_anchor[i];
       ExtendRemoved(r, anchor, removed_slot_[i], removed_edge_ad_[i] != 0);
+      if (ctx_->aborted()) return;
     }
     // Step 2: gather per-node candidate NodeIds and enumerate.
     size_t nq = query_.size();
@@ -411,6 +423,7 @@ class ViewJoin::Impl {
       buffer_[q].clear();
       resolved[q].reserve(labels.size());
       for (const Label& label : labels) {
+        if (ctx_->Checkpoint()) return;
         NodeId n = resolver_.Resolve(static_cast<int>(q), label.start);
         VJ_DCHECK(n != xml::kInvalidNode);
         // Corrupt/poisoned pages can surface labels that resolve to no
@@ -428,9 +441,12 @@ class ViewJoin::Impl {
     buffered_ = 0;
     group_candidates_ = 0;
     std::fill(max_buffered_end_.begin(), max_buffered_end_.end(), 0);
+    // The flushed F entries are freed; return their budget charge.
+    ctx_->ReleaseMemory(charged_memory_);
+    charged_memory_ = 0;
     if (!any) return;
     ++stats_->flushes;
-    enumerator_.Enumerate(resolved, sink_);
+    enumerator_.Enumerate(resolved, sink_, ctx_);
   }
 
   /// Collects the F entries of removed node `r` under the buffered entries
@@ -442,6 +458,7 @@ class ViewJoin::Impl {
     ListCursor& rcursor = cursors_[static_cast<size_t>(r)];
     uint32_t prev_end = 0;
     for (const FEntry& a : anchors) {
+      if (ctx_->Checkpoint()) return;
       if (a.label.start < prev_end) continue;  // nested in previous anchor
       prev_end = a.label.end;
       if (has_pointers_[static_cast<size_t>(r)]) {
@@ -469,6 +486,7 @@ class ViewJoin::Impl {
         }
       }
       while (!rcursor.AtEnd()) {
+        if (ctx_->Checkpoint()) return;
         Label label = rcursor.LabelAt();
         if (label.start > a.label.end) break;
         ++stats_->entries_scanned;
@@ -495,6 +513,8 @@ class ViewJoin::Impl {
   tpq::MatchSink* sink_;
   OutputMode mode_;
   HolisticStats* stats_;
+  algo::QueryContext default_ctx_;  // ungoverned stand-in when none supplied
+  algo::QueryContext* ctx_;
   algo::CandidateEnumerator enumerator_;
   algo::MonotoneResolver resolver_;
 
@@ -511,6 +531,7 @@ class ViewJoin::Impl {
   std::unique_ptr<SpillBuffer> spill_;
   uint64_t buffered_ = 0;
   uint64_t group_candidates_ = 0;
+  uint64_t charged_memory_ = 0;
 };
 
 ViewJoin::ViewJoin(const QueryBinding* binding, const SegmentedQuery* segmented,
@@ -518,9 +539,9 @@ ViewJoin::ViewJoin(const QueryBinding* binding, const SegmentedQuery* segmented,
     : binding_(binding), segmented_(segmented), pool_(pool) {}
 
 void ViewJoin::Evaluate(tpq::MatchSink* sink, OutputMode mode,
-                        storage::Pager* spill) {
+                        storage::Pager* spill, algo::QueryContext* ctx) {
   stats_ = HolisticStats();
-  Impl impl(*binding_, *segmented_, pool_, sink, mode, spill, &stats_);
+  Impl impl(*binding_, *segmented_, pool_, sink, mode, spill, &stats_, ctx);
   impl.Run();
 }
 

@@ -5,6 +5,7 @@
 
 #include "algo/holistic_stats.h"
 #include "algo/query_binding.h"
+#include "algo/query_context.h"
 #include "core/segmented_query.h"
 #include "storage/buffer_pool.h"
 #include "storage/pager.h"
@@ -48,10 +49,14 @@ class ViewJoin {
 
   /// Runs the join, streaming every match to `sink`. Disk output mode
   /// spills intermediate solutions through `spill` and re-reads them at
-  /// group boundaries (paper Section VI-E).
+  /// group boundaries (paper Section VI-E). A non-null `ctx` governs the
+  /// run: the segment getNext recursion, drains, extension walks and the
+  /// output enumeration all checkpoint it and stop early once it aborts — a
+  /// stopped run's partial matches must be discarded by the caller.
   void Evaluate(tpq::MatchSink* sink,
                 algo::OutputMode mode = algo::OutputMode::kMemory,
-                storage::Pager* spill = nullptr);
+                storage::Pager* spill = nullptr,
+                algo::QueryContext* ctx = nullptr);
 
   const algo::HolisticStats& stats() const { return stats_; }
   const SegmentedQuery& segmented() const { return *segmented_; }

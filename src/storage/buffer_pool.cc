@@ -237,6 +237,17 @@ void BufferPool::ResetError() {
   error_page_ = kInvalidPage;
 }
 
+size_t BufferPool::pinned_frames() {
+  size_t pinned = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const Frame& frame : shard.lru) {
+      if (frame.pins > 0) ++pinned;
+    }
+  }
+  return pinned;
+}
+
 void BufferPool::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

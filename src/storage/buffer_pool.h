@@ -168,6 +168,11 @@ class BufferPool {
   size_t capacity() const { return capacity_; }
   size_t shard_count() const { return shards_.size(); }
 
+  /// Number of frames currently pinned by live PinnedPage handles. Quiescent
+  /// engines must report 0 — governance tests assert an aborted (timed-out,
+  /// cancelled) query leaks no pins.
+  size_t pinned_frames();
+
   /// Drops every cached frame that is not currently pinned (cold-cache
   /// experiments) and resets the pool-global error latch — a cleared pool
   /// must not keep reporting a fault from a previous run.

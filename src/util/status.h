@@ -19,6 +19,7 @@ enum class StatusCode {
   kCorruption,       // bytes came back but fail validation (checksum, magic)
   kNotFound,         // a required file/object does not exist
   kInvalidArgument,  // caller asked for something structurally impossible
+  kResourceExhausted,  // a memory/disk budget or quota would be exceeded
 };
 
 inline const char* StatusCodeName(StatusCode code) {
@@ -33,6 +34,8 @@ inline const char* StatusCodeName(StatusCode code) {
       return "NOT_FOUND";
     case StatusCode::kInvalidArgument:
       return "INVALID_ARGUMENT";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }
@@ -57,6 +60,9 @@ class Status {
   }
   static Status InvalidArgument(std::string m) {
     return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

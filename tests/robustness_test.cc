@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "algo/monotone_resolver.h"
@@ -536,6 +540,73 @@ TEST(BatchFaultIsolationTest, CorruptViewDegradesOnlyItsOwnQuery) {
   // replicas may already be served by the rebuilt replacement).
   EXPECT_TRUE(any_bad_degraded);
   EXPECT_GE(engine.catalog()->quarantined_count(), 1u);
+}
+
+TEST(BatchFaultIsolationTest, CancelDuringQuarantineRecoveryLeaksNothing) {
+  // A query hits a corrupt view, the engine quarantines and rebuilds it, and
+  // the caller cancels *during* that recovery: the canceller thread waits
+  // for the quarantine to register in the catalog before flipping the token,
+  // so the cancellation deterministically lands mid-recovery. The cancelled
+  // query must stop without leaking buffer pins or spill files, and sibling
+  // batch queries must complete with clean answers.
+  util::Rng rng(33);
+  // Large enough that the post-recovery re-evaluation spans many checkpoint
+  // intervals — the cancel verdict is observed well before it finishes.
+  xml::Document doc = testing::RandomDoc(&rng, 40000, {"a", "b", "c", "d"});
+  TreePattern q_bad = MustParse("//a//b");
+  TreePattern q_good = MustParse("//c//d");
+  uint64_t good_expected = tpq::NaiveEvaluator(doc, q_good).Count();
+  util::ScopedFaultInjection fi;
+  std::string path = TempPath("cancel_recovery.db");
+  Engine engine(&doc, path);
+  const MaterializedView* a = engine.AddView("//a", Scheme::kLinkedElement);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  const MaterializedView* d = engine.AddView("//d", Scheme::kLinkedElement);
+  fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/1);
+  const MaterializedView* b = engine.AddView("//b", Scheme::kLinkedElement);
+
+  std::atomic<bool> cancel{false};
+  std::thread canceller([&] {
+    auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (engine.catalog()->quarantined_count() == 0 &&
+           std::chrono::steady_clock::now() < give_up) {
+      std::this_thread::yield();
+    }
+    cancel.store(true);
+  });
+
+  core::BatchQuery victim{&q_bad, {a, b}};
+  victim.cancel = &cancel;
+  std::vector<core::BatchQuery> batch = {
+      victim, {&q_good, {c, d}}, {&q_good, {c, d}}};
+  core::BatchOptions options;
+  options.threads = 2;
+  std::vector<RunResult> results = engine.ExecuteBatch(batch, options);
+  canceller.join();
+
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].ok);
+  EXPECT_TRUE(results[0].cancelled) << results[0].error;
+  // The quarantine had already happened when the token flipped.
+  EXPECT_GE(engine.catalog()->quarantined_count(), 1u);
+  ASSERT_FALSE(results[0].quarantined_views.empty());
+  EXPECT_EQ(results[0].quarantined_views[0], "//b");
+  // No pins survive the abort and the worker spill spools are gone.
+  EXPECT_EQ(engine.catalog()->pool()->pinned_frames(), 0u);
+  EXPECT_FALSE(std::filesystem::exists(path + ".spill.0"));
+  EXPECT_FALSE(std::filesystem::exists(path + ".spill.1"));
+  // Siblings were untouched by both the fault and the cancellation.
+  for (size_t i = 1; i < 3; ++i) {
+    ASSERT_TRUE(results[i].ok) << "sibling " << i << ": " << results[i].error;
+    EXPECT_FALSE(results[i].cancelled);
+    EXPECT_FALSE(results[i].degraded) << "sibling " << i << " contaminated";
+    EXPECT_EQ(results[i].match_count, good_expected);
+  }
+  // The rebuilt replacement serves the cancelled query cleanly afterwards.
+  RunResult after = engine.Execute(q_bad, {a, b});
+  ASSERT_TRUE(after.ok) << after.error;
+  EXPECT_FALSE(after.degraded);
+  EXPECT_EQ(after.match_count, tpq::NaiveEvaluator(doc, q_bad).Count());
 }
 
 TEST(SingleNodeQueryTest, DegenerateQueriesWork) {

@@ -10,6 +10,8 @@
 
 #include "core/engine.h"
 #include "data/nasa_generator.h"
+#include "storage/buffer_pool.h"
+#include "storage/pager.h"
 #include "data/xmark_generator.h"
 #include "tests/test_util.h"
 #include "tpq/evaluator.h"
@@ -222,6 +224,69 @@ TEST_P(GeneratorInterJoinTest, PathQueriesMatchOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Cases, GeneratorInterJoinTest, ::testing::Range(0, 5));
+
+/// Governed runs are a pure control-plane overlay: with generous limits the
+/// answer hash must be identical to the ungoverned run, and with punishing
+/// budgets the engine must either degrade to the exact answer or fail with a
+/// typed RESOURCE_EXHAUSTED — it must never return a wrong match set.
+class GovernedStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GovernedStressTest, TinyBudgetsNeverProduceWrongAnswers) {
+  uint64_t seed = 60000 + static_cast<uint64_t>(GetParam());
+  util::Rng rng(seed);
+  std::vector<std::string> tags = {"a", "b", "c", "d"};
+  xml::Document doc = testing::RandomDoc(&rng, 300, tags);
+  TreePattern query = testing::RandomQuery(
+      &rng, 2 + static_cast<int>(rng.Uniform(3)), tags);
+  std::vector<TreePattern> view_patterns =
+      testing::RandomViewPartition(&rng, query, 2);
+  Expected expected = Oracle(doc, query);
+  Engine engine(&doc, TempPath("gov_stress_" + std::to_string(seed) + ".db"));
+  std::vector<const MaterializedView*> views;
+  for (const TreePattern& v : view_patterns) {
+    views.push_back(engine.AddView(v, Scheme::kLinkedElement));
+  }
+  for (Algorithm algorithm : {Algorithm::kTwigStack, Algorithm::kViewJoin}) {
+    // Generous governance: nothing may change versus the clean run.
+    RunOptions roomy;
+    roomy.algorithm = algorithm;
+    roomy.deadline_ms = 60000;
+    roomy.memory_budget_bytes = 1ull << 30;
+    roomy.disk_budget_bytes = 1ull << 30;
+    RunResult r = engine.Execute(query, views, roomy);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_FALSE(r.degraded);
+    EXPECT_EQ(r.match_count, expected.count) << query.ToString();
+    EXPECT_EQ(r.result_hash, expected.hash) << query.ToString();
+
+    // Punishing memory budget: the disk-mode downgrade must still be exact.
+    RunOptions tight;
+    tight.algorithm = algorithm;
+    tight.memory_budget_bytes = 256;
+    RunResult t = engine.Execute(query, views, tight);
+    if (t.ok) {
+      EXPECT_EQ(t.match_count, expected.count) << query.ToString();
+      EXPECT_EQ(t.result_hash, expected.hash) << query.ToString();
+    } else {
+      EXPECT_NE(t.error.find("RESOURCE_EXHAUSTED"), std::string::npos)
+          << t.error;
+    }
+
+    // Punishing both budgets: same contract, exhaustion is typed.
+    RunOptions starved = tight;
+    starved.disk_budget_bytes = storage::Pager::kPageSize;
+    RunResult s = engine.Execute(query, views, starved);
+    if (s.ok) {
+      EXPECT_EQ(s.result_hash, expected.hash) << query.ToString();
+    } else {
+      EXPECT_NE(s.error.find("RESOURCE_EXHAUSTED"), std::string::npos)
+          << s.error;
+    }
+    EXPECT_EQ(engine.catalog()->pool()->pinned_frames(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GovernedStressTest, ::testing::Range(0, 30));
 
 }  // namespace
 }  // namespace viewjoin

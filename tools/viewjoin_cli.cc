@@ -12,6 +12,7 @@
 //   viewjoin_cli --nasa 400 --query '//field//footnote//para'
 //                --views '//field//footnote;//para' --explain --limit 5
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -55,6 +56,9 @@ struct Options {
   bool count_only = false;
   bool store_result = false;
   int64_t limit = 20;
+  double deadline_ms = 0;
+  uint64_t memory_budget = 0;
+  uint64_t disk_budget = 0;
 };
 
 void Usage(const char* prog) {
@@ -64,6 +68,8 @@ void Usage(const char* prog) {
       "          --query XPATH (--views 'V1;V2;..' | --candidates 'V1;..')\n"
       "          [--algo TS|VJ|IJ] [--scheme E|T|LE|LE_p] [--disk]\n"
       "          [--explain] [--count-only] [--store-result] [--limit N]\n"
+      "          [--deadline-ms MS] [--memory-budget BYTES]\n"
+      "          [--disk-budget BYTES]\n"
       "\n"
       "  --views       covering view set, materialized as given\n"
       "  --candidates  candidate pool; the cost-based greedy heuristic\n"
@@ -71,7 +77,11 @@ void Usage(const char* prog) {
       "  --explain     print the view-segmented query and per-list sizes\n"
       "  --estimate    drive view selection from single-pass statistics\n"
       "                instead of exact list lengths\n"
-      "  --store-result  store the answer back as a materialized view\n",
+      "  --store-result  store the answer back as a materialized view\n"
+      "  --deadline-ms   abort the query after MS milliseconds (exit 3)\n"
+      "  --memory-budget cap buffered intermediates; overruns degrade to\n"
+      "                  disk spilling, then fail with RESOURCE_EXHAUSTED\n"
+      "  --disk-budget   cap spilled intermediates in bytes\n",
       prog);
 }
 
@@ -164,6 +174,18 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->limit = std::atol(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->deadline_ms = std::atof(v);
+    } else if (arg == "--memory-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->memory_budget = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--disk-budget") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->disk_budget = std::strtoull(v, nullptr, 10);
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -277,7 +299,13 @@ int Run(const Options& options) {
   std::vector<const MaterializedView*> views;
   if (!options.views.empty()) {
     for (const std::string& v : options.views) {
-      views.push_back(engine.AddView(v, options.scheme));
+      auto added = engine.TryAddView(v, options.scheme);
+      if (!added.ok()) {
+        std::fprintf(stderr, "bad view '%s': %s\n", v.c_str(),
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      views.push_back(*added);
     }
   } else {
     std::vector<TreePattern> candidates;
@@ -319,6 +347,9 @@ int Run(const Options& options) {
   run.algorithm = options.algorithm;
   run.output_mode = options.disk_mode ? viewjoin::algo::OutputMode::kDisk
                                       : viewjoin::algo::OutputMode::kMemory;
+  run.deadline_ms = options.deadline_ms;
+  run.memory_budget_bytes = options.memory_budget;
+  run.disk_budget_bytes = options.disk_budget;
   PrintingSink printer(doc, *query, options.count_only ? 0 : options.limit);
   RunResult result;
   if (options.store_result) {
@@ -336,7 +367,13 @@ int Run(const Options& options) {
   }
   if (!result.ok) {
     std::fprintf(stderr, "execution failed: %s\n", result.error.c_str());
-    return 1;
+    // Governance stops exit 3 so scripts can tell "over budget / too slow"
+    // from hard failures.
+    return (result.timed_out || result.cancelled) ? 3 : 1;
+  }
+  if (result.degraded) {
+    std::printf("note: degraded run (budget overrun spilled to disk or a "
+                "view was rebuilt)\n");
   }
   std::printf(
       "%llu matches in %.3f ms (I/O %.3f ms, %llu pages read, "

@@ -1,33 +1,63 @@
 // vj_fsck: offline integrity check for a ViewJoin pager file.
 //
 // Scans every page through the format-v2 header and per-page checksum
-// verification and prints a verdict per bad page. Exit status: 0 when the
-// file is clean, 1 when the header is invalid or any page fails
-// verification, 2 on usage errors.
+// verification and prints a verdict per bad page. Exit status follows the
+// fsck convention so scripts can branch on the verdict:
+//   0  the file is clean
+//   1  the file was read but is corrupt (bad header, checksum, footer)
+//   2  usage error, or the file could not be read at all (missing, I/O)
 //
-//   $ ./build/tools/vj_fsck /path/to/views.db
+//   $ ./build/tools/vj_fsck [--quiet] /path/to/views.db
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "storage/fsck.h"
 
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr, "usage: %s [--quiet] <pager-file>\n", prog);
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <pager-file>\n", argv[0]);
-    return 2;
+  bool quiet = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
+      quiet = true;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
   }
-  const std::string path = argv[1];
+  if (path.empty()) return Usage(argv[0]);
+
   viewjoin::storage::FsckReport report = viewjoin::storage::FsckPagerFile(path);
   if (!report.file_status.ok()) {
-    std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                 report.file_status.ToString().c_str());
-    return 1;
+    if (!quiet) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                   report.file_status.ToString().c_str());
+    }
+    // A file whose bytes validate as *wrong* is corrupt (exit 1); a file we
+    // could not read at all is an environment problem (exit 2).
+    using viewjoin::util::StatusCode;
+    return report.file_status.code() == StatusCode::kCorruption ? 1 : 2;
   }
-  for (const auto& [page, status] : report.bad_pages) {
-    std::printf("page %u: %s\n", page, status.ToString().c_str());
+  if (!quiet) {
+    for (const auto& [page, status] : report.bad_pages) {
+      std::printf("page %u: %s\n", page, status.ToString().c_str());
+    }
+    std::printf("%s: %u pages, %zu bad\n", path.c_str(), report.page_count,
+                report.bad_pages.size());
   }
-  std::printf("%s: %u pages, %zu bad\n", path.c_str(), report.page_count,
-              report.bad_pages.size());
   return report.ok() ? 0 : 1;
 }
