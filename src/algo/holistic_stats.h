@@ -22,6 +22,29 @@ struct HolisticStats {
   /// Pages written + read through the spill file (disk output mode).
   uint64_t spill_pages_written = 0;
   uint64_t spill_pages_read = 0;
+  /// Time spent in the output pass (ExtendRemoved + enumeration), and the
+  /// work done there — the planner's "extension walk" plan step reports these
+  /// separately from the segment-evaluation counters above.
+  double output_pass_ms = 0.0;
+  uint64_t output_entries_scanned = 0;
+  uint64_t output_pointer_jumps = 0;
+
+  HolisticStats& operator+=(const HolisticStats& other) {
+    entries_scanned += other.entries_scanned;
+    entries_skipped += other.entries_skipped;
+    pointer_jumps += other.pointer_jumps;
+    candidates += other.candidates;
+    flushes += other.flushes;
+    if (other.peak_buffered > peak_buffered) {
+      peak_buffered = other.peak_buffered;
+    }
+    spill_pages_written += other.spill_pages_written;
+    spill_pages_read += other.spill_pages_read;
+    output_pass_ms += other.output_pass_ms;
+    output_entries_scanned += other.output_entries_scanned;
+    output_pointer_jumps += other.output_pointer_jumps;
+    return *this;
+  }
 };
 
 /// How query solutions are buffered before the output pass (paper Section IV

@@ -8,11 +8,8 @@
 #include <optional>
 #include <thread>
 
-#include "algo/inter_join.h"
-#include "algo/query_binding.h"
-#include "algo/twig_stack.h"
-#include "core/segmented_query.h"
-#include "core/view_join.h"
+#include "plan/operator.h"
+#include "plan/planner.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -21,18 +18,6 @@ namespace viewjoin::core {
 using storage::MaterializedView;
 using storage::Scheme;
 using tpq::TreePattern;
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kTwigStack:
-      return "TS";
-    case Algorithm::kViewJoin:
-      return "VJ";
-    case Algorithm::kInterJoin:
-      return "IJ";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -152,49 +137,95 @@ RunResult Engine::ExecuteInternal(
   storage::IoStats before = catalog_->Stats();
   storage::IoStats spill_before = ctx.spill->stats();
 
-  // Redirect views that were quarantined and replaced in an earlier call, so
-  // stale caller pointers keep working.
-  std::vector<const MaterializedView*> active = views;
-  for (const MaterializedView*& v : active) {
-    if (const MaterializedView* r = catalog_->ReplacementFor(v)) v = r;
+  // Document statistics feed the planner's cardinality estimates. Collecting
+  // them is one-time document preprocessing (one DFS per engine lifetime,
+  // like view materialization), so it happens before the query timer starts.
+  if (run.algorithm == Algorithm::kAuto) {
+    std::call_once(doc_stats_once_, [this] {
+      doc_stats_.emplace(xml::DocumentStatistics::Collect(*doc_));
+    });
   }
 
   util::Timer timer;
 
-  // Runs one attempt; returns false on a bind/argument error (recorded in
-  // result.error) — those are caller mistakes, not storage faults, and are
-  // never retried.
+  // ---- Plan ----------------------------------------------------------------
+  // The planner resolves algorithm (kAuto -> cost-based choice), applies
+  // quarantine redirects, and under kAuto picks the covering view subset and
+  // per-view schemes. Plans are memoized keyed on (query fingerprint,
+  // environment, catalog version).
+  plan::Planner planner(&plan_cache_);
+  plan::PlannerInput pin;
+  pin.doc = doc_;
+  pin.query = &query;
+  pin.views = views;
+  pin.catalog = catalog_.get();
+  if (doc_stats_.has_value()) pin.statistics = &*doc_stats_;
+  pin.algorithm = run.algorithm;
+  pin.mode = run.output_mode;
+  bool plan_cached = false;
+  std::shared_ptr<const plan::PhysicalPlan> planned =
+      planner.Plan(pin, &plan_cached);
+  const Algorithm algorithm = planned->algorithm;  // resolved, never kAuto
+  result.plan.algorithm = algorithm;
+  result.plan.from_cache = plan_cached;
+  result.plan.estimated_cost = planned->estimated_cost;
+  result.plan.text = planned->ToString();
+  result.plan.steps = planned->steps;  // stats columns start at zero
+
+  auto step = [&](plan::StepKind kind) -> plan::PlanStep* {
+    for (plan::PlanStep& s : result.plan.steps) {
+      if (s.kind == kind) return &s;
+    }
+    return nullptr;
+  };
+  if (plan::PlanStep* resolve = step(plan::StepKind::kResolveCover)) {
+    resolve->stats.elapsed_ms = timer.ElapsedMillis();
+  }
+
+  std::vector<const MaterializedView*> active = planned->views;
+
+  // Runs one attempt through the uniform Operator interface — the engine
+  // holds no per-algorithm knowledge; plan::MakeOperator is the single
+  // dispatch point. Returns false on a bind/argument error (recorded in
+  // result.error with the binder's message) — those are caller mistakes, not
+  // storage faults, and are never retried.
   auto run_once = [&](const std::vector<const MaterializedView*>& vs,
                       algo::OutputMode mode, tpq::MatchSink* out) -> bool {
-    switch (run.algorithm) {
-      case Algorithm::kInterJoin: {
-        std::optional<algo::InterJoin> join = algo::InterJoin::Bind(
-            *doc_, query, vs, catalog_->pool(), &result.error);
-        if (!join.has_value()) return false;
-        join->Evaluate(out, gov);
-        result.stats = join->stats();
-        break;
-      }
-      case Algorithm::kTwigStack: {
-        std::optional<algo::QueryBinding> binding =
-            algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
-        if (!binding.has_value()) return false;
-        algo::TwigStack twig(&*binding, catalog_->pool());
-        twig.Evaluate(out, mode, ctx.spill, gov);
-        result.stats = twig.stats();
-        break;
-      }
-      case Algorithm::kViewJoin: {
-        std::optional<algo::QueryBinding> binding =
-            algo::QueryBinding::Bind(*doc_, query, vs, &result.error);
-        if (!binding.has_value()) return false;
-        SegmentedQuery segmented = BuildSegmentedQuery(*binding);
-        ViewJoin join(&*binding, &segmented, catalog_->pool());
-        join.Evaluate(out, mode, ctx.spill, gov);
-        result.stats = join.stats();
-        break;
-      }
+    plan::Operator::Config config;
+    config.doc = doc_;
+    config.query = &query;
+    config.views = vs;
+    config.pool = catalog_->pool();
+    config.mode = mode;
+    config.spill = ctx.spill;
+    std::unique_ptr<plan::Operator> op = plan::MakeOperator(algorithm, config);
+    util::Status open = op->Open();
+    if (!open.ok()) {
+      result.error = open.message();
+      return false;
     }
+    util::Timer attempt_timer;
+    op->Evaluate(out, gov);
+    double attempt_ms = attempt_timer.ElapsedMillis();
+    const algo::HolisticStats& s = op->stats();
+    result.stats += s;
+    // Attribute the attempt to the plan steps: the output pass (ViewJoin
+    // instruments it; zero for the others) belongs to extend-output, the
+    // remainder to eval-segments. Page reads all land on eval-segments —
+    // spill traffic is credited to the spill step at finish time.
+    if (plan::PlanStep* eval = step(plan::StepKind::kEvalSegments)) {
+      eval->stats.elapsed_ms += attempt_ms - s.output_pass_ms;
+      eval->stats.pages_read += op->io().pages_read;
+      eval->stats.entries_advanced +=
+          s.entries_scanned - s.output_entries_scanned;
+      eval->stats.pointer_jumps += s.pointer_jumps - s.output_pointer_jumps;
+    }
+    if (plan::PlanStep* extend = step(plan::StepKind::kExtendOutput)) {
+      extend->stats.elapsed_ms += s.output_pass_ms;
+      extend->stats.entries_advanced += s.output_entries_scanned;
+      extend->stats.pointer_jumps += s.output_pointer_jumps;
+    }
+    op->Close();
     return true;
   };
 
@@ -212,6 +243,33 @@ RunResult Engine::ExecuteInternal(
     result.retries = result.io.read_retries;
     result.peak_memory_bytes = gov->peak_memory_bytes();
     result.checkpoints = gov->checkpoints();
+    // Close the per-step ledger: spill traffic goes to the spill step, and
+    // verify-fallback absorbs every residual (planning already accounted,
+    // recovery, rebuilds, the base fallback), so the step columns sum
+    // exactly to this result's totals.
+    if (plan::PlanStep* spill_step = step(plan::StepKind::kSpill)) {
+      spill_step->stats.pages_read = spill_io.pages_read;
+    }
+    plan::StepStats accounted;
+    for (const plan::PlanStep& s : result.plan.steps) {
+      if (s.kind != plan::StepKind::kVerifyFallback) accounted += s.stats;
+    }
+    if (plan::PlanStep* verify = step(plan::StepKind::kVerifyFallback)) {
+      verify->stats.elapsed_ms =
+          std::max(0.0, result.total_ms - accounted.elapsed_ms);
+      verify->stats.pages_read =
+          result.io.pages_read > accounted.pages_read
+              ? result.io.pages_read - accounted.pages_read
+              : 0;
+      verify->stats.entries_advanced =
+          result.stats.entries_scanned > accounted.entries_advanced
+              ? result.stats.entries_scanned - accounted.entries_advanced
+              : 0;
+      verify->stats.pointer_jumps =
+          result.stats.pointer_jumps > accounted.pointer_jumps
+              ? result.stats.pointer_jumps - accounted.pointer_jumps
+              : 0;
+    }
   };
 
   auto finish = [&](const TeeSink& tee) -> RunResult& {
@@ -375,21 +433,27 @@ RunResult Engine::ExecuteInternal(
     return result;
   }
 
-  // Last resort: answer from the base document alone. TwigStack over the
-  // document's own tag lists touches no stored page, so it cannot be harmed
-  // by view-store or spill faults; the match set is identical by definition.
+  // Last resort: answer from the base document alone. The fallback operator
+  // runs TwigStack over the document's own tag lists and touches no stored
+  // page, so it cannot be harmed by view-store or spill faults; the match
+  // set is identical by definition. Its work is charged to the plan's
+  // verify-fallback step (via residual absorption in fill_common).
   clear_view_error();
   ctx.spill->ClearError();
   replay.Reset();
   result.error.clear();
-  std::optional<algo::QueryBinding> base =
-      algo::QueryBinding::BindBase(*doc_, query, &result.error);
-  if (!base.has_value()) return result;
+  std::unique_ptr<plan::Operator> base =
+      plan::MakeBaseFallbackOperator(*doc_, query, catalog_->pool());
+  util::Status base_open = base->Open();
+  if (!base_open.ok()) {
+    result.error = base_open.message();
+    return result;
+  }
   TeeSink tee(sink != nullptr ? static_cast<tpq::MatchSink*>(&replay)
                               : nullptr);
-  algo::TwigStack twig(&*base, catalog_->pool());
-  twig.Evaluate(&tee, algo::OutputMode::kMemory, nullptr, gov);
-  result.stats = twig.stats();
+  base->Evaluate(&tee, gov);
+  result.stats += base->stats();
+  base->Close();
   result.degraded = true;
   if (gov->aborted()) return finish_aborted();
   return finish(tee);
@@ -548,18 +612,45 @@ RunResult Engine::ExecuteToView(
     const std::vector<const MaterializedView*>& views, Scheme result_scheme,
     const MaterializedView** result_view, const RunOptions& run) {
   VJ_CHECK(result_view != nullptr);
+  util::Timer timer;
   SolutionListSink sink(query.size());
   RunResult result = Execute(query, views, run, &sink);
   if (!result.ok) return result;
-  *result_view =
-      catalog_->MaterializeFromLists(*doc_, query, sink.TakeSorted(),
-                                     result_scheme);
+  // The run's governance knobs cover the whole call, not just the query:
+  // re-check deadline and cancellation before the (possibly large)
+  // store-back, which used to run ungoverned.
+  if (run.deadline_ms > 0 && timer.ElapsedMillis() >= run.deadline_ms) {
+    result.ok = false;
+    result.timed_out = true;
+    result.error = "deadline exceeded";
+    return result;
+  }
+  if (run.cancel != nullptr &&
+      run.cancel->load(std::memory_order_relaxed)) {
+    result.ok = false;
+    result.cancelled = true;
+    result.error = "cancelled";
+    return result;
+  }
+  util::StatusOr<const MaterializedView*> stored =
+      catalog_->TryMaterializeFromLists(*doc_, query, sink.TakeSorted(),
+                                        result_scheme);
+  if (!stored.ok()) {
+    // Storing the answer failed but the answer itself is sound; surface the
+    // storage fault as a retryable error instead of dying mid-call.
+    result.ok = false;
+    result.retryable = true;
+    result.error = stored.status().ToString();
+    return result;
+  }
+  *result_view = *stored;
   return result;
 }
 
 RunResult Engine::SelectAndExecute(
     const TreePattern& query, const std::vector<TreePattern>& candidates,
     Scheme scheme, const RunOptions& run, view::SelectionResult* selection) {
+  util::Timer timer;
   view::SelectionOptions options;
   view::SelectionResult picked = view::SelectViews(*doc_, query, candidates,
                                                    options);
@@ -572,9 +663,36 @@ RunResult Engine::SelectAndExecute(
   std::vector<const MaterializedView*> views;
   views.reserve(picked.selected.size());
   for (size_t index : picked.selected) {
-    views.push_back(AddView(candidates[index], scheme));
+    // Selection + materialization count against the caller's deadline and
+    // cancellation token too — a query with a 50 ms deadline must not spend
+    // seconds materializing views first.
+    if (run.deadline_ms > 0 && timer.ElapsedMillis() >= run.deadline_ms) {
+      result.timed_out = true;
+      result.error = "deadline exceeded";
+      return result;
+    }
+    if (run.cancel != nullptr &&
+        run.cancel->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      result.error = "cancelled";
+      return result;
+    }
+    util::StatusOr<const MaterializedView*> made =
+        catalog_->TryMaterialize(*doc_, candidates[index], scheme);
+    if (!made.ok()) {
+      result.retryable = true;
+      result.error = made.status().ToString();
+      return result;
+    }
+    views.push_back(*made);
   }
-  return Execute(query, views, run);
+  // The remaining deadline budget (not a fresh full one) governs the query.
+  RunOptions remaining = run;
+  if (run.deadline_ms > 0) {
+    remaining.deadline_ms =
+        std::max(1.0, run.deadline_ms - timer.ElapsedMillis());
+  }
+  return Execute(query, views, remaining);
 }
 
 }  // namespace viewjoin::core

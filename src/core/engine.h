@@ -5,27 +5,30 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "algo/holistic_stats.h"
 #include "algo/query_context.h"
+#include "plan/algorithm.h"
+#include "plan/physical_plan.h"
+#include "plan/plan_cache.h"
 #include "storage/materialized_view.h"
 #include "tpq/pattern.h"
 #include "util/status.h"
 #include "view/selection.h"
 #include "xml/document.h"
+#include "xml/statistics.h"
 
 namespace viewjoin::core {
 
-/// Evaluation algorithm (paper Table I's columns).
-enum class Algorithm {
-  kTwigStack,  // TS — also PathStack on path queries
-  kViewJoin,   // VJ — this paper
-  kInterJoin,  // IJ — tuple-scheme path views only
-};
-
-const char* AlgorithmName(Algorithm algorithm);
+/// Evaluation algorithm (paper Table I's columns, plus kAuto, which hands
+/// the choice to the cost-based planner). Lives in plan/algorithm.h; aliased
+/// here so the engine's historical spelling (core::Algorithm) keeps working.
+using Algorithm = plan::Algorithm;
+using plan::AlgorithmName;
+using plan::ParseAlgorithm;
 
 /// The public facade: owns a document's materialized-view store and runs
 /// queries against covering view sets with any algorithm × scheme combo.
@@ -157,7 +160,14 @@ struct RunResult {
   /// Wall time spent inside page reads/writes (view store + spill).
   double io_ms = 0;
   storage::IoStats io;
+  /// Evaluation counters, accumulated over every attempt this call made
+  /// (recovery retries and the base fallback included), so they agree with
+  /// the per-step plan stats below.
   algo::HolisticStats stats;
+  /// The executed physical plan: resolved algorithm, rendered tree, and
+  /// per-step stats whose columns sum exactly to this result's totals
+  /// (total_ms, io.pages_read, stats.entries_scanned, stats.pointer_jumps).
+  plan::ExplainResult plan;
 };
 
 class Engine {
@@ -236,6 +246,11 @@ class Engine {
 
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
+  /// The engine's plan cache (hit/miss counters for tests and benches).
+  /// Entries key on the catalog version, so materialization, quarantine and
+  /// replacement invalidate implicitly; Clear() exists for tests only.
+  plan::PlanCache* plan_cache() { return &plan_cache_; }
+
  private:
   /// Per-call execution environment: which spill pager to spool into,
   /// whether this call owns the engine exclusively, and the query's
@@ -254,9 +269,14 @@ class Engine {
       const RunOptions& run, tpq::MatchSink* sink, const ExecContext& ctx);
 
   const xml::Document* doc_;
+  /// Document statistics for the planner's cardinality estimates, collected
+  /// lazily on the first kAuto query (one DFS per engine lifetime).
+  std::once_flag doc_stats_once_;
+  std::optional<xml::DocumentStatistics> doc_stats_;
   std::string storage_path_;
   std::unique_ptr<storage::ViewCatalog> catalog_;
   std::unique_ptr<storage::Pager> spill_;
+  plan::PlanCache plan_cache_;
   /// Serializes quarantine + re-materialization across batch workers so two
   /// workers hitting the same corrupt view rebuild it once.
   std::mutex recovery_mu_;

@@ -10,6 +10,7 @@
 #include "storage/materialized_view.h"
 #include "storage/stored_list.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace viewjoin::core {
 
@@ -401,6 +402,19 @@ class ViewJoin::Impl {
     // An aborted run's candidates are never extended or enumerated (their
     // partial output would be discarded anyway); the buffers die with Impl.
     if (ctx_->aborted()) return;
+    // Attribute the pass's time and scan/jump work to the output-pass
+    // counters (deltas, since ExtendRemoved shares the segment counters) so
+    // the plan layer can report the extension walk as its own step.
+    util::Timer output_timer;
+    const uint64_t scanned_before = stats_->entries_scanned;
+    const uint64_t jumps_before = stats_->pointer_jumps;
+    FlushImpl();
+    stats_->output_pass_ms += output_timer.ElapsedMillis();
+    stats_->output_entries_scanned += stats_->entries_scanned - scanned_before;
+    stats_->output_pointer_jumps += stats_->pointer_jumps - jumps_before;
+  }
+
+  void FlushImpl() {
     // Step 1: extension. Removed nodes are visited anchors-first.
     for (size_t i = 0; i < sq_.removed.size(); ++i) {
       int r = sq_.removed[i];

@@ -1,0 +1,27 @@
+#include "plan/algorithm.h"
+
+namespace viewjoin::plan {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kTwigStack:
+      return "TS";
+    case Algorithm::kViewJoin:
+      return "VJ";
+    case Algorithm::kInterJoin:
+      return "IJ";
+    case Algorithm::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> ParseAlgorithm(std::string_view name) {
+  if (name == "TS") return Algorithm::kTwigStack;
+  if (name == "VJ") return Algorithm::kViewJoin;
+  if (name == "IJ") return Algorithm::kInterJoin;
+  if (name == "auto") return Algorithm::kAuto;
+  return std::nullopt;
+}
+
+}  // namespace viewjoin::plan

@@ -1,0 +1,31 @@
+#ifndef VIEWJOIN_PLAN_ALGORITHM_H_
+#define VIEWJOIN_PLAN_ALGORITHM_H_
+
+#include <optional>
+#include <string_view>
+
+namespace viewjoin::plan {
+
+/// Evaluation algorithm (paper Table I's columns). Historically the caller
+/// hard-wired one of the three concrete algorithms; kAuto hands the choice to
+/// the cost-based Planner, which picks algorithm × scheme per query from the
+/// catalog's statistics (the paper's central experimental question — which
+/// combination wins — answered inside the engine instead of by the client).
+enum class Algorithm {
+  kTwigStack,  // TS — also PathStack on path queries
+  kViewJoin,   // VJ — this paper
+  kInterJoin,  // IJ — tuple-scheme path views only
+  kAuto,       // cost-based planner chooses among the above
+};
+
+/// Human-readable name ("TS", "VJ", "IJ", "auto").
+const char* AlgorithmName(Algorithm algorithm);
+
+/// Inverse of AlgorithmName: parses "TS"/"VJ"/"IJ"/"auto" (case-sensitive,
+/// matching the names the CLI and benches print). std::nullopt on anything
+/// else — callers reject unknown spellings instead of silently defaulting.
+std::optional<Algorithm> ParseAlgorithm(std::string_view name);
+
+}  // namespace viewjoin::plan
+
+#endif  // VIEWJOIN_PLAN_ALGORITHM_H_

@@ -1,0 +1,88 @@
+#ifndef VIEWJOIN_PLAN_OPERATOR_H_
+#define VIEWJOIN_PLAN_OPERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "algo/holistic_stats.h"
+#include "algo/query_context.h"
+#include "plan/algorithm.h"
+#include "storage/buffer_pool.h"
+#include "storage/io_stats.h"
+#include "storage/materialized_view.h"
+#include "storage/pager.h"
+#include "tpq/pattern.h"
+#include "util/status.h"
+#include "xml/document.h"
+
+namespace viewjoin::plan {
+
+/// The uniform physical-operator interface every evaluation algorithm is
+/// wrapped into. The engine's plan interpreter speaks only this vocabulary —
+/// it holds no per-algorithm knowledge; MakeOperator is the single place the
+/// Algorithm enum is dispatched on.
+///
+/// Lifecycle: Open() binds the query to its inputs (views or base document)
+/// and is where caller mistakes (non-covering views, wrong scheme family)
+/// surface as InvalidArgument, with the binder's original message preserved
+/// verbatim. Evaluate() streams matches under the governance context; an
+/// aborted run's partial output must be discarded by the caller. Close()
+/// drops bound state; the operator may then be destroyed or re-Opened (the
+/// engine builds a fresh operator per recovery attempt instead).
+class Operator {
+ public:
+  /// Execution environment shared by every operator: the document, the query,
+  /// the covering views (ignored by the base fallback), the page cache and
+  /// the spill spool + output mode for disk-mode intermediates.
+  struct Config {
+    const xml::Document* doc = nullptr;
+    const tpq::TreePattern* query = nullptr;
+    std::vector<const storage::MaterializedView*> views;
+    storage::BufferPool* pool = nullptr;
+    algo::OutputMode mode = algo::OutputMode::kMemory;
+    storage::Pager* spill = nullptr;
+  };
+
+  virtual ~Operator() = default;
+
+  /// Operator name for plans and logs ("TS", "VJ", "IJ", "TS-base").
+  virtual const char* name() const = 0;
+
+  /// Binds the query. InvalidArgument carries the binder's message.
+  virtual util::Status Open() = 0;
+
+  /// Runs the bound query, streaming every match to `sink` under `ctx`
+  /// (never null — the engine passes an ungoverned context when the caller
+  /// set no limits). Requires a successful Open().
+  virtual void Evaluate(tpq::MatchSink* sink, algo::QueryContext* ctx) = 0;
+
+  /// Releases bound state (idempotent; the destructor also closes).
+  virtual void Close() = 0;
+
+  /// Evaluation counters of the last Evaluate() run.
+  const algo::HolisticStats& stats() const { return stats_; }
+  /// Page traffic this operator caused (hits + misses observed by the
+  /// calling thread during Evaluate()).
+  const storage::IoStats& io() const { return io_; }
+
+ protected:
+  algo::HolisticStats stats_;
+  storage::IoStats io_;
+};
+
+/// Builds the operator for a resolved algorithm (kAuto is a planner input,
+/// never an operator — passing it dies). This is the engine's single
+/// algorithm dispatch point.
+std::unique_ptr<Operator> MakeOperator(Algorithm algorithm,
+                                       const Operator::Config& config);
+
+/// The last rung of the fault ladder: TwigStack over the base document's own
+/// tag lists. Touches no stored page, so it cannot be harmed by view-store
+/// or spill faults.
+std::unique_ptr<Operator> MakeBaseFallbackOperator(const xml::Document& doc,
+                                                   const tpq::TreePattern& query,
+                                                   storage::BufferPool* pool);
+
+}  // namespace viewjoin::plan
+
+#endif  // VIEWJOIN_PLAN_OPERATOR_H_

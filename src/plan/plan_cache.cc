@@ -1,0 +1,52 @@
+#include "plan/plan_cache.h"
+
+#include <utility>
+
+namespace viewjoin::plan {
+
+uint64_t PlanCache::MapKey(const Key& key) {
+  // The catalog version is intentionally left out of the map key: versions
+  // live in the entries, so a re-plan after invalidation overwrites the
+  // stale entry in place instead of accumulating one entry per version.
+  uint64_t h = key.query_fingerprint;
+  h ^= key.env_fingerprint + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::shared_ptr<const PhysicalPlan> PlanCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(MapKey(key));
+  if (it == entries_.end() || it->second.catalog_version != key.catalog_version) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.plan;
+}
+
+void PlanCache::Insert(const Key& key, std::shared_ptr<const PhysicalPlan> plan) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[MapKey(key)] = Entry{key.catalog_version, std::move(plan)};
+}
+
+uint64_t PlanCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t PlanCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace viewjoin::plan

@@ -10,6 +10,11 @@ namespace {
 /// chain through prev_; LatchError walks it looking for a matching pool).
 thread_local BufferPool::ErrorScope* g_error_scope = nullptr;
 
+/// Innermost StatsScope on this thread. Unlike the error chain, *every*
+/// matching scope in the chain is credited on each access, so nested scopes
+/// partition and total simultaneously.
+thread_local BufferPool::StatsScope* g_stats_scope = nullptr;
+
 size_t FloorPow2(size_t n) {
   size_t p = 1;
   while (p * 2 <= n) p *= 2;
@@ -101,6 +106,18 @@ BufferPool::ErrorScope::~ErrorScope() {
   g_error_scope = prev_;
 }
 
+// ---- StatsScope ------------------------------------------------------------
+
+BufferPool::StatsScope::StatsScope(BufferPool* pool)
+    : pool_(pool), prev_(g_stats_scope) {
+  g_stats_scope = this;
+}
+
+BufferPool::StatsScope::~StatsScope() {
+  VJ_DCHECK(g_stats_scope == this) << "StatsScopes must unwind in LIFO order";
+  g_stats_scope = prev_;
+}
+
 // ---- BufferPool ------------------------------------------------------------
 
 BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
@@ -166,6 +183,7 @@ util::Status BufferPool::Fetch(PageId page, PinnedPage* out) {
     auto it = shard.index.find(page);
     if (it != shard.index.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      CreditScopes(/*hit=*/true);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       Frame& frame = *it->second;
       ++frame.pins;
@@ -178,6 +196,7 @@ util::Status BufferPool::Fetch(PageId page, PinnedPage* out) {
   std::vector<uint8_t> data(Pager::kPageSize);
   util::Status status = pager_->ReadPage(page, data.data());
   misses_.fetch_add(1, std::memory_order_relaxed);
+  CreditScopes(/*hit=*/false);
   if (!status.ok()) return status;
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(page);
@@ -202,6 +221,18 @@ BufferPool::PinnedPage BufferPool::GetPage(PageId page) {
   // 0xFF poison: labels read as the exhausted-stream sentinel and pointers as
   // kNullEntry, so cursors terminate instead of chasing garbage.
   return PinnedPage(page, poison_.data());
+}
+
+void BufferPool::CreditScopes(bool hit) {
+  for (StatsScope* scope = g_stats_scope; scope != nullptr;
+       scope = scope->prev_) {
+    if (scope->pool_ != this) continue;
+    if (hit) {
+      ++scope->hits_;
+    } else {
+      ++scope->misses_;
+    }
+  }
 }
 
 void BufferPool::LatchError(const util::Status& status, PageId page) {

@@ -131,6 +131,33 @@ class BufferPool {
     PageId error_page_ = kInvalidPage;
   };
 
+  /// Counts this thread's page accesses on `pool` for the scope's lifetime,
+  /// in addition to the pool-global hit/miss counters. Unlike ErrorScope
+  /// (where the innermost matching scope *captures* the fault), every active
+  /// StatsScope for the pool is credited, so a plan-step scope nested inside
+  /// a whole-query scope sees its own slice while the outer scope still sees
+  /// the total. Scopes nest per thread and must be destroyed on the thread
+  /// that created them.
+  class StatsScope {
+   public:
+    explicit StatsScope(BufferPool* pool);
+    ~StatsScope();
+
+    StatsScope(const StatsScope&) = delete;
+    StatsScope& operator=(const StatsScope&) = delete;
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t reads() const { return hits_ + misses_; }
+
+   private:
+    friend class BufferPool;
+    BufferPool* pool_;
+    StatsScope* prev_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+  };
+
   /// Fetches `page` through the cache and pins it into `*out` (replacing
   /// whatever `*out` held). Failed reads are not cached and do not touch the
   /// error latch.
@@ -197,6 +224,7 @@ class BufferPool {
   void EvictForSpace(Shard* shard);
   void Unpin(Shard* shard, Frame* frame);
   void LatchError(const util::Status& status, PageId page);
+  void CreditScopes(bool hit);
 
   Pager* pager_;
   size_t capacity_;

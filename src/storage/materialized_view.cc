@@ -27,6 +27,14 @@ const char* SchemeName(Scheme scheme) {
   return "?";
 }
 
+std::optional<Scheme> ParseScheme(std::string_view name) {
+  if (name == "E") return Scheme::kElement;
+  if (name == "T") return Scheme::kTuple;
+  if (name == "LE") return Scheme::kLinkedElement;
+  if (name == "LE_p") return Scheme::kLinkedElementPartial;
+  return std::nullopt;
+}
+
 ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
                          bool persistent)
     : pager_(std::make_unique<Pager>(path, persistent
@@ -136,7 +144,10 @@ util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
       view->lists_.push_back(list);
     }
     ok = ok && load(&view->tuple_list_);
-    if (ok) catalog->views_.push_back(std::move(view));
+    if (ok) {
+      catalog->views_.push_back(std::move(view));
+      catalog->version_.fetch_add(1, std::memory_order_release);
+    }
   }
   std::fclose(in);
   if (!ok) return fail("truncated or unparsable view records");
@@ -298,6 +309,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
     {
       std::lock_guard<std::mutex> lock(registry_mu_);
       views_.push_back(std::move(view));
+      version_.fetch_add(1, std::memory_order_release);
     }
     return result;
   }
@@ -407,6 +419,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     views_.push_back(std::move(view));
+    version_.fetch_add(1, std::memory_order_release);
   }
   return result;
 }
@@ -414,6 +427,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
 void ViewCatalog::Quarantine(const MaterializedView* view) {
   std::lock_guard<std::mutex> lock(registry_mu_);
   quarantined_.insert(view);
+  version_.fetch_add(1, std::memory_order_release);
 }
 
 bool ViewCatalog::IsQuarantined(const MaterializedView* view) const {
@@ -445,6 +459,29 @@ void ViewCatalog::SetReplacement(const MaterializedView* from,
   VJ_CHECK(from != to);
   std::lock_guard<std::mutex> lock(registry_mu_);
   replacement_[from] = to;
+  version_.fetch_add(1, std::memory_order_release);
+}
+
+const MaterializedView* ViewCatalog::FindView(
+    const std::string& pattern_string, Scheme scheme) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  // Scan newest-first so a re-materialized twin wins over its corrupt
+  // predecessor even before the replacement link is consulted.
+  for (auto it = views_.rbegin(); it != views_.rend(); ++it) {
+    const MaterializedView* v = it->get();
+    if (v->scheme() != scheme || v->pattern().ToString() != pattern_string) {
+      continue;
+    }
+    // Follow replacements, then reject anything still quarantined.
+    auto r = replacement_.find(v);
+    while (r != replacement_.end()) {
+      v = r->second;
+      r = replacement_.find(v);
+    }
+    if (quarantined_.count(v) != 0) continue;
+    return v;
+  }
+  return nullptr;
 }
 
 const MaterializedView* ViewCatalog::ViewOfPage(PageId page) const {

@@ -1,10 +1,13 @@
 #ifndef VIEWJOIN_STORAGE_MATERIALIZED_VIEW_H_
 #define VIEWJOIN_STORAGE_MATERIALIZED_VIEW_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -26,6 +29,11 @@ enum class Scheme {
 
 /// Human-readable scheme name ("E", "T", "LE", "LE_p").
 const char* SchemeName(Scheme scheme);
+
+/// Inverse of SchemeName: parses "E"/"T"/"LE"/"LE_p" (case-sensitive).
+/// std::nullopt on anything else — callers reject unknown spellings instead
+/// of silently defaulting.
+std::optional<Scheme> ParseScheme(std::string_view name);
 
 /// One materialized TPQ view in one storage scheme, resident in a pager file.
 ///
@@ -185,6 +193,19 @@ class ViewCatalog {
     return views_;
   }
 
+  /// Monotone catalog version, bumped whenever the set of usable views
+  /// changes: a view is materialized, quarantined, or replaced. Cached plans
+  /// key on it, so any such change invalidates every plan referencing the
+  /// old catalog state without the cache having to enumerate dependencies.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// The healthy view with the given pattern serialization and scheme, or
+  /// nullptr. Quarantined views (without a replacement) never match; a
+  /// replaced view resolves to its latest replacement. The planner uses this
+  /// to find same-pattern twins in alternative schemes.
+  const MaterializedView* FindView(const std::string& pattern_string,
+                                   Scheme scheme) const;
+
  private:
   ViewCatalog(const std::string& path, size_t pool_pages, bool persistent,
               Pager::Mode mode);
@@ -201,6 +222,7 @@ class ViewCatalog {
   std::unordered_set<const MaterializedView*> quarantined_;
   std::unordered_map<const MaterializedView*, const MaterializedView*>
       replacement_;
+  std::atomic<uint64_t> version_{1};
   bool persistent_ = false;
 };
 

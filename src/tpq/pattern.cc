@@ -171,6 +171,29 @@ std::string TreePattern::ToString() const {
   return out.str();
 }
 
+uint64_t TreePattern::Fingerprint() const {
+  // FNV-1a over a canonical serialization of (tag bytes, axis, parent) per
+  // node in preorder, with splitmix finalization. Nodes are stored in
+  // preorder, so equal trees hash equal regardless of how they were built.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte;
+    h *= 0x100000001B3ULL;
+  };
+  for (const PatternNode& n : nodes_) {
+    for (char c : n.tag) mix(static_cast<uint8_t>(c));
+    mix(0xFF);  // tag terminator (tags never contain 0xFF)
+    mix(n.incoming == Axis::kChild ? 1 : 2);
+    mix(static_cast<uint64_t>(n.parent + 1));
+  }
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
 int TreePattern::AddNode(std::string_view tag, int parent, Axis axis) {
   VJ_CHECK(parent >= -1 && parent < static_cast<int>(nodes_.size()));
   VJ_CHECK(parent >= 0 || nodes_.empty()) << "pattern already has a root";

@@ -71,6 +71,13 @@ class TreePattern {
   /// last child).
   std::string ToString() const;
 
+  /// Structural fingerprint: a 64-bit hash over the node tags, incoming axes
+  /// and parent links, stable across processes. Two patterns share a
+  /// fingerprint iff they are the same tree (modulo the astronomically
+  /// unlikely hash collision) — the plan cache keys on it together with the
+  /// catalog version.
+  uint64_t Fingerprint() const;
+
   /// Builder API for programmatic construction (used by tests/generators).
   /// Adds a node under `parent` (-1 creates the root) and returns its index.
   int AddNode(std::string_view tag, int parent, Axis axis);

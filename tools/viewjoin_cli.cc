@@ -50,6 +50,7 @@ struct Options {
   std::vector<std::string> candidates;
   Algorithm algorithm = Algorithm::kViewJoin;
   Scheme scheme = Scheme::kLinkedElement;
+  bool scheme_set = false;
   bool disk_mode = false;
   bool explain = false;
   bool estimate = false;
@@ -66,7 +67,7 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s (--xml FILE | --xmark SCALE | --nasa DATASETS)\n"
       "          --query XPATH (--views 'V1;V2;..' | --candidates 'V1;..')\n"
-      "          [--algo TS|VJ|IJ] [--scheme E|T|LE|LE_p] [--disk]\n"
+      "          [--algo TS|VJ|IJ|auto] [--scheme E|T|LE|LE_p] [--disk]\n"
       "          [--explain] [--count-only] [--store-result] [--limit N]\n"
       "          [--deadline-ms MS] [--memory-budget BYTES]\n"
       "          [--disk-budget BYTES]\n"
@@ -74,7 +75,9 @@ void Usage(const char* prog) {
       "  --views       covering view set, materialized as given\n"
       "  --candidates  candidate pool; the cost-based greedy heuristic\n"
       "                (paper Section V) picks the covering subset\n"
-      "  --explain     print the view-segmented query and per-list sizes\n"
+      "  --algo auto   let the planner pick algorithm and scheme per query\n"
+      "  --explain     print the physical plan with per-step runtime stats\n"
+      "                (plus the view-segmented query Q' before the run)\n"
       "  --estimate    drive view selection from single-pass statistics\n"
       "                instead of exact list lengths\n"
       "  --store-result  store the answer back as a materialized view\n"
@@ -134,32 +137,29 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--algo") {
       const char* v = next();
       if (v == nullptr) return false;
-      if (std::strcmp(v, "TS") == 0) {
-        options->algorithm = Algorithm::kTwigStack;
-      } else if (std::strcmp(v, "VJ") == 0) {
-        options->algorithm = Algorithm::kViewJoin;
-      } else if (std::strcmp(v, "IJ") == 0) {
-        options->algorithm = Algorithm::kInterJoin;
-        options->scheme = Scheme::kTuple;
-      } else {
-        std::fprintf(stderr, "unknown algorithm %s\n", v);
+      std::optional<Algorithm> parsed = viewjoin::plan::ParseAlgorithm(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown algorithm '%s' (expected TS, VJ, IJ or "
+                     "auto)\n", v);
         return false;
+      }
+      options->algorithm = *parsed;
+      // InterJoin only runs over tuple-scheme views; default the scheme
+      // accordingly unless the user picked one explicitly.
+      if (*parsed == Algorithm::kInterJoin && !options->scheme_set) {
+        options->scheme = Scheme::kTuple;
       }
     } else if (arg == "--scheme") {
       const char* v = next();
       if (v == nullptr) return false;
-      if (std::strcmp(v, "E") == 0) {
-        options->scheme = Scheme::kElement;
-      } else if (std::strcmp(v, "T") == 0) {
-        options->scheme = Scheme::kTuple;
-      } else if (std::strcmp(v, "LE") == 0) {
-        options->scheme = Scheme::kLinkedElement;
-      } else if (std::strcmp(v, "LE_p") == 0) {
-        options->scheme = Scheme::kLinkedElementPartial;
-      } else {
-        std::fprintf(stderr, "unknown scheme %s\n", v);
+      std::optional<Scheme> parsed = viewjoin::storage::ParseScheme(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr, "unknown scheme '%s' (expected E, T, LE or "
+                     "LE_p)\n", v);
         return false;
       }
+      options->scheme = *parsed;
+      options->scheme_set = true;
     } else if (arg == "--disk") {
       options->disk_mode = true;
     } else if (arg == "--estimate") {
@@ -297,6 +297,10 @@ int Run(const Options& options) {
 
   // Resolve the view set: explicit or via cost-based selection.
   std::vector<const MaterializedView*> views;
+  // Under --algo auto with no forced scheme, materialize every scheme for
+  // each view so the planner has real twins to choose between.
+  const bool all_schemes =
+      options.algorithm == Algorithm::kAuto && !options.scheme_set;
   if (!options.views.empty()) {
     for (const std::string& v : options.views) {
       auto added = engine.TryAddView(v, options.scheme);
@@ -306,6 +310,12 @@ int Run(const Options& options) {
         return 1;
       }
       views.push_back(*added);
+      if (all_schemes) {
+        for (Scheme twin : {Scheme::kElement, Scheme::kTuple,
+                            Scheme::kLinkedElementPartial}) {
+          (void)engine.TryAddView(v, twin);
+        }
+      }
     }
   } else {
     std::vector<TreePattern> candidates;
@@ -374,6 +384,9 @@ int Run(const Options& options) {
   if (result.degraded) {
     std::printf("note: degraded run (budget overrun spilled to disk or a "
                 "view was rebuilt)\n");
+  }
+  if (options.explain) {
+    std::printf("%s", result.plan.ToString().c_str());
   }
   std::printf(
       "%llu matches in %.3f ms (I/O %.3f ms, %llu pages read, "
