@@ -73,9 +73,34 @@ Engine::Engine(const xml::Document* doc, const std::string& storage_path,
       storage_path_(storage_path),
       catalog_(std::make_unique<storage::ViewCatalog>(storage_path,
                                                       options.pool_pages)),
-      spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {}
+      spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {
+  // The scrubber's healer mirrors the query path's recovery step: rebuild
+  // the quarantined view from the in-memory document and register the
+  // replacement. recovery_mu_ serializes it against query-path rebuilds, so
+  // a scrub heal and a batch worker tripping over the same view build one
+  // replacement between them.
+  scrubber_ = std::make_unique<storage::Scrubber>(
+      catalog_.get(),
+      [this](const MaterializedView* view) -> util::Status {
+        std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
+        if (catalog_->ReplacementFor(view) != nullptr) {
+          return util::Status::Ok();  // a sibling already healed it
+        }
+        util::StatusOr<const MaterializedView*> repl =
+            catalog_->TryMaterialize(*doc_, view->pattern(), view->scheme());
+        if (!repl.ok()) return repl.status();
+        catalog_->SetReplacement(view, *repl);
+        return util::Status::Ok();
+      });
+  if (options.scrub) {
+    scrubber_->Start(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::duration<double, std::milli>(
+                             options.scrub_interval_ms)),
+                     options.scrub_pages_per_step);
+  }
+}
 
-Engine::~Engine() = default;
+Engine::~Engine() { scrubber_->Stop(); }
 
 const MaterializedView* Engine::AddView(const std::string& xpath,
                                         Scheme scheme) {
@@ -243,6 +268,7 @@ RunResult Engine::ExecuteInternal(
     result.retries = result.io.read_retries;
     result.peak_memory_bytes = gov->peak_memory_bytes();
     result.checkpoints = gov->checkpoints();
+    result.scrub = scrubber_->stats();
     // Close the per-step ledger: spill traffic goes to the spill step, and
     // verify-fallback absorbs every residual (planning already accounted,
     // recovery, rebuilds, the base fallback), so the step columns sum

@@ -15,6 +15,7 @@
 #include "plan/physical_plan.h"
 #include "plan/plan_cache.h"
 #include "storage/materialized_view.h"
+#include "storage/scrubber.h"
 #include "tpq/pattern.h"
 #include "util/status.h"
 #include "view/selection.h"
@@ -41,6 +42,14 @@ using plan::ParseAlgorithm;
 struct EngineOptions {
   /// Buffer-pool capacity in 4 KiB pages.
   size_t pool_pages = 1024;
+  /// Run the background integrity scrubber: every `scrub_interval_ms` it
+  /// checksum-verifies up to `scrub_pages_per_step` view pages and
+  /// quarantines + re-materializes any view with a corrupt page, so latent
+  /// bit rot is healed before a query trips over it. Off by default; tests
+  /// and tools can also drive engine.scrubber()->Step() synchronously.
+  bool scrub = false;
+  double scrub_interval_ms = 50;
+  uint32_t scrub_pages_per_step = storage::Scrubber::kDefaultStepPages;
 };
 
 struct RunOptions {
@@ -168,6 +177,10 @@ struct RunResult {
   /// per-step stats whose columns sum exactly to this result's totals
   /// (total_ms, io.pages_read, stats.entries_scanned, stats.pointer_jumps).
   plan::ExplainResult plan;
+  /// Lifetime counters of the engine's integrity scrubber as of this call's
+  /// end (all zero when scrubbing is off). Cumulative across calls, not a
+  /// per-call delta — surfaced so --explain can report scrub health.
+  storage::ScrubStats scrub;
 };
 
 class Engine {
@@ -247,9 +260,19 @@ class Engine {
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
   /// The engine's plan cache (hit/miss counters for tests and benches).
-  /// Entries key on the catalog version, so materialization, quarantine and
-  /// replacement invalidate implicitly; Clear() exists for tests only.
+  /// Entries key on the catalog's manifest epoch, so materialization,
+  /// quarantine and replacement invalidate implicitly — including across a
+  /// close/reopen of a persistent store, where the epoch counter resumes
+  /// from the journal; Clear() exists for tests only.
   plan::PlanCache* plan_cache() { return &plan_cache_; }
+
+  /// The engine's integrity scrubber (always constructed; its background
+  /// thread runs only when EngineOptions::scrub is set). Tests drive
+  /// scrubber()->Step() directly for determinism. The scrubber's healer
+  /// re-materializes a corrupt view from the document under the same
+  /// recovery lock the query path uses, so a scrub heal and a query-path
+  /// rebuild of the same view never race.
+  storage::Scrubber* scrubber() { return scrubber_.get(); }
 
  private:
   /// Per-call execution environment: which spill pager to spool into,
@@ -276,6 +299,9 @@ class Engine {
   std::string storage_path_;
   std::unique_ptr<storage::ViewCatalog> catalog_;
   std::unique_ptr<storage::Pager> spill_;
+  /// Declared after catalog_ so it is destroyed (and its thread joined)
+  /// first; ~Engine also stops it explicitly before members tear down.
+  std::unique_ptr<storage::Scrubber> scrubber_;
   plan::PlanCache plan_cache_;
   /// Serializes quarantine + re-materialization across batch workers so two
   /// workers hitting the same corrupt view rebuild it once.

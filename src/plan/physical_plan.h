@@ -70,7 +70,7 @@ struct PhysicalPlan {
   double estimated_cost = 0;
   /// Cache bookkeeping: the key this plan was stored under.
   uint64_t query_fingerprint = 0;
-  uint64_t catalog_version = 0;
+  uint64_t catalog_epoch = 0;
   bool from_cache = false;
 
   /// Renders the plan tree without stats, e.g.

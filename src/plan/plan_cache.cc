@@ -5,9 +5,9 @@
 namespace viewjoin::plan {
 
 uint64_t PlanCache::MapKey(const Key& key) {
-  // The catalog version is intentionally left out of the map key: versions
-  // live in the entries, so a re-plan after invalidation overwrites the
-  // stale entry in place instead of accumulating one entry per version.
+  // The catalog epoch is intentionally left out of the map key: epochs live
+  // in the entries, so a re-plan after invalidation overwrites the stale
+  // entry in place instead of accumulating one entry per epoch.
   uint64_t h = key.query_fingerprint;
   h ^= key.env_fingerprint + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return h;
@@ -16,7 +16,7 @@ uint64_t PlanCache::MapKey(const Key& key) {
 std::shared_ptr<const PhysicalPlan> PlanCache::Lookup(const Key& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(MapKey(key));
-  if (it == entries_.end() || it->second.catalog_version != key.catalog_version) {
+  if (it == entries_.end() || it->second.catalog_epoch != key.catalog_epoch) {
     ++misses_;
     return nullptr;
   }
@@ -26,7 +26,7 @@ std::shared_ptr<const PhysicalPlan> PlanCache::Lookup(const Key& key) {
 
 void PlanCache::Insert(const Key& key, std::shared_ptr<const PhysicalPlan> plan) {
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[MapKey(key)] = Entry{key.catalog_version, std::move(plan)};
+  entries_[MapKey(key)] = Entry{key.catalog_epoch, std::move(plan)};
 }
 
 uint64_t PlanCache::hits() const {

@@ -11,14 +11,15 @@
 namespace viewjoin::plan {
 
 /// Cache of planned queries, keyed by (query fingerprint, environment
-/// fingerprint, catalog version).
+/// fingerprint, catalog manifest epoch).
 ///
 /// The environment fingerprint folds in everything besides the pattern that
 /// shapes the plan: requested algorithm, output mode, and the identities of
 /// the caller-supplied views — two queries with the same pattern but
-/// different covering sets must not share a plan. The catalog version is the
+/// different covering sets must not share a plan. The catalog epoch is the
 /// invalidation lever: materializing, quarantining or replacing any view
-/// bumps it, so every cached plan referencing the old catalog state goes
+/// advances it (and, for a persistent store, it resumes from the manifest
+/// journal across restarts), so every cached plan referencing the old catalog state goes
 /// stale at once without the cache enumerating dependencies. Stale entries
 /// are overwritten lazily on the next insert with the same (fingerprint,
 /// env) pair.
@@ -31,15 +32,15 @@ class PlanCache {
   struct Key {
     uint64_t query_fingerprint = 0;
     uint64_t env_fingerprint = 0;
-    uint64_t catalog_version = 0;
+    uint64_t catalog_epoch = 0;
   };
 
-  /// Returns the cached plan for `key`, or nullptr. A hit's catalog version
+  /// Returns the cached plan for `key`, or nullptr. A hit's catalog epoch
   /// matches exactly — plans from older catalog states never resolve.
   std::shared_ptr<const PhysicalPlan> Lookup(const Key& key);
 
   /// Stores `plan` under `key`, replacing any entry for the same
-  /// (fingerprint, env) pair — at most one catalog version is retained per
+  /// (fingerprint, env) pair — at most one catalog epoch is retained per
   /// logical query, so quarantine churn cannot grow the cache.
   void Insert(const Key& key, std::shared_ptr<const PhysicalPlan> plan);
 
@@ -50,7 +51,7 @@ class PlanCache {
 
  private:
   struct Entry {
-    uint64_t catalog_version = 0;
+    uint64_t catalog_epoch = 0;
     std::shared_ptr<const PhysicalPlan> plan;
   };
 

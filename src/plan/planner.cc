@@ -282,7 +282,7 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
   PlanCache::Key key;
   key.query_fingerprint = in.query->Fingerprint();
   key.env_fingerprint = EnvFingerprint(in.algorithm, in.mode, in.views);
-  key.catalog_version = in.catalog != nullptr ? in.catalog->version() : 0;
+  key.catalog_epoch = in.catalog != nullptr ? in.catalog->epoch() : 0;
   if (cache_ != nullptr) {
     if (std::shared_ptr<const PhysicalPlan> hit = cache_->Lookup(key)) {
       if (from_cache != nullptr) *from_cache = true;
@@ -293,7 +293,7 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
   auto plan = std::make_shared<PhysicalPlan>();
   plan->mode = in.mode;
   plan->query_fingerprint = key.query_fingerprint;
-  plan->catalog_version = key.catalog_version;
+  plan->catalog_epoch = key.catalog_epoch;
 
   // Quarantine redirect: stale caller pointers keep working after a view was
   // rebuilt in an earlier call.

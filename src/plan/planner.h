@@ -55,7 +55,7 @@ struct PlannerInput {
 /// pass through unchanged (the binder reports the real error at Open).
 ///
 /// Plans are memoized in the PlanCache keyed by (query fingerprint,
-/// environment fingerprint, catalog version); see plan_cache.h.
+/// environment fingerprint, catalog manifest epoch); see plan_cache.h.
 class Planner {
  public:
   /// `cache` may be null (planning always runs).

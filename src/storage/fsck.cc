@@ -1,6 +1,12 @@
 #include "storage/fsck.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <vector>
+
+#include "storage/manifest.h"
 
 namespace viewjoin::storage {
 
@@ -16,6 +22,134 @@ FsckReport FsckPagerFile(const std::string& path) {
     if (!status.ok()) report.bad_pages.emplace_back(id, status);
   }
   return report;
+}
+
+namespace {
+
+/// Leftover shadow staging files ("<base>.shadow.*", "<base>.manifest.tmp")
+/// in the pager file's directory, sorted for deterministic output.
+std::vector<std::string> FindOrphanShadows(const std::string& path) {
+  std::string dir = ".";
+  std::string base = path;
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    base = path.substr(slash + 1);
+  }
+  std::vector<std::string> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return found;
+  const std::string shadow_prefix = base + ".shadow.";
+  const std::string manifest_tmp = base + ".manifest.tmp";
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(shadow_prefix, 0) == 0 || name == manifest_tmp) {
+      found.push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+/// "list q spans [first, first+span) past durable prefix <n>" or empty.
+void CheckViewRanges(const ManifestViewRecord& record, uint32_t durable,
+                     std::vector<std::string>* bad) {
+  auto check = [&](const StoredList& list, const char* what) {
+    if (list.count == 0) return;
+    if (list.first_page >= durable ||
+        list.PageSpan() > durable - list.first_page) {
+      bad->push_back("epoch " + std::to_string(record.epoch) + " (" +
+                     record.pattern + "): " + what + " spans pages [" +
+                     std::to_string(list.first_page) + ", " +
+                     std::to_string(list.first_page + list.PageSpan()) +
+                     ") past durable prefix " + std::to_string(durable));
+    }
+  };
+  for (size_t q = 0; q < record.lists.size(); ++q) {
+    check(record.lists[q], ("list " + std::to_string(q)).c_str());
+  }
+  check(record.tuple_list, "tuple list");
+}
+
+}  // namespace
+
+FsckCatalogReport FsckCatalog(const std::string& path) {
+  FsckCatalogReport report;
+  report.orphan_shadows = FindOrphanShadows(path);
+
+  util::StatusOr<ManifestReplayResult> replayed =
+      ManifestJournal::Replay(ManifestJournal::PathFor(path));
+  report.manifest_status = replayed.status();
+  report.pager = FsckPagerFile(path);
+
+  if (!replayed.ok() || replayed->legacy_text) {
+    // No journal to establish a durable prefix (bare pager file or legacy
+    // text manifest): the whole file is claimed, so every bad page counts.
+    report.legacy = replayed.ok() && replayed->legacy_text;
+    report.corrupt_durable_pages =
+        static_cast<uint32_t>(report.pager.bad_pages.size());
+    return report;
+  }
+
+  const ManifestReplayResult& journal = *replayed;
+  report.last_epoch = journal.last_epoch;
+  report.durable_page_count = journal.durable_page_count;
+  report.journal_tail_torn = journal.tail_torn;
+  report.pending_rebuild = journal.rolled_back.size();
+  report.view_count = journal.installed.size();
+  for (uint64_t epoch : journal.quarantined) {
+    if (journal.replaced.find(epoch) == journal.replaced.end()) {
+      ++report.quarantined_count;
+    }
+  }
+  for (const ManifestViewRecord& record : journal.installed) {
+    CheckViewRanges(record, journal.durable_page_count, &report.bad_views);
+  }
+
+  // Data file vs. durable prefix, from raw size — the pager rejects a file
+  // with a partial page tail, but the journal still vouches for the prefix.
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    report.data_missing = journal.durable_page_count > 0;
+    return report;
+  }
+  const int64_t expected =
+      static_cast<int64_t>(Pager::kHeaderSize) +
+      static_cast<int64_t>(journal.durable_page_count) *
+          static_cast<int64_t>(Pager::kPhysicalPageSize);
+  if (st.st_size < expected) {
+    report.data_missing = true;
+  } else if (st.st_size > expected) {
+    const int64_t extra = st.st_size - expected;
+    report.orphan_pages = static_cast<uint32_t>(
+        extra / static_cast<int64_t>(Pager::kPhysicalPageSize));
+    if (extra % static_cast<int64_t>(Pager::kPhysicalPageSize) != 0) {
+      ++report.orphan_pages;
+      report.pager_tail_partial = true;
+    }
+  }
+  for (const auto& [page, status] : report.pager.bad_pages) {
+    if (page < journal.durable_page_count) ++report.corrupt_durable_pages;
+  }
+  return report;
+}
+
+util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
+                                             size_t pool_pages) {
+  util::StatusOr<std::unique_ptr<ViewCatalog>> opened =
+      ViewCatalog::Open(path, pool_pages);
+  if (!opened.ok()) return opened.status();
+  ViewCatalog* catalog = opened->get();
+  RecoveryReport recovery = catalog->recovery_report();
+  // Checkpointing compacts the repaired journal to one record per live view,
+  // so the next replay starts from a clean slate instead of re-walking the
+  // crash's Begin/Install interleavings.
+  util::Status checkpointed = catalog->Checkpoint();
+  if (!checkpointed.ok()) return checkpointed;
+  util::Status closed = catalog->Close();
+  if (!closed.ok()) return closed;
+  return recovery;
 }
 
 }  // namespace viewjoin::storage

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "storage/materialized_view.h"
 #include "storage/pager.h"
 #include "util/status.h"
 
@@ -27,6 +28,93 @@ struct FsckReport {
 /// single-attempt reads (no retry masking). The scan itself never aborts;
 /// unreadable files are reported through file_status.
 FsckReport FsckPagerFile(const std::string& path);
+
+/// Result of cross-checking a persistent catalog: the pager file, its
+/// manifest journal, and the consistency constraints between them. Findings
+/// fall in two classes with different verdicts:
+///   - *corruption* (bytes that validate as wrong): bad pages, a journal
+///     record failing its CRC mid-file, an install record pointing past the
+///     journal's durable prefix, or a data file shorter than that prefix;
+///   - *crash artifacts* (interrupted-but-rolled-backable state): a torn
+///     journal tail, pager pages past the durable prefix, leftover shadow
+///     files, a pre-journal text manifest. These are what RepairCatalog
+///     (or the next ViewCatalog::Open) cleans up.
+struct FsckCatalogReport {
+  /// Page-level scan of the pager file (checksums, footers).
+  FsckReport pager;
+  /// Journal replay verdict: OK, kNotFound (no manifest), or kCorruption.
+  util::Status manifest_status;
+  /// The journal held a pre-journal "VIEWJOINCAT" text manifest. Journal
+  /// cross-checks are skipped (the legacy format carries no epochs); the
+  /// next Open converts it.
+  bool legacy = false;
+
+  // -- Journal summary (valid when manifest_status is OK and !legacy) -------
+  uint64_t last_epoch = 0;
+  uint32_t durable_page_count = 0;
+  size_t view_count = 0;         // live install records
+  size_t quarantined_count = 0;  // journaled quarantines without replacement
+  size_t pending_rebuild = 0;    // begin records a crash cut down
+
+  // -- Crash artifacts (repairable) -----------------------------------------
+  bool journal_tail_torn = false;
+  /// Pager pages (whole or partial) beyond the durable prefix — a crash
+  /// between the data append and the journal commit.
+  uint32_t orphan_pages = 0;
+  /// The orphan region ends in a fraction of a page (crash mid-write). The
+  /// pager rejects such a file wholesale, so the page scan is skipped; the
+  /// journal still proves everything up to the durable prefix.
+  bool pager_tail_partial = false;
+  /// Leftover "<path>.shadow.*" staging files from interrupted installs.
+  std::vector<std::string> orphan_shadows;
+
+  // -- Cross-check corruption -----------------------------------------------
+  /// Checksum/footer failures *within* the durable prefix — committed data
+  /// that rotted. (pager.bad_pages beyond the prefix are crash artifacts and
+  /// excluded; truncating the orphan region discards them.)
+  uint32_t corrupt_durable_pages = 0;
+  /// The pager file is *shorter* than the journal's durable prefix: committed
+  /// data is missing. Not repairable (the affected views must be rebuilt).
+  bool data_missing = false;
+  /// Install records whose stored lists point outside the durable prefix,
+  /// as "epoch <e> (<pattern>): <problem>".
+  std::vector<std::string> bad_views;
+
+  /// Nothing wrong at all.
+  bool clean() const {
+    return pager.ok() && manifest_status.ok() && !legacy && !corrupt() &&
+           !repair_needed();
+  }
+  /// Something validates as wrong (vs. merely interrupted).
+  bool corrupt() const {
+    return corrupt_durable_pages > 0 ||
+           manifest_status.code() == util::StatusCode::kCorruption ||
+           data_missing || !bad_views.empty() ||
+           (pager.file_status.code() == util::StatusCode::kCorruption &&
+            !pager_tail_partial);
+  }
+  /// Crash artifacts present that RepairCatalog / Open would clean up.
+  bool repair_needed() const {
+    return journal_tail_torn || orphan_pages > 0 || pager_tail_partial ||
+           !orphan_shadows.empty() || legacy;
+  }
+};
+
+/// Read-only consistency check of the persistent catalog at `path` (pager
+/// file + "<path>.manifest" journal + shadow leftovers). Never modifies any
+/// file and never aborts; every finding lands in the report.
+FsckCatalogReport FsckCatalog(const std::string& path);
+
+/// Repairs the crash artifacts FsckCatalog flags: opens the catalog (which
+/// runs startup recovery — truncating the torn journal tail and orphan
+/// pages, deleting orphan shadows, converting a legacy manifest), then
+/// checkpoints the journal and closes cleanly. Returns the recovery report
+/// describing what was done, or the error that prevented opening — genuine
+/// corruption (checksum-bad pages, missing committed data) is NOT repaired,
+/// because the backing data for those views is simply gone; rebuild them
+/// from the source document instead.
+util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
+                                             size_t pool_pages = 256);
 
 }  // namespace viewjoin::storage
 

@@ -1,0 +1,170 @@
+#ifndef VIEWJOIN_STORAGE_MANIFEST_H_
+#define VIEWJOIN_STORAGE_MANIFEST_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/stored_list.h"
+#include "util/status.h"
+
+namespace viewjoin::storage {
+
+/// Record types of the manifest journal (see ManifestJournal below).
+enum class ManifestRecordType : uint8_t {
+  kBegin = 1,       // a (re-)materialization started: epoch, scheme, pattern
+  kInstall = 2,     // a view's pages are durable and it is now visible
+  kQuarantine = 3,  // an installed view was found corrupt and is unusable
+  kReplace = 4,     // a quarantined view has a healthy replacement
+  kDrop = 5,        // a view was removed from the catalog
+};
+
+/// Everything an install record carries — the full metadata of one
+/// materialized view, so the journal alone (plus the pager file it refers
+/// to) reconstructs the catalog with no side files.
+struct ManifestViewRecord {
+  uint64_t epoch = 0;  // install epoch; doubles as the view's durable id
+  uint8_t scheme = 0;  // storage::Scheme as stored on disk
+  std::string pattern;
+  uint64_t match_count = 0;
+  uint64_t size_bytes = 0;
+  uint64_t pointer_count = 0;
+  /// Pager page count right after this view's pages were appended. The
+  /// maximum over all install records is the durable prefix of the pager
+  /// file; anything beyond it is an uncommitted crash artifact.
+  uint32_t page_count_after = 0;
+  std::vector<uint32_t> list_lengths;
+  std::vector<StoredList> lists;
+  StoredList tuple_list;
+};
+
+/// Outcome of replaying a manifest journal front to back.
+struct ManifestReplayResult {
+  /// Largest epoch any record carried; the catalog's epoch counter resumes
+  /// above it so plan-cache keys stay monotone across restarts.
+  uint64_t last_epoch = 0;
+  /// Durable pager prefix (max page_count_after over installs).
+  uint32_t durable_page_count = 0;
+  /// A torn final record (crash mid-append) was skipped.
+  bool tail_torn = false;
+  /// File offset at which the torn tail starts (= file size when clean).
+  long valid_bytes = 0;
+  /// Install records in epoch order, dropped views already removed.
+  std::vector<ManifestViewRecord> installed;
+  /// Epochs of installed views currently quarantined.
+  std::unordered_set<uint64_t> quarantined;
+  /// old epoch -> replacement epoch.
+  std::unordered_map<uint64_t, uint64_t> replaced;
+  /// Begin records with no matching install: the (re-)materialization was
+  /// cut down by a crash and rolled back; recovery re-queues these.
+  std::vector<std::pair<std::string, uint8_t>> rolled_back;  // pattern, scheme
+  /// The file held a pre-journal plain-text manifest ("VIEWJOINCAT"); the
+  /// caller must parse it with the legacy loader and convert.
+  bool legacy_text = false;
+};
+
+/// Append-only, checksummed journal of view-lifecycle events — the
+/// authoritative record of which views exist and which pager pages are
+/// durable. One journal lives next to each persistent pager file as
+/// "<pager-path>.manifest".
+///
+/// On-disk layout:
+///
+///   [ 16-byte header: magic "VJMANIFJ", u32 version (1), u32 CRC32 ]
+///   [ record ]*
+///
+/// where each record is
+///
+///   u32 payload_length | u8 type | payload | u32 CRC32(type || payload)
+///
+/// all little-endian. Appends are fsynced, so a record's presence implies
+/// everything it describes is durable (install records are only appended
+/// *after* the view's pages were synced into the pager file — write-ahead
+/// ordering, data before commit).
+///
+/// Failure semantics, chosen so a crash is always distinguishable from rot:
+///   - a record whose bytes are incomplete at EOF is a *torn tail* (crash
+///     mid-append): replay ignores it and reports tail_torn, recovery
+///     truncates it away;
+///   - a fully present record with a CRC mismatch is *corruption* (bit rot
+///     or tampering) and fails the replay with kCorruption;
+///   - a file beginning with the legacy text magic "VIEWJOINCAT" is flagged
+///     legacy_text for the caller to convert.
+///
+/// Thread-safety: appends are serialized by an internal mutex; Replay and
+/// Checkpoint are static and operate on paths.
+class ManifestJournal {
+ public:
+  static constexpr uint32_t kFormatVersion = 1;
+  /// Sanity cap on one record's payload (a view with thousands of lists is
+  /// still far below this); a larger length prefix is treated as garbage.
+  static constexpr uint32_t kMaxPayload = 1u << 24;
+
+  /// The journal path for a pager file path.
+  static std::string PathFor(const std::string& pager_path) {
+    return pager_path + ".manifest";
+  }
+
+  /// Creates (truncating) a fresh journal with just the header.
+  static util::StatusOr<std::unique_ptr<ManifestJournal>> Create(
+      const std::string& path);
+
+  /// Opens an existing, already-replayed journal for further appends.
+  /// `valid_bytes` (from ManifestReplayResult) truncates a torn tail first,
+  /// so new records never land after garbage; pass a negative value to skip
+  /// the truncation (fresh checkpoint, nothing to trim).
+  static util::StatusOr<std::unique_ptr<ManifestJournal>> OpenForAppend(
+      const std::string& path, long valid_bytes);
+
+  /// Reads and validates `path` front to back. kNotFound when missing,
+  /// kCorruption on a bad header, mid-file CRC mismatch, or unparsable
+  /// payload. A torn tail is NOT an error (see class comment).
+  static util::StatusOr<ManifestReplayResult> Replay(const std::string& path);
+
+  /// Atomically replaces `path` with a compact journal holding exactly
+  /// `records` (+ quarantine markers for `quarantined_epochs`), via
+  /// tmp file + fsync + rename. Used by checkpointing and by the legacy
+  /// text-manifest conversion. The header write is fault-injectable.
+  static util::Status WriteCheckpoint(
+      const std::string& path, const std::vector<ManifestViewRecord>& records,
+      const std::vector<uint64_t>& quarantined_epochs, uint64_t last_epoch);
+
+  ~ManifestJournal();
+
+  ManifestJournal(const ManifestJournal&) = delete;
+  ManifestJournal& operator=(const ManifestJournal&) = delete;
+
+  // ---- Appends (each fsynced before returning) ----------------------------
+
+  util::Status AppendBegin(uint64_t epoch, uint8_t scheme,
+                           const std::string& pattern);
+  util::Status AppendInstall(const ManifestViewRecord& record);
+  util::Status AppendQuarantine(uint64_t epoch, uint64_t target_epoch);
+  util::Status AppendReplace(uint64_t epoch, uint64_t old_epoch,
+                             uint64_t new_epoch);
+  util::Status AppendDrop(uint64_t epoch, uint64_t target_epoch);
+
+  /// Closes the file handle (idempotent; the destructor calls it).
+  void Close();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  ManifestJournal(std::string path, std::FILE* file);
+
+  util::Status AppendRecord(ManifestRecordType type,
+                            const std::vector<uint8_t>& payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::mutex mu_;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_MANIFEST_H_

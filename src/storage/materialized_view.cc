@@ -1,10 +1,17 @@
 #include "storage/materialized_view.h"
 
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
+#include <set>
 
 #include "tpq/evaluator.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 
 namespace viewjoin::storage {
 
@@ -35,68 +42,352 @@ std::optional<Scheme> ParseScheme(std::string_view name) {
   return std::nullopt;
 }
 
+// ---- Staging ---------------------------------------------------------------
+
+/// Payload pages of one view accumulated in memory before installation. The
+/// staged lists carry page ids *relative* to this build; InstallView rebases
+/// them onto the pager's tail under the install lock, so staging (and the
+/// pattern evaluation feeding it) runs outside any catalog lock.
+struct ViewCatalog::StagedPages {
+  std::vector<uint8_t> payload;  // page_count * kPageSize, zero-padded
+  uint32_t page_count = 0;
+};
+
+util::StatusOr<StoredList> ViewCatalog::StageList(
+    StagedPages& staged, const std::vector<uint8_t>& bytes, RecordLayout layout,
+    uint32_t count) {
+  StoredList list;
+  list.layout = layout;
+  list.count = count;
+  if (count == 0) {
+    list.first_page = kInvalidPage;
+    return list;
+  }
+  uint32_t record_size = layout.RecordSize();
+  uint32_t per_page = static_cast<uint32_t>(Pager::kPageSize) / record_size;
+  uint32_t pages = (count + per_page - 1) / per_page;
+  list.first_page = staged.page_count;  // relative until installed
+  staged.payload.resize(
+      static_cast<size_t>(staged.page_count + pages) * Pager::kPageSize, 0);
+  for (uint32_t p = 0; p < pages; ++p) {
+    uint32_t first_record = p * per_page;
+    uint32_t n_records = std::min(per_page, count - first_record);
+    std::memcpy(staged.payload.data() +
+                    static_cast<size_t>(staged.page_count + p) *
+                        Pager::kPageSize,
+                bytes.data() + static_cast<size_t>(first_record) * record_size,
+                static_cast<size_t>(n_records) * record_size);
+  }
+  staged.page_count += pages;
+  return list;
+}
+
+// ---- Construction / teardown ----------------------------------------------
+
 ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
                          bool persistent)
-    : pager_(std::make_unique<Pager>(path, persistent
-                                               ? Pager::Mode::kPersist
-                                               : Pager::Mode::kTruncate)),
-      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
-      persistent_(persistent) {
+    : ViewCatalog(path, pool_pages, persistent,
+                  persistent ? Pager::Mode::kPersist : Pager::Mode::kTruncate) {
   // A zero-frame pool would make every Fetch fail with InvalidArgument; a
   // fresh catalog asking for one is a configuration error, like a catalog
   // that cannot create its backing file (Open() is the recoverable path).
   VJ_CHECK(pool_pages > 0) << "view catalog needs a pool of >= 1 page";
   VJ_CHECK(pager_->init_status().ok()) << pager_->init_status().ToString();
-}
-
-ViewCatalog::~ViewCatalog() = default;
-
-void ViewCatalog::SaveManifest() const {
-  VJ_CHECK(persistent_) << "SaveManifest requires a persistent catalog";
-  std::FILE* out = std::fopen((pager_->path() + ".manifest").c_str(), "w");
-  VJ_CHECK(out != nullptr);
-  std::fprintf(out, "VIEWJOINCAT 1\n%zu\n", views_.size());
-  for (const auto& view : views_) {
-    std::fprintf(out, "V %d %s\n", static_cast<int>(view->scheme_),
-                 view->pattern_.ToString().c_str());
-    std::fprintf(out, "M %llu %llu %llu\n",
-                 static_cast<unsigned long long>(view->match_count_),
-                 static_cast<unsigned long long>(view->size_bytes_),
-                 static_cast<unsigned long long>(view->pointer_count_));
-    std::fprintf(out, "G");
-    for (uint32_t len : view->list_lengths_) std::fprintf(out, " %u", len);
-    std::fprintf(out, "\n");
-    std::fprintf(out, "L %zu\n", view->lists_.size());
-    auto dump = [&](const StoredList& list) {
-      std::fprintf(out, "%u %u %u %u %u\n", list.first_page, list.count,
-                   list.layout.label_count,
-                   list.layout.has_pointers ? 1 : 0, list.layout.child_count);
-    };
-    for (const StoredList& list : view->lists_) dump(list);
-    dump(view->tuple_list_);
+  if (persistent) {
+    auto journal = ManifestJournal::Create(ManifestJournal::PathFor(path));
+    VJ_CHECK(journal.ok()) << journal.status().ToString();
+    journal_ = std::move(*journal);
   }
-  std::fclose(out);
 }
+
+ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
+                         bool persistent, Pager::Mode mode)
+    : pager_(std::make_unique<Pager>(path, mode)),
+      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
+      persistent_(persistent) {}
+
+ViewCatalog::~ViewCatalog() { (void)Close(); }
+
+util::Status ViewCatalog::Close() {
+  if (journal_ != nullptr) journal_->Close();
+  return pager_->Close();
+}
+
+// ---- Manifest journal / checkpoint ----------------------------------------
+
+ManifestViewRecord ViewCatalog::RecordFor(const MaterializedView& view,
+                                          uint32_t page_count_after) const {
+  ManifestViewRecord record;
+  record.epoch = view.epoch_;
+  record.scheme = static_cast<uint8_t>(view.scheme_);
+  record.pattern = view.pattern_.ToString();
+  record.match_count = view.match_count_;
+  record.size_bytes = view.size_bytes_;
+  record.pointer_count = view.pointer_count_;
+  record.page_count_after = page_count_after;
+  record.list_lengths = view.list_lengths_;
+  record.lists = view.lists_;
+  record.tuple_list = view.tuple_list_;
+  return record;
+}
+
+util::Status ViewCatalog::Checkpoint() {
+  if (!persistent_) {
+    return util::Status::InvalidArgument(
+        "checkpoint requires a persistent catalog");
+  }
+  std::lock_guard<std::mutex> install_lock(install_mu_);
+  std::vector<ManifestViewRecord> records;
+  std::vector<uint64_t> quarantined;
+  uint32_t pages = pager_->page_count();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    records.reserve(views_.size());
+    for (const auto& view : views_) records.push_back(RecordFor(*view, pages));
+    quarantined.reserve(quarantined_.size());
+    for (const MaterializedView* view : quarantined_) {
+      quarantined.push_back(view->epoch_);
+    }
+    std::sort(quarantined.begin(), quarantined.end());
+  }
+  const std::string journal_path = ManifestJournal::PathFor(pager_->path());
+  util::Status written = ManifestJournal::WriteCheckpoint(
+      journal_path, records, quarantined, epoch());
+  if (!written.ok()) return written;
+  // The rename replaced the inode the open journal handle points at; switch
+  // appends over to the fresh compact file.
+  journal_->Close();
+  auto reopened = ManifestJournal::OpenForAppend(journal_path,
+                                                 /*valid_bytes=*/-1);
+  if (!reopened.ok()) return reopened.status();
+  journal_ = std::move(*reopened);
+  return util::Status::Ok();
+}
+
+void ViewCatalog::SaveManifest() {
+  VJ_CHECK(persistent_) << "SaveManifest requires a persistent catalog";
+  util::Status status = Checkpoint();
+  VJ_CHECK(status.ok()) << status.ToString();
+}
+
+// ---- Open / startup recovery ----------------------------------------------
+
+namespace {
+
+/// Deletes leftover shadow files ("<base>.shadow.*", sealed or .tmp) and a
+/// stray checkpoint tmp next to the pager file. Returns how many were
+/// removed. A shadow is pure staging — its content is either uncommitted
+/// (discard) or already appended into the pager file (redundant), so
+/// deletion is always the right recovery action.
+int RemoveOrphanShadows(const std::string& pager_path) {
+  std::string dir = ".";
+  std::string base = pager_path;
+  size_t slash = pager_path.rfind('/');
+  if (slash != std::string::npos) {
+    dir = pager_path.substr(0, slash);
+    base = pager_path.substr(slash + 1);
+  }
+  const std::string shadow_prefix = base + ".shadow.";
+  const std::string checkpoint_tmp = base + ".manifest.tmp";
+  int removed = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(shadow_prefix, 0) == 0 || name == checkpoint_tmp) {
+      if (std::remove((dir + "/" + name).c_str()) == 0) ++removed;
+    }
+  }
+  ::closedir(d);
+  return removed;
+}
+
+util::Status MalformedManifest(const std::string& path,
+                               const std::string& message) {
+  return util::Status::Corruption("malformed manifest for " + path + ": " +
+                                  message);
+}
+
+/// Every stored list must lie inside the (checksummed) pager file; a
+/// manifest pointing past the end means one of the two files is stale.
+bool ListInRange(const StoredList& list, uint32_t pages) {
+  if (list.count == 0) return true;
+  uint32_t record = list.layout.RecordSize();
+  if (record == 0 || record > Pager::kPageSize) return false;
+  return list.first_page != kInvalidPage && list.first_page < pages &&
+         list.PageSpan() <= pages - list.first_page;
+}
+
+}  // namespace
 
 util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
     const std::string& path, size_t pool_pages) {
-  auto fail = [&path](const std::string& message) {
-    return util::Status::Corruption("malformed manifest for " + path + ": " +
-                                    message);
-  };
   if (pool_pages == 0) {
     return util::Status::InvalidArgument(
         "cannot open catalog " + path + " with a zero-page buffer pool");
   }
-  std::FILE* in = std::fopen((path + ".manifest").c_str(), "r");
-  if (in == nullptr) {
-    return util::Status::NotFound("missing manifest for " + path);
+  const std::string journal_path = ManifestJournal::PathFor(path);
+  auto replayed = ManifestJournal::Replay(journal_path);
+  if (!replayed.ok()) {
+    if (replayed.status().code() == util::StatusCode::kNotFound) {
+      return util::Status::NotFound("missing manifest for " + path);
+    }
+    return replayed.status();
   }
+  ManifestReplayResult replay = std::move(*replayed);
+
+  RecoveryReport report;
+  report.orphan_shadows_removed = RemoveOrphanShadows(path);
+
+  if (replay.legacy_text) {
+    // Pre-journal text manifest: load with the legacy parser, then convert
+    // the store to the journal format in place.
+    auto catalog = std::unique_ptr<ViewCatalog>(new ViewCatalog(
+        path, pool_pages, /*persistent=*/true, Pager::Mode::kReopen));
+    if (!catalog->pager_->init_status().ok()) {
+      return catalog->pager_->init_status();
+    }
+    util::Status loaded = catalog->LoadLegacyManifest();
+    if (!loaded.ok()) return loaded;
+    uint32_t pages = catalog->pager_->page_count();
+    std::vector<ManifestViewRecord> records;
+    records.reserve(catalog->views_.size());
+    for (const auto& view : catalog->views_) {
+      records.push_back(catalog->RecordFor(*view, pages));
+    }
+    util::Status converted = ManifestJournal::WriteCheckpoint(
+        journal_path, records, {}, catalog->epoch());
+    if (!converted.ok()) return converted;
+    auto journal = ManifestJournal::OpenForAppend(journal_path,
+                                                  /*valid_bytes=*/-1);
+    if (!journal.ok()) return journal.status();
+    catalog->journal_ = std::move(*journal);
+    report.legacy_manifest_converted = true;
+    catalog->recovery_ = std::move(report);
+    return catalog;
+  }
+
+  // Roll the pager file back to the journal's durable prefix *before* the
+  // pager validates it: a crash between the data append and the journal
+  // commit leaves uncommitted tail pages (possibly a partial page) that
+  // would otherwise be rejected as a truncated/oversized file.
+  struct stat st;
+  if (::stat(path.c_str(), &st) == 0) {
+    const long expected =
+        static_cast<long>(Pager::kHeaderSize) +
+        static_cast<long>(replay.durable_page_count) *
+            static_cast<long>(Pager::kPhysicalPageSize);
+    if (st.st_size < expected) {
+      return util::Status::Corruption(
+          "manifest for " + path + " records " +
+          std::to_string(replay.durable_page_count) +
+          " durable pages but the pager file is shorter — journal and data "
+          "file are out of step");
+    }
+    if (st.st_size > expected) {
+      if (::truncate(path.c_str(), expected) != 0) {
+        return util::Status::IoError("cannot roll back uncommitted pages of " +
+                                     path + ": " + std::strerror(errno));
+      }
+      report.orphan_pages_truncated = static_cast<uint32_t>(
+          (st.st_size - expected + Pager::kPhysicalPageSize - 1) /
+          Pager::kPhysicalPageSize);
+    }
+  }
+
   auto catalog = std::unique_ptr<ViewCatalog>(new ViewCatalog(
       path, pool_pages, /*persistent=*/true, Pager::Mode::kReopen));
   if (!catalog->pager_->init_status().ok()) {
-    std::fclose(in);
     return catalog->pager_->init_status();
+  }
+
+  report.journal_tail_truncated = replay.tail_torn;
+  auto journal = ManifestJournal::OpenForAppend(journal_path,
+                                                replay.valid_bytes);
+  if (!journal.ok()) return journal.status();
+  catalog->journal_ = std::move(*journal);
+
+  const uint32_t pages = catalog->pager_->page_count();
+  std::unordered_map<uint64_t, MaterializedView*> by_epoch;
+  for (ManifestViewRecord& r : replay.installed) {
+    std::optional<TreePattern> pattern = TreePattern::Parse(r.pattern);
+    if (!pattern.has_value()) {
+      return MalformedManifest(path, "unparsable view pattern " + r.pattern);
+    }
+    auto view = std::make_unique<MaterializedView>();
+    view->pattern_ = *pattern;
+    view->scheme_ = static_cast<Scheme>(r.scheme);
+    view->epoch_ = r.epoch;
+    view->match_count_ = r.match_count;
+    view->size_bytes_ = r.size_bytes;
+    view->pointer_count_ = r.pointer_count;
+    view->list_lengths_ = std::move(r.list_lengths);
+    view->lists_ = std::move(r.lists);
+    view->tuple_list_ = r.tuple_list;
+    for (const StoredList& list : view->lists_) {
+      if (!ListInRange(list, pages)) {
+        return MalformedManifest(path, "view " + r.pattern +
+                                           " references pages beyond the "
+                                           "pager file");
+      }
+    }
+    if (!ListInRange(view->tuple_list_, pages)) {
+      return MalformedManifest(path, "view " + r.pattern +
+                                         " references pages beyond the pager "
+                                         "file");
+    }
+    by_epoch[r.epoch] = view.get();
+    catalog->views_.push_back(std::move(view));
+  }
+  for (uint64_t e : replay.quarantined) {
+    auto it = by_epoch.find(e);
+    if (it != by_epoch.end()) catalog->quarantined_.insert(it->second);
+  }
+  for (const auto& [old_epoch, new_epoch] : replay.replaced) {
+    auto from = by_epoch.find(old_epoch);
+    auto to = by_epoch.find(new_epoch);
+    if (from != by_epoch.end() && to != by_epoch.end() &&
+        from->second != to->second) {
+      catalog->replacement_[from->second] = to->second;
+    }
+  }
+  catalog->epoch_.store(std::max<uint64_t>(replay.last_epoch, 1),
+                        std::memory_order_release);
+
+  // Re-queue what recovery could not restore: rolled-back builds and
+  // quarantined views with no healthy stand-in.
+  std::set<std::pair<std::string, int>> seen;
+  auto queue_rebuild = [&](const std::string& pattern, Scheme scheme) {
+    if (seen.insert({pattern, static_cast<int>(scheme)}).second) {
+      report.pending_rebuild.emplace_back(pattern, scheme);
+    }
+  };
+  for (const auto& [pattern, scheme] : replay.rolled_back) {
+    // A Begin with no Install at its epoch stays in the journal until the
+    // next checkpoint; if a later attempt (new epoch) did commit the same
+    // view, there is nothing left to rebuild.
+    if (catalog->FindView(pattern, static_cast<Scheme>(scheme)) == nullptr) {
+      queue_rebuild(pattern, static_cast<Scheme>(scheme));
+    }
+  }
+  for (const MaterializedView* view : catalog->quarantined_) {
+    const std::string pattern = view->pattern_.ToString();
+    if (catalog->FindView(pattern, view->scheme_) == nullptr) {
+      queue_rebuild(pattern, view->scheme_);
+    }
+  }
+  catalog->recovery_ = std::move(report);
+  return catalog;
+}
+
+util::Status ViewCatalog::LoadLegacyManifest() {
+  const std::string path = pager_->path();
+  auto fail = [&path](const std::string& message) {
+    return MalformedManifest(path, message);
+  };
+  std::FILE* in = std::fopen((path + ".manifest").c_str(), "r");
+  if (in == nullptr) {
+    return util::Status::NotFound("missing manifest for " + path);
   }
   char magic[16];
   int version = 0;
@@ -145,35 +436,26 @@ util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
     }
     ok = ok && load(&view->tuple_list_);
     if (ok) {
-      catalog->views_.push_back(std::move(view));
-      catalog->version_.fetch_add(1, std::memory_order_release);
+      view->epoch_ = AllocateEpoch();
+      views_.push_back(std::move(view));
     }
   }
   std::fclose(in);
   if (!ok) return fail("truncated or unparsable view records");
-  // Every stored list must lie inside the (checksummed) pager file; a
-  // manifest pointing past the end means one of the two files is stale.
-  uint32_t pages = catalog->pager_->page_count();
-  for (const auto& view : catalog->views_) {
-    auto in_range = [pages](const StoredList& list) {
-      if (list.count == 0) return true;
-      uint32_t record = list.layout.RecordSize();
-      if (record == 0 || record > Pager::kPageSize) return false;
-      return list.first_page != kInvalidPage && list.first_page < pages &&
-             list.PageSpan() <= pages - list.first_page;
-    };
+  uint32_t pages = pager_->page_count();
+  for (const auto& view : views_) {
     for (const StoredList& list : view->lists_) {
-      if (!in_range(list)) {
+      if (!ListInRange(list, pages)) {
         return fail("view " + view->pattern_.ToString() +
                     " references pages beyond the pager file");
       }
     }
-    if (!in_range(view->tuple_list_)) {
+    if (!ListInRange(view->tuple_list_, pages)) {
       return fail("view " + view->pattern_.ToString() +
                   " references pages beyond the pager file");
     }
   }
-  return catalog;
+  return util::Status::Ok();
 }
 
 IoStats ViewCatalog::Stats() const {
@@ -183,45 +465,133 @@ IoStats ViewCatalog::Stats() const {
   return stats;
 }
 
-ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
-                         bool persistent, Pager::Mode mode)
-    : pager_(std::make_unique<Pager>(path, mode)),
-      pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
-      persistent_(persistent) {}
-
 void ViewCatalog::ResetStats() {
   pager_->ResetStats();
   pool_->ResetStats();
 }
 
-util::StatusOr<StoredList> ViewCatalog::WriteList(
-    const std::vector<uint8_t>& bytes, RecordLayout layout, uint32_t count) {
-  StoredList list;
-  list.layout = layout;
-  list.count = count;
-  if (count == 0) {
-    list.first_page = kInvalidPage;
-    return list;
+// ---- Shadow installation ---------------------------------------------------
+
+namespace {
+
+/// Writes `size` bytes to `tmp_path` and makes them durable. Best-effort
+/// cleanup on failure (this is a genuine error path, not a simulated crash).
+util::Status WriteShadowFile(const std::string& tmp_path, const uint8_t* data,
+                             size_t size) {
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot create shadow file " + tmp_path +
+                                 ": " + std::strerror(errno));
   }
-  uint32_t record_size = layout.RecordSize();
-  uint32_t per_page = static_cast<uint32_t>(Pager::kPageSize) / record_size;
-  uint32_t pages = (count + per_page - 1) / per_page;
-  list.first_page = pager_->page_count();
-  std::vector<uint8_t> page(Pager::kPageSize, 0);
-  for (uint32_t p = 0; p < pages; ++p) {
-    std::fill(page.begin(), page.end(), 0);
-    uint32_t first_record = p * per_page;
-    uint32_t n_records = std::min(per_page, count - first_record);
-    std::memcpy(page.data(), bytes.data() + size_t(first_record) * record_size,
-                size_t(n_records) * record_size);
-    // Allocate-and-write in one step: extend the file with this page.
-    util::StatusOr<PageId> id = pager_->AllocatePage();
-    if (!id.ok()) return id.status();
-    util::Status written = pager_->WritePage(*id, page.data());
-    if (!written.ok()) return written;
+  bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
+  ok = ok && std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+  std::fclose(file);
+  if (!ok) {
+    std::remove(tmp_path.c_str());
+    return util::Status::IoError("cannot write shadow file " + tmp_path);
   }
-  return list;
+  return util::Status::Ok();
 }
+
+}  // namespace
+
+util::StatusOr<const MaterializedView*> ViewCatalog::InstallView(
+    std::unique_ptr<MaterializedView> view, StagedPages& staged) {
+  auto& injector = util::FaultInjector::Global();
+  std::lock_guard<std::mutex> install_lock(install_mu_);
+
+  const uint64_t epoch = AllocateEpoch();
+  view->epoch_ = epoch;
+  if (journal_ != nullptr) {
+    // Intent record first: if the rest of the install never commits, replay
+    // finds a begin without an install and re-queues the pattern.
+    util::Status begun =
+        journal_->AppendBegin(epoch, static_cast<uint8_t>(view->scheme_),
+                              view->pattern_.ToString());
+    if (!begun.ok()) return begun;
+  }
+
+  // Rebase the staged lists onto their final page ids and encode the pages
+  // with those ids stamped in the footers — the bytes appended below are
+  // byte-identical to what page-at-a-time writes would have produced.
+  const PageId base = pager_->page_count();
+  for (StoredList& list : view->lists_) {
+    if (list.count != 0) list.first_page += base;
+  }
+  if (view->tuple_list_.count != 0) view->tuple_list_.first_page += base;
+  std::vector<uint8_t> phys(static_cast<size_t>(staged.page_count) *
+                            Pager::kPhysicalPageSize);
+  for (uint32_t p = 0; p < staged.page_count; ++p) {
+    Pager::EncodePhysicalPage(
+        base + p,
+        staged.payload.data() + static_cast<size_t>(p) * Pager::kPageSize,
+        phys.data() + static_cast<size_t>(p) * Pager::kPhysicalPageSize);
+  }
+
+  const std::string shadow =
+      pager_->path() + ".shadow." + std::to_string(epoch);
+  const bool shadowed = journal_ != nullptr && staged.page_count > 0;
+  if (shadowed) {
+    const std::string tmp = shadow + ".tmp";
+    util::Status staged_ok = WriteShadowFile(tmp, phys.data(), phys.size());
+    if (!staged_ok.ok()) return staged_ok;
+    if (injector.AtCrashPoint(util::CrashPoint::kCrashBeforeRename)) {
+      // Crash with the shadow fully written but unsealed: recovery must
+      // treat the .tmp as garbage and roll the view back.
+      return util::Status::IoError("injected crash before shadow rename (" +
+                                   tmp + ")");
+    }
+    if (std::rename(tmp.c_str(), shadow.c_str()) != 0) {
+      util::Status renamed = util::Status::IoError(
+          "cannot seal shadow file " + shadow + ": " + std::strerror(errno));
+      std::remove(tmp.c_str());
+      return renamed;
+    }
+    if (injector.AtCrashPoint(util::CrashPoint::kCrashAfterRename)) {
+      // Crash with a sealed shadow but nothing in the main file: recovery
+      // must delete the orphan shadow and roll the view back.
+      return util::Status::IoError("injected crash after shadow rename (" +
+                                   shadow + ")");
+    }
+  }
+
+  if (staged.page_count > 0) {
+    util::Status appended =
+        pager_->AppendPhysicalPages(phys.data(), staged.page_count);
+    if (appended.ok() && journal_ != nullptr) appended = pager_->Sync();
+    if (!appended.ok()) {
+      if (shadowed) std::remove(shadow.c_str());
+      return appended;
+    }
+  }
+  if (injector.AtCrashPoint(util::CrashPoint::kCrashAfterDataSync)) {
+    // Crash with the pages durable but uncommitted: recovery must truncate
+    // them away (they are unreferenced dead bytes) and roll the view back.
+    return util::Status::IoError(
+        "injected crash after data sync, before journal commit");
+  }
+
+  if (journal_ != nullptr) {
+    util::Status committed =
+        journal_->AppendInstall(RecordFor(*view, pager_->page_count()));
+    if (!committed.ok()) {
+      // Mid-journal crash injection surfaces here: leave everything exactly
+      // as a dying process would (sealed shadow, appended pages, torn
+      // record) for recovery to clean up.
+      return committed;
+    }
+    if (shadowed) std::remove(shadow.c_str());
+  }
+
+  const MaterializedView* result = view.get();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    views_.push_back(std::move(view));
+  }
+  return result;
+}
+
+// ---- Materialization -------------------------------------------------------
 
 namespace {
 
@@ -294,8 +664,9 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
     evaluator.Evaluate(&sink);
     RecordLayout layout;
     layout.label_count = static_cast<uint32_t>(pattern.size());
+    StagedPages staged;
     util::StatusOr<StoredList> tuples =
-        WriteList(bytes, layout, static_cast<uint32_t>(sink.count()));
+        StageList(staged, bytes, layout, static_cast<uint32_t>(sink.count()));
     if (!tuples.ok()) return tuples.status();
     view->tuple_list_ = *tuples;
     view->match_count_ = sink.count();
@@ -305,13 +676,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
     for (const auto& list : solutions) {
       view->list_lengths_.push_back(static_cast<uint32_t>(list.size()));
     }
-    const MaterializedView* result = view.get();
-    {
-      std::lock_guard<std::mutex> lock(registry_mu_);
-      views_.push_back(std::move(view));
-      version_.fetch_add(1, std::memory_order_release);
-    }
-    return result;
+    return InstallView(std::move(view), staged);
   }
 
   // Element-list based schemes. Gather solution node lists and their labels.
@@ -351,6 +716,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
   bool with_pointers = scheme != Scheme::kElement;
   bool partial = scheme == Scheme::kLinkedElementPartial;
 
+  StagedPages staged;
   view->lists_.resize(nq);
   for (size_t q = 0; q < nq; ++q) {
     const std::vector<Label>& lq = labels[q];
@@ -408,26 +774,28 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
         AppendU32(&bytes, child);
       }
     }
-    util::StatusOr<StoredList> written =
-        WriteList(bytes, layout, static_cast<uint32_t>(lq.size()));
-    if (!written.ok()) return written.status();
-    view->lists_[q] = *written;
+    util::StatusOr<StoredList> staged_list =
+        StageList(staged, bytes, layout, static_cast<uint32_t>(lq.size()));
+    if (!staged_list.ok()) return staged_list.status();
+    view->lists_[q] = *staged_list;
   }
   view->size_bytes_ += 4ull * view->pointer_count_;
 
-  const MaterializedView* result = view.get();
-  {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    views_.push_back(std::move(view));
-    version_.fetch_add(1, std::memory_order_release);
-  }
-  return result;
+  return InstallView(std::move(view), staged);
 }
 
+// ---- Quarantine / lookup ---------------------------------------------------
+
 void ViewCatalog::Quarantine(const MaterializedView* view) {
+  const uint64_t epoch = AllocateEpoch();
+  if (journal_ != nullptr) {
+    // Best-effort: a lost quarantine record means the view comes back
+    // healthy-looking after a restart, where verification re-detects the
+    // corruption — annoying, never incorrect.
+    (void)journal_->AppendQuarantine(epoch, view->epoch());
+  }
   std::lock_guard<std::mutex> lock(registry_mu_);
   quarantined_.insert(view);
-  version_.fetch_add(1, std::memory_order_release);
 }
 
 bool ViewCatalog::IsQuarantined(const MaterializedView* view) const {
@@ -457,9 +825,12 @@ const MaterializedView* ViewCatalog::ReplacementFor(
 void ViewCatalog::SetReplacement(const MaterializedView* from,
                                  const MaterializedView* to) {
   VJ_CHECK(from != to);
+  const uint64_t epoch = AllocateEpoch();
+  if (journal_ != nullptr) {
+    (void)journal_->AppendReplace(epoch, from->epoch(), to->epoch());
+  }
   std::lock_guard<std::mutex> lock(registry_mu_);
   replacement_[from] = to;
-  version_.fetch_add(1, std::memory_order_release);
 }
 
 const MaterializedView* ViewCatalog::FindView(
@@ -482,6 +853,14 @@ const MaterializedView* ViewCatalog::FindView(
     return v;
   }
   return nullptr;
+}
+
+std::vector<const MaterializedView*> ViewCatalog::ViewsSnapshot() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<const MaterializedView*> snapshot;
+  snapshot.reserve(views_.size());
+  for (const auto& view : views_) snapshot.push_back(view.get());
+  return snapshot;
 }
 
 const MaterializedView* ViewCatalog::ViewOfPage(PageId page) const {

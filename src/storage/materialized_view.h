@@ -12,6 +12,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "storage/manifest.h"
 #include "storage/stored_list.h"
 #include "tpq/pattern.h"
 #include "util/status.h"
@@ -53,6 +54,10 @@ class MaterializedView {
   const tpq::TreePattern& pattern() const { return pattern_; }
   Scheme scheme() const { return scheme_; }
 
+  /// The catalog epoch at which this view was installed — its durable
+  /// identity in the manifest journal (0 only before installation).
+  uint64_t epoch() const { return epoch_; }
+
   /// Per-view-node stored lists (E/LE/LE_p). Index = pattern node index.
   const std::vector<StoredList>& lists() const { return lists_; }
   const StoredList& list(int vnode) const {
@@ -82,12 +87,34 @@ class MaterializedView {
 
   tpq::TreePattern pattern_;
   Scheme scheme_ = Scheme::kElement;
+  uint64_t epoch_ = 0;
   std::vector<StoredList> lists_;
   StoredList tuple_list_;
   std::vector<uint32_t> list_lengths_;
   uint64_t match_count_ = 0;
   uint64_t size_bytes_ = 0;
   uint64_t pointer_count_ = 0;
+};
+
+/// What startup recovery did (and found) while reopening a persistent
+/// catalog. Every action is the safe one: uncommitted state is rolled back,
+/// not patched forward, and anything lost is re-queued for rebuilding.
+struct RecoveryReport {
+  /// The manifest journal ended in a torn record (crash mid-append); the
+  /// fragment was dropped and the journal truncated at the last valid record.
+  bool journal_tail_truncated = false;
+  /// Pager pages past the journal's durable prefix (a crash between the data
+  /// append and the journal commit) that were truncated away.
+  uint32_t orphan_pages_truncated = 0;
+  /// Leftover shadow files (sealed or tmp) from interrupted installs that
+  /// were deleted.
+  int orphan_shadows_removed = 0;
+  /// A pre-journal plain-text manifest was converted to the journal format.
+  bool legacy_manifest_converted = false;
+  /// Views whose (re-)materialization a crash rolled back, plus quarantined
+  /// views with no healthy replacement: the store serves without them, but a
+  /// caller holding the source document should re-materialize each one.
+  std::vector<std::pair<std::string, Scheme>> pending_rebuild;
 };
 
 /// Owns the pager + buffer pool and materializes views into them.
@@ -97,31 +124,62 @@ class MaterializedView {
 ///   const MaterializedView* v = catalog.Materialize(doc, pattern, scheme);
 ///   ListCursor cursor(&v->list(0), catalog.pool());
 ///
+/// Durability (persistent catalogs): every view is installed via *shadow
+/// materialization* — its pages are staged in memory, written to a shadow
+/// file which is fsynced and sealed by rename, appended to the pager file in
+/// one contiguous write, fsynced again, and only then committed by an
+/// install record in the manifest journal ("<path>.manifest"). A crash at
+/// any instant leaves either the old catalog or the new one, never a
+/// half-installed view: Open() replays the journal, truncates uncommitted
+/// pager pages and torn journal tails, deletes orphan shadows, and reports
+/// rolled-back views in recovery_report().pending_rebuild.
+///
 /// Thread-safety: the view registry (views/quarantine/replacement maps) is
 /// mutex-guarded and the pager/pool are internally synchronized, so batch
 /// workers can read views, look up replacements and even quarantine +
-/// re-materialize concurrently. views() returns the registry by reference
-/// and is for single-threaded setup/inspection only.
+/// re-materialize concurrently; installs are serialized by an internal
+/// install mutex (staging runs outside it, so evaluations still overlap).
+/// views() returns the registry by reference and is for single-threaded
+/// setup/inspection only — concurrent readers use ViewsSnapshot().
 class ViewCatalog {
  public:
   /// `path` is the backing pager file; `pool_pages` the buffer pool capacity
   /// (must be >= 1 — the pool rejects capacity 0). With `persistent` the
-  /// pager file survives the catalog (pair with SaveManifest/Open to reuse
-  /// materialized views across processes).
+  /// pager file survives the catalog and every install is journaled (pair
+  /// with Open to reuse materialized views across processes).
   ViewCatalog(const std::string& path, size_t pool_pages,
               bool persistent = false);
   ~ViewCatalog();
 
-  /// Writes the catalog manifest (view patterns, schemes, list locations)
-  /// next to the pager file ("<path>.manifest"). Requires `persistent`.
-  void SaveManifest() const;
+  /// Compacts the manifest journal to one install record per live view
+  /// (atomic tmp + fsync + rename) and reopens it for appending. Requires
+  /// `persistent`. Journaled installs make this optional — it bounds journal
+  /// growth and replay time, nothing more.
+  util::Status Checkpoint();
 
-  /// Reopens a persisted catalog: the pager file plus its manifest. Returns
-  /// kNotFound when either file is missing, kCorruption when the pager header
-  /// is invalid (pre-checksum or truncated file), the manifest is malformed,
-  /// or a manifest list points outside the pager file.
+  /// Legacy spelling of Checkpoint() that dies on failure (setup-time
+  /// convenience, mirroring Materialize vs TryMaterialize).
+  void SaveManifest();
+
+  /// Reopens a persisted catalog: the pager file plus its manifest journal,
+  /// running startup recovery (see class comment; recovery_report() tells
+  /// what it did). Returns kNotFound when either file is missing, kCorruption
+  /// when the pager header is invalid, a journal record fails its checksum
+  /// mid-file, or an install record points outside the pager file. A torn
+  /// journal tail or a crash-truncated pager file is NOT corruption — those
+  /// are the crash artifacts recovery exists to repair.
   static util::StatusOr<std::unique_ptr<ViewCatalog>> Open(
       const std::string& path, size_t pool_pages);
+
+  /// What startup recovery did when this catalog was opened via Open()
+  /// (default-constructed for fresh catalogs).
+  const RecoveryReport& recovery_report() const { return recovery_; }
+
+  /// Flushes and closes the journal and the pager, surfacing the final
+  /// flush verdict (a swallowed close-time failure would hand the next Open
+  /// a truncated file with no witness). Idempotent; the destructor calls it
+  /// and logs — callers that must know invoke Close() explicitly first.
+  util::Status Close();
 
   ViewCatalog(const ViewCatalog&) = delete;
   ViewCatalog& operator=(const ViewCatalog&) = delete;
@@ -134,9 +192,10 @@ class ViewCatalog {
                                       const tpq::TreePattern& pattern,
                                       Scheme scheme);
 
-  /// Recoverable materialization: surfaces page-write failures as a Status
-  /// and leaves the catalog's view list untouched on failure (already-written
-  /// pages become dead space in the pager file).
+  /// Recoverable materialization: surfaces staging/install failures as a
+  /// Status and leaves the catalog's view list untouched on failure (an
+  /// interrupted install leaves at most dead bytes past the durable prefix,
+  /// which the next Open truncates).
   util::StatusOr<const MaterializedView*> TryMaterialize(
       const xml::Document& doc, const tpq::TreePattern& pattern, Scheme scheme);
 
@@ -160,7 +219,9 @@ class ViewCatalog {
   // it stays owned by the catalog (callers may hold pointers) but is marked
   // unusable. The engine re-materializes a replacement when the source
   // document is at hand and records the mapping here, so later Execute calls
-  // holding the stale pointer are transparently redirected.
+  // holding the stale pointer are transparently redirected. On a persistent
+  // catalog both events are journaled, so quarantine and replacement survive
+  // a restart.
 
   void Quarantine(const MaterializedView* view);
   bool IsQuarantined(const MaterializedView* view) const;
@@ -188,16 +249,28 @@ class ViewCatalog {
   /// Drops cached pages so a subsequent query run starts cold.
   void DropCaches() { pool_->Clear(); }
 
-  /// Views held by the catalog, in materialization (or manifest) order.
+  /// Views held by the catalog, in installation (epoch) order. Reference into
+  /// the registry — single-threaded setup/inspection only.
   const std::vector<std::unique_ptr<MaterializedView>>& views() const {
     return views_;
   }
 
-  /// Monotone catalog version, bumped whenever the set of usable views
-  /// changes: a view is materialized, quarantined, or replaced. Cached plans
-  /// key on it, so any such change invalidates every plan referencing the
+  /// Registry snapshot safe to take while other threads install or
+  /// quarantine views (the scrubber's worklist). View pointers stay valid
+  /// for the catalog's lifetime.
+  std::vector<const MaterializedView*> ViewsSnapshot() const;
+
+  /// Monotone catalog epoch: the largest epoch any recorded event (install,
+  /// quarantine, replacement) carries, resuming across restarts on a
+  /// persistent catalog because it is replayed from the manifest journal.
+  /// Cached plans key on it, so any change to the set of usable views — in
+  /// this process or a previous one — invalidates every plan referencing the
   /// old catalog state without the cache having to enumerate dependencies.
-  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Pre-journal name for epoch(), kept for callers of the old in-memory
+  /// version counter.
+  uint64_t version() const { return epoch(); }
 
   /// The healthy view with the given pattern serialization and scheme, or
   /// nullptr. Quarantined views (without a replacement) never match; a
@@ -207,14 +280,44 @@ class ViewCatalog {
                                    Scheme scheme) const;
 
  private:
+  /// Payload pages of a view staged in memory before installation.
+  struct StagedPages;
+
   ViewCatalog(const std::string& path, size_t pool_pages, bool persistent,
               Pager::Mode mode);
 
-  util::StatusOr<StoredList> WriteList(const std::vector<uint8_t>& bytes,
-                                       RecordLayout layout, uint32_t count);
+  /// Lays `bytes` (records of `layout`) out into staged pages; the returned
+  /// list's first_page is *relative* to the staged build until InstallView
+  /// rebases it onto final page ids.
+  static util::StatusOr<StoredList> StageList(StagedPages& staged,
+                                              const std::vector<uint8_t>& bytes,
+                                              RecordLayout layout,
+                                              uint32_t count);
+
+  /// The shadow-materialization install protocol (see class comment). Takes
+  /// ownership of `view`; on success the registered pointer is returned.
+  util::StatusOr<const MaterializedView*> InstallView(
+      std::unique_ptr<MaterializedView> view, StagedPages& staged);
+
+  /// The journal install record describing `view`.
+  ManifestViewRecord RecordFor(const MaterializedView& view,
+                               uint32_t page_count_after) const;
+
+  /// Parses a pre-journal "VIEWJOINCAT" text manifest into views_ (Open's
+  /// legacy path; the caller then converts the file to the journal format).
+  util::Status LoadLegacyManifest();
+
+  uint64_t AllocateEpoch() {
+    return epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
 
   std::unique_ptr<Pager> pager_;
   std::unique_ptr<BufferPool> pool_;
+  /// Journal of view-lifecycle events; null for non-persistent catalogs.
+  std::unique_ptr<ManifestJournal> journal_;
+  /// Serializes InstallView (page-id assignment through journal commit) and
+  /// Checkpoint. Ordered before registry_mu_ when both are taken.
+  std::mutex install_mu_;
   /// Guards views_, quarantined_ and replacement_. MaterializedView objects
   /// themselves are immutable once registered and may be read lock-free.
   mutable std::mutex registry_mu_;
@@ -222,7 +325,9 @@ class ViewCatalog {
   std::unordered_set<const MaterializedView*> quarantined_;
   std::unordered_map<const MaterializedView*, const MaterializedView*>
       replacement_;
-  std::atomic<uint64_t> version_{1};
+  /// Last allocated epoch (== current catalog epoch).
+  std::atomic<uint64_t> epoch_{1};
+  RecoveryReport recovery_;
   bool persistent_ = false;
 };
 

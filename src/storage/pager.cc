@@ -1,5 +1,7 @@
 #include "storage/pager.h"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <chrono>
 #include <cstdlib>
@@ -140,21 +142,35 @@ Pager::Pager(const std::string& path, Mode mode) : path_(path), mode_(mode) {
 }
 
 Pager::~Pager() {
-  if (file_ != nullptr) {
-    // Persistent stores must reach the OS before close; a swallowed flush
-    // error here would silently hand the next Reopen a truncated file.
-    if (mode_ == Mode::kPersist || mode_ == Mode::kReopen) {
-      if (std::fflush(file_) != 0) {
-        std::fprintf(stderr, "viewjoin: pager flush failed for %s: %s\n",
-                     path_.c_str(), std::strerror(errno));
-      }
-    }
-    if (std::fclose(file_) != 0 && mode_ != Mode::kTruncate) {
-      std::fprintf(stderr, "viewjoin: pager close failed for %s: %s\n",
-                   path_.c_str(), std::strerror(errno));
-    }
-    if (mode_ == Mode::kTruncate) std::remove(path_.c_str());
+  util::Status closed = Close();
+  if (!closed.ok() && mode_ != Mode::kTruncate) {
+    std::fprintf(stderr, "viewjoin: %s\n", closed.ToString().c_str());
   }
+}
+
+util::Status Pager::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return close_status_;  // already closed (idempotent)
+  // Persistent stores must reach the OS before close; a swallowed flush
+  // error here would silently hand the next Reopen a truncated file, so the
+  // verdict is latched in close_status_ for ViewCatalog::Close to surface.
+  if (mode_ == Mode::kPersist || mode_ == Mode::kReopen) {
+    bool injected = util::FaultInjector::Global().OnFlushAttempt();
+    if (injected || std::fflush(file_) != 0) {
+      close_status_ = util::Status::IoError(
+          "pager close-time flush failed for " + path_ + ": " +
+          (injected ? "injected flush fault" : std::strerror(errno)));
+    }
+  }
+  if (std::fclose(file_) != 0 && close_status_.ok() &&
+      mode_ != Mode::kTruncate) {
+    close_status_ = util::Status::IoError("pager close failed for " + path_ +
+                                          ": " + std::strerror(errno));
+  }
+  file_ = nullptr;
+  if (mode_ == Mode::kTruncate) std::remove(path_.c_str());
+  if (!close_status_.ok() && last_error_.ok()) last_error_ = close_status_;
+  return close_status_;
 }
 
 util::Status Pager::WriteHeader() {
@@ -165,8 +181,33 @@ util::Status Pager::WriteHeader() {
   PutU32(header, kHdrFooterSizeOff, static_cast<uint32_t>(kFooterSize));
   PutU32(header, kHdrHeaderSizeOff, static_cast<uint32_t>(kHeaderSize));
   PutU32(header, kHdrCrcOff, util::Crc32(header, kHdrCrcOff));
+
+  // Header writes are injectable on their own channel (they happen at open
+  // time, before any page traffic, so sharing the page-write counter would
+  // shift every armed "nth write"). A short write leaves a truncated header
+  // on disk and MUST fail the open: the next Reopen's header CRC would
+  // otherwise read garbage geometry.
+  size_t write_bytes = kHeaderSize;
+  bool report_failure = false;
+  switch (util::FaultInjector::Global().OnHeaderWriteAttempt()) {
+    case util::WriteFault::kNone:
+      break;
+    case util::WriteFault::kShortWrite:
+      write_bytes = kHeaderSize / 2;
+      report_failure = true;
+      break;
+    case util::WriteFault::kTornPage:
+      std::memset(header + kHeaderSize / 2, 0xAA, kHeaderSize / 2);
+      break;
+    case util::WriteFault::kBitFlip:
+      header[kHdrVersionOff] ^= 0x01;
+      break;
+  }
   if (std::fseek(file_, 0, SEEK_SET) != 0 ||
-      std::fwrite(header, kHeaderSize, 1, file_) != 1) {
+      std::fwrite(header, write_bytes, 1, file_) != 1) {
+    report_failure = true;
+  }
+  if (report_failure) {
     return util::Status::IoError("cannot write pager header to " + path_);
   }
   return util::Status::Ok();
@@ -234,6 +275,15 @@ util::StatusOr<PageId> Pager::AllocatePage() {
   return page_count_++;
 }
 
+void Pager::EncodePhysicalPage(PageId id, const void* payload,
+                               uint8_t* out_phys) {
+  std::memcpy(out_phys, payload, kPageSize);
+  PutU32(out_phys, kFtrMagicOff, kPageMagic);
+  PutU32(out_phys, kFtrPageIdOff, id);
+  PutU32(out_phys, kFtrCrcOff, util::Crc32(out_phys, kPageSize));
+  PutU32(out_phys, kFtrCrcOff + 4, 0);
+}
+
 util::Status Pager::WritePage(PageId id, const void* data) {
   if (!init_status_.ok()) return init_status_;
   std::lock_guard<std::mutex> lock(mu_);
@@ -241,17 +291,16 @@ util::Status Pager::WritePage(PageId id, const void* data) {
     return Latch(util::Status::InvalidArgument(
         "cannot write pages in read-only pager " + path_));
   }
+  if (file_ == nullptr) {
+    return Latch(util::Status::IoError("pager " + path_ + " is closed"));
+  }
   if (id >= page_count_) {
     return Latch(util::Status::InvalidArgument(
         "write of unallocated page " + std::to_string(id) + " in " + path_));
   }
   util::Timer timer;
   uint8_t phys[kPhysicalPageSize];
-  std::memcpy(phys, data, kPageSize);
-  PutU32(phys, kFtrMagicOff, kPageMagic);
-  PutU32(phys, kFtrPageIdOff, id);
-  PutU32(phys, kFtrCrcOff, util::Crc32(phys, kPageSize));
-  PutU32(phys, kFtrCrcOff + 4, 0);
+  EncodePhysicalPage(id, data, phys);
 
   size_t write_bytes = kPhysicalPageSize;
   bool report_failure = false;
@@ -285,7 +334,74 @@ util::Status Pager::WritePage(PageId id, const void* data) {
   return util::Status::Ok();
 }
 
+util::Status Pager::AppendPhysicalPages(const uint8_t* phys, uint32_t count) {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kReadOnly) {
+    return Latch(util::Status::InvalidArgument(
+        "cannot append pages to read-only pager " + path_));
+  }
+  if (file_ == nullptr) {
+    return Latch(util::Status::IoError("pager " + path_ + " is closed"));
+  }
+  if (count == 0) return util::Status::Ok();
+  util::Timer timer;
+  if (std::fseek(file_, PageOffset(page_count_), SEEK_SET) != 0) {
+    return Latch(util::Status::IoError(
+        "seek for append of " + std::to_string(count) + " pages failed in " +
+        path_));
+  }
+  // The injector is consulted once per page — identical counting to the old
+  // page-at-a-time write loop, so tests arming "the nth write" keep hitting
+  // the same page whether it lands via WritePage or a staged append.
+  bool failed = false;
+  uint32_t written = 0;
+  for (uint32_t p = 0; p < count && !failed; ++p) {
+    const uint8_t* src = phys + static_cast<size_t>(p) * kPhysicalPageSize;
+    util::WriteFault fault = util::FaultInjector::Global().OnWriteAttempt();
+    if (fault == util::WriteFault::kNone) {
+      failed = std::fwrite(src, kPhysicalPageSize, 1, file_) != 1;
+    } else {
+      uint8_t page[kPhysicalPageSize];
+      std::memcpy(page, src, kPhysicalPageSize);
+      size_t write_bytes = kPhysicalPageSize;
+      switch (fault) {
+        case util::WriteFault::kShortWrite:
+          write_bytes = kPhysicalPageSize / 2;
+          failed = true;
+          break;
+        case util::WriteFault::kTornPage:
+          std::memset(page + kPhysicalPageSize / 2, 0xAA,
+                      kPhysicalPageSize / 2);
+          break;
+        case util::WriteFault::kBitFlip:
+          page[kBitFlipByte] ^= kBitFlipMask;
+          break;
+        case util::WriteFault::kNone:
+          break;
+      }
+      if (std::fwrite(page, write_bytes, 1, file_) != 1) failed = true;
+    }
+    if (!failed) ++written;
+  }
+  stats_.write_micros += timer.ElapsedMicros();
+  stats_.pages_written += written;
+  if (failed) {
+    // The append fails as a unit: page_count_ stays put, so the partial tail
+    // is unaddressable dead bytes (recovery truncates it on a persistent
+    // store). Torn pages and bit flips "succeed" here exactly as they do on
+    // real hardware; the page checksum catches them at read time.
+    return Latch(util::Status::IoError(
+        "append of " + std::to_string(count) + " pages failed in " + path_));
+  }
+  page_count_ += count;
+  return util::Status::Ok();
+}
+
 util::Status Pager::ReadPhysicalOnce(PageId id, uint8_t* phys) {
+  if (file_ == nullptr) {
+    return util::Status::IoError("pager " + path_ + " is closed");
+  }
   if (util::FaultInjector::Global().OnReadAttempt()) {
     return util::Status::IoError("injected read fault on page " +
                                  std::to_string(id) + " in " + path_);
@@ -361,8 +477,26 @@ util::Status Pager::VerifyPage(PageId id, void* out) {
 util::Status Pager::Flush() {
   if (!init_status_.ok()) return init_status_;
   std::lock_guard<std::mutex> lock(mu_);
-  if (std::fflush(file_) != 0) {
+  if (file_ == nullptr) {
+    return Latch(util::Status::IoError("pager " + path_ + " is closed"));
+  }
+  if (util::FaultInjector::Global().OnFlushAttempt() ||
+      std::fflush(file_) != 0) {
     return Latch(util::Status::IoError("flush failed for " + path_ + ": " +
+                                       std::strerror(errno)));
+  }
+  return util::Status::Ok();
+}
+
+util::Status Pager::Sync() {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Latch(util::Status::IoError("pager " + path_ + " is closed"));
+  }
+  if (util::FaultInjector::Global().OnFlushAttempt() ||
+      std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Latch(util::Status::IoError("sync failed for " + path_ + ": " +
                                        std::strerror(errno)));
   }
   return util::Status::Ok();

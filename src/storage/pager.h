@@ -87,6 +87,22 @@ class Pager {
   /// before it is first read.
   util::StatusOr<PageId> AllocatePage();
 
+  /// Serializes one page into its on-disk physical form: payload (`kPageSize`
+  /// bytes) followed by the stamped footer {magic, id, CRC32(payload)}.
+  /// `out_phys` must hold kPhysicalPageSize bytes. Shadow-materialization
+  /// builds stage pages with their *final* ids through this, so the bytes
+  /// appended at install time are byte-identical to a direct WritePage.
+  static void EncodePhysicalPage(PageId id, const void* payload,
+                                 uint8_t* out_phys);
+
+  /// Appends `count` already-encoded physical pages in one contiguous write.
+  /// The pages must be stamped (EncodePhysicalPage) with ids
+  /// `page_count() .. page_count()+count-1`; on success the pager's page
+  /// count covers them. This is the install step of shadow materialization —
+  /// the staged pages of a complete view land in the file with one
+  /// sequential write instead of page-at-a-time seeks.
+  util::Status AppendPhysicalPages(const uint8_t* phys, uint32_t count);
+
   /// Writes a full page (`data` must be kPageSize payload bytes) together
   /// with its checksum footer.
   util::Status WritePage(PageId id, const void* data);
@@ -102,6 +118,24 @@ class Pager {
 
   /// Flushes buffered writes to the OS.
   util::Status Flush();
+
+  /// Flushes and then fsyncs the backing file — the durability barrier of
+  /// the shadow-install protocol (data must be on the medium before the
+  /// journal commit record that makes it visible).
+  util::Status Sync();
+
+  /// Flushes (persistent modes) and closes the backing file, latching the
+  /// outcome in LastFlushStatus(). Idempotent; the destructor calls it, so a
+  /// caller that needs the verdict (ViewCatalog::Close) invokes it first.
+  util::Status Close();
+
+  /// Outcome of the final flush+close (Ok until Close has run). A swallowed
+  /// close-time flush failure would hand the next Reopen a truncated file
+  /// with no witness; this latch is how catalog close surfaces it.
+  util::Status LastFlushStatus() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return close_status_;
+  }
 
   /// First non-OK status any operation produced since the last ClearError().
   util::Status last_error() const {
@@ -144,6 +178,7 @@ class Pager {
   uint32_t page_count_ = 0;
   util::Status init_status_;
   util::Status last_error_;
+  util::Status close_status_;
   IoStats stats_;
   /// Serializes file access, counters and the error latch. init_status_,
   /// path_ and mode_ are immutable after construction and need no lock.

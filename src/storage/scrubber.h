@@ -1,0 +1,95 @@
+#ifndef VIEWJOIN_STORAGE_SCRUBBER_H_
+#define VIEWJOIN_STORAGE_SCRUBBER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "storage/materialized_view.h"
+#include "util/status.h"
+
+namespace viewjoin::storage {
+
+/// Counters of the scrubber's lifetime work (monotone; snapshot-copyable).
+struct ScrubStats {
+  uint64_t pages_scanned = 0;      // checksum verifications performed
+  uint64_t corrupt_pages = 0;      // verifications that found corruption
+  uint64_t views_quarantined = 0;  // views the scrubber pulled from service
+  uint64_t views_healed = 0;       // quarantined views re-materialized OK
+  uint64_t heal_failures = 0;      // healer calls that failed
+  uint64_t full_passes = 0;        // complete sweeps over the catalog
+};
+
+/// Background integrity scrubber: incrementally re-verifies the checksums of
+/// every page belonging to a live view, so latent corruption (bit rot under
+/// cold data) is found *before* a query trips over it. A corrupt view is
+/// quarantined immediately and, when a healer is installed, re-materialized
+/// proactively — queries arriving later never see the bad pages.
+///
+/// The unit of work is Step(budget): verify up to `budget` pages, resuming
+/// where the previous step left off and restarting from the oldest view
+/// after a full pass. Tests drive Step() synchronously for determinism;
+/// Start(interval) runs it from a background thread. The scrub cursor tracks
+/// views by epoch, so views installed or quarantined mid-pass are picked up
+/// naturally on the next lap.
+///
+/// Thread-safety: Step/stats are serialized by an internal mutex; the healer
+/// runs inside Step and must therefore not call back into the scrubber.
+/// Verification reads bypass the buffer pool (Pager::VerifyPage), so a
+/// scrub never evicts a query's hot pages and never poisons pool frames.
+class Scrubber {
+ public:
+  /// Re-materializes a quarantined view (typically: rebuild from the source
+  /// document and SetReplacement). Called with no scrubber or catalog locks
+  /// that the healer itself would need.
+  using Healer = std::function<util::Status(const MaterializedView*)>;
+
+  static constexpr uint32_t kDefaultStepPages = 64;
+
+  explicit Scrubber(ViewCatalog* catalog, Healer healer = nullptr);
+  ~Scrubber();  // stops the background thread if running
+
+  Scrubber(const Scrubber&) = delete;
+  Scrubber& operator=(const Scrubber&) = delete;
+
+  /// Verifies up to `page_budget` pages of live views. Returns the number of
+  /// pages actually verified (0 when the catalog holds no scannable pages —
+  /// the step ends at a pass boundary rather than wrapping within one call).
+  uint32_t Step(uint32_t page_budget = kDefaultStepPages);
+
+  /// Spawns the background thread: one Step(page_budget) every `interval`.
+  /// No-op when already running.
+  void Start(std::chrono::milliseconds interval,
+             uint32_t page_budget = kDefaultStepPages);
+
+  /// Stops and joins the background thread (idempotent).
+  void Stop();
+
+  bool running() const;
+
+  ScrubStats stats() const;
+
+ private:
+  void Loop(std::chrono::milliseconds interval, uint32_t page_budget);
+
+  ViewCatalog* catalog_;
+  Healer healer_;
+
+  /// Serializes Step (manual and background) and guards cursor + stats.
+  mutable std::mutex mu_;
+  uint64_t cursor_epoch_ = 0;  // next view to scrub has epoch >= this
+  uint32_t cursor_page_ = 0;   // linear page index within that view
+  ScrubStats stats_;
+
+  std::thread thread_;
+  mutable std::mutex thread_mu_;  // guards thread_ + stop_ + cv handshake
+  std::condition_variable stop_cv_;
+  bool stop_ = false;
+};
+
+}  // namespace viewjoin::storage
+
+#endif  // VIEWJOIN_STORAGE_SCRUBBER_H_

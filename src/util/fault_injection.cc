@@ -2,6 +2,22 @@
 
 namespace viewjoin::util {
 
+const char* CrashPointName(CrashPoint point) {
+  switch (point) {
+    case CrashPoint::kNone:
+      return "none";
+    case CrashPoint::kCrashBeforeRename:
+      return "before-rename";
+    case CrashPoint::kCrashAfterRename:
+      return "after-rename";
+    case CrashPoint::kCrashAfterDataSync:
+      return "after-data-sync";
+    case CrashPoint::kCrashMidJournal:
+      return "mid-journal";
+  }
+  return "?";
+}
+
 FaultInjector& FaultInjector::Global() {
   static FaultInjector injector;
   return injector;
@@ -18,6 +34,17 @@ void FaultInjector::Reset() {
   write_trigger_ = 0;
   write_remaining_ = 0;
   write_kind_ = WriteFault::kNone;
+  headers_seen_ = 0;
+  header_trigger_ = 0;
+  header_remaining_ = 0;
+  header_kind_ = WriteFault::kNone;
+  flushes_seen_ = 0;
+  flush_trigger_ = 0;
+  flush_remaining_ = 0;
+  crash_point_ = CrashPoint::kNone;
+  crash_trigger_ = 0;
+  crash_reached_ = 0;
+  injected_crashes_ = 0;
 }
 
 void FaultInjector::ArmReadFault(uint64_t nth, int count) {
@@ -51,6 +78,55 @@ WriteFault FaultInjector::OnWriteAttempt() {
   if (write_remaining_ > 0) --write_remaining_;
   ++injected_write_faults_;
   return write_kind_;
+}
+
+void FaultInjector::ArmHeaderWriteFault(WriteFault kind, uint64_t nth,
+                                        int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  header_trigger_ = headers_seen_ + (nth == 0 ? 1 : nth);
+  header_remaining_ = kind == WriteFault::kNone ? 0 : count;
+  header_kind_ = kind;
+}
+
+WriteFault FaultInjector::OnHeaderWriteAttempt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++headers_seen_;
+  if (header_remaining_ == 0 || headers_seen_ < header_trigger_) {
+    return WriteFault::kNone;
+  }
+  if (header_remaining_ > 0) --header_remaining_;
+  ++injected_write_faults_;
+  return header_kind_;
+}
+
+void FaultInjector::ArmFlushFault(uint64_t nth, int count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_trigger_ = flushes_seen_ + (nth == 0 ? 1 : nth);
+  flush_remaining_ = count;
+}
+
+bool FaultInjector::OnFlushAttempt() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++flushes_seen_;
+  if (flush_remaining_ == 0 || flushes_seen_ < flush_trigger_) return false;
+  if (flush_remaining_ > 0) --flush_remaining_;
+  return true;
+}
+
+void FaultInjector::ArmCrashPoint(CrashPoint point, uint64_t nth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_point_ = point;
+  crash_trigger_ = nth == 0 ? 1 : nth;
+  crash_reached_ = 0;
+}
+
+bool FaultInjector::AtCrashPoint(CrashPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (point != crash_point_ || point == CrashPoint::kNone) return false;
+  if (++crash_reached_ < crash_trigger_) return false;
+  crash_point_ = CrashPoint::kNone;  // a process crashes once
+  ++injected_crashes_;
+  return true;
 }
 
 }  // namespace viewjoin::util

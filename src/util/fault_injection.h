@@ -14,6 +14,23 @@ enum class WriteFault {
   kBitFlip,     // one payload bit flips after the checksum was computed
 };
 
+/// Simulated kill -9 instants inside the view-install protocol (shadow
+/// build -> seal rename -> data append+sync -> journal commit). When the
+/// armed point is reached the storage layer abandons the operation exactly
+/// as a crash would — no cleanup, no rollback, files left mid-flight — and
+/// surfaces kIoError("injected crash ..."); the crash-matrix test then
+/// reopens the store and asserts recovery.
+enum class CrashPoint {
+  kNone = 0,
+  kCrashBeforeRename,   // shadow tmp fully written, not yet sealed
+  kCrashAfterRename,    // shadow sealed, main pager file untouched
+  kCrashAfterDataSync,  // pages appended+synced to the main file, no commit
+  kCrashMidJournal,     // journal commit record torn mid-record (short write)
+};
+
+/// Human-readable crash-point name (test matrix labels).
+const char* CrashPointName(CrashPoint point);
+
 /// Deterministic, programmatically-armed fault injector consulted by the
 /// pager on every physical read attempt and page write. Tests arm a fault
 /// relative to the current operation count ("fail the 2nd read from now"),
@@ -41,9 +58,25 @@ class FaultInjector {
   /// page write (1-based). count < 0 applies it to every write from there on.
   void ArmWriteFault(WriteFault kind, uint64_t nth, int count = 1);
 
+  /// Arms `kind` on the `nth` upcoming *header* write (1-based). Header
+  /// writes — the pager file header and the manifest journal header /
+  /// checkpoint — are counted on a channel separate from page writes, so
+  /// arming one cannot shift the page-write counting existing tests rely on.
+  void ArmHeaderWriteFault(WriteFault kind, uint64_t nth, int count = 1);
+
+  /// Arms a failure of the `nth` upcoming Flush/Sync call (1-based).
+  /// count < 0 fails every flush from that point on.
+  void ArmFlushFault(uint64_t nth, int count = 1);
+
+  /// Arms a simulated crash at `point`; fires on the `nth` time that point
+  /// is reached (1-based). Only one crash point is armed at a time.
+  void ArmCrashPoint(CrashPoint point, uint64_t nth = 1);
+
   bool armed() const {
     std::lock_guard<std::mutex> lock(mu_);
-    return read_remaining_ != 0 || write_remaining_ != 0;
+    return read_remaining_ != 0 || write_remaining_ != 0 ||
+           header_remaining_ != 0 || flush_remaining_ != 0 ||
+           crash_point_ != CrashPoint::kNone;
   }
 
   // ---- Pager hooks ---------------------------------------------------------
@@ -54,6 +87,17 @@ class FaultInjector {
 
   /// Consumes one write slot and returns the fault to apply (kNone usually).
   WriteFault OnWriteAttempt();
+
+  /// Consumes one header-write slot (pager header, journal header or
+  /// checkpoint) and returns the fault to apply.
+  WriteFault OnHeaderWriteAttempt();
+
+  /// Consumes one flush slot; true → the Flush/Sync must report failure.
+  bool OnFlushAttempt();
+
+  /// True (once) when execution reaches the armed crash point; the caller
+  /// must then abandon the operation mid-flight. Unmatched points never fire.
+  bool AtCrashPoint(CrashPoint point);
 
   // ---- Observability -------------------------------------------------------
 
@@ -73,6 +117,10 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return injected_write_faults_;
   }
+  uint64_t injected_crashes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_crashes_;
+  }
 
  private:
   FaultInjector() = default;
@@ -89,6 +137,20 @@ class FaultInjector {
   uint64_t write_trigger_ = 0;
   int64_t write_remaining_ = 0;
   WriteFault write_kind_ = WriteFault::kNone;
+
+  uint64_t headers_seen_ = 0;
+  uint64_t header_trigger_ = 0;
+  int64_t header_remaining_ = 0;
+  WriteFault header_kind_ = WriteFault::kNone;
+
+  uint64_t flushes_seen_ = 0;
+  uint64_t flush_trigger_ = 0;
+  int64_t flush_remaining_ = 0;
+
+  CrashPoint crash_point_ = CrashPoint::kNone;
+  uint64_t crash_trigger_ = 0;   // nth reach of the point at which it fires
+  uint64_t crash_reached_ = 0;   // times the armed point has been reached
+  uint64_t injected_crashes_ = 0;
 };
 
 /// RAII guard for tests: resets the global injector on entry and exit.

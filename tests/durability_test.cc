@@ -1,0 +1,627 @@
+// Crash safety of the view store. The crash matrix simulates kill -9 at
+// every instant of the shadow-materialization install protocol (shadow
+// written / shadow sealed / data synced / journal record torn), reopens the
+// store, and asserts recovery leaves exactly the committed catalog: no
+// orphan shadow files, no uncommitted pages, identical query answers, and
+// the interrupted view re-queued for rebuilding. Around the matrix: manifest
+// journal torn-tail vs. bit-rot handling, legacy manifest conversion, the
+// integrity scrubber (detect + heal, alone and under concurrent batch
+// queries), close-time flush surfacing, and the offline fsck/repair pipeline.
+
+#include <dirent.h>
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/query_binding.h"
+#include "algo/twig_stack.h"
+#include "core/engine.h"
+#include "storage/fsck.h"
+#include "storage/manifest.h"
+#include "storage/materialized_view.h"
+#include "storage/pager.h"
+#include "storage/scrubber.h"
+#include "tests/test_util.h"
+#include "tpq/evaluator.h"
+#include "util/check.h"
+#include "util/fault_injection.h"
+#include "util/status.h"
+
+namespace viewjoin {
+namespace {
+
+using core::Engine;
+using storage::FsckCatalog;
+using storage::FsckCatalogReport;
+using storage::ManifestJournal;
+using storage::MaterializedView;
+using storage::Pager;
+using storage::RecoveryReport;
+using storage::RepairCatalog;
+using storage::Scheme;
+using storage::Scrubber;
+using storage::ViewCatalog;
+using testing::MakeDoc;
+using testing::MustParse;
+using tpq::TreePattern;
+using util::CrashPoint;
+using util::CrashPointName;
+using util::ScopedFaultInjection;
+using util::StatusCode;
+using util::WriteFault;
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+/// Removes the store's files plus any shadow leftovers a previous (failed)
+/// test run may have parked in the shared temp directory.
+void CleanupStore(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".manifest").c_str());
+  std::remove((path + ".manifest.tmp").c_str());
+  std::string dir = ".";
+  std::string base = path;
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    base = path.substr(slash + 1);
+  }
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  const std::string prefix = base + ".shadow.";
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(prefix, 0) == 0) std::remove((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+}
+
+int CountShadowFiles(const std::string& path) {
+  std::string dir = ".";
+  std::string base = path;
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    base = path.substr(slash + 1);
+  }
+  int count = 0;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  const std::string prefix = base + ".shadow.";
+  while (struct dirent* entry = ::readdir(d)) {
+    if (std::string(entry->d_name).rfind(prefix, 0) == 0) ++count;
+  }
+  ::closedir(d);
+  return count;
+}
+
+/// Fingerprints the answer of `query` evaluated over `views` in `catalog`.
+uint64_t QueryHash(const xml::Document& doc, ViewCatalog* catalog,
+                   const TreePattern& query,
+                   const std::vector<const MaterializedView*>& views) {
+  auto binding = algo::QueryBinding::Bind(doc, query, views);
+  VJ_CHECK(binding.has_value());
+  algo::TwigStack ts(&*binding, catalog->pool());
+  tpq::HashingSink sink;
+  ts.Evaluate(&sink);
+  return sink.hash();
+}
+
+xml::Document CrashDoc() {
+  return MakeDoc("r(a(b(c) a(b(c c)) b) a(x(b(c))) b(c))");
+}
+
+// ---- Crash matrix ----------------------------------------------------------
+
+struct CrashCase {
+  CrashPoint point;
+  Scheme scheme;
+};
+
+std::string CrashCaseName(const ::testing::TestParamInfo<CrashCase>& info) {
+  std::string point = CrashPointName(info.param.point);
+  for (char& c : point) {
+    if (c == '-') c = '_';
+  }
+  return point + "_" + storage::SchemeName(info.param.scheme);
+}
+
+class CrashMatrixTest : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashMatrixTest, ReopenAfterCrashMatchesCleanRun) {
+  const CrashCase param = GetParam();
+  xml::Document doc = CrashDoc();
+  const TreePattern base_query = MustParse("//c");
+  const std::string target = "//a//b";
+
+  // Reference run, no faults: the target view's metadata and the base
+  // query's answer over a store where both installs committed.
+  const std::string clean_path =
+      TempPath(std::string("crash_clean_") + CrashCaseName({param, 0}) + ".db");
+  CleanupStore(clean_path);
+  uint64_t ref_match = 0, ref_size = 0, ref_hash = 0;
+  {
+    ViewCatalog clean(clean_path, 64, /*persistent=*/true);
+    const MaterializedView* base =
+        clean.Materialize(doc, base_query, Scheme::kLinkedElement);
+    const MaterializedView* built =
+        clean.Materialize(doc, MustParse(target), param.scheme);
+    ref_match = built->MatchCount();
+    ref_size = built->SizeBytes();
+    ref_hash = QueryHash(doc, &clean, base_query, {base});
+  }
+
+  const std::string path =
+      TempPath(std::string("crash_") + CrashCaseName({param, 0}) + ".db");
+  CleanupStore(path);
+
+  // The victim store: one committed view, then a crash mid-way through
+  // installing the second. kCrashMidJournal arms the *second* journal append
+  // (the install commit record) — tearing the Begin instead would roll the
+  // whole operation back before it left any trace.
+  {
+    ViewCatalog victim(path, 64, /*persistent=*/true);
+    victim.Materialize(doc, base_query, Scheme::kLinkedElement);
+    ScopedFaultInjection fi;
+    fi->ArmCrashPoint(param.point,
+                      param.point == CrashPoint::kCrashMidJournal ? 2 : 1);
+    auto failed = victim.TryMaterialize(doc, MustParse(target), param.scheme);
+    ASSERT_FALSE(failed.ok()) << CrashPointName(param.point);
+    EXPECT_NE(failed.status().message().find("injected crash"),
+              std::string::npos)
+        << failed.status().ToString();
+    EXPECT_EQ(fi->injected_crashes(), 1u);
+    // The catalog object goes out of scope with the on-disk mid-flight state
+    // a real crash would leave; recovery gets no help from this process.
+  }
+
+  // Reopen: recovery rolls the store back to the last committed state.
+  auto reopened = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(reopened.ok()) << CrashPointName(param.point) << ": "
+                             << reopened.status().ToString();
+  ViewCatalog& catalog = **reopened;
+
+  EXPECT_EQ(CountShadowFiles(path), 0) << CrashPointName(param.point);
+  const RecoveryReport& recovery = catalog.recovery_report();
+  ASSERT_EQ(recovery.pending_rebuild.size(), 1u) << CrashPointName(param.point);
+  EXPECT_EQ(recovery.pending_rebuild[0].first, target);
+  EXPECT_EQ(recovery.pending_rebuild[0].second, param.scheme);
+  if (param.point == CrashPoint::kCrashAfterDataSync) {
+    // Data reached the file but the commit record did not: the uncommitted
+    // pages are rolled back, not adopted.
+    EXPECT_GT(recovery.orphan_pages_truncated, 0u);
+  }
+  if (param.point == CrashPoint::kCrashAfterRename) {
+    EXPECT_GT(recovery.orphan_shadows_removed, 0);  // the sealed shadow
+  }
+
+  // Only the committed view survived, and it still answers identically.
+  ASSERT_EQ(catalog.views().size(), 1u) << CrashPointName(param.point);
+  const MaterializedView* base = catalog.views()[0].get();
+  EXPECT_EQ(base->pattern().ToString(), "//c");
+  EXPECT_TRUE(catalog.VerifyView(base).ok());
+  EXPECT_EQ(QueryHash(doc, &catalog, base_query, {base}), ref_hash);
+
+  // Re-materializing the rolled-back view converges to the clean run.
+  auto rebuilt = catalog.TryMaterialize(doc, MustParse(target), param.scheme);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ((*rebuilt)->MatchCount(), ref_match);
+  EXPECT_EQ((*rebuilt)->SizeBytes(), ref_size);
+  EXPECT_TRUE(catalog.VerifyView(*rebuilt).ok());
+  EXPECT_TRUE(catalog.Close().ok());
+
+  // The rebuild itself committed: a second reopen sees both views.
+  auto again = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ((*again)->views().size(), 2u);
+  EXPECT_TRUE((*again)->recovery_report().pending_rebuild.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPointsAllSchemes, CrashMatrixTest,
+    ::testing::Values(
+        CrashCase{CrashPoint::kCrashBeforeRename, Scheme::kElement},
+        CrashCase{CrashPoint::kCrashBeforeRename, Scheme::kLinkedElement},
+        CrashCase{CrashPoint::kCrashBeforeRename,
+                  Scheme::kLinkedElementPartial},
+        CrashCase{CrashPoint::kCrashBeforeRename, Scheme::kTuple},
+        CrashCase{CrashPoint::kCrashAfterRename, Scheme::kElement},
+        CrashCase{CrashPoint::kCrashAfterRename, Scheme::kLinkedElement},
+        CrashCase{CrashPoint::kCrashAfterRename, Scheme::kLinkedElementPartial},
+        CrashCase{CrashPoint::kCrashAfterRename, Scheme::kTuple},
+        CrashCase{CrashPoint::kCrashAfterDataSync, Scheme::kElement},
+        CrashCase{CrashPoint::kCrashAfterDataSync, Scheme::kLinkedElement},
+        CrashCase{CrashPoint::kCrashAfterDataSync,
+                  Scheme::kLinkedElementPartial},
+        CrashCase{CrashPoint::kCrashAfterDataSync, Scheme::kTuple},
+        CrashCase{CrashPoint::kCrashMidJournal, Scheme::kElement},
+        CrashCase{CrashPoint::kCrashMidJournal, Scheme::kLinkedElement},
+        CrashCase{CrashPoint::kCrashMidJournal, Scheme::kLinkedElementPartial},
+        CrashCase{CrashPoint::kCrashMidJournal, Scheme::kTuple}),
+    CrashCaseName);
+
+// ---- Manifest journal edge cases -------------------------------------------
+
+TEST(ManifestJournalTest, TornTailIsRecoveredNotFatal) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("torn_tail.db");
+  CleanupStore(path);
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    catalog.Materialize(doc, MustParse("//c"), Scheme::kElement);
+  }
+  // A crash mid-append: a length prefix promising more bytes than exist.
+  {
+    std::FILE* f = std::fopen((path + ".manifest").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint32_t length = 100;
+    std::fwrite(&length, sizeof(length), 1, f);
+    const uint8_t type = 2;
+    std::fwrite(&type, 1, 1, f);
+    std::fwrite("partial", 1, 7, f);
+    std::fclose(f);
+  }
+  auto opened = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE((*opened)->recovery_report().journal_tail_truncated);
+  EXPECT_EQ((*opened)->views().size(), 2u);
+  EXPECT_TRUE((*opened)->recovery_report().pending_rebuild.empty());
+  EXPECT_TRUE((*opened)->Close().ok());
+  // The tail was truncated away on the first open: the second is clean.
+  auto again = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE((*again)->recovery_report().journal_tail_truncated);
+}
+
+TEST(ManifestJournalTest, MidFileCorruptionIsFatal) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("journal_rot.db");
+  CleanupStore(path);
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    catalog.Materialize(doc, MustParse("//c"), Scheme::kElement);
+  }
+  // Flip one byte inside the first record's payload (past the 16-byte
+  // journal header and the record's own length/type prefix). A *complete*
+  // record failing its CRC is bit rot, not a crash: replay must refuse.
+  {
+    std::FILE* f = std::fopen((path + ".manifest").c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 16 + 5 + 2, SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, 16 + 5 + 2, SEEK_SET), 0);
+    std::fputc(byte ^ 0x40, f);
+    std::fclose(f);
+  }
+  auto opened = ViewCatalog::Open(path, 64);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ManifestJournalTest, LegacyTextManifestIsConverted) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("legacy.db");
+  CleanupStore(path);
+  uint64_t match_count = 0, size_bytes = 0;
+  std::string legacy_text;
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    const MaterializedView* view =
+        catalog.Materialize(doc, MustParse("//a//b"), Scheme::kElement);
+    match_count = view->MatchCount();
+    size_bytes = view->SizeBytes();
+    // Render the store's manifest the way the pre-journal code did, from the
+    // live view's real stored-list coordinates.
+    char buf[512];
+    legacy_text = "VIEWJOINCAT 1 1\n";
+    std::snprintf(buf, sizeof(buf), "V %d %s\n",
+                  static_cast<int>(view->scheme()),
+                  view->pattern().ToString().c_str());
+    legacy_text += buf;
+    std::snprintf(buf, sizeof(buf), "M %llu %llu %llu\nG",
+                  static_cast<unsigned long long>(view->MatchCount()),
+                  static_cast<unsigned long long>(view->SizeBytes()),
+                  static_cast<unsigned long long>(view->PointerCount()));
+    legacy_text += buf;
+    for (size_t q = 0; q < view->pattern().size(); ++q) {
+      std::snprintf(buf, sizeof(buf), " %u",
+                    view->ListLength(static_cast<int>(q)));
+      legacy_text += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "\nL %zu\n", view->lists().size());
+    legacy_text += buf;
+    auto list_line = [&](const storage::StoredList& list) {
+      std::snprintf(buf, sizeof(buf), "%u %u %u %u %u\n", list.first_page,
+                    list.count, list.layout.label_count,
+                    list.layout.has_pointers ? 1 : 0, list.layout.child_count);
+      legacy_text += buf;
+    };
+    for (const storage::StoredList& list : view->lists()) list_line(list);
+    list_line(view->tuple_list());
+  }
+  {
+    std::FILE* f = std::fopen((path + ".manifest").c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(legacy_text.c_str(), f);
+    std::fclose(f);
+  }
+  auto opened = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE((*opened)->recovery_report().legacy_manifest_converted);
+  ASSERT_EQ((*opened)->views().size(), 1u);
+  const MaterializedView* view = (*opened)->views()[0].get();
+  EXPECT_EQ(view->MatchCount(), match_count);
+  EXPECT_EQ(view->SizeBytes(), size_bytes);
+  EXPECT_TRUE((*opened)->VerifyView(view).ok());
+  EXPECT_TRUE((*opened)->Close().ok());
+  // The conversion rewrote the file in journal format: a second open takes
+  // the binary path.
+  auto again = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE((*again)->recovery_report().legacy_manifest_converted);
+  EXPECT_EQ((*again)->views().size(), 1u);
+}
+
+TEST(ManifestJournalTest, CheckpointSurvivesHeaderShortWrite) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("ckpt_short.db");
+  CleanupStore(path);
+  ViewCatalog catalog(path, 64, /*persistent=*/true);
+  catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+  {
+    ScopedFaultInjection fi;
+    fi->ArmHeaderWriteFault(WriteFault::kShortWrite, 1);
+    util::Status checkpointed = catalog.Checkpoint();
+    EXPECT_FALSE(checkpointed.ok());
+  }
+  // The failed checkpoint must not have replaced the live journal: the store
+  // reopens with the view intact (and no stray checkpoint tmp file).
+  EXPECT_TRUE(catalog.Close().ok());
+  struct stat st;
+  EXPECT_NE(::stat((path + ".manifest.tmp").c_str(), &st), 0);
+  auto opened = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ((*opened)->views().size(), 1u);
+}
+
+TEST(ManifestJournalTest, EpochResumesAcrossReopen) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("epoch_resume.db");
+  CleanupStore(path);
+  uint64_t epoch_before = 0;
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    catalog.Materialize(doc, MustParse("//c"), Scheme::kElement);
+    epoch_before = catalog.epoch();
+    EXPECT_GE(epoch_before, 2u);
+  }
+  auto opened = ViewCatalog::Open(path, 64);
+  ASSERT_TRUE(opened.ok());
+  // Plan-cache keys stay monotone across the restart: the epoch counter
+  // resumes at (not below) the last journaled epoch, and new installs
+  // advance it further.
+  EXPECT_EQ((*opened)->epoch(), epoch_before);
+  auto added =
+      (*opened)->TryMaterialize(doc, MustParse("//b//c"), Scheme::kElement);
+  ASSERT_TRUE(added.ok());
+  EXPECT_GT((*opened)->epoch(), epoch_before);
+  EXPECT_EQ((*added)->epoch(), (*opened)->epoch());
+}
+
+// ---- Close-time flush surfacing --------------------------------------------
+
+TEST(CloseTest, FlushFailureSurfacesThroughCatalogClose) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("close_flush.db");
+  CleanupStore(path);
+  ViewCatalog catalog(path, 64, /*persistent=*/true);
+  catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+  ScopedFaultInjection fi;
+  fi->ArmFlushFault(1);
+  util::Status closed = catalog.Close();
+  ASSERT_FALSE(closed.ok());
+  EXPECT_NE(closed.message().find("flush"), std::string::npos)
+      << closed.ToString();
+  // The verdict is latched, not swallowed: repeat closes and the pager's own
+  // accessor keep reporting it.
+  EXPECT_FALSE(catalog.Close().ok());
+  EXPECT_FALSE(catalog.pager()->LastFlushStatus().ok());
+}
+
+// ---- Scrubber ---------------------------------------------------------------
+
+TEST(ScrubberTest, DetectsQuarantinesAndHealsCorruptView) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("scrub_heal.db");
+  Engine engine(&doc, path);
+  const MaterializedView* ab =
+      engine.AddView("//a//b", Scheme::kLinkedElement);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  TreePattern query = MustParse("//a//b//c");
+  core::RunResult clean = engine.Execute(query, {ab, c});
+  ASSERT_TRUE(clean.ok) << clean.error;
+
+  // Rot one of ab's pages behind the pool's back (checksum made stale by an
+  // injected bit flip), then drop caches so nothing shields the disk state.
+  {
+    ScopedFaultInjection fi;
+    fi->ArmWriteFault(WriteFault::kBitFlip, 1);
+    std::vector<uint8_t> zeros(Pager::kPageSize, 0);
+    ASSERT_TRUE(engine.catalog()
+                    ->pager()
+                    ->WritePage(ab->list(0).first_page, zeros.data())
+                    .ok());
+  }
+  engine.catalog()->DropCaches();
+
+  // One synchronous full pass: the scrubber (not a query) finds the rot,
+  // quarantines the view and heals it through the engine's healer.
+  uint32_t scanned = engine.scrubber()->Step(100000);
+  EXPECT_GT(scanned, 0u);
+  storage::ScrubStats stats = engine.scrubber()->stats();
+  EXPECT_GE(stats.corrupt_pages, 1u);
+  EXPECT_EQ(stats.views_quarantined, 1u);
+  EXPECT_EQ(stats.views_healed, 1u);
+  EXPECT_EQ(stats.heal_failures, 0u);
+  EXPECT_TRUE(engine.catalog()->IsQuarantined(ab));
+  ASSERT_NE(engine.catalog()->ReplacementFor(ab), nullptr);
+
+  // Queries arriving after the proactive heal never see the bad pages: the
+  // planner redirects to the replacement and the run is NOT degraded.
+  core::RunResult result = engine.Execute(query, {ab, c});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.result_hash, clean.result_hash);
+  EXPECT_EQ(result.match_count, clean.match_count);
+  EXPECT_FALSE(result.degraded);
+  EXPECT_TRUE(result.quarantined_views.empty());
+  // Scrub counters ride along in the result for --explain.
+  EXPECT_EQ(result.scrub.views_healed, 1u);
+  EXPECT_GE(result.scrub.pages_scanned, static_cast<uint64_t>(scanned));
+}
+
+TEST(ScrubberTest, StepResumesAcrossBudgetedCalls) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("scrub_budget.db");
+  Engine engine(&doc, path);
+  engine.AddView("//a//b", Scheme::kLinkedElement);
+  engine.AddView("//c", Scheme::kLinkedElement);
+  engine.AddView("//a//b//c", Scheme::kTuple);
+
+  // Tiny budget: many steps per pass, with the cursor carrying across calls.
+  uint64_t passes_before = engine.scrubber()->stats().full_passes;
+  uint32_t total = 0;
+  for (int i = 0; i < 1000 && engine.scrubber()->stats().full_passes ==
+                                  passes_before;
+       ++i) {
+    total += engine.scrubber()->Step(1);
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_EQ(engine.scrubber()->stats().full_passes, passes_before + 1);
+  EXPECT_EQ(engine.scrubber()->stats().corrupt_pages, 0u);
+}
+
+TEST(ScrubberTest, BackgroundScrubWithConcurrentBatchQueries) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("scrub_batch.db");
+  core::EngineOptions options;
+  Engine engine(&doc, path, options);
+  const MaterializedView* ab =
+      engine.AddView("//a//b", Scheme::kLinkedElement);
+  const MaterializedView* c = engine.AddView("//c", Scheme::kLinkedElement);
+  TreePattern query = MustParse("//a//b//c");
+  core::RunResult clean = engine.Execute(query, {ab, c});
+  ASSERT_TRUE(clean.ok);
+
+  // A fast background scrubber races real batch traffic over healthy views:
+  // every query must stay clean and bit-identical (this is the tsan target
+  // for scrubber-vs-query interleavings).
+  engine.scrubber()->Start(std::chrono::milliseconds(1), 16);
+  EXPECT_TRUE(engine.scrubber()->running());
+  for (int round = 0; round < 5; ++round) {
+    std::vector<core::BatchQuery> batch(8);
+    for (core::BatchQuery& q : batch) {
+      q.query = &query;
+      q.views = {ab, c};
+    }
+    core::BatchOptions batch_options;
+    batch_options.threads = 4;
+    std::vector<core::RunResult> results =
+        engine.ExecuteBatch(batch, batch_options);
+    for (const core::RunResult& r : results) {
+      ASSERT_TRUE(r.ok) << r.error;
+      EXPECT_EQ(r.result_hash, clean.result_hash);
+    }
+  }
+  engine.scrubber()->Stop();
+  EXPECT_FALSE(engine.scrubber()->running());
+  EXPECT_EQ(engine.scrubber()->stats().views_quarantined, 0u);
+}
+
+// ---- fsck / repair ----------------------------------------------------------
+
+TEST(FsckCatalogTest, CleanStoreReportsClean) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("fsck_clean.db");
+  CleanupStore(path);
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    catalog.Materialize(doc, MustParse("//c"), Scheme::kElement);
+  }
+  FsckCatalogReport report = FsckCatalog(path);
+  EXPECT_TRUE(report.clean()) << report.manifest_status.ToString();
+  EXPECT_FALSE(report.corrupt());
+  EXPECT_FALSE(report.repair_needed());
+  EXPECT_EQ(report.view_count, 2u);
+  EXPECT_EQ(report.quarantined_count, 0u);
+  EXPECT_GE(report.last_epoch, 2u);
+  EXPECT_GT(report.durable_page_count, 0u);
+}
+
+TEST(FsckCatalogTest, CrashArtifactsAreFlaggedAndRepaired) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("fsck_repair.db");
+  CleanupStore(path);
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//c"), Scheme::kLinkedElement);
+    ScopedFaultInjection fi;
+    fi->ArmCrashPoint(CrashPoint::kCrashAfterDataSync);
+    auto failed =
+        catalog.TryMaterialize(doc, MustParse("//a//b"), Scheme::kElement);
+    ASSERT_FALSE(failed.ok());
+  }
+  FsckCatalogReport before = FsckCatalog(path);
+  EXPECT_FALSE(before.clean());
+  EXPECT_FALSE(before.corrupt());
+  EXPECT_TRUE(before.repair_needed());
+  EXPECT_GT(before.orphan_pages, 0u);
+  EXPECT_FALSE(before.orphan_shadows.empty());
+  EXPECT_EQ(before.pending_rebuild, 1u);
+  EXPECT_EQ(before.corrupt_durable_pages, 0u);
+
+  auto repaired = RepairCatalog(path);
+  ASSERT_TRUE(repaired.ok()) << repaired.status().ToString();
+  EXPECT_GT(repaired->orphan_pages_truncated, 0u);
+  EXPECT_GT(repaired->orphan_shadows_removed, 0);
+  ASSERT_EQ(repaired->pending_rebuild.size(), 1u);
+  EXPECT_EQ(repaired->pending_rebuild[0].first, "//a//b");
+
+  FsckCatalogReport after = FsckCatalog(path);
+  EXPECT_TRUE(after.clean()) << after.manifest_status.ToString();
+  EXPECT_EQ(after.view_count, 1u);
+}
+
+TEST(FsckCatalogTest, RottenDurablePageIsCorruptNotRepairable) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("fsck_rot.db");
+  CleanupStore(path);
+  storage::PageId victim_page = 0;
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    const MaterializedView* view =
+        catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    victim_page = view->list(0).first_page;
+    ScopedFaultInjection fi;
+    fi->ArmWriteFault(WriteFault::kBitFlip, 1);
+    std::vector<uint8_t> zeros(Pager::kPageSize, 0);
+    ASSERT_TRUE(catalog.pager()->WritePage(victim_page, zeros.data()).ok());
+  }
+  FsckCatalogReport report = FsckCatalog(path);
+  EXPECT_TRUE(report.corrupt());
+  EXPECT_GE(report.corrupt_durable_pages, 1u);
+  EXPECT_FALSE(report.clean());
+}
+
+}  // namespace
+}  // namespace viewjoin

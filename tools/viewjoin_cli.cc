@@ -53,6 +53,7 @@ struct Options {
   bool scheme_set = false;
   bool disk_mode = false;
   bool explain = false;
+  bool scrub = false;
   bool estimate = false;
   bool count_only = false;
   bool store_result = false;
@@ -70,7 +71,7 @@ void Usage(const char* prog) {
       "          [--algo TS|VJ|IJ|auto] [--scheme E|T|LE|LE_p] [--disk]\n"
       "          [--explain] [--count-only] [--store-result] [--limit N]\n"
       "          [--deadline-ms MS] [--memory-budget BYTES]\n"
-      "          [--disk-budget BYTES]\n"
+      "          [--disk-budget BYTES] [--scrub]\n"
       "\n"
       "  --views       covering view set, materialized as given\n"
       "  --candidates  candidate pool; the cost-based greedy heuristic\n"
@@ -84,7 +85,9 @@ void Usage(const char* prog) {
       "  --deadline-ms   abort the query after MS milliseconds (exit 3)\n"
       "  --memory-budget cap buffered intermediates; overruns degrade to\n"
       "                  disk spilling, then fail with RESOURCE_EXHAUSTED\n"
-      "  --disk-budget   cap spilled intermediates in bytes\n",
+      "  --disk-budget   cap spilled intermediates in bytes\n"
+      "  --scrub         run the background integrity scrubber while the\n"
+      "                  query executes (counters appear under --explain)\n",
       prog);
 }
 
@@ -162,6 +165,8 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->scheme_set = true;
     } else if (arg == "--disk") {
       options->disk_mode = true;
+    } else if (arg == "--scrub") {
+      options->scrub = true;
     } else if (arg == "--estimate") {
       options->estimate = true;
     } else if (arg == "--explain") {
@@ -293,7 +298,9 @@ int Run(const Options& options) {
     }
   }
 
-  Engine engine(&doc, "/tmp/viewjoin_cli.db");
+  viewjoin::core::EngineOptions engine_options;
+  engine_options.scrub = options.scrub;
+  Engine engine(&doc, "/tmp/viewjoin_cli.db", engine_options);
 
   // Resolve the view set: explicit or via cost-based selection.
   std::vector<const MaterializedView*> views;
@@ -353,6 +360,18 @@ int Run(const Options& options) {
     Explain(doc, *query, views);
   }
 
+  if (options.scrub) {
+    // One-shot process: the 50 ms background cadence would rarely fire
+    // before a fast query returns, so force one synchronous full pass over
+    // the freshly materialized views up front. The background thread keeps
+    // scanning while the query runs.
+    viewjoin::storage::Scrubber* scrubber = engine.scrubber();
+    const uint64_t passes = scrubber->stats().full_passes;
+    while (scrubber->stats().full_passes == passes) {
+      scrubber->Step();
+    }
+  }
+
   RunOptions run;
   run.algorithm = options.algorithm;
   run.output_mode = options.disk_mode ? viewjoin::algo::OutputMode::kDisk
@@ -387,6 +406,17 @@ int Run(const Options& options) {
   }
   if (options.explain) {
     std::printf("%s", result.plan.ToString().c_str());
+    if (options.scrub || result.scrub.pages_scanned > 0) {
+      std::printf(
+          "scrub: %llu pages scanned, %llu corrupt, %llu views quarantined, "
+          "%llu healed, %llu heal failures, %llu full passes\n",
+          static_cast<unsigned long long>(result.scrub.pages_scanned),
+          static_cast<unsigned long long>(result.scrub.corrupt_pages),
+          static_cast<unsigned long long>(result.scrub.views_quarantined),
+          static_cast<unsigned long long>(result.scrub.views_healed),
+          static_cast<unsigned long long>(result.scrub.heal_failures),
+          static_cast<unsigned long long>(result.scrub.full_passes));
+    }
   }
   std::printf(
       "%llu matches in %.3f ms (I/O %.3f ms, %llu pages read, "

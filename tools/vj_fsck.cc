@@ -1,13 +1,25 @@
 // vj_fsck: offline integrity check for a ViewJoin pager file.
 //
-// Scans every page through the format-v2 header and per-page checksum
-// verification and prints a verdict per bad page. Exit status follows the
-// fsck convention so scripts can branch on the verdict:
-//   0  the file is clean
-//   1  the file was read but is corrupt (bad header, checksum, footer)
-//   2  usage error, or the file could not be read at all (missing, I/O)
+// When the file has a manifest journal sibling ("<file>.manifest"), the
+// check is catalog-level: every page is scanned through the format-v2
+// checksum verification AND the journal is replayed and cross-checked
+// against the data file (durable prefix vs. file size, install-record page
+// ranges, torn tails, orphan shadow files). A bare pager file without a
+// manifest gets the page-level scan only.
 //
-//   $ ./build/tools/vj_fsck [--quiet] /path/to/views.db
+// Exit status follows the fsck convention so scripts can branch on the
+// verdict:
+//   0  the file is clean
+//   1  the file was read but is corrupt (bad header, checksum, footer,
+//      journal CRC mismatch, or journal/data inconsistency)
+//   2  usage error, or the file could not be read at all (missing, I/O)
+//   3  crash artifacts found (torn journal tail, uncommitted pages, orphan
+//      shadows, legacy manifest) — recoverable; with --repair they were
+//      repaired and the store is clean again
+//
+//   $ ./build/tools/vj_fsck [--quiet] [--repair] /path/to/views.db
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstring>
@@ -18,18 +30,26 @@
 namespace {
 
 int Usage(const char* prog) {
-  std::fprintf(stderr, "usage: %s [--quiet] <pager-file>\n", prog);
+  std::fprintf(stderr, "usage: %s [--quiet] [--repair] <pager-file>\n", prog);
   return 2;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quiet = false;
+  bool repair = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
       quiet = true;
+    } else if (std::strcmp(argv[i], "--repair") == 0) {
+      repair = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -41,23 +61,113 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return Usage(argv[0]);
 
-  viewjoin::storage::FsckReport report = viewjoin::storage::FsckPagerFile(path);
-  if (!report.file_status.ok()) {
-    if (!quiet) {
-      std::fprintf(stderr, "%s: %s\n", path.c_str(),
-                   report.file_status.ToString().c_str());
+  using viewjoin::util::StatusCode;
+
+  const std::string manifest =
+      viewjoin::storage::ManifestJournal::PathFor(path);
+  if (!FileExists(manifest)) {
+    // Bare pager file (a spill spool, a scratch store): page-level scan only,
+    // exactly the historical vj_fsck behavior. --repair has nothing to do —
+    // there is no journal to roll back from.
+    viewjoin::storage::FsckReport report =
+        viewjoin::storage::FsckPagerFile(path);
+    if (!report.file_status.ok()) {
+      if (!quiet) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     report.file_status.ToString().c_str());
+      }
+      // A file whose bytes validate as *wrong* is corrupt (exit 1); a file we
+      // could not read at all is an environment problem (exit 2).
+      return report.file_status.code() == StatusCode::kCorruption ? 1 : 2;
     }
-    // A file whose bytes validate as *wrong* is corrupt (exit 1); a file we
-    // could not read at all is an environment problem (exit 2).
-    using viewjoin::util::StatusCode;
-    return report.file_status.code() == StatusCode::kCorruption ? 1 : 2;
+    if (!quiet) {
+      for (const auto& [page, status] : report.bad_pages) {
+        std::printf("page %u: %s\n", page, status.ToString().c_str());
+      }
+      std::printf("%s: %u pages, %zu bad\n", path.c_str(), report.page_count,
+                  report.bad_pages.size());
+    }
+    return report.ok() ? 0 : 1;
+  }
+
+  viewjoin::storage::FsckCatalogReport report =
+      viewjoin::storage::FsckCatalog(path);
+
+  if (!quiet) {
+    for (const auto& [page, status] : report.pager.bad_pages) {
+      const char* where =
+          !report.legacy && page >= report.durable_page_count ? " (orphan)"
+                                                              : "";
+      std::printf("page %u%s: %s\n", page, where, status.ToString().c_str());
+    }
+    if (!report.manifest_status.ok()) {
+      std::printf("manifest: %s\n", report.manifest_status.ToString().c_str());
+    }
+    if (report.legacy) std::printf("manifest: legacy text format\n");
+    if (report.journal_tail_torn) std::printf("manifest: torn tail\n");
+    if (report.data_missing) {
+      std::printf("data file shorter than journal's durable prefix (%u pages)\n",
+                  report.durable_page_count);
+    }
+    for (const std::string& bad : report.bad_views) {
+      std::printf("bad view: %s\n", bad.c_str());
+    }
+    if (report.orphan_pages > 0) {
+      std::printf("%u uncommitted page(s) past durable prefix%s\n",
+                  report.orphan_pages,
+                  report.pager_tail_partial ? " (partial tail)" : "");
+    }
+    for (const std::string& shadow : report.orphan_shadows) {
+      std::printf("orphan shadow: %s\n", shadow.c_str());
+    }
+    std::printf("%s: %zu view(s), %zu quarantined, epoch %llu, "
+                "%u durable page(s), %u bad\n",
+                path.c_str(), report.view_count, report.quarantined_count,
+                static_cast<unsigned long long>(report.last_epoch),
+                report.durable_page_count, report.corrupt_durable_pages);
+  }
+
+  if (report.corrupt()) {
+    // Checksum-bad committed pages or journal rot: the backing bytes are
+    // gone, not merely uncommitted. --repair refuses — rebuild the affected
+    // views from the source document instead.
+    if (!quiet && repair) {
+      std::fprintf(stderr, "%s: corrupt (not repairable offline)\n",
+                   path.c_str());
+    }
+    return 1;
+  }
+  if (!report.repair_needed()) {
+    // An unreadable-but-not-corrupt store (e.g. missing data file with an
+    // empty journal) is an environment problem.
+    if (!report.manifest_status.ok() || !report.pager.file_status.ok()) {
+      return 2;
+    }
+    return 0;
+  }
+
+  if (!repair) return 3;
+
+  viewjoin::util::StatusOr<viewjoin::storage::RecoveryReport> repaired =
+      viewjoin::storage::RepairCatalog(path);
+  if (!repaired.ok()) {
+    if (!quiet) {
+      std::fprintf(stderr, "repair failed: %s\n",
+                   repaired.status().ToString().c_str());
+    }
+    return 2;
   }
   if (!quiet) {
-    for (const auto& [page, status] : report.bad_pages) {
-      std::printf("page %u: %s\n", page, status.ToString().c_str());
-    }
-    std::printf("%s: %u pages, %zu bad\n", path.c_str(), report.page_count,
-                report.bad_pages.size());
+    std::printf("repaired: %s%u orphan page(s) truncated, "
+                "%d orphan shadow(s) removed, %zu view(s) pending rebuild%s\n",
+                repaired->journal_tail_truncated ? "journal tail truncated, "
+                                                 : "",
+                repaired->orphan_pages_truncated,
+                repaired->orphan_shadows_removed,
+                repaired->pending_rebuild.size(),
+                repaired->legacy_manifest_converted
+                    ? ", legacy manifest converted"
+                    : "");
   }
-  return report.ok() ? 0 : 1;
+  return 3;
 }
