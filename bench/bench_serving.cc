@@ -1,0 +1,322 @@
+// Serving benchmark: open-loop QPS sweep against the TCP query server.
+//
+// An in-process QueryServer (or an external one via --connect PORT) is
+// driven by sender threads that each open a connection per request — the
+// accept path, shedding and quota machinery are all on the measured path.
+// Arrivals are open-loop: request i is *scheduled* at t0 + i/QPS regardless
+// of how previous requests fared, so an overloaded server sees the backlog a
+// real client population would generate, not a politely self-throttling
+// closed loop.
+//
+// Per offered-QPS step the bench reports achieved QPS, p50/p95/p99 latency
+// over successful requests, and the rejection rate; the *saturation knee* is
+// the first step where the server visibly stops keeping up (rejections above
+// 1%, achieved below 90% of offered, or p99 blown up past 5x the unloaded
+// baseline).
+//
+// Simulated page-read latency (VIEWJOIN_PAGE_READ_MICROS, sleep mode)
+// defaults to 300 us so the knee is reachable on fast CI machines; override
+// from the environment for real-disk numbers.
+//
+// `--smoke` shrinks the sweep for CI; `--json BENCH_serving.json` emits the
+// machine-readable report (schema in bench/README.md).
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "bench/workloads.h"
+#include "core/engine.h"
+#include "data/xmark_generator.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "tpq/pattern.h"
+#include "util/check.h"
+#include "util/table_printer.h"
+
+namespace viewjoin::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct StepResult {
+  double offered_qps = 0;
+  double achieved_qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;
+  uint64_t timeouts = 0;
+  uint64_t errors = 0;
+  uint64_t transport_errors = 0;
+
+  double rejection_rate() const {
+    return sent == 0 ? 0 : static_cast<double>(rejected) / sent;
+  }
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0;
+  std::sort(sorted->begin(), sorted->end());
+  size_t index = static_cast<size_t>(p * (sorted->size() - 1) + 0.5);
+  return (*sorted)[std::min(index, sorted->size() - 1)];
+}
+
+StepResult RunStep(uint16_t port,
+                   const std::vector<server::QueryRequest>& requests,
+                   double qps, double duration_s, size_t senders) {
+  StepResult step;
+  step.offered_qps = qps;
+  const size_t total = static_cast<size_t>(qps * duration_s);
+  std::atomic<size_t> next{0};
+  std::atomic<uint64_t> ok{0}, rejected{0}, timeouts{0}, errors{0},
+      transport{0};
+  std::vector<std::vector<double>> latencies(senders);
+
+  Clock::time_point start = Clock::now();
+  auto sender = [&](size_t id) {
+    latencies[id].reserve(total / senders + 1);
+    for (size_t i = next.fetch_add(1); i < total; i = next.fetch_add(1)) {
+      // Open loop: arrival i is scheduled, not gated on arrival i-1.
+      Clock::time_point scheduled =
+          start + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double>(i / qps));
+      std::this_thread::sleep_until(scheduled);
+      server::Client client;
+      client.set_deadline_ms(5000);
+      if (!client.Connect("127.0.0.1", port, 5000).ok()) {
+        transport.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      Clock::time_point sent_at = Clock::now();
+      util::StatusOr<server::QueryResponse> response =
+          client.Query(requests[i % requests.size()]);
+      double ms = std::chrono::duration<double, std::milli>(Clock::now() -
+                                                            sent_at)
+                      .count();
+      if (!response.ok()) {
+        transport.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      switch (response->verdict) {
+        case server::Verdict::kOk:
+          ok.fetch_add(1, std::memory_order_relaxed);
+          latencies[id].push_back(ms);
+          break;
+        case server::Verdict::kRejected:
+          rejected.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case server::Verdict::kTimeout:
+          timeouts.fetch_add(1, std::memory_order_relaxed);
+          break;
+        default:
+          errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(senders);
+  for (size_t s = 0; s < senders; ++s) pool.emplace_back(sender, s);
+  for (std::thread& t : pool) t.join();
+  double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  std::vector<double> all;
+  for (const std::vector<double>& per_sender : latencies) {
+    all.insert(all.end(), per_sender.begin(), per_sender.end());
+  }
+  step.sent = total;
+  step.ok = ok.load();
+  step.rejected = rejected.load();
+  step.timeouts = timeouts.load();
+  step.errors = errors.load();
+  step.transport_errors = transport.load();
+  step.achieved_qps = wall_s > 0 ? (step.ok + step.rejected) / wall_s : 0;
+  step.p50_ms = Percentile(&all, 0.50);
+  step.p95_ms = Percentile(&all, 0.95);
+  step.p99_ms = Percentile(&all, 0.99);
+  return step;
+}
+
+int Main(int argc, char** argv) {
+  bool smoke = false;
+  int connect_port = 0;
+  double duration_s = 3.0;
+  size_t senders = 16;
+  size_t workers = 2;
+  std::vector<double> sweep = {50, 100, 200, 400, 800, 1600, 3200};
+
+  JsonReport report("serving");
+  std::vector<char*> pass_through;
+  pass_through.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--duration") == 0 && i + 1 < argc) {
+      duration_s = std::atof(argv[++i]);
+    } else {
+      pass_through.push_back(argv[i]);
+    }
+  }
+  report.ParseArgs(static_cast<int>(pass_through.size()),
+                   pass_through.data());
+  if (smoke) {
+    duration_s = 1.0;
+    senders = 8;
+    sweep = {50, 200, 800};
+  }
+
+  // Simulated page-read latency (sleep mode, so concurrent queries overlap
+  // their I/O) makes the knee reachable without a real slow disk. setenv
+  // happens before the engine's first page read, which is when the pager
+  // caches these knobs. Environment overrides win.
+  ::setenv("VIEWJOIN_PAGE_READ_MICROS", "300", /*overwrite=*/0);
+  ::setenv("VIEWJOIN_PAGE_READ_SLEEP", "1", /*overwrite=*/0);
+
+  // The request mix is the Fig. 5 XMark path workload, each query covered by
+  // its standard pair split. Rotating distinct view sets through the tight
+  // buffer pool keeps eviction (and the simulated read latency) on the
+  // measured path — a single hot query would serve entirely from cache and
+  // measure nothing but the wire.
+  std::vector<server::QueryRequest> requests;
+  for (const QuerySpec& spec : XmarkPathQueries()) {
+    server::QueryRequest request;
+    request.tenant = "bench";
+    request.query = spec.xpath;
+    for (const tpq::TreePattern& view : PairViews(ParseQuery(spec.xpath))) {
+      request.views.push_back(view.ToString());
+    }
+    request.scheme = "LE";
+    request.algorithm = "VJ";
+    request.deadline_ms = 2000;
+    requests.push_back(std::move(request));
+  }
+
+  // In-process server unless --connect points at an external daemon.
+  std::unique_ptr<xml::Document> doc;
+  std::unique_ptr<core::Engine> engine;
+  std::unique_ptr<server::QueryServer> query_server;
+  uint16_t port;
+  if (connect_port > 0) {
+    port = static_cast<uint16_t>(connect_port);
+  } else {
+    doc = std::make_unique<xml::Document>(
+        data::GenerateXmark({.scale = smoke ? 0.1 : 0.4}));
+    std::string store = "/tmp/bench_serving." +
+                        std::to_string(::getpid()) + ".db";
+    core::EngineOptions engine_options;
+    // A deliberately tight buffer pool keeps page reads (and their simulated
+    // latency) on the measured path; with the default pool the whole view set
+    // stays hot and the sweep never finds a knee.
+    engine_options.pool_pages = 16;
+    engine = std::make_unique<core::Engine>(doc.get(), store, engine_options);
+    server::ServerOptions options;
+    options.workers = workers;
+    options.max_pending = 8;
+    options.quota_rate_per_sec = 0;  // quotas off: the sweep measures shed
+    query_server = std::make_unique<server::QueryServer>(engine.get(),
+                                                         options);
+    util::Status started = query_server->Start();
+    VJ_CHECK(started.ok()) << started.ToString();
+    port = query_server->port();
+  }
+
+  // Warmup: runs each request once so view materialization (a one-time,
+  // seconds-scale cost) happens before the first measured step.
+  {
+    server::Client client;
+    client.set_deadline_ms(60000);
+    util::Status connected = client.Connect("127.0.0.1", port, 5000);
+    VJ_CHECK(connected.ok()) << connected.ToString();
+    for (const server::QueryRequest& request : requests) {
+      server::QueryRequest warm_request = request;
+      warm_request.deadline_ms = 60000;
+      util::StatusOr<server::QueryResponse> warm = client.Query(warm_request);
+      VJ_CHECK(warm.ok()) << warm.status().ToString();
+      VJ_CHECK(warm->verdict == server::Verdict::kOk)
+          << request.query << ": " << warm->error;
+      std::printf("warmup %s: %llu matches, %.3f ms\n", request.query.c_str(),
+                  static_cast<unsigned long long>(warm->match_count),
+                  warm->server_ms);
+    }
+  }
+
+  util::TablePrinter table(
+      {"offered", "achieved", "p50 ms", "p95 ms", "p99 ms", "rej %", "ok",
+       "shed+quota", "timeout", "err"});
+  std::vector<StepResult> steps;
+  double knee_qps = 0;
+  double base_p99 = 0;
+  for (double qps : sweep) {
+    StepResult step = RunStep(port, requests, qps, duration_s, senders);
+    if (base_p99 == 0) base_p99 = step.p99_ms;
+    bool saturated = step.rejection_rate() > 0.01 ||
+                     step.achieved_qps < 0.9 * step.offered_qps ||
+                     (base_p99 > 0 && step.p99_ms > 5 * base_p99);
+    if (saturated && knee_qps == 0) knee_qps = qps;
+    table.AddRow({util::FormatDouble(step.offered_qps, 0),
+                  util::FormatDouble(step.achieved_qps, 0),
+                  util::FormatDouble(step.p50_ms, 2),
+                  util::FormatDouble(step.p95_ms, 2),
+                  util::FormatDouble(step.p99_ms, 2),
+                  util::FormatDouble(100 * step.rejection_rate(), 1),
+                  std::to_string(step.ok), std::to_string(step.rejected),
+                  std::to_string(step.timeouts),
+                  std::to_string(step.errors + step.transport_errors)});
+    report.AddRow()
+        .Set("offered_qps", step.offered_qps)
+        .Set("achieved_qps", step.achieved_qps)
+        .Set("p50_ms", step.p50_ms)
+        .Set("p95_ms", step.p95_ms)
+        .Set("p99_ms", step.p99_ms)
+        .Set("rejection_rate", step.rejection_rate())
+        .Set("ok", step.ok)
+        .Set("rejected", step.rejected)
+        .Set("timeouts", step.timeouts)
+        .Set("errors", step.errors)
+        .Set("transport_errors", step.transport_errors)
+        .Set("saturated", saturated);
+    steps.push_back(step);
+  }
+  table.Print();
+  if (knee_qps > 0) {
+    std::printf("saturation knee: %.0f offered QPS\n", knee_qps);
+  } else {
+    std::printf("saturation knee: not reached in this sweep\n");
+  }
+
+  bool drain_clean = true;
+  if (query_server != nullptr) {
+    drain_clean = query_server->Drain();
+    std::printf("drain: %s\n", drain_clean ? "clean" : "forced");
+  }
+
+  report.SetMeta("smoke", static_cast<uint64_t>(smoke ? 1 : 0));
+  report.SetMeta("workers", static_cast<uint64_t>(workers));
+  report.SetMeta("senders", static_cast<uint64_t>(senders));
+  report.SetMeta("duration_s", duration_s);
+  report.SetMeta("knee_qps", knee_qps);
+  report.SetMeta("drain_clean", drain_clean);
+  report.Write();
+  return drain_clean ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace viewjoin::bench
+
+int main(int argc, char** argv) { return viewjoin::bench::Main(argc, argv); }

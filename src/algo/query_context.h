@@ -55,6 +55,11 @@ class QueryContext {
     deadline_ns_.store(NowNanos() + static_cast<int64_t>(ms * 1e6),
                        std::memory_order_relaxed);
   }
+  /// Disarms the deadline. ResetForRetry() deliberately keeps it (a retry of
+  /// the same query runs under the same clock); a *session* reusing one
+  /// context across unrelated queries must disarm between them or query N+1
+  /// inherits query N's deadline.
+  void clear_deadline() { deadline_ns_.store(0, std::memory_order_relaxed); }
   void set_cancel_token(const std::atomic<bool>* token) { cancel_ = token; }
   /// Budgets are in bytes; 0 means unlimited.
   void set_memory_budget(uint64_t bytes) { memory_budget_ = bytes; }

@@ -10,6 +10,7 @@
 
 #include "plan/operator.h"
 #include "plan/planner.h"
+#include "util/backoff.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -65,14 +66,33 @@ void ConfigureGovernance(algo::QueryContext* gov, const RunOptions& run) {
   gov->set_disk_budget(run.disk_budget_bytes);
 }
 
+std::function<void(double)>& RetrySleepHook() {
+  static std::function<void(double)> hook;
+  return hook;
+}
+
+/// One backoff delay of the retry ladder: real sleep, or the test hook.
+void RetrySleep(double delay_ms) {
+  const std::function<void(double)>& hook = RetrySleepHook();
+  if (hook) {
+    hook(delay_ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay_ms));
+}
+
 }  // namespace
+
+void Engine::SetRetrySleepHookForTest(std::function<void(double)> hook) {
+  RetrySleepHook() = std::move(hook);
+}
 
 Engine::Engine(const xml::Document* doc, const std::string& storage_path,
                const EngineOptions& options)
     : doc_(doc),
       storage_path_(storage_path),
-      catalog_(std::make_unique<storage::ViewCatalog>(storage_path,
-                                                      options.pool_pages)),
+      catalog_(std::make_unique<storage::ViewCatalog>(
+          storage_path, options.pool_pages, options.persistent)),
       spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {
   // The scrubber's healer mirrors the query path's recovery step: rebuild
   // the quarantined view from the in-memory document and register the
@@ -543,7 +563,12 @@ std::vector<RunResult> Engine::ExecuteBatch(
       if (q.cancel != nullptr) mine.cancel = q.cancel;
       algo::QueryContext& gov = govs[i];
       ExecContext ctx{&spill, /*exclusive=*/false, &gov};
-      double backoff_ms = options.retry_backoff_ms;
+      // Decorrelated jitter, seeded per (worker, query): deterministic for a
+      // given schedule, but workers that trip over the same fault back off on
+      // spread-out delays instead of retrying in lockstep.
+      util::DecorrelatedJitterBackoff backoff(
+          options.retry_backoff_ms, options.retry_backoff_cap_ms,
+          (static_cast<uint64_t>(worker_id) << 32) ^ i);
       int attempt = 0;
       while (true) {
         ++attempt;
@@ -557,10 +582,8 @@ std::vector<RunResult> Engine::ExecuteBatch(
             attempt > options.max_retries) {
           break;
         }
-        // Transient storage fault: back off exponentially, then retry.
-        std::this_thread::sleep_for(
-            std::chrono::duration<double, std::milli>(backoff_ms));
-        backoff_ms *= 2;
+        // Transient storage fault: back off with jitter, then retry.
+        RetrySleep(backoff.NextDelayMs());
       }
     }
   };
@@ -606,6 +629,47 @@ std::vector<RunResult> Engine::ExecuteBatch(
     watchdog.join();
   }
   return results;
+}
+
+Engine::Session::Session(Engine* engine, size_t id)
+    : engine_(engine),
+      // Like a batch worker's scratch file, but named per session and living
+      // as long as the session does; kTruncate removes it on close.
+      spill_(engine->storage_path_ + ".session." + std::to_string(id),
+             storage::Pager::Mode::kTruncate),
+      seed_(0x5E5510ULL ^ (static_cast<uint64_t>(id) << 20)) {}
+
+RunResult Engine::Session::Run(
+    const TreePattern& query, const std::vector<const MaterializedView*>& views,
+    const RunOptions& run, const RetryPolicy& retry) {
+  RunOptions mine = run;
+  // The store and pool are shared with sibling sessions: dropping caches or
+  // resetting pool-global counters here would sabotage them.
+  mine.cold_cache = false;
+  ExecContext ctx{&spill_, /*exclusive=*/false, &gov_};
+  // Fresh jitter ladder per query, deterministically reseeded so two queries
+  // on one session (and the same query on two sessions) spread differently.
+  util::DecorrelatedJitterBackoff backoff(retry.backoff_ms,
+                                          retry.backoff_cap_ms, seed_++);
+  RunResult result;
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    // A reused context must not inherit the previous query's deadline
+    // (ResetForRetry deliberately keeps it for same-query retries).
+    gov_.clear_deadline();
+    gov_.ResetForRetry();
+    ConfigureGovernance(&gov_, mine);
+    result = engine_->ExecuteInternal(query, views, mine, /*sink=*/nullptr,
+                                      ctx);
+    result.attempts = attempt;
+    if (result.ok || !result.retryable || attempt > retry.max_retries) break;
+    RetrySleep(backoff.NextDelayMs());
+  }
+  // Disarm so a watchdog polling between queries never sees a stale expired
+  // deadline from a query that already answered.
+  gov_.clear_deadline();
+  return result;
 }
 
 namespace {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -15,6 +16,7 @@
 #include "plan/physical_plan.h"
 #include "plan/plan_cache.h"
 #include "storage/materialized_view.h"
+#include "storage/pager.h"
 #include "storage/scrubber.h"
 #include "tpq/pattern.h"
 #include "util/status.h"
@@ -50,6 +52,11 @@ struct EngineOptions {
   bool scrub = false;
   double scrub_interval_ms = 50;
   uint32_t scrub_pages_per_step = storage::Scrubber::kDefaultStepPages;
+  /// Open the view store in persistent mode: installs are journaled through
+  /// the crash-safe manifest, and reopening the same path recovers the
+  /// catalog. Long-lived servers run persistent so a drain's catalog Close()
+  /// leaves a store vj_fsck can vouch for.
+  bool persistent = false;
 };
 
 struct RunOptions {
@@ -108,12 +115,16 @@ struct BatchOptions {
   uint64_t per_query_memory_budget = 0;
   uint64_t per_query_disk_budget = 0;
   /// Bounded retry for queries that failed on a transient storage fault
-  /// (RunResult::retryable): up to `max_retries` re-executions, sleeping
-  /// `retry_backoff_ms` before the first retry and doubling it each further
-  /// retry. Deterministic failures (bad bindings, budget exhaustion,
-  /// deadline, cancel) are never retried.
+  /// (RunResult::retryable): up to `max_retries` re-executions with
+  /// decorrelated-jitter backoff — each delay is uniform in
+  /// [retry_backoff_ms, min(retry_backoff_cap_ms, 3 x previous delay)], so
+  /// workers that faulted together retry spread out instead of in lockstep
+  /// (the thundering-herd hazard of deterministic doubling). Deterministic
+  /// failures (bad bindings, budget exhaustion, deadline, cancel) are never
+  /// retried.
   int max_retries = 0;
   double retry_backoff_ms = 1.0;
+  double retry_backoff_cap_ms = 100.0;
   /// Per-query options. `cold_cache` applies once to the whole batch (the
   /// pool is shared; dropping it per query would evict siblings' pages).
   /// deadline_ms / budget fields here act as defaults; the dedicated batch
@@ -183,8 +194,63 @@ struct RunResult {
   storage::ScrubStats scrub;
 };
 
+/// Bounded-retry policy for Engine::Session::Run — the same
+/// decorrelated-jitter ladder ExecuteBatch uses (see
+/// BatchOptions::max_retries).
+struct RetryPolicy {
+  int max_retries = 0;
+  double backoff_ms = 1.0;
+  double backoff_cap_ms = 100.0;
+};
+
 class Engine {
  public:
+  using RetryPolicy = core::RetryPolicy;
+
+  /// A long-lived, non-exclusive execution handle: what a query server's
+  /// worker thread holds. Each session owns a private spill pager (like a
+  /// batch worker's scratch file) and one reusable governance context, and
+  /// runs queries through the same fault-recovery + bounded-retry ladder as
+  /// ExecuteBatch — but one query at a time, indefinitely, concurrently with
+  /// sibling sessions on the same engine.
+  ///
+  /// Rules: Run() is serial per session (one query at a time); sessions on
+  /// one engine may Run() concurrently with each other and with the
+  /// scrubber, but not with Execute/ExecuteBatch (those assume exclusivity
+  /// for cold-cache drops). governance() is safe to poll from a watchdog
+  /// thread while Run() executes — RequestAbort/DeadlineExpired only.
+  class Session {
+   public:
+    Session(Engine* engine, size_t id);
+
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+
+    /// Runs one query. cold_cache is forced off (the store is shared with
+    /// sibling sessions); everything else in `run` applies as in Execute.
+    /// RunResult::attempts counts the retry ladder's executions.
+    RunResult Run(const tpq::TreePattern& query,
+                  const std::vector<const storage::MaterializedView*>& views,
+                  const RunOptions& run, const RetryPolicy& retry = {});
+
+    /// The session's governance context, for an external watchdog:
+    /// DeadlineExpired()/RequestAbort() only (those are thread-safe).
+    algo::QueryContext* governance() { return &gov_; }
+
+   private:
+    Engine* engine_;
+    storage::Pager spill_;
+    algo::QueryContext gov_;
+    /// Deterministic reseed counter for the per-query jitter ladder.
+    uint64_t seed_;
+  };
+
+  /// Replaces the retry ladder's backoff sleeps (ExecuteBatch and
+  /// Session::Run) with `hook` — tests observe the jittered delays instead
+  /// of waiting them out. Pass nullptr to restore real sleeping. Not
+  /// thread-safe against in-flight batches; set it before running.
+  static void SetRetrySleepHookForTest(std::function<void(double)> hook);
+
   /// `storage_path` is the backing file for materialized views; a sibling
   /// file with suffix ".spill" backs disk-mode intermediate solutions.
   Engine(const xml::Document* doc, const std::string& storage_path,

@@ -1,0 +1,51 @@
+#include "server/client.h"
+
+namespace viewjoin::server {
+
+util::Status Client::Connect(const std::string& host, uint16_t port,
+                             double timeout_ms) {
+  util::StatusOr<Conn> conn = Conn::Connect(host, port, timeout_ms);
+  if (!conn.ok()) return conn.status();
+  conn_ = std::move(*conn);
+  return util::Status::Ok();
+}
+
+util::StatusOr<std::string> Client::RoundTrip(const std::string& payload) {
+  if (!conn_.valid()) return util::Status::IoError("not connected");
+  conn_.set_write_deadline_ms(deadline_ms_);
+  conn_.set_read_deadline_ms(deadline_ms_);
+  util::Status sent = conn_.SendFrame(payload, max_frame_bytes_);
+  if (!sent.ok()) {
+    conn_.Close();
+    return sent;
+  }
+  util::StatusOr<std::string> reply = conn_.RecvFrame(max_frame_bytes_);
+  if (!reply.ok()) {
+    conn_.Close();
+    // EOF where a response was due is a failure, not a clean hang-up.
+    if (IsPeerClosed(reply.status())) {
+      return util::Status::IoError("server closed the connection mid-call");
+    }
+  }
+  return reply;
+}
+
+util::StatusOr<QueryResponse> Client::Query(const QueryRequest& request) {
+  util::StatusOr<std::string> reply = RoundTrip(EncodeQueryRequest(request));
+  if (!reply.ok()) return reply.status();
+  QueryResponse response;
+  util::Status decoded = DecodeQueryResponse(*reply, &response);
+  if (!decoded.ok()) return decoded;
+  return response;
+}
+
+util::StatusOr<StatusResponse> Client::GetStatus() {
+  util::StatusOr<std::string> reply = RoundTrip(EncodeStatusRequest());
+  if (!reply.ok()) return reply.status();
+  StatusResponse status;
+  util::Status decoded = DecodeStatusResponse(*reply, &status);
+  if (!decoded.ok()) return decoded;
+  return status;
+}
+
+}  // namespace viewjoin::server

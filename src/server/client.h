@@ -1,0 +1,49 @@
+#ifndef VIEWJOIN_SERVER_CLIENT_H_
+#define VIEWJOIN_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/net.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace viewjoin::server {
+
+/// Thin synchronous client over one keep-alive connection. Not thread-safe;
+/// one Client per thread. Every call is bounded by `deadline_ms` — a dead or
+/// stalling server produces a typed timeout, never a hang.
+class Client {
+ public:
+  Client() = default;
+
+  /// Connects (or reconnects) to the server.
+  util::Status Connect(const std::string& host, uint16_t port,
+                       double timeout_ms = 5000);
+
+  bool connected() const { return conn_.valid(); }
+  void Close() { conn_.Close(); }
+
+  /// Per-call socket deadline for request/response round trips.
+  void set_deadline_ms(double ms) { deadline_ms_ = ms; }
+  void set_max_frame_bytes(uint32_t bytes) { max_frame_bytes_ = bytes; }
+
+  /// One query round trip. Transport-level failures (including the server
+  /// vanishing mid-response) surface as statuses; server-side failures come
+  /// back as QueryResponse verdicts.
+  util::StatusOr<QueryResponse> Query(const QueryRequest& request);
+
+  /// Health/readiness probe.
+  util::StatusOr<StatusResponse> GetStatus();
+
+ private:
+  util::StatusOr<std::string> RoundTrip(const std::string& payload);
+
+  Conn conn_;
+  double deadline_ms_ = 5000;
+  uint32_t max_frame_bytes_ = kDefaultMaxFrameBytes;
+};
+
+}  // namespace viewjoin::server
+
+#endif  // VIEWJOIN_SERVER_CLIENT_H_

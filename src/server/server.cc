@@ -1,0 +1,440 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#include "tpq/pattern.h"
+#include "util/check.h"
+
+namespace viewjoin::server {
+
+namespace {
+
+constexpr auto kWatchdogTick = std::chrono::milliseconds(5);
+
+QueryResponse ErrorResponse(std::string message) {
+  QueryResponse response;
+  response.verdict = Verdict::kError;
+  response.error = std::move(message);
+  return response;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(core::Engine* engine, const ServerOptions& options)
+    : engine_(engine),
+      options_(options),
+      quotas_(options.quota_rate_per_sec, options.quota_burst) {}
+
+QueryServer::~QueryServer() {
+  if (state_.load(std::memory_order_acquire) == State::kServing ||
+      state_.load(std::memory_order_acquire) == State::kDraining) {
+    Drain();
+  }
+}
+
+int64_t QueryServer::NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double QueryServer::EffectiveReadDeadline() const {
+  return draining() ? options_.drain_read_deadline_ms
+                    : options_.read_deadline_ms;
+}
+
+util::Status QueryServer::Start() {
+  VJ_CHECK(state_.load() == State::kIdle) << "server already started";
+  util::StatusOr<Listener> bound = Listener::Bind(options_.port);
+  if (!bound.ok()) return bound.status();
+  listener_ = std::move(*bound);
+
+  size_t workers = std::max<size_t>(options_.workers, 1);
+  sessions_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    sessions_.push_back(std::make_unique<core::Engine::Session>(engine_, i));
+  }
+
+  state_.store(State::kServing, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  worker_threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    worker_threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+  return util::Status::Ok();
+}
+
+void QueryServer::AcceptLoop() {
+  while (true) {
+    util::StatusOr<Conn> conn = listener_.Accept();
+    if (!conn.ok()) return;  // listener shut down: drain step 1
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    size_t depth;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      depth = pending_.size();
+    }
+    // Load shedding happens here, before the request is read: a saturated
+    // server answers "come back later" in O(1) instead of queueing work it
+    // cannot serve within any deadline.
+    if (depth >= options_.max_pending) {
+      rejected_shed_.fetch_add(1, std::memory_order_relaxed);
+      Shed(std::move(*conn), "pending-connection queue at high water");
+      continue;
+    }
+    if (options_.memory_high_water_bytes > 0 &&
+        options_.per_query_memory_budget > 0) {
+      uint64_t committed =
+          (in_flight_.load(std::memory_order_relaxed) + depth + 1) *
+          options_.per_query_memory_budget;
+      if (committed > options_.memory_high_water_bytes) {
+        rejected_shed_.fetch_add(1, std::memory_order_relaxed);
+        Shed(std::move(*conn), "memory budget at high water");
+        continue;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pending_.push_back(std::move(*conn));
+    }
+    cv_.notify_one();
+  }
+}
+
+void QueryServer::Shed(Conn conn, const char* why) {
+  QueryResponse response;
+  response.verdict = Verdict::kRejected;
+  response.error = std::string("shed: ") + why;
+  response.retry_after_ms = options_.shed_retry_after_ms;
+  conn.set_write_deadline_ms(options_.write_deadline_ms);
+  if (conn.SendFrame(EncodeQueryResponse(response), options_.max_frame_bytes)
+          .ok()) {
+    // The peer is about to send (or already sent) a request we never read;
+    // a plain close would RST our response out of its receive buffer.
+    conn.FinishAndDrain(options_.write_deadline_ms);
+  }
+}
+
+void QueryServer::WorkerLoop(size_t worker_id) {
+  core::Engine::Session* session = sessions_[worker_id].get();
+  while (true) {
+    Conn conn;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] {
+        return !pending_.empty() ||
+               state_.load(std::memory_order_acquire) >= State::kDraining;
+      });
+      if (pending_.empty()) return;  // draining and nothing left to answer
+      conn = std::move(pending_.front());
+      pending_.pop_front();
+    }
+    ServeConn(std::move(conn), session);
+  }
+}
+
+void QueryServer::ServeConn(Conn conn, core::Engine::Session* session) {
+  conn.set_write_deadline_ms(options_.write_deadline_ms);
+  while (conn.valid()) {
+    conn.set_read_deadline_ms(EffectiveReadDeadline());
+    util::StatusOr<std::string> frame = conn.RecvFrame(options_.max_frame_bytes);
+    if (!frame.ok()) {
+      if (IsPeerClosed(frame.status())) return;  // orderly keep-alive end
+      if (IsTimeout(frame.status())) {
+        // Slowloris reaping while serving; during drain it is just an idle
+        // keep-alive connection being retired.
+        if (!draining()) read_timeouts_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      // A decodable transport (bad magic, over-cap frame) still gets a typed
+      // answer before the disconnect; a dead socket just closes.
+      conn.SendFrame(EncodeQueryResponse(ErrorResponse(
+                         frame.status().ToString())),
+                     options_.max_frame_bytes);
+      return;
+    }
+
+    util::StatusOr<MsgType> type = PeekType(*frame);
+    if (!type.ok()) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.SendFrame(
+          EncodeQueryResponse(ErrorResponse(type.status().ToString())),
+          options_.max_frame_bytes);
+      return;
+    }
+
+    if (*type == MsgType::kStatusRequest) {
+      if (!conn.SendFrame(EncodeStatusResponse(Snapshot()),
+                          options_.max_frame_bytes)
+               .ok()) {
+        return;
+      }
+      continue;
+    }
+    if (*type != MsgType::kQueryRequest) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.SendFrame(EncodeQueryResponse(
+                         ErrorResponse("unexpected message type")),
+                     options_.max_frame_bytes);
+      return;
+    }
+
+    QueryRequest request;
+    util::Status decoded = DecodeQueryRequest(*frame, &request);
+    if (!decoded.ok()) {
+      frame_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.SendFrame(EncodeQueryResponse(ErrorResponse(decoded.ToString())),
+                     options_.max_frame_bytes);
+      return;
+    }
+
+    QueryResponse response = HandleQuery(request, session);
+    if (!conn.SendFrame(EncodeQueryResponse(response),
+                        options_.max_frame_bytes)
+             .ok()) {
+      return;
+    }
+  }
+}
+
+util::StatusOr<const storage::MaterializedView*> QueryServer::ResolveView(
+    const std::string& pattern, storage::Scheme scheme) {
+  std::string key =
+      std::string(storage::SchemeName(scheme)) + "|" + pattern;
+  std::lock_guard<std::mutex> lock(views_mu_);
+  auto it = view_cache_.find(key);
+  if (it != view_cache_.end()) return it->second;
+  // First use: materialize through the engine (one-time preprocessing, like
+  // AddView at startup). Serialized by views_mu_ so concurrent workers
+  // requesting the same new view build it once.
+  util::StatusOr<const storage::MaterializedView*> made =
+      engine_->TryAddView(pattern, scheme);
+  if (!made.ok()) return made.status();
+  view_cache_.emplace(std::move(key), *made);
+  return *made;
+}
+
+QueryResponse QueryServer::HandleQuery(const QueryRequest& request,
+                                       core::Engine::Session* session) {
+  QueryResponse response;
+  if (draining()) {
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kShuttingDown;
+    response.error = "server is draining";
+    response.retry_after_ms = options_.drain_deadline_ms;
+    return response;
+  }
+
+  double retry_after = 0;
+  if (!quotas_.TryAcquire(request.tenant, NowNanos(), &retry_after)) {
+    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kRejected;
+    response.error = "tenant '" + request.tenant + "' over quota";
+    response.retry_after_ms = retry_after;
+    return response;
+  }
+
+  std::string parse_error;
+  std::optional<tpq::TreePattern> query =
+      tpq::TreePattern::Parse(request.query, &parse_error);
+  if (!query.has_value()) {
+    return ErrorResponse("bad query '" + request.query + "': " + parse_error);
+  }
+  std::optional<storage::Scheme> scheme = storage::ParseScheme(request.scheme);
+  if (!scheme.has_value()) {
+    return ErrorResponse("bad scheme '" + request.scheme + "'");
+  }
+  std::optional<core::Algorithm> algorithm =
+      core::ParseAlgorithm(request.algorithm);
+  if (!algorithm.has_value()) {
+    return ErrorResponse("bad algorithm '" + request.algorithm + "'");
+  }
+
+  std::vector<const storage::MaterializedView*> views;
+  views.reserve(request.views.size());
+  for (const std::string& pattern : request.views) {
+    util::StatusOr<const storage::MaterializedView*> view =
+        ResolveView(pattern, *scheme);
+    if (!view.ok()) {
+      return ErrorResponse("bad view '" + pattern +
+                           "': " + view.status().ToString());
+    }
+    views.push_back(*view);
+  }
+
+  core::RunOptions run;
+  run.algorithm = *algorithm;
+  run.cold_cache = false;
+  run.deadline_ms = request.deadline_ms > 0 ? request.deadline_ms
+                                            : options_.default_deadline_ms;
+  if (options_.max_deadline_ms > 0) {
+    run.deadline_ms = std::min(run.deadline_ms, options_.max_deadline_ms);
+  }
+  run.memory_budget_bytes = options_.per_query_memory_budget;
+  run.allow_base_fallback = options_.allow_base_fallback;
+
+  core::Engine::RetryPolicy retry;
+  retry.max_retries = options_.max_retries;
+  retry.backoff_ms = options_.retry_backoff_ms;
+  retry.backoff_cap_ms = options_.retry_backoff_cap_ms;
+
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  core::RunResult result = session->Run(*query, views, run, retry);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  queries_served_.fetch_add(1, std::memory_order_relaxed);
+
+  if (result.ok) {
+    response.verdict = Verdict::kOk;
+  } else if (result.timed_out) {
+    response.verdict = Verdict::kTimeout;
+    response.error = result.error;
+  } else if (result.cancelled) {
+    // The only canceller here is the drain watchdog (clients have no cancel
+    // channel yet), so tell the client the truth about why.
+    response.verdict = Verdict::kCancelled;
+    response.error = draining() ? "cancelled by drain" : result.error;
+  } else {
+    response.verdict = Verdict::kError;
+    response.error = result.error;
+  }
+  response.match_count = result.match_count;
+  response.result_hash = result.result_hash;
+  response.server_ms = result.total_ms;
+  response.degraded = result.degraded;
+  response.pages_read = result.io.pages_read;
+  response.attempts = static_cast<uint32_t>(result.attempts);
+  return response;
+}
+
+void QueryServer::WatchdogLoop() {
+  while (state_.load(std::memory_order_acquire) != State::kStopped) {
+    std::this_thread::sleep_for(kWatchdogTick);
+    // Cooperative checkpoints cannot run while a worker sits inside a long
+    // page read; expired deadlines are fired from here, exactly as the batch
+    // watchdog does.
+    for (const std::unique_ptr<core::Engine::Session>& session : sessions_) {
+      if (session->governance()->DeadlineExpired()) {
+        session->governance()->RequestAbort(algo::AbortReason::kDeadline);
+      }
+    }
+    int64_t drain_deadline = drain_deadline_ns_.load(std::memory_order_acquire);
+    if (drain_deadline != 0 && NowNanos() >= drain_deadline) {
+      // Drain budget exhausted: abort whatever is still running so drain
+      // always terminates. The aborted queries answer kCancelled.
+      if (in_flight_.load(std::memory_order_relaxed) > 0) {
+        drain_forced_.store(true, std::memory_order_relaxed);
+      }
+      for (const std::unique_ptr<core::Engine::Session>& session : sessions_) {
+        session->governance()->RequestAbort(algo::AbortReason::kCancelled);
+      }
+    }
+  }
+}
+
+void QueryServer::HardKill() {
+  hard_killed_.store(true, std::memory_order_release);
+  // Pull the drain deadline to "now": the watchdog's next tick aborts all
+  // in-flight queries. Workers never have their sockets yanked from under
+  // them (fd-reuse races); bounded op deadlines get them out on their own.
+  drain_deadline_ns_.store(1, std::memory_order_release);
+  for (const std::unique_ptr<core::Engine::Session>& session : sessions_) {
+    session->governance()->RequestAbort(algo::AbortReason::kCancelled);
+  }
+  listener_.Shutdown();
+  State expected = State::kServing;
+  state_.compare_exchange_strong(expected, State::kDraining);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  cv_.notify_all();
+}
+
+bool QueryServer::Drain() {
+  State state = state_.load(std::memory_order_acquire);
+  if (state == State::kIdle) {
+    state_.store(State::kStopped, std::memory_order_release);
+    return true;
+  }
+
+  State expected = State::kServing;
+  if (state_.compare_exchange_strong(expected, State::kDraining)) {
+    drain_deadline_ns_.store(
+        NowNanos() + static_cast<int64_t>(options_.drain_deadline_ms * 1e6),
+        std::memory_order_release);
+    listener_.Shutdown();  // step 1: stop accepting; unblocks AcceptLoop
+    {
+      // Empty critical section: a worker between its predicate check and its
+      // wait must not miss the state change.
+      std::lock_guard<std::mutex> lock(mu_);
+    }
+    cv_.notify_all();
+  }
+
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_) return drain_clean_;
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (std::thread& worker : worker_threads_) {
+    if (worker.joinable()) worker.join();
+  }
+  state_.store(State::kStopped, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+
+  // Step 3: quiesce the background scrubber before touching the catalog —
+  // a heal racing a closing catalog is exactly the kind of shutdown race
+  // this server exists to not have.
+  engine_->scrubber()->Stop();
+  util::Status closed = engine_->catalog()->Close();
+
+  drain_clean_ = closed.ok() &&
+                 !drain_forced_.load(std::memory_order_acquire) &&
+                 !hard_killed_.load(std::memory_order_acquire);
+  drained_ = true;
+  return drain_clean_;
+}
+
+StatusResponse QueryServer::Snapshot() const {
+  StatusResponse status;
+  State state = state_.load(std::memory_order_acquire);
+  size_t depth;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    depth = pending_.size();
+  }
+  status.healthy = true;
+  status.draining = state >= State::kDraining;
+  status.in_flight = in_flight_.load(std::memory_order_relaxed);
+  status.queued_connections = depth;
+  bool memory_ok = true;
+  if (options_.memory_high_water_bytes > 0 &&
+      options_.per_query_memory_budget > 0) {
+    memory_ok = (status.in_flight + depth + 1) *
+                    options_.per_query_memory_budget <=
+                options_.memory_high_water_bytes;
+  }
+  status.ready =
+      state == State::kServing && depth < options_.max_pending && memory_ok;
+  status.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  status.queries_served = queries_served_.load(std::memory_order_relaxed);
+  status.rejected_quota = rejected_quota_.load(std::memory_order_relaxed);
+  status.rejected_shed = rejected_shed_.load(std::memory_order_relaxed);
+  status.rejected_draining =
+      rejected_draining_.load(std::memory_order_relaxed);
+  status.read_timeouts = read_timeouts_.load(std::memory_order_relaxed);
+  status.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(views_mu_);
+    status.views_cached = view_cache_.size();
+  }
+  return status;
+}
+
+}  // namespace viewjoin::server

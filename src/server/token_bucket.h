@@ -1,0 +1,94 @@
+#ifndef VIEWJOIN_SERVER_TOKEN_BUCKET_H_
+#define VIEWJOIN_SERVER_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace viewjoin::server {
+
+/// Classic token bucket: `rate_per_sec` tokens refill continuously up to
+/// `burst`. Time is caller-supplied (monotonic nanoseconds) so tests are
+/// deterministic — the server feeds it steady_clock, tests feed it a counter.
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst, int64_t now_ns)
+      : rate_per_sec_(rate_per_sec),
+        burst_(burst),
+        tokens_(burst),
+        last_ns_(now_ns) {}
+
+  /// Takes one token if available. On refusal, *retry_after_ms says how long
+  /// until a token will exist — the Retry-After hint clients honor.
+  bool TryAcquire(int64_t now_ns, double* retry_after_ms) {
+    Refill(now_ns);
+    if (tokens_ >= 1.0) {
+      tokens_ -= 1.0;
+      if (retry_after_ms != nullptr) *retry_after_ms = 0;
+      return true;
+    }
+    if (retry_after_ms != nullptr) {
+      *retry_after_ms =
+          rate_per_sec_ > 0 ? (1.0 - tokens_) / rate_per_sec_ * 1e3 : 1e9;
+    }
+    return false;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  void Refill(int64_t now_ns) {
+    if (now_ns <= last_ns_) return;
+    double elapsed_sec = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+    last_ns_ = now_ns;
+  }
+
+  double rate_per_sec_;
+  double burst_;
+  double tokens_;
+  int64_t last_ns_;
+};
+
+/// Per-tenant quota table: one TokenBucket per tenant key, created lazily
+/// with a uniform rate/burst. Thread-safe; over-quota is a typed refusal at
+/// admission, never a queued hang.
+class TenantQuotas {
+ public:
+  /// rate_per_sec <= 0 disables quotas entirely (every acquire succeeds).
+  TenantQuotas(double rate_per_sec, double burst)
+      : rate_per_sec_(rate_per_sec), burst_(burst) {}
+
+  bool TryAcquire(const std::string& tenant, int64_t now_ns,
+                  double* retry_after_ms) {
+    if (rate_per_sec_ <= 0) {
+      if (retry_after_ms != nullptr) *retry_after_ms = 0;
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = buckets_.find(tenant);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(tenant, TokenBucket(rate_per_sec_, burst_, now_ns))
+               .first;
+    }
+    return it->second.TryAcquire(now_ns, retry_after_ms);
+  }
+
+  size_t tenant_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return buckets_.size();
+  }
+
+ private:
+  const double rate_per_sec_;
+  const double burst_;
+  mutable std::mutex mu_;
+  std::map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace viewjoin::server
+
+#endif  // VIEWJOIN_SERVER_TOKEN_BUCKET_H_

@@ -1,0 +1,290 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace viewjoin::server {
+
+namespace {
+
+// ---- Append-style encoder --------------------------------------------------
+
+void PutU8(std::string* out, uint8_t value) {
+  out->push_back(static_cast<char>(value));
+}
+
+void PutU32(std::string* out, uint32_t value) {
+  char bytes[4];
+  std::memcpy(bytes, &value, 4);
+  out->append(bytes, 4);
+}
+
+void PutU64(std::string* out, uint64_t value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out->append(bytes, 8);
+}
+
+void PutF64(std::string* out, double value) {
+  char bytes[8];
+  std::memcpy(bytes, &value, 8);
+  out->append(bytes, 8);
+}
+
+void PutString(std::string* out, const std::string& value) {
+  PutU32(out, static_cast<uint32_t>(value.size()));
+  out->append(value);
+}
+
+// ---- Bounds-checked cursor decoder -----------------------------------------
+
+class Reader {
+ public:
+  explicit Reader(const std::string& payload) : data_(payload) {}
+
+  bool U8(uint8_t* value) {
+    if (pos_ + 1 > data_.size()) return false;
+    *value = static_cast<uint8_t>(data_[pos_]);
+    pos_ += 1;
+    return true;
+  }
+  bool U32(uint32_t* value) {
+    if (pos_ + 4 > data_.size()) return false;
+    std::memcpy(value, data_.data() + pos_, 4);
+    pos_ += 4;
+    return true;
+  }
+  bool U64(uint64_t* value) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(value, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool F64(double* value) {
+    if (pos_ + 8 > data_.size()) return false;
+    std::memcpy(value, data_.data() + pos_, 8);
+    pos_ += 8;
+    return true;
+  }
+  bool String(std::string* value) {
+    uint32_t len;
+    if (!U32(&len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    value->assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Bool(bool* value) {
+    uint8_t raw;
+    if (!U8(&raw)) return false;
+    if (raw > 1) return false;
+    *value = raw != 0;
+    return true;
+  }
+
+  /// A well-formed payload is consumed exactly; trailing bytes mean the peer
+  /// encoded something we don't understand.
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  const std::string& data_;
+  size_t pos_ = 0;
+};
+
+util::Status Malformed(const char* what) {
+  return util::Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+util::Status ExpectType(Reader* reader, MsgType want, const char* name) {
+  uint8_t type;
+  if (!reader->U8(&type)) return Malformed("empty payload");
+  if (type != static_cast<uint8_t>(want)) {
+    return Malformed(name);
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
+void EncodeFrameHeader(uint32_t payload_len, uint8_t out[kFrameHeaderBytes]) {
+  std::memcpy(out, &kFrameMagic, 4);
+  std::memcpy(out + 4, &payload_len, 4);
+}
+
+util::StatusOr<uint32_t> DecodeFrameHeader(const uint8_t in[kFrameHeaderBytes],
+                                           uint32_t max_frame_bytes) {
+  uint32_t magic;
+  uint32_t length;
+  std::memcpy(&magic, in, 4);
+  std::memcpy(&length, in + 4, 4);
+  if (magic != kFrameMagic) {
+    return util::Status::Corruption("bad frame magic (not a ViewJoin peer?)");
+  }
+  if (length > max_frame_bytes) {
+    return util::Status::ResourceExhausted(
+        "frame of " + std::to_string(length) + " bytes exceeds the " +
+        std::to_string(max_frame_bytes) + "-byte cap");
+  }
+  return length;
+}
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return "ok";
+    case Verdict::kError:
+      return "error";
+    case Verdict::kRejected:
+      return "rejected";
+    case Verdict::kTimeout:
+      return "timeout";
+    case Verdict::kCancelled:
+      return "cancelled";
+    case Verdict::kShuttingDown:
+      return "shutting-down";
+  }
+  return "?";
+}
+
+std::string EncodeQueryRequest(const QueryRequest& request) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kQueryRequest));
+  PutString(&out, request.tenant);
+  PutString(&out, request.query);
+  PutU32(&out, static_cast<uint32_t>(request.views.size()));
+  for (const std::string& view : request.views) PutString(&out, view);
+  PutString(&out, request.scheme);
+  PutString(&out, request.algorithm);
+  PutF64(&out, request.deadline_ms);
+  PutU8(&out, request.count_only ? 1 : 0);
+  return out;
+}
+
+std::string EncodeQueryResponse(const QueryResponse& response) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kQueryResponse));
+  PutU8(&out, static_cast<uint8_t>(response.verdict));
+  PutString(&out, response.error);
+  PutF64(&out, response.retry_after_ms);
+  PutU64(&out, response.match_count);
+  PutU64(&out, response.result_hash);
+  PutF64(&out, response.server_ms);
+  PutU8(&out, response.degraded ? 1 : 0);
+  PutU64(&out, response.pages_read);
+  PutU32(&out, response.attempts);
+  return out;
+}
+
+std::string EncodeStatusRequest() {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kStatusRequest));
+  return out;
+}
+
+std::string EncodeStatusResponse(const StatusResponse& status) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kStatusResponse));
+  PutU8(&out, status.healthy ? 1 : 0);
+  PutU8(&out, status.ready ? 1 : 0);
+  PutU8(&out, status.draining ? 1 : 0);
+  PutU64(&out, status.in_flight);
+  PutU64(&out, status.queued_connections);
+  PutU64(&out, status.connections_accepted);
+  PutU64(&out, status.queries_served);
+  PutU64(&out, status.rejected_quota);
+  PutU64(&out, status.rejected_shed);
+  PutU64(&out, status.rejected_draining);
+  PutU64(&out, status.read_timeouts);
+  PutU64(&out, status.frame_errors);
+  PutU64(&out, status.views_cached);
+  return out;
+}
+
+util::StatusOr<MsgType> PeekType(const std::string& payload) {
+  if (payload.empty()) return Malformed("empty payload");
+  uint8_t type = static_cast<uint8_t>(payload[0]);
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kQueryRequest:
+    case MsgType::kQueryResponse:
+    case MsgType::kStatusRequest:
+    case MsgType::kStatusResponse:
+      return static_cast<MsgType>(type);
+  }
+  return Malformed("unknown message type");
+}
+
+util::Status DecodeQueryRequest(const std::string& payload,
+                                QueryRequest* request) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kQueryRequest, "not a query request");
+  if (!type_ok.ok()) return type_ok;
+  uint32_t nviews = 0;
+  if (!reader.String(&request->tenant) || !reader.String(&request->query) ||
+      !reader.U32(&nviews)) {
+    return Malformed("truncated query request");
+  }
+  // Cap before allocating: nviews is attacker-controlled.
+  if (nviews > 1024) return Malformed("too many views");
+  request->views.clear();
+  request->views.reserve(nviews);
+  for (uint32_t i = 0; i < nviews; ++i) {
+    std::string view;
+    if (!reader.String(&view)) return Malformed("truncated view list");
+    request->views.push_back(std::move(view));
+  }
+  if (!reader.String(&request->scheme) ||
+      !reader.String(&request->algorithm) ||
+      !reader.F64(&request->deadline_ms) ||
+      !reader.Bool(&request->count_only) || !reader.Done()) {
+    return Malformed("truncated query request");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeQueryResponse(const std::string& payload,
+                                 QueryResponse* response) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kQueryResponse, "not a query response");
+  if (!type_ok.ok()) return type_ok;
+  uint8_t verdict = 0;
+  if (!reader.U8(&verdict) ||
+      verdict > static_cast<uint8_t>(Verdict::kShuttingDown)) {
+    return Malformed("bad verdict");
+  }
+  response->verdict = static_cast<Verdict>(verdict);
+  if (!reader.String(&response->error) ||
+      !reader.F64(&response->retry_after_ms) ||
+      !reader.U64(&response->match_count) ||
+      !reader.U64(&response->result_hash) ||
+      !reader.F64(&response->server_ms) || !reader.Bool(&response->degraded) ||
+      !reader.U64(&response->pages_read) || !reader.U32(&response->attempts) ||
+      !reader.Done()) {
+    return Malformed("truncated query response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeStatusResponse(const std::string& payload,
+                                  StatusResponse* status) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kStatusResponse, "not a status response");
+  if (!type_ok.ok()) return type_ok;
+  if (!reader.Bool(&status->healthy) || !reader.Bool(&status->ready) ||
+      !reader.Bool(&status->draining) || !reader.U64(&status->in_flight) ||
+      !reader.U64(&status->queued_connections) ||
+      !reader.U64(&status->connections_accepted) ||
+      !reader.U64(&status->queries_served) ||
+      !reader.U64(&status->rejected_quota) ||
+      !reader.U64(&status->rejected_shed) ||
+      !reader.U64(&status->rejected_draining) ||
+      !reader.U64(&status->read_timeouts) ||
+      !reader.U64(&status->frame_errors) ||
+      !reader.U64(&status->views_cached) || !reader.Done()) {
+    return Malformed("truncated status response");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace viewjoin::server

@@ -1,0 +1,125 @@
+#ifndef VIEWJOIN_SERVER_WIRE_H_
+#define VIEWJOIN_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace viewjoin::server {
+
+// ---- Framing ---------------------------------------------------------------
+//
+// Every message travels as one length-prefixed frame:
+//
+//   u32 magic "VJW1"  |  u32 payload length  |  payload
+//
+// and the payload's first byte is the message type. All integers are
+// little-endian; strings are u32 length + raw bytes. The length prefix is
+// validated against a max-frame cap *before* the payload is read, so a
+// hostile 4 GiB length declaration costs the server 8 bytes of reading, not
+// an allocation.
+
+constexpr uint32_t kFrameMagic = 0x31574A56u;  // "VJW1" little-endian
+constexpr size_t kFrameHeaderBytes = 8;
+constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;
+
+/// Serializes a frame header for a payload of `payload_len` bytes.
+void EncodeFrameHeader(uint32_t payload_len, uint8_t out[kFrameHeaderBytes]);
+
+/// Validates magic and cap; returns the payload length. Corruption for a bad
+/// magic (the peer is not speaking this protocol), ResourceExhausted for a
+/// frame above `max_frame_bytes` (the slowloris/allocation defense).
+util::StatusOr<uint32_t> DecodeFrameHeader(const uint8_t in[kFrameHeaderBytes],
+                                           uint32_t max_frame_bytes);
+
+// ---- Messages --------------------------------------------------------------
+
+enum class MsgType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatusRequest = 3,   // health/readiness probe
+  kStatusResponse = 4,
+};
+
+/// Server verdict on one query. Every request gets exactly one typed
+/// response — rejection is an answer, never a silent close or a hang.
+enum class Verdict : uint8_t {
+  kOk = 0,
+  kError = 1,         // execution failed (bad pattern, storage fault, ...)
+  kRejected = 2,      // bounced by quota or load shedding; see retry_after_ms
+  kTimeout = 3,       // deadline expired mid-execution
+  kCancelled = 4,     // aborted (drain watchdog or explicit cancellation)
+  kShuttingDown = 5,  // server is draining; reconnect elsewhere/later
+};
+
+const char* VerdictName(Verdict verdict);
+
+struct QueryRequest {
+  std::string tenant;               // quota bucket key ("" = anonymous)
+  std::string query;                // TPQ as an XPath string
+  std::vector<std::string> views;   // covering view patterns
+  std::string scheme = "LE";        // E / T / LE / LE_p
+  std::string algorithm = "auto";   // TS / VJ / IJ / auto
+  double deadline_ms = 0;           // 0 = server default
+  bool count_only = false;          // reserved: match streaming is future work
+};
+
+struct QueryResponse {
+  Verdict verdict = Verdict::kError;
+  std::string error;          // empty on kOk
+  double retry_after_ms = 0;  // kRejected: when the client should retry
+  uint64_t match_count = 0;
+  uint64_t result_hash = 0;
+  double server_ms = 0;       // execution time inside the engine
+  bool degraded = false;
+  uint64_t pages_read = 0;
+  uint32_t attempts = 1;      // engine-side retry ladder attempts
+};
+
+/// Health/readiness snapshot. `healthy` is trivially true when a response
+/// arrives at all; `ready` means the server would admit a query right now
+/// (serving, queue below high water, memory below high water).
+struct StatusResponse {
+  bool healthy = true;
+  bool ready = false;
+  bool draining = false;
+  uint64_t in_flight = 0;
+  uint64_t queued_connections = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t queries_served = 0;
+  uint64_t rejected_quota = 0;
+  uint64_t rejected_shed = 0;
+  uint64_t rejected_draining = 0;
+  uint64_t read_timeouts = 0;
+  uint64_t frame_errors = 0;
+  uint64_t views_cached = 0;
+};
+
+// ---- Encoding / decoding ---------------------------------------------------
+//
+// Encoders produce the frame *payload* (type byte + body); the caller
+// prepends the frame header when sending. Decoders take the payload and
+// return typed errors on truncation or trailing garbage — a malformed frame
+// from the network must never crash the server or silently mis-parse.
+
+std::string EncodeQueryRequest(const QueryRequest& request);
+std::string EncodeQueryResponse(const QueryResponse& response);
+std::string EncodeStatusRequest();
+std::string EncodeStatusResponse(const StatusResponse& status);
+
+/// The payload's message type (InvalidArgument on an empty or unknown-typed
+/// payload).
+util::StatusOr<MsgType> PeekType(const std::string& payload);
+
+util::Status DecodeQueryRequest(const std::string& payload,
+                                QueryRequest* request);
+util::Status DecodeQueryResponse(const std::string& payload,
+                                 QueryResponse* response);
+util::Status DecodeStatusResponse(const std::string& payload,
+                                  StatusResponse* status);
+
+}  // namespace viewjoin::server
+
+#endif  // VIEWJOIN_SERVER_WIRE_H_

@@ -4,6 +4,7 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <vector>
 
 #include "storage/manifest.h"
@@ -150,6 +151,113 @@ util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
   util::Status closed = catalog->Close();
   if (!closed.ok()) return closed;
   return recovery;
+}
+
+namespace {
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+std::string JsonBool(bool b) { return b ? "true" : "false"; }
+
+std::string JsonStringArray(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += JsonQuote(items[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string BadPagesJson(
+    const std::vector<std::pair<PageId, util::Status>>& bad_pages) {
+  std::string out = "[";
+  for (size_t i = 0; i < bad_pages.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"page\": " + std::to_string(bad_pages[i].first) +
+           ", \"error\": " + JsonQuote(bad_pages[i].second.ToString()) + "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const FsckReport& report) {
+  std::string out = "{\n";
+  out += "  \"clean\": " + JsonBool(report.ok()) + ",\n";
+  out += "  \"file_status\": " + JsonQuote(report.file_status.ToString()) +
+         ",\n";
+  out += "  \"page_count\": " + std::to_string(report.page_count) + ",\n";
+  out += "  \"bad_pages\": " + BadPagesJson(report.bad_pages) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToJson(const FsckCatalogReport& report) {
+  std::string out = "{\n";
+  out += "  \"clean\": " + JsonBool(report.clean()) + ",\n";
+  out += "  \"corrupt\": " + JsonBool(report.corrupt()) + ",\n";
+  out += "  \"repair_needed\": " + JsonBool(report.repair_needed()) + ",\n";
+  out += "  \"pager\": {\n";
+  out += "    \"file_status\": " +
+         JsonQuote(report.pager.file_status.ToString()) + ",\n";
+  out += "    \"page_count\": " + std::to_string(report.pager.page_count) +
+         ",\n";
+  out += "    \"bad_pages\": " + BadPagesJson(report.pager.bad_pages) + "\n";
+  out += "  },\n";
+  out += "  \"manifest_status\": " +
+         JsonQuote(report.manifest_status.ToString()) + ",\n";
+  out += "  \"legacy\": " + JsonBool(report.legacy) + ",\n";
+  out += "  \"last_epoch\": " + std::to_string(report.last_epoch) + ",\n";
+  out += "  \"durable_page_count\": " +
+         std::to_string(report.durable_page_count) + ",\n";
+  out += "  \"view_count\": " + std::to_string(report.view_count) + ",\n";
+  out += "  \"quarantined_count\": " +
+         std::to_string(report.quarantined_count) + ",\n";
+  out += "  \"pending_rebuild\": " + std::to_string(report.pending_rebuild) +
+         ",\n";
+  out += "  \"journal_tail_torn\": " + JsonBool(report.journal_tail_torn) +
+         ",\n";
+  out += "  \"orphan_pages\": " + std::to_string(report.orphan_pages) + ",\n";
+  out += "  \"pager_tail_partial\": " + JsonBool(report.pager_tail_partial) +
+         ",\n";
+  out += "  \"orphan_shadows\": " + JsonStringArray(report.orphan_shadows) +
+         ",\n";
+  out += "  \"corrupt_durable_pages\": " +
+         std::to_string(report.corrupt_durable_pages) + ",\n";
+  out += "  \"data_missing\": " + JsonBool(report.data_missing) + ",\n";
+  out += "  \"bad_views\": " + JsonStringArray(report.bad_views) + "\n";
+  out += "}\n";
+  return out;
 }
 
 }  // namespace viewjoin::storage

@@ -116,6 +116,12 @@ FsckCatalogReport FsckCatalog(const std::string& path);
 util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
                                              size_t pool_pages = 256);
 
+/// Machine-readable renderings (vj_fsck --json): one JSON object capturing
+/// every report field plus the derived verdicts (clean/corrupt/
+/// repair_needed), so CI gates parse the verdict instead of scraping text.
+std::string ToJson(const FsckReport& report);
+std::string ToJson(const FsckCatalogReport& report);
+
 }  // namespace viewjoin::storage
 
 #endif  // VIEWJOIN_STORAGE_FSCK_H_

@@ -11,6 +11,7 @@
 
 #include "util/check.h"
 #include "util/crc32.h"
+#include "util/env.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
 
@@ -22,33 +23,33 @@ namespace {
 /// to approximate the paper's 2005-era disk, where the page accesses saved
 /// by the LE scheme translate into wall-clock time; with the default the
 /// timings are honest in-memory numbers and the saved pages show up only in
-/// the read counters.
+/// the read counters. Parsing is strict: a malformed value dies with the
+/// typed error at the first page read instead of silently measuring with the
+/// latency off.
 int64_t SimulatedReadMicros() {
   static const int64_t value = [] {
-    const char* env = std::getenv("VIEWJOIN_PAGE_READ_MICROS");
-    if (env == nullptr || *env == '\0') return static_cast<int64_t>(0);
-    errno = 0;
-    char* end = nullptr;
-    long long parsed = std::strtoll(env, &end, 10);
-    // Reject trailing garbage and out-of-range values; clamp negatives to 0
-    // (a negative latency is meaningless).
-    if (errno == ERANGE || end == env || *end != '\0' || parsed < 0) {
-      return static_cast<int64_t>(0);
-    }
-    return static_cast<int64_t>(parsed);
+    util::StatusOr<int64_t> parsed =
+        util::ParseNonNegativeIntEnv("VIEWJOIN_PAGE_READ_MICROS", 0);
+    VJ_CHECK(parsed.ok()) << parsed.status().ToString();
+    return *parsed;
   }();
   return value;
 }
 
-/// With VIEWJOIN_PAGE_READ_SLEEP set (non-empty, not "0"), the simulated
-/// latency sleeps instead of spinning. A sleeping reader releases the CPU,
-/// so concurrent queries overlap their simulated I/O exactly as parallel
-/// requests overlap on a real disk — the mode bench_concurrency uses. The
-/// default spin keeps single-threaded timings deterministic on loaded hosts.
+/// With VIEWJOIN_PAGE_READ_SLEEP=1 the simulated latency sleeps instead of
+/// spinning. A sleeping reader releases the CPU, so concurrent queries
+/// overlap their simulated I/O exactly as parallel requests overlap on a
+/// real disk — the mode bench_concurrency uses. The default (0) spin keeps
+/// single-threaded timings deterministic on loaded hosts. Strict like
+/// VIEWJOIN_PAGE_READ_MICROS: anything but 0/1/true/false dies with the
+/// typed error rather than being coerced to a mode the operator didn't ask
+/// for.
 bool SimulatedReadSleeps() {
   static const bool value = [] {
-    const char* env = std::getenv("VIEWJOIN_PAGE_READ_SLEEP");
-    return env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0;
+    util::StatusOr<bool> parsed =
+        util::ParseBoolEnv("VIEWJOIN_PAGE_READ_SLEEP", false);
+    VJ_CHECK(parsed.ok()) << parsed.status().ToString();
+    return *parsed;
   }();
   return value;
 }

@@ -1,0 +1,56 @@
+#ifndef VIEWJOIN_UTIL_BACKOFF_H_
+#define VIEWJOIN_UTIL_BACKOFF_H_
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace viewjoin::util {
+
+/// Decorrelated-jitter retry backoff: each delay is drawn uniformly from
+/// [base, min(cap, 3 * previous delay)].
+///
+/// Deterministic exponential backoff has a fleet-level failure mode: every
+/// retrier that failed on the same transient fault sleeps for the *same*
+/// base, 2*base, 4*base... schedule, so the retries arrive back at the
+/// struggling medium in synchronized waves (a thundering herd) and keep
+/// re-tripping the fault together. Randomizing the whole interval — not just
+/// adding a small epsilon — spreads the waves out; carrying the previous
+/// delay forward ("decorrelated") still grows the expected delay roughly
+/// geometrically, so persistent faults back off as fast as the deterministic
+/// ladder did.
+class DecorrelatedJitterBackoff {
+ public:
+  /// Delays start at `base_ms` and never exceed `cap_ms` (clamped up to
+  /// `base_ms` if smaller). `seed` decorrelates independent retriers: give
+  /// every worker/session its own.
+  DecorrelatedJitterBackoff(double base_ms, double cap_ms, uint64_t seed)
+      : base_ms_(std::max(base_ms, 0.0)),
+        cap_ms_(std::max(cap_ms, base_ms_)),
+        prev_ms_(base_ms_),
+        rng_(seed) {}
+
+  /// The delay to sleep before the next retry, in [base_ms, cap_ms].
+  double NextDelayMs() {
+    double hi = std::min(cap_ms_, prev_ms_ * 3.0);
+    double lo = std::min(base_ms_, hi);
+    prev_ms_ = lo + (hi - lo) * rng_.NextDouble();
+    return prev_ms_;
+  }
+
+  /// Restarts the schedule (a new operation's first retry starts from base).
+  void Reset() { prev_ms_ = base_ms_; }
+
+  double base_ms() const { return base_ms_; }
+  double cap_ms() const { return cap_ms_; }
+
+ private:
+  double base_ms_;
+  double cap_ms_;
+  double prev_ms_;
+  Rng rng_;
+};
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_BACKOFF_H_

@@ -1,0 +1,60 @@
+#ifndef VIEWJOIN_UTIL_ENV_H_
+#define VIEWJOIN_UTIL_ENV_H_
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "util/status.h"
+
+namespace viewjoin::util {
+
+/// Strict environment-variable parsing. A malformed value returns a typed
+/// InvalidArgument naming the variable and the offending text instead of
+/// being silently coerced to the default — a tuning knob that is set but
+/// ignored (e.g. VIEWJOIN_PAGE_READ_MICROS="100ms") would otherwise make
+/// every measurement taken under it a lie. Unset or empty variables return
+/// `default_value`: absence is not an error.
+inline StatusOr<int64_t> ParseNonNegativeIntEnv(const char* name,
+                                                int64_t default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  // strtoll quietly skips leading whitespace and accepts a sign; strict
+  // means digits only, from the first character.
+  if (*env < '0' || *env > '9') {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": expected a non-negative integer, got '" +
+                                   env + "'");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(env, &end, 10);
+  if (errno == ERANGE || end == env || *end != '\0') {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": expected a non-negative integer, got '" +
+                                   env + "'");
+  }
+  if (parsed < 0) {
+    return Status::InvalidArgument(std::string(name) +
+                                   ": must be non-negative, got '" + env + "'");
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+/// Strict boolean: "0"/"false" and "1"/"true" only. Anything else — "yes",
+/// "2", a typo'd "ture" — is a typed InvalidArgument, not a guess.
+inline StatusOr<bool> ParseBoolEnv(const char* name, bool default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  std::string value(env);
+  if (value == "0" || value == "false") return false;
+  if (value == "1" || value == "true") return true;
+  return Status::InvalidArgument(std::string(name) +
+                                 ": expected 0/1/true/false, got '" + value +
+                                 "'");
+}
+
+}  // namespace viewjoin::util
+
+#endif  // VIEWJOIN_UTIL_ENV_H_

@@ -129,4 +129,117 @@ bool FaultInjector::AtCrashPoint(CrashPoint point) {
   return true;
 }
 
+const char* SocketFaultName(SocketFault fault) {
+  switch (fault) {
+    case SocketFault::kNone:
+      return "none";
+    case SocketFault::kShortRead:
+      return "short-read";
+    case SocketFault::kShortWrite:
+      return "short-write";
+    case SocketFault::kReset:
+      return "reset";
+    case SocketFault::kStall:
+      return "stall";
+  }
+  return "?";
+}
+
+SocketFaultInjector& SocketFaultInjector::Global() {
+  static SocketFaultInjector injector;
+  return injector;
+}
+
+void SocketFaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recvs_seen_ = 0;
+  sends_seen_ = 0;
+  injected_faults_ = 0;
+  stall_ms_ = 50;
+  recv_matching_seen_ = 0;
+  recv_trigger_ = 0;
+  recv_remaining_ = 0;
+  recv_kind_ = SocketFault::kNone;
+  recv_target_ = SocketEnd::kAny;
+  send_matching_seen_ = 0;
+  send_trigger_ = 0;
+  send_remaining_ = 0;
+  send_kind_ = SocketFault::kNone;
+  send_target_ = SocketEnd::kAny;
+}
+
+void SocketFaultInjector::ArmRecvFault(SocketFault kind, uint64_t nth,
+                                       int count, SocketEnd target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recv_matching_seen_ = 0;
+  recv_trigger_ = nth == 0 ? 1 : nth;
+  recv_remaining_ = kind == SocketFault::kNone ? 0 : count;
+  recv_kind_ = kind;
+  recv_target_ = target;
+}
+
+void SocketFaultInjector::ArmSendFault(SocketFault kind, uint64_t nth,
+                                       int count, SocketEnd target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  send_matching_seen_ = 0;
+  send_trigger_ = nth == 0 ? 1 : nth;
+  send_remaining_ = kind == SocketFault::kNone ? 0 : count;
+  send_kind_ = kind;
+  send_target_ = target;
+}
+
+void SocketFaultInjector::set_stall_ms(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stall_ms_ = ms;
+}
+
+double SocketFaultInjector::stall_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stall_ms_;
+}
+
+bool SocketFaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recv_remaining_ != 0 || send_remaining_ != 0;
+}
+
+uint64_t SocketFaultInjector::recvs_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recvs_seen_;
+}
+
+uint64_t SocketFaultInjector::sends_seen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sends_seen_;
+}
+
+uint64_t SocketFaultInjector::injected_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_faults_;
+}
+
+SocketFault SocketFaultInjector::OnRecvAttempt(SocketEnd end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recvs_seen_;
+  if (recv_remaining_ == 0 || !Matches(recv_target_, end)) {
+    return SocketFault::kNone;
+  }
+  if (++recv_matching_seen_ < recv_trigger_) return SocketFault::kNone;
+  if (recv_remaining_ > 0) --recv_remaining_;
+  ++injected_faults_;
+  return recv_kind_;
+}
+
+SocketFault SocketFaultInjector::OnSendAttempt(SocketEnd end) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++sends_seen_;
+  if (send_remaining_ == 0 || !Matches(send_target_, end)) {
+    return SocketFault::kNone;
+  }
+  if (++send_matching_seen_ < send_trigger_) return SocketFault::kNone;
+  if (send_remaining_ > 0) --send_remaining_;
+  ++injected_faults_;
+  return send_kind_;
+}
+
 }  // namespace viewjoin::util

@@ -153,6 +153,104 @@ class FaultInjector {
   uint64_t injected_crashes_ = 0;
 };
 
+// ---- Network fault injection ----------------------------------------------
+
+/// Fault applied to one socket send/recv call (server/net.cc consults the
+/// injector on every call). These are the wire-level analogues of the pager
+/// faults above: deterministic stand-ins for the partial I/O, RSTs and
+/// stalls a real network produces, so every server degradation path is
+/// testable without flaky timing or packet-mangling privileges.
+enum class SocketFault {
+  kNone = 0,
+  kShortRead,   // recv delivers a 1-byte prefix on this call
+  kShortWrite,  // send consumes a 1-byte prefix on this call
+  kReset,       // the connection is hard-closed (RST on the wire); call fails
+  kStall,       // the call sleeps for the armed stall before proceeding
+};
+
+/// Human-readable fault name ("short-read", "reset", ...).
+const char* SocketFaultName(SocketFault fault);
+
+/// Which end of a connection an armed socket fault targets. In-process tests
+/// run client and server sockets side by side; targeting one end keeps the
+/// nth-call counting deterministic regardless of how the other end's I/O
+/// interleaves.
+enum class SocketEnd {
+  kAny = 0,
+  kClient,
+  kServer,
+};
+
+/// Deterministic socket-fault injector, mirroring FaultInjector's arming
+/// model: arm `kind` on the `nth` upcoming matching call ("reset the 2nd
+/// server-side recv from now"). Only calls whose end matches the armed
+/// target consume slots. Thread-safe; state lives in Global(). Prefer
+/// ScopedSocketFaultInjection in tests.
+class SocketFaultInjector {
+ public:
+  static SocketFaultInjector& Global();
+
+  /// Disarms everything and clears the counters.
+  void Reset();
+
+  /// Arms `kind` on `count` consecutive recv calls at `target` ends,
+  /// starting with the `nth` matching call from now (1-based). count < 0
+  /// applies it to every matching recv from that point on.
+  void ArmRecvFault(SocketFault kind, uint64_t nth, int count = 1,
+                    SocketEnd target = SocketEnd::kAny);
+
+  /// Same for send calls.
+  void ArmSendFault(SocketFault kind, uint64_t nth, int count = 1,
+                    SocketEnd target = SocketEnd::kAny);
+
+  /// Duration of a kStall fault, in milliseconds (default 50).
+  void set_stall_ms(double ms);
+  double stall_ms() const;
+
+  bool armed() const;
+
+  // ---- net.cc hooks --------------------------------------------------------
+
+  /// Consumes one matching recv slot and returns the fault to apply.
+  SocketFault OnRecvAttempt(SocketEnd end);
+
+  /// Consumes one matching send slot and returns the fault to apply.
+  SocketFault OnSendAttempt(SocketEnd end);
+
+  // ---- Observability -------------------------------------------------------
+
+  uint64_t recvs_seen() const;
+  uint64_t sends_seen() const;
+  uint64_t injected_faults() const;
+
+ private:
+  SocketFaultInjector() = default;
+
+  static bool Matches(SocketEnd target, SocketEnd end) {
+    return target == SocketEnd::kAny || target == end;
+  }
+
+  mutable std::mutex mu_;
+  uint64_t recvs_seen_ = 0;
+  uint64_t sends_seen_ = 0;
+  uint64_t injected_faults_ = 0;
+  double stall_ms_ = 50;
+
+  // Matching-call counters restart at arming time, so "nth" always means
+  // "nth matching call from now" regardless of earlier traffic.
+  uint64_t recv_matching_seen_ = 0;
+  uint64_t recv_trigger_ = 0;
+  int64_t recv_remaining_ = 0;
+  SocketFault recv_kind_ = SocketFault::kNone;
+  SocketEnd recv_target_ = SocketEnd::kAny;
+
+  uint64_t send_matching_seen_ = 0;
+  uint64_t send_trigger_ = 0;
+  int64_t send_remaining_ = 0;
+  SocketFault send_kind_ = SocketFault::kNone;
+  SocketEnd send_target_ = SocketEnd::kAny;
+};
+
 /// RAII guard for tests: resets the global injector on entry and exit.
 class ScopedFaultInjection {
  public:
@@ -164,6 +262,20 @@ class ScopedFaultInjection {
 
   FaultInjector& operator*() { return FaultInjector::Global(); }
   FaultInjector* operator->() { return &FaultInjector::Global(); }
+};
+
+/// RAII guard for tests: resets the global socket injector on entry and exit.
+class ScopedSocketFaultInjection {
+ public:
+  ScopedSocketFaultInjection() { SocketFaultInjector::Global().Reset(); }
+  ~ScopedSocketFaultInjection() { SocketFaultInjector::Global().Reset(); }
+
+  ScopedSocketFaultInjection(const ScopedSocketFaultInjection&) = delete;
+  ScopedSocketFaultInjection& operator=(const ScopedSocketFaultInjection&) =
+      delete;
+
+  SocketFaultInjector& operator*() { return SocketFaultInjector::Global(); }
+  SocketFaultInjector* operator->() { return &SocketFaultInjector::Global(); }
 };
 
 }  // namespace viewjoin::util

@@ -623,5 +623,52 @@ TEST(FsckCatalogTest, RottenDurablePageIsCorruptNotRepairable) {
   EXPECT_FALSE(report.clean());
 }
 
+// ---- Machine-readable fsck (vj_fsck --json) --------------------------------
+
+TEST(FsckJsonTest, CatalogVerdictsTrackTheReport) {
+  xml::Document doc = CrashDoc();
+  std::string path = TempPath("fsck_json.db");
+  CleanupStore(path);
+  {
+    ViewCatalog catalog(path, 64, /*persistent=*/true);
+    catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+    ASSERT_TRUE(catalog.Close().ok());
+  }
+  std::string json = storage::ToJson(FsckCatalog(path));
+  EXPECT_NE(json.find("\"clean\": true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"corrupt\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"repair_needed\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"view_count\": 1"), std::string::npos);
+
+  // Tear the journal tail (crash artifact): the verdicts must flip to
+  // repairable, and the specific finding must be named.
+  {
+    std::FILE* f = std::fopen((path + ".manifest").c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const uint32_t length = 100;
+    std::fwrite(&length, sizeof(length), 1, f);
+    std::fclose(f);
+  }
+  json = storage::ToJson(FsckCatalog(path));
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"corrupt\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"repair_needed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"journal_tail_torn\": true"), std::string::npos);
+}
+
+TEST(FsckJsonTest, BarePagerReportEscapesStringsAndListsBadPages) {
+  storage::FsckReport report;
+  report.file_status = util::Status::Ok();
+  report.page_count = 3;
+  report.bad_pages.push_back(
+      {1, util::Status::Corruption("bad \"footer\"\n")});
+  std::string json = storage::ToJson(report);
+  EXPECT_NE(json.find("\"clean\": false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"page_count\": 3"), std::string::npos);
+  EXPECT_NE(json.find("{\"page\": 1, \"error\": "), std::string::npos);
+  // Quotes and newlines inside statuses arrive escaped, not raw.
+  EXPECT_NE(json.find("\\\"footer\\\"\\n"), std::string::npos) << json;
+}
+
 }  // namespace
 }  // namespace viewjoin

@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -374,6 +376,52 @@ TEST(BatchRetryTest, DeterministicFailuresAreNeverRetried) {
   ASSERT_FALSE(results[0].ok);
   EXPECT_FALSE(results[0].retryable);
   EXPECT_EQ(results[0].attempts, 1);  // the ladder never spun
+}
+
+TEST(BatchRetryTest, RetryBackoffIsJitteredNotADeterministicLadder) {
+  // A deterministic base, 2*base, 4*base... schedule re-synchronizes every
+  // retrier that tripped on the same fault (a thundering herd). The ladder
+  // now draws each delay from [base, min(cap, 3 x previous)], seeded per
+  // worker — so the recorded sleeps must spread across that interval, not
+  // collapse onto one schedule.
+  xml::Document doc = GroupDoc(200);
+  TreePattern query = MustParse("//a//b//c");
+  util::ScopedFaultInjection fi;
+  Engine engine(&doc, TempPath("gov_jitter.db"));
+  std::vector<const MaterializedView*> views = AddGroupViews(&engine);
+
+  std::mutex mu;
+  std::vector<double> delays;
+  Engine::SetRetrySleepHookForTest([&](double ms) {
+    std::lock_guard<std::mutex> lock(mu);
+    delays.push_back(ms);
+  });
+  fi->ArmReadFault(/*nth=*/1, /*count=*/-1);  // permanently dead disk
+  BatchOptions options;
+  options.threads = 2;
+  options.max_retries = 4;
+  options.retry_backoff_ms = 1.0;
+  options.retry_backoff_cap_ms = 8.0;
+  options.run.allow_base_fallback = false;
+  std::vector<BatchQuery> batch(4, BatchQuery{&query, views});
+  std::vector<RunResult> results = engine.ExecuteBatch(batch, options);
+  Engine::SetRetrySleepHookForTest(nullptr);
+  fi->Reset();
+
+  for (const RunResult& r : results) EXPECT_FALSE(r.ok);
+  // 4 queries x up to 4 retries each; every sleep inside [base, cap].
+  ASSERT_GE(delays.size(), 8u);
+  for (double ms : delays) {
+    EXPECT_GE(ms, 1.0 - 1e-9);
+    EXPECT_LE(ms, 8.0 + 1e-9);
+  }
+  // The spread assertion: jittered delays are (nearly) all distinct, where
+  // the old deterministic ladder produced exactly {1, 2, 4, 8} repeated.
+  std::vector<double> uniq = delays;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_GE(uniq.size(), delays.size() / 2);
+  EXPECT_GT(uniq.size(), 4u);  // more values than the ladder's 4 rungs
 }
 
 }  // namespace

@@ -4,9 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "util/backoff.h"
 #include "util/check.h"
+#include "util/env.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/rng.h"
@@ -183,6 +187,103 @@ TEST(FaultInjectorTest, UnboundedWriteFaultPersists) {
   fi->Reset();
   EXPECT_EQ(fi->OnWriteAttempt(), util::WriteFault::kNone);
   EXPECT_FALSE(fi->armed());
+}
+
+TEST(BackoffTest, DelaysStayInsideBaseAndCap) {
+  util::DecorrelatedJitterBackoff backoff(2.0, 50.0, /*seed=*/9);
+  double prev = 2.0;
+  for (int i = 0; i < 200; ++i) {
+    double ms = backoff.NextDelayMs();
+    EXPECT_GE(ms, 2.0);
+    EXPECT_LE(ms, 50.0);
+    // Decorrelated growth: each draw is bounded by 3x the previous delay.
+    EXPECT_LE(ms, std::max(2.0, prev * 3.0) + 1e-9);
+    prev = ms;
+  }
+}
+
+TEST(BackoffTest, SequencesAreJitteredAndSeedDecorrelated) {
+  util::DecorrelatedJitterBackoff a(1.0, 100.0, /*seed=*/1);
+  util::DecorrelatedJitterBackoff b(1.0, 100.0, /*seed=*/2);
+  util::DecorrelatedJitterBackoff a2(1.0, 100.0, /*seed=*/1);
+  std::vector<double> sa, sb, sa2;
+  for (int i = 0; i < 16; ++i) {
+    sa.push_back(a.NextDelayMs());
+    sb.push_back(b.NextDelayMs());
+    sa2.push_back(a2.NextDelayMs());
+  }
+  EXPECT_EQ(sa, sa2);  // deterministic per seed (reproducible tests)
+  EXPECT_NE(sa, sb);   // decorrelated across seeds (no thundering herd)
+  // Jitter, not a ladder: the values do not repeat.
+  std::vector<double> uniq = sa;
+  std::sort(uniq.begin(), uniq.end());
+  uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+  EXPECT_GT(uniq.size(), sa.size() / 2);
+}
+
+TEST(BackoffTest, ResetRestartsFromBase) {
+  util::DecorrelatedJitterBackoff backoff(1.0, 1000.0, /*seed=*/3);
+  for (int i = 0; i < 10; ++i) backoff.NextDelayMs();
+  backoff.Reset();
+  EXPECT_LE(backoff.NextDelayMs(), 3.0);  // first post-reset draw: [1, 3]
+}
+
+TEST(BackoffTest, DegenerateConfigsAreClamped) {
+  // cap below base: clamped up to base (constant delays, never negative).
+  util::DecorrelatedJitterBackoff tight(5.0, 1.0, /*seed=*/4);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(tight.NextDelayMs(), 5.0);
+  // zero/negative base: delays are zero, not NaN.
+  util::DecorrelatedJitterBackoff zero(-1.0, 0.0, /*seed=*/5);
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(zero.NextDelayMs(), 0.0);
+}
+
+class EnvParseTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kVar = "VIEWJOIN_ENV_PARSE_TEST_VAR";
+  void TearDown() override { unsetenv(kVar); }
+};
+
+TEST_F(EnvParseTest, UnsetOrEmptyReturnsDefault) {
+  unsetenv(kVar);
+  EXPECT_EQ(*util::ParseNonNegativeIntEnv(kVar, 42), 42);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, true), true);
+  setenv(kVar, "", 1);
+  EXPECT_EQ(*util::ParseNonNegativeIntEnv(kVar, 7), 7);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, false), false);
+}
+
+TEST_F(EnvParseTest, ValidValuesParse) {
+  setenv(kVar, "150", 1);
+  EXPECT_EQ(*util::ParseNonNegativeIntEnv(kVar, 0), 150);
+  setenv(kVar, "0", 1);
+  EXPECT_EQ(*util::ParseNonNegativeIntEnv(kVar, 5), 0);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, true), false);
+  setenv(kVar, "true", 1);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, false), true);
+  setenv(kVar, "false", 1);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, true), false);
+  setenv(kVar, "1", 1);
+  EXPECT_EQ(*util::ParseBoolEnv(kVar, false), true);
+}
+
+TEST_F(EnvParseTest, MalformedValuesAreTypedErrorsNamingTheVariable) {
+  // A set-but-ignored tuning knob would silently invalidate measurements;
+  // malformed values must fail loudly instead of coercing to the default.
+  for (const char* bad : {"100ms", "abc", "12.5", "-3", " 7", "99x"}) {
+    setenv(kVar, bad, 1);
+    util::StatusOr<int64_t> parsed = util::ParseNonNegativeIntEnv(kVar, 0);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().ToString().find(kVar), std::string::npos);
+    EXPECT_NE(parsed.status().ToString().find(bad), std::string::npos);
+  }
+  for (const char* bad : {"yes", "no", "2", "TRUE", "ture"}) {
+    setenv(kVar, bad, 1);
+    util::StatusOr<bool> parsed = util::ParseBoolEnv(kVar, false);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(parsed.status().ToString().find(kVar), std::string::npos);
+  }
 }
 
 }  // namespace

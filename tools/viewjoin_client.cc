@@ -1,0 +1,227 @@
+// viewjoin_client — command-line client for viewjoin_server.
+//
+//   viewjoin_client --port-file /tmp/vj.port \
+//       --query '//people//person//name' --views '//people//person;//name'
+//   viewjoin_client --port 4711 --status
+//
+// Exit codes mirror the server's verdicts so scripts can branch:
+//   0  OK (matches printed)
+//   1  server-side error verdict
+//   2  usage error or transport failure (connect refused, reset, timeout on
+//      the socket, malformed response)
+//   3  query deadline expired server-side (TIMEOUT verdict)
+//   4  rejected (quota or load shedding; Retry-After printed)
+//   5  shutting down / cancelled by drain
+//
+// --inject-reset arms the deterministic socket fault injector on this
+// process's end of the wire: the first send attempt is replaced by an
+// abortive close, so the peer sees a real RST. Used by the CI smoke job to
+// prove a client vanishing mid-request never wedges or crashes the server.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "util/fault_injection.h"
+
+namespace {
+
+using viewjoin::server::Client;
+using viewjoin::server::QueryRequest;
+using viewjoin::server::QueryResponse;
+using viewjoin::server::StatusResponse;
+using viewjoin::server::Verdict;
+
+void Usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s (--port N | --port-file PATH) [--host IP]\n"
+      "          (--query XPATH --views 'V1;V2;..' | --status)\n"
+      "          [--scheme E|T|LE|LE_p] [--algo TS|VJ|IJ|auto]\n"
+      "          [--tenant NAME] [--deadline-ms MS] [--timeout-ms MS]\n"
+      "          [--repeat N] [--inject-reset]\n",
+      prog);
+}
+
+std::vector<std::string> SplitList(const std::string& text) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= text.size()) {
+    size_t end = text.find(';', begin);
+    if (end == std::string::npos) end = text.size();
+    if (end > begin) parts.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+int VerdictExit(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk:
+      return 0;
+    case Verdict::kError:
+      return 1;
+    case Verdict::kTimeout:
+      return 3;
+    case Verdict::kRejected:
+      return 4;
+    case Verdict::kCancelled:
+    case Verdict::kShuttingDown:
+      return 5;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = -1;
+  std::string port_file;
+  QueryRequest request;
+  bool status_probe = false;
+  double timeout_ms = 5000;
+  int repeat = 1;
+  bool inject_reset = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--host") {
+      if ((v = next()) == nullptr) return 2;
+      host = v;
+    } else if (arg == "--port") {
+      if ((v = next()) == nullptr) return 2;
+      port = std::atoi(v);
+    } else if (arg == "--port-file") {
+      if ((v = next()) == nullptr) return 2;
+      port_file = v;
+    } else if (arg == "--query") {
+      if ((v = next()) == nullptr) return 2;
+      request.query = v;
+    } else if (arg == "--views") {
+      if ((v = next()) == nullptr) return 2;
+      request.views = SplitList(v);
+    } else if (arg == "--scheme") {
+      if ((v = next()) == nullptr) return 2;
+      request.scheme = v;
+    } else if (arg == "--algo") {
+      if ((v = next()) == nullptr) return 2;
+      request.algorithm = v;
+    } else if (arg == "--tenant") {
+      if ((v = next()) == nullptr) return 2;
+      request.tenant = v;
+    } else if (arg == "--deadline-ms") {
+      if ((v = next()) == nullptr) return 2;
+      request.deadline_ms = std::atof(v);
+    } else if (arg == "--timeout-ms") {
+      if ((v = next()) == nullptr) return 2;
+      timeout_ms = std::atof(v);
+    } else if (arg == "--repeat") {
+      if ((v = next()) == nullptr) return 2;
+      repeat = std::atoi(v);
+    } else if (arg == "--status") {
+      status_probe = true;
+    } else if (arg == "--inject-reset") {
+      inject_reset = true;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr || std::fscanf(f, "%d", &port) != 1) {
+      std::fprintf(stderr, "cannot read port from %s\n", port_file.c_str());
+      if (f != nullptr) std::fclose(f);
+      return 2;
+    }
+    std::fclose(f);
+  }
+  if (port <= 0 || (!status_probe && request.query.empty())) {
+    Usage(argv[0]);
+    return 2;
+  }
+
+  Client client;
+  client.set_deadline_ms(timeout_ms);
+  viewjoin::util::Status connected =
+      client.Connect(host, static_cast<uint16_t>(port), timeout_ms);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
+    return 2;
+  }
+
+  if (inject_reset) {
+    // First send attempt from this process becomes an abortive close: the
+    // server sees a mid-request RST from a vanished client.
+    viewjoin::util::SocketFaultInjector::Global().ArmSendFault(
+        viewjoin::util::SocketFault::kReset, /*nth=*/1, /*count=*/1,
+        viewjoin::util::SocketEnd::kClient);
+  }
+
+  if (status_probe) {
+    viewjoin::util::StatusOr<StatusResponse> status = client.GetStatus();
+    if (!status.ok()) {
+      std::fprintf(stderr, "status: %s\n", status.status().ToString().c_str());
+      return 2;
+    }
+    std::printf(
+        "healthy=%d ready=%d draining=%d in_flight=%llu queued=%llu\n"
+        "accepted=%llu served=%llu rejected_quota=%llu rejected_shed=%llu "
+        "rejected_draining=%llu\nread_timeouts=%llu frame_errors=%llu "
+        "views_cached=%llu\n",
+        status->healthy ? 1 : 0, status->ready ? 1 : 0,
+        status->draining ? 1 : 0,
+        static_cast<unsigned long long>(status->in_flight),
+        static_cast<unsigned long long>(status->queued_connections),
+        static_cast<unsigned long long>(status->connections_accepted),
+        static_cast<unsigned long long>(status->queries_served),
+        static_cast<unsigned long long>(status->rejected_quota),
+        static_cast<unsigned long long>(status->rejected_shed),
+        static_cast<unsigned long long>(status->rejected_draining),
+        static_cast<unsigned long long>(status->read_timeouts),
+        static_cast<unsigned long long>(status->frame_errors),
+        static_cast<unsigned long long>(status->views_cached));
+    return status->ready ? 0 : 1;
+  }
+
+  int exit_code = 0;
+  for (int n = 0; n < repeat; ++n) {
+    viewjoin::util::StatusOr<QueryResponse> response = client.Query(request);
+    if (!response.ok()) {
+      std::fprintf(stderr, "query: %s\n",
+                   response.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("verdict=%s matches=%llu hash=%016llx server_ms=%.3f "
+                "attempts=%u%s\n",
+                viewjoin::server::VerdictName(response->verdict),
+                static_cast<unsigned long long>(response->match_count),
+                static_cast<unsigned long long>(response->result_hash),
+                response->server_ms, response->attempts,
+                response->degraded ? " degraded" : "");
+    if (!response->error.empty()) {
+      std::fprintf(stderr, "error: %s\n", response->error.c_str());
+    }
+    if (response->verdict == Verdict::kRejected) {
+      std::fprintf(stderr, "retry after %.1f ms\n", response->retry_after_ms);
+    }
+    exit_code = VerdictExit(response->verdict);
+    if (exit_code != 0) break;
+  }
+  return exit_code;
+}

@@ -17,7 +17,11 @@
 //      shadows, legacy manifest) — recoverable; with --repair they were
 //      repaired and the store is clean again
 //
-//   $ ./build/tools/vj_fsck [--quiet] [--repair] /path/to/views.db
+//   $ ./build/tools/vj_fsck [--quiet] [--repair] [--json] /path/to/views.db
+//
+// --json replaces the human-readable text with one JSON object on stdout
+// (fields mirror storage::FsckCatalogReport, plus the derived verdicts);
+// exit codes are unchanged, so scripts can use either.
 
 #include <sys/stat.h>
 
@@ -30,7 +34,8 @@
 namespace {
 
 int Usage(const char* prog) {
-  std::fprintf(stderr, "usage: %s [--quiet] [--repair] <pager-file>\n", prog);
+  std::fprintf(stderr, "usage: %s [--quiet] [--repair] [--json] <pager-file>\n",
+               prog);
   return 2;
 }
 
@@ -44,12 +49,15 @@ bool FileExists(const std::string& path) {
 int main(int argc, char** argv) {
   bool quiet = false;
   bool repair = false;
+  bool json = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
       quiet = true;
     } else if (std::strcmp(argv[i], "--repair") == 0) {
       repair = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -71,6 +79,13 @@ int main(int argc, char** argv) {
     // there is no journal to roll back from.
     viewjoin::storage::FsckReport report =
         viewjoin::storage::FsckPagerFile(path);
+    if (json) {
+      std::fputs(viewjoin::storage::ToJson(report).c_str(), stdout);
+      if (!report.file_status.ok()) {
+        return report.file_status.code() == StatusCode::kCorruption ? 1 : 2;
+      }
+      return report.ok() ? 0 : 1;
+    }
     if (!report.file_status.ok()) {
       if (!quiet) {
         std::fprintf(stderr, "%s: %s\n", path.c_str(),
@@ -93,7 +108,14 @@ int main(int argc, char** argv) {
   viewjoin::storage::FsckCatalogReport report =
       viewjoin::storage::FsckCatalog(path);
 
-  if (!quiet) {
+  if (json) {
+    std::fputs(viewjoin::storage::ToJson(report).c_str(), stdout);
+    // The exit-code ladder below still applies (it only prints when !quiet,
+    // and --json implies quiet for the text renderer).
+    quiet = true;
+  }
+
+  if (!quiet && !json) {
     for (const auto& [page, status] : report.pager.bad_pages) {
       const char* where =
           !report.legacy && page >= report.durable_page_count ? " (orphan)"
