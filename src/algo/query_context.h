@@ -77,6 +77,17 @@ class QueryContext {
     return SlowCheckpoint();
   }
 
+  /// Checkpoint charging `n` units of work at once — the batch analogue used
+  /// by block-at-a-time skips, which pass whole pages per call instead of
+  /// advancing entry by entry. Equivalent governance cadence to calling
+  /// Checkpoint() n times, without the n loop iterations.
+  bool CheckpointN(uint32_t n) {
+    if (aborted()) return true;
+    until_check_ -= static_cast<int32_t>(n < kCheckInterval ? n : kCheckInterval);
+    if (until_check_ > 0) return false;
+    return SlowCheckpoint();
+  }
+
   // --- Budget accounting (owning thread) ---
 
   void ChargeMemory(uint64_t bytes) {

@@ -1,5 +1,7 @@
 #include "algo/structural_join.h"
 
+#include "storage/simd_scan.h"
+
 namespace viewjoin::algo {
 
 using tpq::Axis;
@@ -9,21 +11,46 @@ void StackTreeDesc(const std::vector<Label>& ancestors,
                    const std::vector<Label>& descendants, Axis axis,
                    const std::function<void(size_t, size_t)>& emit,
                    QueryContext* ctx) {
+  const size_t n = ancestors.size();
+  // Struct-of-arrays shadow of the ancestor keys: the skip scans below read
+  // long runs of starts/ends, which vectorize only over contiguous keys.
+  std::vector<uint32_t> a_starts(n);
+  std::vector<uint32_t> a_ends(n);
+  for (size_t k = 0; k < n; ++k) {
+    a_starts[k] = ancestors[k].start;
+    a_ends[k] = ancestors[k].end;
+  }
   std::vector<size_t> stack;
   size_t i = 0;
   for (size_t j = 0; j < descendants.size(); ++j) {
     if (ctx != nullptr && ctx->Checkpoint()) return;
     const Label& d = descendants[j];
-    // Push every ancestor candidate that starts before d.
-    while (i < ancestors.size() && ancestors[i].start < d.start) {
-      while (!stack.empty() && ancestors[stack.back()].end < ancestors[i].start) {
+    // Ancestor candidates that start before d (starts are sorted).
+    const size_t limit =
+        i + storage::simd::LowerBoundGe(a_starts.data() + i,
+                                        static_cast<uint32_t>(n - i), d.start);
+    while (i < limit) {
+      if (stack.empty()) {
+        // Dead run: with nothing stacked, every candidate that closes before
+        // d opens is disjoint from d — and from all later descendants, whose
+        // starts only grow. Vector-scan straight past the run instead of
+        // pushing and popping each entry.
+        size_t run = storage::simd::FirstGe(
+            a_ends.data() + i, static_cast<uint32_t>(limit - i), d.start);
+        if (ctx != nullptr && ctx->CheckpointN(static_cast<uint32_t>(run + 1))) {
+          return;
+        }
+        i += run;
+        if (i >= limit) break;
+      }
+      while (!stack.empty() && a_ends[stack.back()] < a_starts[i]) {
         stack.pop_back();
       }
       stack.push_back(i);
       ++i;
     }
     // Drop stacked candidates that ended before d.
-    while (!stack.empty() && ancestors[stack.back()].end < d.start) {
+    while (!stack.empty() && a_ends[stack.back()] < d.start) {
       stack.pop_back();
     }
     // Every remaining stacked candidate contains d (stack is a nesting chain).

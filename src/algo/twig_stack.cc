@@ -118,7 +118,16 @@ class TwigStack::Impl {
       if (qmax < 0 || head.start > Head(qmax).start) qmax = c;
     }
     uint32_t max_start = Head(qmax).start;
-    while (!ctx_->aborted() && Head(q).end < max_start) Advance(q);
+    if (Head(q).end < max_start) {
+      // Skip entries whose region closed before the children's furthest
+      // head — a forward scan, SIMD across decoded blocks.
+      uint64_t scanned = 0;
+      cursors_[static_cast<size_t>(q)].SkipEndsBelow(
+          max_start, /*one_block=*/false, &scanned,
+          [&](uint32_t n) { return ctx_->CheckpointN(n); });
+      stats_->entries_scanned += scanned;
+      RefreshHead(q);
+    }
     if (Head(q).start < Head(qmin).start) return q;
     return qmin;
   }

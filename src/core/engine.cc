@@ -12,6 +12,7 @@
 #include "plan/planner.h"
 #include "util/backoff.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace viewjoin::core {
@@ -462,6 +463,10 @@ RunResult Engine::ExecuteInternal(
       clear_view_error();
       if (!rebuilt) break;  // medium too sick to rebuild on — fall back
     }
+    // Test hook: an armed recovery barrier holds the worker here — between
+    // the rebuild and the retry run — so tests can land an event (e.g. a
+    // cancellation) in this window deterministically.
+    util::FaultInjector::Global().OnRecoveryPoint();
   }
 
   // The view store is persistently failing. Callers that disabled the

@@ -199,25 +199,39 @@ class ViewJoin::Impl {
   /// (step one entry and re-check).
   void AdvancePast(int q, uint32_t bound) {
     ListCursor& cursor = cursors_[static_cast<size_t>(q)];
+    auto ck = [&](uint32_t n) { return ctx_->CheckpointN(n); };
+    if (!has_pointers_[static_cast<size_t>(q)]) {
+      // E scheme: pure forward scan — vectorized over decoded blocks.
+      uint64_t scanned = 0;
+      cursor.SkipEndsBelow(bound, /*one_block=*/false, &scanned, ck);
+      stats_->entries_scanned += scanned;
+      RefreshHead(q);
+      return;
+    }
     while (!cursor.AtEnd() && cursor.LabelAt().end < bound) {
       if (ctx_->Checkpoint()) break;
-      if (has_pointers_[static_cast<size_t>(q)]) {
-        EntryIndex follow = cursor.Following();
-        if (follow != kNullEntry) {
-          ++stats_->pointer_jumps;
-          stats_->entries_skipped += follow - cursor.index() - 1;
-          ++stats_->entries_scanned;
-          cursor.Seek(follow);
-          continue;
-        }
-        if (full_pointers_[static_cast<size_t>(q)]) {
-          // Full LE: null means nothing follows; the rest are descendants.
-          stats_->entries_skipped += cursor.size() - cursor.index() - 1;
-          cursor.Seek(cursor.size());
-          continue;
-        }
+      EntryIndex follow = cursor.Following();
+      if (follow != kNullEntry) {
+        ++stats_->pointer_jumps;
+        stats_->entries_skipped += follow - cursor.index() - 1;
+        ++stats_->entries_scanned;
+        cursor.Seek(follow);
+        continue;
       }
-      Advance(q);
+      if (full_pointers_[static_cast<size_t>(q)]) {
+        // Full LE: null means nothing follows; the rest are descendants.
+        stats_->entries_skipped += cursor.size() - cursor.index() - 1;
+        cursor.Seek(cursor.size());
+        continue;
+      }
+      // LE_p: a null follow pointer may mean "target was adjacent" — advance
+      // within the current decoded block (scalar cursor: one entry) and
+      // re-check the landing entry's pointer on the next loop turn.
+      uint64_t scanned = 0;
+      bool aborted =
+          cursor.SkipEndsBelow(bound, /*one_block=*/true, &scanned, ck);
+      stats_->entries_scanned += scanned;
+      if (aborted) break;
     }
     RefreshHead(q);
   }
@@ -253,43 +267,25 @@ class ViewJoin::Impl {
       }
     }
     if (hc.start >= skip_to) return;
+    auto ck = [&](uint32_t n) { return ctx_->CheckpointN(n); };
     if (has_pointers_[static_cast<size_t>(c)]) {
-      // Galloping search: dead gaps are often a handful of entries, so probe
-      // exponentially from the cursor before binary-searching the last span.
+      // Galloping search (overflow-safe, checkpointed — see list_search.h):
+      // dead gaps are often a handful of entries, so the cursor probes
+      // exponentially before binary-searching the last span; with fence keys
+      // the gallop runs over pages and touches a single block.
       EntryIndex from = cursor.index();
-      EntryIndex step = 1;
-      EntryIndex lo = from;              // lo always < skip_to
-      EntryIndex hi = cursor.size();
-      while (lo + step < hi) {
-        cursor.Seek(lo + step);
-        if (cursor.LabelAt().start < skip_to) {
-          lo = lo + step;
-          step *= 2;
-        } else {
-          hi = lo + step;
-          break;
-        }
-      }
-      ++lo;  // first unexamined entry past the last known-dead one
-      while (lo < hi) {
-        EntryIndex mid = lo + (hi - lo) / 2;
-        cursor.Seek(mid);
-        if (cursor.LabelAt().start < skip_to) {
-          lo = mid + 1;
-        } else {
-          hi = mid;
-        }
-      }
-      cursor.Seek(lo);
-      stats_->entries_skipped += lo - from;
+      uint64_t probes = 0;
+      storage::SeekOutcome out =
+          cursor.FindFirstStart(skip_to, /*strict=*/false, &probes, ck);
+      stats_->entries_scanned += probes;  // probe reads are real skip work
+      stats_->entries_skipped += out.pos - from;
       ++stats_->pointer_jumps;
+      cursor.Seek(out.pos);
       RefreshHead(c);
     } else {
-      while (!cursor.AtEnd() && cursor.LabelAt().start < skip_to) {
-        if (ctx_->Checkpoint()) break;
-        ++stats_->entries_scanned;
-        cursor.Next();
-      }
+      uint64_t scanned = 0;
+      cursor.SkipStartsBelow(skip_to, /*strict=*/false, &scanned, ck);
+      stats_->entries_scanned += scanned;
       RefreshHead(c);
     }
   }
@@ -313,51 +309,6 @@ class ViewJoin::Impl {
     AdvancePast(q, Head(qmax).start);
     if (Head(q).start < Head(qmin).start) return q;
     return qmin;
-  }
-
-  /// First entry index at or after the cursor whose start exceeds `bound`
-  /// (galloping + binary search; does not move the cursor's logical head).
-  EntryIndex SeekFirstStartAfter(ListCursor* cursor, uint32_t bound) {
-    EntryIndex from = cursor->index();
-    EntryIndex step = 1;
-    EntryIndex lo = from;
-    EntryIndex hi = cursor->size();
-    // Ensure lo indexes a known-dead (<= bound) entry or stay at `from`.
-    while (lo + step < hi) {
-      cursor->Seek(lo + step);
-      if (cursor->LabelAt().start <= bound) {
-        lo = lo + step;
-        step *= 2;
-      } else {
-        hi = lo + step;
-        break;
-      }
-    }
-    cursor->Seek(from);
-    if (from < cursor->size()) {
-      // Binary search in (lo, hi]: first entry with start > bound.
-      EntryIndex blo = lo;
-      EntryIndex bhi = hi;
-      // lo may itself be > bound when no probe succeeded.
-      cursor->Seek(blo);
-      if (cursor->LabelAt().start > bound) {
-        cursor->Seek(from);
-        return blo;
-      }
-      ++blo;
-      while (blo < bhi) {
-        EntryIndex mid = blo + (bhi - blo) / 2;
-        cursor->Seek(mid);
-        if (cursor->LabelAt().start <= bound) {
-          blo = mid + 1;
-        } else {
-          bhi = mid;
-        }
-      }
-      cursor->Seek(from);
-      return blo;
-    }
-    return from;
   }
 
   void CleanStack(int q, const Label& next) {
@@ -486,7 +437,12 @@ class ViewJoin::Impl {
         } else {
           // pc edge: find the region start by galloping search instead (the
           // pc pointer may overshoot entries that nested anchors need).
-          target = SeekFirstStartAfter(&rcursor, a.label.start);
+          uint64_t probes = 0;
+          storage::SeekOutcome out = rcursor.FindFirstStart(
+              a.label.start, /*strict=*/true, &probes,
+              [&](uint32_t n) { return ctx_->CheckpointN(n); });
+          stats_->entries_scanned += probes;
+          target = out.pos;
         }
         if (target > rcursor.index()) {
           stats_->entries_skipped += target - rcursor.index();
@@ -495,9 +451,11 @@ class ViewJoin::Impl {
         }
       } else {
         // E scheme: shared monotone scan of L_r.
-        while (!rcursor.AtEnd() && rcursor.LabelAt().start <= a.label.start) {
-          Advance(r);
-        }
+        uint64_t scanned = 0;
+        rcursor.SkipStartsBelow(a.label.start, /*strict=*/true, &scanned,
+                                [&](uint32_t n) { return ctx_->CheckpointN(n); });
+        stats_->entries_scanned += scanned;
+        RefreshHead(r);
       }
       while (!rcursor.AtEnd()) {
         if (ctx_->Checkpoint()) return;

@@ -9,6 +9,8 @@
 
 #include "algo/query_binding.h"
 #include "core/segmented_query.h"
+#include "storage/pager.h"
+#include "storage/stored_list.h"
 #include "tpq/subpattern.h"
 #include "view/cardinality.h"
 #include "view/cost_model.h"
@@ -50,6 +52,22 @@ bool HasPointers(Scheme scheme) {
          scheme == Scheme::kLinkedElementPartial;
 }
 
+/// Measured scan-width ratio of one stored list against the 12-byte E
+/// record: pages it actually occupies × page size ÷ entry count. Unlike the
+/// scheme constants this sees the on-disk format — a delta-compressed LE
+/// list can scan *cheaper* per entry than an uncompressed E list — and the
+/// one-page floor correctly prices tiny lists as one page read. Falls back
+/// to the scheme constant for empty or memory-backed lists.
+double MeasuredWidthFactor(const MaterializedView* view, int vn,
+                           Scheme scheme) {
+  const storage::StoredList& list = view->list(vn);
+  if (list.count == 0 || list.PageSpan() == 0) return WidthFactor(scheme);
+  double per_entry = static_cast<double>(list.PageSpan()) *
+                     storage::Pager::kPageSize /
+                     static_cast<double>(list.count);
+  return std::max(0.25, per_entry / 12.0);
+}
+
 /// CPU weight of one inter-view structural comparison, per entry of the
 /// SMALLER edge side: the interleaving check advances the sparser list and
 /// probes the denser one, so its cost tracks min(|L_parent|, |L_child|).
@@ -67,8 +85,19 @@ constexpr double kInterViewEdgeCpu = 0.65;
 /// even though the anchor is tiny (XMark Q6), and a 2× reduction (XMark Q1)
 /// is eaten by the chase overhead — only order-of-magnitude skew like N8's
 /// 236 description anchors over a 107k-entry //para list wins outright.
-constexpr double kSkipCost = 2.5;
-constexpr double kSkipFanout = 8.0;
+/// Block-mode cursors gallop over fence keys and binary-search inside one
+/// decoded page per landing, so a pointer-directed skip costs O(log) probes
+/// instead of the scalar path's per-entry stepping: both the chase weight
+/// and the per-anchor jump overhead shrink, and skipping starts paying at
+/// milder anchor skew.
+double SkipCost() {
+  return storage::DefaultCursorMode() == storage::CursorMode::kBlock ? 1.6
+                                                                     : 2.5;
+}
+double SkipFanout() {
+  return storage::DefaultCursorMode() == storage::CursorMode::kBlock ? 4.0
+                                                                     : 8.0;
+}
 /// Per-anchor-entry weight of recovering a removed trunk node through child
 /// pointers in the output pass: every surviving segment match chases and
 /// enumerates, which costs well more than scanning the dropped list would
@@ -270,6 +299,9 @@ uint64_t Planner::EnvFingerprint(
   };
   mix(static_cast<uint64_t>(algorithm) + 1);
   mix(static_cast<uint64_t>(mode) + 1);
+  // Cursor mode changes the skip-cost calibration below; a cached plan from
+  // the other mode would carry the wrong algorithm choice.
+  mix(static_cast<uint64_t>(storage::DefaultCursorMode()) + 1);
   for (const MaterializedView* v : views) {
     mix(reinterpret_cast<uintptr_t>(v));
   }
@@ -423,7 +455,8 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
       for (int vn = 0; vn < static_cast<int>(cand.mapping.size()); ++vn) {
         size_t q = static_cast<size_t>(cand.mapping[static_cast<size_t>(vn)]);
         double len = shape.lengths[q];
-        ts += len * WidthFactor(scheme);
+        double width = MeasuredWidthFactor(view, vn, scheme);
+        ts += len * width;
         if (shape.kept[q] == 0 && HasPointers(scheme)) {
           // Removed from Q': branch predicates verify cheaply with early
           // exit, trunk nodes enumerate into every output tuple.
@@ -436,9 +469,9 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
           if (HasPointers(scheme) && shape.eq[q] > 0 &&
               !std::isinf(partner) && q < est_qualifying.size()) {
             effective = std::min(
-                len, est_qualifying[q] * kSkipCost + partner * kSkipFanout);
+                len, est_qualifying[q] * SkipCost() + partner * SkipFanout());
           }
-          vj += effective * WidthFactor(scheme);
+          vj += effective * width;
         }
       }
       if (ts < best_ts) {

@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "storage/list_codec.h"
 #include "storage/manifest.h"
 
 namespace viewjoin::storage {
@@ -73,6 +74,60 @@ void CheckViewRanges(const ManifestViewRecord& record, uint32_t durable,
   check(record.tuple_list, "tuple list");
 }
 
+/// Verifies one delta-format list end to end: directory invariants, then a
+/// full decode of every page with record counts and fence keys cross-checked
+/// against the directory. `pager` is the read-only page source; pages that
+/// fail their checksum are skipped here (the page scan already reported
+/// them). Findings are appended as "epoch <e> (<pattern>): <what> <problem>".
+void CheckDeltaList(Pager& pager, const ManifestViewRecord& record,
+                    const StoredList& list, const std::string& what,
+                    std::vector<std::string>* bad) {
+  auto report = [&](const std::string& problem) {
+    bad->push_back("epoch " + std::to_string(record.epoch) + " (" +
+                   record.pattern + "): " + what + " " + problem);
+  };
+  const size_t pages = list.page_first_entry.size();
+  if (pages == 0 || list.page_first_entry.front() != 0 ||
+      list.page_first_entry.back() >= list.count ||
+      list.page_first_start.size() != pages) {
+    report("has an inconsistent page directory");
+    return;
+  }
+  for (size_t p = 1; p < pages; ++p) {
+    if (list.page_first_entry[p] <= list.page_first_entry[p - 1] ||
+        list.page_first_start[p] < list.page_first_start[p - 1]) {
+      report("has a non-monotone page directory at slot " + std::to_string(p));
+      return;
+    }
+  }
+  const RecordLayout& layout = list.layout;
+  std::vector<uint8_t> page(Pager::kPageSize);
+  std::vector<uint32_t> starts, ends, levels, pointers;
+  for (uint32_t p = 0; p < pages; ++p) {
+    if (!pager.VerifyPage(list.first_page + p, page.data()).ok()) continue;
+    const uint32_t first = list.page_first_entry[p];
+    const uint32_t expected = list.RecordsOnPage(p);
+    starts.assign(static_cast<size_t>(expected) * layout.label_count, 0);
+    ends.assign(starts.size(), 0);
+    levels.assign(starts.size(), 0);
+    pointers.assign(static_cast<size_t>(expected) * layout.PointerSlots(), 0);
+    util::Status decoded = DecodeDeltaPage(
+        page.data(), layout, first, expected, starts.data(), ends.data(),
+        levels.data(), layout.has_pointers ? pointers.data() : nullptr);
+    if (!decoded.ok()) {
+      report("page " + std::to_string(p) + " fails delta decode: " +
+             decoded.ToString());
+      return;
+    }
+    if (starts[0] != list.page_first_start[p]) {
+      report("page " + std::to_string(p) + " first start " +
+             std::to_string(starts[0]) + " disagrees with fence key " +
+             std::to_string(list.page_first_start[p]));
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 FsckCatalogReport FsckCatalog(const std::string& path) {
@@ -106,6 +161,27 @@ FsckCatalogReport FsckCatalog(const std::string& path) {
   }
   for (const ManifestViewRecord& record : journal.installed) {
     CheckViewRanges(record, journal.durable_page_count, &report.bad_views);
+  }
+  // Delta-format lists: a checksum-clean page can still carry a lying varint
+  // payload (truncated stream, impossible deltas), which the page scan above
+  // cannot see. Decode every compressed page and cross-check the directory.
+  if (report.pager.file_status.ok()) {
+    Pager pager(path, Pager::Mode::kReadOnly);
+    if (pager.init_status().ok()) {
+      auto check = [&](const ManifestViewRecord& record,
+                       const StoredList& list, const std::string& what) {
+        if (list.format != ListFormat::kDelta || list.count == 0) return;
+        ++report.compressed_lists_checked;
+        CheckDeltaList(pager, record, list, what,
+                       &report.bad_compressed_lists);
+      };
+      for (const ManifestViewRecord& record : journal.installed) {
+        for (size_t q = 0; q < record.lists.size(); ++q) {
+          check(record, record.lists[q], "list " + std::to_string(q));
+        }
+        check(record, record.tuple_list, "tuple list");
+      }
+    }
   }
 
   // Data file vs. durable prefix, from raw size — the pager rejects a file
@@ -255,7 +331,11 @@ std::string ToJson(const FsckCatalogReport& report) {
   out += "  \"corrupt_durable_pages\": " +
          std::to_string(report.corrupt_durable_pages) + ",\n";
   out += "  \"data_missing\": " + JsonBool(report.data_missing) + ",\n";
-  out += "  \"bad_views\": " + JsonStringArray(report.bad_views) + "\n";
+  out += "  \"bad_views\": " + JsonStringArray(report.bad_views) + ",\n";
+  out += "  \"compressed_lists_checked\": " +
+         std::to_string(report.compressed_lists_checked) + ",\n";
+  out += "  \"bad_compressed_lists\": " +
+         JsonStringArray(report.bad_compressed_lists) + "\n";
   out += "}\n";
   return out;
 }

@@ -79,6 +79,14 @@ struct FsckCatalogReport {
   /// Install records whose stored lists point outside the durable prefix,
   /// as "epoch <e> (<pattern>): <problem>".
   std::vector<std::string> bad_views;
+  /// Delta-format lists whose pages were decoded end to end (directory
+  /// validated, every varint page decoded, record counts and fence keys
+  /// cross-checked).
+  size_t compressed_lists_checked = 0;
+  /// Delta-format findings, as "epoch <e> (<pattern>): <list> <problem>".
+  /// Pages already counted in corrupt_durable_pages are not re-reported;
+  /// these are pages whose checksums pass but whose varint payload lies.
+  std::vector<std::string> bad_compressed_lists;
 
   /// Nothing wrong at all.
   bool clean() const {
@@ -90,6 +98,7 @@ struct FsckCatalogReport {
     return corrupt_durable_pages > 0 ||
            manifest_status.code() == util::StatusCode::kCorruption ||
            data_missing || !bad_views.empty() ||
+           !bad_compressed_lists.empty() ||
            (pager.file_status.code() == util::StatusCode::kCorruption &&
             !pager_tail_partial);
   }

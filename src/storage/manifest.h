@@ -66,6 +66,10 @@ struct ManifestReplayResult {
   /// The file held a pre-journal plain-text manifest ("VIEWJOINCAT"); the
   /// caller must parse it with the legacy loader and convert.
   bool legacy_text = false;
+  /// Format version from the journal header (1 = fixed-format lists only,
+  /// 2 = versioned StoredList encoding with list format + page directory).
+  /// Catalogs upgrade v1 journals wholesale via Checkpoint after open.
+  uint32_t header_version = 0;
 };
 
 /// Append-only, checksummed journal of view-lifecycle events — the
@@ -75,7 +79,7 @@ struct ManifestReplayResult {
 ///
 /// On-disk layout:
 ///
-///   [ 16-byte header: magic "VJMANIFJ", u32 version (1), u32 CRC32 ]
+///   [ 16-byte header: magic "VJMANIFJ", u32 version (1 or 2), u32 CRC32 ]
 ///   [ record ]*
 ///
 /// where each record is
@@ -100,7 +104,10 @@ struct ManifestReplayResult {
 /// Checkpoint are static and operate on paths.
 class ManifestJournal {
  public:
-  static constexpr uint32_t kFormatVersion = 1;
+  /// v1: fixed-format lists, 17-byte StoredList encoding. v2: adds a list
+  /// format byte and the delta page directory / fence keys per list. Replay
+  /// accepts both; writers always emit kFormatVersion.
+  static constexpr uint32_t kFormatVersion = 2;
   /// Sanity cap on one record's payload (a view with thousands of lists is
   /// still far below this); a larger length prefix is treated as garbage.
   static constexpr uint32_t kMaxPayload = 1u << 24;

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <set>
 
+#include "storage/list_codec.h"
 #include "tpq/evaluator.h"
 #include "util/check.h"
 #include "util/fault_injection.h"
@@ -55,20 +56,52 @@ struct ViewCatalog::StagedPages {
 
 util::StatusOr<StoredList> ViewCatalog::StageList(
     StagedPages& staged, const std::vector<uint8_t>& bytes, RecordLayout layout,
-    uint32_t count) {
+    uint32_t count, ListFormat format) {
   StoredList list;
   list.layout = layout;
   list.count = count;
+  list.format = format;
+  uint32_t record_size = layout.RecordSize();
+  // A record wider than one page has no (page, offset) representation:
+  // RecordsPerPage() would be 0 and every PageOf/OffsetOf a division by
+  // zero. Wide fan-out patterns (LE child pointers grow the record by 4
+  // bytes per pc/ad child) must be rejected here, at materialization, with
+  // a typed error — not crash in the cursor arithmetic later.
+  if (record_size == 0 || record_size > Pager::kPageSize) {
+    return util::Status::InvalidArgument(
+        "list record layout (" + std::to_string(record_size) +
+        " bytes) does not fit a " + std::to_string(Pager::kPageSize) +
+        "-byte page; pattern fan-out too wide to materialize");
+  }
   if (count == 0) {
     list.first_page = kInvalidPage;
     return list;
   }
-  uint32_t record_size = layout.RecordSize();
+  if (format == ListFormat::kDelta) {
+    util::StatusOr<DeltaEncoded> encoded =
+        EncodeDeltaList(bytes.data(), count, layout);
+    if (!encoded.ok()) return encoded.status();
+    uint32_t pages = static_cast<uint32_t>(encoded->pages.size());
+    list.first_page = staged.page_count;  // relative until installed
+    list.page_first_entry = std::move(encoded->page_first_entry);
+    list.page_first_start = std::move(encoded->page_first_start);
+    staged.payload.resize(
+        static_cast<size_t>(staged.page_count + pages) * Pager::kPageSize, 0);
+    for (uint32_t p = 0; p < pages; ++p) {
+      std::memcpy(staged.payload.data() +
+                      static_cast<size_t>(staged.page_count + p) *
+                          Pager::kPageSize,
+                  encoded->pages[p].data(), Pager::kPageSize);
+    }
+    staged.page_count += pages;
+    return list;
+  }
   uint32_t per_page = static_cast<uint32_t>(Pager::kPageSize) / record_size;
   uint32_t pages = (count + per_page - 1) / per_page;
   list.first_page = staged.page_count;  // relative until installed
   staged.payload.resize(
       static_cast<size_t>(staged.page_count + pages) * Pager::kPageSize, 0);
+  list.page_first_start.reserve(pages);
   for (uint32_t p = 0; p < pages; ++p) {
     uint32_t first_record = p * per_page;
     uint32_t n_records = std::min(per_page, count - first_record);
@@ -77,6 +110,12 @@ util::StatusOr<StoredList> ViewCatalog::StageList(
                         Pager::kPageSize,
                 bytes.data() + static_cast<size_t>(first_record) * record_size,
                 static_cast<size_t>(n_records) * record_size);
+    // Fence key: the first record's start label, for page-level galloping.
+    uint32_t fence;
+    std::memcpy(&fence,
+                bytes.data() + static_cast<size_t>(first_record) * record_size,
+                4);
+    list.page_first_start.push_back(fence);
   }
   staged.page_count += pages;
   return list;
@@ -100,11 +139,27 @@ ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
   }
 }
 
+namespace {
+
+ListFormat DefaultListFormat() {
+  const char* env = std::getenv("VIEWJOIN_LIST_FORMAT");
+  if (env == nullptr || *env == '\0') return ListFormat::kDelta;
+  if (std::strcmp(env, "fixed") == 0) return ListFormat::kFixed;
+  if (std::strcmp(env, "delta") == 0) return ListFormat::kDelta;
+  VJ_CHECK(false) << "VIEWJOIN_LIST_FORMAT must be \"fixed\" or \"delta\", "
+                     "got \""
+                  << env << "\"";
+  return ListFormat::kDelta;
+}
+
+}  // namespace
+
 ViewCatalog::ViewCatalog(const std::string& path, size_t pool_pages,
                          bool persistent, Pager::Mode mode)
     : pager_(std::make_unique<Pager>(path, mode)),
       pool_(std::make_unique<BufferPool>(pager_.get(), pool_pages)),
-      persistent_(persistent) {}
+      persistent_(persistent),
+      list_format_(DefaultListFormat()) {}
 
 ViewCatalog::~ViewCatalog() { (void)Close(); }
 
@@ -214,6 +269,26 @@ bool ListInRange(const StoredList& list, uint32_t pages) {
   if (list.count == 0) return true;
   uint32_t record = list.layout.RecordSize();
   if (record == 0 || record > Pager::kPageSize) return false;
+  if (list.format == ListFormat::kDelta) {
+    // Delta lists locate records through the page directory; a manifest with
+    // a non-monotone or truncated directory would send cursors to arbitrary
+    // offsets, so reject it as decisively as an out-of-range page.
+    if (list.page_first_entry.empty() ||
+        list.page_first_entry.size() != list.page_first_start.size() ||
+        list.page_first_entry.front() != 0 ||
+        list.page_first_entry.back() >= list.count) {
+      return false;
+    }
+    for (size_t p = 1; p < list.page_first_entry.size(); ++p) {
+      if (list.page_first_entry[p] <= list.page_first_entry[p - 1] ||
+          list.page_first_start[p] < list.page_first_start[p - 1]) {
+        return false;
+      }
+    }
+  } else if (!list.page_first_start.empty() &&
+             list.page_first_start.size() != list.PageSpan()) {
+    return false;
+  }
   return list.first_page != kInvalidPage && list.first_page < pages &&
          list.PageSpan() <= pages - list.first_page;
 }
@@ -376,6 +451,17 @@ util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
       queue_rebuild(pattern, view->scheme_);
     }
   }
+  // A v1 journal decodes fine, but appending v2-encoded records to it would
+  // produce a mixed-version file no single header version describes.
+  // Rewrite it wholesale at the current version before any append happens
+  // (the views just built re-encode through the v2 writer; the data file is
+  // untouched).
+  if (replay.header_version < ManifestJournal::kFormatVersion) {
+    util::Status upgraded = catalog->Checkpoint();
+    if (!upgraded.ok()) return upgraded;
+    report.journal_upgraded = true;
+  }
+
   catalog->recovery_ = std::move(report);
   return catalog;
 }
@@ -666,7 +752,8 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterialize(
     layout.label_count = static_cast<uint32_t>(pattern.size());
     StagedPages staged;
     util::StatusOr<StoredList> tuples =
-        StageList(staged, bytes, layout, static_cast<uint32_t>(sink.count()));
+        StageList(staged, bytes, layout, static_cast<uint32_t>(sink.count()),
+                  list_format_);
     if (!tuples.ok()) return tuples.status();
     view->tuple_list_ = *tuples;
     view->match_count_ = sink.count();
@@ -775,7 +862,8 @@ util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
       }
     }
     util::StatusOr<StoredList> staged_list =
-        StageList(staged, bytes, layout, static_cast<uint32_t>(lq.size()));
+        StageList(staged, bytes, layout, static_cast<uint32_t>(lq.size()),
+                  list_format_);
     if (!staged_list.ok()) return staged_list.status();
     view->lists_[q] = *staged_list;
   }

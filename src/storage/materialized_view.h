@@ -111,6 +111,9 @@ struct RecoveryReport {
   int orphan_shadows_removed = 0;
   /// A pre-journal plain-text manifest was converted to the journal format.
   bool legacy_manifest_converted = false;
+  /// A v1 binary journal was rewritten at the current format version (via a
+  /// checkpoint) so subsequent appends carry the versioned list encoding.
+  bool journal_upgraded = false;
   /// Views whose (re-)materialization a crash rolled back, plus quarantined
   /// views with no healthy replacement: the store serves without them, but a
   /// caller holding the source document should re-materialize each one.
@@ -279,6 +282,12 @@ class ViewCatalog {
   const MaterializedView* FindView(const std::string& pattern_string,
                                    Scheme scheme) const;
 
+  /// Physical encoding for lists materialized after the call (existing views
+  /// keep the format they were built with; both read fine side by side).
+  /// Defaults from VIEWJOIN_LIST_FORMAT ("fixed"/"delta"; delta if unset).
+  ListFormat list_format() const { return list_format_; }
+  void set_list_format(ListFormat format) { list_format_ = format; }
+
  private:
   /// Payload pages of a view staged in memory before installation.
   struct StagedPages;
@@ -286,13 +295,16 @@ class ViewCatalog {
   ViewCatalog(const std::string& path, size_t pool_pages, bool persistent,
               Pager::Mode mode);
 
-  /// Lays `bytes` (records of `layout`) out into staged pages; the returned
-  /// list's first_page is *relative* to the staged build until InstallView
-  /// rebases it onto final page ids.
+  /// Lays `bytes` (records of `layout`) out into staged pages — verbatim
+  /// fixed records or delta-compressed varint pages per `format`; the
+  /// returned list's first_page is *relative* to the staged build until
+  /// InstallView rebases it onto final page ids. InvalidArgument when a
+  /// record cannot fit one page (pathological pattern fan-out).
   static util::StatusOr<StoredList> StageList(StagedPages& staged,
                                               const std::vector<uint8_t>& bytes,
                                               RecordLayout layout,
-                                              uint32_t count);
+                                              uint32_t count,
+                                              ListFormat format);
 
   /// The shadow-materialization install protocol (see class comment). Takes
   /// ownership of `view`; on success the registered pointer is returned.
@@ -329,6 +341,7 @@ class ViewCatalog {
   std::atomic<uint64_t> epoch_{1};
   RecoveryReport recovery_;
   bool persistent_ = false;
+  ListFormat list_format_ = ListFormat::kDelta;
 };
 
 }  // namespace viewjoin::storage

@@ -1,0 +1,109 @@
+#ifndef VIEWJOIN_STORAGE_SIMD_SCAN_H_
+#define VIEWJOIN_STORAGE_SIMD_SCAN_H_
+
+#include <cstdint>
+
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(_M_ARM64EC))
+#define VIEWJOIN_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#define VIEWJOIN_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace viewjoin::storage::simd {
+
+/// Vectorized scans over uint32 key arrays — the in-block primitives of the
+/// block cursor (see stored_list.h). Two shapes:
+///
+///   FirstGe      : linear scan for the first element >= bound. For keys with
+///                  no sort order (region *ends* are not monotone within a
+///                  list — a nested region ends before its ancestor).
+///   LowerBoundGe : branch-free binary search narrowing to a SIMD tail scan.
+///                  For sorted keys (region *starts* are in document order).
+///
+/// Both return `n` when no element qualifies. SSE2 has no unsigned compare,
+/// so bounds and keys are biased by 0x80000000 (flipping the sign bit maps
+/// unsigned order onto signed order). The scalar fallback keeps the exact
+/// same semantics on any other target.
+
+/// Name of the compiled-in backend, for bench metadata.
+inline const char* BackendName() {
+#if defined(VIEWJOIN_SIMD_SSE2)
+  return "sse2";
+#elif defined(VIEWJOIN_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+/// First index i in [0, n) with v[i] >= bound, else n. No sort assumption.
+inline uint32_t FirstGe(const uint32_t* v, uint32_t n, uint32_t bound) {
+  uint32_t i = 0;
+#if defined(VIEWJOIN_SIMD_SSE2)
+  const __m128i bias = _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vb =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(bound)), bias);
+  for (; i + 4 <= n; i += 4) {
+    __m128i keys = _mm_xor_si128(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i)), bias);
+    // keys >= bound  <=>  !(keys < bound); cmplt gives per-lane masks.
+    __m128i lt = _mm_cmplt_epi32(keys, vb);
+    int mask = _mm_movemask_ps(_mm_castsi128_ps(lt));
+    if (mask != 0xF) {
+      // Lowest lane whose "less-than" bit is clear.
+      for (uint32_t lane = 0; lane < 4; ++lane) {
+        if ((mask & (1 << lane)) == 0) return i + lane;
+      }
+    }
+  }
+#elif defined(VIEWJOIN_SIMD_NEON)
+  const uint32x4_t vb = vdupq_n_u32(bound);
+  for (; i + 4 <= n; i += 4) {
+    uint32x4_t keys = vld1q_u32(v + i);
+    uint32x4_t ge = vcgeq_u32(keys, vb);
+    // Any lane >= bound? (max of the mask is 0xFFFFFFFF when so.)
+    if (vmaxvq_u32(ge) != 0) {
+      for (uint32_t lane = 0; lane < 4; ++lane) {
+        if (v[i + lane] >= bound) return i + lane;
+      }
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (v[i] >= bound) return i;
+  }
+  return n;
+}
+
+/// First index i in [0, n) with v[i] > bound, else n. No sort assumption.
+inline uint32_t FirstGt(const uint32_t* v, uint32_t n, uint32_t bound) {
+  if (bound == 0xFFFFFFFFu) return n;  // nothing exceeds the max key
+  return FirstGe(v, n, bound + 1);
+}
+
+/// First index i in [0, n) with v[i] >= bound over a *sorted* array, else n.
+/// Branch-free binary search down to a 16-element window, then FirstGe.
+inline uint32_t LowerBoundGe(const uint32_t* v, uint32_t n, uint32_t bound) {
+  uint32_t lo = 0;
+  uint32_t len = n;
+  while (len > 16) {
+    uint32_t half = len / 2;
+    // Conditional move, not a branch: the comparison's result arithmetically
+    // selects the half to keep.
+    lo += (v[lo + half - 1] < bound) ? half : 0;
+    len -= half;
+  }
+  return lo + FirstGe(v + lo, len, bound);
+}
+
+/// First index i in [0, n) with v[i] > bound over a *sorted* array, else n.
+inline uint32_t LowerBoundGt(const uint32_t* v, uint32_t n, uint32_t bound) {
+  if (bound == 0xFFFFFFFFu) return n;
+  return LowerBoundGe(v, n, bound + 1);
+}
+
+}  // namespace viewjoin::storage::simd
+
+#endif  // VIEWJOIN_STORAGE_SIMD_SCAN_H_

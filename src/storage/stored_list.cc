@@ -1,0 +1,153 @@
+#include "storage/stored_list.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "storage/list_codec.h"
+
+namespace viewjoin::storage {
+namespace {
+
+// -1 = not yet resolved from the environment.
+std::atomic<int> g_cursor_mode{-1};
+
+}  // namespace
+
+CursorMode DefaultCursorMode() {
+  int mode = g_cursor_mode.load(std::memory_order_relaxed);
+  if (mode < 0) {
+    const char* env = std::getenv("VIEWJOIN_CURSOR");
+    CursorMode resolved = CursorMode::kBlock;
+    if (env != nullptr && *env != '\0') {
+      if (std::strcmp(env, "scalar") == 0) {
+        resolved = CursorMode::kScalar;
+      } else if (std::strcmp(env, "block") == 0) {
+        resolved = CursorMode::kBlock;
+      } else {
+        VJ_CHECK(false) << "VIEWJOIN_CURSOR must be \"scalar\" or \"block\", "
+                           "got \""
+                        << env << "\"";
+      }
+    }
+    mode = static_cast<int>(resolved);
+    g_cursor_mode.store(mode, std::memory_order_relaxed);
+  }
+  return static_cast<CursorMode>(mode);
+}
+
+void SetDefaultCursorMode(CursorMode mode) {
+  g_cursor_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+void ListCursor::EnsureBlock(EntryIndex i, uint32_t wanted) const {
+  VJ_DCHECK(list_ != nullptr && i < list_->count);
+  const RecordLayout& layout = list_->layout;
+  const uint32_t slots = layout.PointerSlots();
+  if (!(block_.valid && i >= block_.first && i < block_.first + block_.count)) {
+    // Land on the page holding `i`. Fixed pages decode nothing yet; delta
+    // pages decode everything (varints have no random access).
+    const uint32_t page = list_->PageIndexOf(i);
+    block_.first = list_->FirstEntryOfPage(page);
+    block_.count = list_->RecordsOnPage(page);
+    block_.fields = 0;
+    block_.point_reads = 0;
+    block_.valid = true;
+    pin_ = pool_->GetPage(list_->first_page + page);
+    if (list_->format == ListFormat::kDelta) {
+      const uint32_t n = block_.count;
+      block_.starts.resize(static_cast<size_t>(n) * layout.label_count);
+      block_.ends.resize(static_cast<size_t>(n) * layout.label_count);
+      block_.levels.resize(static_cast<size_t>(n) * layout.label_count);
+      block_.pointers.resize(static_cast<size_t>(n) * slots);
+      bool ok = DecodeDeltaPage(pin_.data(), layout, block_.first, n,
+                                block_.starts.data(), block_.ends.data(),
+                                block_.levels.data(),
+                                slots > 0 ? block_.pointers.data() : nullptr)
+                    .ok();
+      if (!ok) {
+        // Failed delta decode (torn/corrupt page): present sentinel records,
+        // mirroring what a poison page yields under the fixed format.
+        // Cursors keep working; the sentinel labels join nothing and the
+        // catalog's checksum/scrub machinery owns the actual fault handling.
+        std::fill(block_.starts.begin(), block_.starts.end(), 0xFFFFFFFFu);
+        std::fill(block_.ends.begin(), block_.ends.end(), 0xFFFFFFFFu);
+        std::fill(block_.levels.begin(), block_.levels.end(), 0u);
+        std::fill(block_.pointers.begin(), block_.pointers.end(), kNullEntry);
+      }
+      block_.fields = kAllBlockFields;
+      return;
+    }
+  }
+  uint32_t missing = wanted & ~block_.fields;
+  if (missing == 0) return;
+  // De-interleave the requested field classes of the fixed page into their
+  // SoA arrays — one strided pass per array, only for arrays actually
+  // wanted. A poison page (pool read failure) is 0xFF-filled, which these
+  // passes faithfully decode into the same 0xFFFFFFFF sentinels the scalar
+  // path reads.
+  const uint8_t* payload = pin_.data();
+  const uint32_t record_size = layout.RecordSize();
+  const uint32_t n = block_.count;
+  const size_t label_values = static_cast<size_t>(n) * layout.label_count;
+  for (uint32_t field = kStartsField; field <= kLevelsField; field <<= 1) {
+    if ((missing & field) == 0) continue;
+    std::vector<uint32_t>& out = field == kStartsField ? block_.starts
+                                 : field == kEndsField ? block_.ends
+                                                       : block_.levels;
+    const uint32_t base =
+        field == kStartsField ? 0u : field == kEndsField ? 4u : 8u;
+    out.resize(label_values);
+    for (uint32_t r = 0; r < n; ++r) {
+      const uint8_t* rec = payload + static_cast<size_t>(r) * record_size;
+      for (uint32_t k = 0; k < layout.label_count; ++k) {
+        std::memcpy(&out[r * layout.label_count + k], rec + 12 * k + base, 4);
+      }
+    }
+  }
+  if ((missing & kPointersField) != 0 && slots > 0) {
+    block_.pointers.resize(static_cast<size_t>(n) * slots);
+    for (uint32_t r = 0; r < n; ++r) {
+      const uint8_t* rec = payload + static_cast<size_t>(r) * record_size;
+      for (uint32_t s = 0; s < slots; ++s) {
+        std::memcpy(&block_.pointers[r * slots + s],
+                    rec + 12 * layout.label_count + 4 * s, 4);
+      }
+    }
+  }
+  block_.fields |= wanted;
+}
+
+uint32_t ListCursor::StartAt(EntryIndex i) const {
+  if (mem_labels_ != nullptr) return mem_labels_[i].start;
+  if (UseBlocks()) {
+    EnsureBlock(i, 0);
+    if ((block_.fields & kStartsField) != 0) {
+      return block_.starts[(i - block_.first) * list_->layout.label_count];
+    }
+    return FixedFieldAt(i - block_.first, 0);
+  }
+  PageId page = list_->PageOf(i);
+  if (!pin_.valid() || pin_.page() != page) pin_ = pool_->GetPage(page);
+  uint32_t start;
+  std::memcpy(&start, pin_.data() + list_->OffsetOf(i), 4);
+  return start;
+}
+
+uint32_t ListCursor::EndAt(EntryIndex i) const {
+  if (mem_labels_ != nullptr) return mem_labels_[i].end;
+  if (UseBlocks()) {
+    EnsureBlock(i, 0);
+    if ((block_.fields & kEndsField) != 0) {
+      return block_.ends[(i - block_.first) * list_->layout.label_count];
+    }
+    return FixedFieldAt(i - block_.first, 4);
+  }
+  PageId page = list_->PageOf(i);
+  if (!pin_.valid() || pin_.page() != page) pin_ = pool_->GetPage(page);
+  uint32_t end;
+  std::memcpy(&end, pin_.data() + list_->OffsetOf(i) + 4, 4);
+  return end;
+}
+
+}  // namespace viewjoin::storage

@@ -45,6 +45,8 @@ void FaultInjector::Reset() {
   crash_trigger_ = 0;
   crash_reached_ = 0;
   injected_crashes_ = 0;
+  recovery_barrier_armed_ = false;
+  recovery_cv_.notify_all();
 }
 
 void FaultInjector::ArmReadFault(uint64_t nth, int count) {
@@ -118,6 +120,22 @@ void FaultInjector::ArmCrashPoint(CrashPoint point, uint64_t nth) {
   crash_point_ = point;
   crash_trigger_ = nth == 0 ? 1 : nth;
   crash_reached_ = 0;
+}
+
+void FaultInjector::ArmRecoveryBarrier() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_barrier_armed_ = true;
+}
+
+void FaultInjector::ReleaseRecoveryBarrier() {
+  std::lock_guard<std::mutex> lock(mu_);
+  recovery_barrier_armed_ = false;
+  recovery_cv_.notify_all();
+}
+
+void FaultInjector::OnRecoveryPoint() {
+  std::unique_lock<std::mutex> lock(mu_);
+  recovery_cv_.wait(lock, [this] { return !recovery_barrier_armed_; });
 }
 
 bool FaultInjector::AtCrashPoint(CrashPoint point) {

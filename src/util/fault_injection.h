@@ -1,6 +1,7 @@
 #ifndef VIEWJOIN_UTIL_FAULT_INJECTION_H_
 #define VIEWJOIN_UTIL_FAULT_INJECTION_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <mutex>
 
@@ -72,6 +73,18 @@ class FaultInjector {
   /// is reached (1-based). Only one crash point is armed at a time.
   void ArmCrashPoint(CrashPoint point, uint64_t nth = 1);
 
+  /// Arms a barrier at the engine's post-recovery point: after a faulting
+  /// query quarantines and rebuilds a view, its worker blocks inside
+  /// OnRecoveryPoint() until ReleaseRecoveryBarrier() (or Reset()) runs.
+  /// Lets a test pin an event — e.g. flipping a cancellation token —
+  /// deterministically between the rebuild and the retry run, with no
+  /// sleep-based timing.
+  void ArmRecoveryBarrier();
+
+  /// Releases (and disarms) an armed recovery barrier. Safe to call before
+  /// the barrier is reached: the recovering worker then passes through.
+  void ReleaseRecoveryBarrier();
+
   bool armed() const {
     std::lock_guard<std::mutex> lock(mu_);
     return read_remaining_ != 0 || write_remaining_ != 0 ||
@@ -98,6 +111,10 @@ class FaultInjector {
   /// True (once) when execution reaches the armed crash point; the caller
   /// must then abandon the operation mid-flight. Unmatched points never fire.
   bool AtCrashPoint(CrashPoint point);
+
+  /// Engine hook at the quarantine-recovery retry point: blocks while an
+  /// armed recovery barrier is unreleased, no-op otherwise.
+  void OnRecoveryPoint();
 
   // ---- Observability -------------------------------------------------------
 
@@ -151,6 +168,9 @@ class FaultInjector {
   uint64_t crash_trigger_ = 0;   // nth reach of the point at which it fires
   uint64_t crash_reached_ = 0;   // times the armed point has been reached
   uint64_t injected_crashes_ = 0;
+
+  std::condition_variable recovery_cv_;
+  bool recovery_barrier_armed_ = false;
 };
 
 // ---- Network fault injection ----------------------------------------------

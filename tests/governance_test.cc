@@ -175,6 +175,49 @@ TEST_F(SlowGovernanceTest, MidRunCancellationInterruptsTheScan) {
   EXPECT_EQ(engine.catalog()->pool()->pinned_frames(), 0u);
 }
 
+// A FindFirstStart gallop must observe cancellation at a slow checkpoint
+// *inside* the search — a skip that only polls governance between whole
+// seeks would overshoot its cancellation by an unbounded amount on a long
+// gallop — and the position reported by the cut-short search must still be
+// sound (no live entry skipped).
+TEST(CancelMidGallopTest, GallopObservesCancellationBetweenProbes) {
+  util::Rng rng(97);
+  xml::Document doc = testing::RandomDoc(&rng, 20000, {"a", "b"});
+  storage::ViewCatalog catalog(TempPath("gallop_cancel.db"), 128);
+  const MaterializedView* view =
+      catalog.Materialize(doc, MustParse("//a//b"), Scheme::kLinkedElement);
+  const storage::StoredList* list = &view->list(1);
+  ASSERT_GT(list->count, 1000u);
+
+  storage::ListCursor reader(list, catalog.pool());
+  std::vector<uint32_t> starts(list->count);
+  for (uint32_t i = 0; i < list->count; ++i, reader.Next()) {
+    starts[i] = reader.LabelAt().start;
+  }
+  uint32_t bound = starts[list->count - 2];
+
+  std::atomic<bool> cancel{true};
+  algo::QueryContext ctx;
+  ctx.set_cancel_token(&cancel);
+  // Drain the checkpoint interval down to 2 remaining charges: the gallop's
+  // first probe passes, its second reaches the slow checkpoint, which sees
+  // the flipped token — the abort lands between probes, mid-search.
+  ASSERT_FALSE(ctx.CheckpointN(algo::QueryContext::kCheckInterval - 2));
+
+  storage::ListCursor cursor(list, catalog.pool());
+  uint64_t probes = 0;
+  storage::SeekOutcome out =
+      cursor.FindFirstStart(bound, /*strict=*/false, &probes,
+                            [&](uint32_t n) { return ctx.CheckpointN(n); });
+  EXPECT_TRUE(out.aborted);
+  EXPECT_TRUE(ctx.aborted());
+  EXPECT_EQ(ctx.reason(), algo::AbortReason::kCancelled);
+  EXPECT_EQ(probes, 2u);
+  for (uint32_t i = 0; i < out.pos; ++i) {
+    ASSERT_LT(starts[i], bound) << "aborted seek skipped a live entry";
+  }
+}
+
 TEST_F(SlowGovernanceTest, BatchWatchdogFiresPerQueryDeadlines) {
   std::string path = TempPath("gov_watchdog.db");
   Engine engine(doc_, path);

@@ -139,6 +139,46 @@ TEST(PlanStepStatsTest, StepColumnsSumToRunTotals) {
   }
 }
 
+// Same contract on a skip-heavy run: a highly selective query over LE views
+// makes ViewJoin skip via pointer jumps and galloping seeks rather than
+// scan. Gallop *probes* are real work — each touches a fence key or an
+// entry — so they must land in entries_scanned exactly like stepped-over
+// entries, and the per-step columns must still reconcile to the totals.
+TEST(PlanStepStatsTest, GallopProbesAreAccountedOnSkipHeavyRuns) {
+  xml::Document doc;
+  doc.StartElement("r");
+  // 3000 a(b) groups; only the last few contain the d the query needs, so
+  // evaluation leaps over nearly the whole b list.
+  for (int i = 0; i < 3000; ++i) {
+    doc.StartElement("a");
+    doc.StartElement("b");
+    if (i >= 2995) {
+      doc.StartElement("d");
+      doc.EndElement();
+    }
+    doc.EndElement();
+    doc.EndElement();
+  }
+  doc.EndElement();
+  Engine engine(&doc, TempPath("plan_skip_sums.db"));
+  TreePattern query = MustParse("//a//b//d");
+  std::vector<const MaterializedView*> views = {
+      engine.AddView("//a//b", Scheme::kLinkedElement),
+      engine.AddView("//d", Scheme::kLinkedElement),
+  };
+  RunOptions run;
+  run.algorithm = Algorithm::kViewJoin;
+  RunResult r = engine.Execute(query, views, run);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.match_count, 5u);
+  EXPECT_GT(r.stats.pointer_jumps, 0u) << r.plan.text;
+  plan::StepStats sum;
+  for (const plan::PlanStep& step : r.plan.steps) sum += step.stats;
+  EXPECT_EQ(sum.entries_advanced, r.stats.entries_scanned);
+  EXPECT_EQ(sum.pointer_jumps, r.stats.pointer_jumps);
+  EXPECT_EQ(sum.pages_read, r.io.pages_read);
+}
+
 TEST(PlanCacheTest, RepeatedQueriesHitTheCache) {
   xml::Document doc = testing::MakeDoc("r(a(b(c) b) a(b(c c)))");
   Engine engine(&doc, TempPath("plan_cache_hit.db"));

@@ -544,14 +544,13 @@ TEST(BatchFaultIsolationTest, CorruptViewDegradesOnlyItsOwnQuery) {
 
 TEST(BatchFaultIsolationTest, CancelDuringQuarantineRecoveryLeaksNothing) {
   // A query hits a corrupt view, the engine quarantines and rebuilds it, and
-  // the caller cancels *during* that recovery: the canceller thread waits
-  // for the quarantine to register in the catalog before flipping the token,
-  // so the cancellation deterministically lands mid-recovery. The cancelled
-  // query must stop without leaking buffer pins or spill files, and sibling
-  // batch queries must complete with clean answers.
+  // the caller cancels *during* that recovery: an armed recovery barrier
+  // holds the victim's worker between the rebuild and the retry run until
+  // the canceller has flipped the token, so the cancellation lands
+  // mid-recovery deterministically — the retry can never outrun it. The
+  // cancelled query must stop without leaking buffer pins or spill files,
+  // and sibling batch queries must complete with clean answers.
   util::Rng rng(33);
-  // Large enough that the post-recovery re-evaluation spans many checkpoint
-  // intervals — the cancel verdict is observed well before it finishes.
   xml::Document doc = testing::RandomDoc(&rng, 40000, {"a", "b", "c", "d"});
   TreePattern q_bad = MustParse("//a//b");
   TreePattern q_good = MustParse("//c//d");
@@ -564,6 +563,7 @@ TEST(BatchFaultIsolationTest, CancelDuringQuarantineRecoveryLeaksNothing) {
   const MaterializedView* d = engine.AddView("//d", Scheme::kLinkedElement);
   fi->ArmWriteFault(util::WriteFault::kBitFlip, /*nth=*/1, /*count=*/1);
   const MaterializedView* b = engine.AddView("//b", Scheme::kLinkedElement);
+  fi->ArmRecoveryBarrier();
 
   std::atomic<bool> cancel{false};
   std::thread canceller([&] {
@@ -573,6 +573,9 @@ TEST(BatchFaultIsolationTest, CancelDuringQuarantineRecoveryLeaksNothing) {
       std::this_thread::yield();
     }
     cancel.store(true);
+    // The token is set; let the recovering worker proceed into the retry,
+    // whose first checkpoint observes the cancellation.
+    util::FaultInjector::Global().ReleaseRecoveryBarrier();
   });
 
   core::BatchQuery victim{&q_bad, {a, b}};
