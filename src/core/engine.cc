@@ -10,10 +10,13 @@
 
 #include "plan/operator.h"
 #include "plan/planner.h"
+#include "tpq/evaluator.h"
 #include "util/backoff.h"
 #include "util/check.h"
+#include "util/env.h"
 #include "util/fault_injection.h"
 #include "util/timer.h"
+#include "view/delta.h"
 
 namespace viewjoin::core {
 
@@ -103,6 +106,9 @@ Engine::Engine(const xml::Document* doc, const std::string& storage_path,
   scrubber_ = std::make_unique<storage::Scrubber>(
       catalog_.get(),
       [this](const MaterializedView* view) -> util::Status {
+        // Rebuilding reads the document; hold it shared so a live-update
+        // batch cannot mutate it mid-materialization.
+        std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
         std::lock_guard<std::mutex> recovery_lock(recovery_mu_);
         if (catalog_->ReplacementFor(view) != nullptr) {
           return util::Status::Ok();  // a sibling already healed it
@@ -121,6 +127,12 @@ Engine::Engine(const xml::Document* doc, const std::string& storage_path,
   }
 }
 
+Engine::Engine(xml::Document* doc, const std::string& storage_path,
+               const EngineOptions& options)
+    : Engine(static_cast<const xml::Document*>(doc), storage_path, options) {
+  mutable_doc_ = doc;
+}
+
 Engine::~Engine() { scrubber_->Stop(); }
 
 const MaterializedView* Engine::AddView(const std::string& xpath,
@@ -134,6 +146,7 @@ const MaterializedView* Engine::AddView(const std::string& xpath,
 
 const MaterializedView* Engine::AddView(const TreePattern& pattern,
                                         Scheme scheme) {
+  std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
   return catalog_->Materialize(*doc_, pattern, scheme);
 }
 
@@ -145,6 +158,7 @@ util::StatusOr<const MaterializedView*> Engine::TryAddView(
     return util::Status::InvalidArgument("bad view pattern '" + xpath +
                                          "': " + error);
   }
+  std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
   return catalog_->TryMaterialize(*doc_, *pattern, scheme);
 }
 
@@ -163,6 +177,11 @@ RunResult Engine::ExecuteInternal(
     const std::vector<const MaterializedView*>& views, const RunOptions& run,
     tpq::MatchSink* sink, const ExecContext& ctx) {
   RunResult result;
+  // The whole run holds the document shared: a live-update batch
+  // (ApplyUpdates) waits for in-flight queries before mutating, and this
+  // query keeps answering from the views it resolved — the previous epoch —
+  // even while a batch's replacement views install concurrently.
+  std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
   algo::QueryContext ungoverned;
   algo::QueryContext* gov =
       ctx.governance != nullptr ? ctx.governance : &ungoverned;
@@ -184,12 +203,17 @@ RunResult Engine::ExecuteInternal(
   storage::IoStats spill_before = ctx.spill->stats();
 
   // Document statistics feed the planner's cardinality estimates. Collecting
-  // them is one-time document preprocessing (one DFS per engine lifetime,
-  // like view materialization), so it happens before the query timer starts.
+  // them is document preprocessing (one DFS per document revision, like view
+  // materialization), so it happens before the query timer starts. Keyed on
+  // revision(): live updates invalidate them, and since the revision only
+  // moves under the exclusive document lock, a refill can never race a
+  // sibling query still reading the previous statistics.
   if (run.algorithm == Algorithm::kAuto) {
-    std::call_once(doc_stats_once_, [this] {
+    std::lock_guard<std::mutex> stats_lock(doc_stats_mu_);
+    if (!doc_stats_.has_value() || doc_stats_revision_ != doc_->revision()) {
       doc_stats_.emplace(xml::DocumentStatistics::Collect(*doc_));
-    });
+      doc_stats_revision_ = doc_->revision();
+    }
   }
 
   util::Timer timer;
@@ -727,6 +751,7 @@ RunResult Engine::ExecuteToView(
     result.error = "cancelled";
     return result;
   }
+  std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
   util::StatusOr<const MaterializedView*> stored =
       catalog_->TryMaterializeFromLists(*doc_, query, sink.TakeSorted(),
                                         result_scheme);
@@ -747,6 +772,7 @@ RunResult Engine::SelectAndExecute(
     Scheme scheme, const RunOptions& run, view::SelectionResult* selection) {
   util::Timer timer;
   view::SelectionOptions options;
+  std::shared_lock<std::shared_mutex> doc_lock(doc_mu_);
   view::SelectionResult picked = view::SelectViews(*doc_, query, candidates,
                                                    options);
   if (selection != nullptr) *selection = picked;
@@ -787,7 +813,185 @@ RunResult Engine::SelectAndExecute(
     remaining.deadline_ms =
         std::max(1.0, run.deadline_ms - timer.ElapsedMillis());
   }
+  doc_lock.unlock();  // Execute re-acquires shared; the lock is not recursive
   return Execute(query, views, remaining);
+}
+
+util::StatusOr<UpdateResult> Engine::ApplyUpdates(
+    const std::vector<UpdateOp>& ops) {
+  if (mutable_doc_ == nullptr) {
+    return util::Status::InvalidArgument(
+        "engine was constructed over a const document; live updates need "
+        "the mutable-document constructor");
+  }
+  util::StatusOr<int64_t> batch_cap =
+      util::ParseNonNegativeIntEnv("VIEWJOIN_UPDATE_BATCH_SIZE", 0);
+  if (!batch_cap.ok()) return batch_cap.status();
+  if (*batch_cap > 0 && ops.size() > static_cast<size_t>(*batch_cap)) {
+    return util::Status::InvalidArgument(
+        "update batch of " + std::to_string(ops.size()) +
+        " ops exceeds VIEWJOIN_UPDATE_BATCH_SIZE=" +
+        std::to_string(*batch_cap));
+  }
+  util::StatusOr<int64_t> spill_bytes = util::ParseNonNegativeIntEnv(
+      "VIEWJOIN_UPDATE_DELTA_SPILL_BYTES", 1 << 20);
+  if (!spill_bytes.ok()) return spill_bytes.status();
+
+  // One batch at a time engine-wide: the document mutation below and the
+  // catalog's update transaction must not interleave with a sibling batch.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+
+  UpdateResult out;
+
+  // Maintain the healthy tip of every replacement chain; quarantined views
+  // without a replacement are already unusable and stay behind.
+  std::vector<const MaterializedView*> maintain;
+  std::vector<tpq::TreePattern> patterns;
+  for (const MaterializedView* v : catalog_->ViewsSnapshot()) {
+    if (catalog_->IsQuarantined(v) || catalog_->ReplacementFor(v) != nullptr) {
+      continue;
+    }
+    maintain.push_back(v);
+    patterns.push_back(v->pattern());
+  }
+  view::DeltaCollector collector(mutable_doc_, std::move(patterns));
+
+  bool rebuild_all = false;
+  {
+    // Exclusive document phase: waits out in-flight queries, mutates, and
+    // collects per-op deltas. Queries admitted after this block see the new
+    // document; view maintenance below runs without the lock (the document
+    // is read-only again), so queries overlap the install.
+    std::unique_lock<std::shared_mutex> doc_lock(doc_mu_);
+    // Ops address nodes by their pre-batch labels; a mid-batch relabel
+    // multiplies every position by the gap, so scale later ops' coordinates.
+    uint32_t label_scale = 1;
+    for (size_t i = 0; i < ops.size(); ++i) {
+      const UpdateOp& op = ops[i];
+      auto fail = [&](const std::string& reason) {
+        out.failed.push_back("op " + std::to_string(i) + ": " + reason);
+      };
+      const xml::TagId target_tag = mutable_doc_->FindTag(op.target_tag);
+      const xml::NodeId target =
+          target_tag == xml::kInvalidTag
+              ? xml::kInvalidNode
+              : mutable_doc_->FindByStart(target_tag,
+                                          op.target_start * label_scale);
+      if (target == xml::kInvalidNode) {
+        fail("no live node <" + op.target_tag + "> with start " +
+             std::to_string(op.target_start));
+        continue;
+      }
+      if (op.kind == UpdateOp::Kind::kDeleteSubtree) {
+        if (!rebuild_all) collector.WillDelete(target);
+        util::Status deleted = mutable_doc_->DeleteSubtree(target);
+        if (!deleted.ok()) {
+          fail(deleted.ToString());
+          continue;
+        }
+        if (!rebuild_all) collector.DidDelete();
+        ++out.applied;
+        continue;
+      }
+      xml::NodeId after = xml::kInvalidNode;
+      if (op.after_start != 0) {
+        const xml::TagId after_tag = mutable_doc_->FindTag(op.after_tag);
+        after = after_tag == xml::kInvalidTag
+                    ? xml::kInvalidNode
+                    : mutable_doc_->FindByStart(after_tag,
+                                                op.after_start * label_scale);
+        if (after == xml::kInvalidNode) {
+          fail("no live node <" + op.after_tag + "> with start " +
+               std::to_string(op.after_start));
+          continue;
+        }
+      }
+      if (!rebuild_all) collector.WillInsert(target);
+      util::StatusOr<xml::NodeId> inserted =
+          mutable_doc_->InsertSubtree(op.subtree, target, after);
+      int relabels = 0;
+      while (!inserted.ok() &&
+             inserted.status().code() == util::StatusCode::kResourceExhausted &&
+             relabels < 3) {
+        // The gap at the insertion point filled up: widen every gap and
+        // retry. Stored labels are now all stale — every view rebuilds and
+        // the deltas collected so far are moot.
+        util::Status relabel = mutable_doc_->RelabelWithGap(16);
+        if (!relabel.ok()) {
+          inserted = relabel;
+          break;
+        }
+        ++relabels;
+        label_scale *= 16;
+        rebuild_all = true;
+        out.relabeled = true;
+        inserted = mutable_doc_->InsertSubtree(op.subtree, target, after);
+      }
+      if (!inserted.ok()) {
+        fail(inserted.status().ToString());
+        continue;  // the Will* scope stays open; the next op overwrites it
+      }
+      if (!rebuild_all) collector.DidInsert(*inserted);
+      ++out.applied;
+    }
+  }
+  out.doc_revision = mutable_doc_->revision();
+  if (out.applied == 0 && !out.relabeled) return out;  // document unchanged
+
+  // Turn the collected deltas into per-view maintenance specs. Views whose
+  // deltas are empty were untouched by the batch (an unchanged solution set
+  // implies an unchanged match set) and are skipped outright.
+  std::vector<view::PatternDeltas> deltas;
+  if (!rebuild_all) deltas = collector.TakeDeltas();
+  std::vector<storage::ViewCatalog::ViewUpdateSpec> specs;
+  for (size_t vi = 0; vi < maintain.size(); ++vi) {
+    const MaterializedView* v = maintain[vi];
+    if (!rebuild_all && deltas[vi].empty()) continue;
+    storage::ViewCatalog::ViewUpdateSpec spec;
+    spec.view = v;
+    if (rebuild_all || v->scheme() == Scheme::kTuple) {
+      spec.full_rebuild = true;
+      if (v->scheme() != Scheme::kTuple) {
+        spec.solutions =
+            tpq::NaiveEvaluator(*mutable_doc_, v->pattern()).SolutionNodes();
+      }
+    } else {
+      spec.deltas.added = std::move(deltas[vi].added);
+      spec.deltas.removed = std::move(deltas[vi].removed);
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) return out;  // no view touched: no transaction needed
+
+  // Maintenance phase: no lock on the document — it is read-only again, so
+  // concurrent queries proceed (answering from the still-registered old
+  // views) while the new epoch stages and installs. ApplyUpdateBatch
+  // registers the whole batch atomically after its commit record lands.
+  storage::ViewCatalog::UpdateBatchOptions batch_options;
+  batch_options.delta_spill_bytes = static_cast<size_t>(*spill_bytes);
+  util::StatusOr<storage::ViewCatalog::UpdateBatchResult> applied =
+      catalog_->ApplyUpdateBatch(*mutable_doc_, specs, batch_options);
+  if (!applied.ok()) return applied.status();
+  out.txn_epoch = applied->txn_epoch;
+  out.delta_maintained = applied->delta_maintained;
+  out.fully_rebuilt = applied->fully_rebuilt;
+
+  // Post-commit verification: read back every freshly patched view through
+  // the checksummed page path; a view that fails is quarantined (queries
+  // fall back to rebuilding it) rather than served.
+  for (const MaterializedView* fresh : applied->new_views) {
+    util::Status verified = catalog_->VerifyView(fresh);
+    if (!verified.ok()) {
+      catalog_->Quarantine(fresh);
+      ++out.quarantined;
+      out.failed.push_back("verify " + fresh->pattern().ToString() + ": " +
+                           verified.ToString());
+    }
+  }
+  // Plan-cache invalidation is implicit: entries key on the catalog epoch,
+  // which the transaction just bumped; document statistics re-key on
+  // revision() at the next kAuto query.
+  return out;
 }
 
 }  // namespace viewjoin::core

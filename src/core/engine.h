@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -203,6 +204,56 @@ struct RetryPolicy {
   double backoff_cap_ms = 100.0;
 };
 
+/// One live-document mutation of an Engine::ApplyUpdates batch. Nodes are
+/// addressed by (tag, start label) — the document-independent coordinates a
+/// client can learn from query results — as they were *before* the batch:
+/// if the batch triggers a relabel mid-way, earlier coordinates still
+/// resolve (labels scale uniformly).
+struct UpdateOp {
+  enum class Kind {
+    kInsertSubtree,  // graft `subtree` under the target node
+    kDeleteSubtree,  // remove the target node and everything below it
+  };
+  Kind kind = Kind::kInsertSubtree;
+
+  /// Insert: the parent to graft under. Delete: the subtree root to remove.
+  std::string target_tag;
+  uint32_t target_start = 0;
+
+  /// Insert position among the target's existing children: after the child
+  /// with these coordinates, or as the first child when after_start == 0.
+  std::string after_tag;
+  uint32_t after_start = 0;
+
+  /// The subtree to insert (ignored for deletes). Parse a fragment with
+  /// xml::ParseDocument and convert via xml::SpecFromDocument.
+  xml::SubtreeSpec subtree;
+};
+
+/// What Engine::ApplyUpdates did. Per-op failures (unknown coordinates, a
+/// malformed spec) are recorded and *skipped* — the rest of the batch still
+/// applies; callers check `failed` for partial rejection.
+struct UpdateResult {
+  /// Ops applied to the document (ops.size() - failed.size()).
+  size_t applied = 0;
+  /// "op <index>: <reason>" for every skipped op, in op order.
+  std::vector<std::string> failed;
+  /// A gap filled up and the whole document was relabelled (every view was
+  /// then rebuilt rather than delta-maintained).
+  bool relabeled = false;
+  /// Document revision after the batch (see xml::Document::revision()).
+  uint64_t doc_revision = 0;
+  /// Manifest epoch of the update transaction (0 when no view needed
+  /// maintenance — e.g. every op failed, or no view was affected).
+  uint64_t txn_epoch = 0;
+  /// Views patched by sorted delta merge vs rebuilt from scratch.
+  size_t delta_maintained = 0;
+  size_t fully_rebuilt = 0;
+  /// Views that failed post-commit verification and were quarantined (their
+  /// reasons are also appended to `failed`).
+  size_t quarantined = 0;
+};
+
 class Engine {
  public:
   using RetryPolicy = core::RetryPolicy;
@@ -254,6 +305,12 @@ class Engine {
   /// `storage_path` is the backing file for materialized views; a sibling
   /// file with suffix ".spill" backs disk-mode intermediate solutions.
   Engine(const xml::Document* doc, const std::string& storage_path,
+         const EngineOptions& options = {});
+
+  /// Mutable-document overload: everything the const overload does, plus
+  /// ApplyUpdates() becomes available. The engine never mutates the document
+  /// outside ApplyUpdates.
+  Engine(xml::Document* doc, const std::string& storage_path,
          const EngineOptions& options = {});
   ~Engine();
 
@@ -323,6 +380,29 @@ class Engine {
                           storage::Scheme scheme, const RunOptions& run = {},
                           view::SelectionResult* selection = nullptr);
 
+  /// Applies a batch of live-document updates and delta-maintains every
+  /// affected materialized view, atomically (one manifest update
+  /// transaction; see storage::ViewCatalog::ApplyUpdateBatch):
+  ///   - the document mutates under an exclusive lock, so concurrent
+  ///     queries (sessions, batches) never observe a half-applied batch;
+  ///     queries running while the new views install keep answering from
+  ///     the still-registered previous-epoch views;
+  ///   - list-scheme views get sorted label deltas merged into their stored
+  ///     lists; T-scheme views and every view after a relabel are rebuilt;
+  ///   - each op failing validation is skipped and reported, the rest of
+  ///     the batch proceeds; a gap too small for an insert triggers
+  ///     RelabelWithGap(16) + full rebuild of all views;
+  ///   - freshly installed views are checksum-verified post-commit and
+  ///     quarantined on failure;
+  ///   - plans invalidate via the catalog epoch, document statistics via
+  ///     revision().
+  /// Env knobs (strict parsing, util/env.h): VIEWJOIN_UPDATE_BATCH_SIZE
+  /// rejects oversized batches up front (0/unset = unlimited);
+  /// VIEWJOIN_UPDATE_DELTA_SPILL_BYTES sets the delta spill threshold.
+  /// Fails with InvalidArgument when constructed over a const document.
+  /// Update batches are serialized engine-wide.
+  util::StatusOr<UpdateResult> ApplyUpdates(const std::vector<UpdateOp>& ops);
+
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
   /// The engine's plan cache (hit/miss counters for tests and benches).
@@ -358,9 +438,22 @@ class Engine {
       const RunOptions& run, tpq::MatchSink* sink, const ExecContext& ctx);
 
   const xml::Document* doc_;
+  /// Non-null only via the mutable-document constructor; ApplyUpdates'
+  /// write handle.
+  xml::Document* mutable_doc_ = nullptr;
+  /// Readers-writer lock over the document: every query path holds it
+  /// shared for the duration of execution, ApplyUpdates holds it exclusive
+  /// while mutating — queries see either the pre- or the post-batch
+  /// document, never a torn one.
+  std::shared_mutex doc_mu_;
+  /// Serializes whole update batches (mutation + view maintenance) so two
+  /// ApplyUpdates calls cannot interleave their catalog transactions.
+  std::mutex update_mu_;
   /// Document statistics for the planner's cardinality estimates, collected
-  /// lazily on the first kAuto query (one DFS per engine lifetime).
-  std::once_flag doc_stats_once_;
+  /// lazily on the first kAuto query and re-collected when the document
+  /// revision moves (live updates invalidate them).
+  std::mutex doc_stats_mu_;
+  uint64_t doc_stats_revision_ = UINT64_MAX;
   std::optional<xml::DocumentStatistics> doc_stats_;
   std::string storage_path_;
   std::unique_ptr<storage::ViewCatalog> catalog_;

@@ -39,6 +39,15 @@ util::StatusOr<QueryResponse> Client::Query(const QueryRequest& request) {
   return response;
 }
 
+util::StatusOr<UpdateResponse> Client::Update(const UpdateRequest& request) {
+  util::StatusOr<std::string> reply = RoundTrip(EncodeUpdateRequest(request));
+  if (!reply.ok()) return reply.status();
+  UpdateResponse response;
+  util::Status decoded = DecodeUpdateResponse(*reply, &response);
+  if (!decoded.ok()) return decoded;
+  return response;
+}
+
 util::StatusOr<StatusResponse> Client::GetStatus() {
   util::StatusOr<std::string> reply = RoundTrip(EncodeStatusRequest());
   if (!reply.ok()) return reply.status();

@@ -1,14 +1,61 @@
 #ifndef VIEWJOIN_SERVER_CLIENT_H_
 #define VIEWJOIN_SERVER_CLIENT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
 #include "server/net.h"
 #include "server/wire.h"
+#include "util/backoff.h"
 #include "util/status.h"
 
 namespace viewjoin::server {
+
+/// Client-side retry schedule for *refused* requests — kRejected (quota /
+/// load shed) and kShuttingDown (drain) verdicts, the two cases where the
+/// server explicitly says "come back later". Execution failures (kError,
+/// kTimeout) are not retried: resending a bad query is not going to fix it.
+///
+/// The delay honors the server's Retry-After hint but never exceeds `cap_ms`
+/// per attempt (a hostile or confused server cannot park the client for an
+/// hour), and decorrelated jitter keeps a thundering herd of shed clients
+/// from re-arriving in lockstep. Total wait across a full run of retries is
+/// therefore bounded by `max_retries * cap_ms` — tests assert exactly that.
+class RefusalRetryPolicy {
+ public:
+  RefusalRetryPolicy(int max_retries, double base_ms, double cap_ms,
+                     uint64_t seed)
+      : remaining_(max_retries),
+        base_ms_(base_ms),
+        cap_ms_(cap_ms),
+        backoff_(base_ms, cap_ms, seed) {}
+
+  static bool Retryable(Verdict verdict) {
+    return verdict == Verdict::kRejected || verdict == Verdict::kShuttingDown;
+  }
+
+  /// Milliseconds to sleep before the next attempt, or a negative value when
+  /// the verdict is not retryable or the retry budget is spent.
+  double NextDelayMs(Verdict verdict, double retry_after_ms) {
+    if (!Retryable(verdict) || remaining_ <= 0) return -1;
+    --remaining_;
+    double delay = std::max(backoff_.NextDelayMs(), retry_after_ms);
+    delay = std::min(std::max(delay, base_ms_), cap_ms_);
+    total_wait_ms_ += delay;
+    return delay;
+  }
+
+  int remaining() const { return remaining_; }
+  double total_wait_ms() const { return total_wait_ms_; }
+
+ private:
+  int remaining_;
+  double base_ms_;
+  double cap_ms_;
+  util::DecorrelatedJitterBackoff backoff_;
+  double total_wait_ms_ = 0;
+};
 
 /// Thin synchronous client over one keep-alive connection. Not thread-safe;
 /// one Client per thread. Every call is bounded by `deadline_ms` — a dead or
@@ -32,6 +79,10 @@ class Client {
   /// vanishing mid-response) surface as statuses; server-side failures come
   /// back as QueryResponse verdicts.
   util::StatusOr<QueryResponse> Query(const QueryRequest& request);
+
+  /// One live-document update batch round trip. Same transport semantics as
+  /// Query(); the server applies the whole batch as one atomic view epoch.
+  util::StatusOr<UpdateResponse> Update(const UpdateRequest& request);
 
   /// Health/readiness probe.
   util::StatusOr<StatusResponse> GetStatus();

@@ -8,6 +8,7 @@
 
 #include "tpq/pattern.h"
 #include "util/check.h"
+#include "xml/parser.h"
 
 namespace viewjoin::server {
 
@@ -178,6 +179,23 @@ void QueryServer::ServeConn(Conn conn, core::Engine::Session* session) {
       }
       continue;
     }
+    if (*type == MsgType::kUpdateRequest) {
+      UpdateRequest update;
+      util::Status update_decoded = DecodeUpdateRequest(*frame, &update);
+      if (!update_decoded.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.SendFrame(
+            EncodeQueryResponse(ErrorResponse(update_decoded.ToString())),
+            options_.max_frame_bytes);
+        return;
+      }
+      if (!conn.SendFrame(EncodeUpdateResponse(HandleUpdate(update)),
+                          options_.max_frame_bytes)
+               .ok()) {
+        return;
+      }
+      continue;
+    }
     if (*type != MsgType::kQueryRequest) {
       frame_errors_.fetch_add(1, std::memory_order_relaxed);
       conn.SendFrame(EncodeQueryResponse(
@@ -310,6 +328,76 @@ QueryResponse QueryServer::HandleQuery(const QueryRequest& request,
   response.degraded = result.degraded;
   response.pages_read = result.io.pages_read;
   response.attempts = static_cast<uint32_t>(result.attempts);
+  return response;
+}
+
+UpdateResponse QueryServer::HandleUpdate(const UpdateRequest& request) {
+  UpdateResponse response;
+  if (draining()) {
+    // An update refused mid-drain must NOT be half-accepted: the catalog is
+    // about to be closed crash-safely, and a transaction racing that close is
+    // the corruption this server exists to prevent.
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kShuttingDown;
+    response.error = "server is draining";
+    response.retry_after_ms = options_.drain_deadline_ms;
+    return response;
+  }
+
+  double retry_after = 0;
+  if (!quotas_.TryAcquire(request.tenant, NowNanos(), &retry_after)) {
+    rejected_quota_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kRejected;
+    response.error = "tenant '" + request.tenant + "' over quota";
+    response.retry_after_ms = retry_after;
+    return response;
+  }
+
+  // Fragment parsing happens here, before any document mutation: a batch
+  // with a malformed fragment is refused whole rather than partially applied
+  // up to the bad op.
+  std::vector<core::UpdateOp> ops;
+  ops.reserve(request.ops.size());
+  for (size_t i = 0; i < request.ops.size(); ++i) {
+    const UpdateRequest::Op& wire_op = request.ops[i];
+    core::UpdateOp op;
+    op.kind = wire_op.kind == 0 ? core::UpdateOp::Kind::kInsertSubtree
+                                : core::UpdateOp::Kind::kDeleteSubtree;
+    op.target_tag = wire_op.target_tag;
+    op.target_start = wire_op.target_start;
+    op.after_tag = wire_op.after_tag;
+    op.after_start = wire_op.after_start;
+    if (op.kind == core::UpdateOp::Kind::kInsertSubtree) {
+      xml::ParseResult parsed = xml::ParseDocument(wire_op.fragment);
+      if (!parsed.ok()) {
+        response.verdict = Verdict::kError;
+        response.error = "op " + std::to_string(i) +
+                         ": bad fragment: " + parsed.error;
+        return response;
+      }
+      op.subtree = xml::SpecFromDocument(*parsed.document);
+    }
+    ops.push_back(std::move(op));
+  }
+
+  const int64_t start_ns = NowNanos();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  util::StatusOr<core::UpdateResult> result = engine_->ApplyUpdates(ops);
+  in_flight_.fetch_sub(1, std::memory_order_relaxed);
+  response.server_ms = static_cast<double>(NowNanos() - start_ns) / 1e6;
+
+  if (!result.ok()) {
+    response.verdict = Verdict::kError;
+    response.error = result.status().ToString();
+    return response;
+  }
+  response.verdict = Verdict::kOk;
+  response.applied = result->applied;
+  response.failed = result->failed;
+  response.relabeled = result->relabeled;
+  response.txn_epoch = result->txn_epoch;
+  response.delta_maintained = result->delta_maintained;
+  response.fully_rebuilt = result->fully_rebuilt;
   return response;
 }
 

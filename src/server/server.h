@@ -134,6 +134,11 @@ class QueryServer {
   QueryResponse HandleQuery(const QueryRequest& request,
                             core::Engine::Session* session);
 
+  /// Applies one live-document update batch through the engine (atomic view
+  /// epoch bump; see core::Engine::ApplyUpdates). Shares the tenant quota
+  /// bucket with queries, and is refused typed (kShuttingDown) during drain.
+  UpdateResponse HandleUpdate(const UpdateRequest& request);
+
   /// Resolves a view pattern to a materialized view, materializing on first
   /// use (cached by scheme + pattern).
   util::StatusOr<const storage::MaterializedView*> ResolveView(

@@ -199,6 +199,39 @@ std::string EncodeStatusResponse(const StatusResponse& status) {
   return out;
 }
 
+std::string EncodeUpdateRequest(const UpdateRequest& request) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kUpdateRequest));
+  PutString(&out, request.tenant);
+  PutU32(&out, static_cast<uint32_t>(request.ops.size()));
+  for (const UpdateRequest::Op& op : request.ops) {
+    PutU8(&out, op.kind);
+    PutString(&out, op.target_tag);
+    PutU32(&out, op.target_start);
+    PutString(&out, op.after_tag);
+    PutU32(&out, op.after_start);
+    PutString(&out, op.fragment);
+  }
+  return out;
+}
+
+std::string EncodeUpdateResponse(const UpdateResponse& response) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kUpdateResponse));
+  PutU8(&out, static_cast<uint8_t>(response.verdict));
+  PutString(&out, response.error);
+  PutF64(&out, response.retry_after_ms);
+  PutU64(&out, response.applied);
+  PutU32(&out, static_cast<uint32_t>(response.failed.size()));
+  for (const std::string& reason : response.failed) PutString(&out, reason);
+  PutU8(&out, response.relabeled ? 1 : 0);
+  PutU64(&out, response.txn_epoch);
+  PutU64(&out, response.delta_maintained);
+  PutU64(&out, response.fully_rebuilt);
+  PutF64(&out, response.server_ms);
+  return out;
+}
+
 util::StatusOr<MsgType> PeekType(const std::string& payload) {
   if (payload.empty()) return Malformed("empty payload");
   uint8_t type = static_cast<uint8_t>(payload[0]);
@@ -207,6 +240,8 @@ util::StatusOr<MsgType> PeekType(const std::string& payload) {
     case MsgType::kQueryResponse:
     case MsgType::kStatusRequest:
     case MsgType::kStatusResponse:
+    case MsgType::kUpdateRequest:
+    case MsgType::kUpdateResponse:
       return static_cast<MsgType>(type);
   }
   return Malformed("unknown message type");
@@ -261,6 +296,71 @@ util::Status DecodeQueryResponse(const std::string& payload,
       !reader.U64(&response->pages_read) || !reader.U32(&response->attempts) ||
       !reader.Done()) {
     return Malformed("truncated query response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeUpdateRequest(const std::string& payload,
+                                 UpdateRequest* request) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kUpdateRequest, "not an update request");
+  if (!type_ok.ok()) return type_ok;
+  uint32_t nops = 0;
+  if (!reader.String(&request->tenant) || !reader.U32(&nops)) {
+    return Malformed("truncated update request");
+  }
+  // Cap before allocating: nops is attacker-controlled.
+  if (nops > 4096) return Malformed("too many update ops");
+  request->ops.clear();
+  request->ops.reserve(nops);
+  for (uint32_t i = 0; i < nops; ++i) {
+    UpdateRequest::Op op;
+    if (!reader.U8(&op.kind) || !reader.String(&op.target_tag) ||
+        !reader.U32(&op.target_start) || !reader.String(&op.after_tag) ||
+        !reader.U32(&op.after_start) || !reader.String(&op.fragment)) {
+      return Malformed("truncated update op");
+    }
+    if (op.kind > 1) return Malformed("bad update op kind");
+    request->ops.push_back(std::move(op));
+  }
+  if (!reader.Done()) return Malformed("trailing bytes in update request");
+  return util::Status::Ok();
+}
+
+util::Status DecodeUpdateResponse(const std::string& payload,
+                                  UpdateResponse* response) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kUpdateResponse, "not an update response");
+  if (!type_ok.ok()) return type_ok;
+  uint8_t verdict = 0;
+  if (!reader.U8(&verdict) ||
+      verdict > static_cast<uint8_t>(Verdict::kShuttingDown)) {
+    return Malformed("bad verdict");
+  }
+  response->verdict = static_cast<Verdict>(verdict);
+  uint32_t nfailed = 0;
+  if (!reader.String(&response->error) ||
+      !reader.F64(&response->retry_after_ms) ||
+      !reader.U64(&response->applied) || !reader.U32(&nfailed)) {
+    return Malformed("truncated update response");
+  }
+  // Same cap as the request's op count: one reason per op at most.
+  if (nfailed > 4096) return Malformed("too many failure reasons");
+  response->failed.clear();
+  response->failed.reserve(nfailed);
+  for (uint32_t i = 0; i < nfailed; ++i) {
+    std::string reason;
+    if (!reader.String(&reason)) return Malformed("truncated failure list");
+    response->failed.push_back(std::move(reason));
+  }
+  if (!reader.Bool(&response->relabeled) ||
+      !reader.U64(&response->txn_epoch) ||
+      !reader.U64(&response->delta_maintained) ||
+      !reader.U64(&response->fully_rebuilt) ||
+      !reader.F64(&response->server_ms) || !reader.Done()) {
+    return Malformed("truncated update response");
   }
   return util::Status::Ok();
 }

@@ -41,6 +41,8 @@ enum class MsgType : uint8_t {
   kQueryResponse = 2,
   kStatusRequest = 3,   // health/readiness probe
   kStatusResponse = 4,
+  kUpdateRequest = 5,   // live-document update batch
+  kUpdateResponse = 6,
 };
 
 /// Server verdict on one query. Every request gets exactly one typed
@@ -78,6 +80,38 @@ struct QueryResponse {
   uint32_t attempts = 1;      // engine-side retry ladder attempts
 };
 
+/// A batch of live-document updates, applied atomically server-side (one
+/// manifest update transaction; see core::Engine::ApplyUpdates). Ops address
+/// nodes by (tag, start label) as learned from prior query results; inserts
+/// carry the new subtree as an XML fragment the server parses.
+struct UpdateRequest {
+  struct Op {
+    uint8_t kind = 0;  // 0 = insert-subtree, 1 = delete-subtree
+    std::string target_tag;   // insert: parent; delete: subtree root
+    uint32_t target_start = 0;
+    std::string after_tag;    // insert position; after_start 0 = first child
+    uint32_t after_start = 0;
+    std::string fragment;     // XML subtree to insert; empty for deletes
+  };
+  std::string tenant;
+  std::vector<Op> ops;
+};
+
+struct UpdateResponse {
+  Verdict verdict = Verdict::kError;
+  std::string error;          // empty unless the whole batch was refused
+  double retry_after_ms = 0;  // kRejected / kShuttingDown: when to retry
+  uint64_t applied = 0;       // ops applied to the document
+  /// Per-op skip reasons ("op <i>: ..."); kOk with a non-empty list means a
+  /// partially applied batch.
+  std::vector<std::string> failed;
+  bool relabeled = false;
+  uint64_t txn_epoch = 0;
+  uint64_t delta_maintained = 0;
+  uint64_t fully_rebuilt = 0;
+  double server_ms = 0;
+};
+
 /// Health/readiness snapshot. `healthy` is trivially true when a response
 /// arrives at all; `ready` means the server would admit a query right now
 /// (serving, queue below high water, memory below high water).
@@ -108,6 +142,8 @@ std::string EncodeQueryRequest(const QueryRequest& request);
 std::string EncodeQueryResponse(const QueryResponse& response);
 std::string EncodeStatusRequest();
 std::string EncodeStatusResponse(const StatusResponse& status);
+std::string EncodeUpdateRequest(const UpdateRequest& request);
+std::string EncodeUpdateResponse(const UpdateResponse& response);
 
 /// The payload's message type (InvalidArgument on an empty or unknown-typed
 /// payload).
@@ -119,6 +155,10 @@ util::Status DecodeQueryResponse(const std::string& payload,
                                  QueryResponse* response);
 util::Status DecodeStatusResponse(const std::string& payload,
                                   StatusResponse* status);
+util::Status DecodeUpdateRequest(const std::string& payload,
+                                 UpdateRequest* request);
+util::Status DecodeUpdateResponse(const std::string& payload,
+                                  UpdateResponse* response);
 
 }  // namespace viewjoin::server
 

@@ -30,7 +30,8 @@ namespace {
 
 /// Leftover shadow staging files ("<base>.shadow.*", "<base>.manifest.tmp")
 /// in the pager file's directory, sorted for deterministic output.
-std::vector<std::string> FindOrphanShadows(const std::string& path) {
+std::vector<std::string> FindOrphanShadows(
+    const std::string& path, std::vector<std::string>* delta_files) {
   std::string dir = ".";
   std::string base = path;
   size_t slash = path.find_last_of('/');
@@ -43,14 +44,18 @@ std::vector<std::string> FindOrphanShadows(const std::string& path) {
   if (d == nullptr) return found;
   const std::string shadow_prefix = base + ".shadow.";
   const std::string manifest_tmp = base + ".manifest.tmp";
+  const std::string delta_sidecar = base + ".updatedelta";
   while (struct dirent* entry = ::readdir(d)) {
     std::string name = entry->d_name;
     if (name.rfind(shadow_prefix, 0) == 0 || name == manifest_tmp) {
       found.push_back(dir + "/" + name);
+    } else if (name == delta_sidecar || name == delta_sidecar + ".tmp") {
+      delta_files->push_back(dir + "/" + name);
     }
   }
   ::closedir(d);
   std::sort(found.begin(), found.end());
+  std::sort(delta_files->begin(), delta_files->end());
   return found;
 }
 
@@ -132,7 +137,7 @@ void CheckDeltaList(Pager& pager, const ManifestViewRecord& record,
 
 FsckCatalogReport FsckCatalog(const std::string& path) {
   FsckCatalogReport report;
-  report.orphan_shadows = FindOrphanShadows(path);
+  report.orphan_shadows = FindOrphanShadows(path, &report.orphan_delta_files);
 
   util::StatusOr<ManifestReplayResult> replayed =
       ManifestJournal::Replay(ManifestJournal::PathFor(path));
@@ -150,6 +155,9 @@ FsckCatalogReport FsckCatalog(const std::string& path) {
 
   const ManifestReplayResult& journal = *replayed;
   report.last_epoch = journal.last_epoch;
+  report.max_epoch = journal.last_epoch;
+  report.epoch_regressions = journal.epoch_regressions;
+  report.rolled_back_update_batches = journal.rolled_back_update_batches;
   report.durable_page_count = journal.durable_page_count;
   report.journal_tail_torn = journal.tail_torn;
   report.pending_rebuild = journal.rolled_back.size();
@@ -314,6 +322,11 @@ std::string ToJson(const FsckCatalogReport& report) {
          JsonQuote(report.manifest_status.ToString()) + ",\n";
   out += "  \"legacy\": " + JsonBool(report.legacy) + ",\n";
   out += "  \"last_epoch\": " + std::to_string(report.last_epoch) + ",\n";
+  out += "  \"max_epoch\": " + std::to_string(report.max_epoch) + ",\n";
+  out += "  \"epoch_regressions\": " +
+         std::to_string(report.epoch_regressions) + ",\n";
+  out += "  \"rolled_back_update_batches\": " +
+         std::to_string(report.rolled_back_update_batches) + ",\n";
   out += "  \"durable_page_count\": " +
          std::to_string(report.durable_page_count) + ",\n";
   out += "  \"view_count\": " + std::to_string(report.view_count) + ",\n";
@@ -328,6 +341,8 @@ std::string ToJson(const FsckCatalogReport& report) {
          ",\n";
   out += "  \"orphan_shadows\": " + JsonStringArray(report.orphan_shadows) +
          ",\n";
+  out += "  \"orphan_delta_files\": " +
+         JsonStringArray(report.orphan_delta_files) + ",\n";
   out += "  \"corrupt_durable_pages\": " +
          std::to_string(report.corrupt_durable_pages) + ",\n";
   out += "  \"data_missing\": " + JsonBool(report.data_missing) + ",\n";

@@ -51,6 +51,11 @@ struct FsckCatalogReport {
 
   // -- Journal summary (valid when manifest_status is OK and !legacy) -------
   uint64_t last_epoch = 0;
+  /// Epoch high-water mark over EVERY journal record, including records a
+  /// rolled-back update batch undid — the value the epoch allocator resumes
+  /// above. Equals last_epoch (kept as a named field so --json consumers can
+  /// assert epoch monotonicity across update batches explicitly).
+  uint64_t max_epoch = 0;
   uint32_t durable_page_count = 0;
   size_t view_count = 0;         // live install records
   size_t quarantined_count = 0;  // journaled quarantines without replacement
@@ -67,6 +72,12 @@ struct FsckCatalogReport {
   bool pager_tail_partial = false;
   /// Leftover "<path>.shadow.*" staging files from interrupted installs.
   std::vector<std::string> orphan_shadows;
+  /// Leftover "<path>.updatedelta" spill files (whole or torn) from an
+  /// interrupted update batch; pure staging, swept by the next Open.
+  std::vector<std::string> orphan_delta_files;
+  /// Update batches whose commit record never landed: replay rolls them
+  /// back and the next Open truncates the half-applied journal suffix.
+  uint64_t rolled_back_update_batches = 0;
 
   // -- Cross-check corruption -----------------------------------------------
   /// Checksum/footer failures *within* the durable prefix — committed data
@@ -87,6 +98,11 @@ struct FsckCatalogReport {
   /// Pages already counted in corrupt_durable_pages are not re-reported;
   /// these are pages whose checksums pass but whose varint payload lies.
   std::vector<std::string> bad_compressed_lists;
+  /// Journal records whose leading epoch ran *backwards*. The journal is
+  /// append-only over a monotone allocator, so any regression means epochs
+  /// were reused (e.g. by a compaction that lost the high-water mark) —
+  /// plan-cache keys and view identities are no longer unique.
+  uint64_t epoch_regressions = 0;
 
   /// Nothing wrong at all.
   bool clean() const {
@@ -98,14 +114,15 @@ struct FsckCatalogReport {
     return corrupt_durable_pages > 0 ||
            manifest_status.code() == util::StatusCode::kCorruption ||
            data_missing || !bad_views.empty() ||
-           !bad_compressed_lists.empty() ||
+           !bad_compressed_lists.empty() || epoch_regressions > 0 ||
            (pager.file_status.code() == util::StatusCode::kCorruption &&
             !pager_tail_partial);
   }
   /// Crash artifacts present that RepairCatalog / Open would clean up.
   bool repair_needed() const {
     return journal_tail_torn || orphan_pages > 0 || pager_tail_partial ||
-           !orphan_shadows.empty() || legacy;
+           !orphan_shadows.empty() || !orphan_delta_files.empty() ||
+           rolled_back_update_batches > 0 || legacy;
   }
 };
 

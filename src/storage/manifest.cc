@@ -176,6 +176,19 @@ std::vector<uint8_t> EncodeInstall(const ManifestViewRecord& r) {
   return payload;
 }
 
+std::vector<uint8_t> EncodeUpdateBegin(uint64_t epoch, uint32_t view_count) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, epoch);
+  PutU32(payload, view_count);
+  return payload;
+}
+
+std::vector<uint8_t> EncodeEpoch(uint64_t epoch) {
+  std::vector<uint8_t> payload;
+  PutU64(payload, epoch);
+  return payload;
+}
+
 std::vector<uint8_t> EncodePair(uint64_t epoch, uint64_t target) {
   std::vector<uint8_t> payload;
   PutU64(payload, epoch);
@@ -322,6 +335,12 @@ Status ApplyRecord(ManifestRecordType type, const uint8_t* payload,
       }
       break;
     }
+    case ManifestRecordType::kUpdateBegin:
+    case ManifestRecordType::kUpdateCommit:
+    case ManifestRecordType::kEpochMark:
+      // Transaction bracketing and the epoch mark are handled by the replay
+      // loop itself (they need the whole-file state, not per-record state).
+      break;
   }
   if (in.failed()) {
     return Status::Corruption("manifest record at offset " +
@@ -424,6 +443,19 @@ StatusOr<ManifestReplayResult> ManifestJournal::Replay(
   std::unordered_map<uint64_t, std::pair<std::string, uint8_t>> pending;
   long offset = static_cast<long>(kJournalHeaderSize);
   std::vector<uint8_t> buf;
+  // Epoch bookkeeping across the *whole* file, including records an update
+  // rollback later undoes: the epoch counter must resume above everything
+  // ever written, or a restart would mint colliding epochs.
+  uint64_t max_epoch_seen = 0;
+  uint64_t prev_epoch = 0;
+  uint64_t regressions = 0;
+  // Open update transaction, if any: result/pending as of its kUpdateBegin,
+  // restored wholesale when the commit record never arrives.
+  bool txn_open = false;
+  long txn_begin_offset = 0;
+  ManifestReplayResult txn_snapshot;
+  std::unordered_map<uint64_t, std::pair<std::string, uint8_t>>
+      txn_pending_snapshot;
   while (offset < file_size) {
     long remaining = file_size - offset;
     uint8_t len_bytes[4];
@@ -463,23 +495,77 @@ StatusOr<ManifestReplayResult> ManifestJournal::Replay(
     }
     uint8_t type = buf[0];
     if (type < static_cast<uint8_t>(ManifestRecordType::kBegin) ||
-        type > static_cast<uint8_t>(ManifestRecordType::kDrop)) {
+        type > static_cast<uint8_t>(ManifestRecordType::kEpochMark)) {
       std::fclose(file);
       return Status::Corruption("manifest record at offset " +
                                 std::to_string(offset) + " of " + path +
                                 " has unknown type " + std::to_string(type));
     }
-    Status applied =
-        ApplyRecord(static_cast<ManifestRecordType>(type), buf.data() + 1,
-                    payload_len, header_version, path, offset, result, pending);
-    if (!applied.ok()) {
-      std::fclose(file);
-      return applied;
+    // Every record type leads its payload with a u64 epoch; decode it here
+    // for the file-wide monotonicity and high-water-mark tracking.
+    uint64_t lead_epoch = 0;
+    if (payload_len >= 8) {
+      for (int i = 0; i < 8; ++i) {
+        lead_epoch |= static_cast<uint64_t>(buf[1 + i]) << (8 * i);
+      }
+    }
+    if (lead_epoch < prev_epoch) ++regressions;
+    prev_epoch = lead_epoch;
+    if (lead_epoch > max_epoch_seen) max_epoch_seen = lead_epoch;
+
+    const ManifestRecordType rtype = static_cast<ManifestRecordType>(type);
+    if (rtype == ManifestRecordType::kUpdateBegin) {
+      if (txn_open) {
+        std::fclose(file);
+        return Status::Corruption("manifest record at offset " +
+                                  std::to_string(offset) + " of " + path +
+                                  " opens a nested update transaction");
+      }
+      txn_open = true;
+      txn_begin_offset = offset;
+      txn_snapshot = result;
+      txn_pending_snapshot = pending;
+    } else if (rtype == ManifestRecordType::kUpdateCommit) {
+      if (!txn_open) {
+        std::fclose(file);
+        return Status::Corruption("manifest record at offset " +
+                                  std::to_string(offset) + " of " + path +
+                                  " commits an update transaction that was "
+                                  "never opened");
+      }
+      txn_open = false;
+      txn_snapshot = ManifestReplayResult();
+      txn_pending_snapshot.clear();
+    } else if (rtype != ManifestRecordType::kEpochMark) {
+      Status applied =
+          ApplyRecord(rtype, buf.data() + 1, payload_len, header_version, path,
+                      offset, result, pending);
+      if (!applied.ok()) {
+        std::fclose(file);
+        return applied;
+      }
     }
     offset += record_size;
   }
   std::fclose(file);
-  result.valid_bytes = offset;
+  if (txn_open) {
+    // Crash mid-batch: the commit record never landed, so none of the
+    // batch's installs/replaces happened. Restore the pre-batch state and
+    // point valid_bytes at the kUpdateBegin record so recovery truncates
+    // the half-applied suffix — otherwise records appended after recovery
+    // would sit behind a dangling open transaction and be rolled back by
+    // every future replay.
+    const uint32_t hv = result.header_version;
+    result = std::move(txn_snapshot);
+    pending = std::move(txn_pending_snapshot);
+    result.header_version = hv;
+    result.valid_bytes = txn_begin_offset;
+    result.rolled_back_update_batches = 1;
+  } else {
+    result.valid_bytes = offset;
+  }
+  if (max_epoch_seen > result.last_epoch) result.last_epoch = max_epoch_seen;
+  result.epoch_regressions = regressions;
   for (auto& [epoch, begin] : pending) {
     (void)epoch;
     result.rolled_back.emplace_back(std::move(begin.first), begin.second);
@@ -496,10 +582,22 @@ Status ManifestJournal::WriteCheckpoint(
     return IoError("cannot create manifest checkpoint " + tmp);
   }
   Status status = WriteJournalHeader(file, tmp);
+  bool crashed = false;
   auto append = [&](ManifestRecordType type,
                     const std::vector<uint8_t>& payload) {
     if (!status.ok()) return;
     std::vector<uint8_t> frame = FrameRecord(type, payload);
+    if (util::FaultInjector::Global().AtCrashPoint(
+            util::CrashPoint::kCrashMidCompaction)) {
+      // Simulated crash mid-compaction: half a frame reaches the tmp file
+      // and the process "dies" — the torn tmp stays on disk and the rename
+      // never happens, so the original journal must win on reopen.
+      std::fwrite(frame.data(), 1, frame.size() / 2, file);
+      std::fflush(file);
+      crashed = true;
+      status = Status::IoError("injected crash mid-compaction writing " + tmp);
+      return;
+    }
     if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
       status = IoError("cannot write manifest checkpoint " + tmp);
     }
@@ -510,10 +608,18 @@ Status ManifestJournal::WriteCheckpoint(
   for (uint64_t epoch : quarantined_epochs) {
     append(ManifestRecordType::kQuarantine, EncodePair(last_epoch, epoch));
   }
+  // The epoch mark last (keeping leading epochs non-decreasing): a compact
+  // journal holds only surviving installs, whose epochs can all be far below
+  // the allocator's high-water mark (e.g. after quarantines or drops).
+  // Without the mark, reopening after a checkpoint would resume the epoch
+  // counter too low and mint epochs the old journal already used.
+  append(ManifestRecordType::kEpochMark, EncodeEpoch(last_epoch));
   if (status.ok()) status = SyncFile(file, tmp);
   std::fclose(file);
   if (!status.ok()) {
-    std::remove(tmp.c_str());
+    // A genuine write error cleans up its tmp; an injected crash leaves it
+    // exactly as a kill -9 would, for recovery to sweep.
+    if (!crashed) std::remove(tmp.c_str());
     return status;
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -571,6 +677,18 @@ Status ManifestJournal::AppendReplace(uint64_t epoch, uint64_t old_epoch,
 Status ManifestJournal::AppendDrop(uint64_t epoch, uint64_t target_epoch) {
   return AppendRecord(ManifestRecordType::kDrop,
                       EncodePair(epoch, target_epoch));
+}
+
+Status ManifestJournal::AppendUpdateBegin(uint64_t epoch,
+                                          uint32_t view_count) {
+  return AppendRecord(ManifestRecordType::kUpdateBegin,
+                      EncodeUpdateBegin(epoch, view_count));
+}
+
+Status ManifestJournal::AppendUpdateCommit(uint64_t epoch,
+                                           uint64_t txn_epoch) {
+  return AppendRecord(ManifestRecordType::kUpdateCommit,
+                      EncodePair(epoch, txn_epoch));
 }
 
 }  // namespace viewjoin::storage

@@ -22,6 +22,10 @@ enum class ManifestRecordType : uint8_t {
   kQuarantine = 3,  // an installed view was found corrupt and is unusable
   kReplace = 4,     // a quarantined view has a healthy replacement
   kDrop = 5,        // a view was removed from the catalog
+  kUpdateBegin = 6,   // an update batch opened a multi-record transaction
+  kUpdateCommit = 7,  // the update batch committed (its epoch bump is durable)
+  kEpochMark = 8,     // epoch high-water mark; checkpoints write one so
+                      // compaction never regresses the epoch counter
 };
 
 /// Everything an install record carries — the full metadata of one
@@ -63,6 +67,16 @@ struct ManifestReplayResult {
   /// Begin records with no matching install: the (re-)materialization was
   /// cut down by a crash and rolled back; recovery re-queues these.
   std::vector<std::pair<std::string, uint8_t>> rolled_back;  // pattern, scheme
+  /// Update transactions (kUpdateBegin) that never reached kUpdateCommit:
+  /// their installs/replaces were undone wholesale and valid_bytes points at
+  /// the kUpdateBegin record, so recovery truncates the half-applied batch
+  /// and the catalog reopens at the pre-batch epoch.
+  uint64_t rolled_back_update_batches = 0;
+  /// Records whose leading epoch was *smaller* than an earlier record's.
+  /// The journal is append-only with a monotone epoch allocator, so any
+  /// regression means the epoch counter was reused after a faulty
+  /// compaction; fsck reports this as corruption.
+  uint64_t epoch_regressions = 0;
   /// The file held a pre-journal plain-text manifest ("VIEWJOINCAT"); the
   /// caller must parse it with the legacy loader and convert.
   bool legacy_text = false;
@@ -155,6 +169,17 @@ class ManifestJournal {
   util::Status AppendReplace(uint64_t epoch, uint64_t old_epoch,
                              uint64_t new_epoch);
   util::Status AppendDrop(uint64_t epoch, uint64_t target_epoch);
+
+  /// Opens an update-batch transaction: every record appended until the
+  /// matching AppendUpdateCommit belongs to the batch and is undone by
+  /// replay if the commit never lands. `view_count` is advisory (how many
+  /// view installs the batch intends), recorded for observability.
+  util::Status AppendUpdateBegin(uint64_t epoch, uint32_t view_count);
+
+  /// Commits the update batch opened at `txn_epoch`. `epoch` is a freshly
+  /// allocated epoch for the commit record itself, keeping leading epochs
+  /// monotone through the journal.
+  util::Status AppendUpdateCommit(uint64_t epoch, uint64_t txn_epoch);
 
   /// Closes the file handle (idempotent; the destructor calls it).
   void Close();

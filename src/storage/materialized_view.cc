@@ -12,6 +12,7 @@
 #include "storage/list_codec.h"
 #include "tpq/evaluator.h"
 #include "util/check.h"
+#include "util/crc32.h"
 #include "util/fault_injection.h"
 
 namespace viewjoin::storage {
@@ -234,7 +235,8 @@ namespace {
 /// removed. A shadow is pure staging — its content is either uncommitted
 /// (discard) or already appended into the pager file (redundant), so
 /// deletion is always the right recovery action.
-int RemoveOrphanShadows(const std::string& pager_path) {
+int RemoveOrphanShadows(const std::string& pager_path,
+                        int* delta_files_removed = nullptr) {
   std::string dir = ".";
   std::string base = pager_path;
   size_t slash = pager_path.rfind('/');
@@ -244,6 +246,7 @@ int RemoveOrphanShadows(const std::string& pager_path) {
   }
   const std::string shadow_prefix = base + ".shadow.";
   const std::string checkpoint_tmp = base + ".manifest.tmp";
+  const std::string delta_sidecar = base + ".updatedelta";
   int removed = 0;
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return 0;
@@ -251,6 +254,14 @@ int RemoveOrphanShadows(const std::string& pager_path) {
     std::string name = entry->d_name;
     if (name.rfind(shadow_prefix, 0) == 0 || name == checkpoint_tmp) {
       if (std::remove((dir + "/" + name).c_str()) == 0) ++removed;
+    } else if (name == delta_sidecar || name == delta_sidecar + ".tmp") {
+      // Delta spill sidecars are staging for an update batch in flight; any
+      // survivor (torn or whole) belongs to a batch that either committed
+      // (sidecar redundant) or rolled back (sidecar garbage).
+      if (std::remove((dir + "/" + name).c_str()) == 0 &&
+          delta_files_removed != nullptr) {
+        ++*delta_files_removed;
+      }
     }
   }
   ::closedir(d);
@@ -312,7 +323,9 @@ util::StatusOr<std::unique_ptr<ViewCatalog>> ViewCatalog::Open(
   ManifestReplayResult replay = std::move(*replayed);
 
   RecoveryReport report;
-  report.orphan_shadows_removed = RemoveOrphanShadows(path);
+  report.orphan_shadows_removed =
+      RemoveOrphanShadows(path, &report.orphan_delta_files_removed);
+  report.rolled_back_update_batches = replay.rolled_back_update_batches;
 
   if (replay.legacy_text) {
     // Pre-journal text manifest: load with the legacy parser, then convert
@@ -723,6 +736,80 @@ size_t FirstStartAfter(const std::vector<Label>& labels, size_t from,
       labels.begin());
 }
 
+/// Encodes the stored records of view node q — labels plus, for the linked
+/// schemes, the following/descendant/child pointers recomputed from the
+/// given solution labels of *every* node. Shared by initial materialization
+/// and delta maintenance (merged lists re-enter here, so freshly patched
+/// lists carry exactly the pointers a from-scratch build would).
+/// InvalidArgument when a child pointer has no target: the lists are not a
+/// consistent view instance (e.g. a delta removed a child but not its
+/// parent match).
+util::StatusOr<std::vector<uint8_t>> EncodeListRecords(
+    const TreePattern& pattern, const std::vector<std::vector<Label>>& labels,
+    size_t q, Scheme scheme, uint64_t* pointer_count) {
+  const bool with_pointers = scheme != Scheme::kElement;
+  const bool partial = scheme == Scheme::kLinkedElementPartial;
+  const std::vector<Label>& lq = labels[q];
+  const tpq::PatternNode& pn = pattern.node(static_cast<int>(q));
+  RecordLayout layout;
+  layout.label_count = 1;
+  layout.has_pointers = with_pointers;
+  layout.child_count =
+      with_pointers ? static_cast<uint32_t>(pn.children.size()) : 0;
+  std::vector<uint8_t> bytes;
+  bytes.reserve(lq.size() * layout.RecordSize());
+  for (size_t i = 0; i < lq.size(); ++i) {
+    AppendLabel(&bytes, lq[i]);
+    if (!with_pointers) continue;
+    // Following pointer: first entry starting after this node ends.
+    EntryIndex follow = kNullEntry;
+    size_t j = FirstStartAfter(lq, i + 1, lq[i].end);
+    if (j < lq.size()) follow = static_cast<EntryIndex>(j);
+    if (partial && follow != kNullEntry && follow <= i + 1) {
+      follow = kNullEntry;  // adjacent targets are not materialized in LE_p
+    }
+    if (follow != kNullEntry) ++*pointer_count;
+    AppendU32(&bytes, follow);
+    // Descendant pointer: the next entry iff it is nested in this one.
+    EntryIndex desc = kNullEntry;
+    if (i + 1 < lq.size() && lq[i + 1].start < lq[i].end) {
+      desc = static_cast<EntryIndex>(i + 1);
+    }
+    if (partial) desc = kNullEntry;  // always one entry away
+    if (desc != kNullEntry) ++*pointer_count;
+    AppendU32(&bytes, desc);
+    // Child pointers: first matching child/descendant entry per pc/ad
+    // child of q in the view. Never null for a consistent view instance
+    // (every stored node participates in at least one view match).
+    for (int c : pn.children) {
+      const std::vector<Label>& lc = labels[static_cast<size_t>(c)];
+      size_t k = FirstStartAfter(lc, 0, lq[i].start);
+      EntryIndex child = kNullEntry;
+      if (pattern.node(c).incoming == tpq::Axis::kDescendant) {
+        if (k < lc.size() && lc[k].start < lq[i].end) {
+          child = static_cast<EntryIndex>(k);
+        }
+      } else {
+        while (k < lc.size() && lc[k].start < lq[i].end) {
+          if (lc[k].level == lq[i].level + 1) {
+            child = static_cast<EntryIndex>(k);
+            break;
+          }
+          ++k;
+        }
+      }
+      if (child == kNullEntry) {
+        return util::Status::InvalidArgument(
+            "missing child pointer target in view " + pattern.ToString() +
+            ": solution lists are not a consistent view instance");
+      }
+      ++*pointer_count;
+      AppendU32(&bytes, child);
+    }
+  }
+  return bytes;
+}
+
 }  // namespace
 
 const MaterializedView* ViewCatalog::Materialize(const Document& doc,
@@ -781,95 +868,634 @@ const MaterializedView* ViewCatalog::MaterializeFromLists(
   return *result;
 }
 
-util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
-    const Document& doc, const TreePattern& pattern,
-    const std::vector<std::vector<NodeId>>& solutions, Scheme scheme) {
+util::StatusOr<std::unique_ptr<MaterializedView>> ViewCatalog::StageListView(
+    const TreePattern& pattern, Scheme scheme,
+    const std::vector<std::vector<Label>>& labels, StagedPages& staged) {
   VJ_CHECK(scheme != Scheme::kTuple)
-      << "MaterializeFromLists supports the list schemes only";
-  VJ_CHECK_EQ(solutions.size(), pattern.size());
+      << "StageListView supports the list schemes only";
+  VJ_CHECK_EQ(labels.size(), pattern.size());
   auto view = std::make_unique<MaterializedView>();
   view->pattern_ = pattern;
   view->scheme_ = scheme;
-  size_t nq = pattern.size();
-  std::vector<std::vector<Label>> labels(nq);
-  for (size_t q = 0; q < nq; ++q) {
-    labels[q].reserve(solutions[q].size());
-    for (NodeId n : solutions[q]) labels[q].push_back(doc.NodeLabel(n));
-    view->list_lengths_.push_back(static_cast<uint32_t>(solutions[q].size()));
-    view->size_bytes_ += 12ull * solutions[q].size();
-  }
   view->match_count_ = 0;  // not tracked for list schemes (cheap to recount)
-
-  bool with_pointers = scheme != Scheme::kElement;
-  bool partial = scheme == Scheme::kLinkedElementPartial;
-
-  StagedPages staged;
+  const size_t nq = pattern.size();
+  const bool with_pointers = scheme != Scheme::kElement;
   view->lists_.resize(nq);
   for (size_t q = 0; q < nq; ++q) {
-    const std::vector<Label>& lq = labels[q];
+    view->list_lengths_.push_back(static_cast<uint32_t>(labels[q].size()));
+    view->size_bytes_ += 12ull * labels[q].size();
     const tpq::PatternNode& pn = pattern.node(static_cast<int>(q));
     RecordLayout layout;
     layout.label_count = 1;
     layout.has_pointers = with_pointers;
     layout.child_count =
         with_pointers ? static_cast<uint32_t>(pn.children.size()) : 0;
-    std::vector<uint8_t> bytes;
-    bytes.reserve(lq.size() * layout.RecordSize());
-    for (size_t i = 0; i < lq.size(); ++i) {
-      AppendLabel(&bytes, lq[i]);
-      if (!with_pointers) continue;
-      // Following pointer: first entry starting after this node ends.
-      EntryIndex follow = kNullEntry;
-      size_t j = FirstStartAfter(lq, i + 1, lq[i].end);
-      if (j < lq.size()) follow = static_cast<EntryIndex>(j);
-      if (partial && follow != kNullEntry && follow <= i + 1) {
-        follow = kNullEntry;  // adjacent targets are not materialized in LE_p
-      }
-      if (follow != kNullEntry) ++view->pointer_count_;
-      AppendU32(&bytes, follow);
-      // Descendant pointer: the next entry iff it is nested in this one.
-      EntryIndex desc = kNullEntry;
-      if (i + 1 < lq.size() && lq[i + 1].start < lq[i].end) {
-        desc = static_cast<EntryIndex>(i + 1);
-      }
-      if (partial) desc = kNullEntry;  // always one entry away
-      if (desc != kNullEntry) ++view->pointer_count_;
-      AppendU32(&bytes, desc);
-      // Child pointers: first matching child/descendant entry per pc/ad
-      // child of q in the view. Never null for a materialized view (every
-      // stored node participates in at least one view match).
-      for (int c : pn.children) {
-        const std::vector<Label>& lc = labels[static_cast<size_t>(c)];
-        size_t k = FirstStartAfter(lc, 0, lq[i].start);
-        EntryIndex child = kNullEntry;
-        if (pattern.node(c).incoming == tpq::Axis::kDescendant) {
-          if (k < lc.size() && lc[k].start < lq[i].end) {
-            child = static_cast<EntryIndex>(k);
-          }
-        } else {
-          while (k < lc.size() && lc[k].start < lq[i].end) {
-            if (lc[k].level == lq[i].level + 1) {
-              child = static_cast<EntryIndex>(k);
-              break;
-            }
-            ++k;
-          }
-        }
-        VJ_CHECK(child != kNullEntry)
-            << "missing child pointer target in view " << pattern.ToString();
-        ++view->pointer_count_;
-        AppendU32(&bytes, child);
-      }
-    }
+    util::StatusOr<std::vector<uint8_t>> bytes =
+        EncodeListRecords(pattern, labels, q, scheme, &view->pointer_count_);
+    if (!bytes.ok()) return bytes.status();
     util::StatusOr<StoredList> staged_list =
-        StageList(staged, bytes, layout, static_cast<uint32_t>(lq.size()),
-                  list_format_);
+        StageList(staged, *bytes, layout,
+                  static_cast<uint32_t>(labels[q].size()), list_format_);
     if (!staged_list.ok()) return staged_list.status();
     view->lists_[q] = *staged_list;
   }
   view->size_bytes_ += 4ull * view->pointer_count_;
+  return view;
+}
 
-  return InstallView(std::move(view), staged);
+util::StatusOr<const MaterializedView*> ViewCatalog::TryMaterializeFromLists(
+    const Document& doc, const TreePattern& pattern,
+    const std::vector<std::vector<NodeId>>& solutions, Scheme scheme) {
+  VJ_CHECK(scheme != Scheme::kTuple)
+      << "MaterializeFromLists supports the list schemes only";
+  VJ_CHECK_EQ(solutions.size(), pattern.size());
+  const size_t nq = pattern.size();
+  std::vector<std::vector<Label>> labels(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    labels[q].reserve(solutions[q].size());
+    for (NodeId n : solutions[q]) labels[q].push_back(doc.NodeLabel(n));
+  }
+  StagedPages staged;
+  util::StatusOr<std::unique_ptr<MaterializedView>> view =
+      StageListView(pattern, scheme, labels, staged);
+  if (!view.ok()) return view.status();
+  return InstallView(std::move(*view), staged);
+}
+
+// ---- Incremental maintenance (ApplyUpdateBatch) ----------------------------
+
+namespace {
+
+/// Merges start-sorted `removed`/`added` deltas into the start-sorted
+/// `old_labels`. Every removed start must name a present label and every
+/// added start must be new — anything else means the delta and the stored
+/// list disagree about the pre-update state, which would silently corrupt
+/// the view if merged anyway.
+util::StatusOr<std::vector<Label>> MergeDelta(
+    const std::vector<Label>& old_labels, const std::vector<Label>& removed,
+    const std::vector<Label>& added, const std::string& what) {
+  std::vector<Label> merged;
+  merged.reserve(old_labels.size() + added.size());
+  size_t r = 0;
+  size_t a = 0;
+  for (const Label& l : old_labels) {
+    if (r < removed.size() && removed[r].start < l.start) {
+      return util::Status::InvalidArgument(
+          "delta for " + what + " removes a label (start " +
+          std::to_string(removed[r].start) + ") the stored list does not hold");
+    }
+    while (a < added.size() && added[a].start < l.start) {
+      merged.push_back(added[a++]);
+    }
+    if (a < added.size() && added[a].start == l.start) {
+      return util::Status::InvalidArgument(
+          "delta for " + what + " adds a label (start " +
+          std::to_string(added[a].start) + ") the stored list already holds");
+    }
+    if (r < removed.size() && removed[r].start == l.start) {
+      ++r;
+      continue;
+    }
+    merged.push_back(l);
+  }
+  if (r < removed.size()) {
+    return util::Status::InvalidArgument(
+        "delta for " + what + " removes a label (start " +
+        std::to_string(removed[r].start) + ") the stored list does not hold");
+  }
+  while (a < added.size()) merged.push_back(added[a++]);
+  return merged;
+}
+
+// Delta spill sidecar ("<pager>.updatedelta"): big update batches stage
+// their serialized deltas on disk instead of holding two copies in memory.
+// Layout: magic "VJUPDELT" | u32 spec_count | per spec (u32 nq, per node:
+// u32 added_count, labels..., u32 removed_count, labels...) | u32 CRC32 of
+// everything after the magic. The file is pure staging: recovery deletes
+// any survivor, torn or whole.
+
+constexpr char kDeltaMagic[8] = {'V', 'J', 'U', 'P', 'D', 'E', 'L', 'T'};
+
+void PutLabelVec(std::vector<uint8_t>* out, const std::vector<Label>& v) {
+  AppendU32(out, static_cast<uint32_t>(v.size()));
+  for (const Label& l : v) AppendLabel(out, l);
+}
+
+std::vector<uint8_t> EncodeDeltaSidecar(
+    const std::vector<const ViewCatalog::ListDeltas*>& deltas) {
+  std::vector<uint8_t> out(kDeltaMagic, kDeltaMagic + sizeof(kDeltaMagic));
+  AppendU32(&out, static_cast<uint32_t>(deltas.size()));
+  for (const ViewCatalog::ListDeltas* d : deltas) {
+    if (d == nullptr) {
+      AppendU32(&out, 0);
+      continue;
+    }
+    AppendU32(&out, static_cast<uint32_t>(d->added.size()));
+    for (size_t q = 0; q < d->added.size(); ++q) {
+      PutLabelVec(&out, d->added[q]);
+      PutLabelVec(&out, d->removed[q]);
+    }
+  }
+  AppendU32(&out, util::Crc32(out.data() + sizeof(kDeltaMagic),
+                              out.size() - sizeof(kDeltaMagic)));
+  return out;
+}
+
+util::StatusOr<std::vector<ViewCatalog::ListDeltas>> DecodeDeltaSidecar(
+    const std::vector<uint8_t>& bytes, const std::string& path) {
+  auto torn = [&path]() {
+    return util::Status::Corruption("delta spill file " + path +
+                                    " is torn or corrupt");
+  };
+  if (bytes.size() < sizeof(kDeltaMagic) + 8 ||
+      std::memcmp(bytes.data(), kDeltaMagic, sizeof(kDeltaMagic)) != 0) {
+    return torn();
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - 4, 4);
+  if (stored_crc != util::Crc32(bytes.data() + sizeof(kDeltaMagic),
+                                bytes.size() - sizeof(kDeltaMagic) - 4)) {
+    return torn();
+  }
+  size_t pos = sizeof(kDeltaMagic);
+  const size_t end = bytes.size() - 4;
+  auto read_u32 = [&](uint32_t* v) {
+    if (end - pos < 4) return false;
+    std::memcpy(v, bytes.data() + pos, 4);
+    pos += 4;
+    return true;
+  };
+  auto read_labels = [&](std::vector<Label>* v) {
+    uint32_t n = 0;
+    if (!read_u32(&n) || (end - pos) / 12 < n) return false;
+    v->reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Label l;
+      std::memcpy(&l.start, bytes.data() + pos, 4);
+      std::memcpy(&l.end, bytes.data() + pos + 4, 4);
+      std::memcpy(&l.level, bytes.data() + pos + 8, 4);
+      pos += 12;
+      v->push_back(l);
+    }
+    return true;
+  };
+  uint32_t spec_count = 0;
+  if (!read_u32(&spec_count)) return torn();
+  std::vector<ViewCatalog::ListDeltas> deltas(spec_count);
+  for (uint32_t s = 0; s < spec_count; ++s) {
+    uint32_t nq = 0;
+    if (!read_u32(&nq)) return torn();
+    deltas[s].added.resize(nq);
+    deltas[s].removed.resize(nq);
+    for (uint32_t q = 0; q < nq; ++q) {
+      if (!read_labels(&deltas[s].added[q]) ||
+          !read_labels(&deltas[s].removed[q])) {
+        return torn();
+      }
+    }
+  }
+  if (pos != end) return torn();
+  return deltas;
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return util::Status::IoError("cannot open " + path + ": " +
+                                 std::strerror(errno));
+  }
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::rewind(file);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size < 0 ? 0 : size));
+  size_t got = bytes.empty() ? 0 : std::fread(bytes.data(), 1, bytes.size(), file);
+  std::fclose(file);
+  if (got != bytes.size()) {
+    return util::Status::IoError("cannot read " + path);
+  }
+  return bytes;
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<MaterializedView>>
+ViewCatalog::StageMergedElementView(const MaterializedView& old,
+                                    const ListDeltas& deltas,
+                                    StagedPages& staged) {
+  VJ_CHECK(old.scheme() == Scheme::kElement)
+      << "prefix-preserving merge requires the pointerless E scheme";
+  const TreePattern& pattern = old.pattern();
+  const size_t nq = pattern.size();
+  auto view = std::make_unique<MaterializedView>();
+  view->pattern_ = pattern;
+  view->scheme_ = Scheme::kElement;
+  view->match_count_ = 0;  // not tracked for list schemes (cheap to recount)
+  view->lists_.resize(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    const StoredList& old_list = old.list(static_cast<int>(q));
+    const std::vector<Label>& added = deltas.added[q];
+    const std::vector<Label>& removed = deltas.removed[q];
+    RecordLayout layout;
+    layout.label_count = 1;
+
+    // Prefix reuse needs per-page fence keys to prove a page holds only
+    // labels below the first change; v1 lists without fences re-encode
+    // fully (prefix_pages stays 0).
+    const uint32_t old_pages = old_list.PageSpan();
+    const bool fenced =
+        old_list.count > 0 && old_list.page_first_start.size() == old_pages &&
+        (old_list.format != ListFormat::kDelta ||
+         old_list.page_first_entry.size() == old_pages);
+    uint32_t prefix_pages = 0;
+    if (fenced) {
+      if (added.empty() && removed.empty()) {
+        prefix_pages = old_pages;  // untouched list: copy page-for-page
+      } else {
+        uint32_t first_change = 0xFFFFFFFFu;
+        if (!removed.empty()) first_change = removed[0].start;
+        if (!added.empty())
+          first_change = std::min(first_change, added[0].start);
+        // Pages [0, p) hold only labels strictly below fence p (starts are
+        // strictly increasing), so every page before the last fence <=
+        // first_change is reusable; the page containing the first change —
+        // and everything after it — is re-encoded.
+        auto it = std::upper_bound(old_list.page_first_start.begin(),
+                                   old_list.page_first_start.end(),
+                                   first_change);
+        if (it != old_list.page_first_start.begin()) {
+          prefix_pages =
+              static_cast<uint32_t>(it - old_list.page_first_start.begin()) -
+              1;
+        }
+      }
+    }
+    const uint32_t prefix_entries = prefix_pages >= old_pages
+                                        ? old_list.count
+                                        : old_list.FirstEntryOfPage(prefix_pages);
+
+    // Raw-copy the reusable prefix pages into the staging area.
+    const uint32_t rel_first_page = staged.page_count;
+    if (prefix_pages > 0) {
+      staged.payload.resize(
+          static_cast<size_t>(staged.page_count + prefix_pages) *
+              Pager::kPageSize,
+          0);
+      for (uint32_t p = 0; p < prefix_pages; ++p) {
+        BufferPool::PinnedPage pin;
+        util::Status fetched = pool_->Fetch(old_list.first_page + p, &pin);
+        if (!fetched.ok()) return fetched;
+        std::memcpy(staged.payload.data() +
+                        static_cast<size_t>(staged.page_count + p) *
+                            Pager::kPageSize,
+                    pin.data(), Pager::kPageSize);
+      }
+      staged.page_count += prefix_pages;
+    }
+
+    // Read the affected suffix, merge the deltas, re-encode it as fresh
+    // pages directly behind the prefix (one contiguous staged run).
+    std::vector<Label> tail_old;
+    tail_old.reserve(old_list.count - prefix_entries);
+    ListCursor cursor(&old_list, pool_.get());
+    cursor.Seek(prefix_entries);
+    if (cursor.block_capable()) {
+      while (!cursor.AtEnd()) {
+        const BlockView block = cursor.CurrentBlock();
+        const uint32_t off = cursor.index() - block.first;
+        for (uint32_t j = off; j < block.count; ++j) {
+          tail_old.push_back({block.starts[j], block.ends[j], block.levels[j]});
+        }
+        cursor.Seek(block.first + block.count);
+      }
+    }
+    while (!cursor.AtEnd()) {
+      tail_old.push_back(cursor.LabelAt(0));
+      cursor.Next();
+    }
+    util::StatusOr<std::vector<Label>> merged = MergeDelta(
+        tail_old, removed, added,
+        pattern.ToString() + " node " + std::to_string(q));
+    if (!merged.ok()) return merged.status();
+
+    StoredList list;
+    list.layout = layout;
+    list.format = old_list.format;
+    list.count = prefix_entries + static_cast<uint32_t>(merged->size());
+    if (list.count == 0) {
+      list.first_page = kInvalidPage;
+    } else {
+      list.first_page = rel_first_page;  // relative until installed
+      list.page_first_start.assign(
+          old_list.page_first_start.begin(),
+          old_list.page_first_start.begin() + prefix_pages);
+      if (old_list.format == ListFormat::kDelta) {
+        list.page_first_entry.assign(
+            old_list.page_first_entry.begin(),
+            old_list.page_first_entry.begin() + prefix_pages);
+      }
+      if (!merged->empty()) {
+        std::vector<uint8_t> bytes;
+        bytes.reserve(merged->size() * 12);
+        for (const Label& l : *merged) AppendLabel(&bytes, l);
+        util::StatusOr<StoredList> tail =
+            StageList(staged, bytes, layout,
+                      static_cast<uint32_t>(merged->size()), old_list.format);
+        if (!tail.ok()) return tail.status();
+        list.page_first_start.insert(list.page_first_start.end(),
+                                     tail->page_first_start.begin(),
+                                     tail->page_first_start.end());
+        for (uint32_t e : tail->page_first_entry) {
+          list.page_first_entry.push_back(e + prefix_entries);
+        }
+      }
+    }
+    view->lists_[q] = list;
+    view->list_lengths_.push_back(list.count);
+    view->size_bytes_ += 12ull * list.count;
+  }
+  return view;
+}
+
+util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
+    const Document& doc, const std::vector<ViewUpdateSpec>& specs,
+    const UpdateBatchOptions& options) {
+  if (specs.empty()) {
+    return util::Status::InvalidArgument("empty update batch");
+  }
+  auto& injector = util::FaultInjector::Global();
+  // One lock across staging AND install: the batch must observe a frozen
+  // catalog (page ids, epochs) from first delta read to commit record.
+  std::lock_guard<std::mutex> install_lock(install_mu_);
+
+  UpdateBatchResult result;
+
+  // ---- Validate specs ------------------------------------------------------
+  for (const ViewUpdateSpec& spec : specs) {
+    if (spec.view == nullptr) {
+      return util::Status::InvalidArgument("update spec without a view");
+    }
+    const size_t nq = spec.view->pattern().size();
+    if (spec.view->scheme() == Scheme::kTuple && !spec.full_rebuild) {
+      return util::Status::InvalidArgument(
+          "T-scheme view " + spec.view->pattern().ToString() +
+          " cannot be delta-maintained; request full_rebuild");
+    }
+    if (spec.full_rebuild) {
+      if (spec.view->scheme() != Scheme::kTuple && spec.solutions.size() != nq) {
+        return util::Status::InvalidArgument(
+            "full rebuild of " + spec.view->pattern().ToString() +
+            " needs one solution list per pattern node");
+      }
+    } else if (spec.deltas.added.size() != nq ||
+               spec.deltas.removed.size() != nq) {
+      return util::Status::InvalidArgument(
+          "delta for " + spec.view->pattern().ToString() +
+          " needs one added+removed list per pattern node");
+    }
+  }
+
+  // ---- Spill large deltas through the on-disk sidecar ----------------------
+  // The merge below then consumes the re-read, CRC-verified copy, so the
+  // spill path is exercised end to end whenever it is taken.
+  std::vector<const ListDeltas*> delta_for(specs.size(), nullptr);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (!specs[i].full_rebuild) delta_for[i] = &specs[i].deltas;
+  }
+  const std::string sidecar = pager_->path() + ".updatedelta";
+  std::vector<ListDeltas> spilled;
+  bool sidecar_on_disk = false;
+  if (persistent_) {
+    std::vector<uint8_t> serialized = EncodeDeltaSidecar(delta_for);
+    if (serialized.size() > options.delta_spill_bytes) {
+      util::Status written =
+          WriteShadowFile(sidecar, serialized.data(), serialized.size());
+      if (!written.ok()) return written;
+      sidecar_on_disk = true;
+      util::StatusOr<std::vector<uint8_t>> reread = ReadWholeFile(sidecar);
+      if (!reread.ok()) return reread.status();
+      util::StatusOr<std::vector<ListDeltas>> decoded =
+          DecodeDeltaSidecar(*reread, sidecar);
+      if (!decoded.ok()) return decoded.status();
+      spilled = std::move(*decoded);
+      for (size_t i = 0; i < specs.size(); ++i) {
+        if (delta_for[i] != nullptr) delta_for[i] = &spilled[i];
+      }
+      result.deltas_spilled = true;
+    }
+  }
+  // From here on the sidecar (if any) must be removed on every non-crash
+  // exit; injected crashes leave it for recovery, like the shadow file.
+  auto remove_sidecar = [&]() {
+    if (sidecar_on_disk) std::remove(sidecar.c_str());
+  };
+
+  // ---- Stage every new view into one page run ------------------------------
+  StagedPages staged;
+  std::vector<std::unique_ptr<MaterializedView>> new_views;
+  new_views.reserve(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ViewUpdateSpec& spec = specs[i];
+    const MaterializedView& old = *spec.view;
+    const TreePattern& pattern = old.pattern();
+    if (spec.full_rebuild && old.scheme() == Scheme::kTuple) {
+      tpq::NaiveEvaluator evaluator(doc, pattern);
+      auto view = std::make_unique<MaterializedView>();
+      view->pattern_ = pattern;
+      view->scheme_ = Scheme::kTuple;
+      std::vector<uint8_t> bytes;
+      TupleWriterSink sink(doc, &bytes);
+      evaluator.Evaluate(&sink);
+      RecordLayout layout;
+      layout.label_count = static_cast<uint32_t>(pattern.size());
+      util::StatusOr<StoredList> tuples =
+          StageList(staged, bytes, layout, static_cast<uint32_t>(sink.count()),
+                    list_format_);
+      if (!tuples.ok()) {
+        remove_sidecar();
+        return tuples.status();
+      }
+      view->tuple_list_ = *tuples;
+      view->match_count_ = sink.count();
+      view->size_bytes_ = sink.count() * 12ull * pattern.size();
+      for (const auto& list : evaluator.SolutionNodes()) {
+        view->list_lengths_.push_back(static_cast<uint32_t>(list.size()));
+      }
+      new_views.push_back(std::move(view));
+      ++result.fully_rebuilt;
+      continue;
+    }
+    if (!spec.full_rebuild && old.scheme() == Scheme::kElement) {
+      // E-scheme delta merge: reuse encoded pages below the first changed
+      // label instead of decoding and re-encoding whole lists.
+      util::StatusOr<std::unique_ptr<MaterializedView>> view =
+          StageMergedElementView(old, *delta_for[i], staged);
+      if (!view.ok()) {
+        remove_sidecar();
+        return view.status();
+      }
+      new_views.push_back(std::move(*view));
+      ++result.delta_maintained;
+      continue;
+    }
+    std::vector<std::vector<Label>> labels(pattern.size());
+    if (spec.full_rebuild) {
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        labels[q].reserve(spec.solutions[q].size());
+        for (NodeId n : spec.solutions[q]) labels[q].push_back(doc.NodeLabel(n));
+      }
+      ++result.fully_rebuilt;
+    } else {
+      // Sorted-merge the deltas into the stored lists. Block-capable
+      // cursors hand back whole decoded pages as struct-of-arrays spans —
+      // one decode per page instead of one block lookup per record; scalar
+      // cursors and multi-label layouts fall back to record-at-a-time.
+      for (size_t q = 0; q < pattern.size(); ++q) {
+        std::vector<Label> old_labels;
+        old_labels.reserve(old.ListLength(static_cast<int>(q)));
+        ListCursor cursor(&old.list(static_cast<int>(q)), pool_.get());
+        if (cursor.block_capable() &&
+            old.list(static_cast<int>(q)).layout.label_count == 1) {
+          while (!cursor.AtEnd()) {
+            const BlockView block = cursor.CurrentBlock();
+            const uint32_t off = cursor.index() - block.first;
+            for (uint32_t j = off; j < block.count; ++j) {
+              old_labels.push_back(
+                  {block.starts[j], block.ends[j], block.levels[j]});
+            }
+            cursor.Seek(block.first + block.count);
+          }
+        }
+        while (!cursor.AtEnd()) {
+          old_labels.push_back(cursor.LabelAt(0));
+          cursor.Next();
+        }
+        util::StatusOr<std::vector<Label>> merged = MergeDelta(
+            old_labels, delta_for[i]->removed[q], delta_for[i]->added[q],
+            pattern.ToString() + " node " + std::to_string(q));
+        if (!merged.ok()) {
+          remove_sidecar();
+          return merged.status();
+        }
+        labels[q] = std::move(*merged);
+      }
+      ++result.delta_maintained;
+    }
+    util::StatusOr<std::unique_ptr<MaterializedView>> view =
+        StageListView(pattern, old.scheme(), labels, staged);
+    if (!view.ok()) {
+      remove_sidecar();
+      return view.status();
+    }
+    new_views.push_back(std::move(*view));
+  }
+
+  // ---- Transaction: begin, data, installs, commit --------------------------
+  const uint64_t ue = AllocateEpoch();
+  result.txn_epoch = ue;
+  if (journal_ != nullptr) {
+    util::Status begun =
+        journal_->AppendUpdateBegin(ue, static_cast<uint32_t>(specs.size()));
+    if (!begun.ok()) {
+      remove_sidecar();
+      return begun;
+    }
+  }
+
+  // Rebase all staged lists onto their final page ids and encode the pages.
+  const PageId base = pager_->page_count();
+  for (auto& view : new_views) {
+    for (StoredList& list : view->lists_) {
+      if (list.count != 0) list.first_page += base;
+    }
+    if (view->tuple_list_.count != 0) view->tuple_list_.first_page += base;
+  }
+  std::vector<uint8_t> phys(static_cast<size_t>(staged.page_count) *
+                            Pager::kPhysicalPageSize);
+  for (uint32_t p = 0; p < staged.page_count; ++p) {
+    Pager::EncodePhysicalPage(
+        base + p,
+        staged.payload.data() + static_cast<size_t>(p) * Pager::kPageSize,
+        phys.data() + static_cast<size_t>(p) * Pager::kPhysicalPageSize);
+  }
+
+  // One shadow for the whole batch, named after the transaction epoch.
+  const std::string shadow = pager_->path() + ".shadow." + std::to_string(ue);
+  const bool shadowed = journal_ != nullptr && staged.page_count > 0;
+  if (shadowed) {
+    const std::string tmp = shadow + ".tmp";
+    util::Status staged_ok = WriteShadowFile(tmp, phys.data(), phys.size());
+    if (!staged_ok.ok()) {
+      remove_sidecar();
+      return staged_ok;
+    }
+    if (std::rename(tmp.c_str(), shadow.c_str()) != 0) {
+      util::Status renamed = util::Status::IoError(
+          "cannot seal shadow file " + shadow + ": " + std::strerror(errno));
+      std::remove(tmp.c_str());
+      remove_sidecar();
+      return renamed;
+    }
+  }
+
+  if (staged.page_count > 0) {
+    util::Status appended =
+        pager_->AppendPhysicalPages(phys.data(), staged.page_count);
+    if (appended.ok() && journal_ != nullptr) appended = pager_->Sync();
+    if (!appended.ok()) {
+      if (shadowed) std::remove(shadow.c_str());
+      remove_sidecar();
+      return appended;
+    }
+  }
+
+  // Per-view install + replace records inside the transaction. The crash
+  // point fires at the top of the nth armed iteration, leaving views
+  // [0, n-1) installed and the rest missing — exactly the half-merged state
+  // replay must roll back.
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (injector.AtCrashPoint(util::CrashPoint::kCrashMidDeltaMerge)) {
+      return util::Status::IoError(
+          "injected crash mid delta merge (view " + std::to_string(i) + " of " +
+          std::to_string(specs.size()) + ")");
+    }
+    const uint64_t view_epoch = AllocateEpoch();
+    new_views[i]->epoch_ = view_epoch;
+    if (journal_ != nullptr) {
+      util::Status installed = journal_->AppendInstall(
+          RecordFor(*new_views[i], pager_->page_count()));
+      if (!installed.ok()) return installed;
+      util::Status replaced = journal_->AppendReplace(
+          AllocateEpoch(), specs[i].view->epoch(), view_epoch);
+      if (!replaced.ok()) return replaced;
+    }
+  }
+
+  if (injector.AtCrashPoint(util::CrashPoint::kCrashBeforeEpochBump)) {
+    return util::Status::IoError(
+        "injected crash with all views installed but the update commit "
+        "record missing");
+  }
+  if (journal_ != nullptr) {
+    util::Status committed = journal_->AppendUpdateCommit(AllocateEpoch(), ue);
+    if (!committed.ok()) return committed;
+  }
+  if (injector.AtCrashPoint(util::CrashPoint::kCrashAfterEpochBump)) {
+    return util::Status::IoError(
+        "injected crash after the update commit, before staging cleanup");
+  }
+
+  if (shadowed) std::remove(shadow.c_str());
+  remove_sidecar();
+
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      result.new_views.push_back(new_views[i].get());
+      replacement_[specs[i].view] = new_views[i].get();
+      views_.push_back(std::move(new_views[i]));
+    }
+  }
+  return result;
 }
 
 // ---- Quarantine / lookup ---------------------------------------------------

@@ -111,6 +111,13 @@ struct RecoveryReport {
   int orphan_shadows_removed = 0;
   /// A pre-journal plain-text manifest was converted to the journal format.
   bool legacy_manifest_converted = false;
+  /// Update batches whose commit record never landed: replay rolled their
+  /// installs back wholesale and recovery truncated the half-applied suffix,
+  /// so the store reopened at the pre-batch epoch with the pre-batch views.
+  uint64_t rolled_back_update_batches = 0;
+  /// Leftover delta spill files ("<base>.updatedelta") from interrupted
+  /// update batches that were deleted (pure staging, like shadows).
+  int orphan_delta_files_removed = 0;
   /// A v1 binary journal was rewritten at the current format version (via a
   /// checkpoint) so subsequent appends carry the versioned list encoding.
   bool journal_upgraded = false;
@@ -216,6 +223,80 @@ class ViewCatalog {
       const xml::Document& doc, const tpq::TreePattern& pattern,
       const std::vector<std::vector<xml::NodeId>>& solutions, Scheme scheme);
 
+  // ---- Incremental maintenance (live document updates) ---------------------
+  //
+  // After the source document mutates, each affected view is either
+  // delta-maintained — its sorted per-node label deltas are merged into the
+  // stored lists and the pointers recomputed — or fully rebuilt from fresh
+  // solution lists when deltas are unavailable (T scheme, or a relabel).
+  // The whole batch commits as ONE manifest transaction: kUpdateBegin, the
+  // new views' install+replace records, kUpdateCommit. A crash anywhere
+  // before the commit record rolls the entire batch back on reopen; after
+  // it, the batch is fully applied. Old views stay registered (in-flight
+  // queries keep reading their pages) with replacement links to the new
+  // ones, exactly like quarantine replacements.
+
+  /// Start-sorted label deltas for one view: added[q] / removed[q] are the
+  /// labels entering / leaving the solution list of view pattern node q.
+  struct ListDeltas {
+    std::vector<std::vector<xml::Label>> added;
+    std::vector<std::vector<xml::Label>> removed;
+    bool empty() const {
+      for (const auto& a : added)
+        if (!a.empty()) return false;
+      for (const auto& r : removed)
+        if (!r.empty()) return false;
+      return true;
+    }
+  };
+
+  /// One view's maintenance work inside an update batch.
+  struct ViewUpdateSpec {
+    const MaterializedView* view = nullptr;
+    /// Sorted deltas to merge (list schemes; ignored when full_rebuild).
+    ListDeltas deltas;
+    /// Rebuild from scratch instead of merging: required for the T scheme
+    /// (tuples have no per-node delta form) and after a document relabel.
+    bool full_rebuild = false;
+    /// Fresh solution-node lists for a list-scheme full rebuild; T-scheme
+    /// rebuilds re-evaluate the pattern over `doc` instead.
+    std::vector<std::vector<xml::NodeId>> solutions;
+  };
+
+  struct UpdateBatchOptions {
+    /// Serialized deltas larger than this spill to a "<path>.updatedelta"
+    /// sidecar (CRC-checked, re-read before merging, removed at commit);
+    /// crash artifacts are swept by recovery and reported by fsck.
+    size_t delta_spill_bytes = 1u << 20;
+  };
+
+  struct UpdateBatchResult {
+    /// Epoch of the kUpdateBegin record (the transaction's identity).
+    uint64_t txn_epoch = 0;
+    /// New view per spec, in spec order.
+    std::vector<const MaterializedView*> new_views;
+    size_t delta_maintained = 0;
+    size_t fully_rebuilt = 0;
+    /// The deltas took the spill-sidecar path.
+    bool deltas_spilled = false;
+  };
+
+  /// Applies one update batch atomically (see section comment). `doc` is the
+  /// post-update document (T-scheme rebuilds and list-scheme solutions are
+  /// resolved against it). Crash-point injectable at kCrashMidDeltaMerge /
+  /// kCrashBeforeEpochBump / kCrashAfterEpochBump; on an injected crash the
+  /// catalog object must be abandoned and the store reopened, like the
+  /// install crash points. InvalidArgument when a delta does not match the
+  /// stored list (a removed label absent, an added label already present, a
+  /// T-scheme spec without full_rebuild).
+  util::StatusOr<UpdateBatchResult> ApplyUpdateBatch(
+      const xml::Document& doc, const std::vector<ViewUpdateSpec>& specs,
+      const UpdateBatchOptions& options);
+  util::StatusOr<UpdateBatchResult> ApplyUpdateBatch(
+      const xml::Document& doc, const std::vector<ViewUpdateSpec>& specs) {
+    return ApplyUpdateBatch(doc, specs, UpdateBatchOptions());
+  }
+
   // ---- Quarantine (fault-tolerant degradation) -----------------------------
   //
   // A view whose pages fail checksum or read verification is quarantined:
@@ -310,6 +391,25 @@ class ViewCatalog {
   /// ownership of `view`; on success the registered pointer is returned.
   util::StatusOr<const MaterializedView*> InstallView(
       std::unique_ptr<MaterializedView> view, StagedPages& staged);
+
+  /// Builds a list-scheme view (records, pointers, lengths) from per-node
+  /// solution labels and stages its pages into `staged` without installing —
+  /// the update batch stages many views into one StagedPages and installs
+  /// them under a single manifest transaction.
+  util::StatusOr<std::unique_ptr<MaterializedView>> StageListView(
+      const tpq::TreePattern& pattern, Scheme scheme,
+      const std::vector<std::vector<xml::Label>>& labels, StagedPages& staged);
+
+  /// Delta-merges `deltas` into an E-scheme view without rewriting the
+  /// unchanged prefix: encoded pages wholly below the first changed label
+  /// are copied into `staged` verbatim (no decode / re-encode), and only
+  /// the affected suffix is read, merged, and freshly encoded. Lists with
+  /// empty deltas are copied page-for-page. Element records carry no
+  /// cross-list pointers, so prefix bytes cannot go stale — pointer
+  /// schemes must take the full re-encode path instead.
+  util::StatusOr<std::unique_ptr<MaterializedView>> StageMergedElementView(
+      const MaterializedView& old, const ListDeltas& deltas,
+      StagedPages& staged);
 
   /// The journal install record describing `view`.
   ManifestViewRecord RecordFor(const MaterializedView& view,

@@ -40,6 +40,26 @@ Scrubber::Scrubber(ViewCatalog* catalog, Healer healer)
 Scrubber::~Scrubber() { Stop(); }
 
 uint32_t Scrubber::Step(uint32_t page_budget) {
+  // Healing runs *after* the scan, outside mu_: the healer re-reads the
+  // document under the engine's document lock, and query threads read
+  // stats() while holding that same lock — invoking the healer under mu_
+  // would invert the two orders into a potential deadlock.
+  std::vector<const MaterializedView*> to_heal;
+  uint32_t scanned = ScanLocked(page_budget, &to_heal);
+  for (const MaterializedView* view : to_heal) {
+    util::Status healed = healer_(view);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (healed.ok()) {
+      ++stats_.views_healed;
+    } else {
+      ++stats_.heal_failures;
+    }
+  }
+  return scanned;
+}
+
+uint32_t Scrubber::ScanLocked(uint32_t page_budget,
+                              std::vector<const MaterializedView*>* to_heal) {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<const MaterializedView*> views = catalog_->ViewsSnapshot();
   std::vector<uint8_t> buffer(Pager::kPageSize);
@@ -84,14 +104,7 @@ uint32_t Scrubber::Step(uint32_t page_budget) {
     if (corrupt) {
       catalog_->Quarantine(view);
       ++stats_.views_quarantined;
-      if (healer_ != nullptr) {
-        util::Status healed = healer_(view);
-        if (healed.ok()) {
-          ++stats_.views_healed;
-        } else {
-          ++stats_.heal_failures;
-        }
-      }
+      if (healer_ != nullptr) to_heal->push_back(view);
     }
     if (corrupt || cursor_page_ >= total) {
       // Done with this view (healthy or handed off): move to the next one.

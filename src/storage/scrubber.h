@@ -36,8 +36,11 @@ struct ScrubStats {
 /// views by epoch, so views installed or quarantined mid-pass are picked up
 /// naturally on the next lap.
 ///
-/// Thread-safety: Step/stats are serialized by an internal mutex; the healer
-/// runs inside Step and must therefore not call back into the scrubber.
+/// Thread-safety: the scan and stats are serialized by an internal mutex;
+/// the healer runs at the end of Step *outside* that mutex (it acquires
+/// engine-side locks that query threads hold while reading stats(), so
+/// calling it under the scrubber mutex would be a lock-order inversion),
+/// but still completes before Step returns.
 /// Verification reads bypass the buffer pool (Pager::VerifyPage), so a
 /// scrub never evicts a query's hot pages and never poisons pool frames.
 class Scrubber {
@@ -74,6 +77,10 @@ class Scrubber {
 
  private:
   void Loop(std::chrono::milliseconds interval, uint32_t page_budget);
+  /// The mu_-guarded scan: verifies pages, quarantines corrupt views, and
+  /// collects them into `to_heal` for Step to heal after unlocking.
+  uint32_t ScanLocked(uint32_t page_budget,
+                      std::vector<const MaterializedView*>* to_heal);
 
   ViewCatalog* catalog_;
   Healer healer_;

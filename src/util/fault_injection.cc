@@ -14,6 +14,14 @@ const char* CrashPointName(CrashPoint point) {
       return "after-data-sync";
     case CrashPoint::kCrashMidJournal:
       return "mid-journal";
+    case CrashPoint::kCrashMidDeltaMerge:
+      return "mid-delta-merge";
+    case CrashPoint::kCrashBeforeEpochBump:
+      return "before-epoch-bump";
+    case CrashPoint::kCrashAfterEpochBump:
+      return "after-epoch-bump";
+    case CrashPoint::kCrashMidCompaction:
+      return "mid-compaction";
   }
   return "?";
 }

@@ -27,6 +27,15 @@ enum class CrashPoint {
   kCrashAfterRename,    // shadow sealed, main pager file untouched
   kCrashAfterDataSync,  // pages appended+synced to the main file, no commit
   kCrashMidJournal,     // journal commit record torn mid-record (short write)
+  // Update-batch crash points (ApplyUpdateBatch): the batch is one manifest
+  // transaction — kUpdateBegin, per-view installs, kUpdateCommit — so a crash
+  // anywhere before the commit record must roll the whole batch back.
+  kCrashMidDeltaMerge,    // some views of the batch installed, others not
+  kCrashBeforeEpochBump,  // all views staged+installed, commit record missing
+  kCrashAfterEpochBump,   // commit durable; shadow + sidecars not yet removed
+  // Checkpoint compaction crash point: the rewritten journal torn mid-write,
+  // tmp left on disk, the original journal untouched.
+  kCrashMidCompaction,
 };
 
 /// Human-readable crash-point name (test matrix labels).

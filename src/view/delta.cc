@@ -1,0 +1,360 @@
+#include "view/delta.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace viewjoin::view {
+
+namespace {
+
+/// Tag ids of a pattern's nodes in this document (kInvalidTag for element
+/// types the document has never interned: their candidate lists are empty).
+std::vector<xml::TagId> ResolveTags(const xml::Document& doc,
+                                    const tpq::TreePattern& pattern) {
+  std::vector<xml::TagId> tags(pattern.size(), xml::kInvalidTag);
+  for (size_t q = 0; q < pattern.size(); ++q) {
+    tags[q] = doc.FindTag(pattern.node(static_cast<int>(q)).tag);
+  }
+  return tags;
+}
+
+/// True iff the label's start lies inside the excluded region (region
+/// labels nest, so a start inside implies the whole label is).
+bool Excluded(const xml::Label& label, const xml::Label* exclude) {
+  return exclude != nullptr && label.start >= exclude->start &&
+         label.start <= exclude->end;
+}
+
+}  // namespace
+
+DeltaCollector::DeltaCollector(const xml::Document* doc,
+                               std::vector<tpq::TreePattern> patterns)
+    : doc_(doc), patterns_(std::move(patterns)) {
+  VJ_CHECK(doc_ != nullptr) << "DeltaCollector needs a document";
+  open_.resize(patterns_.size());
+  added_.resize(patterns_.size());
+  removed_.resize(patterns_.size());
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    VJ_CHECK(patterns_[i].HasUniqueTags())
+        << "view patterns must have unique element types";
+    added_[i].resize(patterns_[i].size());
+    removed_[i].resize(patterns_[i].size());
+  }
+}
+
+bool DeltaCollector::SupportedExists(const tpq::TreePattern& pattern,
+                                     const std::vector<xml::TagId>& tags,
+                                     int q, const xml::Label& self,
+                                     const xml::Label* exclude) const {
+  for (int c : pattern.node(q).children) {
+    const xml::TagId tc = tags[static_cast<size_t>(c)];
+    if (tc == xml::kInvalidTag) return false;
+    const bool pc = pattern.node(c).incoming == tpq::Axis::kChild;
+    const std::vector<xml::NodeId>& stream = doc_->NodesOfTag(tc);
+    auto it = std::upper_bound(
+        stream.begin(), stream.end(), self.start,
+        [this](uint32_t s, xml::NodeId n) { return s < doc_->NodeLabel(n).start; });
+    bool found = false;
+    for (; it != stream.end(); ++it) {
+      const xml::Label lc = doc_->NodeLabel(*it);
+      if (lc.start >= self.end) break;
+      if (Excluded(lc, exclude)) continue;
+      if (pc && lc.level != self.level + 1) continue;
+      if (SupportedExists(pattern, tags, c, lc, exclude)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+std::vector<DeltaCollector::Scope::Anc> DeltaCollector::TaggedAncestors(
+    size_t pattern_index, const std::vector<xml::TagId>& tags,
+    xml::NodeId from) const {
+  std::vector<Scope::Anc> ancestors;
+  if (from == xml::kInvalidNode) return ancestors;
+  const tpq::TreePattern& pattern = patterns_[pattern_index];
+  for (xml::NodeId n = from; n != xml::kInvalidNode; n = doc_->Parent(n)) {
+    const xml::TagId t = doc_->NodeTag(n);
+    for (size_t q = 0; q < pattern.size(); ++q) {
+      if (tags[q] != xml::kInvalidTag && tags[q] == t) {
+        ancestors.push_back({n, static_cast<int>(q), false, false});
+        break;
+      }
+    }
+    if (n == doc_->Root()) break;
+  }
+  std::reverse(ancestors.begin(), ancestors.end());  // outermost first
+  return ancestors;
+}
+
+void DeltaCollector::ResolveScope(size_t pattern_index, Scope* scope,
+                                  const xml::Label& mutated) {
+  // The region is the mutated subtree itself unless some pattern-tagged
+  // ancestor's support flipped: then every node in that ancestor's subtree
+  // may gain or lose reachability, so the sandwich widens to the highest
+  // flipped ancestor. Ancestors strictly above the region keep exact
+  // support flags and are injected into both restricted evaluations.
+  scope->region = mutated;
+  for (const Scope::Anc& a : scope->ancestors) {
+    if (a.pre_supported != a.post_supported) {
+      scope->region = doc_->NodeLabel(a.node);
+      break;
+    }
+  }
+  scope->ancestors.erase(
+      std::remove_if(scope->ancestors.begin(), scope->ancestors.end(),
+                     [&](const Scope::Anc& a) {
+                       return doc_->NodeLabel(a.node).start >=
+                              scope->region.start;
+                     }),
+      scope->ancestors.end());
+  (void)pattern_index;
+}
+
+void DeltaCollector::WillInsert(xml::NodeId parent) {
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    Scope scope;
+    scope.pending_root = true;
+    const std::vector<xml::TagId> tags = ResolveTags(*doc_, patterns_[i]);
+    scope.ancestors = TaggedAncestors(i, tags, parent);
+    for (Scope::Anc& a : scope.ancestors) {
+      a.pre_supported = SupportedExists(patterns_[i], tags, a.q,
+                                        doc_->NodeLabel(a.node), nullptr);
+    }
+    open_[i] = std::move(scope);
+  }
+}
+
+void DeltaCollector::WillDelete(xml::NodeId victim) {
+  const xml::Label victim_label = doc_->NodeLabel(victim);
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    Scope scope;
+    const std::vector<xml::TagId> tags = ResolveTags(*doc_, patterns_[i]);
+    scope.ancestors = TaggedAncestors(i, tags, doc_->Parent(victim));
+    for (Scope::Anc& a : scope.ancestors) {
+      const xml::Label la = doc_->NodeLabel(a.node);
+      a.pre_supported = SupportedExists(patterns_[i], tags, a.q, la, nullptr);
+      // Deleting the victim removes exactly the candidates inside its
+      // region, so the post state is computable before the mutation.
+      a.post_supported =
+          SupportedExists(patterns_[i], tags, a.q, la, &victim_label);
+    }
+    ResolveScope(i, &scope, victim_label);
+    // The pre snapshot must be taken now: tombstoned nodes leave the
+    // per-tag streams once the delete lands.
+    scope.pre = RestrictedSolutions(i, scope.region, scope.ancestors,
+                                    /*use_pre_flags=*/true, nullptr);
+    open_[i] = std::move(scope);
+  }
+}
+
+void DeltaCollector::DidInsert(xml::NodeId new_root) {
+  const xml::Label inserted = doc_->NodeLabel(new_root);
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    Scope& scope = open_[i];
+    scope.pending_root = false;
+    // Tags resolve fresh: the insert may have interned pattern tags the
+    // document had never seen.
+    const std::vector<xml::TagId> tags = ResolveTags(*doc_, patterns_[i]);
+    for (Scope::Anc& a : scope.ancestors) {
+      a.post_supported = SupportedExists(patterns_[i], tags, a.q,
+                                         doc_->NodeLabel(a.node), nullptr);
+    }
+    ResolveScope(i, &scope, inserted);
+    // The insert only added the new subtree, so the pre state is the post
+    // state with the inserted region's candidates masked out.
+    scope.pre = RestrictedSolutions(i, scope.region, scope.ancestors,
+                                    /*use_pre_flags=*/true, &inserted);
+    FinishScope(i, &scope);
+  }
+}
+
+void DeltaCollector::DidDelete() {
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    FinishScope(i, &open_[i]);
+  }
+}
+
+void DeltaCollector::FinishScope(size_t pattern_index, Scope* scope) {
+  std::vector<std::vector<xml::NodeId>> post =
+      RestrictedSolutions(pattern_index, scope->region, scope->ancestors,
+                          /*use_pre_flags=*/false, nullptr);
+  const size_t nq = patterns_[pattern_index].size();
+  for (size_t q = 0; q < nq; ++q) {
+    // Both sides are sorted by start and starts are unique; labels of nodes
+    // surviving the operation are unchanged (gap labeling), so a start-keyed
+    // merge is an exact set difference.
+    const std::vector<xml::NodeId>& pre = scope->pre[q];
+    const std::vector<xml::NodeId>& now = post[q];
+    auto& add = added_[pattern_index][q];
+    auto& rem = removed_[pattern_index][q];
+    size_t a = 0, b = 0;
+    while (a < pre.size() || b < now.size()) {
+      const uint32_t sa = a < pre.size()
+                              ? doc_->NodeLabel(pre[a]).start
+                              : 0xFFFFFFFFu;
+      const uint32_t sb = b < now.size()
+                              ? doc_->NodeLabel(now[b]).start
+                              : 0xFFFFFFFFu;
+      if (sa == sb) {
+        ++a;
+        ++b;
+      } else if (sa < sb) {
+        // In pre only: the node left the solution list.
+        const xml::Label label = doc_->NodeLabel(pre[a]);
+        if (add.erase(label.start) == 0) rem.emplace(label.start, label);
+        ++a;
+      } else {
+        // In post only: the node entered the solution list.
+        const xml::Label label = doc_->NodeLabel(now[b]);
+        if (rem.erase(label.start) == 0) add.emplace(label.start, label);
+        ++b;
+      }
+    }
+  }
+  scope->pre.clear();
+}
+
+std::vector<std::vector<xml::NodeId>> DeltaCollector::RestrictedSolutions(
+    size_t pattern_index, const xml::Label& region,
+    const std::vector<Scope::Anc>& ancestors, bool use_pre_flags,
+    const xml::Label* exclude) const {
+  const tpq::TreePattern& pattern = patterns_[pattern_index];
+  const std::vector<xml::TagId> tags = ResolveTags(*doc_, pattern);
+  const size_t nq = pattern.size();
+
+  // Candidates per pattern node: the injected path ancestors (strictly
+  // above the region, outermost first, so ascending by start), then live
+  // nodes of the tag whose labels lie inside [region.start, region.end].
+  // Per-tag streams are start-sorted, so the region is a contiguous slice
+  // (labels nest: a start inside the region implies the whole label is).
+  // Injected ancestors carry their exact, whole-document support status —
+  // computing it from the region-restricted candidate lists would miss
+  // witnesses elsewhere in their subtrees.
+  std::vector<std::vector<xml::NodeId>> candidates(nq);
+  std::vector<size_t> injected(nq, 0);
+  std::vector<std::vector<bool>> injected_flags(nq);
+  for (const Scope::Anc& a : ancestors) {
+    const size_t q = static_cast<size_t>(a.q);
+    candidates[q].push_back(a.node);
+    injected_flags[q].push_back(use_pre_flags ? a.pre_supported
+                                              : a.post_supported);
+    ++injected[q];
+  }
+  for (size_t q = 0; q < nq; ++q) {
+    if (tags[q] == xml::kInvalidTag) continue;
+    const std::vector<xml::NodeId>& stream = doc_->NodesOfTag(tags[q]);
+    auto first = std::lower_bound(
+        stream.begin(), stream.end(), region.start,
+        [this](xml::NodeId n, uint32_t s) { return doc_->NodeLabel(n).start < s; });
+    for (auto it = first;
+         it != stream.end() && doc_->NodeLabel(*it).start <= region.end; ++it) {
+      if (Excluded(doc_->NodeLabel(*it), exclude)) continue;
+      candidates[q].push_back(*it);
+    }
+  }
+
+  // Bottom-up: supported[q] = candidates heading an embedding of pattern
+  // subtree q. Nodes are in preorder, so reverse iteration sees children
+  // before parents. Injected ancestors use their precomputed flag; region
+  // candidates' subtrees lie inside the region, so the restricted check is
+  // exact for them.
+  std::vector<std::vector<xml::NodeId>> supported(nq);
+  std::vector<std::vector<uint32_t>> supported_starts(nq);
+  for (size_t qi = nq; qi-- > 0;) {
+    const int q = static_cast<int>(qi);
+    const tpq::PatternNode& pn = pattern.node(q);
+    for (size_t ci = 0; ci < candidates[qi].size(); ++ci) {
+      const xml::NodeId n = candidates[qi][ci];
+      const xml::Label ln = doc_->NodeLabel(n);
+      bool ok;
+      if (ci < injected[qi]) {
+        ok = injected_flags[qi][ci];
+      } else {
+        ok = true;
+        for (int c : pn.children) {
+          const auto& cs = supported_starts[static_cast<size_t>(c)];
+          const auto& cn = supported[static_cast<size_t>(c)];
+          auto it = std::upper_bound(cs.begin(), cs.end(), ln.start);
+          bool found = false;
+          if (pattern.node(c).incoming == tpq::Axis::kDescendant) {
+            found = it != cs.end() && *it < ln.end;
+          } else {
+            for (size_t k = static_cast<size_t>(it - cs.begin());
+                 k < cs.size() && cs[k] < ln.end; ++k) {
+              if (doc_->NodeLabel(cn[k]).level == ln.level + 1) {
+                found = true;
+                break;
+              }
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (ok) {
+        supported[qi].push_back(n);
+        supported_starts[qi].push_back(ln.start);
+      }
+    }
+  }
+
+  // Top-down: keep supported nodes reachable from a pattern-root image. A
+  // pc-bound pattern root matches only the document root element,
+  // everywhere-bound roots match any supported candidate.
+  std::vector<std::vector<xml::NodeId>> solutions(nq);
+  if (pattern.node(0).incoming == tpq::Axis::kChild) {
+    for (xml::NodeId n : supported[0]) {
+      if (n == doc_->Root()) solutions[0].push_back(n);
+    }
+  } else {
+    solutions[0] = supported[0];
+  }
+  for (size_t q = 1; q < nq; ++q) {
+    const tpq::PatternNode& pn = pattern.node(static_cast<int>(q));
+    const bool pc = pn.incoming == tpq::Axis::kChild;
+    const std::vector<xml::NodeId>& up = solutions[static_cast<size_t>(pn.parent)];
+    for (xml::NodeId m : supported[q]) {
+      const xml::Label lm = doc_->NodeLabel(m);
+      for (xml::NodeId n : up) {
+        const xml::Label ln = doc_->NodeLabel(n);
+        if (ln.start >= lm.start) break;  // up is start-sorted
+        if (lm.end < ln.end && (!pc || ln.level + 1 == lm.level)) {
+          solutions[q].push_back(m);
+          break;
+        }
+      }
+    }
+  }
+  return solutions;
+}
+
+std::vector<PatternDeltas> DeltaCollector::TakeDeltas() {
+  std::vector<PatternDeltas> out(patterns_.size());
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    const size_t nq = patterns_[i].size();
+    out[i].added.resize(nq);
+    out[i].removed.resize(nq);
+    for (size_t q = 0; q < nq; ++q) {
+      for (auto& [start, label] : added_[i][q]) out[i].added[q].push_back(label);
+      for (auto& [start, label] : removed_[i][q])
+        out[i].removed[q].push_back(label);
+      auto by_start = [](const xml::Label& a, const xml::Label& b) {
+        return a.start < b.start;
+      };
+      std::sort(out[i].added[q].begin(), out[i].added[q].end(), by_start);
+      std::sort(out[i].removed[q].begin(), out[i].removed[q].end(), by_start);
+      added_[i][q].clear();
+      removed_[i][q].clear();
+    }
+  }
+  return out;
+}
+
+}  // namespace viewjoin::view

@@ -1,0 +1,150 @@
+#ifndef VIEWJOIN_VIEW_DELTA_H_
+#define VIEWJOIN_VIEW_DELTA_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "tpq/pattern.h"
+#include "xml/document.h"
+#include "xml/label.h"
+
+namespace viewjoin::view {
+
+/// Per-pattern-node solution-list deltas of one view pattern: added[q] /
+/// removed[q] are the labels entering / leaving the solution list L_q,
+/// sorted by start. Shapes match storage::ViewCatalog::ListDeltas so the
+/// engine can hand them over verbatim.
+struct PatternDeltas {
+  std::vector<std::vector<xml::Label>> added;
+  std::vector<std::vector<xml::Label>> removed;
+
+  bool empty() const {
+    for (const auto& a : added)
+      if (!a.empty()) return false;
+    for (const auto& r : removed)
+      if (!r.empty()) return false;
+    return true;
+  }
+};
+
+/// Computes, for a batch of live-document updates, the exact change to every
+/// view's solution-node lists — without re-evaluating any pattern over the
+/// whole document.
+///
+/// The key containment property of region-labelled TPQ matching: a subtree
+/// insert or delete of subtree S at attachment point p can change the
+/// solution status only of (a) nodes inside S, (b) pattern-tagged strict
+/// ancestors of p whose *support* (heading an embedding of their pattern
+/// subtree) flips — support depends solely on a node's descendants, and the
+/// only existing nodes whose descendant set changes are ancestors of p —
+/// and (c) nodes below such a flipped ancestor, whose reachability from a
+/// pattern-root image may change with it.
+///
+/// So each mutation is sandwiched over a tight region: the mutated subtree
+/// itself in the common case, widening to the subtree of the highest
+/// support-flipped ancestor only when one exists. Ancestors above the
+/// region are probed with exact early-exit witness searches over the full
+/// per-tag streams (cost O(depth * witness distance), not O(container)),
+/// and injected into both restricted evaluations with their support status
+/// pinned, so embeddings of region nodes can climb through them. The set
+/// difference of the pre and post solution sets is the delta. Deltas from
+/// successive operations in one batch cancel (a label added then removed
+/// contributes nothing), so TakeDeltas() returns the net batch effect —
+/// exactly what storage::ViewCatalog::ApplyUpdateBatch merges.
+///
+/// Restricted evaluation is the standard two-pass solution-node
+/// characterization: a bottom-up pass marks nodes that head an embedding of
+/// their pattern subtree, a top-down pass keeps those reachable from a
+/// pattern-root image. Cost is proportional to the tag-list sizes inside the
+/// scope region, not the document — for a batch of localized updates this is
+/// O(|S|) per op plus the ancestor probes, independent of how fat the
+/// surrounding containers are.
+class DeltaCollector {
+ public:
+  /// `doc` must outlive the collector; `patterns` are the view patterns to
+  /// maintain, copied. Every pattern must have unique tags (the system-wide
+  /// standing assumption).
+  DeltaCollector(const xml::Document* doc,
+                 std::vector<tpq::TreePattern> patterns);
+
+  // Sandwich calls around each document mutation. Will* must be called
+  // before the corresponding Document::InsertSubtree / DeleteSubtree, Did*
+  // immediately after it succeeds (skip Did* if the mutation failed).
+  void WillInsert(xml::NodeId parent);
+  void DidInsert(xml::NodeId new_root);
+  void WillDelete(xml::NodeId victim);
+  void DidDelete();
+
+  /// Net deltas accumulated since construction (or the previous take), one
+  /// PatternDeltas per pattern in construction order, labels sorted by
+  /// start. Resets the accumulator.
+  std::vector<PatternDeltas> TakeDeltas();
+
+  size_t pattern_count() const { return patterns_.size(); }
+
+ private:
+  struct Scope {
+    /// A pattern-tagged strict ancestor of the attachment point with its
+    /// exact support status before and after the mutation.
+    struct Anc {
+      xml::NodeId node;
+      int q;  // the pattern node it can image (unique tags: at most one)
+      bool pre_supported;
+      bool post_supported;
+    };
+
+    bool pending_root = false;  // region resolves at DidInsert (new subtree)
+    xml::Label region{0, 0, 0};
+    std::vector<Anc> ancestors;  // strictly above region, outermost first
+    std::vector<std::vector<xml::NodeId>> pre;  // solutions before the op
+  };
+
+  /// Exact existence check: does `self` (imaging pattern node q) head an
+  /// embedding of q's pattern subtree? Walks the full per-tag streams with
+  /// early exit at the first witness; candidates whose start lies inside
+  /// `exclude` are skipped (simulating the pre/post state of a mutation).
+  bool SupportedExists(const tpq::TreePattern& pattern,
+                       const std::vector<xml::TagId>& tags, int q,
+                       const xml::Label& self,
+                       const xml::Label* exclude) const;
+
+  /// Pattern-tagged ancestors of `from` (inclusive), outermost first, with
+  /// support flags unset.
+  std::vector<Scope::Anc> TaggedAncestors(size_t pattern_index,
+                                          const std::vector<xml::TagId>& tags,
+                                          xml::NodeId from) const;
+
+  /// Picks the sandwich region — the mutated subtree, or the subtree of the
+  /// highest support-flipped ancestor — and drops ancestors the region now
+  /// covers.
+  void ResolveScope(size_t pattern_index, Scope* scope,
+                    const xml::Label& mutated);
+
+  void FinishScope(size_t pattern_index, Scope* scope);
+
+  /// Solution nodes of patterns_[pattern_index] restricted to the document
+  /// region [region.start, region.end] (per pattern node, sorted by start),
+  /// with `ancestors` injected as extra candidates carrying pinned support
+  /// status (pre or post flags per `use_pre_flags`) and candidates inside
+  /// `exclude` masked out. Tag ids are resolved fresh per call: an insert
+  /// may intern pattern tags the document had never seen.
+  std::vector<std::vector<xml::NodeId>> RestrictedSolutions(
+      size_t pattern_index, const xml::Label& region,
+      const std::vector<Scope::Anc>& ancestors, bool use_pre_flags,
+      const xml::Label* exclude) const;
+
+  const xml::Document* doc_;
+  std::vector<tpq::TreePattern> patterns_;
+
+  std::vector<Scope> open_;  // per pattern, valid between Will* and Did*
+
+  // Net accumulator: per pattern, per pattern node, start -> label. A label
+  // entering `added` cancels a pending `removed` entry and vice versa.
+  std::vector<std::vector<std::unordered_map<uint32_t, xml::Label>>> added_;
+  std::vector<std::vector<std::unordered_map<uint32_t, xml::Label>>> removed_;
+};
+
+}  // namespace viewjoin::view
+
+#endif  // VIEWJOIN_VIEW_DELTA_H_

@@ -7,17 +7,33 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/status.h"
 #include "xml/label.h"
 
 namespace viewjoin::xml {
 
+/// Flat preorder description of a subtree to insert into a live document.
+/// `nodes[0]` is the subtree root (parent == kNoParent); every other node's
+/// parent indexes an *earlier* spec node, so the vector is a valid preorder.
+struct SubtreeSpec {
+  static constexpr uint32_t kNoParent = 0xFFFFFFFFu;
+  struct Node {
+    std::string tag;
+    uint32_t parent = kNoParent;
+  };
+  std::vector<Node> nodes;
+};
+
 /// Region-labelled XML element tree stored in struct-of-arrays form.
 ///
-/// Nodes are identified by `NodeId`, which is also the document-order rank:
-/// node ids increase strictly with `start` labels. The document owns a tag
-/// table interning element-type names to dense `TagId`s, and an inverted
-/// index from TagId to the document-ordered list of nodes of that type (the
-/// "element streams" all join algorithms consume).
+/// Nodes are identified by `NodeId`. For documents built purely through
+/// StartElement/EndElement, node ids are also the document-order rank; live
+/// updates (InsertSubtree/DeleteSubtree) append new ids at the end and
+/// tombstone removed ones, so after updates only the per-tag streams — which
+/// are kept sorted by start label — define document order. The document owns
+/// a tag table interning element-type names to dense `TagId`s, and an
+/// inverted index from TagId to the document-ordered list of live nodes of
+/// that type (the "element streams" all join algorithms consume).
 class Document {
  public:
   Document() = default;
@@ -86,6 +102,52 @@ class Document {
   /// Start labels are unique, so this resolves stored labels back to nodes.
   NodeId FindByStart(TagId tag, uint32_t start) const;
 
+  // ---- Live updates ---------------------------------------------------------
+  //
+  // Gap-based region labeling: RelabelWithGap(g) multiplies every label
+  // position by g, opening g-1 unused positions between any two adjacent
+  // ones. InsertSubtree then allocates labels strictly inside the gap at the
+  // insertion point without touching any existing label; only when a gap is
+  // too small for the inserted subtree does it fail with kResourceExhausted,
+  // and the caller relabels (and rebuilds anything that stores labels).
+
+  /// Multiplies all label positions by `gap` (> 0), preserving document
+  /// order and all structural relations. Fails with kResourceExhausted if
+  /// the largest position would overflow 32 bits, with kInvalidArgument on
+  /// gap == 0 or an incomplete document. Bumps revision().
+  util::Status RelabelWithGap(uint32_t gap);
+
+  /// Inserts `spec` under `parent`, positioned after the existing child
+  /// `after` (kInvalidNode inserts as the first child). New nodes take ids
+  /// [NodeCount() before, NodeCount() after) in spec preorder; the returned
+  /// id is the subtree root's. Labels are evenly spaced inside the gap at
+  /// the insertion point; fails with kResourceExhausted when the gap cannot
+  /// fit 2·|spec| new positions (relabel and retry), kInvalidArgument on a
+  /// malformed spec or attachment point. Bumps revision().
+  util::StatusOr<NodeId> InsertSubtree(const SubtreeSpec& spec, NodeId parent,
+                                       NodeId after = kInvalidNode);
+
+  /// Unlinks the subtree rooted at `root` (which must not be the document
+  /// root) and tombstones its nodes: they leave every per-tag stream and the
+  /// structure links, but their labels and tags stay readable so callers can
+  /// compute deltas from the ids appended to `removed` (preorder). Bumps
+  /// revision(). Fails with kInvalidArgument on the document root or an
+  /// already-deleted node.
+  util::Status DeleteSubtree(NodeId root,
+                             std::vector<NodeId>* removed = nullptr);
+
+  /// True iff `n` is a valid, non-tombstoned node.
+  bool IsLive(NodeId n) const {
+    return n < labels_.size() && !deleted_[n];
+  }
+
+  /// Nodes currently in the tree (NodeCount() minus tombstones).
+  size_t LiveNodeCount() const { return labels_.size() - deleted_count_; }
+
+  /// Monotone counter bumped by every mutating call after construction;
+  /// caches keyed on document content (statistics, plans) compare this.
+  uint64_t revision() const { return revision_; }
+
   // ---- Structural predicates on node ids ------------------------------------
 
   bool IsAncestor(NodeId a, NodeId b) const {
@@ -105,6 +167,7 @@ class Document {
   std::vector<NodeId> first_child_;
   std::vector<NodeId> last_child_;  // build-time helper for sibling links
   std::vector<NodeId> next_sibling_;
+  std::vector<uint8_t> deleted_;  // tombstones from DeleteSubtree
 
   std::vector<std::string> tag_names_;
   std::unordered_map<std::string, TagId> tag_ids_;
@@ -113,7 +176,14 @@ class Document {
 
   std::vector<NodeId> open_stack_;
   uint32_t next_pos_ = 1;
+  size_t deleted_count_ = 0;
+  uint64_t revision_ = 0;
 };
+
+/// Converts the subtree of `doc` rooted at `root` (default: the whole
+/// document) into a SubtreeSpec, e.g. to graft a parsed fragment into a live
+/// document via InsertSubtree.
+SubtreeSpec SpecFromDocument(const Document& doc, NodeId root = 0);
 
 }  // namespace viewjoin::xml
 

@@ -693,6 +693,242 @@ TEST(DrainTest, DrainIsIdempotentAndSafeFromConcurrentCallers) {
   EXPECT_TRUE(fx.server->Drain());  // and again, long after
 }
 
+// ---- Live-document updates over the wire -----------------------------------
+
+TEST(WireTest, UpdateRequestRoundTrips) {
+  server::UpdateRequest in;
+  in.tenant = "tenant-3";
+  server::UpdateRequest::Op insert;
+  insert.kind = 0;
+  insert.target_tag = "r";
+  insert.target_start = 1;
+  insert.after_tag = "a";
+  insert.after_start = 2;
+  insert.fragment = "<a><b><c/></b></a>";
+  in.ops.push_back(insert);
+  server::UpdateRequest::Op del;
+  del.kind = 1;
+  del.target_tag = "x";
+  del.target_start = 77;
+  in.ops.push_back(del);
+
+  std::string payload = server::EncodeUpdateRequest(in);
+  ASSERT_EQ(*server::PeekType(payload), server::MsgType::kUpdateRequest);
+  server::UpdateRequest out;
+  ASSERT_TRUE(server::DecodeUpdateRequest(payload, &out).ok());
+  EXPECT_EQ(out.tenant, in.tenant);
+  ASSERT_EQ(out.ops.size(), 2u);
+  EXPECT_EQ(out.ops[0].kind, 0);
+  EXPECT_EQ(out.ops[0].target_tag, "r");
+  EXPECT_EQ(out.ops[0].target_start, 1u);
+  EXPECT_EQ(out.ops[0].after_tag, "a");
+  EXPECT_EQ(out.ops[0].after_start, 2u);
+  EXPECT_EQ(out.ops[0].fragment, insert.fragment);
+  EXPECT_EQ(out.ops[1].kind, 1);
+  EXPECT_EQ(out.ops[1].target_tag, "x");
+  EXPECT_EQ(out.ops[1].target_start, 77u);
+}
+
+TEST(WireTest, UpdateResponseRoundTrips) {
+  server::UpdateResponse in;
+  in.verdict = Verdict::kOk;
+  in.error = "";
+  in.retry_after_ms = 12.5;
+  in.applied = 3;
+  in.failed = {"op 1: no live node <z> with start 9"};
+  in.relabeled = true;
+  in.txn_epoch = 41;
+  in.delta_maintained = 2;
+  in.fully_rebuilt = 1;
+  in.server_ms = 7.25;
+
+  std::string payload = server::EncodeUpdateResponse(in);
+  ASSERT_EQ(*server::PeekType(payload), server::MsgType::kUpdateResponse);
+  server::UpdateResponse out;
+  ASSERT_TRUE(server::DecodeUpdateResponse(payload, &out).ok());
+  EXPECT_EQ(out.verdict, in.verdict);
+  EXPECT_DOUBLE_EQ(out.retry_after_ms, in.retry_after_ms);
+  EXPECT_EQ(out.applied, in.applied);
+  EXPECT_EQ(out.failed, in.failed);
+  EXPECT_EQ(out.relabeled, in.relabeled);
+  EXPECT_EQ(out.txn_epoch, in.txn_epoch);
+  EXPECT_EQ(out.delta_maintained, in.delta_maintained);
+  EXPECT_EQ(out.fully_rebuilt, in.fully_rebuilt);
+  EXPECT_DOUBLE_EQ(out.server_ms, in.server_ms);
+}
+
+TEST(WireTest, UpdateOpCountIsCapped) {
+  // An attacker-controlled op count past the cap is a typed malformed-frame
+  // error, decoded cheaply before any per-op allocation spree.
+  server::UpdateRequest huge;
+  huge.ops.resize(4097);
+  std::string payload = server::EncodeUpdateRequest(huge);
+  server::UpdateRequest out;
+  util::Status decoded = server::DecodeUpdateRequest(payload, &out);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.ToString().find("too many update ops"), std::string::npos)
+      << decoded.ToString();
+}
+
+// The client-side refusal retry schedule: every delay is clamped to
+// [base, cap] regardless of the server's Retry-After hint, so total wait is
+// provably bounded by max_retries x cap — a hostile hint cannot park the
+// client.
+TEST(RetryPolicyTest, TotalWaitIsBoundedDespiteHostileRetryAfter) {
+  const int kMaxRetries = 5;
+  const double kBase = 10, kCap = 500;
+  server::RefusalRetryPolicy policy(kMaxRetries, kBase, kCap, /*seed=*/42);
+
+  // Execution failures are never retried and never consume budget.
+  EXPECT_LT(policy.NextDelayMs(Verdict::kError, 100), 0);
+  EXPECT_LT(policy.NextDelayMs(Verdict::kTimeout, 100), 0);
+  EXPECT_EQ(policy.remaining(), kMaxRetries);
+
+  for (int i = 0; i < kMaxRetries; ++i) {
+    const Verdict verdict =
+        i % 2 == 0 ? Verdict::kRejected : Verdict::kShuttingDown;
+    double delay = policy.NextDelayMs(verdict, /*retry_after_ms=*/1e9);
+    EXPECT_GE(delay, kBase);
+    EXPECT_LE(delay, kCap);
+  }
+  // Budget spent: further refusals are surrendered, not slept on.
+  EXPECT_LT(policy.NextDelayMs(Verdict::kRejected, 1), 0);
+  EXPECT_EQ(policy.remaining(), 0);
+  EXPECT_LE(policy.total_wait_ms(), kMaxRetries * kCap);
+  EXPECT_GE(policy.total_wait_ms(), kMaxRetries * kBase);
+}
+
+TEST(ServerUpdateTest, AppliesUpdateBatchOverTcp) {
+  Fixture fx(4);
+  Client client = fx.Connected();
+
+  // Baseline: 4 groups -> 4 matches.
+  util::StatusOr<QueryResponse> baseline = client.Query(GroupRequest());
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  ASSERT_EQ(baseline->match_count, 4u);
+
+  // Graft a fifth a(b(c)) group under the root. GroupDoc has consecutive
+  // labels (no gap), so this exercises the relabel + rebuild path end to
+  // end through the wire.
+  server::UpdateRequest update;
+  server::UpdateRequest::Op op;
+  op.kind = 0;
+  op.target_tag = "r";
+  op.target_start = 1;
+  op.fragment = "<a><b><c/></b></a>";
+  update.ops.push_back(op);
+
+  util::StatusOr<server::UpdateResponse> response = client.Update(update);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->verdict, Verdict::kOk) << response->error;
+  EXPECT_EQ(response->applied, 1u);
+  EXPECT_TRUE(response->failed.empty());
+  EXPECT_TRUE(response->relabeled);
+  EXPECT_GT(response->txn_epoch, 0u);
+  EXPECT_GT(response->fully_rebuilt, 0u);
+  EXPECT_GE(response->server_ms, 0.0);
+
+  // The same connection immediately queries the new epoch.
+  util::StatusOr<QueryResponse> after = client.Query(GroupRequest());
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  ASSERT_EQ(after->verdict, Verdict::kOk) << after->error;
+  EXPECT_EQ(after->match_count, 5u);
+}
+
+TEST(ServerUpdateTest, MalformedFragmentRejectsWholeBatchTyped) {
+  Fixture fx(2);
+  Client client = fx.Connected();
+
+  server::UpdateRequest update;
+  server::UpdateRequest::Op op;
+  op.kind = 0;
+  op.target_tag = "r";
+  op.target_start = 1;
+  op.fragment = "<a><b>";  // unclosed
+  update.ops.push_back(op);
+
+  util::StatusOr<server::UpdateResponse> response = client.Update(update);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->verdict, Verdict::kError);
+  EXPECT_NE(response->error.find("bad fragment"), std::string::npos)
+      << response->error;
+  EXPECT_EQ(response->applied, 0u);
+
+  // Nothing was half-applied and the server still serves.
+  util::StatusOr<QueryResponse> query = client.Query(GroupRequest());
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->match_count, 2u);
+}
+
+TEST(ServerUpdateTest, OverQuotaUpdateIsRetryableThroughPolicy) {
+  ServerOptions options;
+  options.quota_rate_per_sec = 0.25;  // sustains one call every 4s
+  options.quota_burst = 1;
+  Fixture fx(2, options);
+  Client client = fx.Connected();
+
+  server::UpdateRequest update;
+  update.tenant = "t";
+  server::UpdateRequest::Op op;
+  op.kind = 0;
+  op.target_tag = "r";
+  op.target_start = 1;
+  op.fragment = "<a><b><c/></b></a>";
+  update.ops.push_back(op);
+
+  util::StatusOr<server::UpdateResponse> first = client.Update(update);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->verdict, Verdict::kOk) << first->error;
+
+  // The burst is spent: the second update is refused with a Retry-After
+  // hint, which the retry policy turns into one bounded, clamped delay.
+  util::StatusOr<server::UpdateResponse> second = client.Update(update);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_EQ(second->verdict, Verdict::kRejected);
+  EXPECT_GT(second->retry_after_ms, 0.0);
+
+  server::RefusalRetryPolicy policy(/*max_retries=*/3, /*base_ms=*/5,
+                                    /*cap_ms=*/50, /*seed=*/7);
+  ASSERT_TRUE(server::RefusalRetryPolicy::Retryable(second->verdict));
+  double delay = policy.NextDelayMs(second->verdict, second->retry_after_ms);
+  EXPECT_GE(delay, 5.0);
+  EXPECT_LE(delay, 50.0);  // clamped even if the hint says seconds
+}
+
+TEST(ServerUpdateTest, UpdateDuringDrainIsShuttingDownNotHalfApplied) {
+  Fixture fx(2);
+  Client client = fx.Connected();
+  ASSERT_TRUE(client.Query(GroupRequest()).ok());
+
+  std::thread drainer([&] { fx.server->Drain(); });
+  // Wait until the server has entered the draining state.
+  while (!fx.server->draining()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server::UpdateRequest update;
+  server::UpdateRequest::Op op;
+  op.kind = 0;
+  op.target_tag = "r";
+  op.target_start = 1;
+  op.fragment = "<a><b><c/></b></a>";
+  update.ops.push_back(op);
+  util::StatusOr<server::UpdateResponse> refused = client.Update(update);
+  if (refused.ok()) {
+    EXPECT_EQ(refused->verdict, Verdict::kShuttingDown);
+    EXPECT_GT(refused->retry_after_ms, 0.0);
+    EXPECT_EQ(refused->applied, 0u);
+    EXPECT_TRUE(server::RefusalRetryPolicy::Retryable(refused->verdict));
+  } else {
+    // The keep-alive connection may already have been torn down by drain;
+    // a transport error is the other legal outcome, never a half-applied
+    // batch.
+    EXPECT_FALSE(refused.ok());
+  }
+  drainer.join();
+  // The document was never touched: still 2 groups' worth of structure.
+  EXPECT_EQ(fx.doc.NodesOfTag(fx.doc.FindTag("a")).size(), 2u);
+}
+
 }  // namespace
 }  // namespace viewjoin
 

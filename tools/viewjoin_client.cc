@@ -18,11 +18,13 @@
 // abortive close, so the peer sees a real RST. Used by the CI smoke job to
 // prove a client vanishing mid-request never wedges or crashes the server.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "server/client.h"
@@ -33,18 +35,41 @@ namespace {
 using viewjoin::server::Client;
 using viewjoin::server::QueryRequest;
 using viewjoin::server::QueryResponse;
+using viewjoin::server::RefusalRetryPolicy;
 using viewjoin::server::StatusResponse;
+using viewjoin::server::UpdateRequest;
+using viewjoin::server::UpdateResponse;
 using viewjoin::server::Verdict;
 
 void Usage(const char* prog) {
   std::fprintf(
       stderr,
       "usage: %s (--port N | --port-file PATH) [--host IP]\n"
-      "          (--query XPATH --views 'V1;V2;..' | --status)\n"
+      "          (--query XPATH --views 'V1;V2;..' | --status |\n"
+      "           --insert TAG@START --fragment XML [--after TAG@START] |\n"
+      "           --delete TAG@START)\n"
       "          [--scheme E|T|LE|LE_p] [--algo TS|VJ|IJ|auto]\n"
       "          [--tenant NAME] [--deadline-ms MS] [--timeout-ms MS]\n"
-      "          [--repeat N] [--inject-reset]\n",
+      "          [--repeat N] [--retry N] [--retry-base-ms MS]\n"
+      "          [--retry-cap-ms MS] [--inject-reset]\n"
+      "\n"
+      "--insert/--delete may repeat; all ops travel as one atomic batch.\n"
+      "--retry N re-sends a request refused with REJECTED/SHUTTING-DOWN up\n"
+      "to N times, honoring Retry-After under a decorrelated-jitter backoff\n"
+      "capped at --retry-cap-ms per attempt.\n",
       prog);
+}
+
+/// Parses "tag@start" node coordinates (as printed by query results).
+bool ParseCoord(const std::string& text, std::string* tag, uint32_t* start) {
+  size_t at = text.rfind('@');
+  if (at == std::string::npos || at == 0 || at + 1 >= text.size()) return false;
+  *tag = text.substr(0, at);
+  char* end = nullptr;
+  unsigned long value = std::strtoul(text.c_str() + at + 1, &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *start = static_cast<uint32_t>(value);
+  return true;
 }
 
 std::vector<std::string> SplitList(const std::string& text) {
@@ -83,9 +108,13 @@ int main(int argc, char** argv) {
   int port = -1;
   std::string port_file;
   QueryRequest request;
+  UpdateRequest update;
   bool status_probe = false;
   double timeout_ms = 5000;
   int repeat = 1;
+  int retries = 0;
+  double retry_base_ms = 10;
+  double retry_cap_ms = 500;
   bool inject_reset = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -131,6 +160,38 @@ int main(int argc, char** argv) {
     } else if (arg == "--repeat") {
       if ((v = next()) == nullptr) return 2;
       repeat = std::atoi(v);
+    } else if (arg == "--retry") {
+      if ((v = next()) == nullptr) return 2;
+      retries = std::atoi(v);
+    } else if (arg == "--retry-base-ms") {
+      if ((v = next()) == nullptr) return 2;
+      retry_base_ms = std::atof(v);
+    } else if (arg == "--retry-cap-ms") {
+      if ((v = next()) == nullptr) return 2;
+      retry_cap_ms = std::atof(v);
+    } else if (arg == "--insert" || arg == "--delete") {
+      bool insert = arg == "--insert";
+      if ((v = next()) == nullptr) return 2;
+      UpdateRequest::Op op;
+      op.kind = insert ? 0 : 1;
+      if (!ParseCoord(v, &op.target_tag, &op.target_start)) {
+        std::fprintf(stderr, "bad coordinates '%s' (want TAG@START)\n", v);
+        return 2;
+      }
+      update.ops.push_back(std::move(op));
+    } else if (arg == "--after" || arg == "--fragment") {
+      if ((v = next()) == nullptr) return 2;
+      if (update.ops.empty() || update.ops.back().kind != 0) {
+        std::fprintf(stderr, "%s must follow --insert\n", arg.c_str());
+        return 2;
+      }
+      if (arg == "--fragment") {
+        update.ops.back().fragment = v;
+      } else if (!ParseCoord(v, &update.ops.back().after_tag,
+                             &update.ops.back().after_start)) {
+        std::fprintf(stderr, "bad coordinates '%s' (want TAG@START)\n", v);
+        return 2;
+      }
     } else if (arg == "--status") {
       status_probe = true;
     } else if (arg == "--inject-reset") {
@@ -151,9 +212,16 @@ int main(int argc, char** argv) {
     }
     std::fclose(f);
   }
-  if (port <= 0 || (!status_probe && request.query.empty())) {
+  if (port <= 0 ||
+      (!status_probe && request.query.empty() && update.ops.empty())) {
     Usage(argv[0]);
     return 2;
+  }
+  for (const UpdateRequest::Op& op : update.ops) {
+    if (op.kind == 0 && op.fragment.empty()) {
+      std::fprintf(stderr, "--insert needs a --fragment\n");
+      return 2;
+    }
   }
 
   Client client;
@@ -199,9 +267,79 @@ int main(int argc, char** argv) {
     return status->ready ? 0 : 1;
   }
 
+  const uint64_t retry_seed = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+  // A refused attempt may also lose its connection (the server retires
+  // keep-alive sockets fast during drain); each retry reconnects if needed.
+  auto reconnect = [&]() -> bool {
+    if (client.connected()) return true;
+    return client.Connect(host, static_cast<uint16_t>(port), timeout_ms).ok();
+  };
+  auto wait_and_retry = [&](RefusalRetryPolicy* policy, Verdict verdict,
+                            double retry_after_ms) -> bool {
+    double delay = policy->NextDelayMs(verdict, retry_after_ms);
+    if (delay < 0) return false;
+    std::fprintf(stderr, "refused (%s); retrying in %.1f ms (%d left)\n",
+                 viewjoin::server::VerdictName(verdict), delay,
+                 policy->remaining());
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(delay * 1000)));
+    return true;
+  };
+
+  if (!update.ops.empty()) {
+    update.tenant = request.tenant;
+    RefusalRetryPolicy policy(retries, retry_base_ms, retry_cap_ms,
+                              retry_seed);
+    for (;;) {
+      if (!reconnect()) {
+        std::fprintf(stderr, "reconnect failed\n");
+        return 2;
+      }
+      viewjoin::util::StatusOr<UpdateResponse> response =
+          client.Update(update);
+      if (!response.ok()) {
+        std::fprintf(stderr, "update: %s\n",
+                     response.status().ToString().c_str());
+        return 2;
+      }
+      if (wait_and_retry(&policy, response->verdict,
+                         response->retry_after_ms)) {
+        continue;
+      }
+      std::printf("verdict=%s applied=%llu epoch=%llu delta=%llu rebuilt=%llu "
+                  "server_ms=%.3f%s\n",
+                  viewjoin::server::VerdictName(response->verdict),
+                  static_cast<unsigned long long>(response->applied),
+                  static_cast<unsigned long long>(response->txn_epoch),
+                  static_cast<unsigned long long>(response->delta_maintained),
+                  static_cast<unsigned long long>(response->fully_rebuilt),
+                  response->server_ms,
+                  response->relabeled ? " relabeled" : "");
+      if (!response->error.empty()) {
+        std::fprintf(stderr, "error: %s\n", response->error.c_str());
+      }
+      for (const std::string& reason : response->failed) {
+        std::fprintf(stderr, "failed: %s\n", reason.c_str());
+      }
+      return VerdictExit(response->verdict);
+    }
+  }
+
   int exit_code = 0;
   for (int n = 0; n < repeat; ++n) {
+    RefusalRetryPolicy policy(retries, retry_base_ms, retry_cap_ms,
+                              retry_seed + static_cast<uint64_t>(n));
     viewjoin::util::StatusOr<QueryResponse> response = client.Query(request);
+    while (response.ok() &&
+           wait_and_retry(&policy, response->verdict,
+                          response->retry_after_ms)) {
+      if (!reconnect()) {
+        std::fprintf(stderr, "reconnect failed\n");
+        return 2;
+      }
+      response = client.Query(request);
+    }
     if (!response.ok()) {
       std::fprintf(stderr, "query: %s\n",
                    response.status().ToString().c_str());
