@@ -58,7 +58,17 @@ BenchContext::BenchContext(xml::Document doc)
     : doc_(std::move(doc)), storage_path_(UniqueStoragePath()) {
   core::EngineOptions options;
   options.pool_pages = 4096;
+  // Every bench honors the out-of-core knobs (VIEWJOIN_DOC_MODE,
+  // VIEWJOIN_DOC_POOL_PAGES, VIEWJOIN_PARSE_BUDGET,
+  // VIEWJOIN_READAHEAD_PAGES), so any figure can be re-measured with the
+  // base document paged through a bounded pool.
+  util::Status env = core::ApplyEnvOptions(&options);
+  VJ_CHECK(env.ok()) << env.ToString();
   engine_ = std::make_unique<core::Engine>(&doc_, storage_path_, options);
+  if (options.doc_mode == core::DocMode::kDisk) {
+    VJ_CHECK(engine_->doc_store() != nullptr)
+        << engine_->doc_store_status().ToString();
+  }
 }
 
 std::unique_ptr<BenchContext> BenchContext::Xmark(double scale, uint64_t seed) {
@@ -285,6 +295,9 @@ JsonReport::Row& JsonReport::Row::Metrics(const core::RunResult& result) {
   Set("pool_hits", result.io.pool_hits);
   Set("pool_misses", result.io.pool_misses);
   Set("read_retries", result.io.read_retries);
+  Set("prefetch_issued", result.io.prefetch_issued);
+  Set("prefetch_hits", result.io.prefetch_hits);
+  Set("prefetch_wasted", result.io.prefetch_wasted);
   Set("degraded", result.degraded);
   return *this;
 }

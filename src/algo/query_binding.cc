@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "storage/document_store.h"
 #include "util/check.h"
 
 namespace viewjoin::algo {
@@ -93,6 +94,33 @@ std::optional<QueryBinding> QueryBinding::BindBase(const xml::Document& doc,
       for (xml::NodeId n : nodes) labels.push_back(doc.NodeLabel(n));
     }
     nb.labels = &labels;
+  }
+  return binding;
+}
+
+std::optional<QueryBinding> QueryBinding::BindBase(
+    const xml::Document& doc, const storage::DocumentStore& store,
+    const TreePattern& query, std::string* error) {
+  if (!query.HasUniqueTags()) {
+    if (error != nullptr) {
+      *error = "query has duplicate element types: " + query.ToString();
+    }
+    return std::nullopt;
+  }
+  QueryBinding binding;
+  binding.doc_ = &doc;
+  binding.query_ = &query;
+  binding.bindings_.resize(query.size());
+  binding.intra_view_edge_.assign(query.size(), 0);
+  for (size_t q = 0; q < query.size(); ++q) {
+    NodeBinding& nb = binding.bindings_[q];
+    const std::string& tag_name = query.node(static_cast<int>(q)).tag;
+    // The in-memory tag id drives Resolve (FindByStart); the store's own
+    // (identically interned) tag id selects the paged list. An absent tag
+    // binds the store's shared empty list.
+    nb.tag = doc.FindTag(tag_name);
+    nb.list = store.ListOfTag(store.FindTag(tag_name));
+    nb.pool = store.pool();
   }
   return binding;
 }

@@ -8,6 +8,10 @@
 
 #include "storage/materialized_view.h"
 #include "tpq/pattern.h"
+
+namespace viewjoin::storage {
+class DocumentStore;
+}  // namespace viewjoin::storage
 #include "tpq/subpattern.h"
 #include "xml/document.h"
 
@@ -25,6 +29,10 @@ struct NodeBinding {
   const storage::StoredList* list = nullptr;
   /// In-memory label stream for base bindings (the document's own tag list).
   const std::vector<xml::Label>* labels = nullptr;
+  /// Buffer pool that serves `list` when it lives outside the view catalog
+  /// (document-store base bindings). Null for view lists — the operator's
+  /// catalog pool serves those.
+  storage::BufferPool* pool = nullptr;
   /// Resolved document tag (may be kInvalidTag when the tag is absent from
   /// the document; the list is then empty as well).
   xml::TagId tag = xml::kInvalidTag;
@@ -57,6 +65,16 @@ class QueryBinding {
   static std::optional<QueryBinding> BindBase(const xml::Document& doc,
                                               const tpq::TreePattern& query,
                                               std::string* error = nullptr);
+
+  /// Base binding whose streams are the document store's paged tag lists
+  /// instead of in-memory vectors: each node gets the store's StoredList and
+  /// pool, so TwigStack scans pinned pages (out-of-core path). The in-memory
+  /// document is still consulted for NodeId resolution (FindByStart), which
+  /// is what makes disk-mode solutions identical to memory-mode ones by
+  /// construction.
+  static std::optional<QueryBinding> BindBase(
+      const xml::Document& doc, const storage::DocumentStore& store,
+      const tpq::TreePattern& query, std::string* error = nullptr);
 
   const xml::Document& doc() const { return *doc_; }
   const tpq::TreePattern& query() const { return *query_; }

@@ -49,9 +49,12 @@ class TwigStack::Impl {
     heads_.resize(nq);
     for (size_t q = 0; q < nq; ++q) {
       const NodeBinding& nb = binding.binding(static_cast<int>(q));
-      // Base bindings stream the document's own tag lists from memory.
+      // Base bindings stream the document's own tag lists from memory,
+      // except when the binding carries its own pool — then the list is a
+      // document-store page list served by that pool (out-of-core path).
       cursors_[q] = nb.list != nullptr
-                        ? ListCursor(nb.list, pool)
+                        ? ListCursor(nb.list,
+                                     nb.pool != nullptr ? nb.pool : pool)
                         : ListCursor(nb.labels->data(),
                                      static_cast<uint32_t>(nb.labels->size()));
       RefreshHead(static_cast<int>(q));

@@ -87,6 +87,30 @@ void RetrySleep(double delay_ms) {
 
 }  // namespace
 
+util::Status ApplyEnvOptions(EngineOptions* options) {
+  util::StatusOr<std::string> mode = util::ParseEnumEnv(
+      "VIEWJOIN_DOC_MODE", {"memory", "disk"},
+      options->doc_mode == DocMode::kDisk ? "disk" : "memory");
+  if (!mode.ok()) return mode.status();
+  options->doc_mode = *mode == "disk" ? DocMode::kDisk : DocMode::kMemory;
+  util::StatusOr<int64_t> pool_pages = util::ParseNonNegativeIntEnv(
+      "VIEWJOIN_DOC_POOL_PAGES",
+      static_cast<int64_t>(options->doc_pool_pages));
+  if (!pool_pages.ok()) return pool_pages.status();
+  options->doc_pool_pages = static_cast<size_t>(*pool_pages);
+  util::StatusOr<int64_t> budget = util::ParseNonNegativeIntEnv(
+      "VIEWJOIN_PARSE_BUDGET",
+      static_cast<int64_t>(options->doc_parse_budget_bytes));
+  if (!budget.ok()) return budget.status();
+  options->doc_parse_budget_bytes = static_cast<size_t>(*budget);
+  util::StatusOr<int64_t> readahead = util::ParseNonNegativeIntEnv(
+      "VIEWJOIN_READAHEAD_PAGES",
+      static_cast<int64_t>(options->readahead_pages));
+  if (!readahead.ok()) return readahead.status();
+  options->readahead_pages = static_cast<size_t>(*readahead);
+  return util::Status::Ok();
+}
+
 void Engine::SetRetrySleepHookForTest(std::function<void(double)> hook) {
   RetrySleepHook() = std::move(hook);
 }
@@ -95,9 +119,14 @@ Engine::Engine(const xml::Document* doc, const std::string& storage_path,
                const EngineOptions& options)
     : doc_(doc),
       storage_path_(storage_path),
+      options_(options),
       catalog_(std::make_unique<storage::ViewCatalog>(
           storage_path, options.pool_pages, options.persistent)),
       spill_(std::make_unique<storage::Pager>(storage_path + ".spill")) {
+  if (options_.readahead_pages > 0) {
+    catalog_->pool()->SetReadAhead(options_.readahead_pages);
+  }
+  RebuildDocStore();
   // The scrubber's healer mirrors the query path's recovery step: rebuild
   // the quarantined view from the in-memory document and register the
   // replacement. recovery_mu_ serializes it against query-path rebuilds, so
@@ -114,7 +143,7 @@ Engine::Engine(const xml::Document* doc, const std::string& storage_path,
           return util::Status::Ok();  // a sibling already healed it
         }
         util::StatusOr<const MaterializedView*> repl =
-            catalog_->TryMaterialize(*doc_, view->pattern(), view->scheme());
+            Rematerialize(view->pattern(), view->scheme());
         if (!repl.ok()) return repl.status();
         catalog_->SetReplacement(view, *repl);
         return util::Status::Ok();
@@ -198,9 +227,15 @@ RunResult Engine::ExecuteInternal(
     catalog_->DropCaches();
     catalog_->ResetStats();
     ctx.spill->ResetStats();
+    if (doc_store_ != nullptr) {
+      doc_store_->DropCaches();
+      doc_store_->ResetStats();
+    }
   }
   storage::IoStats before = catalog_->Stats();
   storage::IoStats spill_before = ctx.spill->stats();
+  storage::IoStats doc_before =
+      doc_store_ != nullptr ? doc_store_->Stats() : storage::IoStats{};
 
   // Document statistics feed the planner's cardinality estimates. Collecting
   // them is document preprocessing (one DFS per document revision, like view
@@ -232,6 +267,8 @@ RunResult Engine::ExecuteInternal(
   if (doc_stats_.has_value()) pin.statistics = &*doc_stats_;
   pin.algorithm = run.algorithm;
   pin.mode = run.output_mode;
+  pin.disk_doc_mode = doc_store_ != nullptr;
+  pin.readahead_pages = options_.readahead_pages;
   bool plan_cached = false;
   std::shared_ptr<const plan::PhysicalPlan> planned =
       planner.Plan(pin, &plan_cached);
@@ -268,6 +305,7 @@ RunResult Engine::ExecuteInternal(
     config.pool = catalog_->pool();
     config.mode = mode;
     config.spill = ctx.spill;
+    config.doc_store = doc_store_.get();
     std::unique_ptr<plan::Operator> op = plan::MakeOperator(algorithm, config);
     util::Status open = op->Open();
     if (!open.ok()) {
@@ -303,6 +341,9 @@ RunResult Engine::ExecuteInternal(
   auto fill_common = [&]() {
     result.total_ms = timer.ElapsedMillis();
     result.io = catalog_->Stats().Delta(before);
+    if (doc_store_ != nullptr) {
+      result.io += doc_store_->Stats().Delta(doc_before);
+    }
     storage::IoStats spill_io = ctx.spill->stats().Delta(spill_before);
     result.io.pages_read += spill_io.pages_read;
     result.io.pages_written += spill_io.pages_written;
@@ -474,7 +515,7 @@ RunResult Engine::ExecuteInternal(
           result.quarantined_views.push_back(v->pattern().ToString());
         }
         util::StatusOr<const MaterializedView*> repl =
-            catalog_->TryMaterialize(*doc_, v->pattern(), v->scheme());
+            Rematerialize(v->pattern(), v->scheme());
         if (!repl.ok()) {
           rebuilt = false;
           break;
@@ -509,16 +550,18 @@ RunResult Engine::ExecuteInternal(
   }
 
   // Last resort: answer from the base document alone. The fallback operator
-  // runs TwigStack over the document's own tag lists and touches no stored
-  // page, so it cannot be harmed by view-store or spill faults; the match
-  // set is identical by definition. Its work is charged to the plan's
-  // verify-fallback step (via residual absorption in fill_common).
+  // runs TwigStack over the document's own tag lists (or, in disk doc-mode,
+  // the document store's page lists through the store's own pool) and
+  // touches no view-store page, so it cannot be harmed by view-store or
+  // spill faults; the match set is identical by definition. Its work is
+  // charged to the plan's verify-fallback step (via residual absorption in
+  // fill_common).
   clear_view_error();
   ctx.spill->ClearError();
   replay.Reset();
   result.error.clear();
-  std::unique_ptr<plan::Operator> base =
-      plan::MakeBaseFallbackOperator(*doc_, query, catalog_->pool());
+  std::unique_ptr<plan::Operator> base = plan::MakeBaseFallbackOperator(
+      *doc_, query, catalog_->pool(), doc_store_.get());
   util::Status base_open = base->Open();
   if (!base_open.ok()) {
     result.error = base_open.message();
@@ -725,6 +768,60 @@ class SolutionListSink : public tpq::MatchSink {
 };
 
 }  // namespace
+
+void Engine::RebuildDocStore() {
+  if (options_.doc_mode != DocMode::kDisk) return;
+  // Callers guarantee no cursor is live over the old store (constructor, or
+  // the exclusive phase of an update batch), so tearing it down is safe.
+  doc_store_.reset();
+  storage::DocumentStore::Options opts;
+  opts.pool_pages = options_.doc_pool_pages;
+  opts.parse_budget_bytes = options_.doc_parse_budget_bytes;
+  util::StatusOr<std::unique_ptr<storage::DocumentStore>> store =
+      storage::DocumentStore::BuildFromDocument(storage_path_ + ".doc", *doc_,
+                                                opts);
+  if (!store.ok()) {
+    // Degrade to in-memory streams: queries stay correct, the out-of-core
+    // property is lost, and doc_store_status() says why.
+    doc_store_status_ = store.status();
+    return;
+  }
+  doc_store_ = std::move(*store);
+  doc_store_status_ = util::Status::Ok();
+  if (options_.readahead_pages > 0) {
+    doc_store_->pool()->SetReadAhead(options_.readahead_pages);
+  }
+}
+
+util::StatusOr<const MaterializedView*> Engine::Rematerialize(
+    const TreePattern& pattern, Scheme scheme) {
+  // Tuple views and memory doc-mode rebuild straight from the in-memory
+  // document. In disk doc-mode, list-scheme views rebuild by evaluating the
+  // pattern over the store's page lists, so re-materialization scans pinned
+  // pages instead of materializing whole label vectors.
+  if (doc_store_ == nullptr || scheme == Scheme::kTuple) {
+    return catalog_->TryMaterialize(*doc_, pattern, scheme);
+  }
+  std::unique_ptr<plan::Operator> op = plan::MakeBaseFallbackOperator(
+      *doc_, pattern, catalog_->pool(), doc_store_.get());
+  util::Status open = op->Open();
+  if (!open.ok()) {
+    // A pattern the base binder rejects (duplicate tags) still materializes
+    // through the document-path evaluator.
+    return catalog_->TryMaterialize(*doc_, pattern, scheme);
+  }
+  storage::BufferPool::ErrorScope guard(doc_store_->pool());
+  SolutionListSink sink(pattern.size());
+  op->Evaluate(&sink, nullptr);
+  op->Close();
+  if (!guard.error().ok()) {
+    // A doc-store page fault would install a truncated view; the in-memory
+    // document is authoritative, so heal from it instead.
+    return catalog_->TryMaterialize(*doc_, pattern, scheme);
+  }
+  return catalog_->TryMaterializeFromLists(*doc_, pattern, sink.TakeSorted(),
+                                           scheme);
+}
 
 RunResult Engine::ExecuteToView(
     const TreePattern& query,
@@ -934,6 +1031,10 @@ util::StatusOr<UpdateResult> Engine::ApplyUpdates(
       if (!rebuild_all) collector.DidInsert(*inserted);
       ++out.applied;
     }
+    // Disk doc-mode: re-snapshot the paged store while the exclusive lock
+    // still guarantees no cursor is live over the old pages. Queries
+    // admitted after this block scan the post-batch streams.
+    if (out.applied > 0 || out.relabeled) RebuildDocStore();
   }
   out.doc_revision = mutable_doc_->revision();
   if (out.applied == 0 && !out.relabeled) return out;  // document unchanged

@@ -16,6 +16,7 @@
 #include "plan/algorithm.h"
 #include "plan/physical_plan.h"
 #include "plan/plan_cache.h"
+#include "storage/document_store.h"
 #include "storage/materialized_view.h"
 #include "storage/pager.h"
 #include "storage/scrubber.h"
@@ -42,9 +43,31 @@ using plan::ParseAlgorithm;
 ///   auto* v2 = engine.AddView("//bold", Scheme::kLinkedElement);
 ///   RunResult r = engine.Execute(*query, {v1, v2},
 ///                                     {.algorithm = Algorithm::kViewJoin});
+/// Where the base document's element streams live during evaluation.
+enum class DocMode {
+  /// The in-memory document's tag-list vectors serve base scans (seed
+  /// behavior, bit-identical results by construction).
+  kMemory,
+  /// A paged DocumentStore ("<storage_path>.doc") serves base scans through
+  /// pinned buffer-pool pages — the out-of-core path for documents bigger
+  /// than RAM. The in-memory document remains the update/NodeId-resolution
+  /// authority; only the label streams move to disk.
+  kDisk,
+};
+
 struct EngineOptions {
   /// Buffer-pool capacity in 4 KiB pages.
   size_t pool_pages = 1024;
+  /// Base-document stream placement (see DocMode).
+  DocMode doc_mode = DocMode::kMemory;
+  /// Buffer-pool frames of the document store (disk doc-mode only).
+  size_t doc_pool_pages = 1024;
+  /// In-memory budget of streaming document-store builds; beyond it the
+  /// builder spills sorted runs (disk doc-mode only).
+  size_t doc_parse_budget_bytes = size_t{64} << 20;
+  /// Background read-ahead depth in pages (0 = off), applied to both the
+  /// view catalog's and the document store's buffer pools.
+  size_t readahead_pages = 0;
   /// Run the background integrity scrubber: every `scrub_interval_ms` it
   /// checksum-verifies up to `scrub_pages_per_step` view pages and
   /// quarantines + re-materializes any view with a corrupt page, so latent
@@ -59,6 +82,15 @@ struct EngineOptions {
   /// leaves a store vj_fsck can vouch for.
   bool persistent = false;
 };
+
+/// Applies the strict environment knobs to `options` (util/env.h parsing):
+///   VIEWJOIN_DOC_MODE         = "memory" | "disk"
+///   VIEWJOIN_DOC_POOL_PAGES   = document-store buffer-pool frames
+///   VIEWJOIN_PARSE_BUDGET     = doc-store build spill budget in bytes
+///   VIEWJOIN_READAHEAD_PAGES  = background read-ahead depth (0 = off)
+/// Unset variables leave their field untouched; malformed values are
+/// rejected with a typed InvalidArgument naming the variable and value.
+util::Status ApplyEnvOptions(EngineOptions* options);
 
 struct RunOptions {
   Algorithm algorithm = Algorithm::kViewJoin;
@@ -405,6 +437,16 @@ class Engine {
 
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
+  /// The paged base-document store (null in memory doc-mode, or when a
+  /// disk-mode build failed — see doc_store_status()).
+  const storage::DocumentStore* doc_store() const { return doc_store_.get(); }
+
+  /// Why disk doc-mode is not serving (Ok when it is, or when memory mode
+  /// was requested). A failed store build degrades the engine to in-memory
+  /// streams instead of failing construction — results stay correct, the
+  /// out-of-core property is lost; this status says so.
+  const util::Status& doc_store_status() const { return doc_store_status_; }
+
   /// The engine's plan cache (hit/miss counters for tests and benches).
   /// Entries key on the catalog's manifest epoch, so materialization,
   /// quarantine and replacement invalidate implicitly — including across a
@@ -437,6 +479,18 @@ class Engine {
       const std::vector<const storage::MaterializedView*>& views,
       const RunOptions& run, tpq::MatchSink* sink, const ExecContext& ctx);
 
+  /// (Re)snapshots the document into the paged store (disk doc-mode only;
+  /// no-op otherwise). Must not race queries — callers run it from the
+  /// constructor or under an exclusive doc_mu_. On failure the engine keeps
+  /// answering from in-memory streams and records doc_store_status_.
+  void RebuildDocStore();
+
+  /// Re-materializes pattern × scheme for the fault ladder and the
+  /// scrubber's healer: from the document store's page lists in disk mode
+  /// (tuple scheme and store faults fall back to the in-memory document).
+  util::StatusOr<const storage::MaterializedView*> Rematerialize(
+      const tpq::TreePattern& pattern, storage::Scheme scheme);
+
   const xml::Document* doc_;
   /// Non-null only via the mutable-document constructor; ApplyUpdates'
   /// write handle.
@@ -456,7 +510,13 @@ class Engine {
   uint64_t doc_stats_revision_ = UINT64_MAX;
   std::optional<xml::DocumentStatistics> doc_stats_;
   std::string storage_path_;
+  EngineOptions options_;
   std::unique_ptr<storage::ViewCatalog> catalog_;
+  /// Paged base document (disk doc-mode; see doc_store()). Rebuilt by
+  /// ApplyUpdates under the exclusive document lock, so no cursor is ever
+  /// live over a store being torn down.
+  std::unique_ptr<storage::DocumentStore> doc_store_;
+  util::Status doc_store_status_;
   std::unique_ptr<storage::Pager> spill_;
   /// Declared after catalog_ so it is destroyed (and its thread joined)
   /// first; ~Engine also stops it explicitly before members tear down.

@@ -36,12 +36,15 @@ class OperatorBase : public Operator {
     VJ_CHECK(open_) << name() << " operator evaluated before Open()";
     algo::QueryContext* gov = ctx != nullptr ? ctx : &ungoverned_;
     // Scope-count this thread's page traffic so the operator can report its
-    // own I/O share even when the pool is shared with sibling queries.
+    // own I/O share even when the pool is shared with sibling queries. The
+    // document store has its own pool, scoped separately and summed in.
     storage::BufferPool::StatsScope scope(config_.pool);
+    storage::BufferPool::StatsScope doc_scope(
+        config_.doc_store != nullptr ? config_.doc_store->pool() : nullptr);
     DoEvaluate(sink, gov);
-    io_.pool_hits += scope.hits();
-    io_.pool_misses += scope.misses();
-    io_.pages_read += scope.misses();
+    io_.pool_hits += scope.hits() + doc_scope.hits();
+    io_.pool_misses += scope.misses() + doc_scope.misses();
+    io_.pages_read += scope.misses() + doc_scope.misses();
   }
 
   void Close() override { open_ = false; }
@@ -145,8 +148,14 @@ class BaseFallbackOperator : public OperatorBase {
   const char* name() const override { return "TS-base"; }
 
   bool DoOpen(std::string* error) override {
-    binding_ =
-        algo::QueryBinding::BindBase(*config_.doc, *config_.query, error);
+    // Disk doc-mode binds the document store's page lists; otherwise the
+    // in-memory label vectors serve (and no stored page is ever touched).
+    binding_ = config_.doc_store != nullptr
+                   ? algo::QueryBinding::BindBase(
+                         *config_.doc, *config_.doc_store, *config_.query,
+                         error)
+                   : algo::QueryBinding::BindBase(*config_.doc, *config_.query,
+                                                  error);
     return binding_.has_value();
   }
 
@@ -187,11 +196,12 @@ std::unique_ptr<Operator> MakeOperator(Algorithm algorithm,
 
 std::unique_ptr<Operator> MakeBaseFallbackOperator(
     const xml::Document& doc, const tpq::TreePattern& query,
-    storage::BufferPool* pool) {
+    storage::BufferPool* pool, const storage::DocumentStore* doc_store) {
   Operator::Config config;
   config.doc = &doc;
   config.query = &query;
   config.pool = pool;
+  config.doc_store = doc_store;
   return std::make_unique<BaseFallbackOperator>(config);
 }
 

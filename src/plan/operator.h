@@ -8,6 +8,7 @@
 #include "algo/query_context.h"
 #include "plan/algorithm.h"
 #include "storage/buffer_pool.h"
+#include "storage/document_store.h"
 #include "storage/io_stats.h"
 #include "storage/materialized_view.h"
 #include "storage/pager.h"
@@ -41,6 +42,10 @@ class Operator {
     storage::BufferPool* pool = nullptr;
     algo::OutputMode mode = algo::OutputMode::kMemory;
     storage::Pager* spill = nullptr;
+    /// Paged base document (disk doc-mode). When set, the base fallback
+    /// scans the store's tag-list pages instead of in-memory label vectors,
+    /// and the store pool's traffic is counted into the operator's io().
+    const storage::DocumentStore* doc_store = nullptr;
   };
 
   virtual ~Operator() = default;
@@ -77,11 +82,14 @@ std::unique_ptr<Operator> MakeOperator(Algorithm algorithm,
                                        const Operator::Config& config);
 
 /// The last rung of the fault ladder: TwigStack over the base document's own
-/// tag lists. Touches no stored page, so it cannot be harmed by view-store
-/// or spill faults.
-std::unique_ptr<Operator> MakeBaseFallbackOperator(const xml::Document& doc,
-                                                   const tpq::TreePattern& query,
-                                                   storage::BufferPool* pool);
+/// tag lists. In memory doc-mode (`doc_store` null) it touches no stored
+/// page, so it cannot be harmed by view-store or spill faults; in disk
+/// doc-mode it streams the document store's page lists through the store's
+/// own pool, which stays isolated from view-store faults.
+std::unique_ptr<Operator> MakeBaseFallbackOperator(
+    const xml::Document& doc, const tpq::TreePattern& query,
+    storage::BufferPool* pool,
+    const storage::DocumentStore* doc_store = nullptr);
 
 }  // namespace viewjoin::plan
 

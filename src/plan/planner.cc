@@ -68,6 +68,23 @@ double MeasuredWidthFactor(const MaterializedView* view, int vn,
   return std::max(0.25, per_entry / 12.0);
 }
 
+/// Residency surcharge of one stored list: a list whose first page is not
+/// cached scans cold — every block landing is a synchronous page read —
+/// while a resident list is mostly a memory walk. Probing only the first
+/// page is deliberate: sequential scans either find the whole list warm or
+/// fault it in from the front, so the head page is a faithful proxy.
+/// Background read-ahead overlaps the cold reads with decode/join work and
+/// shrinks (without erasing) the penalty.
+double ColdFactor(storage::BufferPool* pool, const MaterializedView* view,
+                  int vn, size_t readahead_pages) {
+  constexpr double kColdScan = 1.4;       // synchronous read per block landing
+  constexpr double kColdReadAhead = 1.1;  // reads overlapped by the IO thread
+  const storage::StoredList& list = view->list(vn);
+  if (pool == nullptr || list.count == 0 || list.PageSpan() == 0) return 1.0;
+  if (pool->Contains(list.first_page)) return 1.0;
+  return readahead_pages > 0 ? kColdReadAhead : kColdScan;
+}
+
 /// CPU weight of one inter-view structural comparison, per entry of the
 /// SMALLER edge side: the interleaving check advances the sparser list and
 /// probes the denser one, so its cost tracks min(|L_parent|, |L_child|).
@@ -292,7 +309,8 @@ CoverShape ShapeCover(const TreePattern& query,
 
 uint64_t Planner::EnvFingerprint(
     Algorithm algorithm, algo::OutputMode mode,
-    const std::vector<const MaterializedView*>& views) {
+    const std::vector<const MaterializedView*>& views, bool disk_doc_mode,
+    size_t readahead_pages) {
   uint64_t h = 0x9E3779B97F4A7C15ULL;
   auto mix = [&h](uint64_t value) {
     h ^= value + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
@@ -300,8 +318,12 @@ uint64_t Planner::EnvFingerprint(
   mix(static_cast<uint64_t>(algorithm) + 1);
   mix(static_cast<uint64_t>(mode) + 1);
   // Cursor mode changes the skip-cost calibration below; a cached plan from
-  // the other mode would carry the wrong algorithm choice.
+  // the other mode would carry the wrong algorithm choice. Same for the
+  // out-of-core knobs: doc mode and read-ahead depth shift the cold-scan
+  // pricing.
   mix(static_cast<uint64_t>(storage::DefaultCursorMode()) + 1);
+  mix(disk_doc_mode ? 2 : 1);
+  mix(static_cast<uint64_t>(readahead_pages) + 1);
   for (const MaterializedView* v : views) {
     mix(reinterpret_cast<uintptr_t>(v));
   }
@@ -313,7 +335,8 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
   if (from_cache != nullptr) *from_cache = false;
   PlanCache::Key key;
   key.query_fingerprint = in.query->Fingerprint();
-  key.env_fingerprint = EnvFingerprint(in.algorithm, in.mode, in.views);
+  key.env_fingerprint = EnvFingerprint(in.algorithm, in.mode, in.views,
+                                       in.disk_doc_mode, in.readahead_pages);
   key.catalog_epoch = in.catalog != nullptr ? in.catalog->epoch() : 0;
   if (cache_ != nullptr) {
     if (std::shared_ptr<const PhysicalPlan> hit = cache_->Lookup(key)) {
@@ -455,7 +478,10 @@ std::shared_ptr<const PhysicalPlan> Planner::Plan(const PlannerInput& in,
       for (int vn = 0; vn < static_cast<int>(cand.mapping.size()); ++vn) {
         size_t q = static_cast<size_t>(cand.mapping[static_cast<size_t>(vn)]);
         double len = shape.lengths[q];
-        double width = MeasuredWidthFactor(view, vn, scheme);
+        double width = MeasuredWidthFactor(view, vn, scheme) *
+                       ColdFactor(in.catalog != nullptr ? in.catalog->pool()
+                                                        : nullptr,
+                                  view, vn, in.readahead_pages);
         ts += len * width;
         if (shape.kept[q] == 0 && HasPointers(scheme)) {
           // Removed from Q': branch predicates verify cheaply with early

@@ -29,6 +29,12 @@ struct PlannerInput {
   const xml::DocumentStatistics* statistics = nullptr;
   Algorithm algorithm = Algorithm::kViewJoin;
   algo::OutputMode mode = algo::OutputMode::kMemory;
+  /// Out-of-core environment: whether the base document serves from a paged
+  /// store, and the buffer pools' background read-ahead depth. Both shape
+  /// the cost calibration (cold scans price differently) and therefore the
+  /// plan-cache environment fingerprint.
+  bool disk_doc_mode = false;
+  size_t readahead_pages = 0;
 };
 
 /// Cost-based query planner.
@@ -67,11 +73,13 @@ class Planner {
   std::shared_ptr<const PhysicalPlan> Plan(const PlannerInput& input,
                                            bool* from_cache = nullptr) const;
 
-  /// Folds algorithm, mode and view identities into the cache key's
+  /// Folds algorithm, mode, view identities, cursor mode and the out-of-core
+  /// environment (doc mode, read-ahead depth) into the cache key's
   /// environment fingerprint.
   static uint64_t EnvFingerprint(
       Algorithm algorithm, algo::OutputMode mode,
-      const std::vector<const storage::MaterializedView*>& views);
+      const std::vector<const storage::MaterializedView*>& views,
+      bool disk_doc_mode = false, size_t readahead_pages = 0);
 
  private:
   PlanCache* cache_;

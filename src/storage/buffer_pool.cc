@@ -132,6 +132,7 @@ BufferPool::BufferPool(Pager* pager, size_t capacity, size_t shards)
 }
 
 BufferPool::~BufferPool() {
+  StopReadAhead();
   // Every cursor must have released its pins before the pool dies.
   for (Shard& shard : shards_) {
     for (const Frame& frame : shard.lru) {
@@ -160,6 +161,9 @@ void BufferPool::EvictForSpace(Shard* shard) {
       if (it == shard->lru.begin()) break;
     }
     if (victim == shard->lru.end()) break;
+    if (victim->prefetched) {
+      prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+    }
     shard->index.erase(victim->page);
     shard->lru.erase(victim);
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -186,6 +190,10 @@ util::Status BufferPool::Fetch(PageId page, PinnedPage* out) {
       CreditScopes(/*hit=*/true);
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       Frame& frame = *it->second;
+      if (frame.prefetched) {
+        frame.prefetched = false;
+        prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+      }
       ++frame.pins;
       *out = PinnedPage(this, &shard, &frame);
       return util::Status::Ok();
@@ -202,12 +210,18 @@ util::Status BufferPool::Fetch(PageId page, PinnedPage* out) {
   auto it = shard.index.find(page);
   if (it == shard.index.end()) {
     EvictForSpace(&shard);
-    shard.lru.push_front(Frame{page, 0, std::move(data)});
+    shard.lru.push_front(Frame{page, 0, false, std::move(data)});
     it = shard.index.emplace(page, shard.lru.begin()).first;
   }
   // (If another thread cached the page while we read, ours is dropped and
   // the already-cached copy is pinned — pages are immutable, both are equal.)
   Frame& frame = *it->second;
+  if (frame.prefetched) {
+    // The read-ahead thread landed it while our demand read was in flight:
+    // the prefetch arrived too late to save this miss, but the frame is now
+    // demanded, not speculative.
+    frame.prefetched = false;
+  }
   ++frame.pins;
   *out = PinnedPage(this, &shard, &frame);
   return util::Status::Ok();
@@ -280,10 +294,20 @@ size_t BufferPool::pinned_frames() {
 }
 
 void BufferPool::Clear() {
+  {
+    // Pending speculation must not resurrect pages a cold-cache run just
+    // dropped.
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_queue_.clear();
+    prefetch_queued_.clear();
+  }
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       if (it->pins == 0) {
+        if (it->prefetched) {
+          prefetch_wasted_.fetch_add(1, std::memory_order_relaxed);
+        }
         shard.index.erase(it->page);
         it = shard.lru.erase(it);
         evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -293,6 +317,120 @@ void BufferPool::Clear() {
     }
   }
   ResetError();
+}
+
+// ---- Read-ahead ------------------------------------------------------------
+
+void BufferPool::SetReadAhead(size_t depth) {
+  if (depth > 0 && capacity_ == 0) depth = 0;  // nowhere to put a page
+  bool start = false;
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    size_t old = read_ahead_depth_.exchange(depth, std::memory_order_relaxed);
+    start = depth > 0 && old == 0 && !prefetch_thread_.joinable();
+  }
+  if (depth == 0) {
+    StopReadAhead();
+    return;
+  }
+  if (start) {
+    prefetch_stop_ = false;
+    prefetch_thread_ = std::thread([this] { ReadAheadLoop(); });
+  }
+}
+
+bool BufferPool::Contains(PageId page) {
+  if (page == kInvalidPage || capacity_ == 0) return false;
+  Shard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.index.find(page) != shard.index.end();
+}
+
+void BufferPool::Prefetch(PageId page) {
+  if (read_ahead_depth_.load(std::memory_order_relaxed) == 0) return;
+  if (page == kInvalidPage || capacity_ == 0) return;
+  {
+    // Already resident? Pure index probe — no LRU touch, no counters, so a
+    // speculative inquiry never perturbs what the demand path measures.
+    Shard& shard = ShardFor(page);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(page) != shard.index.end()) return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (prefetch_queue_.size() >= kMaxPrefetchQueue) return;
+    if (!prefetch_queued_.insert(page).second) return;
+    prefetch_queue_.push_back(page);
+    prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+  }
+  prefetch_cv_.notify_one();
+}
+
+void BufferPool::DrainPrefetches() {
+  std::unique_lock<std::mutex> lock(prefetch_mu_);
+  prefetch_idle_cv_.wait(
+      lock, [this] { return prefetch_queue_.empty() && !prefetch_busy_; });
+}
+
+void BufferPool::ReadAheadLoop() {
+  for (;;) {
+    PageId page;
+    {
+      std::unique_lock<std::mutex> lock(prefetch_mu_);
+      prefetch_cv_.wait(
+          lock, [this] { return prefetch_stop_ || !prefetch_queue_.empty(); });
+      if (prefetch_stop_) return;
+      page = prefetch_queue_.front();
+      prefetch_queue_.pop_front();
+      prefetch_queued_.erase(page);
+      prefetch_busy_ = true;
+    }
+    FulfillPrefetch(page);
+    {
+      std::lock_guard<std::mutex> lock(prefetch_mu_);
+      prefetch_busy_ = false;
+    }
+    prefetch_idle_cv_.notify_all();
+  }
+}
+
+void BufferPool::FulfillPrefetch(PageId page) {
+  {
+    Shard& shard = ShardFor(page);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.index.find(page) != shard.index.end()) return;
+  }
+  // Physical read outside every lock. A failure is dropped on the floor by
+  // design: the demand fetch will re-read with retry semantics and report
+  // through the proper (scoped) latch — a speculative thread latching errors
+  // would attribute faults to whichever query ran next.
+  std::vector<uint8_t> data(Pager::kPageSize);
+  util::Status status = pager_->ReadPage(page, data.data());
+  if (!status.ok()) return;
+  Shard& shard = ShardFor(page);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.index.find(page) != shard.index.end()) return;
+  EvictForSpace(&shard);
+  if (shard.lru.size() >= per_shard_capacity_) return;  // all pinned: drop
+  shard.lru.push_front(Frame{page, 0, true, std::move(data)});
+  shard.index.emplace(page, shard.lru.begin());
+}
+
+void BufferPool::StopReadAhead() {
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    if (!prefetch_thread_.joinable()) return;
+    prefetch_stop_ = true;
+    prefetch_queue_.clear();
+    prefetch_queued_.clear();
+  }
+  prefetch_cv_.notify_all();
+  prefetch_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(prefetch_mu_);
+    prefetch_stop_ = false;
+    prefetch_thread_ = std::thread();
+  }
 }
 
 }  // namespace viewjoin::storage

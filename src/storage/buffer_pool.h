@@ -2,10 +2,14 @@
 #define VIEWJOIN_STORAGE_BUFFER_POOL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/pager.h"
@@ -183,6 +187,57 @@ class BufferPool {
   void ResetStats() {
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
+    prefetch_issued_.store(0, std::memory_order_relaxed);
+    prefetch_hits_.store(0, std::memory_order_relaxed);
+    prefetch_wasted_.store(0, std::memory_order_relaxed);
+  }
+
+  // ---- Asynchronous read-ahead ---------------------------------------------
+  //
+  // An optional background I/O thread fetches pages a cursor is about to
+  // land on so the demand fetch finds them resident. Prefetch is pure
+  // speculation and therefore side-effect free on every observable failure
+  // surface: a failed prefetch read never latches the error (the demand
+  // fetch will re-read and report it with full retry/scope semantics), a
+  // full shard drops the speculative page instead of overflowing capacity,
+  // and prefetch reads are not counted as pool misses (those mean "a demand
+  // read had to wait"). The counters tell the speculation's worth: a hit is
+  // a demand fetch served by a prefetched frame, a wasted prefetch is a
+  // prefetched frame evicted (or cleared) untouched.
+
+  /// Sets the read-ahead depth cursors should use and starts (depth > 0) or
+  /// stops and joins (depth == 0) the background thread. Thread-safe.
+  void SetReadAhead(size_t depth);
+
+  /// Depth set by SetReadAhead; cursors prefetch this many pages ahead of a
+  /// block landing (0 = read-ahead off, the default).
+  size_t read_ahead_depth() const {
+    return read_ahead_depth_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues `page` for background fetch. No-op when read-ahead is off,
+  /// the page is already cached or queued, or the queue is full (speculation
+  /// never blocks the caller).
+  void Prefetch(PageId page);
+
+  /// True when `page` is currently cached (pinned or not). A one-shard probe
+  /// with no LRU movement and no counter side effects — the planner uses it
+  /// to price resident vs cold lists.
+  bool Contains(PageId page);
+
+  /// Blocks until the prefetch queue is empty and the worker is idle (tests
+  /// and benches use this to measure with a settled cache). No-op when
+  /// read-ahead is off.
+  void DrainPrefetches();
+
+  uint64_t prefetch_issued() const {
+    return prefetch_issued_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_hits() const {
+    return prefetch_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t prefetch_wasted() const {
+    return prefetch_wasted_.load(std::memory_order_relaxed);
   }
 
   /// Total frames evicted so far. Cursors no longer need to revalidate
@@ -209,6 +264,9 @@ class BufferPool {
   struct Frame {
     PageId page = kInvalidPage;
     uint32_t pins = 0;  // guarded by the owning shard's mutex
+    /// Landed via the read-ahead thread and not yet demanded (guarded by the
+    /// owning shard's mutex, like pins).
+    bool prefetched = false;
     std::vector<uint8_t> data;
   };
 
@@ -225,6 +283,12 @@ class BufferPool {
   void Unpin(Shard* shard, Frame* frame);
   void LatchError(const util::Status& status, PageId page);
   void CreditScopes(bool hit);
+  /// The background read-ahead thread's main loop.
+  void ReadAheadLoop();
+  /// Fetches one prefetch request (outside all shard locks) and inserts it.
+  void FulfillPrefetch(PageId page);
+  /// Stops and joins the read-ahead thread; pending requests are dropped.
+  void StopReadAhead();
 
   Pager* pager_;
   size_t capacity_;
@@ -238,6 +302,23 @@ class BufferPool {
   util::Status error_;
   PageId error_page_ = kInvalidPage;
   std::vector<uint8_t> poison_;
+
+  // Read-ahead state. The queue and its membership set are guarded by
+  // prefetch_mu_; the worker thread exists iff read_ahead_depth_ > 0 (both
+  // transitions under prefetch_mu_ via SetReadAhead).
+  static constexpr size_t kMaxPrefetchQueue = 256;
+  std::atomic<size_t> read_ahead_depth_{0};
+  std::atomic<uint64_t> prefetch_issued_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> prefetch_wasted_{0};
+  std::mutex prefetch_mu_;
+  std::condition_variable prefetch_cv_;
+  std::condition_variable prefetch_idle_cv_;
+  std::deque<PageId> prefetch_queue_;
+  std::unordered_set<PageId> prefetch_queued_;
+  bool prefetch_stop_ = false;
+  bool prefetch_busy_ = false;
+  std::thread prefetch_thread_;
 };
 
 }  // namespace viewjoin::storage

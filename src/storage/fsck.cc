@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
+#include "storage/document_store.h"
 #include "storage/list_codec.h"
 #include "storage/manifest.h"
 
@@ -220,6 +222,177 @@ FsckCatalogReport FsckCatalog(const std::string& path) {
   return report;
 }
 
+namespace {
+
+/// Leftover "<base>.runN.{a,b}" spill files next to a document store —
+/// artifacts of an interrupted streaming build.
+std::vector<std::string> FindStrayRuns(const std::string& path) {
+  std::string dir = ".";
+  std::string base = path;
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    dir = path.substr(0, slash);
+    base = path.substr(slash + 1);
+  }
+  std::vector<std::string> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return found;
+  const std::string run_prefix = base + ".run";
+  while (struct dirent* entry = ::readdir(d)) {
+    std::string name = entry->d_name;
+    if (name.rfind(run_prefix, 0) == 0) found.push_back(dir + "/" + name);
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end());
+  return found;
+}
+
+/// Verifies one fixed-format tag list of a document store: page ranges
+/// inside the durable prefix, strictly increasing starts (one element has
+/// one start; duplicates mean the merge emitted a record twice), and fence
+/// keys agreeing with the first record of each page. Checksum-bad pages are
+/// skipped (the page scan already reported them).
+void CheckDocList(Pager& pager, const ManifestViewRecord& record,
+                  uint32_t durable, std::vector<std::string>* bad) {
+  auto report = [&](const std::string& problem) {
+    bad->push_back(record.pattern + ": " + problem);
+  };
+  const StoredList& list = record.lists[0];
+  if (list.count == 0) return;
+  if (list.first_page >= durable ||
+      list.PageSpan() > durable - list.first_page) {
+    report("spans pages [" + std::to_string(list.first_page) + ", " +
+           std::to_string(list.first_page + list.PageSpan()) +
+           ") past durable prefix " + std::to_string(durable));
+    return;
+  }
+  const bool is_arena =
+      record.pattern == DocumentStore::kNodesPattern;
+  const uint32_t record_size = list.layout.RecordSize();
+  std::vector<uint8_t> page(Pager::kPageSize);
+  uint32_t prev_start = 0;
+  bool have_prev = false;
+  for (uint32_t p = 0; p < list.PageSpan(); ++p) {
+    if (!pager.VerifyPage(list.first_page + p, page.data()).ok()) {
+      have_prev = false;  // cannot order-check across a hole
+      continue;
+    }
+    const uint32_t n = list.RecordsOnPage(p);
+    for (uint32_t r = 0; r < n; ++r) {
+      uint32_t start;
+      std::memcpy(&start, page.data() + static_cast<size_t>(r) * record_size,
+                  4);
+      // The arena is NodeId-ordered, which after live updates is not start
+      // order — only the tag lists promise sorted starts.
+      if (!is_arena) {
+        if (r == 0 && p < list.page_first_start.size() &&
+            list.page_first_start[p] != start) {
+          report("page " + std::to_string(p) + " first start " +
+                 std::to_string(start) + " disagrees with fence key " +
+                 std::to_string(list.page_first_start[p]));
+          return;
+        }
+        if (have_prev && start <= prev_start) {
+          report("starts not strictly increasing at page " +
+                 std::to_string(p) + " record " + std::to_string(r));
+          return;
+        }
+        prev_start = start;
+        have_prev = true;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+FsckDocStoreReport FsckDocumentStore(const std::string& path) {
+  FsckDocStoreReport report;
+  report.stray_runs = FindStrayRuns(path);
+
+  struct stat st;
+  const bool pager_exists = ::stat(path.c_str(), &st) == 0;
+  util::StatusOr<ManifestReplayResult> replayed =
+      ManifestJournal::Replay(ManifestJournal::PathFor(path));
+  report.manifest_status = replayed.status();
+  const bool manifest_exists =
+      replayed.ok() ||
+      replayed.status().code() != util::StatusCode::kNotFound;
+  report.present = pager_exists || manifest_exists;
+  if (!report.present) return report;
+  report.pager = FsckPagerFile(path);
+
+  if (!replayed.ok()) {
+    // A pager file with no manifest is an aborted build: the manifest write
+    // IS the commit point, so nothing vouches for these pages. Rebuild.
+    report.orphan =
+        replayed.status().code() == util::StatusCode::kNotFound && pager_exists;
+    return report;
+  }
+  if (replayed->legacy_text) {
+    report.manifest_status =
+        util::Status::Corruption("document store manifest is a legacy text "
+                                 "manifest (never written by the builder)");
+    return report;
+  }
+
+  const ManifestReplayResult& journal = *replayed;
+  report.durable_page_count = journal.durable_page_count;
+  bool arena_seen = false;
+  std::vector<std::string> tags;
+  for (const ManifestViewRecord& record : journal.installed) {
+    if (record.lists.size() != 1) {
+      report.bad_lists.push_back(record.pattern + ": holds " +
+                                 std::to_string(record.lists.size()) +
+                                 " lists (document records hold exactly 1)");
+      continue;
+    }
+    if (record.pattern == DocumentStore::kNodesPattern) {
+      if (arena_seen) {
+        report.bad_lists.push_back(std::string(DocumentStore::kNodesPattern) +
+                                   ": duplicate node arena record");
+      }
+      arena_seen = true;
+      report.node_count = record.lists[0].count;
+    } else {
+      tags.push_back(record.pattern);
+    }
+  }
+  report.tag_count = tags.size();
+  std::sort(tags.begin(), tags.end());
+  for (size_t i = 1; i < tags.size(); ++i) {
+    if (tags[i] == tags[i - 1]) {
+      report.bad_lists.push_back(tags[i] + ": duplicate tag record");
+    }
+  }
+  if (!arena_seen) report.arena_missing = true;
+
+  if (report.pager.file_status.ok()) {
+    Pager pager(path, Pager::Mode::kReadOnly);
+    if (pager.init_status().ok()) {
+      for (const ManifestViewRecord& record : journal.installed) {
+        if (record.lists.size() != 1) continue;
+        CheckDocList(pager, record, journal.durable_page_count,
+                     &report.bad_lists);
+      }
+    }
+  }
+
+  if (!pager_exists) {
+    report.data_missing = journal.durable_page_count > 0;
+    return report;
+  }
+  const int64_t expected =
+      static_cast<int64_t>(Pager::kHeaderSize) +
+      static_cast<int64_t>(journal.durable_page_count) *
+          static_cast<int64_t>(Pager::kPhysicalPageSize);
+  if (st.st_size < expected) report.data_missing = true;
+  for (const auto& [page, status] : report.pager.bad_pages) {
+    if (page < journal.durable_page_count) ++report.corrupt_durable_pages;
+  }
+  return report;
+}
+
 util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
                                              size_t pool_pages) {
   util::StatusOr<std::unique_ptr<ViewCatalog>> opened =
@@ -351,6 +524,35 @@ std::string ToJson(const FsckCatalogReport& report) {
          std::to_string(report.compressed_lists_checked) + ",\n";
   out += "  \"bad_compressed_lists\": " +
          JsonStringArray(report.bad_compressed_lists) + "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string ToJson(const FsckDocStoreReport& report) {
+  std::string out = "{\n";
+  out += "  \"present\": " + JsonBool(report.present) + ",\n";
+  out += "  \"clean\": " + JsonBool(report.clean()) + ",\n";
+  out += "  \"corrupt\": " + JsonBool(report.corrupt()) + ",\n";
+  out += "  \"orphan\": " + JsonBool(report.orphan) + ",\n";
+  out += "  \"pager\": {\n";
+  out += "    \"file_status\": " +
+         JsonQuote(report.pager.file_status.ToString()) + ",\n";
+  out += "    \"page_count\": " + std::to_string(report.pager.page_count) +
+         ",\n";
+  out += "    \"bad_pages\": " + BadPagesJson(report.pager.bad_pages) + "\n";
+  out += "  },\n";
+  out += "  \"manifest_status\": " +
+         JsonQuote(report.manifest_status.ToString()) + ",\n";
+  out += "  \"node_count\": " + std::to_string(report.node_count) + ",\n";
+  out += "  \"tag_count\": " + std::to_string(report.tag_count) + ",\n";
+  out += "  \"durable_page_count\": " +
+         std::to_string(report.durable_page_count) + ",\n";
+  out += "  \"corrupt_durable_pages\": " +
+         std::to_string(report.corrupt_durable_pages) + ",\n";
+  out += "  \"arena_missing\": " + JsonBool(report.arena_missing) + ",\n";
+  out += "  \"data_missing\": " + JsonBool(report.data_missing) + ",\n";
+  out += "  \"bad_lists\": " + JsonStringArray(report.bad_lists) + ",\n";
+  out += "  \"stray_runs\": " + JsonStringArray(report.stray_runs) + "\n";
   out += "}\n";
   return out;
 }

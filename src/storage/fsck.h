@@ -142,11 +142,69 @@ FsckCatalogReport FsckCatalog(const std::string& path);
 util::StatusOr<RecoveryReport> RepairCatalog(const std::string& path,
                                              size_t pool_pages = 256);
 
+/// Result of verifying a paged base-document store (DocumentStore): the
+/// pager file, its manifest checkpoint (the store's table of contents), and
+/// the doc-specific invariants — one list per record, a single "#nodes"
+/// arena, unique tags, page ranges inside the durable prefix, and sorted
+/// starts with fence keys that match the pages they describe. Base-document
+/// corruption is a *different failure domain* than view corruption: views
+/// rebuild from the document, but a rotten document store must be rebuilt
+/// from the source XML — vj_fsck reports it with its own exit code.
+struct FsckDocStoreReport {
+  /// False when neither the pager file nor the manifest exists (no store at
+  /// this path — vacuously clean).
+  bool present = false;
+  /// Page-level scan of the pager file (checksums, footers).
+  FsckReport pager;
+  /// Manifest replay verdict: OK, kNotFound, or kCorruption.
+  util::Status manifest_status;
+  /// Pager file exists but the manifest does not: an aborted build's orphan
+  /// (the commit point is the manifest write). Rebuild, don't trust.
+  bool orphan = false;
+
+  // -- TOC summary (valid when manifest_status is OK) -----------------------
+  uint64_t node_count = 0;
+  size_t tag_count = 0;
+  uint32_t durable_page_count = 0;
+
+  // -- Corruption findings --------------------------------------------------
+  /// Checksum/footer failures within the durable prefix.
+  uint32_t corrupt_durable_pages = 0;
+  /// The manifest carries no "#nodes" arena record.
+  bool arena_missing = false;
+  /// Structural findings per record, as "<pattern>: <problem>" (bad ranges,
+  /// duplicate tags, unsorted label lists, fence-key mismatches).
+  std::vector<std::string> bad_lists;
+  /// The pager file is shorter than the manifest's durable prefix.
+  bool data_missing = false;
+
+  // -- Crash artifacts ------------------------------------------------------
+  /// Leftover "<path>.runN.{a,b}" spill files from an interrupted build.
+  std::vector<std::string> stray_runs;
+
+  bool clean() const {
+    return !present || (pager.ok() && manifest_status.ok() && !corrupt() &&
+                        !orphan && stray_runs.empty());
+  }
+  bool corrupt() const {
+    return corrupt_durable_pages > 0 || arena_missing || data_missing ||
+           !bad_lists.empty() ||
+           manifest_status.code() == util::StatusCode::kCorruption ||
+           (present && !orphan && !pager.file_status.ok());
+  }
+};
+
+/// Read-only consistency check of the document store at `path` (pager file +
+/// "<path>.manifest" checkpoint + spill-run leftovers). Never modifies any
+/// file and never aborts.
+FsckDocStoreReport FsckDocumentStore(const std::string& path);
+
 /// Machine-readable renderings (vj_fsck --json): one JSON object capturing
 /// every report field plus the derived verdicts (clean/corrupt/
 /// repair_needed), so CI gates parse the verdict instead of scraping text.
 std::string ToJson(const FsckReport& report);
 std::string ToJson(const FsckCatalogReport& report);
+std::string ToJson(const FsckDocStoreReport& report);
 
 }  // namespace viewjoin::storage
 

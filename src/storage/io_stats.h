@@ -18,6 +18,12 @@ struct IoStats {
   uint64_t pool_misses = 0;
   /// Extra physical read attempts spent recovering transient read failures.
   uint64_t read_retries = 0;
+  /// Read-ahead speculation: pages queued for background fetch, demand
+  /// fetches served by a prefetched frame, and prefetched frames evicted
+  /// untouched. issued >= hits + wasted (the remainder is still cached).
+  uint64_t prefetch_issued = 0;
+  uint64_t prefetch_hits = 0;
+  uint64_t prefetch_wasted = 0;
 
   IoStats& operator+=(const IoStats& other) {
     pages_read += other.pages_read;
@@ -27,6 +33,9 @@ struct IoStats {
     pool_hits += other.pool_hits;
     pool_misses += other.pool_misses;
     read_retries += other.read_retries;
+    prefetch_issued += other.prefetch_issued;
+    prefetch_hits += other.prefetch_hits;
+    prefetch_wasted += other.prefetch_wasted;
     return *this;
   }
 
@@ -39,6 +48,9 @@ struct IoStats {
     d.pool_hits = pool_hits - since.pool_hits;
     d.pool_misses = pool_misses - since.pool_misses;
     d.read_retries = read_retries - since.read_retries;
+    d.prefetch_issued = prefetch_issued - since.prefetch_issued;
+    d.prefetch_hits = prefetch_hits - since.prefetch_hits;
+    d.prefetch_wasted = prefetch_wasted - since.prefetch_wasted;
     return d;
   }
 

@@ -561,6 +561,9 @@ IoStats ViewCatalog::Stats() const {
   IoStats stats = pager_->stats();
   stats.pool_hits = pool_->hits();
   stats.pool_misses = pool_->misses();
+  stats.prefetch_issued = pool_->prefetch_issued();
+  stats.prefetch_hits = pool_->prefetch_hits();
+  stats.prefetch_wasted = pool_->prefetch_wasted();
   return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "storage/stored_list.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -54,6 +55,7 @@ void ListCursor::EnsureBlock(EntryIndex i, uint32_t wanted) const {
     block_.point_reads = 0;
     block_.valid = true;
     pin_ = pool_->GetPage(list_->first_page + page);
+    MaybeReadAhead(page);
     if (list_->format == ListFormat::kDelta) {
       const uint32_t n = block_.count;
       block_.starts.resize(static_cast<size_t>(n) * layout.label_count);
@@ -116,6 +118,18 @@ void ListCursor::EnsureBlock(EntryIndex i, uint32_t wanted) const {
     }
   }
   block_.fields |= wanted;
+}
+
+void ListCursor::MaybeReadAhead(uint32_t page) const {
+  const size_t depth = pool_->read_ahead_depth();
+  if (depth == 0) return;
+  const uint32_t pages = list_->PageSpan();
+  uint32_t end = page + 1 + static_cast<uint32_t>(depth);
+  if (end > pages) end = pages;
+  for (uint32_t p = std::max(page + 1, prefetch_edge_); p < end; ++p) {
+    pool_->Prefetch(list_->first_page + p);
+  }
+  if (end > prefetch_edge_) prefetch_edge_ = end;
 }
 
 uint32_t ListCursor::StartAt(EntryIndex i) const {

@@ -434,6 +434,12 @@ class ListCursor {
   /// until a field is wanted. No-op when already satisfied.
   void EnsureBlock(EntryIndex i, uint32_t wanted) const;
 
+  /// Queues background fetches for the pages after `page` (a page index
+  /// within the list), up to the pool's read-ahead depth and clamped to the
+  /// list's page span. Tracks the furthest page already queued so a cursor
+  /// grinding through one page does not re-enqueue its successors.
+  void MaybeReadAhead(uint32_t page) const;
+
   /// One uint32 field of the record at `offset` within the current *fixed*
   /// block, read straight off the pinned page (`byte_off` is the field's
   /// offset within the record). The undecoded point-read path.
@@ -537,6 +543,7 @@ class ListCursor {
       // Acquire the new page before dropping the old pin (GetPage replaces
       // pin_ wholesale); a failed fetch pins the pool's poison page instead.
       pin_ = pool_->GetPage(page);
+      MaybeReadAhead(list_->PageIndexOf(index_));
     }
     return pin_.data() + list_->OffsetOf(index_);
   }
@@ -549,6 +556,7 @@ class ListCursor {
   CursorMode mode_ = CursorMode::kBlock;
   mutable BufferPool::PinnedPage pin_;
   mutable Block block_;
+  mutable uint32_t prefetch_edge_ = 0;  // pages below this were already queued
 };
 
 }  // namespace viewjoin::storage

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "util/status.h"
 
@@ -40,6 +41,27 @@ inline StatusOr<int64_t> ParseNonNegativeIntEnv(const char* name,
                                    ": must be non-negative, got '" + env + "'");
   }
   return static_cast<int64_t>(parsed);
+}
+
+/// Strict closed-set string knob: the value must equal one of `allowed`
+/// exactly (case-sensitive). The error message lists every legal spelling so
+/// a typo'd "Disk" is immediately diagnosable.
+inline StatusOr<std::string> ParseEnumEnv(
+    const char* name, const std::vector<std::string>& allowed,
+    const std::string& default_value) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return default_value;
+  std::string value(env);
+  for (const std::string& candidate : allowed) {
+    if (value == candidate) return value;
+  }
+  std::string expected;
+  for (size_t i = 0; i < allowed.size(); ++i) {
+    if (i > 0) expected += "/";
+    expected += allowed[i];
+  }
+  return Status::InvalidArgument(std::string(name) + ": expected " + expected +
+                                 ", got '" + value + "'");
 }
 
 /// Strict boolean: "0"/"false" and "1"/"true" only. Anything else — "yes",

@@ -1,11 +1,19 @@
 #include "xml/parser.h"
 
+#include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 namespace viewjoin::xml {
 namespace {
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+         c == ':' || c == '.';
+}
 
 /// Cursor over the raw XML text with single-token lookahead helpers.
 class Scanner {
@@ -35,15 +43,7 @@ class Scanner {
   /// Reads an XML name (letters, digits, '_', '-', ':', '.').
   std::string_view ReadName() {
     size_t begin = pos_;
-    while (!AtEnd()) {
-      char c = Peek();
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == '-' || c == ':' || c == '.') {
-        Advance();
-      } else {
-        break;
-      }
-    }
+    while (!AtEnd() && IsNameChar(Peek())) Advance();
     return text_.substr(begin, pos_ - begin);
   }
 
@@ -52,18 +52,120 @@ class Scanner {
   size_t pos_ = 0;
 };
 
-ParseResult Fail(std::string message, size_t offset) {
-  ParseResult result;
-  result.error = std::move(message);
-  result.error_offset = offset;
-  return result;
-}
+/// Scanner over an istream read chunk-at-a-time with a rolling buffer: the
+/// consumed prefix is discarded on every refill, so resident memory is one
+/// chunk plus the longest in-flight token (a tag name or quoted attribute
+/// value), never the document. Absolute offsets are preserved across
+/// refills, so error positions match what a whole-file scan would report.
+class ChunkedScanner {
+ public:
+  ChunkedScanner(std::istream& in, size_t chunk_bytes)
+      : in_(in), chunk_(std::max<size_t>(chunk_bytes, 64)) {}
 
-}  // namespace
+  bool AtEnd() { return !Ensure(1); }
+  size_t pos() const { return fail_pos_set_ ? fail_pos_ : base_ + rel_; }
+  char Peek() { return buf_[rel_]; }
+  char PeekAt(size_t delta) {
+    return Ensure(delta + 1) ? buf_[rel_ + delta] : '\0';
+  }
+  void Advance(size_t n = 1) { rel_ += n; }
 
-ParseResult ParseDocument(std::string_view xml) {
-  Scanner scan(xml);
-  Document doc;
+  bool StartsWith(std::string_view prefix) {
+    if (!Ensure(prefix.size())) return false;
+    return std::memcmp(buf_.data() + rel_, prefix.data(), prefix.size()) == 0;
+  }
+
+  /// Resumable across refills. Long skipped spans (a multi-chunk comment)
+  /// retain only a needle-sized tail between refills. On failure the
+  /// reported position reverts to where the search began — the offset of the
+  /// construct whose terminator is missing, as a whole-file scan reports it —
+  /// and the scanner is exhausted (the grammar always fails right after).
+  bool SkipPast(std::string_view needle) {
+    const size_t start_abs = base_ + rel_;
+    for (;;) {
+      size_t from = std::min(rel_, buf_.size());
+      size_t found = buf_.find(needle.data(), from, needle.size());
+      if (found != std::string::npos) {
+        rel_ = found + needle.size();
+        return true;
+      }
+      if (eof_in_) {
+        rel_ = buf_.size();
+        fail_pos_ = start_abs;
+        fail_pos_set_ = true;
+        return false;
+      }
+      size_t tail = needle.size() - 1;
+      rel_ = buf_.size() > tail ? buf_.size() - tail : 0;
+      Refill();
+    }
+  }
+
+  std::string_view ReadName() {
+    mark_active_ = true;
+    mark_rel_ = std::min(rel_, buf_.size());
+    while (Ensure(1) && IsNameChar(buf_[rel_])) ++rel_;
+    mark_active_ = false;
+    return std::string_view(buf_).substr(mark_rel_, rel_ - mark_rel_);
+  }
+
+ private:
+  /// Makes bytes [pos, pos+n) resident, refilling as needed; false when the
+  /// input ends first.
+  bool Ensure(size_t n) {
+    while (rel_ + n > buf_.size() && !eof_in_) Refill();
+    return rel_ + n <= buf_.size();
+  }
+
+  void Refill() {
+    size_t keep_from = std::min(rel_, buf_.size());
+    if (mark_active_) keep_from = std::min(keep_from, mark_rel_);
+    if (keep_from > 0) {
+      buf_.erase(0, keep_from);
+      base_ += keep_from;
+      rel_ -= keep_from;
+      if (mark_active_) mark_rel_ -= keep_from;
+    }
+    size_t old = buf_.size();
+    buf_.resize(old + chunk_);
+    in_.read(buf_.data() + old, static_cast<std::streamsize>(chunk_));
+    size_t got = static_cast<size_t>(in_.gcount());
+    buf_.resize(old + got);
+    if (got < chunk_) eof_in_ = true;
+  }
+
+  std::istream& in_;
+  const size_t chunk_;
+  std::string buf_;
+  size_t base_ = 0;      // absolute offset of buf_[0]
+  size_t rel_ = 0;       // cursor within buf_ (may run past the end at EOF)
+  bool eof_in_ = false;  // the stream has no further bytes
+  bool mark_active_ = false;
+  size_t mark_rel_ = 0;  // refills keep bytes from here (in-flight token)
+  size_t fail_pos_ = 0;  // position override after a failed SkipPast
+  bool fail_pos_set_ = false;
+};
+
+/// The tokenizer proper, shared by the document-building and streaming entry
+/// points. Well-formedness is checked here against the tokenizer's own
+/// open-tag stack (not the handler's state), so every front-end reports the
+/// same errors at the same offsets.
+template <typename ScannerT>
+StreamResult Tokenize(ScannerT& scan, ParseHandler& handler) {
+  StreamResult result;
+  auto fail = [&result](std::string message, size_t offset) -> StreamResult& {
+    result.error = std::move(message);
+    result.error_offset = offset;
+    return result;
+  };
+  auto aborted = [&result](size_t offset) -> StreamResult& {
+    result.aborted = true;
+    result.error = "parse aborted by handler";
+    result.error_offset = offset;
+    return result;
+  };
+
+  std::vector<std::string> open;
   bool saw_root = false;
   bool pending_text = false;
 
@@ -75,50 +177,52 @@ ParseResult ParseDocument(std::string_view xml) {
       continue;
     }
     if (pending_text) {
-      doc.SkipTextPositions(1);
+      if (!handler.Text()) return aborted(scan.pos());
       pending_text = false;
     }
     if (scan.StartsWith("<!--")) {
-      if (!scan.SkipPast("-->")) return Fail("unterminated comment", scan.pos());
+      if (!scan.SkipPast("-->")) return fail("unterminated comment", scan.pos());
       continue;
     }
     if (scan.StartsWith("<![CDATA[")) {
-      if (!scan.SkipPast("]]>")) return Fail("unterminated CDATA", scan.pos());
-      doc.SkipTextPositions(1);
+      if (!scan.SkipPast("]]>")) return fail("unterminated CDATA", scan.pos());
+      if (!handler.Text()) return aborted(scan.pos());
       continue;
     }
     if (scan.StartsWith("<?")) {
-      if (!scan.SkipPast("?>")) return Fail("unterminated PI", scan.pos());
+      if (!scan.SkipPast("?>")) return fail("unterminated PI", scan.pos());
       continue;
     }
     if (scan.StartsWith("<!")) {  // DOCTYPE etc.
-      if (!scan.SkipPast(">")) return Fail("unterminated declaration", scan.pos());
+      if (!scan.SkipPast(">")) return fail("unterminated declaration", scan.pos());
       continue;
     }
     if (scan.PeekAt(1) == '/') {
       // Closing tag.
       scan.Advance(2);
       std::string_view name = scan.ReadName();
-      if (name.empty()) return Fail("empty closing tag name", scan.pos());
-      if (!doc.HasOpenElement()) {
-        return Fail("closing tag with no open element", scan.pos());
+      if (name.empty()) return fail("empty closing tag name", scan.pos());
+      if (open.empty()) {
+        return fail("closing tag with no open element", scan.pos());
       }
-      if (doc.TagName(doc.OpenElementTag()) != name) {
-        return Fail("mismatched closing tag </" + std::string(name) + ">",
+      if (open.back() != name) {
+        return fail("mismatched closing tag </" + std::string(name) + ">",
                     scan.pos());
       }
-      doc.EndElement();
-      if (!scan.SkipPast(">")) return Fail("unterminated closing tag", scan.pos());
+      if (!handler.EndElement()) return aborted(scan.pos());
+      open.pop_back();
+      if (!scan.SkipPast(">")) return fail("unterminated closing tag", scan.pos());
       continue;
     }
     // Opening or empty tag.
     scan.Advance(1);
     std::string_view name = scan.ReadName();
-    if (name.empty()) return Fail("empty tag name", scan.pos());
-    if (saw_root && doc.IsComplete()) {
-      return Fail("multiple root elements", scan.pos());
+    if (name.empty()) return fail("empty tag name", scan.pos());
+    if (saw_root && open.empty()) {
+      return fail("multiple root elements", scan.pos());
     }
-    doc.StartElement(name);
+    if (!handler.StartElement(name)) return aborted(scan.pos());
+    open.emplace_back(name);
     saw_root = true;
     // Scan attributes until '>' or '/>', respecting quoted values.
     bool closed = false;
@@ -128,7 +232,7 @@ ParseResult ParseDocument(std::string_view xml) {
       if (a == '"' || a == '\'') {
         scan.Advance();
         while (!scan.AtEnd() && scan.Peek() != a) scan.Advance();
-        if (scan.AtEnd()) return Fail("unterminated attribute value", scan.pos());
+        if (scan.AtEnd()) return fail("unterminated attribute value", scan.pos());
         scan.Advance();
       } else if (a == '/' && scan.PeekAt(1) == '>') {
         scan.Advance(2);
@@ -143,25 +247,91 @@ ParseResult ParseDocument(std::string_view xml) {
         scan.Advance();
       }
     }
-    if (!closed) return Fail("unterminated opening tag", scan.pos());
-    if (self_closing) doc.EndElement();
+    if (!closed) return fail("unterminated opening tag", scan.pos());
+    if (self_closing) {
+      if (!handler.EndElement()) return aborted(scan.pos());
+      open.pop_back();
+    }
   }
 
-  if (!saw_root) return Fail("no root element", 0);
-  if (!doc.IsComplete()) return Fail("unclosed elements at end of input", scan.pos());
+  if (!saw_root) return fail("no root element", 0);
+  if (!open.empty()) return fail("unclosed elements at end of input", scan.pos());
 
-  ParseResult result;
-  result.document = std::move(doc);
+  result.ok = true;
   return result;
+}
+
+/// ParseHandler that rebuilds the classic in-memory Document.
+class DocumentBuildHandler : public ParseHandler {
+ public:
+  bool StartElement(std::string_view name) override {
+    doc_.StartElement(name);
+    return true;
+  }
+  bool EndElement() override {
+    doc_.EndElement();
+    return true;
+  }
+  bool Text() override {
+    doc_.SkipTextPositions(1);
+    return true;
+  }
+
+  Document&& TakeDocument() { return std::move(doc_); }
+
+ private:
+  Document doc_;
+};
+
+ParseResult ToParseResult(StreamResult stream, DocumentBuildHandler& builder) {
+  ParseResult result;
+  if (stream.ok) {
+    result.document = builder.TakeDocument();
+  } else {
+    result.error = std::move(stream.error);
+    result.error_offset = stream.error_offset;
+  }
+  return result;
+}
+
+}  // namespace
+
+ParseResult ParseDocument(std::string_view xml) {
+  Scanner scan(xml);
+  DocumentBuildHandler builder;
+  return ToParseResult(Tokenize(scan, builder), builder);
 }
 
 ParseResult ParseDocumentFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return Fail("cannot open file: " + path, 0);
+  if (!in) {
+    ParseResult result;
+    result.error = "cannot open file: " + path;
+    result.error_offset = 0;
+    return result;
+  }
   std::ostringstream buffer;
   buffer << in.rdbuf();
   std::string text = buffer.str();
   return ParseDocument(text);
+}
+
+StreamResult ParseStream(std::string_view xml, ParseHandler* handler) {
+  Scanner scan(xml);
+  return Tokenize(scan, *handler);
+}
+
+StreamResult ParseFileStream(const std::string& path, ParseHandler* handler,
+                             size_t chunk_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    StreamResult result;
+    result.error = "cannot open file: " + path;
+    result.error_offset = 0;
+    return result;
+  }
+  ChunkedScanner scan(in, chunk_bytes);
+  return Tokenize(scan, *handler);
 }
 
 }  // namespace viewjoin::xml

@@ -1,6 +1,7 @@
 #ifndef VIEWJOIN_XML_PARSER_H_
 #define VIEWJOIN_XML_PARSER_H_
 
+#include <cstddef>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -19,6 +20,37 @@ struct ParseResult {
   bool ok() const { return document.has_value(); }
 };
 
+/// SAX-style consumer of the element-structure event stream. The tokenizer
+/// validates well-formedness itself (it keeps its own open-tag stack), so a
+/// handler sees only events from a prefix of a well-formed document and never
+/// a mismatched or stray close. Every callback returns whether to continue;
+/// returning false aborts the parse immediately (StreamResult::aborted) —
+/// how a streaming consumer bails out cleanly when, say, its output store
+/// hits an I/O error mid-document.
+class ParseHandler {
+ public:
+  virtual ~ParseHandler() = default;
+  /// An opening (or self-closing) tag. `name` is valid only for the duration
+  /// of the call. A self-closing tag delivers StartElement then EndElement.
+  virtual bool StartElement(std::string_view name) = 0;
+  /// The matching close of the most recent unclosed StartElement.
+  virtual bool EndElement() = 0;
+  /// One non-whitespace text run (or CDATA section) — the label position
+  /// counter advances by one per event, matching the word-position numbering
+  /// Document::SkipTextPositions implements.
+  virtual bool Text() { return true; }
+};
+
+/// Outcome of a streaming parse: well-formed input fully delivered (`ok`),
+/// a handler-requested abort (`aborted`, error_offset = where), or a
+/// well-formedness error (same messages and offsets as ParseDocument).
+struct StreamResult {
+  bool ok = false;
+  bool aborted = false;
+  std::string error;
+  size_t error_offset = 0;
+};
+
 /// Parses the element structure of an XML string into a region-labelled
 /// Document.
 ///
@@ -32,6 +64,17 @@ ParseResult ParseDocument(std::string_view xml);
 
 /// Parses a file from disk. Returns an error result if the file is missing.
 ParseResult ParseDocumentFile(const std::string& path);
+
+/// Streams the element events of `xml` into `handler` without building a
+/// Document. Same grammar, error messages and offsets as ParseDocument.
+StreamResult ParseStream(std::string_view xml, ParseHandler* handler);
+
+/// Streams a file's element events into `handler`, reading `chunk_bytes` at
+/// a time with a rolling buffer — peak memory is one chunk plus the longest
+/// single token, independent of document size. Error offsets are absolute
+/// file offsets. "cannot open file: <path>" when the file is missing.
+StreamResult ParseFileStream(const std::string& path, ParseHandler* handler,
+                             size_t chunk_bytes = size_t{1} << 16);
 
 }  // namespace viewjoin::xml
 

@@ -52,6 +52,10 @@ struct Options {
   Scheme scheme = Scheme::kLinkedElement;
   bool scheme_set = false;
   bool disk_mode = false;
+  /// Base-document residency: "", "memory", or "disk". Empty defers to the
+  /// VIEWJOIN_DOC_MODE environment knob (and its siblings).
+  std::string doc_mode;
+  int64_t readahead = -1;  // -1: defer to VIEWJOIN_READAHEAD_PAGES
   bool explain = false;
   bool scrub = false;
   bool estimate = false;
@@ -69,6 +73,7 @@ void Usage(const char* prog) {
       "usage: %s (--xml FILE | --xmark SCALE | --nasa DATASETS)\n"
       "          --query XPATH (--views 'V1;V2;..' | --candidates 'V1;..')\n"
       "          [--algo TS|VJ|IJ|auto] [--scheme E|T|LE|LE_p] [--disk]\n"
+      "          [--doc-mode memory|disk] [--readahead PAGES]\n"
       "          [--explain] [--count-only] [--store-result] [--limit N]\n"
       "          [--deadline-ms MS] [--memory-budget BYTES]\n"
       "          [--disk-budget BYTES] [--scrub]\n"
@@ -77,6 +82,12 @@ void Usage(const char* prog) {
       "  --candidates  candidate pool; the cost-based greedy heuristic\n"
       "                (paper Section V) picks the covering subset\n"
       "  --algo auto   let the planner pick algorithm and scheme per query\n"
+      "  --doc-mode    where the base document's tag lists live: 'memory'\n"
+      "                (in-RAM arena, the default) or 'disk' (paged\n"
+      "                DocumentStore; scans go through the buffer pool).\n"
+      "                Overrides the VIEWJOIN_DOC_MODE environment knob.\n"
+      "  --readahead   async read-ahead depth in pages for cold list scans\n"
+      "                (0 disables; overrides VIEWJOIN_READAHEAD_PAGES)\n"
       "  --explain     print the physical plan with per-step runtime stats\n"
       "                (plus the view-segmented query Q' before the run)\n"
       "  --estimate    drive view selection from single-pass statistics\n"
@@ -165,6 +176,23 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       options->scheme_set = true;
     } else if (arg == "--disk") {
       options->disk_mode = true;
+    } else if (arg == "--doc-mode") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      if (std::strcmp(v, "memory") != 0 && std::strcmp(v, "disk") != 0) {
+        std::fprintf(stderr,
+                     "unknown doc mode '%s' (expected memory or disk)\n", v);
+        return false;
+      }
+      options->doc_mode = v;
+    } else if (arg == "--readahead") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->readahead = std::atol(v);
+      if (options->readahead < 0) {
+        std::fprintf(stderr, "--readahead expects a page count >= 0\n");
+        return false;
+      }
     } else if (arg == "--scrub") {
       options->scrub = true;
     } else if (arg == "--estimate") {
@@ -300,7 +328,32 @@ int Run(const Options& options) {
 
   viewjoin::core::EngineOptions engine_options;
   engine_options.scrub = options.scrub;
+  // Environment knobs first (malformed values are hard errors, not silent
+  // defaults), then explicit flags override them.
+  viewjoin::util::Status env = viewjoin::core::ApplyEnvOptions(&engine_options);
+  if (!env.ok()) {
+    std::fprintf(stderr, "%s\n", env.ToString().c_str());
+    return 2;
+  }
+  if (!options.doc_mode.empty()) {
+    engine_options.doc_mode = options.doc_mode == "disk"
+                                  ? viewjoin::core::DocMode::kDisk
+                                  : viewjoin::core::DocMode::kMemory;
+  }
+  if (options.readahead >= 0) {
+    engine_options.readahead_pages = static_cast<size_t>(options.readahead);
+  }
   Engine engine(&doc, "/tmp/viewjoin_cli.db", engine_options);
+  if (engine_options.doc_mode == viewjoin::core::DocMode::kDisk) {
+    if (engine.doc_store() != nullptr) {
+      std::printf("doc mode: disk (%zu tag lists paged, read-ahead %zu)\n",
+                  engine.doc_store()->TagCount(),
+                  engine_options.readahead_pages);
+    } else {
+      std::fprintf(stderr, "doc store unavailable, running in memory: %s\n",
+                   engine.doc_store_status().ToString().c_str());
+    }
+  }
 
   // Resolve the view set: explicit or via cost-based selection.
   std::vector<const MaterializedView*> views;
@@ -406,6 +459,18 @@ int Run(const Options& options) {
   }
   if (options.explain) {
     std::printf("%s", result.plan.ToString().c_str());
+    if (result.io.prefetch_issued > 0 || result.io.prefetch_hits > 0 ||
+        result.io.prefetch_wasted > 0) {
+      std::printf(
+          "read-ahead: %llu issued, %llu hits, %llu wasted (%.0f%% hit rate)\n",
+          static_cast<unsigned long long>(result.io.prefetch_issued),
+          static_cast<unsigned long long>(result.io.prefetch_hits),
+          static_cast<unsigned long long>(result.io.prefetch_wasted),
+          result.io.prefetch_issued > 0
+              ? 100.0 * static_cast<double>(result.io.prefetch_hits) /
+                    static_cast<double>(result.io.prefetch_issued)
+              : 0.0);
+    }
     if (options.scrub || result.scrub.pages_scanned > 0) {
       std::printf(
           "scrub: %llu pages scanned, %llu corrupt, %llu views quarantined, "

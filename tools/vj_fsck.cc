@@ -7,6 +7,11 @@
 // ranges, torn tails, orphan shadow files). A bare pager file without a
 // manifest gets the page-level scan only.
 //
+// Document stores: --doc checks the given path as a paged base-document
+// store (storage::DocumentStore) instead of a view catalog. Without --doc,
+// a sibling "<file>.doc" store (the engine's disk doc-mode layout) is
+// auto-detected and verified alongside the catalog.
+//
 // Exit status follows the fsck convention so scripts can branch on the
 // verdict:
 //   0  the file is clean
@@ -14,14 +19,18 @@
 //      journal CRC mismatch, or journal/data inconsistency)
 //   2  usage error, or the file could not be read at all (missing, I/O)
 //   3  crash artifacts found (torn journal tail, uncommitted pages, orphan
-//      shadows, legacy manifest) — recoverable; with --repair they were
-//      repaired and the store is clean again
+//      shadows, legacy manifest, aborted doc-store builds) — recoverable;
+//      with --repair they were repaired and the store is clean again
+//   4  the BASE DOCUMENT store is corrupt (and the view catalog, if any, is
+//      not) — a different failure domain: views rebuild from the document,
+//      but a rotten document store must be rebuilt from the source XML.
+//      When both are corrupt, view corruption (exit 1) wins.
 //
-//   $ ./build/tools/vj_fsck [--quiet] [--repair] [--json] /path/to/views.db
+//   $ ./build/tools/vj_fsck [--quiet] [--repair] [--json] [--doc] /path/to/views.db
 //
 // --json replaces the human-readable text with one JSON object on stdout
-// (fields mirror storage::FsckCatalogReport, plus the derived verdicts);
-// exit codes are unchanged, so scripts can use either.
+// (fields mirror storage::FsckCatalogReport / FsckDocStoreReport, plus the
+// derived verdicts); exit codes are unchanged, so scripts can use either.
 
 #include <sys/stat.h>
 
@@ -34,7 +43,8 @@
 namespace {
 
 int Usage(const char* prog) {
-  std::fprintf(stderr, "usage: %s [--quiet] [--repair] [--json] <pager-file>\n",
+  std::fprintf(stderr,
+               "usage: %s [--quiet] [--repair] [--json] [--doc] <pager-file>\n",
                prog);
   return 2;
 }
@@ -44,12 +54,75 @@ bool FileExists(const std::string& path) {
   return ::stat(path.c_str(), &st) == 0;
 }
 
+void PrintDocReport(const std::string& path,
+                    const viewjoin::storage::FsckDocStoreReport& report) {
+  for (const auto& [page, status] : report.pager.bad_pages) {
+    std::printf("doc page %u: %s\n", page, status.ToString().c_str());
+  }
+  if (!report.manifest_status.ok()) {
+    std::printf("doc manifest: %s\n",
+                report.manifest_status.ToString().c_str());
+  }
+  if (report.orphan) {
+    std::printf("doc store: pager file without manifest (aborted build)\n");
+  }
+  if (report.arena_missing) std::printf("doc store: node arena missing\n");
+  if (report.data_missing) {
+    std::printf("doc data file shorter than manifest's durable prefix "
+                "(%u pages)\n",
+                report.durable_page_count);
+  }
+  for (const std::string& bad : report.bad_lists) {
+    std::printf("bad doc list: %s\n", bad.c_str());
+  }
+  for (const std::string& run : report.stray_runs) {
+    std::printf("stray spill run: %s\n", run.c_str());
+  }
+  std::printf("%s: %zu tag list(s), %llu node(s), %u durable page(s), %u bad\n",
+              path.c_str(), report.tag_count,
+              static_cast<unsigned long long>(report.node_count),
+              report.durable_page_count, report.corrupt_durable_pages);
+}
+
+/// Exit code of a doc-store check in isolation: 0 clean, 4 corrupt,
+/// 3 crash artifacts (rebuildable), 2 unreadable/absent.
+int DocExitCode(const viewjoin::storage::FsckDocStoreReport& report) {
+  if (!report.present) return 2;
+  if (report.corrupt()) return 4;
+  if (report.orphan || !report.stray_runs.empty()) return 3;
+  if (!report.pager.file_status.ok() || !report.manifest_status.ok()) return 2;
+  return report.clean() ? 0 : 4;
+}
+
+/// Merges a catalog verdict with the sibling doc-store verdict. View
+/// corruption (1) outranks everything; doc corruption (4) next; then
+/// unreadable (2); crash artifacts (3) only win over clean.
+int CombineExit(int view_exit, int doc_exit) {
+  auto rank = [](int e) {
+    switch (e) {
+      case 1: return 4;
+      case 4: return 3;
+      case 2: return 2;
+      case 3: return 1;
+      default: return 0;
+    }
+  };
+  return rank(view_exit) >= rank(doc_exit) ? view_exit : doc_exit;
+}
+
+/// Strips trailing newlines so a report can be embedded in a wrapper object.
+std::string TrimmedJson(std::string json) {
+  while (!json.empty() && json.back() == '\n') json.pop_back();
+  return json;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quiet = false;
   bool repair = false;
   bool json = false;
+  bool doc = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0 || std::strcmp(argv[i], "-q") == 0) {
@@ -58,6 +131,8 @@ int main(int argc, char** argv) {
       repair = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--doc") == 0) {
+      doc = true;
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return Usage(argv[0]);
@@ -70,6 +145,29 @@ int main(int argc, char** argv) {
   if (path.empty()) return Usage(argv[0]);
 
   using viewjoin::util::StatusCode;
+
+  if (doc) {
+    // Explicit doc-store mode: the path IS the store's pager file. There is
+    // no --repair path — a rotten store is rebuilt from the source XML (the
+    // engine does this automatically on the next disk-mode open).
+    if (repair) {
+      std::fprintf(stderr,
+                   "--repair ignored: document stores are rebuilt from the "
+                   "source XML, not repaired\n");
+    }
+    viewjoin::storage::FsckDocStoreReport report =
+        viewjoin::storage::FsckDocumentStore(path);
+    if (json) {
+      std::fputs(viewjoin::storage::ToJson(report).c_str(), stdout);
+    } else if (!quiet) {
+      if (!report.present) {
+        std::fprintf(stderr, "%s: no document store\n", path.c_str());
+      } else {
+        PrintDocReport(path, report);
+      }
+    }
+    return DocExitCode(report);
+  }
 
   const std::string manifest =
       viewjoin::storage::ManifestJournal::PathFor(path);
@@ -108,8 +206,27 @@ int main(int argc, char** argv) {
   viewjoin::storage::FsckCatalogReport report =
       viewjoin::storage::FsckCatalog(path);
 
+  // The engine's disk doc-mode keeps its paged base document in a sibling
+  // "<path>.doc" store; verify it alongside the catalog when present.
+  const std::string doc_path = path + ".doc";
+  const bool have_doc =
+      FileExists(doc_path) ||
+      FileExists(viewjoin::storage::ManifestJournal::PathFor(doc_path));
+  viewjoin::storage::FsckDocStoreReport doc_report;
+  if (have_doc) doc_report = viewjoin::storage::FsckDocumentStore(doc_path);
+  const int doc_exit = have_doc ? DocExitCode(doc_report) : 0;
+
   if (json) {
-    std::fputs(viewjoin::storage::ToJson(report).c_str(), stdout);
+    if (have_doc) {
+      std::string out = "{\"catalog\": ";
+      out += TrimmedJson(viewjoin::storage::ToJson(report));
+      out += ",\n\"doc_store\": ";
+      out += TrimmedJson(viewjoin::storage::ToJson(doc_report));
+      out += "}\n";
+      std::fputs(out.c_str(), stdout);
+    } else {
+      std::fputs(viewjoin::storage::ToJson(report).c_str(), stdout);
+    }
     // The exit-code ladder below still applies (it only prints when !quiet,
     // and --json implies quiet for the text renderer).
     quiet = true;
@@ -151,6 +268,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.last_epoch),
                 report.durable_page_count, report.corrupt_durable_pages,
                 report.compressed_lists_checked);
+    if (have_doc) PrintDocReport(doc_path, doc_report);
   }
 
   if (report.corrupt()) {
@@ -167,12 +285,12 @@ int main(int argc, char** argv) {
     // An unreadable-but-not-corrupt store (e.g. missing data file with an
     // empty journal) is an environment problem.
     if (!report.manifest_status.ok() || !report.pager.file_status.ok()) {
-      return 2;
+      return CombineExit(2, doc_exit);
     }
-    return 0;
+    return CombineExit(0, doc_exit);
   }
 
-  if (!repair) return 3;
+  if (!repair) return CombineExit(3, doc_exit);
 
   viewjoin::util::StatusOr<viewjoin::storage::RecoveryReport> repaired =
       viewjoin::storage::RepairCatalog(path);
@@ -195,5 +313,5 @@ int main(int argc, char** argv) {
                     ? ", legacy manifest converted"
                     : "");
   }
-  return 3;
+  return CombineExit(3, doc_exit);
 }
