@@ -1095,4 +1095,21 @@ util::StatusOr<UpdateResult> Engine::ApplyUpdates(
   return out;
 }
 
+util::StatusOr<storage::BackupReport> Engine::CreateBackup(
+    const std::string& dest_dir, uint64_t rate_bytes_per_sec) {
+  std::lock_guard<std::mutex> backup_lock(backup_mu_);
+  storage::BackupOptions opts;
+  opts.rate_bytes_per_sec = rate_bytes_per_sec;
+  if (doc_store_ != nullptr) {
+    opts.doc_store_path = storage_path_ + ".doc";
+    // The doc store is rewritten in place by ApplyUpdates under the
+    // exclusive document lock; holding it shared for just the doc-store
+    // copy keeps the image's doc files internally consistent while queries
+    // (also shared holders) continue.
+    opts.doc_copy_begin = [this] { doc_mu_.lock_shared(); };
+    opts.doc_copy_end = [this] { doc_mu_.unlock_shared(); };
+  }
+  return storage::CreateBackup(*catalog_, dest_dir, opts);
+}
+
 }  // namespace viewjoin::core

@@ -16,6 +16,7 @@
 #include "plan/algorithm.h"
 #include "plan/physical_plan.h"
 #include "plan/plan_cache.h"
+#include "storage/backup.h"
 #include "storage/document_store.h"
 #include "storage/materialized_view.h"
 #include "storage/pager.h"
@@ -435,6 +436,16 @@ class Engine {
   /// Update batches are serialized engine-wide.
   util::StatusOr<UpdateResult> ApplyUpdates(const std::vector<UpdateOp>& ops);
 
+  /// Takes an online hot backup of the view store (and the document store in
+  /// disk doc-mode) into `dest_dir` — see storage::CreateBackup for the
+  /// image layout and consistency guarantees. Queries keep serving
+  /// throughout; update batches wait only while the (small) document store
+  /// is copied, not for the view-page copy. `rate_bytes_per_sec` paces the
+  /// copy (0 = unthrottled; servers wire VIEWJOIN_BACKUP_RATE_BYTES here).
+  /// Backups are serialized engine-wide; a second concurrent call waits.
+  util::StatusOr<storage::BackupReport> CreateBackup(
+      const std::string& dest_dir, uint64_t rate_bytes_per_sec = 0);
+
   storage::ViewCatalog* catalog() { return catalog_.get(); }
 
   /// The paged base-document store (null in memory doc-mode, or when a
@@ -503,6 +514,9 @@ class Engine {
   /// Serializes whole update batches (mutation + view maintenance) so two
   /// ApplyUpdates calls cannot interleave their catalog transactions.
   std::mutex update_mu_;
+  /// Serializes hot backups engine-wide (two concurrent CreateBackup calls
+  /// would race on the destination directory for no benefit).
+  std::mutex backup_mu_;
   /// Document statistics for the planner's cardinality estimates, collected
   /// lazily on the first kAuto query and re-collected when the document
   /// revision moves (live updates invalidate them).

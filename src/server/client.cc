@@ -48,6 +48,18 @@ util::StatusOr<UpdateResponse> Client::Update(const UpdateRequest& request) {
   return response;
 }
 
+util::StatusOr<BackupResponse> Client::TriggerBackup(
+    const std::string& dest_dir) {
+  BackupRequest request;
+  request.dest_dir = dest_dir;
+  util::StatusOr<std::string> reply = RoundTrip(EncodeBackupRequest(request));
+  if (!reply.ok()) return reply.status();
+  BackupResponse response;
+  util::Status decoded = DecodeBackupResponse(*reply, &response);
+  if (!decoded.ok()) return decoded;
+  return response;
+}
+
 util::StatusOr<StatusResponse> Client::GetStatus() {
   util::StatusOr<std::string> reply = RoundTrip(EncodeStatusRequest());
   if (!reply.ok()) return reply.status();

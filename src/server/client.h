@@ -87,6 +87,11 @@ class Client {
   /// Health/readiness probe.
   util::StatusOr<StatusResponse> GetStatus();
 
+  /// Admin: trigger an online hot backup on the server ("" = the server's
+  /// configured default backup directory). The call blocks for the copy, so
+  /// size the deadline to the store (and the server's backup rate limit).
+  util::StatusOr<BackupResponse> TriggerBackup(const std::string& dest_dir);
+
  private:
   util::StatusOr<std::string> RoundTrip(const std::string& payload);
 

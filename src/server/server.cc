@@ -179,6 +179,23 @@ void QueryServer::ServeConn(Conn conn, core::Engine::Session* session) {
       }
       continue;
     }
+    if (*type == MsgType::kBackupRequest) {
+      BackupRequest backup;
+      util::Status backup_decoded = DecodeBackupRequest(*frame, &backup);
+      if (!backup_decoded.ok()) {
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        conn.SendFrame(
+            EncodeQueryResponse(ErrorResponse(backup_decoded.ToString())),
+            options_.max_frame_bytes);
+        return;
+      }
+      if (!conn.SendFrame(EncodeBackupResponse(TriggerBackup(backup.dest_dir)),
+                          options_.max_frame_bytes)
+               .ok()) {
+        return;
+      }
+      continue;
+    }
     if (*type == MsgType::kUpdateRequest) {
       UpdateRequest update;
       util::Status update_decoded = DecodeUpdateRequest(*frame, &update);
@@ -332,6 +349,35 @@ QueryResponse QueryServer::HandleQuery(const QueryRequest& request,
 }
 
 UpdateResponse QueryServer::HandleUpdate(const UpdateRequest& request) {
+  const bool tokened =
+      !request.token.empty() && options_.update_dedup_window > 0;
+  if (!tokened) return ApplyUpdateRequest(request);
+
+  // Exactly-once under retries: lookup, apply, and cache-insert happen under
+  // one lock, so a second in-flight retry of the same token cannot slip past
+  // the lookup before the first commits. Update batches are serialized
+  // inside the engine anyway, so this serialization costs nothing.
+  std::lock_guard<std::mutex> dedup_lock(dedup_mu_);
+  auto it = dedup_cache_.find(request.token);
+  if (it != dedup_cache_.end()) {
+    update_dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;  // replay the committed response; nothing re-applies
+  }
+  UpdateResponse response = ApplyUpdateRequest(request);
+  // Only committed batches enter the window: a refused or failed batch did
+  // not apply, so the client's retry with the same token must run for real.
+  if (response.verdict == Verdict::kOk) {
+    dedup_cache_.emplace(request.token, response);
+    dedup_order_.push_back(request.token);
+    while (dedup_order_.size() > options_.update_dedup_window) {
+      dedup_cache_.erase(dedup_order_.front());
+      dedup_order_.pop_front();
+    }
+  }
+  return response;
+}
+
+UpdateResponse QueryServer::ApplyUpdateRequest(const UpdateRequest& request) {
   UpdateResponse response;
   if (draining()) {
     // An update refused mid-drain must NOT be half-accepted: the catalog is
@@ -387,6 +433,11 @@ UpdateResponse QueryServer::HandleUpdate(const UpdateRequest& request) {
   response.server_ms = static_cast<double>(NowNanos() - start_ns) / 1e6;
 
   if (!result.ok()) {
+    if (result.status().code() == util::StatusCode::kResourceExhausted) {
+      // Disk full: the batch aborted cleanly (no torn page, no orphan file)
+      // and reads keep serving; surface the pressure in the status snapshot.
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
     response.verdict = Verdict::kError;
     response.error = result.status().ToString();
     return response;
@@ -398,6 +449,60 @@ UpdateResponse QueryServer::HandleUpdate(const UpdateRequest& request) {
   response.txn_epoch = result->txn_epoch;
   response.delta_maintained = result->delta_maintained;
   response.fully_rebuilt = result->fully_rebuilt;
+  return response;
+}
+
+BackupResponse QueryServer::TriggerBackup(const std::string& dest_dir) {
+  BackupResponse response;
+  // Claim an in-flight slot before the drain check: Drain() flips state
+  // first and then waits for this counter, so either we see the drain and
+  // refuse, or the drain sees us and waits — never a backup racing the
+  // catalog close.
+  backups_in_flight_.fetch_add(1, std::memory_order_acq_rel);
+  if (draining()) {
+    backups_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    rejected_draining_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kShuttingDown;
+    response.error = "server is draining";
+    return response;
+  }
+  const std::string dir = dest_dir.empty() ? options_.backup_dir : dest_dir;
+  if (dir.empty()) {
+    backups_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    backups_failed_.fetch_add(1, std::memory_order_relaxed);
+    response.verdict = Verdict::kError;
+    response.error = "no backup directory: request named none and the server "
+                     "has no --backup-dir configured";
+    return response;
+  }
+
+  const int64_t start_ns = NowNanos();
+  util::StatusOr<storage::BackupReport> report =
+      engine_->CreateBackup(dir, options_.backup_rate_bytes);
+  response.server_ms = static_cast<double>(NowNanos() - start_ns) / 1e6;
+  backups_in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+
+  if (!report.ok()) {
+    if (report.status().code() == util::StatusCode::kResourceExhausted) {
+      resource_exhausted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    backups_failed_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(backup_status_mu_);
+    last_backup_error_ = report.status().ToString();
+    response.verdict = Verdict::kError;
+    response.error = last_backup_error_;
+    return response;
+  }
+  backups_completed_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(backup_status_mu_);
+    last_backup_error_.clear();
+  }
+  response.verdict = Verdict::kOk;
+  response.directory = report->directory;
+  response.epoch = report->epoch;
+  response.view_pages = report->view_page_count;
+  response.bytes_copied = report->bytes_copied;
   return response;
 }
 
@@ -475,6 +580,13 @@ bool QueryServer::Drain() {
   state_.store(State::kStopped, std::memory_order_release);
   if (watchdog_.joinable()) watchdog_.join();
 
+  // A backup that won the race against the drain flag finishes before the
+  // catalog closes under it (TriggerBackup claims its slot before checking
+  // the state, so this wait cannot miss one).
+  while (backups_in_flight_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(kWatchdogTick);
+  }
+
   // Step 3: quiesce the background scrubber before touching the catalog —
   // a heal racing a closing catalog is exactly the kind of shutdown race
   // this server exists to not have.
@@ -521,6 +633,16 @@ StatusResponse QueryServer::Snapshot() const {
   {
     std::lock_guard<std::mutex> lock(views_mu_);
     status.views_cached = view_cache_.size();
+  }
+  status.backups_completed = backups_completed_.load(std::memory_order_relaxed);
+  status.backups_failed = backups_failed_.load(std::memory_order_relaxed);
+  status.update_dedup_hits =
+      update_dedup_hits_.load(std::memory_order_relaxed);
+  status.resource_exhausted =
+      resource_exhausted_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(backup_status_mu_);
+    status.last_backup_error = last_backup_error_;
   }
   return status;
 }

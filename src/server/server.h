@@ -65,6 +65,19 @@ struct ServerOptions {
   /// Drain() starts are watchdog-aborted (kCancelled) so drain always
   /// terminates.
   double drain_deadline_ms = 5000;
+  /// Default destination for triggered hot backups (SIGUSR2 or a
+  /// kBackupRequest with an empty dest_dir); "" = backups must name a
+  /// directory explicitly.
+  std::string backup_dir;
+  /// Copy pacing for hot backups in bytes/sec (0 = unthrottled). Servers
+  /// wire VIEWJOIN_BACKUP_RATE_BYTES through here so a backup cannot starve
+  /// the serving I/O path.
+  uint64_t backup_rate_bytes = 0;
+  /// Idempotency dedup window: the committed responses of the most recent N
+  /// tokened update batches are kept, so a client retry with the same token
+  /// replays the response instead of double-applying (0 disables; wired from
+  /// VIEWJOIN_UPDATE_DEDUP_WINDOW).
+  size_t update_dedup_window = 64;
 };
 
 /// A long-lived multi-tenant query server over one Engine.
@@ -117,6 +130,14 @@ class QueryServer {
   /// Point-in-time health/readiness counters.
   StatusResponse Snapshot() const;
 
+  /// Takes an online hot backup into `dest_dir` ("" = options.backup_dir)
+  /// while the server keeps serving — the SIGUSR2 handler and the
+  /// kBackupRequest admin frame both land here. Refused typed while
+  /// draining; Drain() waits out an in-flight backup before closing the
+  /// catalog, so the drain guarantees are unchanged. The copy is paced by
+  /// options.backup_rate_bytes.
+  BackupResponse TriggerBackup(const std::string& dest_dir = "");
+
  private:
   enum class State : int { kIdle = 0, kServing = 1, kDraining = 2, kStopped = 3 };
 
@@ -137,7 +158,14 @@ class QueryServer {
   /// Applies one live-document update batch through the engine (atomic view
   /// epoch bump; see core::Engine::ApplyUpdates). Shares the tenant quota
   /// bucket with queries, and is refused typed (kShuttingDown) during drain.
+  /// Requests carrying an idempotency token are answered from the dedup
+  /// window when the same token already committed — exactly-once under
+  /// client retries.
   UpdateResponse HandleUpdate(const UpdateRequest& request);
+
+  /// The apply path under HandleUpdate's dedup wrapper: admission checks,
+  /// fragment parsing, and the engine transaction.
+  UpdateResponse ApplyUpdateRequest(const UpdateRequest& request);
 
   /// Resolves a view pattern to a materialized view, materializing on first
   /// use (cached by scheme + pattern).
@@ -176,6 +204,21 @@ class QueryServer {
   bool drained_ = false;
   bool drain_clean_ = false;
 
+  /// Serializes tokened update batches end to end (dedup lookup → engine
+  /// apply → dedup insert), making the exactly-once window airtight against
+  /// two concurrent retries of the same token. Update batches are already
+  /// serialized inside the engine, so this costs no parallelism.
+  std::mutex dedup_mu_;
+  /// token → committed response, bounded FIFO of options_.update_dedup_window.
+  std::map<std::string, UpdateResponse> dedup_cache_;
+  std::deque<std::string> dedup_order_;
+
+  /// Backups in flight (0 or 1 in practice; the engine serializes them).
+  /// Drain() waits for this to reach zero before closing the catalog.
+  std::atomic<uint64_t> backups_in_flight_{0};
+  mutable std::mutex backup_status_mu_;  // guards last_backup_error_
+  std::string last_backup_error_;
+
   // Counters (see StatusResponse).
   std::atomic<uint64_t> in_flight_{0};
   std::atomic<uint64_t> connections_accepted_{0};
@@ -185,6 +228,10 @@ class QueryServer {
   std::atomic<uint64_t> rejected_draining_{0};
   std::atomic<uint64_t> read_timeouts_{0};
   std::atomic<uint64_t> frame_errors_{0};
+  std::atomic<uint64_t> backups_completed_{0};
+  std::atomic<uint64_t> backups_failed_{0};
+  std::atomic<uint64_t> update_dedup_hits_{0};
+  std::atomic<uint64_t> resource_exhausted_{0};
 };
 
 }  // namespace viewjoin::server

@@ -196,6 +196,31 @@ std::string EncodeStatusResponse(const StatusResponse& status) {
   PutU64(&out, status.read_timeouts);
   PutU64(&out, status.frame_errors);
   PutU64(&out, status.views_cached);
+  PutU64(&out, status.backups_completed);
+  PutU64(&out, status.backups_failed);
+  PutU64(&out, status.update_dedup_hits);
+  PutU64(&out, status.resource_exhausted);
+  PutString(&out, status.last_backup_error);
+  return out;
+}
+
+std::string EncodeBackupRequest(const BackupRequest& request) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kBackupRequest));
+  PutString(&out, request.dest_dir);
+  return out;
+}
+
+std::string EncodeBackupResponse(const BackupResponse& response) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kBackupResponse));
+  PutU8(&out, static_cast<uint8_t>(response.verdict));
+  PutString(&out, response.error);
+  PutString(&out, response.directory);
+  PutU64(&out, response.epoch);
+  PutU64(&out, response.view_pages);
+  PutU64(&out, response.bytes_copied);
+  PutF64(&out, response.server_ms);
   return out;
 }
 
@@ -203,6 +228,7 @@ std::string EncodeUpdateRequest(const UpdateRequest& request) {
   std::string out;
   PutU8(&out, static_cast<uint8_t>(MsgType::kUpdateRequest));
   PutString(&out, request.tenant);
+  PutString(&out, request.token);
   PutU32(&out, static_cast<uint32_t>(request.ops.size()));
   for (const UpdateRequest::Op& op : request.ops) {
     PutU8(&out, op.kind);
@@ -242,6 +268,8 @@ util::StatusOr<MsgType> PeekType(const std::string& payload) {
     case MsgType::kStatusResponse:
     case MsgType::kUpdateRequest:
     case MsgType::kUpdateResponse:
+    case MsgType::kBackupRequest:
+    case MsgType::kBackupResponse:
       return static_cast<MsgType>(type);
   }
   return Malformed("unknown message type");
@@ -307,9 +335,13 @@ util::Status DecodeUpdateRequest(const std::string& payload,
       ExpectType(&reader, MsgType::kUpdateRequest, "not an update request");
   if (!type_ok.ok()) return type_ok;
   uint32_t nops = 0;
-  if (!reader.String(&request->tenant) || !reader.U32(&nops)) {
+  if (!reader.String(&request->tenant) || !reader.String(&request->token) ||
+      !reader.U32(&nops)) {
     return Malformed("truncated update request");
   }
+  // Tokens key a server-side map; cap them so a hostile client cannot turn
+  // the dedup window into an allocation sink.
+  if (request->token.size() > 128) return Malformed("oversized update token");
   // Cap before allocating: nops is attacker-controlled.
   if (nops > 4096) return Malformed("too many update ops");
   request->ops.clear();
@@ -381,8 +413,47 @@ util::Status DecodeStatusResponse(const std::string& payload,
       !reader.U64(&status->rejected_draining) ||
       !reader.U64(&status->read_timeouts) ||
       !reader.U64(&status->frame_errors) ||
-      !reader.U64(&status->views_cached) || !reader.Done()) {
+      !reader.U64(&status->views_cached) ||
+      !reader.U64(&status->backups_completed) ||
+      !reader.U64(&status->backups_failed) ||
+      !reader.U64(&status->update_dedup_hits) ||
+      !reader.U64(&status->resource_exhausted) ||
+      !reader.String(&status->last_backup_error) || !reader.Done()) {
     return Malformed("truncated status response");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeBackupRequest(const std::string& payload,
+                                 BackupRequest* request) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kBackupRequest, "not a backup request");
+  if (!type_ok.ok()) return type_ok;
+  if (!reader.String(&request->dest_dir) || !reader.Done()) {
+    return Malformed("truncated backup request");
+  }
+  return util::Status::Ok();
+}
+
+util::Status DecodeBackupResponse(const std::string& payload,
+                                  BackupResponse* response) {
+  Reader reader(payload);
+  util::Status type_ok =
+      ExpectType(&reader, MsgType::kBackupResponse, "not a backup response");
+  if (!type_ok.ok()) return type_ok;
+  uint8_t verdict = 0;
+  if (!reader.U8(&verdict) ||
+      verdict > static_cast<uint8_t>(Verdict::kShuttingDown)) {
+    return Malformed("bad verdict");
+  }
+  response->verdict = static_cast<Verdict>(verdict);
+  if (!reader.String(&response->error) ||
+      !reader.String(&response->directory) ||
+      !reader.U64(&response->epoch) || !reader.U64(&response->view_pages) ||
+      !reader.U64(&response->bytes_copied) ||
+      !reader.F64(&response->server_ms) || !reader.Done()) {
+    return Malformed("truncated backup response");
   }
   return util::Status::Ok();
 }

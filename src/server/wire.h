@@ -43,6 +43,8 @@ enum class MsgType : uint8_t {
   kStatusResponse = 4,
   kUpdateRequest = 5,   // live-document update batch
   kUpdateResponse = 6,
+  kBackupRequest = 7,   // admin: trigger an online hot backup
+  kBackupResponse = 8,
 };
 
 /// Server verdict on one query. Every request gets exactly one typed
@@ -94,6 +96,12 @@ struct UpdateRequest {
     std::string fragment;     // XML subtree to insert; empty for deletes
   };
   std::string tenant;
+  /// Idempotency token ("" = none): a client that retries a batch after a
+  /// lost response sends the same token, and the server's bounded dedup
+  /// window replays the committed response instead of applying the batch a
+  /// second time. Tokens are opaque bytes; clients should make them unique
+  /// per logical batch (e.g. random hex chosen before the first attempt).
+  std::string token;
   std::vector<Op> ops;
 };
 
@@ -109,6 +117,24 @@ struct UpdateResponse {
   uint64_t txn_epoch = 0;
   uint64_t delta_maintained = 0;
   uint64_t fully_rebuilt = 0;
+  double server_ms = 0;
+};
+
+/// Admin request: take an online hot backup into `dest_dir` on the server's
+/// filesystem ("" = the server's configured default backup directory).
+/// Refused typed while draining; the copy is paced by the server's
+/// configured rate limit. Equivalent to sending the server SIGUSR2.
+struct BackupRequest {
+  std::string dest_dir;
+};
+
+struct BackupResponse {
+  Verdict verdict = Verdict::kError;
+  std::string error;           // empty on kOk
+  std::string directory;       // where the image landed
+  uint64_t epoch = 0;          // catalog epoch the image pins
+  uint64_t view_pages = 0;     // committed view pages copied
+  uint64_t bytes_copied = 0;
   double server_ms = 0;
 };
 
@@ -129,6 +155,18 @@ struct StatusResponse {
   uint64_t read_timeouts = 0;
   uint64_t frame_errors = 0;
   uint64_t views_cached = 0;
+  /// Hot-backup lifecycle counters (SIGUSR2 or kBackupRequest triggers).
+  uint64_t backups_completed = 0;
+  uint64_t backups_failed = 0;
+  /// Retried update batches answered from the idempotency dedup window
+  /// instead of being applied a second time.
+  uint64_t update_dedup_hits = 0;
+  /// Operations (updates, backups) that failed with kResourceExhausted —
+  /// the disk-full signal; the engine keeps serving reads when it rises.
+  uint64_t resource_exhausted = 0;
+  /// Why the most recent backup failed ("" = never failed, or succeeded
+  /// since).
+  std::string last_backup_error;
 };
 
 // ---- Encoding / decoding ---------------------------------------------------
@@ -144,6 +182,8 @@ std::string EncodeStatusRequest();
 std::string EncodeStatusResponse(const StatusResponse& status);
 std::string EncodeUpdateRequest(const UpdateRequest& request);
 std::string EncodeUpdateResponse(const UpdateResponse& response);
+std::string EncodeBackupRequest(const BackupRequest& request);
+std::string EncodeBackupResponse(const BackupResponse& response);
 
 /// The payload's message type (InvalidArgument on an empty or unknown-typed
 /// payload).
@@ -159,6 +199,10 @@ util::Status DecodeUpdateRequest(const std::string& payload,
                                  UpdateRequest* request);
 util::Status DecodeUpdateResponse(const std::string& payload,
                                   UpdateResponse* response);
+util::Status DecodeBackupRequest(const std::string& payload,
+                                 BackupRequest* request);
+util::Status DecodeBackupResponse(const std::string& payload,
+                                  BackupResponse* response);
 
 }  // namespace viewjoin::server
 

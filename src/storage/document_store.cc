@@ -1,6 +1,7 @@
 #include "storage/document_store.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -8,6 +9,7 @@
 
 #include "storage/manifest.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "xml/parser.h"
 
 namespace viewjoin::storage {
@@ -41,14 +43,38 @@ std::string RunPath(const std::string& path, size_t run, char order) {
   return path + ".run" + std::to_string(run) + "." + order;
 }
 
-/// Writes one sorted run to disk. Returns false on any I/O failure.
-bool WriteRun(const std::string& run_path, const std::vector<DocRecord>& recs) {
+/// Writes one sorted run to disk. Typed failure: a full disk (real ENOSPC or
+/// the injected budget) is kResourceExhausted, so the build aborts as
+/// resource exhaustion rather than corruption; a failed run never survives
+/// on disk.
+util::Status WriteRun(const std::string& run_path,
+                      const std::vector<DocRecord>& recs) {
+  if (util::FaultInjector::Global().OnDiskCharge(recs.size() *
+                                                 sizeof(DocRecord))) {
+    return util::Status::ResourceExhausted(
+        "cannot write spill run " + run_path +
+        ": no space left on device (injected)");
+  }
   std::FILE* f = std::fopen(run_path.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return util::Status::IoError("cannot create spill run " + run_path + ": " +
+                                 std::strerror(errno));
+  }
+  errno = 0;
   size_t wrote = std::fwrite(recs.data(), sizeof(DocRecord), recs.size(), f);
   bool ok = wrote == recs.size() && std::fflush(f) == 0;
+  int err = errno;
   std::fclose(f);
-  return ok;
+  if (!ok) {
+    std::remove(run_path.c_str());
+    if (err == ENOSPC) {
+      return util::Status::ResourceExhausted("cannot write spill run " +
+                                             run_path +
+                                             ": no space left on device");
+    }
+    return util::Status::IoError("cannot write spill run " + run_path);
+  }
+  return util::Status::Ok();
 }
 
 /// Buffered sequential reader over one spill run.
@@ -219,8 +245,10 @@ class StoreBuilder : public xml::ParseHandler {
     return true;
   }
 
-  /// True when a spill write failed (the abort reason when the parse stops).
-  bool spill_failed() const { return spill_failed_; }
+  /// True when a spill write failed (the abort reason when the parse stops);
+  /// spill_status() carries the typed reason (ENOSPC vs generic I/O).
+  bool spill_failed() const { return !spill_status_.ok(); }
+  const util::Status& spill_status() const { return spill_status_; }
   size_t run_count() const { return runs_; }
   uint64_t node_count() const { return next_node_id_; }
   std::vector<std::string>& tag_names() { return tag_names_; }
@@ -230,9 +258,7 @@ class StoreBuilder : public xml::ParseHandler {
   /// tail is flushed as the final run first.
   util::Status FinishInput() {
     if (runs_ > 0 && !buffer_.empty()) {
-      if (!Spill()) {
-        return util::Status::IoError("document store: spill run write failed");
-      }
+      if (!Spill()) return spill_status_;
     }
     return util::Status::Ok();
   }
@@ -279,15 +305,11 @@ class StoreBuilder : public xml::ParseHandler {
   /// Returning false aborts the parse (ParseHandler contract).
   bool Spill() {
     std::sort(buffer_.begin(), buffer_.end(), TagOrder);
-    if (!WriteRun(RunPath(path_, runs_, 'a'), buffer_)) {
-      spill_failed_ = true;
-      return false;
-    }
+    spill_status_ = WriteRun(RunPath(path_, runs_, 'a'), buffer_);
+    if (!spill_status_.ok()) return false;
     std::sort(buffer_.begin(), buffer_.end(), StartOrder);
-    if (!WriteRun(RunPath(path_, runs_, 'b'), buffer_)) {
-      spill_failed_ = true;
-      return false;
-    }
+    spill_status_ = WriteRun(RunPath(path_, runs_, 'b'), buffer_);
+    if (!spill_status_.ok()) return false;
     ++runs_;
     buffer_.clear();
     return true;
@@ -297,7 +319,7 @@ class StoreBuilder : public xml::ParseHandler {
   size_t budget_records_;
   std::vector<DocRecord> buffer_;
   size_t runs_ = 0;
-  bool spill_failed_ = false;
+  util::Status spill_status_ = util::Status::Ok();
 
   std::vector<std::string> tag_names_;
   std::unordered_map<std::string, xml::TagId> tag_ids_;
@@ -538,9 +560,7 @@ util::StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::BuildFromText(
   };
   if (!parsed.ok) {
     if (builder.spill_failed()) {
-      return abort(util::Status::IoError("document store: spill run write "
-                                         "failed at offset " +
-                                         std::to_string(parsed.error_offset)));
+      return abort(builder.spill_status());
     }
     return abort(util::Status::InvalidArgument(
         "parse error at offset " + std::to_string(parsed.error_offset) + ": " +
@@ -588,9 +608,7 @@ util::StatusOr<std::unique_ptr<DocumentStore>> DocumentStore::Build(
   };
   if (!parsed.ok) {
     if (builder.spill_failed()) {
-      return abort(util::Status::IoError("document store: spill run write "
-                                         "failed at offset " +
-                                         std::to_string(parsed.error_offset)));
+      return abort(builder.spill_status());
     }
     if (parsed.error.rfind("cannot open file", 0) == 0) {
       return abort(util::Status::NotFound(parsed.error));

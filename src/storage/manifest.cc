@@ -232,6 +232,24 @@ Status IoError(const std::string& message) {
   return Status::IoError(message + ": " + std::strerror(errno));
 }
 
+/// Typed verdict for a failed journal write: real ENOSPC from the OS becomes
+/// kResourceExhausted (the engine treats a full disk as an operational
+/// condition, not rot), everything else stays kIoError. Callers clear errno
+/// before the write so a stale value cannot retype an unrelated failure.
+Status WriteError(const std::string& message) {
+  int err = errno;
+  std::string detail =
+      message + ": " + (err != 0 ? std::strerror(err) : "short write");
+  if (err == ENOSPC) return Status::ResourceExhausted(detail);
+  return Status::IoError(detail);
+}
+
+/// The injected flavor of a full disk, typed identically to the real one.
+Status NoSpace(const std::string& message) {
+  return Status::ResourceExhausted(message +
+                                   ": no space left on device (injected)");
+}
+
 /// Writes the journal header, honoring header-write fault injection (the
 /// manifest header and the pager header share the injector channel).
 Status WriteJournalHeader(std::FILE* file, const std::string& path) {
@@ -243,20 +261,28 @@ Status WriteJournalHeader(std::FILE* file, const std::string& path) {
     return Status::IoError("injected short write on manifest header of " +
                            path);
   }
+  if (fault == util::WriteFault::kNoSpace ||
+      util::FaultInjector::Global().OnDiskCharge(header.size())) {
+    // A full disk rejects the header before any byte lands; the (fresh or
+    // tmp) file stays empty for the caller to remove.
+    return NoSpace("cannot write manifest header of " + path);
+  }
   if (fault == util::WriteFault::kTornPage) {
     std::memset(header.data() + header.size() / 2, 0xAA, header.size() / 2);
   } else if (fault == util::WriteFault::kBitFlip) {
     header[sizeof(kMagic)] ^= 0x01;  // corrupt the version field
   }
+  errno = 0;
   if (std::fwrite(header.data(), 1, header.size(), file) != header.size()) {
-    return IoError("cannot write manifest header of " + path);
+    return WriteError("cannot write manifest header of " + path);
   }
   return Status::Ok();
 }
 
 Status SyncFile(std::FILE* file, const std::string& path) {
-  if (std::fflush(file) != 0) return IoError("cannot flush " + path);
-  if (::fsync(fileno(file)) != 0) return IoError("cannot fsync " + path);
+  errno = 0;
+  if (std::fflush(file) != 0) return WriteError("cannot flush " + path);
+  if (::fsync(fileno(file)) != 0) return WriteError("cannot fsync " + path);
   return Status::Ok();
 }
 
@@ -375,7 +401,10 @@ StatusOr<std::unique_ptr<ManifestJournal>> ManifestJournal::Create(
   Status status = WriteJournalHeader(file, path);
   if (status.ok()) status = SyncFile(file, path);
   if (!status.ok()) {
+    // Nothing durable was promised yet, so a failed create must not leave an
+    // empty/truncated journal for the next open to mistake for corruption.
     std::fclose(file);
+    std::remove(path.c_str());
     return status;
   }
   return std::unique_ptr<ManifestJournal>(new ManifestJournal(path, file));
@@ -598,8 +627,16 @@ Status ManifestJournal::WriteCheckpoint(
       status = Status::IoError("injected crash mid-compaction writing " + tmp);
       return;
     }
+    if (util::FaultInjector::Global().OnDiskCharge(frame.size())) {
+      // Full disk mid-compaction: the record never starts, the tmp file is
+      // removed below, and the rename never happens — the old journal stays
+      // the authoritative (and still replayable) manifest.
+      status = NoSpace("cannot write manifest checkpoint " + tmp);
+      return;
+    }
+    errno = 0;
     if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
-      status = IoError("cannot write manifest checkpoint " + tmp);
+      status = WriteError("cannot write manifest checkpoint " + tmp);
     }
   };
   for (const ManifestViewRecord& r : records) {
@@ -646,8 +683,48 @@ Status ManifestJournal::AppendRecord(ManifestRecordType type,
     std::fflush(file_);
     return Status::IoError("injected crash mid-journal appending to " + path_);
   }
+  if (util::FaultInjector::Global().OnDiskCharge(frame.size())) {
+    // Full disk: the record never starts, so the journal keeps its clean
+    // record boundary — no torn tail for recovery to truncate.
+    return NoSpace("cannot append to manifest journal " + path_);
+  }
+  errno = 0;
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return IoError("cannot append to manifest journal " + path_);
+    return WriteError("cannot append to manifest journal " + path_);
+  }
+  return SyncFile(file_, path_);
+}
+
+long ManifestJournal::AppendOffset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return -1;
+  std::fflush(file_);
+  return std::ftell(file_);
+}
+
+Status ManifestJournal::TruncateTo(long offset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) {
+    return Status::IoError("manifest journal " + path_ + " is closed");
+  }
+  if (offset < static_cast<long>(kJournalHeaderSize)) {
+    return Status::InvalidArgument(
+        "refusing to truncate manifest journal " + path_ +
+        " into its header (offset " + std::to_string(offset) + ")");
+  }
+  // A failed append may have latched the stream's error flag; clear it so
+  // the flush below does not refuse, then cut the file at the record
+  // boundary the caller captured before its transaction.
+  std::clearerr(file_);
+  (void)std::fflush(file_);
+  if (::ftruncate(::fileno(file_), offset) != 0) {
+    return Status::IoError("cannot truncate manifest journal " + path_ +
+                           " to " + std::to_string(offset) + " bytes: " +
+                           std::strerror(errno));
+  }
+  if (std::fseek(file_, offset, SEEK_SET) != 0) {
+    return Status::IoError("seek after truncate failed in manifest journal " +
+                           path_);
   }
   return SyncFile(file_, path_);
 }

@@ -181,6 +181,18 @@ class ManifestJournal {
   /// monotone through the journal.
   util::Status AppendUpdateCommit(uint64_t epoch, uint64_t txn_epoch);
 
+  /// Current append position in bytes, or -1 if the handle is closed.
+  /// Captured before a multi-record transaction so a clean in-process abort
+  /// (a full disk, not a crash) can roll partial records back with
+  /// TruncateTo — crash recovery never needs this (Replay drops an
+  /// uncommitted batch on its own).
+  long AppendOffset();
+
+  /// Cuts the journal back to `offset` bytes (a value from AppendOffset)
+  /// and resumes appending there. Only for the in-process abort path; the
+  /// records removed must not have been acted on.
+  util::Status TruncateTo(long offset);
+
   /// Closes the file handle (idempotent; the destructor calls it).
   void Close();
 

@@ -226,6 +226,26 @@ void ViewCatalog::SaveManifest() {
   VJ_CHECK(status.ok()) << status.ToString();
 }
 
+ViewCatalog::BackupSnapshot ViewCatalog::SnapshotForBackup() {
+  std::lock_guard<std::mutex> install_lock(install_mu_);
+  BackupSnapshot snap;
+  snap.page_count = pager_->page_count();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    snap.records.reserve(views_.size());
+    for (const auto& view : views_) {
+      snap.records.push_back(RecordFor(*view, snap.page_count));
+    }
+    snap.quarantined_epochs.reserve(quarantined_.size());
+    for (const MaterializedView* view : quarantined_) {
+      snap.quarantined_epochs.push_back(view->epoch_);
+    }
+    std::sort(snap.quarantined_epochs.begin(), snap.quarantined_epochs.end());
+  }
+  snap.epoch = epoch();
+  return snap;
+}
+
 // ---- Open / startup recovery ----------------------------------------------
 
 namespace {
@@ -580,16 +600,30 @@ namespace {
 /// cleanup on failure (this is a genuine error path, not a simulated crash).
 util::Status WriteShadowFile(const std::string& tmp_path, const uint8_t* data,
                              size_t size) {
+  if (util::FaultInjector::Global().OnDiskCharge(size)) {
+    // Full disk before the staging file exists: nothing to clean up, and the
+    // typed code lets the engine abort the batch instead of quarantining.
+    return util::Status::ResourceExhausted(
+        "cannot write shadow file " + tmp_path +
+        ": no space left on device (injected)");
+  }
   std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
   if (file == nullptr) {
     return util::Status::IoError("cannot create shadow file " + tmp_path +
                                  ": " + std::strerror(errno));
   }
+  errno = 0;
   bool ok = size == 0 || std::fwrite(data, 1, size, file) == size;
   ok = ok && std::fflush(file) == 0 && ::fsync(fileno(file)) == 0;
+  int err = errno;
   std::fclose(file);
   if (!ok) {
     std::remove(tmp_path.c_str());
+    if (err == ENOSPC) {
+      return util::Status::ResourceExhausted("cannot write shadow file " +
+                                             tmp_path +
+                                             ": no space left on device");
+    }
     return util::Status::IoError("cannot write shadow file " + tmp_path);
   }
   return util::Status::Ok();
@@ -604,6 +638,8 @@ util::StatusOr<const MaterializedView*> ViewCatalog::InstallView(
 
   const uint64_t epoch = AllocateEpoch();
   view->epoch_ = epoch;
+  const long journal_mark =
+      journal_ != nullptr ? journal_->AppendOffset() : -1;
   if (journal_ != nullptr) {
     // Intent record first: if the rest of the install never commits, replay
     // finds a begin without an install and re-queues the pattern.
@@ -632,11 +668,28 @@ util::StatusOr<const MaterializedView*> ViewCatalog::InstallView(
 
   const std::string shadow =
       pager_->path() + ".shadow." + std::to_string(epoch);
+  // A returned ENOSPC is an in-process abort, not a crash: the process is
+  // alive to undo its own partial transaction, so roll the store back to
+  // exactly its pre-install state (no orphan pages, no sealed shadow, no
+  // dangling begin record) and fsck finds nothing to repair. Every other
+  // failure kind — injected crashes above all — must keep leaving the
+  // artifacts a dying process would, because recovery is what handles them.
+  auto abort_on_no_space = [&](const util::Status& status) {
+    if (status.code() != util::StatusCode::kResourceExhausted) return;
+    (void)pager_->TruncateToPageCount(base);
+    std::remove(shadow.c_str());
+    if (journal_ != nullptr && journal_mark >= 0) {
+      (void)journal_->TruncateTo(journal_mark);
+    }
+  };
   const bool shadowed = journal_ != nullptr && staged.page_count > 0;
   if (shadowed) {
     const std::string tmp = shadow + ".tmp";
     util::Status staged_ok = WriteShadowFile(tmp, phys.data(), phys.size());
-    if (!staged_ok.ok()) return staged_ok;
+    if (!staged_ok.ok()) {
+      abort_on_no_space(staged_ok);
+      return staged_ok;
+    }
     if (injector.AtCrashPoint(util::CrashPoint::kCrashBeforeRename)) {
       // Crash with the shadow fully written but unsealed: recovery must
       // treat the .tmp as garbage and roll the view back.
@@ -663,6 +716,7 @@ util::StatusOr<const MaterializedView*> ViewCatalog::InstallView(
     if (appended.ok() && journal_ != nullptr) appended = pager_->Sync();
     if (!appended.ok()) {
       if (shadowed) std::remove(shadow.c_str());
+      abort_on_no_space(appended);
       return appended;
     }
   }
@@ -679,7 +733,9 @@ util::StatusOr<const MaterializedView*> ViewCatalog::InstallView(
     if (!committed.ok()) {
       // Mid-journal crash injection surfaces here: leave everything exactly
       // as a dying process would (sealed shadow, appended pages, torn
-      // record) for recovery to clean up.
+      // record) for recovery to clean up. A typed ENOSPC instead aborts
+      // cleanly — see abort_on_no_space above.
+      abort_on_no_space(committed);
       return committed;
     }
     if (shadowed) std::remove(shadow.c_str());
@@ -1395,6 +1451,8 @@ util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
   // ---- Transaction: begin, data, installs, commit --------------------------
   const uint64_t ue = AllocateEpoch();
   result.txn_epoch = ue;
+  const long journal_mark =
+      journal_ != nullptr ? journal_->AppendOffset() : -1;
   if (journal_ != nullptr) {
     util::Status begun =
         journal_->AppendUpdateBegin(ue, static_cast<uint32_t>(specs.size()));
@@ -1423,12 +1481,28 @@ util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
 
   // One shadow for the whole batch, named after the transaction epoch.
   const std::string shadow = pager_->path() + ".shadow." + std::to_string(ue);
+  // In-process abort for a full disk: unlike the injected crashes below
+  // (which must leave sealed shadows, orphan pages and a dangling
+  // kUpdateBegin for reopen-time recovery to roll back), a returned ENOSPC
+  // happens in a process that is still alive to undo its own transaction.
+  // Roll the pager, journal and staging files back to their pre-batch state
+  // so fsck finds nothing to repair.
+  auto abort_on_no_space = [&](const util::Status& status) {
+    if (status.code() != util::StatusCode::kResourceExhausted) return;
+    (void)pager_->TruncateToPageCount(base);
+    std::remove(shadow.c_str());
+    remove_sidecar();
+    if (journal_ != nullptr && journal_mark >= 0) {
+      (void)journal_->TruncateTo(journal_mark);
+    }
+  };
   const bool shadowed = journal_ != nullptr && staged.page_count > 0;
   if (shadowed) {
     const std::string tmp = shadow + ".tmp";
     util::Status staged_ok = WriteShadowFile(tmp, phys.data(), phys.size());
     if (!staged_ok.ok()) {
       remove_sidecar();
+      abort_on_no_space(staged_ok);
       return staged_ok;
     }
     if (std::rename(tmp.c_str(), shadow.c_str()) != 0) {
@@ -1447,6 +1521,7 @@ util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
     if (!appended.ok()) {
       if (shadowed) std::remove(shadow.c_str());
       remove_sidecar();
+      abort_on_no_space(appended);
       return appended;
     }
   }
@@ -1466,10 +1541,16 @@ util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
     if (journal_ != nullptr) {
       util::Status installed = journal_->AppendInstall(
           RecordFor(*new_views[i], pager_->page_count()));
-      if (!installed.ok()) return installed;
+      if (!installed.ok()) {
+        abort_on_no_space(installed);
+        return installed;
+      }
       util::Status replaced = journal_->AppendReplace(
           AllocateEpoch(), specs[i].view->epoch(), view_epoch);
-      if (!replaced.ok()) return replaced;
+      if (!replaced.ok()) {
+        abort_on_no_space(replaced);
+        return replaced;
+      }
     }
   }
 
@@ -1480,7 +1561,10 @@ util::StatusOr<ViewCatalog::UpdateBatchResult> ViewCatalog::ApplyUpdateBatch(
   }
   if (journal_ != nullptr) {
     util::Status committed = journal_->AppendUpdateCommit(AllocateEpoch(), ue);
-    if (!committed.ok()) return committed;
+    if (!committed.ok()) {
+      abort_on_no_space(committed);
+      return committed;
+    }
   }
   if (injector.AtCrashPoint(util::CrashPoint::kCrashAfterEpochBump)) {
     return util::Status::IoError(

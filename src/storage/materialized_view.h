@@ -171,6 +171,22 @@ class ViewCatalog {
   /// convenience, mirroring Materialize vs TryMaterialize).
   void SaveManifest();
 
+  /// Point-in-time image of the catalog's durable state, for the hot-backup
+  /// module: install records for every live view, quarantined epochs, the
+  /// epoch counter, and the pager page count. Taken under the install mutex,
+  /// so no install or update transaction is mid-flight: every page below
+  /// `page_count` is committed and — because the catalog pager is
+  /// append-only for committed pages — immutable, copyable afterwards with
+  /// no lock held. Writing these records as a checkpoint-format manifest
+  /// next to a copy of those pages yields a store Open() recovers cleanly.
+  struct BackupSnapshot {
+    std::vector<ManifestViewRecord> records;
+    std::vector<uint64_t> quarantined_epochs;
+    uint64_t epoch = 0;
+    uint32_t page_count = 0;
+  };
+  BackupSnapshot SnapshotForBackup();
+
   /// Reopens a persisted catalog: the pager file plus its manifest journal,
   /// running startup recovery (see class comment; recovery_report() tells
   /// what it did). Returns kNotFound when either file is missing, kCorruption

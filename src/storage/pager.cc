@@ -112,6 +112,26 @@ long PageOffset(PageId id) {
          static_cast<long>(id) * static_cast<long>(Pager::kPhysicalPageSize);
 }
 
+/// Typed verdict for a failed write: a full device (real ENOSPC from the OS)
+/// is kResourceExhausted — an operational condition the engine degrades
+/// around, not a broken medium — while everything else stays kIoError.
+/// Callers clear errno before the write so a stale ENOSPC from an earlier
+/// syscall cannot retype an unrelated failure.
+util::Status WriteFailure(const std::string& what) {
+  int err = errno;
+  std::string detail =
+      what + ": " + (err != 0 ? std::strerror(err) : "short write");
+  if (err == ENOSPC) return util::Status::ResourceExhausted(detail);
+  return util::Status::IoError(detail);
+}
+
+/// The injected flavor of a full disk, phrased like the real one so callers
+/// and tests match on the code, not the message.
+util::Status InjectedNoSpace(const std::string& what) {
+  return util::Status::ResourceExhausted(what +
+                                         ": no space left on device (injected)");
+}
+
 }  // namespace
 
 void Pager::SetRetryBackoffHook(std::function<void(int)> hook) {
@@ -157,10 +177,13 @@ util::Status Pager::Close() {
   // verdict is latched in close_status_ for ViewCatalog::Close to surface.
   if (mode_ == Mode::kPersist || mode_ == Mode::kReopen) {
     bool injected = util::FaultInjector::Global().OnFlushAttempt();
-    if (injected || std::fflush(file_) != 0) {
-      close_status_ = util::Status::IoError(
-          "pager close-time flush failed for " + path_ + ": " +
-          (injected ? "injected flush fault" : std::strerror(errno)));
+    errno = 0;
+    if (injected) {
+      close_status_ =
+          util::Status::IoError("pager close-time flush failed for " + path_ +
+                                ": injected flush fault");
+    } else if (std::fflush(file_) != 0) {
+      close_status_ = WriteFailure("pager close-time flush failed for " + path_);
     }
   }
   if (std::fclose(file_) != 0 && close_status_.ok() &&
@@ -188,6 +211,9 @@ util::Status Pager::WriteHeader() {
   // shift every armed "nth write"). A short write leaves a truncated header
   // on disk and MUST fail the open: the next Reopen's header CRC would
   // otherwise read garbage geometry.
+  if (util::FaultInjector::Global().OnDiskCharge(kHeaderSize)) {
+    return InjectedNoSpace("cannot write pager header to " + path_);
+  }
   size_t write_bytes = kHeaderSize;
   bool report_failure = false;
   switch (util::FaultInjector::Global().OnHeaderWriteAttempt()) {
@@ -203,13 +229,18 @@ util::Status Pager::WriteHeader() {
     case util::WriteFault::kBitFlip:
       header[kHdrVersionOff] ^= 0x01;
       break;
+    case util::WriteFault::kNoSpace:
+      // A full disk rejects the write before any byte lands: the file stays
+      // untouched (here: empty), so the failed open leaves nothing torn.
+      return InjectedNoSpace("cannot write pager header to " + path_);
   }
+  errno = 0;
   if (std::fseek(file_, 0, SEEK_SET) != 0 ||
       std::fwrite(header, write_bytes, 1, file_) != 1) {
     report_failure = true;
   }
   if (report_failure) {
-    return util::Status::IoError("cannot write pager header to " + path_);
+    return WriteFailure("cannot write pager header to " + path_);
   }
   return util::Status::Ok();
 }
@@ -299,6 +330,10 @@ util::Status Pager::WritePage(PageId id, const void* data) {
     return Latch(util::Status::InvalidArgument(
         "write of unallocated page " + std::to_string(id) + " in " + path_));
   }
+  if (util::FaultInjector::Global().OnDiskCharge(kPhysicalPageSize)) {
+    return Latch(InjectedNoSpace("page write failed for page " +
+                                 std::to_string(id) + " in " + path_));
+  }
   util::Timer timer;
   uint8_t phys[kPhysicalPageSize];
   EncodePhysicalPage(id, data, phys);
@@ -320,8 +355,14 @@ util::Status Pager::WritePage(PageId id, const void* data) {
     case util::WriteFault::kBitFlip:
       phys[kBitFlipByte] ^= kBitFlipMask;
       break;
+    case util::WriteFault::kNoSpace:
+      // The device refuses the page outright: nothing reaches the file, so
+      // the old page contents stay byte-identical (no torn overwrite).
+      return Latch(InjectedNoSpace("page write failed for page " +
+                                   std::to_string(id) + " in " + path_));
   }
 
+  errno = 0;
   if (std::fseek(file_, PageOffset(id), SEEK_SET) != 0 ||
       std::fwrite(phys, write_bytes, 1, file_) != 1) {
     report_failure = true;
@@ -329,8 +370,8 @@ util::Status Pager::WritePage(PageId id, const void* data) {
   stats_.write_micros += timer.ElapsedMicros();
   ++stats_.pages_written;
   if (report_failure) {
-    return Latch(util::Status::IoError("page write failed for page " +
-                                       std::to_string(id) + " in " + path_));
+    return Latch(WriteFailure("page write failed for page " +
+                              std::to_string(id) + " in " + path_));
   }
   return util::Status::Ok();
 }
@@ -356,10 +397,25 @@ util::Status Pager::AppendPhysicalPages(const uint8_t* phys, uint32_t count) {
   // page-at-a-time write loop, so tests arming "the nth write" keep hitting
   // the same page whether it lands via WritePage or a staged append.
   bool failed = false;
+  bool no_space = false;
   uint32_t written = 0;
+  errno = 0;
   for (uint32_t p = 0; p < count && !failed; ++p) {
     const uint8_t* src = phys + static_cast<size_t>(p) * kPhysicalPageSize;
+    if (util::FaultInjector::Global().OnDiskCharge(kPhysicalPageSize)) {
+      failed = true;
+      no_space = true;
+      break;
+    }
     util::WriteFault fault = util::FaultInjector::Global().OnWriteAttempt();
+    if (fault == util::WriteFault::kNoSpace) {
+      // A full disk stops the append before this page's first byte: the tail
+      // written so far is still dead bytes past page_count_, never a torn
+      // page.
+      failed = true;
+      no_space = true;
+      break;
+    }
     if (fault == util::WriteFault::kNone) {
       failed = std::fwrite(src, kPhysicalPageSize, 1, file_) != 1;
     } else {
@@ -379,6 +435,7 @@ util::Status Pager::AppendPhysicalPages(const uint8_t* phys, uint32_t count) {
           page[kBitFlipByte] ^= kBitFlipMask;
           break;
         case util::WriteFault::kNone:
+        case util::WriteFault::kNoSpace:  // handled before the write above
           break;
       }
       if (std::fwrite(page, write_bytes, 1, file_) != 1) failed = true;
@@ -392,10 +449,47 @@ util::Status Pager::AppendPhysicalPages(const uint8_t* phys, uint32_t count) {
     // is unaddressable dead bytes (recovery truncates it on a persistent
     // store). Torn pages and bit flips "succeed" here exactly as they do on
     // real hardware; the page checksum catches them at read time.
-    return Latch(util::Status::IoError(
-        "append of " + std::to_string(count) + " pages failed in " + path_));
+    if (no_space) {
+      return Latch(InjectedNoSpace("append of " + std::to_string(count) +
+                                   " pages stopped after " +
+                                   std::to_string(written) + " in " + path_));
+    }
+    return Latch(WriteFailure("append of " + std::to_string(count) +
+                              " pages failed in " + path_));
   }
   page_count_ += count;
+  return util::Status::Ok();
+}
+
+util::Status Pager::TruncateToPageCount(uint32_t count) {
+  if (!init_status_.ok()) return init_status_;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kReadOnly) {
+    return Latch(util::Status::InvalidArgument(
+        "cannot truncate read-only pager " + path_));
+  }
+  if (file_ == nullptr) {
+    return Latch(util::Status::IoError("pager " + path_ + " is closed"));
+  }
+  if (count > page_count_) {
+    return Latch(util::Status::InvalidArgument(
+        "cannot truncate " + path_ + " to " + std::to_string(count) +
+        " pages: only " + std::to_string(page_count_) + " committed"));
+  }
+  // A failed append can leave the stream's error flag raised and dead bytes
+  // buffered; clear both before cutting the file, or the flush would refuse.
+  std::clearerr(file_);
+  (void)std::fflush(file_);
+  if (::ftruncate(::fileno(file_), PageOffset(count)) != 0) {
+    return Latch(util::Status::IoError("cannot truncate " + path_ + " to " +
+                                       std::to_string(count) + " pages: " +
+                                       std::strerror(errno)));
+  }
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    return Latch(
+        util::Status::IoError("seek after truncate failed in " + path_));
+  }
+  page_count_ = count;
   return util::Status::Ok();
 }
 
@@ -481,10 +575,13 @@ util::Status Pager::Flush() {
   if (file_ == nullptr) {
     return Latch(util::Status::IoError("pager " + path_ + " is closed"));
   }
-  if (util::FaultInjector::Global().OnFlushAttempt() ||
-      std::fflush(file_) != 0) {
-    return Latch(util::Status::IoError("flush failed for " + path_ + ": " +
-                                       std::strerror(errno)));
+  if (util::FaultInjector::Global().OnFlushAttempt()) {
+    return Latch(util::Status::IoError("flush failed for " + path_ +
+                                       ": injected flush fault"));
+  }
+  errno = 0;
+  if (std::fflush(file_) != 0) {
+    return Latch(WriteFailure("flush failed for " + path_));
   }
   return util::Status::Ok();
 }
@@ -495,10 +592,13 @@ util::Status Pager::Sync() {
   if (file_ == nullptr) {
     return Latch(util::Status::IoError("pager " + path_ + " is closed"));
   }
-  if (util::FaultInjector::Global().OnFlushAttempt() ||
-      std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
-    return Latch(util::Status::IoError("sync failed for " + path_ + ": " +
-                                       std::strerror(errno)));
+  if (util::FaultInjector::Global().OnFlushAttempt()) {
+    return Latch(util::Status::IoError("sync failed for " + path_ +
+                                       ": injected flush fault"));
+  }
+  errno = 0;
+  if (std::fflush(file_) != 0 || ::fsync(fileno(file_)) != 0) {
+    return Latch(WriteFailure("sync failed for " + path_));
   }
   return util::Status::Ok();
 }

@@ -103,6 +103,14 @@ class Pager {
   /// sequential write instead of page-at-a-time seeks.
   util::Status AppendPhysicalPages(const uint8_t* phys, uint32_t count);
 
+  /// Rolls the file back to exactly `count` pages (count <= page_count()),
+  /// cutting away any appended-but-uncommitted tail bytes a failed append
+  /// left past the committed region. This is the in-process abort path:
+  /// when a commit record fails on a full disk the process is still alive
+  /// to undo its own append, so the store needs no reopen-time repair.
+  /// Crash handling never calls this — Open's recovery truncates there.
+  util::Status TruncateToPageCount(uint32_t count);
+
   /// Writes a full page (`data` must be kPageSize payload bytes) together
   /// with its checksum footer.
   util::Status WritePage(PageId id, const void* data);

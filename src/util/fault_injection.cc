@@ -22,6 +22,8 @@ const char* CrashPointName(CrashPoint point) {
       return "after-epoch-bump";
     case CrashPoint::kCrashMidCompaction:
       return "mid-compaction";
+    case CrashPoint::kCrashMidBackupCopy:
+      return "mid-backup-copy";
   }
   return "?";
 }
@@ -49,6 +51,9 @@ void FaultInjector::Reset() {
   flushes_seen_ = 0;
   flush_trigger_ = 0;
   flush_remaining_ = 0;
+  disk_budget_armed_ = false;
+  disk_budget_remaining_ = 0;
+  injected_no_space_faults_ = 0;
   crash_point_ = CrashPoint::kNone;
   crash_trigger_ = 0;
   crash_reached_ = 0;
@@ -113,6 +118,33 @@ void FaultInjector::ArmFlushFault(uint64_t nth, int count) {
   std::lock_guard<std::mutex> lock(mu_);
   flush_trigger_ = flushes_seen_ + (nth == 0 ? 1 : nth);
   flush_remaining_ = count;
+}
+
+void FaultInjector::ArmDiskBudget(uint64_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_budget_armed_ = true;
+  disk_budget_remaining_ = budget_bytes;
+}
+
+void FaultInjector::DisarmDiskBudget() {
+  std::lock_guard<std::mutex> lock(mu_);
+  disk_budget_armed_ = false;
+  disk_budget_remaining_ = 0;
+}
+
+bool FaultInjector::OnDiskCharge(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!disk_budget_armed_) return false;
+  if (bytes > disk_budget_remaining_) {
+    // Full disk: this write and every later one fail until space is freed
+    // (Reset/DisarmDiskBudget). The remainder is pinned, not left fractional,
+    // so a smaller follow-up write cannot sneak through a "full" device.
+    disk_budget_remaining_ = 0;
+    ++injected_no_space_faults_;
+    return true;
+  }
+  disk_budget_remaining_ -= bytes;
+  return false;
 }
 
 bool FaultInjector::OnFlushAttempt() {

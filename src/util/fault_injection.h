@@ -13,6 +13,7 @@ enum class WriteFault {
   kShortWrite,  // only a prefix of the page reaches the file; the write fails
   kTornPage,    // the tail of the page is garbage, but the write "succeeds"
   kBitFlip,     // one payload bit flips after the checksum was computed
+  kNoSpace,     // the device is full (ENOSPC); nothing reaches the file
 };
 
 /// Simulated kill -9 instants inside the view-install protocol (shadow
@@ -36,6 +37,10 @@ enum class CrashPoint {
   // Checkpoint compaction crash point: the rewritten journal torn mid-write,
   // tmp left on disk, the original journal untouched.
   kCrashMidCompaction,
+  // Hot-backup crash point: the backup copy dies mid-page, leaving a partial
+  // image directory. The SOURCE store must be byte-identical afterwards —
+  // backup is strictly read-only over the live files.
+  kCrashMidBackupCopy,
 };
 
 /// Human-readable crash-point name (test matrix labels).
@@ -78,6 +83,17 @@ class FaultInjector {
   /// count < 0 fails every flush from that point on.
   void ArmFlushFault(uint64_t nth, int count = 1);
 
+  /// Arms the budgeted free-space injector: the next `budget_bytes` bytes of
+  /// charged writes succeed, and every write after the budget is exhausted
+  /// fails as ENOSPC — exactly how a filling disk behaves (writes succeed
+  /// until the device is full, then everything fails until space is freed).
+  /// The exhausted state is sticky until Reset()/DisarmDiskBudget(). A
+  /// budget of 0 makes the very next charged write fail.
+  void ArmDiskBudget(uint64_t budget_bytes);
+
+  /// Disarms the free-space injector; charged writes stop being counted.
+  void DisarmDiskBudget();
+
   /// Arms a simulated crash at `point`; fires on the `nth` time that point
   /// is reached (1-based). Only one crash point is armed at a time.
   void ArmCrashPoint(CrashPoint point, uint64_t nth = 1);
@@ -98,7 +114,7 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return read_remaining_ != 0 || write_remaining_ != 0 ||
            header_remaining_ != 0 || flush_remaining_ != 0 ||
-           crash_point_ != CrashPoint::kNone;
+           crash_point_ != CrashPoint::kNone || disk_budget_armed_;
   }
 
   // ---- Pager hooks ---------------------------------------------------------
@@ -116,6 +132,12 @@ class FaultInjector {
 
   /// Consumes one flush slot; true → the Flush/Sync must report failure.
   bool OnFlushAttempt();
+
+  /// Charges `bytes` against an armed disk budget; true → the write must
+  /// fail as ENOSPC (typed kResourceExhausted) WITHOUT touching the file.
+  /// Always false when no budget is armed. A charge that would overdraw the
+  /// budget pins it to zero, so every later write fails too (full disk).
+  bool OnDiskCharge(uint64_t bytes);
 
   /// True (once) when execution reaches the armed crash point; the caller
   /// must then abandon the operation mid-flight. Unmatched points never fire.
@@ -147,6 +169,15 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return injected_crashes_;
   }
+  uint64_t injected_no_space_faults() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return injected_no_space_faults_;
+  }
+  /// Bytes left in an armed disk budget (0 when exhausted or disarmed).
+  uint64_t disk_budget_remaining() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return disk_budget_armed_ ? disk_budget_remaining_ : 0;
+  }
 
  private:
   FaultInjector() = default;
@@ -172,6 +203,10 @@ class FaultInjector {
   uint64_t flushes_seen_ = 0;
   uint64_t flush_trigger_ = 0;
   int64_t flush_remaining_ = 0;
+
+  bool disk_budget_armed_ = false;
+  uint64_t disk_budget_remaining_ = 0;
+  uint64_t injected_no_space_faults_ = 0;
 
   CrashPoint crash_point_ = CrashPoint::kNone;
   uint64_t crash_trigger_ = 0;   // nth reach of the point at which it fires

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +33,7 @@
 
 namespace {
 
+using viewjoin::server::BackupResponse;
 using viewjoin::server::Client;
 using viewjoin::server::QueryRequest;
 using viewjoin::server::QueryResponse;
@@ -46,17 +48,22 @@ void Usage(const char* prog) {
       stderr,
       "usage: %s (--port N | --port-file PATH) [--host IP]\n"
       "          (--query XPATH --views 'V1;V2;..' | --status |\n"
+      "           --backup DIR |\n"
       "           --insert TAG@START --fragment XML [--after TAG@START] |\n"
       "           --delete TAG@START)\n"
       "          [--scheme E|T|LE|LE_p] [--algo TS|VJ|IJ|auto]\n"
       "          [--tenant NAME] [--deadline-ms MS] [--timeout-ms MS]\n"
       "          [--repeat N] [--retry N] [--retry-base-ms MS]\n"
-      "          [--retry-cap-ms MS] [--inject-reset]\n"
+      "          [--retry-cap-ms MS] [--token T] [--inject-reset]\n"
       "\n"
       "--insert/--delete may repeat; all ops travel as one atomic batch.\n"
       "--retry N re-sends a request refused with REJECTED/SHUTTING-DOWN up\n"
       "to N times, honoring Retry-After under a decorrelated-jitter backoff\n"
-      "capped at --retry-cap-ms per attempt.\n",
+      "capped at --retry-cap-ms per attempt. Update batches carry an\n"
+      "idempotency token (random unless --token is given), chosen once\n"
+      "before the first attempt, so a retried batch applies exactly once.\n"
+      "--backup DIR asks the server for an online hot backup into DIR on\n"
+      "the server's filesystem ('' = the server's --backup-dir).\n",
       prog);
 }
 
@@ -82,6 +89,19 @@ std::vector<std::string> SplitList(const std::string& text) {
     begin = end + 1;
   }
   return parts;
+}
+
+/// A fresh 128-bit hex idempotency token, chosen once per client run so
+/// every retry of the same batch carries the same token.
+std::string RandomToken() {
+  std::random_device rd;
+  char buf[33];
+  uint64_t hi = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  uint64_t lo = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
 }
 
 int VerdictExit(Verdict verdict) {
@@ -110,6 +130,8 @@ int main(int argc, char** argv) {
   QueryRequest request;
   UpdateRequest update;
   bool status_probe = false;
+  bool backup = false;
+  std::string backup_dir;
   double timeout_ms = 5000;
   int repeat = 1;
   int retries = 0;
@@ -194,6 +216,13 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--status") {
       status_probe = true;
+    } else if (arg == "--backup") {
+      if ((v = next()) == nullptr) return 2;
+      backup = true;
+      backup_dir = v;
+    } else if (arg == "--token") {
+      if ((v = next()) == nullptr) return 2;
+      update.token = v;
     } else if (arg == "--inject-reset") {
       inject_reset = true;
     } else {
@@ -212,8 +241,8 @@ int main(int argc, char** argv) {
     }
     std::fclose(f);
   }
-  if (port <= 0 ||
-      (!status_probe && request.query.empty() && update.ops.empty())) {
+  if (port <= 0 || (!status_probe && !backup && request.query.empty() &&
+                    update.ops.empty())) {
     Usage(argv[0]);
     return 2;
   }
@@ -251,7 +280,8 @@ int main(int argc, char** argv) {
         "healthy=%d ready=%d draining=%d in_flight=%llu queued=%llu\n"
         "accepted=%llu served=%llu rejected_quota=%llu rejected_shed=%llu "
         "rejected_draining=%llu\nread_timeouts=%llu frame_errors=%llu "
-        "views_cached=%llu\n",
+        "views_cached=%llu\nbackups_completed=%llu backups_failed=%llu "
+        "update_dedup_hits=%llu resource_exhausted=%llu\n",
         status->healthy ? 1 : 0, status->ready ? 1 : 0,
         status->draining ? 1 : 0,
         static_cast<unsigned long long>(status->in_flight),
@@ -263,8 +293,37 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(status->rejected_draining),
         static_cast<unsigned long long>(status->read_timeouts),
         static_cast<unsigned long long>(status->frame_errors),
-        static_cast<unsigned long long>(status->views_cached));
+        static_cast<unsigned long long>(status->views_cached),
+        static_cast<unsigned long long>(status->backups_completed),
+        static_cast<unsigned long long>(status->backups_failed),
+        static_cast<unsigned long long>(status->update_dedup_hits),
+        static_cast<unsigned long long>(status->resource_exhausted));
+    if (!status->last_backup_error.empty()) {
+      std::fprintf(stderr, "last_backup_error: %s\n",
+                   status->last_backup_error.c_str());
+    }
     return status->ready ? 0 : 1;
+  }
+
+  if (backup) {
+    viewjoin::util::StatusOr<BackupResponse> done =
+        client.TriggerBackup(backup_dir);
+    if (!done.ok()) {
+      std::fprintf(stderr, "backup: %s\n", done.status().ToString().c_str());
+      return 2;
+    }
+    std::printf("verdict=%s directory=%s epoch=%llu pages=%llu bytes=%llu "
+                "server_ms=%.3f\n",
+                viewjoin::server::VerdictName(done->verdict),
+                done->directory.c_str(),
+                static_cast<unsigned long long>(done->epoch),
+                static_cast<unsigned long long>(done->view_pages),
+                static_cast<unsigned long long>(done->bytes_copied),
+                done->server_ms);
+    if (!done->error.empty()) {
+      std::fprintf(stderr, "error: %s\n", done->error.c_str());
+    }
+    return VerdictExit(done->verdict);
   }
 
   const uint64_t retry_seed = static_cast<uint64_t>(
@@ -289,6 +348,10 @@ int main(int argc, char** argv) {
 
   if (!update.ops.empty()) {
     update.tenant = request.tenant;
+    // The idempotency token is fixed BEFORE the first attempt: every retry
+    // below re-sends the identical token, so a batch whose response was
+    // lost in flight is deduplicated server-side instead of re-applied.
+    if (update.token.empty()) update.token = RandomToken();
     RefusalRetryPolicy policy(retries, retry_base_ms, retry_cap_ms,
                               retry_seed);
     for (;;) {

@@ -38,6 +38,7 @@
 #include "data/nasa_generator.h"
 #include "data/xmark_generator.h"
 #include "server/server.h"
+#include "util/env.h"
 #include "xml/parser.h"
 
 namespace {
@@ -49,10 +50,19 @@ using viewjoin::server::ServerOptions;
 
 int g_signal_pipe[2] = {-1, -1};
 
+// Distinct self-pipe bytes: 1 = drain (SIGTERM/SIGINT), 2 = hot backup
+// (SIGUSR2). The main loop demultiplexes; a backup never advances the
+// shutdown state machine.
 void OnSignal(int) {
   // Self-pipe: the only async-signal-safe thing here is write(2); the main
   // loop does the actual drain.
   char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+void OnBackupSignal(int) {
+  char byte = 2;
   ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
   (void)ignored;
 }
@@ -79,7 +89,13 @@ void Usage(const char* prog) {
       "          [--quota-rate QPS] [--quota-burst N]\n"
       "          [--deadline-ms MS] [--drain-deadline-ms MS]\n"
       "          [--read-deadline-ms MS]\n"
-      "          [--memory-budget BYTES] [--memory-high-water BYTES]\n",
+      "          [--memory-budget BYTES] [--memory-high-water BYTES]\n"
+      "          [--backup-dir DIR]\n"
+      "SIGUSR2 triggers an online hot backup into --backup-dir while the\n"
+      "server keeps serving. Env knobs (strict): VIEWJOIN_BACKUP_RATE_BYTES\n"
+      "paces backup copies in bytes/sec (0 = unthrottled);\n"
+      "VIEWJOIN_UPDATE_DEDUP_WINDOW sizes the update idempotency window\n"
+      "(0 disables).\n",
       prog);
 }
 
@@ -162,6 +178,9 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       if ((v = next()) == nullptr) return false;
       options->server.memory_high_water_bytes =
           static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--backup-dir") {
+      if ((v = next()) == nullptr) return false;
+      options->server.backup_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -186,6 +205,27 @@ int main(int argc, char** argv) {
     Usage(argv[0]);
     return 2;
   }
+
+  // Strict env knobs: a typo'd value is a startup error, not a silent
+  // default.
+  viewjoin::util::StatusOr<int64_t> rate =
+      viewjoin::util::ParseNonNegativeIntEnv(
+          "VIEWJOIN_BACKUP_RATE_BYTES",
+          static_cast<int64_t>(options.server.backup_rate_bytes));
+  if (!rate.ok()) {
+    std::fprintf(stderr, "%s\n", rate.status().ToString().c_str());
+    return 2;
+  }
+  options.server.backup_rate_bytes = static_cast<uint64_t>(*rate);
+  viewjoin::util::StatusOr<int64_t> window =
+      viewjoin::util::ParseNonNegativeIntEnv(
+          "VIEWJOIN_UPDATE_DEDUP_WINDOW",
+          static_cast<int64_t>(options.server.update_dedup_window));
+  if (!window.ok()) {
+    std::fprintf(stderr, "%s\n", window.status().ToString().c_str());
+    return 2;
+  }
+  options.server.update_dedup_window = static_cast<size_t>(*window);
 
   viewjoin::xml::Document doc;
   if (!options.xml_path.empty()) {
@@ -234,6 +274,10 @@ int main(int argc, char** argv) {
   action.sa_handler = OnSignal;
   ::sigaction(SIGTERM, &action, nullptr);
   ::sigaction(SIGINT, &action, nullptr);
+  struct sigaction backup_action;
+  std::memset(&backup_action, 0, sizeof(backup_action));
+  backup_action.sa_handler = OnBackupSignal;
+  ::sigaction(SIGUSR2, &backup_action, nullptr);
 
   QueryServer server(&engine, options.server);
   viewjoin::util::Status started = server.Start();
@@ -257,9 +301,31 @@ int main(int argc, char** argv) {
   std::printf("serving on 127.0.0.1:%u\n", server.port());
   std::fflush(stdout);
 
-  // Wait for the first signal.
+  // Serve until a drain signal; SIGUSR2 bytes trigger hot backups in a
+  // helper thread so serving (and later signals) are never blocked on a
+  // rate-limited copy.
+  std::vector<std::thread> backup_threads;
   char byte;
-  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  for (;;) {
+    ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    if (byte == 2) {
+      backup_threads.emplace_back([&server] {
+        viewjoin::server::BackupResponse done = server.TriggerBackup();
+        if (done.verdict == viewjoin::server::Verdict::kOk) {
+          std::printf("backup complete: %s (epoch %llu, %llu bytes)\n",
+                      done.directory.c_str(),
+                      static_cast<unsigned long long>(done.epoch),
+                      static_cast<unsigned long long>(done.bytes_copied));
+        } else {
+          std::printf("backup failed: %s\n", done.error.c_str());
+        }
+        std::fflush(stdout);
+      });
+      continue;
+    }
+    break;  // byte == 1: drain
   }
   std::printf("draining...\n");
   std::fflush(stdout);
@@ -279,6 +345,7 @@ int main(int argc, char** argv) {
     if (ready > 0 && !hard_killed) {
       while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
       }
+      if (byte == 2) continue;  // a late SIGUSR2 is not a hard-kill request
       std::printf("hard kill\n");
       std::fflush(stdout);
       server.HardKill();
@@ -286,6 +353,9 @@ int main(int argc, char** argv) {
     }
   }
   drainer.join();
+  for (std::thread& t : backup_threads) {
+    if (t.joinable()) t.join();
+  }
 
   if (hard_killed) return 130;
   std::printf("drained %s\n", drain_clean ? "clean" : "forced");

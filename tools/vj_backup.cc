@@ -1,0 +1,175 @@
+// vj_backup: create, verify, and restore ViewJoin backup images.
+//
+//   vj_backup create  <store>      <image-dir>   offline hot-backup a store
+//   vj_backup verify  <image-dir>                full image verification
+//   vj_backup restore <image-dir>  <dest-store>  verified copy-out + open
+//
+// An image is the self-describing directory documented in
+// src/storage/backup.h: the copied pager file(s), a checkpoint-format
+// manifest pinned to one catalog epoch, and a self-checksummed backup.meta
+// written last. `create` opens the store the same way the engine does, so it
+// must not race a live server — for a hot backup of a serving process, send
+// the server SIGUSR2 or `viewjoin_client --backup DIR` instead; the image
+// format is identical and this tool verifies/restores either.
+//
+// `restore` refuses to overwrite existing destination files, verifies the
+// whole image first, and proves the result by a clean ViewCatalog::Open.
+//
+// Env knobs (strict, util/env.h): VIEWJOIN_BACKUP_RATE_BYTES paces create
+// and restore copies in bytes/sec (0 = unthrottled); --rate-bytes overrides.
+//
+// --json replaces the human-readable output with one JSON object (the
+// BackupReport) on stdout; exit codes are unchanged:
+//   0  success (image created / verified clean / restored)
+//   1  corruption — the image (or the source store) fails verification
+//   2  usage error, or a file could not be read/written (I/O, missing)
+//   3  destination conflict: the image or restore target already exists
+//   4  disk full (ENOSPC, real or injected) — no partial image left behind
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "storage/backup.h"
+#include "util/env.h"
+
+namespace {
+
+using viewjoin::storage::BackupOptions;
+using viewjoin::storage::BackupReport;
+using viewjoin::storage::ViewCatalog;
+using viewjoin::util::StatusCode;
+using viewjoin::util::StatusOr;
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--json] [--quiet] [--rate-bytes N]\n"
+               "          create  <store> <image-dir>\n"
+               "        | verify  <image-dir>\n"
+               "        | restore <image-dir> <dest-store>\n",
+               prog);
+  return 2;
+}
+
+/// Status code → exit code (documented in the header comment).
+int ExitFor(const viewjoin::util::Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kCorruption:
+      return 1;
+    case StatusCode::kInvalidArgument:
+      return 3;
+    case StatusCode::kResourceExhausted:
+      return 4;
+    default:  // kIoError, kNotFound
+      return 2;
+  }
+}
+
+int Report(const StatusOr<BackupReport>& result, const char* verb, bool json,
+           bool quiet) {
+  if (!result.ok()) {
+    if (json) {
+      std::printf("{\"ok\": false, \"error\": \"%s\"}\n",
+                  result.status().ToString().c_str());
+    } else if (!quiet) {
+      std::fprintf(stderr, "%s failed: %s\n", verb,
+                   result.status().ToString().c_str());
+    }
+    return ExitFor(result.status());
+  }
+  if (json) {
+    std::printf("{\"ok\": true, \"report\": %s}\n",
+                result->ToJson().c_str());
+  } else if (!quiet) {
+    std::printf("%s ok: %s — epoch %llu, %u view page(s), %llu byte(s), "
+                "%zu file(s)%s\n",
+                verb, result->directory.c_str(),
+                static_cast<unsigned long long>(result->epoch),
+                result->view_page_count,
+                static_cast<unsigned long long>(result->bytes_copied),
+                result->files.size(),
+                result->has_doc_store ? ", doc store" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  bool quiet = false;
+  int64_t rate_bytes = -1;
+  std::string command;
+  std::string first;
+  std::string second;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--quiet") == 0 ||
+               std::strcmp(argv[i], "-q") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--rate-bytes") == 0) {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      rate_bytes = std::atoll(argv[++i]);
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return Usage(argv[0]);
+    } else if (command.empty()) {
+      command = argv[i];
+    } else if (first.empty()) {
+      first = argv[i];
+    } else if (second.empty()) {
+      second = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (rate_bytes < 0) {
+    StatusOr<int64_t> env_rate = viewjoin::util::ParseNonNegativeIntEnv(
+        "VIEWJOIN_BACKUP_RATE_BYTES", 0);
+    if (!env_rate.ok()) {
+      std::fprintf(stderr, "%s\n", env_rate.status().ToString().c_str());
+      return 2;
+    }
+    rate_bytes = *env_rate;
+  }
+  const uint64_t rate = static_cast<uint64_t>(rate_bytes);
+
+  if (command == "create") {
+    if (first.empty() || second.empty()) return Usage(argv[0]);
+    StatusOr<std::unique_ptr<ViewCatalog>> catalog =
+        ViewCatalog::Open(first, /*pool_pages=*/64);
+    if (!catalog.ok()) {
+      if (json) {
+        std::printf("{\"ok\": false, \"error\": \"%s\"}\n",
+                    catalog.status().ToString().c_str());
+      } else if (!quiet) {
+        std::fprintf(stderr, "cannot open store %s: %s\n", first.c_str(),
+                     catalog.status().ToString().c_str());
+      }
+      return ExitFor(catalog.status());
+    }
+    BackupOptions options;
+    options.rate_bytes_per_sec = rate;
+    options.doc_store_path = first + ".doc";
+    StatusOr<BackupReport> result =
+        viewjoin::storage::CreateBackup(**catalog, second, options);
+    viewjoin::util::Status closed = (*catalog)->Close();
+    if (result.ok() && !closed.ok()) result = closed;
+    return Report(result, "create", json, quiet);
+  }
+  if (command == "verify") {
+    if (first.empty() || !second.empty()) return Usage(argv[0]);
+    return Report(viewjoin::storage::VerifyBackupImage(first), "verify", json,
+                  quiet);
+  }
+  if (command == "restore") {
+    if (first.empty() || second.empty()) return Usage(argv[0]);
+    return Report(viewjoin::storage::RestoreBackup(first, second, rate),
+                  "restore", json, quiet);
+  }
+  return Usage(argv[0]);
+}

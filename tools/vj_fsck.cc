@@ -12,6 +12,12 @@
 // a sibling "<file>.doc" store (the engine's disk doc-mode layout) is
 // auto-detected and verified alongside the catalog.
 //
+// Backup images: a path that is a directory holding a backup.meta file (as
+// produced by vj_backup / the server's hot backup) is auto-detected and gets
+// the full image verification — meta checksum, per-file size + CRC32, every
+// page of the copied pager files, manifest replay (exit 0 clean, 1 corrupt,
+// 2 unreadable).
+//
 // Exit status follows the fsck convention so scripts can branch on the
 // verdict:
 //   0  the file is clean
@@ -38,6 +44,7 @@
 #include <cstring>
 #include <string>
 
+#include "storage/backup.h"
 #include "storage/fsck.h"
 
 namespace {
@@ -145,6 +152,35 @@ int main(int argc, char** argv) {
   if (path.empty()) return Usage(argv[0]);
 
   using viewjoin::util::StatusCode;
+
+  if (viewjoin::storage::IsBackupImageDir(path)) {
+    // Backup image directory: full image verification instead of the live
+    // store checks (the image's own store/manifest files are covered by it).
+    viewjoin::util::StatusOr<viewjoin::storage::BackupReport> verified =
+        viewjoin::storage::VerifyBackupImage(path);
+    if (!verified.ok()) {
+      if (json) {
+        std::printf("{\"backup_image\": \"%s\", \"clean\": false}\n",
+                    path.c_str());
+      } else if (!quiet) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                     verified.status().ToString().c_str());
+      }
+      return verified.status().code() == StatusCode::kCorruption ? 1 : 2;
+    }
+    if (json) {
+      std::printf("{\"backup_image\": %s, \"clean\": true}\n",
+                  verified->ToJson().c_str());
+    } else if (!quiet) {
+      std::printf("%s: backup image clean — epoch %llu, %u view page(s), "
+                  "%zu file(s)%s\n",
+                  path.c_str(),
+                  static_cast<unsigned long long>(verified->epoch),
+                  verified->view_page_count, verified->files.size(),
+                  verified->has_doc_store ? ", doc store" : "");
+    }
+    return 0;
+  }
 
   if (doc) {
     // Explicit doc-store mode: the path IS the store's pager file. There is
